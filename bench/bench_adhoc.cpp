@@ -1,0 +1,115 @@
+// E6 (paper §4.2, scenario 2): ad-hoc multi-dataset queries through the
+// SQL front end, with per-operator execution times.
+//
+// Paper queries being reproduced:
+//   "select all LIDAR points that are near a given area that is
+//    characterised as a fast transit road according to the Urban Atlas
+//    nomenclature"
+//   "compute the average elevation of the LIDAR points that are near ..."
+// plus scenario-1 single-dataset selections, each with the per-operator
+// profile the demo exposes ("the execution time spent in each operator").
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "gis/catalog.h"
+#include "pointcloud/vector_gen.h"
+#include "sql/session.h"
+
+using namespace geocol;
+using namespace geocol::bench;
+
+int main() {
+  const uint64_t n = BenchPoints(1000000);
+  Banner("E6: ad-hoc multi-dataset SQL queries (paper section 4.2)",
+         "scenario-2 queries over point cloud + OSM-like + Urban-Atlas-like");
+
+  AhnGeneratorOptions opts = SurveyOptions(n);
+  {
+    double area = std::max(opts.extent.area(), 1.0);
+    opts.point_density = static_cast<double>(n) / area;
+    opts.scan_line_spacing = 1.0 / std::sqrt(opts.point_density);
+  }
+  AhnGenerator gen(opts);
+  auto table = gen.GenerateTable(n);
+  if (!table.ok()) return 1;
+
+  Catalog catalog;
+  if (!catalog.AddPointCloud("ahn2", *table).ok()) return 1;
+  TerrainModel terrain(opts.seed);
+  OsmGenerator og(7, opts.extent, terrain);
+  auto roads = og.GenerateRoads(60);
+  auto rivers = og.GenerateRivers(5);
+  for (auto& r : rivers) roads.push_back(r);
+  if (!catalog.AddLayer(VectorLayer::FromFeatures("osm", roads)).ok()) return 1;
+  UrbanAtlasGenerator ug(8, opts.extent, terrain);
+  auto land = ug.GenerateLandUse(10);
+  auto corridors = ug.GenerateTransitCorridors(roads, 18.0);
+  size_t n_corridors = corridors.size();
+  for (auto& c : corridors) land.push_back(c);
+  if (!catalog.AddLayer(VectorLayer::FromFeatures("urban_atlas", land)).ok()) {
+    return 1;
+  }
+  std::printf("datasets: ahn2 %llu points | osm %zu features | urban_atlas "
+              "%zu features (%zu fast-transit corridors)\n",
+              static_cast<unsigned long long>((*table)->num_rows()),
+              roads.size(), land.size(), n_corridors);
+
+  sql::Session session(&catalog);
+  Box e = opts.extent;
+  char region[256];
+  std::snprintf(region, sizeof(region), "BOX(%.1f %.1f, %.1f %.1f)",
+                e.min_x + e.width() * 0.3, e.min_y + e.height() * 0.3,
+                e.min_x + e.width() * 0.5, e.min_y + e.height() * 0.5);
+
+  struct Q {
+    const char* label;
+    std::string text;
+  } queries[] = {
+      {"points in region (scenario 1)",
+       std::string("SELECT COUNT(*) FROM ahn2 WHERE ST_Within(pt, '") +
+           region + "')"},
+      {"roads intersecting region (scenario 1)",
+       std::string("SELECT COUNT(*) FROM osm WHERE ST_Intersects(geom, '") +
+           region + "')"},
+      {"points near fast transit roads",
+       "SELECT COUNT(*) FROM ahn2 WHERE NEAR(urban_atlas, 12210, 20)"},
+      {"avg elevation near fast transit roads",
+       "SELECT AVG(z) FROM ahn2 WHERE NEAR(urban_atlas, 12210, 20)"},
+      {"avg elevation of vegetation in region",
+       std::string("SELECT AVG(z), COUNT(*) FROM ahn2 WHERE ST_Within(pt, '") +
+           region + "') AND classification BETWEEN 3 AND 5"},
+      {"building returns above median intensity",
+       std::string("SELECT COUNT(*) FROM ahn2 WHERE ST_Within(pt, '") +
+           region + "') AND classification = 6 AND intensity >= 120"},
+  };
+
+  TablePrinter out({"query", "result", "latency ms"});
+  std::vector<std::string> profiles;
+  for (const Q& q : queries) {
+    std::string result_text = "?";
+    double ms = TimeMs([&] {
+      auto rs = session.Execute(q.text);
+      if (!rs.ok()) {
+        std::fprintf(stderr, "query failed: %s\n  %s\n",
+                     rs.status().ToString().c_str(), q.text.c_str());
+        std::exit(1);
+      }
+      result_text = rs->rows.empty() ? "-" : rs->rows[0][0].ToString();
+    });
+    out.Row({q.label, result_text, TablePrinter::Num(ms)});
+    profiles.push_back(std::string("-- ") + q.label + "\n" +
+                       session.last_profile().ToString());
+  }
+
+  std::printf("\nper-operator execution times (the demo's plan view):\n");
+  // Print the flagship join profile in full and the others' totals.
+  std::printf("%s\n", profiles[3].c_str());
+
+  std::printf(
+      "expected shape (paper): the imprint filter dominates nothing — most "
+      "time sits in refinement for\nbuffered joins; thematic predicates ride "
+      "the same imprint machinery; the file-based approach has\nno "
+      "counterpart for these queries at all (the expressiveness argument of "
+      "section 2.2).\n");
+  return 0;
+}

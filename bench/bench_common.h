@@ -1,0 +1,139 @@
+// Shared helpers of the benchmark harnesses: survey generation sized from
+// the environment, simple aligned table printing, and repeat-timing.
+//
+// Every bench binary prints the experiment id from DESIGN.md/EXPERIMENTS.md
+// and regenerates one table/figure of the evaluation. Scale knobs:
+//   GEOCOL_BENCH_POINTS   approximate survey size   (default per binary)
+//   GEOCOL_BENCH_REPS     timing repetitions        (default 3)
+#ifndef GEOCOL_BENCH_BENCH_COMMON_H_
+#define GEOCOL_BENCH_BENCH_COMMON_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columns/flat_table.h"
+#include "pointcloud/generator.h"
+#include "util/timer.h"
+
+namespace geocol {
+namespace bench {
+
+inline uint64_t EnvU64(const char* name, uint64_t def) {
+  const char* v = std::getenv(name);
+  if (v == nullptr) return def;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(v, &end, 10);
+  return end != v && parsed > 0 ? parsed : def;
+}
+
+inline uint64_t BenchPoints(uint64_t def) {
+  return EnvU64("GEOCOL_BENCH_POINTS", def);
+}
+
+inline int BenchReps() {
+  return static_cast<int>(EnvU64("GEOCOL_BENCH_REPS", 3));
+}
+
+/// Survey options sized so `approx_points` points cover a square extent at
+/// AHN2-like density (8 pts/m²).
+inline AhnGeneratorOptions SurveyOptions(uint64_t approx_points,
+                                         uint64_t seed = 20150831) {
+  AhnGeneratorOptions opts;
+  opts.seed = seed;
+  double area = static_cast<double>(approx_points) / 8.0;
+  double side = std::sqrt(area);
+  opts.extent = Box(85000.0, 444000.0, 85000.0 + side, 444000.0 + side);
+  opts.point_density = 8.0;
+  opts.scan_line_spacing = 1.0 / std::sqrt(8.0);
+  opts.strip_width = std::max(side / 8.0, 10.0);
+  return opts;
+}
+
+/// Generates an in-memory flat table of ~`approx_points` AHN-like points.
+inline std::shared_ptr<FlatTable> GenerateSurvey(uint64_t approx_points,
+                                                 uint64_t seed = 20150831) {
+  AhnGenerator gen(SurveyOptions(approx_points, seed));
+  auto table = gen.GenerateTable(approx_points);
+  if (!table.ok()) {
+    std::fprintf(stderr, "survey generation failed: %s\n",
+                 table.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(table).value();
+}
+
+/// Runs `fn` BenchReps() times and returns the minimum wall time (ms).
+inline double TimeMs(const std::function<void()>& fn, int reps = 0) {
+  if (reps <= 0) reps = BenchReps();
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    Timer t;
+    fn();
+    best = std::min(best, t.ElapsedMillis());
+  }
+  return best;
+}
+
+/// Minimal aligned-column table printer for the harness reports.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int col_width = 14)
+      : headers_(std::move(headers)), width_(col_width) {
+    PrintRowImpl(headers_);
+    for (size_t i = 0; i < headers_.size(); ++i) {
+      std::printf("%s", std::string(static_cast<size_t>(width_), '-').c_str());
+      std::printf(i + 1 == headers_.size() ? "\n" : "-+-");
+    }
+  }
+
+  void Row(const std::vector<std::string>& cells) { PrintRowImpl(cells); }
+
+  static std::string Num(double v, int precision = 2) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+  }
+  static std::string Int(uint64_t v) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%llu",
+                  static_cast<unsigned long long>(v));
+    return buf;
+  }
+  static std::string Pct(double fraction, int precision = 1) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.*f%%", precision, fraction * 100.0);
+    return buf;
+  }
+  static std::string Mb(uint64_t bytes) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.2f MB", bytes / (1024.0 * 1024.0));
+    return buf;
+  }
+
+ private:
+  void PrintRowImpl(const std::vector<std::string>& cells) {
+    for (size_t i = 0; i < cells.size(); ++i) {
+      std::printf("%-*s", width_, cells[i].c_str());
+      std::printf(i + 1 == cells.size() ? "\n" : " | ");
+    }
+  }
+
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+inline void Banner(const char* experiment, const char* description) {
+  std::printf("\n=================================================================\n");
+  std::printf("%s\n%s\n", experiment, description);
+  std::printf("=================================================================\n");
+}
+
+}  // namespace bench
+}  // namespace geocol
+
+#endif  // GEOCOL_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,131 @@
+// E7 (paper §2.1.1): column-imprint microbenchmarks via google-benchmark —
+// index build throughput, compression ratio vs clustering, bin-count
+// ablation, and filter throughput vs selectivity.
+#include <benchmark/benchmark.h>
+
+#include "core/imprint_scan.h"
+#include "pointcloud/generator.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+ColumnPtr MakeColumn(int64_t n, double cluster, uint64_t seed = 99) {
+  // cluster in [0,1]: 1 = smooth random walk (acquisition-like),
+  // 0 = white noise over the same value range.
+  Rng rng(seed);
+  std::vector<double> vals(static_cast<size_t>(n));
+  double walk = 0;
+  for (auto& v : vals) {
+    walk += rng.NextGaussian();
+    double noise = rng.UniformDouble(-50, 50);
+    v = cluster * walk + (1.0 - cluster) * noise;
+  }
+  return Column::FromVector("c", vals);
+}
+
+void BM_ImprintBuild(benchmark::State& state) {
+  ColumnPtr col = MakeColumn(state.range(0), 1.0);
+  for (auto _ : state) {
+    auto ix = ImprintsIndex::Build(*col);
+    benchmark::DoNotOptimize(ix);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+  state.SetBytesProcessed(state.iterations() * col->raw_size_bytes());
+}
+BENCHMARK(BM_ImprintBuild)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_ImprintBuildBins(benchmark::State& state) {
+  ColumnPtr col = MakeColumn(1 << 20, 1.0);
+  ImprintsOptions opts;
+  opts.max_bins = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto ix = ImprintsIndex::Build(*col, opts);
+    benchmark::DoNotOptimize(ix);
+  }
+  auto ix = ImprintsIndex::Build(*col, opts);
+  state.counters["bins"] = ix->num_bins();
+  state.counters["overhead%"] =
+      ix->Storage(col->raw_size_bytes()).overhead_fraction * 100;
+  state.SetItemsProcessed(state.iterations() * (1 << 20));
+}
+BENCHMARK(BM_ImprintBuildBins)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_ImprintCompression(benchmark::State& state) {
+  // Arg is clustering in percent; counters expose the compression result.
+  double cluster = state.range(0) / 100.0;
+  ColumnPtr col = MakeColumn(1 << 21, cluster);
+  for (auto _ : state) {
+    auto ix = ImprintsIndex::Build(*col);
+    benchmark::DoNotOptimize(ix);
+  }
+  auto ix = ImprintsIndex::Build(*col);
+  ImprintsStorage s = ix->Storage(col->raw_size_bytes());
+  state.counters["vectors_per_line"] = s.vectors_per_line;
+  state.counters["overhead%"] = s.overhead_fraction * 100;
+}
+BENCHMARK(BM_ImprintCompression)->Arg(100)->Arg(75)->Arg(50)->Arg(0);
+
+void BM_ImprintFilterSelectivity(benchmark::State& state) {
+  ColumnPtr col = MakeColumn(1 << 21, 1.0);
+  auto ix_res = ImprintsIndex::Build(*col);
+  const ImprintsIndex& ix = *ix_res;
+  double lo_dom = col->Stats().min, hi_dom = col->Stats().max;
+  double frac = state.range(0) / 1000.0;
+  double lo = lo_dom + (hi_dom - lo_dom) * 0.4;
+  double hi = lo + (hi_dom - lo_dom) * frac;
+  BitVector rows;
+  ImprintScanStats stats;
+  for (auto _ : state) {
+    (void)ImprintRangeSelect(*col, ix, lo, hi, &rows, &stats);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["touched%"] = stats.TouchedFraction() * 100;
+  state.counters["selected"] = static_cast<double>(stats.rows_selected);
+  state.SetItemsProcessed(state.iterations() * col->size());
+}
+BENCHMARK(BM_ImprintFilterSelectivity)
+    ->Arg(1)     // 0.1% of domain
+    ->Arg(10)    // 1%
+    ->Arg(100)   // 10%
+    ->Arg(500);  // 50%
+
+void BM_FullScanFilter(benchmark::State& state) {
+  ColumnPtr col = MakeColumn(1 << 21, 1.0);
+  double lo_dom = col->Stats().min, hi_dom = col->Stats().max;
+  double lo = lo_dom + (hi_dom - lo_dom) * 0.4;
+  double hi = lo + (hi_dom - lo_dom) * 0.01;
+  BitVector rows;
+  for (auto _ : state) {
+    FullScanRangeSelect(*col, lo, hi, &rows);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.SetItemsProcessed(state.iterations() * col->size());
+}
+BENCHMARK(BM_FullScanFilter);
+
+void BM_ImprintFilterOnAhnCoordinates(benchmark::State& state) {
+  // The real workload: the x column of the synthetic AHN survey, strip
+  // ordered, 1%-of-domain slab query.
+  AhnGeneratorOptions opts;
+  opts.extent = Box(85000, 444000, 85500, 444500);
+  AhnGenerator gen(opts);
+  auto table = gen.GenerateTable(1 << 20);
+  ColumnPtr col = (*table)->column("x");
+  auto ix_res = ImprintsIndex::Build(*col);
+  double lo = 85200, hi = 85205;
+  BitVector rows;
+  ImprintScanStats stats;
+  for (auto _ : state) {
+    (void)ImprintRangeSelect(*col, *ix_res, lo, hi, &rows, &stats);
+    benchmark::DoNotOptimize(rows);
+  }
+  state.counters["touched%"] = stats.TouchedFraction() * 100;
+  state.SetItemsProcessed(state.iterations() * col->size());
+}
+BENCHMARK(BM_ImprintFilterOnAhnCoordinates);
+
+}  // namespace
+}  // namespace geocol
+
+BENCHMARK_MAIN();

@@ -1,0 +1,130 @@
+// E5 (paper §2.1.1): index robustness as data ordering degrades.
+//
+// Paper claim being reproduced: "column imprint compression remains
+// effective and robust even in the case of unclustered data, while other
+// state-of-the-art solutions fail." We sweep three physical orderings of
+// the same survey — Morton-sorted (ideal), acquisition order (flight
+// strips, the realistic case), and fully shuffled — and report filter
+// quality and index size for imprints vs zone maps.
+#include <cstdio>
+
+#include "baselines/zonemap.h"
+#include "bench/bench_common.h"
+#include "core/imprint_scan.h"
+
+using namespace geocol;
+using namespace geocol::bench;
+
+namespace {
+
+struct FilterQuality {
+  double touched_fraction;   // share of cache lines / zones visited
+  double false_positive;     // candidate rows that fail the predicate
+  double storage_overhead;   // index bytes / column bytes
+  double time_ms;
+};
+
+FilterQuality MeasureImprints(const Column& col, double lo, double hi) {
+  auto ix = ImprintsIndex::Build(col);
+  if (!ix.ok()) std::exit(1);
+  ImprintScanStats stats;
+  BitVector rows;
+  double t = TimeMs([&] {
+    ImprintScanStats s;
+    (void)ImprintRangeSelect(col, *ix, lo, hi, &rows, &s);
+    stats = s;
+  });
+  uint64_t candidate_rows =
+      stats.lines_full * ix->values_per_line() + stats.values_checked;
+  FilterQuality q;
+  q.touched_fraction = stats.TouchedFraction();
+  q.false_positive =
+      candidate_rows > 0
+          ? 1.0 - static_cast<double>(stats.rows_selected) / candidate_rows
+          : 0.0;
+  q.storage_overhead =
+      ix->Storage(col.raw_size_bytes()).overhead_fraction;
+  q.time_ms = t;
+  return q;
+}
+
+FilterQuality MeasureZoneMap(const Column& col, double lo, double hi) {
+  auto ix = ZoneMapIndex::Build(col);
+  if (!ix.ok()) std::exit(1);
+  ZoneMapScanStats stats;
+  BitVector rows;
+  double t = TimeMs([&] {
+    ZoneMapScanStats s;
+    (void)ix->RangeSelect(col, lo, hi, &rows, &s);
+    stats = s;
+  });
+  uint64_t candidate_rows =
+      stats.zones_full * ix->rows_per_zone() + stats.values_checked;
+  FilterQuality q;
+  q.touched_fraction = stats.TouchedFraction();
+  q.false_positive =
+      candidate_rows > 0
+          ? 1.0 - static_cast<double>(stats.rows_selected) / candidate_rows
+          : 0.0;
+  q.storage_overhead =
+      static_cast<double>(ix->StorageBytes()) / col.raw_size_bytes();
+  q.time_ms = t;
+  return q;
+}
+
+}  // namespace
+
+int main() {
+  const uint64_t n = BenchPoints(2000000);
+  Banner("E5: filter robustness vs data clustering (paper section 2.1.1)",
+         "imprints vs zone maps on sorted / acquisition / shuffled x column");
+
+  auto table = GenerateSurvey(n);
+  ColumnPtr x_acq = table->column("x");
+  std::printf("survey: %llu points; 1%%-of-domain range query on x\n",
+              static_cast<unsigned long long>(x_acq->size()));
+
+  // Query: a 1%-wide slab in the middle of the domain.
+  double lo_dom = x_acq->Stats().min, hi_dom = x_acq->Stats().max;
+  double width = (hi_dom - lo_dom) * 0.01;
+  double lo = lo_dom + (hi_dom - lo_dom) * 0.5;
+  double hi = lo + width;
+
+  // The three orderings.
+  auto sorted = GenerateSurvey(n);
+  if (!SortTableMorton(sorted.get()).ok()) return 1;
+  auto shuffled = GenerateSurvey(n);
+  ShuffleTableRows(shuffled.get(), 4242);
+
+  struct Config {
+    const char* name;
+    ColumnPtr col;
+  } configs[] = {
+      {"morton-sorted", sorted->column("x")},
+      {"acquisition", x_acq},
+      {"shuffled", shuffled->column("x")},
+  };
+
+  TablePrinter out({"ordering", "index", "touched", "false pos", "overhead",
+                    "scan ms"});
+  for (const Config& c : configs) {
+    FilterQuality imp = MeasureImprints(*c.col, lo, hi);
+    FilterQuality zm = MeasureZoneMap(*c.col, lo, hi);
+    out.Row({c.name, "imprints", TablePrinter::Pct(imp.touched_fraction),
+             TablePrinter::Pct(imp.false_positive),
+             TablePrinter::Pct(imp.storage_overhead),
+             TablePrinter::Num(imp.time_ms, 3)});
+    out.Row({c.name, "zonemap", TablePrinter::Pct(zm.touched_fraction),
+             TablePrinter::Pct(zm.false_positive),
+             TablePrinter::Pct(zm.storage_overhead),
+             TablePrinter::Num(zm.time_ms, 3)});
+  }
+
+  std::printf(
+      "\nexpected shape (paper): on sorted/acquisition-ordered data both "
+      "indexes filter well; on shuffled\ndata the zone map touches ~100%% of "
+      "zones (every zone spans the domain) while imprints still skip\nthe "
+      "cache lines whose bin signature misses the query — 'effective and "
+      "robust even ... unclustered'.\n");
+  return 0;
+}

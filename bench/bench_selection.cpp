@@ -1,0 +1,145 @@
+// E3 (paper §4.1, modeled on the AHN2 mini-benchmark [18]): rectangular
+// region selections of growing size, executed by every system.
+//
+// Paper claim being reproduced: "Through a lightweight and cache conscious
+// secondary index called Imprints, spatial queries performance on a flat
+// table storage is comparable to traditional file-based solutions."
+//
+// Systems: imprints engine, full scan, zonemap engine, point R-tree,
+// block store, file store (headers only / +lasindex after lassort).
+#include <cstdio>
+
+#include "baselines/block_store.h"
+#include "baselines/file_store.h"
+#include "baselines/full_scan.h"
+#include "baselines/rtree.h"
+#include "baselines/sfc_index.h"
+#include "baselines/zonemap.h"
+#include "bench/bench_common.h"
+#include "core/spatial_engine.h"
+#include "las/las_reader.h"
+#include "util/tempdir.h"
+
+using namespace geocol;
+using namespace geocol::bench;
+
+int main() {
+  const uint64_t n = BenchPoints(1000000);
+  Banner("E3: spatial selection latency across systems (paper section 4.1)",
+         "7 region sizes (S1 smallest .. S7 = full extent), min of reps");
+
+  // ---- shared survey: tiles on disk + flat table in memory.
+  TempDir tmp("bench-sel");
+  std::string tiles = tmp.File("tiles");
+  if (!MakeDir(tiles).ok()) return 1;
+  AhnGeneratorOptions opts = SurveyOptions(n);
+  {
+    double area = std::max(opts.extent.area(), 1.0);
+    opts.point_density = static_cast<double>(n) / area;
+    opts.scan_line_spacing = 1.0 / std::sqrt(opts.point_density);
+  }
+  AhnGenerator gen(opts);
+  auto table_res = gen.GenerateTable(n);
+  if (!table_res.ok()) return 1;
+  auto table = *table_res;
+  if (!gen.WriteTileDirectory(tiles, /*compress=*/false).ok()) return 1;
+
+  const Box extent = opts.extent;
+  std::printf("survey: %llu points over %.0fx%.0f m\n",
+              static_cast<unsigned long long>(table->num_rows()),
+              extent.width(), extent.height());
+
+  // ---- systems.
+  SpatialQueryEngine engine(table);
+  auto rtree = BuildPointRTree(*table);
+  if (!rtree.ok()) return 1;
+
+  std::vector<LasPointRecord> records;
+  LasHeader header;
+  {
+    std::vector<std::string> files;
+    if (!ListFiles(tiles, ".las", &files).ok()) return 1;
+    for (const auto& f : files) {
+      auto tile = ReadLasFile(f);
+      if (!tile.ok()) return 1;
+      header = tile->header;
+      records.insert(records.end(), tile->points.begin(), tile->points.end());
+    }
+  }
+  auto block_store = BlockStore::Build(std::move(records), header);
+  if (!block_store.ok()) return 1;
+
+  auto file_plain = FileStore::Open(tiles);
+  if (!file_plain.ok()) return 1;
+  if (!FileStore::SortTiles(tiles).ok()) return 1;  // lassort
+  FileStoreOptions fopts;
+  fopts.use_index = true;
+  auto file_indexed = FileStore::Open(tiles, fopts);
+  if (!file_indexed.ok()) return 1;
+  if (!file_indexed->BuildIndexes().ok()) return 1;  // lasindex
+
+  auto zm_x = ZoneMapIndex::Build(*table->column("x"));
+  auto zm_y = ZoneMapIndex::Build(*table->column("y"));
+  if (!zm_x.ok() || !zm_y.ok()) return 1;
+
+  // Morton-SFC alternative works on its own physically sorted copy.
+  auto sfc_table = gen.GenerateTable(n);
+  if (!sfc_table.ok()) return 1;
+  auto sfc = MortonSfcIndex::Build(sfc_table->get());
+  if (!sfc.ok()) return 1;
+
+  // ---- the 7 query regions (area fractions as in [18]'s S-queries).
+  const double fractions[7] = {0.0001, 0.001, 0.01, 0.05, 0.15, 0.5, 1.0};
+  TablePrinter out({"query", "results", "imprints ms", "fullscan ms",
+                    "zonemap ms", "rtree ms", "sfc ms", "blockstore ms",
+                    "file ms", "file+idx ms"}, 13);
+
+  for (int qi = 0; qi < 7; ++qi) {
+    double side = std::sqrt(extent.area() * fractions[qi]);
+    Point c{extent.min_x + extent.width() * 0.43,
+            extent.min_y + extent.height() * 0.57};
+    Box q(c.x - side / 2, c.y - side / 2, c.x + side / 2, c.y + side / 2);
+    if (fractions[qi] >= 1.0) q = extent;  // S7: the whole survey
+    Geometry g(q);
+
+    uint64_t results = 0;
+    double t_imp = TimeMs([&] {
+      auto r = engine.SelectInBox(q);
+      results = r.ok() ? r->count() : 0;
+    });
+    double t_scan = TimeMs([&] { (void)FullScanSelectBox(*table, q); });
+    double t_zone = TimeMs([&] {
+      BitVector rx, ry;
+      (void)zm_x->RangeSelect(*table->column("x"), q.min_x, q.max_x, &rx);
+      (void)zm_y->RangeSelect(*table->column("y"), q.min_y, q.max_y, &ry);
+      rx.And(ry);
+      std::vector<uint64_t> rows;
+      rx.CollectSetBits(&rows);
+    });
+    double t_rtree = TimeMs([&] {
+      std::vector<uint64_t> rows;
+      rtree->QueryBox(q, &rows);
+    });
+    double t_sfc = TimeMs([&] { (void)sfc->QueryBox(q); });
+    double t_block = TimeMs([&] { (void)block_store->QueryGeometry(g); });
+    double t_file = TimeMs([&] { (void)file_plain->QueryGeometry(g); });
+    double t_fidx = TimeMs([&] { (void)file_indexed->QueryGeometry(g); });
+
+    char label[16];
+    std::snprintf(label, sizeof(label), "S%d %.3g%%", qi + 1,
+                  fractions[qi] * 100);
+    out.Row({label, TablePrinter::Int(results), TablePrinter::Num(t_imp),
+             TablePrinter::Num(t_scan), TablePrinter::Num(t_zone),
+             TablePrinter::Num(t_rtree), TablePrinter::Num(t_sfc),
+             TablePrinter::Num(t_block), TablePrinter::Num(t_file),
+             TablePrinter::Num(t_fidx)});
+  }
+
+  std::printf(
+      "\nexpected shape (paper/[18]): imprints beat the full scan by a wide "
+      "margin on selective queries\nand stay comparable to the file-based "
+      "solution with lassort+lasindex; the R-tree wins small\nqueries but "
+      "pays a much larger index; every system converges to data volume at "
+      "S7 (100%%).\n");
+  return 0;
+}

@@ -1,0 +1,191 @@
+// Tiny software renderer for the example applications: rasterises point
+// clouds (elevation/classification shading) and vector layers into PPM
+// images — the stand-in for the demo's QGIS visualisation (Figures 1/2).
+#ifndef GEOCOL_EXAMPLES_RENDER_H_
+#define GEOCOL_EXAMPLES_RENDER_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "columns/flat_table.h"
+#include "geom/geometry.h"
+#include "geom/predicates.h"
+#include "gis/layer.h"
+#include "pointcloud/terrain.h"
+#include "util/status.h"
+
+namespace geocol {
+namespace examples {
+
+/// A simple RGB raster with world-coordinate addressing.
+class Canvas {
+ public:
+  Canvas(const Box& world, int width, int height)
+      : world_(world), width_(width), height_(height),
+        pixels_(static_cast<size_t>(width) * height * 3, 20) {}
+
+  int width() const { return width_; }
+  int height() const { return height_; }
+
+  void Set(double wx, double wy, uint8_t r, uint8_t g, uint8_t b) {
+    int px = static_cast<int>((wx - world_.min_x) / world_.width() * width_);
+    int py = static_cast<int>((wy - world_.min_y) / world_.height() * height_);
+    SetPixel(px, height_ - 1 - py, r, g, b);
+  }
+
+  void SetPixel(int px, int py, uint8_t r, uint8_t g, uint8_t b) {
+    if (px < 0 || py < 0 || px >= width_ || py >= height_) return;
+    size_t at = (static_cast<size_t>(py) * width_ + px) * 3;
+    pixels_[at] = r;
+    pixels_[at + 1] = g;
+    pixels_[at + 2] = b;
+  }
+
+  /// Draws a world-coordinate segment (Bresenham-ish supersampling).
+  void Line(Point a, Point b, uint8_t r, uint8_t g, uint8_t bl) {
+    double dx = b.x - a.x, dy = b.y - a.y;
+    double len = std::max(std::abs(dx) / world_.width() * width_,
+                          std::abs(dy) / world_.height() * height_);
+    int steps = std::max(2, static_cast<int>(len * 1.5));
+    for (int i = 0; i <= steps; ++i) {
+      double t = static_cast<double>(i) / steps;
+      Set(a.x + dx * t, a.y + dy * t, r, g, bl);
+    }
+  }
+
+  Status WritePpm(const std::string& path) const {
+    std::FILE* f = std::fopen(path.c_str(), "wb");
+    if (f == nullptr) return Status::IOError("cannot open " + path);
+    std::fprintf(f, "P6\n%d %d\n255\n", width_, height_);
+    std::fwrite(pixels_.data(), 1, pixels_.size(), f);
+    if (std::fclose(f) != 0) return Status::IOError("close failed");
+    return Status::OK();
+  }
+
+ private:
+  Box world_;
+  int width_, height_;
+  std::vector<uint8_t> pixels_;
+};
+
+/// Colour for a LAS classification code (roughly QGIS's default ramp).
+inline void ClassColor(uint8_t cls, double z_frac, uint8_t* r, uint8_t* g,
+                       uint8_t* b) {
+  auto shade = [&](int base_r, int base_g, int base_b) {
+    double s = 0.45 + 0.55 * z_frac;
+    *r = static_cast<uint8_t>(std::clamp(base_r * s, 0.0, 255.0));
+    *g = static_cast<uint8_t>(std::clamp(base_g * s, 0.0, 255.0));
+    *b = static_cast<uint8_t>(std::clamp(base_b * s, 0.0, 255.0));
+  };
+  switch (cls) {
+    case kClassWater: shade(60, 110, 220); break;
+    case kClassBuilding: shade(220, 90, 70); break;
+    case kClassLowVegetation: shade(120, 200, 90); break;
+    case kClassMediumVegetation: shade(70, 170, 70); break;
+    case kClassHighVegetation: shade(30, 130, 50); break;
+    case kClassGround:
+    default: shade(180, 160, 120); break;
+  }
+}
+
+/// Renders the rows of a LAS-schema table (all rows when `rows` empty).
+inline Status RenderPointCloud(const FlatTable& table,
+                               const std::vector<uint64_t>& rows,
+                               const std::string& path, int width = 800) {
+  ColumnPtr xc = table.column("x"), yc = table.column("y"),
+            zc = table.column("z"), cc = table.column("classification");
+  if (xc == nullptr || yc == nullptr || zc == nullptr || cc == nullptr) {
+    return Status::InvalidArgument("table lacks LAS columns");
+  }
+  Box world;
+  auto each = [&](auto&& fn) {
+    if (rows.empty()) {
+      for (uint64_t r = 0; r < table.num_rows(); ++r) fn(r);
+    } else {
+      for (uint64_t r : rows) fn(r);
+    }
+  };
+  each([&](uint64_t r) { world.Extend(xc->GetDouble(r), yc->GetDouble(r)); });
+  if (world.empty()) return Status::InvalidArgument("nothing to render");
+  double zmin = zc->Stats().min, zmax = std::max(zc->Stats().max, zmin + 1e-9);
+  int height = std::max(
+      1, static_cast<int>(width * world.height() / std::max(world.width(), 1e-9)));
+  Canvas canvas(world, width, height);
+  each([&](uint64_t r) {
+    double z_frac = (zc->GetDouble(r) - zmin) / (zmax - zmin);
+    uint8_t cr, cg, cb;
+    ClassColor(static_cast<uint8_t>(cc->GetInt64(r)), z_frac, &cr, &cg, &cb);
+    canvas.Set(xc->GetDouble(r), yc->GetDouble(r), cr, cg, cb);
+  });
+  return canvas.WritePpm(path);
+}
+
+/// Renders vector layers (roads/land use) over a base canvas — Figure 2.
+inline Status RenderLayers(const Box& world,
+                           const std::vector<const VectorLayer*>& layers,
+                           const std::string& path, int width = 800) {
+  int height = std::max(
+      1, static_cast<int>(width * world.height() / std::max(world.width(), 1e-9)));
+  Canvas canvas(world, width, height);
+  for (const VectorLayer* layer : layers) {
+    for (const VectorFeature& f : layer->features()) {
+      uint8_t r = 200, g = 200, b = 200;
+      switch (static_cast<UrbanAtlasClass>(f.feature_class)) {
+        case UrbanAtlasClass::kContinuousUrbanFabric: r = 180; g = 60; b = 60; break;
+        case UrbanAtlasClass::kDiscontinuousUrbanFabric: r = 220; g = 120; b = 110; break;
+        case UrbanAtlasClass::kIndustrialCommercial: r = 150; g = 100; b = 160; break;
+        case UrbanAtlasClass::kFastTransitRoads: r = 255; g = 220; b = 40; break;
+        case UrbanAtlasClass::kOtherRoads: r = 230; g = 230; b = 230; break;
+        case UrbanAtlasClass::kGreenUrbanAreas: r = 110; g = 200; b = 110; break;
+        case UrbanAtlasClass::kAgricultural: r = 200; g = 220; b = 130; break;
+        case UrbanAtlasClass::kForests: r = 40; g = 130; b = 60; break;
+        case UrbanAtlasClass::kWater: r = 70; g = 120; b = 220; break;
+      }
+      // Road classes use a separate palette.
+      switch (static_cast<RoadClass>(f.feature_class)) {
+        case RoadClass::kMotorway: r = 255; g = 160; b = 0; break;
+        case RoadClass::kPrimary: r = 250; g = 240; b = 110; break;
+        case RoadClass::kSecondary: r = 240; g = 240; b = 240; break;
+        case RoadClass::kResidential: r = 190; g = 190; b = 190; break;
+        default: break;
+      }
+      if (f.geometry.is_line()) {
+        const auto& pts = f.geometry.line().points;
+        for (size_t i = 1; i < pts.size(); ++i) {
+          canvas.Line(pts[i - 1], pts[i], r, g, b);
+        }
+      } else if (f.geometry.is_polygon()) {
+        // Fill by coarse sampling of the envelope.
+        Box env = f.geometry.Envelope();
+        int samples = 64;
+        for (int sy = 0; sy < samples; ++sy) {
+          for (int sx = 0; sx < samples; ++sx) {
+            Point p{env.min_x + env.width() * (sx + 0.5) / samples,
+                    env.min_y + env.height() * (sy + 0.5) / samples};
+            if (PointInPolygon(p, f.geometry.polygon())) {
+              canvas.Set(p.x, p.y, r, g, b);
+            }
+          }
+        }
+      } else if (f.geometry.is_multipolygon()) {
+        for (const Polygon& poly : f.geometry.multipolygon().polygons) {
+          for (size_t i = 0, n = poly.shell.points.size(); i < n; ++i) {
+            canvas.Line(poly.shell.points[i],
+                        poly.shell.points[(i + 1) % n], r, g, b);
+          }
+        }
+      } else if (f.geometry.is_point()) {
+        canvas.Set(f.geometry.point().x, f.geometry.point().y, r, g, b);
+      }
+    }
+  }
+  return canvas.WritePpm(path);
+}
+
+}  // namespace examples
+}  // namespace geocol
+
+#endif  // GEOCOL_EXAMPLES_RENDER_H_

@@ -1,0 +1,94 @@
+// The block-based point cloud organisation of PostgreSQL pointcloud and
+// Oracle SDO_PC (§2, §2.3): points are grouped into fixed-size blocks,
+// each block stores a bounding box and a compressed blob of its points,
+// blocks are ordered along a space-filling curve, and a spatial index
+// (R-tree over block boxes) accelerates selection. "This allows PostgreSQL
+// and Oracle to reduce the space requirements [and] the access times".
+#ifndef GEOCOL_BASELINES_BLOCK_STORE_H_
+#define GEOCOL_BASELINES_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "baselines/common.h"
+#include "baselines/rtree.h"
+#include "geom/geometry.h"
+#include "las/las_format.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Physical ordering of blocks (and points within the store).
+enum class BlockOrder {
+  kAcquisition,  ///< keep input order
+  kMorton,       ///< PostgreSQL-style spatial compression friendliness
+  kHilbert,      ///< Oracle SDO_PC ordering (§2.3)
+};
+
+/// Block store configuration.
+struct BlockStoreOptions {
+  uint32_t points_per_block = 400;  ///< pgpointcloud patch-sized
+  BlockOrder order = BlockOrder::kHilbert;
+  uint32_t rtree_fanout = 16;
+};
+
+/// An in-memory block store over LAS point records.
+class BlockStore {
+ public:
+  using Options = BlockStoreOptions;
+
+  /// Build-phase timing (E1's block-store load cost decomposition).
+  struct BuildStats {
+    double sort_seconds = 0.0;
+    double block_seconds = 0.0;
+    double compress_seconds = 0.0;
+    double index_seconds = 0.0;
+    double TotalSeconds() const {
+      return sort_seconds + block_seconds + compress_seconds + index_seconds;
+    }
+  };
+
+  struct QueryStats {
+    uint64_t blocks_total = 0;
+    uint64_t blocks_candidate = 0;    ///< decompressed
+    uint64_t points_decompressed = 0;
+    uint64_t results = 0;
+  };
+
+  /// Builds the store from point records. `header` supplies scale/offset
+  /// for converting to world coordinates.
+  static Result<BlockStore> Build(std::vector<LasPointRecord> points,
+                                  const LasHeader& header,
+                                  const Options& options = BlockStoreOptions(),
+                                  BuildStats* stats = nullptr);
+
+  uint64_t num_points() const { return num_points_; }
+  uint64_t num_blocks() const { return blocks_.size(); }
+
+  /// Points inside `geometry` (buffered when buffer > 0).
+  Result<std::vector<PointXYZ>> QueryGeometry(const Geometry& geometry,
+                                              double buffer = 0.0,
+                                              QueryStats* stats = nullptr) const;
+
+  /// Compressed payload bytes across blocks.
+  uint64_t PayloadBytes() const;
+  /// Block metadata + R-tree bytes.
+  uint64_t IndexBytes() const;
+  uint64_t StorageBytes() const { return PayloadBytes() + IndexBytes(); }
+
+ private:
+  struct Block {
+    Box box;
+    uint32_t count = 0;
+    std::vector<uint8_t> payload;  ///< LazCompress'ed records
+  };
+
+  LasHeader header_;
+  std::vector<Block> blocks_;
+  RTree block_index_;
+  uint64_t num_points_ = 0;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_BASELINES_BLOCK_STORE_H_

@@ -1,0 +1,28 @@
+// Shared result types of the baseline access paths. Baselines that
+// physically reorganise points (block store, sorted file store) cannot
+// return flat-table row ids, so cross-system agreement is checked on the
+// returned coordinates instead.
+#ifndef GEOCOL_BASELINES_COMMON_H_
+#define GEOCOL_BASELINES_COMMON_H_
+
+namespace geocol {
+
+/// A selected point in world coordinates.
+struct PointXYZ {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  bool operator==(const PointXYZ& o) const {
+    return x == o.x && y == o.y && z == o.z;
+  }
+  bool operator<(const PointXYZ& o) const {
+    if (x != o.x) return x < o.x;
+    if (y != o.y) return y < o.y;
+    return z < o.z;
+  }
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_BASELINES_COMMON_H_

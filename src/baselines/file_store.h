@@ -1,0 +1,73 @@
+// The file-based solution (§2.2): a directory of LAS/LAZ tiles queried
+// directly, Rapidlasso-LAStools style. Every query inspects file headers
+// (the cost the paper highlights for 60,185-file AHN2), optionally uses a
+// lasindex-like spatial sidecar per tile, and optionally benefits from a
+// lassort-like spatial re-sort of each tile's points.
+#ifndef GEOCOL_BASELINES_FILE_STORE_H_
+#define GEOCOL_BASELINES_FILE_STORE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "baselines/common.h"
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// File store configuration.
+struct FileStoreOptions {
+  /// Consult .lax sidecars (BuildIndexes must have run).
+  bool use_index = false;
+  /// lasindex grid resolution (cells per axis, per tile).
+  uint32_t index_cells_per_axis = 32;
+};
+
+/// Query-time access to a tile directory.
+class FileStore {
+ public:
+  using Options = FileStoreOptions;
+
+  struct QueryStats {
+    uint64_t files_total = 0;
+    uint64_t headers_inspected = 0;  ///< header reads (every file, always)
+    uint64_t files_opened = 0;       ///< tiles whose points were touched
+    uint64_t points_read = 0;        ///< records physically read
+    uint64_t exact_tests = 0;
+    uint64_t results = 0;
+  };
+
+  /// Opens the store over all .las/.laz files under `dir`.
+  static Result<FileStore> Open(const std::string& dir,
+                                Options options = FileStoreOptions());
+
+  size_t num_files() const { return files_.size(); }
+  const std::vector<std::string>& files() const { return files_; }
+
+  /// lasindex: writes a .lax sidecar (cell -> point-interval lists) next to
+  /// every tile. Returns total index bytes written.
+  Result<uint64_t> BuildIndexes() const;
+
+  /// Points inside `geometry` (buffered when buffer > 0).
+  Result<std::vector<PointXYZ>> QueryGeometry(const Geometry& geometry,
+                                              double buffer = 0.0,
+                                              QueryStats* stats = nullptr) const;
+
+  /// lassort: rewrites every tile under `dir` with its points re-ordered
+  /// along the Morton curve (and drops stale .lax sidecars).
+  static Status SortTiles(const std::string& dir);
+
+ private:
+  Status QueryFile(const std::string& path, const Geometry& geometry,
+                   double buffer, const Box& env, std::vector<PointXYZ>* out,
+                   QueryStats* stats) const;
+
+  std::string dir_;
+  Options options_;
+  std::vector<std::string> files_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_BASELINES_FILE_STORE_H_

@@ -1,0 +1,44 @@
+#include "baselines/full_scan.h"
+
+#include "geom/predicates.h"
+
+namespace geocol {
+
+Result<std::vector<uint64_t>> FullScanSelect(const FlatTable& table,
+                                             const Geometry& geometry,
+                                             double buffer) {
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table.GetColumn("x"));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table.GetColumn("y"));
+  std::vector<uint64_t> out;
+  Box env = geometry.Envelope();
+  if (buffer > 0) env = env.Expanded(buffer);
+  uint64_t n = xc->size();
+  std::span<const double> xs = xc->Values<double>();
+  std::span<const double> ys = yc->Values<double>();
+  for (uint64_t r = 0; r < n; ++r) {
+    Point p{xs[r], ys[r]};
+    if (!env.Contains(p)) continue;
+    bool hit = buffer > 0 ? GeometryDWithin(geometry, p, buffer)
+                          : GeometryContainsPoint(geometry, p);
+    if (hit) out.push_back(r);
+  }
+  return out;
+}
+
+Result<std::vector<uint64_t>> FullScanSelectBox(const FlatTable& table,
+                                                const Box& box) {
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table.GetColumn("x"));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table.GetColumn("y"));
+  std::vector<uint64_t> out;
+  std::span<const double> xs = xc->Values<double>();
+  std::span<const double> ys = yc->Values<double>();
+  for (uint64_t r = 0; r < xs.size(); ++r) {
+    if (xs[r] >= box.min_x && xs[r] <= box.max_x && ys[r] >= box.min_y &&
+        ys[r] <= box.max_y) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+}  // namespace geocol

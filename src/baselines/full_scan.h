@@ -1,0 +1,27 @@
+// The no-index baseline: every spatial selection scans the x and y columns
+// end to end and applies the exact predicate per row.
+#ifndef GEOCOL_BASELINES_FULL_SCAN_H_
+#define GEOCOL_BASELINES_FULL_SCAN_H_
+
+#include <vector>
+
+#include "columns/flat_table.h"
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Scans the whole table; returns ascending row ids of points inside
+/// `geometry` (buffered by `buffer` when > 0). The correctness oracle for
+/// every other access path.
+Result<std::vector<uint64_t>> FullScanSelect(const FlatTable& table,
+                                             const Geometry& geometry,
+                                             double buffer = 0.0);
+
+/// Box-only fast variant (pure coordinate comparisons).
+Result<std::vector<uint64_t>> FullScanSelectBox(const FlatTable& table,
+                                                const Box& box);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_BASELINES_FULL_SCAN_H_

@@ -1,0 +1,107 @@
+#include "baselines/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "columns/flat_table.h"
+
+namespace geocol {
+
+RTree RTree::BulkLoad(std::vector<Entry> entries, uint32_t fanout) {
+  RTree tree;
+  tree.num_entries_ = entries.size();
+  if (entries.empty()) return tree;
+  fanout = std::max<uint32_t>(fanout, 2);
+
+  // ---- Sort-Tile-Recursive leaf packing.
+  size_t n = entries.size();
+  size_t num_leaves = (n + fanout - 1) / fanout;
+  size_t slabs = static_cast<size_t>(
+      std::ceil(std::sqrt(static_cast<double>(num_leaves))));
+  size_t per_slab = slabs > 0 ? (n + slabs - 1) / slabs : n;
+
+  std::sort(entries.begin(), entries.end(), [](const Entry& a, const Entry& b) {
+    return a.box.center().x < b.box.center().x;
+  });
+  for (size_t s = 0; s * per_slab < n; ++s) {
+    auto first = entries.begin() + s * per_slab;
+    auto last = entries.begin() + std::min(n, (s + 1) * per_slab);
+    std::sort(first, last, [](const Entry& a, const Entry& b) {
+      return a.box.center().y < b.box.center().y;
+    });
+  }
+  tree.leaf_entries_ = std::move(entries);
+
+  // Leaf nodes over contiguous slices.
+  std::vector<uint32_t> level;
+  for (size_t first = 0; first < n; first += fanout) {
+    Node node;
+    node.leaf = true;
+    node.first = static_cast<uint32_t>(first);
+    node.count = static_cast<uint32_t>(std::min<size_t>(fanout, n - first));
+    for (uint32_t i = 0; i < node.count; ++i) {
+      node.box.Extend(tree.leaf_entries_[node.first + i].box);
+    }
+    level.push_back(static_cast<uint32_t>(tree.nodes_.size()));
+    tree.nodes_.push_back(node);
+  }
+  tree.height_ = 1;
+
+  // ---- Upper levels: STR over node MBR centers.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(), [&](uint32_t a, uint32_t b) {
+      return tree.nodes_[a].box.center().x < tree.nodes_[b].box.center().x;
+    });
+    size_t groups = (level.size() + fanout - 1) / fanout;
+    size_t gslabs = static_cast<size_t>(
+        std::ceil(std::sqrt(static_cast<double>(groups))));
+    size_t gper = gslabs > 0 ? (level.size() + gslabs - 1) / gslabs : level.size();
+    for (size_t s = 0; s * gper < level.size(); ++s) {
+      auto first = level.begin() + s * gper;
+      auto last = level.begin() + std::min(level.size(), (s + 1) * gper);
+      std::sort(first, last, [&](uint32_t a, uint32_t b) {
+        return tree.nodes_[a].box.center().y < tree.nodes_[b].box.center().y;
+      });
+    }
+    std::vector<uint32_t> parents;
+    for (size_t first = 0; first < level.size(); first += fanout) {
+      Node node;
+      node.leaf = false;
+      node.first = static_cast<uint32_t>(tree.children_.size());
+      node.count = static_cast<uint32_t>(
+          std::min<size_t>(fanout, level.size() - first));
+      for (uint32_t i = 0; i < node.count; ++i) {
+        uint32_t child = level[first + i];
+        tree.children_.push_back(child);
+        node.box.Extend(tree.nodes_[child].box);
+      }
+      parents.push_back(static_cast<uint32_t>(tree.nodes_.size()));
+      tree.nodes_.push_back(node);
+    }
+    level = std::move(parents);
+    ++tree.height_;
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+void RTree::QueryBox(const Box& query, std::vector<uint64_t>* out) const {
+  last_nodes_visited_ = 0;
+  VisitIntersecting(query, [out](uint64_t payload, const Box&) {
+    out->push_back(payload);
+  });
+}
+
+Result<RTree> BuildPointRTree(const FlatTable& table, uint32_t fanout) {
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table.GetColumn("x"));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table.GetColumn("y"));
+  std::vector<RTree::Entry> entries;
+  entries.reserve(xc->size());
+  for (uint64_t r = 0; r < xc->size(); ++r) {
+    double x = xc->GetDouble(r), y = yc->GetDouble(r);
+    entries.push_back({Box(x, y, x, y), r});
+  }
+  return RTree::BulkLoad(std::move(entries), fanout);
+}
+
+}  // namespace geocol

@@ -1,0 +1,96 @@
+// An STR bulk-loaded R-tree. Two roles in the benchmarks: (a) the
+// "primary spatial index" alternative MonetDB deliberately does not use
+// (§3.2: "instead of a primary spatial index such as R-tree"), built over
+// individual points; (b) the block-bounding-box index of the
+// PostgreSQL/Oracle-style block store.
+#ifndef GEOCOL_BASELINES_RTREE_H_
+#define GEOCOL_BASELINES_RTREE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Static R-tree over (Box, payload) entries, bulk-loaded with the
+/// Sort-Tile-Recursive algorithm.
+class RTree {
+ public:
+  struct Entry {
+    Box box;
+    uint64_t payload = 0;
+  };
+
+  RTree() = default;
+
+  /// Bulk-loads from entries (consumed). `fanout` children per node.
+  static RTree BulkLoad(std::vector<Entry> entries, uint32_t fanout = 16);
+
+  size_t num_entries() const { return num_entries_; }
+  bool empty() const { return nodes_.empty(); }
+  int height() const { return height_; }
+
+  /// Appends payloads of all entries whose box intersects `query`.
+  void QueryBox(const Box& query, std::vector<uint64_t>* out) const;
+
+  /// Invokes fn(payload, box) for every intersecting entry.
+  template <typename Fn>
+  void VisitIntersecting(const Box& query, Fn&& fn) const {
+    if (nodes_.empty() || !nodes_[root_].box.Intersects(query)) return;
+    Visit(root_, query, fn);
+  }
+
+  /// Number of R-tree nodes visited by the last QueryBox (profiling aid —
+  /// not thread safe, like most query-local counters in the baselines).
+  uint64_t last_nodes_visited() const { return last_nodes_visited_; }
+
+  uint64_t MemoryBytes() const {
+    return nodes_.size() * sizeof(Node) + leaf_entries_.size() * sizeof(Entry);
+  }
+
+ private:
+  struct Node {
+    Box box;
+    // Children are either node indexes (internal) or a [first, count) slice
+    // of leaf_entries_ (leaf).
+    uint32_t first = 0;
+    uint32_t count = 0;
+    bool leaf = false;
+  };
+
+  template <typename Fn>
+  void Visit(uint32_t node_idx, const Box& query, Fn& fn) const {
+    const Node& node = nodes_[node_idx];
+    ++last_nodes_visited_;
+    if (node.leaf) {
+      for (uint32_t i = 0; i < node.count; ++i) {
+        const Entry& e = leaf_entries_[node.first + i];
+        if (e.box.Intersects(query)) fn(e.payload, e.box);
+      }
+      return;
+    }
+    for (uint32_t i = 0; i < node.count; ++i) {
+      uint32_t child = children_[node.first + i];
+      if (nodes_[child].box.Intersects(query)) Visit(child, query, fn);
+    }
+  }
+
+  std::vector<Node> nodes_;
+  std::vector<uint32_t> children_;
+  std::vector<Entry> leaf_entries_;
+  uint32_t root_ = 0;
+  int height_ = 0;
+  size_t num_entries_ = 0;
+  mutable uint64_t last_nodes_visited_ = 0;
+};
+
+/// Convenience: R-tree over the points of a flat table's x/y columns
+/// (payload = row id).
+class FlatTable;
+Result<RTree> BuildPointRTree(const FlatTable& table, uint32_t fanout = 16);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_BASELINES_RTREE_H_

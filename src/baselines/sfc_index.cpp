@@ -1,0 +1,154 @@
+#include "baselines/sfc_index.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "sfc/morton.h"
+
+namespace geocol {
+
+namespace {
+
+/// Recursive quadrant descent. `prefix` holds the Morton bits fixed so
+/// far; a quadrant at depth d covers codes
+/// [prefix << 2*(bits-d), (prefix+1) << 2*(bits-d)).
+void Descend(uint64_t prefix, uint32_t depth, uint32_t bits,
+             const Box& cell, const Box& query,
+             std::vector<MortonInterval>* out) {
+  if (!cell.Intersects(query)) return;
+  uint32_t shift = 2 * (bits - depth);
+  uint64_t lo = prefix << shift;
+  uint64_t hi = ((prefix + 1) << shift) - 1;
+  if (query.Contains(cell) || depth == bits) {
+    out->push_back({lo, hi});
+    return;
+  }
+  double mx = (cell.min_x + cell.max_x) / 2;
+  double my = (cell.min_y + cell.max_y) / 2;
+  // Quadrant order = Morton order: (x-low,y-low), (x-high,y-low),
+  // (x-low,y-high), (x-high,y-high) — children emit sorted intervals.
+  Box q00(cell.min_x, cell.min_y, mx, my);
+  Box q10(mx, cell.min_y, cell.max_x, my);
+  Box q01(cell.min_x, my, mx, cell.max_y);
+  Box q11(mx, my, cell.max_x, cell.max_y);
+  Descend(prefix * 4 + 0, depth + 1, bits, q00, query, out);
+  Descend(prefix * 4 + 1, depth + 1, bits, q10, query, out);
+  Descend(prefix * 4 + 2, depth + 1, bits, q01, query, out);
+  Descend(prefix * 4 + 3, depth + 1, bits, q11, query, out);
+}
+
+}  // namespace
+
+std::vector<MortonInterval> DecomposeBoxToMortonIntervals(
+    const Box& query, const Box& extent, uint32_t bits,
+    size_t max_intervals) {
+  std::vector<MortonInterval> out;
+  if (max_intervals == 0 || bits == 0 || extent.empty()) return out;
+  // Depth-limit the descent so the raw interval count stays manageable;
+  // the exactness loss only widens candidate ranges.
+  uint32_t depth_limit = std::min<uint32_t>(bits, 8);
+  // Descend with an artificial "bits" equal to depth_limit, then widen the
+  // codes back to full resolution.
+  std::vector<MortonInterval> coarse;
+  Descend(0, 0, depth_limit, extent, query, &coarse);
+  uint32_t widen = 2 * (bits - depth_limit);
+  out.reserve(coarse.size());
+  for (const MortonInterval& iv : coarse) {
+    out.push_back({iv.lo << widen, ((iv.hi + 1) << widen) - 1});
+  }
+  // Merge touching intervals (children of a fully-covered parent).
+  std::sort(out.begin(), out.end(),
+            [](const MortonInterval& a, const MortonInterval& b) {
+              return a.lo < b.lo;
+            });
+  std::vector<MortonInterval> merged;
+  for (const MortonInterval& iv : out) {
+    if (!merged.empty() && iv.lo <= merged.back().hi + 1) {
+      merged.back().hi = std::max(merged.back().hi, iv.hi);
+    } else {
+      merged.push_back(iv);
+    }
+  }
+  // Coalesce past the budget by repeatedly closing the smallest gap.
+  while (merged.size() > max_intervals) {
+    size_t best = 1;
+    uint64_t best_gap = ~uint64_t{0};
+    for (size_t i = 1; i < merged.size(); ++i) {
+      uint64_t gap = merged[i].lo - merged[i - 1].hi;
+      if (gap < best_gap) {
+        best_gap = gap;
+        best = i;
+      }
+    }
+    merged[best - 1].hi = merged[best].hi;
+    merged.erase(merged.begin() + best);
+  }
+  return merged;
+}
+
+Result<MortonSfcIndex> MortonSfcIndex::Build(FlatTable* table,
+                                             Options options) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (options.bits == 0 || options.bits > 21) {
+    return Status::InvalidArgument("bits must be in [1, 21]");
+  }
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table->GetColumn("x"));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table->GetColumn("y"));
+  if (xc->type() != DataType::kFloat64 || yc->type() != DataType::kFloat64) {
+    return Status::InvalidArgument("x/y must be float64");
+  }
+  MortonSfcIndex ix;
+  ix.table_ = table;
+  ix.options_ = options;
+  {
+    std::span<const double> xs = xc->Values<double>();
+    std::span<const double> ys = yc->Values<double>();
+    for (size_t r = 0; r < xs.size(); ++r) ix.extent_.Extend(xs[r], ys[r]);
+    std::vector<uint64_t> codes(xs.size());
+    for (size_t r = 0; r < xs.size(); ++r) {
+      codes[r] = MortonEncodeScaled(xs[r], ys[r], ix.extent_, options.bits);
+    }
+    // The DBMS-side lassort: physically reorder every column by the key.
+    std::vector<uint64_t> perm(codes.size());
+    std::iota(perm.begin(), perm.end(), 0);
+    std::sort(perm.begin(), perm.end(),
+              [&](uint64_t a, uint64_t b) { return codes[a] < codes[b]; });
+    GEOCOL_RETURN_NOT_OK(table->PermuteRows(perm));
+    ix.keys_.resize(codes.size());
+    for (size_t r = 0; r < perm.size(); ++r) ix.keys_[r] = codes[perm[r]];
+  }
+  return ix;
+}
+
+Result<std::vector<uint64_t>> MortonSfcIndex::QueryBox(
+    const Box& box, QueryStats* stats) const {
+  QueryStats local;
+  std::vector<uint64_t> out;
+  if (table_ == nullptr) return Status::Internal("index not built");
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table_->GetColumn("x"));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table_->GetColumn("y"));
+  std::span<const double> xs = xc->Values<double>();
+  std::span<const double> ys = yc->Values<double>();
+
+  std::vector<MortonInterval> intervals = DecomposeBoxToMortonIntervals(
+      box, extent_, options_.bits, options_.max_intervals);
+  local.intervals = intervals.size();
+  for (const MortonInterval& iv : intervals) {
+    auto first = std::lower_bound(keys_.begin(), keys_.end(), iv.lo);
+    auto last = std::upper_bound(first, keys_.end(), iv.hi);
+    for (auto it = first; it != last; ++it) {
+      uint64_t r = static_cast<uint64_t>(it - keys_.begin());
+      ++local.rows_scanned;
+      if (xs[r] >= box.min_x && xs[r] <= box.max_x && ys[r] >= box.min_y &&
+          ys[r] <= box.max_y) {
+        out.push_back(r);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  local.results = out.size();
+  if (stats != nullptr) *stats = local;
+  return out;
+}
+
+}  // namespace geocol

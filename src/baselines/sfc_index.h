@@ -1,0 +1,77 @@
+// The space-filling-curve access path of §2.3: "Sorting the point cloud
+// data using space filling curves is a common technique used by spatial
+// DBMS and file-based solutions ... useful to exploit the spatial coherence
+// of the data through spatial location codes."
+//
+// The table is sorted by the Morton code of (x, y) and the codes are kept
+// as a sorted key column. A box query is decomposed into a bounded number
+// of Morton code intervals (quadtree descent + greedy gap coalescing);
+// each interval maps to one contiguous row range found by binary search,
+// whose rows get exact coordinate checks.
+#ifndef GEOCOL_BASELINES_SFC_INDEX_H_
+#define GEOCOL_BASELINES_SFC_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columns/flat_table.h"
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// A half-open interval of Morton codes.
+struct MortonInterval {
+  uint64_t lo = 0;
+  uint64_t hi = 0;  ///< inclusive
+};
+
+/// Decomposes `query` (clipped to `extent`) into at most `max_intervals`
+/// Morton-code intervals at `bits` bits per axis. The union of the
+/// intervals covers every code whose cell intersects the query; coalescing
+/// may add slack codes (supersets are fine — callers re-check exactly).
+std::vector<MortonInterval> DecomposeBoxToMortonIntervals(
+    const Box& query, const Box& extent, uint32_t bits = 16,
+    size_t max_intervals = 64);
+
+/// Morton SFC index configuration.
+struct MortonSfcOptions {
+  uint32_t bits = 16;          ///< Morton resolution per axis
+  size_t max_intervals = 64;   ///< query decomposition budget
+};
+
+/// Morton-sorted-table access path.
+class MortonSfcIndex {
+ public:
+  using Options = MortonSfcOptions;
+
+  struct QueryStats {
+    uint64_t intervals = 0;      ///< Morton ranges probed
+    uint64_t rows_scanned = 0;   ///< rows inside the probed ranges
+    uint64_t results = 0;
+  };
+
+  /// Sorts `table` in place by Morton code (all columns permuted — this is
+  /// the DBMS-side lassort) and builds the key column. The table must have
+  /// float64 "x"/"y" columns.
+  static Result<MortonSfcIndex> Build(FlatTable* table,
+                                      Options options = MortonSfcOptions());
+
+  /// Rows (of the now-sorted table) whose point lies in `box`, ascending.
+  Result<std::vector<uint64_t>> QueryBox(const Box& box,
+                                         QueryStats* stats = nullptr) const;
+
+  uint64_t StorageBytes() const { return keys_.size() * sizeof(uint64_t); }
+  const Box& extent() const { return extent_; }
+  const std::vector<uint64_t>& keys() const { return keys_; }
+
+ private:
+  const FlatTable* table_ = nullptr;
+  Options options_;
+  Box extent_;
+  std::vector<uint64_t> keys_;  ///< sorted Morton codes, one per row
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_BASELINES_SFC_INDEX_H_

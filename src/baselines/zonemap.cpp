@@ -1,0 +1,90 @@
+#include "baselines/zonemap.h"
+
+#include <algorithm>
+
+namespace geocol {
+
+Result<ZoneMapIndex> ZoneMapIndex::Build(const Column& column,
+                                         uint32_t rows_per_zone) {
+  if (column.empty()) {
+    return Status::InvalidArgument("cannot build zonemap on empty column");
+  }
+  if (rows_per_zone == 0) {
+    return Status::InvalidArgument("rows_per_zone must be positive");
+  }
+  ZoneMapIndex ix;
+  ix.rows_per_zone_ = rows_per_zone;
+  ix.num_rows_ = column.size();
+  ix.built_epoch_ = column.epoch();
+  uint64_t zones = (ix.num_rows_ + rows_per_zone - 1) / rows_per_zone;
+  ix.mins_.resize(zones);
+  ix.maxs_.resize(zones);
+  DispatchDataType(column.type(), [&]<typename T>() {
+    std::span<const T> values = column.Values<T>();
+    for (uint64_t z = 0; z < zones; ++z) {
+      uint64_t first = z * rows_per_zone;
+      uint64_t last = std::min<uint64_t>(first + rows_per_zone, values.size());
+      T mn = values[first], mx = values[first];
+      for (uint64_t i = first + 1; i < last; ++i) {
+        mn = std::min(mn, values[i]);
+        mx = std::max(mx, values[i]);
+      }
+      ix.mins_[z] = static_cast<double>(mn);
+      ix.maxs_[z] = static_cast<double>(mx);
+    }
+  });
+  return ix;
+}
+
+void ZoneMapIndex::FilterRange(double lo, double hi, BitVector* candidates,
+                               BitVector* full_zones) const {
+  uint64_t zones = mins_.size();
+  candidates->Resize(zones);
+  if (full_zones != nullptr) full_zones->Resize(zones);
+  for (uint64_t z = 0; z < zones; ++z) {
+    if (mins_[z] <= hi && maxs_[z] >= lo) {
+      candidates->Set(z);
+      if (full_zones != nullptr && mins_[z] >= lo && maxs_[z] <= hi) {
+        full_zones->Set(z);
+      }
+    }
+  }
+}
+
+Status ZoneMapIndex::RangeSelect(const Column& column, double lo, double hi,
+                                 BitVector* out_rows,
+                                 ZoneMapScanStats* stats) const {
+  if (column.epoch() != built_epoch_) {
+    return Status::Internal("stale zonemap (column was modified)");
+  }
+  out_rows->Resize(column.size());
+  ZoneMapScanStats local;
+  local.zones_total = mins_.size();
+  DispatchDataType(column.type(), [&]<typename T>() {
+    std::span<const T> values = column.Values<T>();
+    for (uint64_t z = 0; z < mins_.size(); ++z) {
+      if (!(mins_[z] <= hi && maxs_[z] >= lo)) continue;
+      ++local.zones_candidate;
+      uint64_t first = z * rows_per_zone_;
+      uint64_t last = std::min<uint64_t>(first + rows_per_zone_, values.size());
+      if (mins_[z] >= lo && maxs_[z] <= hi) {
+        ++local.zones_full;
+        out_rows->SetRange(first, last);
+        local.rows_selected += last - first;
+        continue;
+      }
+      for (uint64_t i = first; i < last; ++i) {
+        double v = static_cast<double>(values[i]);
+        ++local.values_checked;
+        if (v >= lo && v <= hi) {
+          out_rows->Set(i);
+          ++local.rows_selected;
+        }
+      }
+    }
+  });
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace geocol

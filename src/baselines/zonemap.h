@@ -1,0 +1,69 @@
+// Zone maps (min/max per fixed block of rows) — the classic lightweight
+// secondary index the imprints paper positions itself against. Zone maps
+// are cheap and effective on clustered data but their filter quality
+// collapses on unclustered data (each zone's [min,max] widens to the whole
+// domain); E5 reproduces exactly this contrast.
+#ifndef GEOCOL_BASELINES_ZONEMAP_H_
+#define GEOCOL_BASELINES_ZONEMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "columns/column.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Scan accounting, mirroring ImprintScanStats for apples-to-apples rows.
+struct ZoneMapScanStats {
+  uint64_t zones_total = 0;
+  uint64_t zones_candidate = 0;
+  uint64_t zones_full = 0;      ///< zone entirely inside [lo, hi]
+  uint64_t values_checked = 0;
+  uint64_t rows_selected = 0;
+
+  double TouchedFraction() const {
+    return zones_total > 0
+               ? static_cast<double>(zones_candidate) / zones_total
+               : 0.0;
+  }
+};
+
+/// Min/max-per-zone index over one column.
+class ZoneMapIndex {
+ public:
+  /// Builds with `rows_per_zone` granularity (default roughly one memory
+  /// page of doubles).
+  static Result<ZoneMapIndex> Build(const Column& column,
+                                    uint32_t rows_per_zone = 512);
+
+  uint64_t num_zones() const { return mins_.size(); }
+  uint32_t rows_per_zone() const { return rows_per_zone_; }
+  uint64_t built_epoch() const { return built_epoch_; }
+
+  /// Sets bit z in `candidates` when zone z's [min,max] overlaps [lo,hi];
+  /// in `full_zones` when it is contained in it.
+  void FilterRange(double lo, double hi, BitVector* candidates,
+                   BitVector* full_zones = nullptr) const;
+
+  /// Row-level range selection through the zone map.
+  Status RangeSelect(const Column& column, double lo, double hi,
+                     BitVector* out_rows,
+                     ZoneMapScanStats* stats = nullptr) const;
+
+  uint64_t StorageBytes() const {
+    return (mins_.size() + maxs_.size()) * sizeof(double);
+  }
+
+ private:
+  uint32_t rows_per_zone_ = 0;
+  uint64_t num_rows_ = 0;
+  uint64_t built_epoch_ = 0;
+  std::vector<double> mins_;
+  std::vector<double> maxs_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_BASELINES_ZONEMAP_H_

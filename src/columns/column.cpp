@@ -1,0 +1,64 @@
+#include "columns/column.h"
+
+#include <algorithm>
+
+namespace geocol {
+
+const char* DataTypeName(DataType t) {
+  switch (t) {
+    case DataType::kInt8: return "int8";
+    case DataType::kUInt8: return "uint8";
+    case DataType::kInt16: return "int16";
+    case DataType::kUInt16: return "uint16";
+    case DataType::kInt32: return "int32";
+    case DataType::kUInt32: return "uint32";
+    case DataType::kInt64: return "int64";
+    case DataType::kUInt64: return "uint64";
+    case DataType::kFloat32: return "float32";
+    case DataType::kFloat64: return "float64";
+  }
+  return "unknown";
+}
+
+double Column::GetDouble(size_t row) const {
+  assert(row < size());
+  return DispatchDataType(type_, [&]<typename T>() -> double {
+    T v;
+    std::memcpy(&v, data_.data() + row * sizeof(T), sizeof(T));
+    return static_cast<double>(v);
+  });
+}
+
+int64_t Column::GetInt64(size_t row) const {
+  assert(row < size());
+  return DispatchDataType(type_, [&]<typename T>() -> int64_t {
+    T v;
+    std::memcpy(&v, data_.data() + row * sizeof(T), sizeof(T));
+    return static_cast<int64_t>(v);
+  });
+}
+
+const ColumnStats& Column::Stats() const {
+  if (!stats_.valid) {
+    if (empty()) {
+      stats_.min = 0.0;
+      stats_.max = 0.0;
+    } else {
+      DispatchDataType(type_, [&]<typename T>() {
+        std::span<const T> vals{reinterpret_cast<const T*>(data_.data()),
+                                size()};
+        T mn = vals[0], mx = vals[0];
+        for (T v : vals) {
+          mn = std::min(mn, v);
+          mx = std::max(mx, v);
+        }
+        stats_.min = static_cast<double>(mn);
+        stats_.max = static_cast<double>(mx);
+      });
+    }
+    stats_.valid = true;
+  }
+  return stats_;
+}
+
+}  // namespace geocol

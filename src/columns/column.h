@@ -1,0 +1,133 @@
+// The column: a densely packed, append-only array of one fixed-width type.
+// This is the unit the imprints index attaches to, mirroring MonetDB's BAT
+// tail array.
+#ifndef GEOCOL_COLUMNS_COLUMN_H_
+#define GEOCOL_COLUMNS_COLUMN_H_
+
+#include <cassert>
+#include <cstring>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "columns/types.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Min/max statistics of a column (computed lazily, cached until the next
+/// append invalidates them).
+struct ColumnStats {
+  double min = 0.0;
+  double max = 0.0;
+  bool valid = false;
+};
+
+/// A type-erased, densely packed column of fixed-width values.
+///
+/// Storage is a contiguous byte buffer; typed access goes through
+/// `Values<T>()` which checks the runtime type. Appends invalidate the
+/// cached statistics and any imprints built on the column (tracked via the
+/// append epoch).
+class Column {
+ public:
+  Column(std::string name, DataType type)
+      : name_(std::move(name)), type_(type), width_(DataTypeSize(type)) {}
+
+  const std::string& name() const { return name_; }
+  DataType type() const { return type_; }
+  size_t width() const { return width_; }
+  size_t size() const { return data_.size() / width_; }
+  bool empty() const { return data_.empty(); }
+
+  /// Monotonic counter bumped on every mutation; index structures remember
+  /// the epoch they were built at and rebuild when it moves.
+  uint64_t epoch() const { return epoch_; }
+
+  /// Typed read-only view. T must match type().
+  template <typename T>
+  std::span<const T> Values() const {
+    assert(DataTypeOf<T>() == type_);
+    return {reinterpret_cast<const T*>(data_.data()), size()};
+  }
+
+  template <typename T>
+  void Append(T value) {
+    assert(DataTypeOf<T>() == type_);
+    const auto* p = reinterpret_cast<const uint8_t*>(&value);
+    data_.insert(data_.end(), p, p + sizeof(T));
+    Invalidate();
+  }
+
+  template <typename T>
+  void AppendSpan(std::span<const T> values) {
+    assert(DataTypeOf<T>() == type_);
+    const auto* p = reinterpret_cast<const uint8_t*>(values.data());
+    data_.insert(data_.end(), p, p + values.size_bytes());
+    Invalidate();
+  }
+
+  /// Appends `count` values of this column's type from a raw little-endian
+  /// buffer — the COPY BINARY path of the binary bulk loader.
+  void AppendRaw(const void* data, size_t count) {
+    const auto* p = static_cast<const uint8_t*>(data);
+    data_.insert(data_.end(), p, p + count * width_);
+    Invalidate();
+  }
+
+  void Reserve(size_t rows) { data_.reserve(rows * width_); }
+  void Clear() {
+    data_.clear();
+    Invalidate();
+  }
+
+  /// Value converted to double (lossless for all types up to 2^53).
+  double GetDouble(size_t row) const;
+
+  /// Value converted to int64 (floats are truncated).
+  int64_t GetInt64(size_t row) const;
+
+  /// Cached min/max; recomputed after appends.
+  const ColumnStats& Stats() const;
+
+  const uint8_t* raw_data() const { return data_.data(); }
+
+  /// Grants mutable access to the raw buffer for in-place reorganisation
+  /// (row shuffles, SFC sorts); bumps the epoch so cached indexes and
+  /// statistics are rebuilt.
+  uint8_t* BeginRawUpdate() {
+    Invalidate();
+    return data_.data();
+  }
+  size_t raw_size_bytes() const { return data_.size(); }
+  size_t MemoryBytes() const { return data_.capacity(); }
+
+  /// Creates a column and fills it from a typed vector.
+  template <typename T>
+  static std::shared_ptr<Column> FromVector(std::string name,
+                                            const std::vector<T>& values) {
+    auto col = std::make_shared<Column>(std::move(name), DataTypeOf<T>());
+    col->template AppendSpan<T>(values);
+    return col;
+  }
+
+ private:
+  void Invalidate() {
+    ++epoch_;
+    stats_.valid = false;
+  }
+
+  std::string name_;
+  DataType type_;
+  size_t width_;
+  std::vector<uint8_t> data_;
+  uint64_t epoch_ = 0;
+  mutable ColumnStats stats_;
+};
+
+using ColumnPtr = std::shared_ptr<Column>;
+
+}  // namespace geocol
+
+#endif  // GEOCOL_COLUMNS_COLUMN_H_

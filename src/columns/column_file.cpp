@@ -1,0 +1,149 @@
+#include "columns/column_file.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+
+namespace {
+constexpr char kColumnMagic[4] = {'G', 'C', 'L', '1'};
+constexpr char kTableMagic[4] = {'G', 'C', 'T', '1'};
+}  // namespace
+
+Status WriteColumnFile(const Column& column, const std::string& path) {
+  BinaryWriter w;
+  GEOCOL_RETURN_NOT_OK(w.Open(path));
+  GEOCOL_RETURN_NOT_OK(w.WriteBytes(kColumnMagic, 4));
+  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint8_t>(static_cast<uint8_t>(column.type())));
+  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(column.size()));
+  GEOCOL_RETURN_NOT_OK(w.WriteBytes(column.raw_data(), column.raw_size_bytes()));
+  return w.Close();
+}
+
+namespace {
+Status ReadColumnHeader(BinaryReader* r, DataType* type, uint64_t* count) {
+  char magic[4];
+  GEOCOL_RETURN_NOT_OK(r->ReadBytes(magic, 4));
+  if (std::memcmp(magic, kColumnMagic, 4) != 0) {
+    return Status::Corruption("bad column file magic");
+  }
+  uint8_t type_byte = 0;
+  GEOCOL_RETURN_NOT_OK(r->ReadScalar(&type_byte));
+  if (type_byte >= kNumDataTypes) {
+    return Status::Corruption("bad column type byte " +
+                              std::to_string(type_byte));
+  }
+  *type = static_cast<DataType>(type_byte);
+  return r->ReadScalar(count);
+}
+}  // namespace
+
+Result<ColumnPtr> ReadColumnFile(const std::string& path,
+                                 const std::string& name) {
+  BinaryReader r;
+  GEOCOL_RETURN_NOT_OK(r.Open(path));
+  DataType type;
+  uint64_t count = 0;
+  GEOCOL_RETURN_NOT_OK(ReadColumnHeader(&r, &type, &count));
+  GEOCOL_ASSIGN_OR_RETURN(uint64_t file_size, r.FileSize());
+  uint64_t expected = 4 + 1 + 8 + count * DataTypeSize(type);
+  if (file_size != expected) {
+    return Status::Corruption("column file size mismatch: " + path);
+  }
+  auto col = std::make_shared<Column>(name, type);
+  col->Reserve(count);
+  std::vector<uint8_t> buf(count * DataTypeSize(type));
+  GEOCOL_RETURN_NOT_OK(r.ReadBytes(buf.data(), buf.size()));
+  col->AppendRaw(buf.data(), count);
+  return col;
+}
+
+Status AppendColumnFile(const std::string& path, Column* column) {
+  BinaryReader r;
+  GEOCOL_RETURN_NOT_OK(r.Open(path));
+  DataType type;
+  uint64_t count = 0;
+  GEOCOL_RETURN_NOT_OK(ReadColumnHeader(&r, &type, &count));
+  if (type != column->type()) {
+    return Status::InvalidArgument("type mismatch appending " + path);
+  }
+  std::vector<uint8_t> buf(count * DataTypeSize(type));
+  GEOCOL_RETURN_NOT_OK(r.ReadBytes(buf.data(), buf.size()));
+  column->AppendRaw(buf.data(), count);
+  return Status::OK();
+}
+
+Status WriteRawDump(const Column& column, const std::string& path) {
+  return WriteFileBytes(path, column.raw_data(), column.raw_size_bytes());
+}
+
+Status AppendRawDump(const std::string& path, Column* column) {
+  GEOCOL_ASSIGN_OR_RETURN(uint64_t size, FileSizeBytes(path));
+  size_t width = column->width();
+  if (size % width != 0) {
+    return Status::Corruption("raw dump size not a multiple of value width: " +
+                              path);
+  }
+  std::vector<uint8_t> buf;
+  GEOCOL_RETURN_NOT_OK(ReadFileBytes(path, &buf));
+  column->AppendRaw(buf.data(), buf.size() / width);
+  return Status::OK();
+}
+
+Status WriteTableDir(const FlatTable& table, const std::string& dir) {
+  GEOCOL_RETURN_NOT_OK(table.Validate());
+  GEOCOL_RETURN_NOT_OK(MakeDir(dir));
+  BinaryWriter w;
+  GEOCOL_RETURN_NOT_OK(w.Open(dir + "/schema.gct"));
+  GEOCOL_RETURN_NOT_OK(w.WriteBytes(kTableMagic, 4));
+  GEOCOL_RETURN_NOT_OK(w.WriteString(table.name()));
+  GEOCOL_RETURN_NOT_OK(
+      w.WriteScalar<uint32_t>(static_cast<uint32_t>(table.num_columns())));
+  for (const auto& col : table.columns()) {
+    GEOCOL_RETURN_NOT_OK(w.WriteString(col->name()));
+    GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint8_t>(static_cast<uint8_t>(col->type())));
+  }
+  GEOCOL_RETURN_NOT_OK(w.Close());
+  for (const auto& col : table.columns()) {
+    GEOCOL_RETURN_NOT_OK(WriteColumnFile(*col, dir + "/" + col->name() + ".gcl"));
+  }
+  return Status::OK();
+}
+
+Result<FlatTable> ReadTableDir(const std::string& dir) {
+  BinaryReader r;
+  GEOCOL_RETURN_NOT_OK(r.Open(dir + "/schema.gct"));
+  char magic[4];
+  GEOCOL_RETURN_NOT_OK(r.ReadBytes(magic, 4));
+  if (std::memcmp(magic, kTableMagic, 4) != 0) {
+    return Status::Corruption("bad table manifest magic");
+  }
+  std::string name;
+  GEOCOL_RETURN_NOT_OK(r.ReadString(&name));
+  uint32_t ncols = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&ncols));
+  if (ncols > 4096) return Status::Corruption("implausible column count");
+  FlatTable table(name);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string col_name;
+    GEOCOL_RETURN_NOT_OK(r.ReadString(&col_name));
+    uint8_t type_byte = 0;
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&type_byte));
+    if (type_byte >= kNumDataTypes) {
+      return Status::Corruption("bad column type in manifest");
+    }
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col,
+                            ReadColumnFile(dir + "/" + col_name + ".gcl",
+                                           col_name));
+    if (col->type() != static_cast<DataType>(type_byte)) {
+      return Status::Corruption("manifest/file type mismatch for " + col_name);
+    }
+    GEOCOL_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+  }
+  GEOCOL_RETURN_NOT_OK(table.Validate());
+  return table;
+}
+
+}  // namespace geocol

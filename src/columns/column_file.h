@@ -1,0 +1,44 @@
+// On-disk persistence of columns and tables: one binary file per column
+// plus a schema manifest per table, mirroring MonetDB's per-BAT files and
+// the COPY BINARY bulk-append path (paper §3.2).
+#ifndef GEOCOL_COLUMNS_COLUMN_FILE_H_
+#define GEOCOL_COLUMNS_COLUMN_FILE_H_
+
+#include <string>
+
+#include "columns/flat_table.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Writes a column to `path`:
+/// magic "GCL1" | type(u8) | count(u64) | raw values.
+Status WriteColumnFile(const Column& column, const std::string& path);
+
+/// Reads a column file written by WriteColumnFile. The column name is not
+/// stored in the file; callers supply it (it is the file's role in the
+/// table manifest).
+Result<ColumnPtr> ReadColumnFile(const std::string& path,
+                                 const std::string& name);
+
+/// Appends the raw value payload of a column file to `column` — the
+/// COPY BINARY fast path. Types must match.
+Status AppendColumnFile(const std::string& path, Column* column);
+
+/// Writes a raw C-array dump (no header): exactly what the paper's binary
+/// loader emits per attribute before COPY BINARY.
+Status WriteRawDump(const Column& column, const std::string& path);
+
+/// Appends a raw C-array dump of `type` to `column`.
+Status AppendRawDump(const std::string& path, Column* column);
+
+/// Persists a whole table into directory `dir`:
+/// `<dir>/schema.gct` manifest + `<dir>/<col>.gcl` per column.
+Status WriteTableDir(const FlatTable& table, const std::string& dir);
+
+/// Loads a table persisted by WriteTableDir.
+Result<FlatTable> ReadTableDir(const std::string& dir);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_COLUMNS_COLUMN_FILE_H_

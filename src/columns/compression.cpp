@@ -1,0 +1,422 @@
+#include "columns/compression.h"
+
+#include <cstring>
+
+#include "util/binary_io.h"
+#include "util/bitpack.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+
+namespace {
+
+constexpr char kMagic[4] = {'G', 'C', 'C', '1'};
+
+// Integer view of a column value (floats go through their bit patterns so
+// every codec round-trips exactly).
+template <typename T>
+int64_t ToBits(T v) {
+  if constexpr (std::is_same_v<T, float>) {
+    uint32_t bits;
+    std::memcpy(&bits, &v, 4);
+    return static_cast<int64_t>(bits);
+  } else if constexpr (std::is_same_v<T, double>) {
+    uint64_t bits;
+    std::memcpy(&bits, &v, 8);
+    return static_cast<int64_t>(bits);
+  } else {
+    return static_cast<int64_t>(v);
+  }
+}
+
+template <typename T>
+T FromBits(int64_t v) {
+  if constexpr (std::is_same_v<T, float>) {
+    uint32_t bits = static_cast<uint32_t>(v);
+    float f;
+    std::memcpy(&f, &bits, 4);
+    return f;
+  } else if constexpr (std::is_same_v<T, double>) {
+    uint64_t bits = static_cast<uint64_t>(v);
+    double d;
+    std::memcpy(&d, &bits, 8);
+    return d;
+  } else {
+    return static_cast<T>(v);
+  }
+}
+
+template <typename T>
+void Append64(std::vector<uint8_t>* out, T v) {
+  const auto* p = reinterpret_cast<const uint8_t*>(&v);
+  out->insert(out->end(), p, p + sizeof(T));
+}
+
+template <typename T>
+bool Take64(const std::vector<uint8_t>& in, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > in.size()) return false;
+  std::memcpy(v, in.data() + *pos, sizeof(T));
+  *pos += sizeof(T);
+  return true;
+}
+
+// ---- size estimators (cheap, no materialisation) -----------------------
+
+template <typename T>
+uint64_t RleRuns(std::span<const T> values) {
+  if (values.empty()) return 0;
+  uint64_t runs = 1;
+  for (size_t i = 1; i < values.size(); ++i) {
+    runs += values[i] != values[i - 1];
+  }
+  return runs;
+}
+
+template <typename T>
+uint32_t ForBits(std::span<const T> values, int64_t* out_min) {
+  int64_t mn = ToBits(values[0]), mx = mn;
+  for (T v : values) {
+    int64_t b = ToBits(v);
+    mn = std::min(mn, b);
+    mx = std::max(mx, b);
+  }
+  *out_min = mn;
+  return BitsFor(static_cast<uint64_t>(mx - mn));
+}
+
+// Bit width of the zigzag deltas, excluding the first value (which is
+// stored raw — otherwise the jump from 0 would dominate the width).
+template <typename T>
+uint32_t DeltaBits(std::span<const T> values) {
+  uint64_t max_zz = 0;
+  int64_t prev = values.empty() ? 0 : ToBits(values[0]);
+  for (size_t i = 1; i < values.size(); ++i) {
+    int64_t b = ToBits(values[i]);
+    max_zz = std::max(max_zz, ZigZagEncode(b - prev));
+    prev = b;
+  }
+  return BitsFor(max_zz);
+}
+
+// ---- encoders -----------------------------------------------------------
+
+template <typename T>
+void EncodeRle(std::span<const T> values, std::vector<uint8_t>* out) {
+  uint64_t runs = RleRuns(values);
+  Append64(out, runs);
+  size_t i = 0;
+  while (i < values.size()) {
+    size_t j = i + 1;
+    while (j < values.size() && values[j] == values[i] &&
+           j - i < 0xFFFFFFFFull) {
+      ++j;
+    }
+    Append64(out, values[i]);
+    Append64(out, static_cast<uint32_t>(j - i));
+    i = j;
+  }
+}
+
+template <typename T>
+Status DecodeRle(const std::vector<uint8_t>& in, size_t pos, uint64_t count,
+                 Column* col) {
+  uint64_t runs = 0;
+  if (!Take64(in, &pos, &runs)) return Status::Corruption("RLE: truncated");
+  uint64_t total = 0;
+  for (uint64_t r = 0; r < runs; ++r) {
+    T value;
+    uint32_t len = 0;
+    if (!Take64(in, &pos, &value) || !Take64(in, &pos, &len)) {
+      return Status::Corruption("RLE: truncated run");
+    }
+    total += len;
+    if (total > count) return Status::Corruption("RLE: run overflow");
+    for (uint32_t k = 0; k < len; ++k) col->Append<T>(value);
+  }
+  if (total != count) return Status::Corruption("RLE: wrong total");
+  return Status::OK();
+}
+
+template <typename T>
+void EncodeFor(std::span<const T> values, std::vector<uint8_t>* out) {
+  int64_t mn = 0;
+  uint32_t bits = ForBits(values, &mn);
+  Append64(out, mn);
+  out->push_back(static_cast<uint8_t>(bits));
+  BitWriter bw(out);
+  for (T v : values) {
+    bw.Write(static_cast<uint64_t>(ToBits(v) - mn), bits);
+  }
+  bw.FlushByte();
+}
+
+template <typename T>
+Status DecodeFor(const std::vector<uint8_t>& in, size_t pos, uint64_t count,
+                 Column* col) {
+  int64_t mn = 0;
+  if (!Take64(in, &pos, &mn)) return Status::Corruption("FOR: truncated header");
+  if (pos >= in.size()) return Status::Corruption("FOR: truncated header");
+  uint8_t bits = in[pos++];
+  BitReader br(in.data() + pos, in.size() - pos);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t packed = 0;
+    if (bits > 0 && !br.Read(&packed, bits)) {
+      return Status::Corruption("FOR: truncated payload");
+    }
+    col->Append<T>(FromBits<T>(mn + static_cast<int64_t>(packed)));
+  }
+  return Status::OK();
+}
+
+template <typename T>
+void EncodeDelta(std::span<const T> values, std::vector<uint8_t>* out) {
+  int64_t first = values.empty() ? 0 : ToBits(values[0]);
+  Append64(out, first);
+  uint32_t bits = DeltaBits(values);
+  out->push_back(static_cast<uint8_t>(bits));
+  BitWriter bw(out);
+  int64_t prev = first;
+  for (size_t i = 1; i < values.size(); ++i) {
+    int64_t b = ToBits(values[i]);
+    bw.Write(ZigZagEncode(b - prev), bits);
+    prev = b;
+  }
+  bw.FlushByte();
+}
+
+template <typename T>
+Status DecodeDelta(const std::vector<uint8_t>& in, size_t pos, uint64_t count,
+                   Column* col) {
+  int64_t first = 0;
+  if (!Take64(in, &pos, &first)) {
+    return Status::Corruption("DELTA: truncated header");
+  }
+  if (pos >= in.size() && count > 1) {
+    return Status::Corruption("DELTA: truncated header");
+  }
+  uint8_t bits = pos < in.size() ? in[pos++] : 0;
+  if (count == 0) return Status::OK();
+  col->Append<T>(FromBits<T>(first));
+  BitReader br(in.data() + pos, in.size() - pos);
+  int64_t prev = first;
+  for (uint64_t i = 1; i < count; ++i) {
+    uint64_t z = 0;
+    if (bits > 0 && !br.Read(&z, bits)) {
+      return Status::Corruption("DELTA: truncated payload");
+    }
+    prev += ZigZagDecode(z);
+    col->Append<T>(FromBits<T>(prev));
+  }
+  return Status::OK();
+}
+
+// Estimated encoded bytes per codec; kRaw is the fallback ceiling.
+template <typename T>
+uint64_t EstimateBytes(std::span<const T> values, ColumnCodec codec) {
+  const uint64_t n = values.size();
+  switch (codec) {
+    case ColumnCodec::kRaw:
+      return n * sizeof(T);
+    case ColumnCodec::kRle:
+      return 8 + RleRuns(values) * (sizeof(T) + 4);
+    case ColumnCodec::kFor: {
+      int64_t mn;
+      uint32_t bits = ForBits(values, &mn);
+      return 9 + (n * bits + 7) / 8;
+    }
+    case ColumnCodec::kDelta:
+      return 9 + ((n > 0 ? n - 1 : 0) * DeltaBits(values) + 7) / 8;
+    case ColumnCodec::kAuto:
+      break;
+  }
+  return ~uint64_t{0};
+}
+
+}  // namespace
+
+const char* ColumnCodecName(ColumnCodec codec) {
+  switch (codec) {
+    case ColumnCodec::kRaw: return "raw";
+    case ColumnCodec::kRle: return "rle";
+    case ColumnCodec::kFor: return "for";
+    case ColumnCodec::kDelta: return "delta";
+    case ColumnCodec::kAuto: return "auto";
+  }
+  return "?";
+}
+
+Result<std::vector<uint8_t>> CompressColumn(const Column& column,
+                                            ColumnCodec codec,
+                                            CompressionStats* stats) {
+  std::vector<uint8_t> out;
+  out.insert(out.end(), kMagic, kMagic + 4);
+  out.push_back(static_cast<uint8_t>(column.type()));
+  size_t codec_at = out.size();
+  out.push_back(0);  // patched below
+  uint64_t count = column.size();
+  Append64(&out, count);
+
+  ColumnCodec chosen = codec;
+  DispatchDataType(column.type(), [&]<typename T>() {
+    std::span<const T> values = column.Values<T>();
+    if (codec == ColumnCodec::kAuto) {
+      chosen = ColumnCodec::kRaw;
+      uint64_t best = EstimateBytes(values, ColumnCodec::kRaw);
+      if (!values.empty()) {
+        for (ColumnCodec c : {ColumnCodec::kRle, ColumnCodec::kFor,
+                              ColumnCodec::kDelta}) {
+          uint64_t est = EstimateBytes(values, c);
+          if (est < best) {
+            best = est;
+            chosen = c;
+          }
+        }
+      }
+    }
+    switch (chosen) {
+      case ColumnCodec::kRaw:
+        out.insert(out.end(), column.raw_data(),
+                   column.raw_data() + column.raw_size_bytes());
+        break;
+      case ColumnCodec::kRle: EncodeRle(values, &out); break;
+      case ColumnCodec::kFor:
+        if (values.empty()) {
+          chosen = ColumnCodec::kRaw;
+        } else {
+          EncodeFor(values, &out);
+        }
+        break;
+      case ColumnCodec::kDelta: EncodeDelta(values, &out); break;
+      case ColumnCodec::kAuto: break;  // unreachable
+    }
+  });
+  out[codec_at] = static_cast<uint8_t>(chosen);
+  if (stats != nullptr) {
+    stats->codec = chosen;
+    stats->uncompressed_bytes = column.raw_size_bytes();
+    stats->compressed_bytes = out.size();
+  }
+  return out;
+}
+
+Result<ColumnPtr> DecompressColumn(const std::vector<uint8_t>& data,
+                                   const std::string& name) {
+  if (data.size() < 4 + 1 + 1 + 8 ||
+      std::memcmp(data.data(), kMagic, 4) != 0) {
+    return Status::Corruption("bad compressed column header");
+  }
+  size_t pos = 4;
+  uint8_t type_byte = data[pos++];
+  uint8_t codec_byte = data[pos++];
+  if (type_byte >= kNumDataTypes || codec_byte > 3) {
+    return Status::Corruption("bad compressed column type/codec");
+  }
+  uint64_t count = 0;
+  if (!Take64(data, &pos, &count)) {
+    return Status::Corruption("bad compressed column count");
+  }
+  if (count > (uint64_t{1} << 40)) {
+    return Status::Corruption("implausible compressed column count");
+  }
+  DataType type = static_cast<DataType>(type_byte);
+  ColumnCodec codec = static_cast<ColumnCodec>(codec_byte);
+  auto col = std::make_shared<Column>(name, type);
+  col->Reserve(count);
+  Status st = DispatchDataType(type, [&]<typename T>() -> Status {
+    switch (codec) {
+      case ColumnCodec::kRaw: {
+        uint64_t bytes = count * sizeof(T);
+        if (pos + bytes > data.size()) {
+          return Status::Corruption("raw payload truncated");
+        }
+        col->AppendRaw(data.data() + pos, count);
+        return Status::OK();
+      }
+      case ColumnCodec::kRle: return DecodeRle<T>(data, pos, count, col.get());
+      case ColumnCodec::kFor: return DecodeFor<T>(data, pos, count, col.get());
+      case ColumnCodec::kDelta:
+        return DecodeDelta<T>(data, pos, count, col.get());
+      default:
+        return Status::Corruption("bad codec");
+    }
+  });
+  GEOCOL_RETURN_NOT_OK(st);
+  if (col->size() != count) {
+    return Status::Corruption("compressed column decoded wrong row count");
+  }
+  return col;
+}
+
+Status WriteCompressedColumnFile(const Column& column, const std::string& path,
+                                 ColumnCodec codec, CompressionStats* stats) {
+  GEOCOL_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
+                          CompressColumn(column, codec, stats));
+  return WriteFileBytes(path, data.data(), data.size());
+}
+
+Result<ColumnPtr> ReadCompressedColumnFile(const std::string& path,
+                                           const std::string& name) {
+  std::vector<uint8_t> data;
+  GEOCOL_RETURN_NOT_OK(ReadFileBytes(path, &data));
+  return DecompressColumn(data, name);
+}
+
+Status WriteCompressedTableDir(const FlatTable& table, const std::string& dir,
+                               uint64_t* total_bytes) {
+  GEOCOL_RETURN_NOT_OK(table.Validate());
+  GEOCOL_RETURN_NOT_OK(MakeDir(dir));
+  BinaryWriter w;
+  GEOCOL_RETURN_NOT_OK(w.Open(dir + "/schema.gct"));
+  GEOCOL_RETURN_NOT_OK(w.WriteBytes("GCT1", 4));
+  GEOCOL_RETURN_NOT_OK(w.WriteString(table.name()));
+  GEOCOL_RETURN_NOT_OK(
+      w.WriteScalar<uint32_t>(static_cast<uint32_t>(table.num_columns())));
+  for (const auto& col : table.columns()) {
+    GEOCOL_RETURN_NOT_OK(w.WriteString(col->name()));
+    GEOCOL_RETURN_NOT_OK(
+        w.WriteScalar<uint8_t>(static_cast<uint8_t>(col->type())));
+  }
+  GEOCOL_RETURN_NOT_OK(w.Close());
+  uint64_t total = 0;
+  for (const auto& col : table.columns()) {
+    CompressionStats stats;
+    GEOCOL_RETURN_NOT_OK(WriteCompressedColumnFile(
+        *col, dir + "/" + col->name() + ".gcz", ColumnCodec::kAuto, &stats));
+    total += stats.compressed_bytes;
+  }
+  if (total_bytes != nullptr) *total_bytes = total;
+  return Status::OK();
+}
+
+Result<FlatTable> ReadCompressedTableDir(const std::string& dir) {
+  BinaryReader r;
+  GEOCOL_RETURN_NOT_OK(r.Open(dir + "/schema.gct"));
+  char magic[4];
+  GEOCOL_RETURN_NOT_OK(r.ReadBytes(magic, 4));
+  if (std::memcmp(magic, "GCT1", 4) != 0) {
+    return Status::Corruption("bad table manifest magic");
+  }
+  std::string name;
+  GEOCOL_RETURN_NOT_OK(r.ReadString(&name));
+  uint32_t ncols = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&ncols));
+  if (ncols > 4096) return Status::Corruption("implausible column count");
+  FlatTable table(name);
+  for (uint32_t i = 0; i < ncols; ++i) {
+    std::string col_name;
+    GEOCOL_RETURN_NOT_OK(r.ReadString(&col_name));
+    uint8_t type_byte = 0;
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&type_byte));
+    GEOCOL_ASSIGN_OR_RETURN(
+        ColumnPtr col,
+        ReadCompressedColumnFile(dir + "/" + col_name + ".gcz", col_name));
+    if (static_cast<uint8_t>(col->type()) != type_byte) {
+      return Status::Corruption("manifest/file type mismatch for " + col_name);
+    }
+    GEOCOL_RETURN_NOT_OK(table.AddColumn(std::move(col)));
+  }
+  GEOCOL_RETURN_NOT_OK(table.Validate());
+  return table;
+}
+
+}  // namespace geocol

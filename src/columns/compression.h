@@ -1,0 +1,73 @@
+// Column compression codecs for the flat-table storage. Paper §3.1: the
+// flat table "is more flexible to exploit compression techniques which are
+// more advantageous for column-stores such as run length encoding."
+//
+// Codecs:
+//   kRaw         verbatim values
+//   kRle         run-length (value, count) pairs — flags, classification
+//   kFor         frame-of-reference + bit packing — bounded-range integers
+//   kDelta       delta + zigzag + bit packing — sorted/acquisition-ordered
+//                integers (coordinates, gps_time bit patterns)
+// kAuto sizes every applicable codec and picks the smallest.
+#ifndef GEOCOL_COLUMNS_COMPRESSION_H_
+#define GEOCOL_COLUMNS_COMPRESSION_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columns/column.h"
+#include "columns/flat_table.h"
+#include "util/status.h"
+
+namespace geocol {
+
+enum class ColumnCodec : uint8_t {
+  kRaw = 0,
+  kRle = 1,
+  kFor = 2,
+  kDelta = 3,
+  kAuto = 255,  ///< choose per column (never appears in encoded payloads)
+};
+
+const char* ColumnCodecName(ColumnCodec codec);
+
+/// Outcome of one column compression.
+struct CompressionStats {
+  ColumnCodec codec = ColumnCodec::kRaw;
+  uint64_t uncompressed_bytes = 0;
+  uint64_t compressed_bytes = 0;
+  double Ratio() const {
+    return compressed_bytes > 0
+               ? static_cast<double>(uncompressed_bytes) / compressed_bytes
+               : 0.0;
+  }
+};
+
+/// Encodes a column into a self-describing buffer:
+/// magic "GCC1" | type u8 | codec u8 | count u64 | payload.
+Result<std::vector<uint8_t>> CompressColumn(
+    const Column& column, ColumnCodec codec = ColumnCodec::kAuto,
+    CompressionStats* stats = nullptr);
+
+/// Decodes a CompressColumn buffer into a new column named `name`.
+Result<ColumnPtr> DecompressColumn(const std::vector<uint8_t>& data,
+                                   const std::string& name);
+
+/// Writes/reads one compressed column file.
+Status WriteCompressedColumnFile(const Column& column, const std::string& path,
+                                 ColumnCodec codec = ColumnCodec::kAuto,
+                                 CompressionStats* stats = nullptr);
+Result<ColumnPtr> ReadCompressedColumnFile(const std::string& path,
+                                           const std::string& name);
+
+/// Persists a whole table compressed: `<dir>/schema.gct` manifest (same as
+/// the uncompressed layout) + `<dir>/<col>.gcz` per column. Returns total
+/// compressed bytes via `total_bytes` when non-null.
+Status WriteCompressedTableDir(const FlatTable& table, const std::string& dir,
+                               uint64_t* total_bytes = nullptr);
+Result<FlatTable> ReadCompressedTableDir(const std::string& dir);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_COLUMNS_COMPRESSION_H_

@@ -1,0 +1,136 @@
+#include "columns/csv.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace geocol {
+
+Status WriteCsv(const FlatTable& table, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  // Header.
+  for (size_t c = 0; c < table.num_columns(); ++c) {
+    std::fprintf(f, "%s%s", c > 0 ? "," : "", table.column(c)->name().c_str());
+  }
+  std::fputc('\n', f);
+  uint64_t rows = table.num_rows();
+  for (uint64_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < table.num_columns(); ++c) {
+      const Column& col = *table.column(c);
+      if (c > 0) std::fputc(',', f);
+      if (IsFloatingPoint(col.type())) {
+        // %.17g: shortest-exact for doubles, so the CSV path is lossless
+        // and the loader-equivalence property (binary == CSV) holds.
+        std::fprintf(f, "%.17g", col.GetDouble(r));
+      } else {
+        std::fprintf(f, "%lld", static_cast<long long>(col.GetInt64(r)));
+      }
+    }
+    std::fputc('\n', f);
+  }
+  if (std::fclose(f) != 0) return Status::IOError("close failed " + path);
+  return Status::OK();
+}
+
+namespace {
+
+// Splits a CSV line (no quoting in our numeric dialect) in place.
+void SplitLine(char* line, std::vector<char*>* out) {
+  out->clear();
+  char* p = line;
+  out->push_back(p);
+  while (*p != '\0') {
+    if (*p == ',') {
+      *p = '\0';
+      out->push_back(p + 1);
+    } else if (*p == '\n' || *p == '\r') {
+      *p = '\0';
+      break;
+    }
+    ++p;
+  }
+}
+
+Status ParseValue(const char* text, Column* col) {
+  char* end = nullptr;
+  if (IsFloatingPoint(col->type())) {
+    double v = std::strtod(text, &end);
+    if (end == text) return Status::Corruption("bad CSV number: " + std::string(text));
+    if (col->type() == DataType::kFloat32) {
+      col->Append<float>(static_cast<float>(v));
+    } else {
+      col->Append<double>(v);
+    }
+    return Status::OK();
+  }
+  long long v = std::strtoll(text, &end, 10);
+  if (end == text) return Status::Corruption("bad CSV integer: " + std::string(text));
+  switch (col->type()) {
+    case DataType::kInt8: col->Append<int8_t>(static_cast<int8_t>(v)); break;
+    case DataType::kUInt8: col->Append<uint8_t>(static_cast<uint8_t>(v)); break;
+    case DataType::kInt16: col->Append<int16_t>(static_cast<int16_t>(v)); break;
+    case DataType::kUInt16: col->Append<uint16_t>(static_cast<uint16_t>(v)); break;
+    case DataType::kInt32: col->Append<int32_t>(static_cast<int32_t>(v)); break;
+    case DataType::kUInt32: col->Append<uint32_t>(static_cast<uint32_t>(v)); break;
+    case DataType::kInt64: col->Append<int64_t>(v); break;
+    case DataType::kUInt64:
+      col->Append<uint64_t>(static_cast<uint64_t>(std::strtoull(text, &end, 10)));
+      break;
+    default:
+      return Status::Internal("unexpected type in ParseValue");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status AppendCsv(const std::string& path, FlatTable* table) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  char line[1 << 16];
+  std::vector<char*> cells;
+  // Header row: verify column names match the table.
+  if (std::fgets(line, sizeof(line), f) == nullptr) {
+    std::fclose(f);
+    return Status::Corruption("empty CSV: " + path);
+  }
+  SplitLine(line, &cells);
+  if (cells.size() != table->num_columns()) {
+    std::fclose(f);
+    return Status::Corruption("CSV header column count mismatch");
+  }
+  for (size_t c = 0; c < cells.size(); ++c) {
+    if (table->column(c)->name() != cells[c]) {
+      std::fclose(f);
+      return Status::Corruption("CSV header name mismatch at column " +
+                                std::to_string(c));
+    }
+  }
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '\n' || line[0] == '\0') continue;
+    SplitLine(line, &cells);
+    if (cells.size() != table->num_columns()) {
+      std::fclose(f);
+      return Status::Corruption("CSV row arity mismatch");
+    }
+    for (size_t c = 0; c < cells.size(); ++c) {
+      Status st = ParseValue(cells[c], table->column(c).get());
+      if (!st.ok()) {
+        std::fclose(f);
+        return st;
+      }
+    }
+  }
+  std::fclose(f);
+  return table->Validate();
+}
+
+Result<FlatTable> ReadCsv(const std::string& path, const Schema& schema,
+                          const std::string& table_name) {
+  FlatTable table(table_name, schema);
+  GEOCOL_RETURN_NOT_OK(AppendCsv(path, &table));
+  return table;
+}
+
+}  // namespace geocol

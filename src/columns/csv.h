@@ -1,0 +1,28 @@
+// CSV serialisation of flat tables. This exists purely as the *slow* load
+// path of the comparison in §3.2: "the dominant part of loading stems from
+// the conversion of the LAZ files into CSV format and the subsequent
+// parsing of the CSV records by the database engine."
+#ifndef GEOCOL_COLUMNS_CSV_H_
+#define GEOCOL_COLUMNS_CSV_H_
+
+#include <string>
+
+#include "columns/flat_table.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Writes `table` to a CSV file with a header row.
+Status WriteCsv(const FlatTable& table, const std::string& path);
+
+/// Parses a CSV file produced by WriteCsv back into a table whose columns
+/// match `schema` (names are taken from the header and must match).
+Result<FlatTable> ReadCsv(const std::string& path, const Schema& schema,
+                          const std::string& table_name = "csv");
+
+/// Appends CSV rows to an existing table (schema must match the header).
+Status AppendCsv(const std::string& path, FlatTable* table);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_COLUMNS_CSV_H_

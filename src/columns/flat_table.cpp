@@ -1,0 +1,106 @@
+#include "columns/flat_table.h"
+
+namespace geocol {
+
+Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    index_.emplace(fields_[i].name, static_cast<int>(i));
+  }
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  auto it = index_.find(name);
+  return it == index_.end() ? -1 : it->second;
+}
+
+bool Schema::operator==(const Schema& o) const {
+  if (fields_.size() != o.fields_.size()) return false;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name != o.fields_[i].name ||
+        fields_[i].type != o.fields_[i].type) {
+      return false;
+    }
+  }
+  return true;
+}
+
+FlatTable::FlatTable(std::string name, const Schema& schema)
+    : name_(std::move(name)) {
+  for (const Field& f : schema.fields()) {
+    Status st = AddColumn(std::make_shared<Column>(f.name, f.type));
+    (void)st;  // cannot fail: all columns empty
+  }
+}
+
+Status FlatTable::AddColumn(ColumnPtr column) {
+  if (column == nullptr) return Status::InvalidArgument("null column");
+  if (by_name_.count(column->name()) != 0) {
+    return Status::AlreadyExists("column '" + column->name() + "' exists");
+  }
+  if (!columns_.empty() && column->size() != columns_[0]->size()) {
+    return Status::InvalidArgument(
+        "column '" + column->name() + "' length " +
+        std::to_string(column->size()) + " != table rows " +
+        std::to_string(columns_[0]->size()));
+  }
+  by_name_.emplace(column->name(), columns_.size());
+  columns_.push_back(std::move(column));
+  return Status::OK();
+}
+
+ColumnPtr FlatTable::column(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it == by_name_.end() ? nullptr : columns_[it->second];
+}
+
+Result<ColumnPtr> FlatTable::GetColumn(const std::string& name) const {
+  ColumnPtr col = column(name);
+  if (col == nullptr) {
+    return Status::NotFound("no column '" + name + "' in table '" + name_ +
+                            "'");
+  }
+  return col;
+}
+
+Schema FlatTable::schema() const {
+  std::vector<Field> fields;
+  fields.reserve(columns_.size());
+  for (const auto& c : columns_) fields.push_back({c->name(), c->type()});
+  return Schema(std::move(fields));
+}
+
+uint64_t FlatTable::DataBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : columns_) total += c->raw_size_bytes();
+  return total;
+}
+
+Status FlatTable::PermuteRows(const std::vector<uint64_t>& perm) {
+  if (perm.size() != num_rows()) {
+    return Status::InvalidArgument("permutation size != row count");
+  }
+  for (const auto& col : columns_) {
+    size_t w = col->width();
+    std::vector<uint8_t> old_data(col->raw_data(),
+                                  col->raw_data() + col->raw_size_bytes());
+    uint8_t* dst = col->BeginRawUpdate();
+    for (size_t r = 0; r < perm.size(); ++r) {
+      if (perm[r] >= perm.size()) {
+        return Status::InvalidArgument("permutation index out of range");
+      }
+      std::memcpy(dst + r * w, old_data.data() + perm[r] * w, w);
+    }
+  }
+  return Status::OK();
+}
+
+Status FlatTable::Validate() const {
+  for (const auto& c : columns_) {
+    if (c->size() != columns_[0]->size()) {
+      return Status::Corruption("ragged table: column '" + c->name() + "'");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace geocol

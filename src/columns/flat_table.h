@@ -1,0 +1,99 @@
+// The flat table of the paper (§3.1): one column per point attribute, one
+// tuple per point, no block reorganisation.
+#ifndef GEOCOL_COLUMNS_FLAT_TABLE_H_
+#define GEOCOL_COLUMNS_FLAT_TABLE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "columns/column.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// A named column slot in a table schema.
+struct Field {
+  std::string name;
+  DataType type;
+};
+
+/// An ordered list of fields with name lookup.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields);
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of field `name`, or -1.
+  int FieldIndex(const std::string& name) const;
+  bool HasField(const std::string& name) const {
+    return FieldIndex(name) >= 0;
+  }
+
+  bool operator==(const Schema& o) const;
+
+ private:
+  std::vector<Field> fields_;
+  std::unordered_map<std::string, int> index_;
+};
+
+/// A flat columnar table: equal-length columns, append-only.
+class FlatTable {
+ public:
+  FlatTable() = default;
+  explicit FlatTable(std::string name) : name_(std::move(name)) {}
+
+  /// Builds a table with empty columns matching `schema`.
+  FlatTable(std::string name, const Schema& schema);
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  size_t num_columns() const { return columns_.size(); }
+  uint64_t num_rows() const {
+    return columns_.empty() ? 0 : columns_[0]->size();
+  }
+
+  /// Adds a column; its length must match existing columns (or the table
+  /// must be empty of columns).
+  Status AddColumn(ColumnPtr column);
+
+  /// Column by position.
+  const ColumnPtr& column(size_t i) const { return columns_[i]; }
+  ColumnPtr& column(size_t i) { return columns_[i]; }
+
+  /// Column by name; nullptr when absent.
+  ColumnPtr column(const std::string& name) const;
+
+  /// Column by name or NotFound.
+  Result<ColumnPtr> GetColumn(const std::string& name) const;
+
+  const std::vector<ColumnPtr>& columns() const { return columns_; }
+
+  Schema schema() const;
+
+  /// Sum of column payload bytes (the "raw column storage" of E2).
+  uint64_t DataBytes() const;
+
+  /// Verifies all columns have equal length.
+  Status Validate() const;
+
+  /// Reorders every column with the same permutation (`perm[new] = old`).
+  /// Bumps every column's epoch. `perm` must be a permutation of
+  /// [0, num_rows).
+  Status PermuteRows(const std::vector<uint64_t>& perm);
+
+ private:
+  std::string name_;
+  std::vector<ColumnPtr> columns_;
+  std::unordered_map<std::string, size_t> by_name_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_COLUMNS_FLAT_TABLE_H_

@@ -1,0 +1,111 @@
+// Physical data types of the column store. LAS point attributes map onto
+// these fixed-width types; there is deliberately no string column type —
+// the point-cloud schema is purely numeric, and vector-layer names live in
+// dictionary-encoded integer columns.
+#ifndef GEOCOL_COLUMNS_TYPES_H_
+#define GEOCOL_COLUMNS_TYPES_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace geocol {
+
+enum class DataType : uint8_t {
+  kInt8 = 0,
+  kUInt8,
+  kInt16,
+  kUInt16,
+  kInt32,
+  kUInt32,
+  kInt64,
+  kUInt64,
+  kFloat32,
+  kFloat64,
+};
+
+constexpr int kNumDataTypes = 10;
+
+/// Width of one value in bytes.
+constexpr size_t DataTypeSize(DataType t) {
+  switch (t) {
+    case DataType::kInt8:
+    case DataType::kUInt8: return 1;
+    case DataType::kInt16:
+    case DataType::kUInt16: return 2;
+    case DataType::kInt32:
+    case DataType::kUInt32:
+    case DataType::kFloat32: return 4;
+    case DataType::kInt64:
+    case DataType::kUInt64:
+    case DataType::kFloat64: return 8;
+  }
+  return 0;
+}
+
+const char* DataTypeName(DataType t);
+
+constexpr bool IsFloatingPoint(DataType t) {
+  return t == DataType::kFloat32 || t == DataType::kFloat64;
+}
+
+constexpr bool IsSigned(DataType t) {
+  switch (t) {
+    case DataType::kInt8:
+    case DataType::kInt16:
+    case DataType::kInt32:
+    case DataType::kInt64:
+    case DataType::kFloat32:
+    case DataType::kFloat64: return true;
+    default: return false;
+  }
+}
+
+/// Compile-time mapping from C++ type to DataType.
+template <typename T>
+struct DataTypeTraits;
+
+#define GEOCOL_DATA_TYPE_TRAIT(cpp_type, enum_value)          \
+  template <>                                                 \
+  struct DataTypeTraits<cpp_type> {                           \
+    static constexpr DataType value = DataType::enum_value;   \
+  };
+
+GEOCOL_DATA_TYPE_TRAIT(int8_t, kInt8)
+GEOCOL_DATA_TYPE_TRAIT(uint8_t, kUInt8)
+GEOCOL_DATA_TYPE_TRAIT(int16_t, kInt16)
+GEOCOL_DATA_TYPE_TRAIT(uint16_t, kUInt16)
+GEOCOL_DATA_TYPE_TRAIT(int32_t, kInt32)
+GEOCOL_DATA_TYPE_TRAIT(uint32_t, kUInt32)
+GEOCOL_DATA_TYPE_TRAIT(int64_t, kInt64)
+GEOCOL_DATA_TYPE_TRAIT(uint64_t, kUInt64)
+GEOCOL_DATA_TYPE_TRAIT(float, kFloat32)
+GEOCOL_DATA_TYPE_TRAIT(double, kFloat64)
+
+#undef GEOCOL_DATA_TYPE_TRAIT
+
+template <typename T>
+constexpr DataType DataTypeOf() {
+  return DataTypeTraits<T>::value;
+}
+
+/// Dispatches `fn.template operator()<T>()` on the C++ type behind `t`.
+template <typename Fn>
+auto DispatchDataType(DataType t, Fn&& fn) {
+  switch (t) {
+    case DataType::kInt8: return fn.template operator()<int8_t>();
+    case DataType::kUInt8: return fn.template operator()<uint8_t>();
+    case DataType::kInt16: return fn.template operator()<int16_t>();
+    case DataType::kUInt16: return fn.template operator()<uint16_t>();
+    case DataType::kInt32: return fn.template operator()<int32_t>();
+    case DataType::kUInt32: return fn.template operator()<uint32_t>();
+    case DataType::kInt64: return fn.template operator()<int64_t>();
+    case DataType::kUInt64: return fn.template operator()<uint64_t>();
+    case DataType::kFloat32: return fn.template operator()<float>();
+    case DataType::kFloat64: return fn.template operator()<double>();
+  }
+  __builtin_unreachable();
+}
+
+}  // namespace geocol
+
+#endif  // GEOCOL_COLUMNS_TYPES_H_

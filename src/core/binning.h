@@ -1,0 +1,62 @@
+// Global bin bounds of a column imprint (Sidirourgos & Kersten, SIGMOD'13).
+// The 64 bit positions of an imprint vector each correspond to one bin of
+// the column's value domain; bins are approximately equi-depth, derived
+// from a random sample of the column.
+#ifndef GEOCOL_CORE_BINNING_H_
+#define GEOCOL_CORE_BINNING_H_
+
+#include <array>
+#include <cstdint>
+
+#include "columns/column.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// The per-imprint global binning: `num_bins` ranges covering the whole
+/// domain. Bin i covers (upper[i-1], upper[i]]; bin 0 is unbounded below
+/// and the last bin unbounded above (its stored bound is +inf).
+class BinBounds {
+ public:
+  BinBounds() = default;
+
+  uint32_t num_bins() const { return num_bins_; }
+
+  /// Upper (inclusive) bound of bin `i`.
+  double upper(uint32_t i) const { return upper_[i]; }
+
+  /// Bin index of value `v`: the first bin whose upper bound is >= v.
+  /// Branch-light binary search — this is the hot loop of index build.
+  uint32_t BinOf(double v) const {
+    uint32_t idx = 0;
+    uint32_t len = num_bins_;
+    while (len > 1) {
+      uint32_t half = len >> 1;
+      if (v > upper_[idx + half - 1]) idx += half;
+      len -= half;
+    }
+    return idx;
+  }
+
+  /// Builds bounds from explicit upper bounds (must be strictly
+  /// increasing; the final +inf bin is appended automatically).
+  static Result<BinBounds> FromBounds(const std::vector<double>& inner_bounds);
+
+  /// Restores bounds from a raw persisted upper-bound array (size must be
+  /// a power of two in [2, 64]; finite prefix strictly increasing, +inf
+  /// padding allowed at the tail). Exact inverse of iterating upper().
+  static Result<BinBounds> FromRawUppers(const std::vector<double>& uppers);
+
+  /// Samples `sample_size` values from `column` and derives up to
+  /// `max_bins` (rounded to a power of two in [2, 64]) equi-depth bins.
+  static Result<BinBounds> Sample(const Column& column, uint32_t max_bins,
+                                  uint32_t sample_size, uint64_t seed);
+
+ private:
+  uint32_t num_bins_ = 0;
+  std::array<double, 64> upper_{};
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_BINNING_H_

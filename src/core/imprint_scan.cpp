@@ -1,0 +1,79 @@
+#include "core/imprint_scan.h"
+
+namespace geocol {
+
+Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
+                          double lo, double hi, BitVector* out_rows,
+                          ImprintScanStats* stats) {
+  if (index.built_epoch() != column.epoch()) {
+    return Status::Internal("stale imprints index (column was modified)");
+  }
+  out_rows->Resize(column.size());
+  ImprintScanStats local;
+  local.lines_total = index.num_lines();
+
+  DispatchDataType(column.type(), [&]<typename T>() {
+    std::span<const T> values = column.Values<T>();
+    // Compare in the column's native type to avoid double-rounding
+    // surprises for 64-bit integers; the bounds are clamped into range.
+    index.FilterRangeRuns(lo, hi, [&](uint64_t first_line, uint64_t line_count,
+                                      bool full) {
+      local.lines_candidate += line_count;
+      uint64_t first_row = index.LineRows(first_line).first;
+      uint64_t last_row = index.LineRows(first_line + line_count - 1).second;
+      if (full) {
+        local.lines_full += line_count;
+        out_rows->SetRange(first_row, last_row);
+        local.rows_selected += last_row - first_row;
+        return;
+      }
+      for (uint64_t r = first_row; r < last_row; ++r) {
+        double v = static_cast<double>(values[r]);
+        ++local.values_checked;
+        if (v >= lo && v <= hi) {
+          out_rows->Set(r);
+          ++local.rows_selected;
+        }
+      }
+    });
+  });
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+void FullScanRangeSelect(const Column& column, double lo, double hi,
+                         BitVector* out_rows) {
+  out_rows->Resize(column.size());
+  DispatchDataType(column.type(), [&]<typename T>() {
+    std::span<const T> values = column.Values<T>();
+    for (size_t r = 0; r < values.size(); ++r) {
+      double v = static_cast<double>(values[r]);
+      if (v >= lo && v <= hi) out_rows->Set(r);
+    }
+  });
+}
+
+Result<const ImprintsIndex*> ImprintManager::GetOrBuild(
+    const ColumnPtr& column) {
+  if (column == nullptr) return Status::InvalidArgument("null column");
+  auto it = cache_.find(column.get());
+  if (it != cache_.end() &&
+      it->second.index->built_epoch() == column->epoch()) {
+    return it->second.index.get();
+  }
+  GEOCOL_ASSIGN_OR_RETURN(ImprintsIndex built,
+                          ImprintsIndex::Build(*column, options_));
+  auto& entry = cache_[column.get()];
+  entry.index = std::make_unique<ImprintsIndex>(std::move(built));
+  return entry.index.get();
+}
+
+uint64_t ImprintManager::TotalStorageBytes() const {
+  uint64_t total = 0;
+  for (const auto& [col, entry] : cache_) {
+    total += entry.index->Storage(0).total_bytes;
+  }
+  return total;
+}
+
+}  // namespace geocol

@@ -1,0 +1,81 @@
+// Imprint-accelerated range selection over a column: the "filtering" step
+// of the paper's query model (§3.3), turned into a row-level selection.
+// Cache lines whose imprint misses the query mask are never touched; lines
+// fully inside the range are accepted wholesale; only boundary lines incur
+// per-value comparisons.
+#ifndef GEOCOL_CORE_IMPRINT_SCAN_H_
+#define GEOCOL_CORE_IMPRINT_SCAN_H_
+
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "columns/column.h"
+#include "core/imprints.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Work accounting of one imprint-filtered scan (drives E3/E5 reporting).
+struct ImprintScanStats {
+  uint64_t lines_total = 0;
+  uint64_t lines_candidate = 0;  ///< imprint hit: line was visited
+  uint64_t lines_full = 0;       ///< accepted without per-value checks
+  uint64_t values_checked = 0;   ///< per-value comparisons performed
+  uint64_t rows_selected = 0;
+
+  /// Fraction of the column actually touched by the scan.
+  double TouchedFraction() const {
+    return lines_total > 0
+               ? static_cast<double>(lines_candidate) / lines_total
+               : 0.0;
+  }
+};
+
+/// Selects rows with value in [lo, hi] using the imprints index.
+/// `out_rows` is resized to the column length. The index must have been
+/// built on the current column state (epoch match) — Internal error
+/// otherwise.
+Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
+                          double lo, double hi, BitVector* out_rows,
+                          ImprintScanStats* stats = nullptr);
+
+/// Plain full-scan range selection (no index). Used as the correctness
+/// oracle in tests and the baseline in benchmarks.
+void FullScanRangeSelect(const Column& column, double lo, double hi,
+                         BitVector* out_rows);
+
+/// Lazily builds and caches imprints per column, mirroring MonetDB's
+/// "creation is triggered when it encounters a range query for the first
+/// time" (§3.2). Rebuilds when the column's epoch moves (appends).
+class ImprintManager {
+ public:
+  explicit ImprintManager(ImprintsOptions options = {})
+      : options_(options) {}
+
+  /// Returns the (possibly freshly built) index for `column`.
+  Result<const ImprintsIndex*> GetOrBuild(const ColumnPtr& column);
+
+  /// Total storage consumed by all cached indexes.
+  uint64_t TotalStorageBytes() const;
+
+  /// Number of indexes currently cached.
+  size_t num_indexes() const { return cache_.size(); }
+
+  /// Drops all cached indexes.
+  void Clear() { cache_.clear(); }
+
+  const ImprintsOptions& options() const { return options_; }
+
+ private:
+  struct Entry {
+    std::unique_ptr<ImprintsIndex> index;
+  };
+  ImprintsOptions options_;
+  std::unordered_map<const Column*, Entry> cache_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_IMPRINT_SCAN_H_

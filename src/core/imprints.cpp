@@ -1,0 +1,177 @@
+#include "core/imprints.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace geocol {
+
+Result<ImprintsIndex> ImprintsIndex::Build(const Column& column,
+                                           const ImprintsOptions& options) {
+  if (column.empty()) {
+    return Status::InvalidArgument("cannot build imprints on empty column");
+  }
+  if (options.cacheline_bytes < column.width() ||
+      options.cacheline_bytes % column.width() != 0) {
+    return Status::InvalidArgument("cacheline size incompatible with type width");
+  }
+  GEOCOL_ASSIGN_OR_RETURN(
+      BinBounds bins,
+      BinBounds::Sample(column, options.max_bins, options.sample_size,
+                        options.seed));
+
+  ImprintsIndex ix;
+  ix.bins_ = bins;
+  ix.values_per_line_ =
+      static_cast<uint32_t>(options.cacheline_bytes / column.width());
+  ix.num_rows_ = column.size();
+  ix.num_lines_ = (ix.num_rows_ + ix.values_per_line_ - 1) / ix.values_per_line_;
+  ix.built_epoch_ = column.epoch();
+  ix.vectors_.reserve(ix.num_lines_ / 4 + 16);
+
+  constexpr uint32_t kMaxCount = (1u << 30);  // headroom below the 31-bit cap
+
+  DispatchDataType(column.type(), [&]<typename T>() {
+    std::span<const T> values = column.Values<T>();
+    uint64_t prev_vector = 0;
+    bool have_prev = false;
+    for (uint64_t line = 0; line < ix.num_lines_; ++line) {
+      uint64_t first = line * ix.values_per_line_;
+      uint64_t last = std::min<uint64_t>(first + ix.values_per_line_,
+                                         ix.num_rows_);
+      uint64_t v = 0;
+      for (uint64_t i = first; i < last; ++i) {
+        v |= uint64_t{1} << bins.BinOf(static_cast<double>(values[i]));
+      }
+      if (have_prev && v == prev_vector && !ix.dict_.empty() &&
+          ix.dict_.back().count < kMaxCount) {
+        DictEntry& back = ix.dict_.back();
+        if (back.repeat) {
+          // Extend the run of identical vectors.
+          ++back.count;
+        } else if (back.count == 1) {
+          // The single vector becomes a repeat group of two lines.
+          back.repeat = true;
+          back.count = 2;
+        } else {
+          // Detach the trailing vector from the literal run; it seeds a new
+          // repeat group (the vector is already the last one stored).
+          --back.count;
+          ix.dict_.push_back({2, true});
+        }
+      } else {
+        ix.vectors_.push_back(v);
+        if (!ix.dict_.empty() && !ix.dict_.back().repeat &&
+            ix.dict_.back().count < kMaxCount) {
+          ++ix.dict_.back().count;
+        } else {
+          ix.dict_.push_back({1, false});
+        }
+        prev_vector = v;
+        have_prev = true;
+      }
+    }
+  });
+  return ix;
+}
+
+Result<ImprintsIndex> ImprintsIndex::Restore(BinBounds bins,
+                                             uint32_t values_per_line,
+                                             uint64_t num_rows,
+                                             uint64_t built_epoch,
+                                             std::vector<uint64_t> vectors,
+                                             std::vector<DictEntry> dict) {
+  if (values_per_line == 0 || num_rows == 0) {
+    return Status::Corruption("imprints restore: empty geometry");
+  }
+  uint64_t lines = (num_rows + values_per_line - 1) / values_per_line;
+  uint64_t covered = 0, stored = 0;
+  for (const DictEntry& e : dict) {
+    if (e.count == 0) return Status::Corruption("imprints restore: zero run");
+    covered += e.count;
+    stored += e.repeat ? 1 : e.count;
+  }
+  if (covered != lines) {
+    return Status::Corruption("imprints restore: dictionary covers " +
+                              std::to_string(covered) + " of " +
+                              std::to_string(lines) + " lines");
+  }
+  if (stored != vectors.size()) {
+    return Status::Corruption("imprints restore: vector count mismatch");
+  }
+  ImprintsIndex ix;
+  ix.bins_ = bins;
+  ix.values_per_line_ = values_per_line;
+  ix.num_rows_ = num_rows;
+  ix.num_lines_ = lines;
+  ix.built_epoch_ = built_epoch;
+  ix.vectors_ = std::move(vectors);
+  ix.dict_ = std::move(dict);
+  return ix;
+}
+
+ImprintMask ImprintsIndex::MaskForRange(double lo, double hi) const {
+  ImprintMask m;
+  if (lo > hi) return m;  // empty query mask: nothing matches
+  uint32_t nbins = bins_.num_bins();
+  uint32_t bin_lo = bins_.BinOf(lo);
+  uint32_t bin_hi = bins_.BinOf(hi);
+  // Query mask: all bins from bin_lo to bin_hi inclusive.
+  for (uint32_t b = bin_lo; b <= bin_hi && b < nbins; ++b) {
+    m.query |= uint64_t{1} << b;
+  }
+  // Inner mask: bins strictly inside the query range. A boundary bin is
+  // fully covered only when the query endpoint coincides with the bin edge;
+  // we include bin_hi when hi equals its upper bound, and bin_lo when lo
+  // lies at or below the previous bin's upper bound (i.e. lo is the bin's
+  // open lower edge — only possible for bin 0 with lo == -inf, so in
+  // practice the strict interior).
+  for (uint32_t b = bin_lo + 1; b < bin_hi && b < nbins; ++b) {
+    m.inner |= uint64_t{1} << b;
+  }
+  if (bin_hi < nbins && hi >= bins_.upper(bin_hi)) {
+    m.inner |= uint64_t{1} << bin_hi;
+  }
+  if (bin_lo > 0 && lo <= bins_.upper(bin_lo - 1)) {
+    // lo exactly on the open edge: every value of bin_lo is > upper(bin_lo-1)
+    // >= lo only when lo < all bin values, which needs strict comparison;
+    // since bins are (prev, cur] and lo <= prev bound, all bin values > lo.
+    m.inner |= uint64_t{1} << bin_lo;
+  } else if (bin_lo == 0 && lo <= -std::numeric_limits<double>::max()) {
+    m.inner |= uint64_t{1};
+  }
+  // The inner mask may never admit bins outside the query mask.
+  m.inner &= m.query;
+  return m;
+}
+
+void ImprintsIndex::FilterRange(double lo, double hi, BitVector* candidates,
+                                BitVector* full_lines) const {
+  candidates->Resize(num_lines_);
+  if (full_lines != nullptr) full_lines->Resize(num_lines_);
+  FilterRangeRuns(lo, hi, [&](uint64_t first, uint64_t count, bool full) {
+    candidates->SetRange(first, first + count);
+    if (full && full_lines != nullptr) {
+      full_lines->SetRange(first, first + count);
+    }
+  });
+}
+
+ImprintsStorage ImprintsIndex::Storage(uint64_t column_payload_bytes) const {
+  ImprintsStorage s;
+  s.num_lines = num_lines_;
+  s.num_vectors = vectors_.size();
+  s.num_dict_entries = dict_.size();
+  s.vector_bytes = vectors_.size() * sizeof(uint64_t);
+  s.dict_bytes = dict_.size() * sizeof(uint32_t);  // packed (count,repeat)
+  s.bounds_bytes = bins_.num_bins() * sizeof(double);
+  s.total_bytes = s.vector_bytes + s.dict_bytes + s.bounds_bytes;
+  s.overhead_fraction =
+      column_payload_bytes > 0
+          ? static_cast<double>(s.total_bytes) / column_payload_bytes
+          : 0.0;
+  s.vectors_per_line =
+      num_lines_ > 0 ? static_cast<double>(vectors_.size()) / num_lines_ : 0.0;
+  return s;
+}
+
+}  // namespace geocol

@@ -1,0 +1,98 @@
+#include "core/imprints_io.h"
+
+#include <cmath>
+#include <cstring>
+
+#include "util/binary_io.h"
+
+namespace geocol {
+
+namespace {
+constexpr char kImprintsMagic[4] = {'G', 'I', 'M', '1'};
+}  // namespace
+
+Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path) {
+  BinaryWriter w;
+  GEOCOL_RETURN_NOT_OK(w.Open(path));
+  GEOCOL_RETURN_NOT_OK(w.WriteBytes(kImprintsMagic, 4));
+  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(index.built_epoch()));
+  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(index.num_rows()));
+  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint32_t>(index.values_per_line()));
+  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint32_t>(index.num_bins()));
+  for (uint32_t b = 0; b < index.num_bins(); ++b) {
+    GEOCOL_RETURN_NOT_OK(w.WriteScalar<double>(index.bins().upper(b)));
+  }
+  const auto& dict = index.dictionary();
+  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(dict.size()));
+  for (const auto& e : dict) {
+    // Packed: low 31 bits count, top bit repeat.
+    uint32_t packed = e.count | (e.repeat ? 0x80000000u : 0u);
+    GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint32_t>(packed));
+  }
+  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(index.vectors().size()));
+  GEOCOL_RETURN_NOT_OK(w.WriteVector(index.vectors()));
+  return w.Close();
+}
+
+Result<ImprintsIndex> ReadImprintsFile(const std::string& path) {
+  BinaryReader r;
+  GEOCOL_RETURN_NOT_OK(r.Open(path));
+  char magic[4];
+  GEOCOL_RETURN_NOT_OK(r.ReadBytes(magic, 4));
+  if (std::memcmp(magic, kImprintsMagic, 4) != 0) {
+    return Status::Corruption("bad imprints file magic: " + path);
+  }
+  uint64_t epoch = 0, rows = 0;
+  uint32_t values_per_line = 0, num_bins = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&epoch));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&rows));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&values_per_line));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&num_bins));
+  if (num_bins < 2 || num_bins > 64) {
+    return Status::Corruption("imprints file: bad bin count");
+  }
+  std::vector<double> bounds(num_bins);
+  for (auto& b : bounds) GEOCOL_RETURN_NOT_OK(r.ReadScalar(&b));
+  GEOCOL_ASSIGN_OR_RETURN(BinBounds bins, BinBounds::FromRawUppers(bounds));
+
+  uint64_t dict_size = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&dict_size));
+  if (dict_size > (uint64_t{1} << 40)) {
+    return Status::Corruption("imprints file: implausible dictionary size");
+  }
+  std::vector<ImprintsIndex::DictEntry> dict(dict_size);
+  for (auto& e : dict) {
+    uint32_t packed = 0;
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&packed));
+    e.count = packed & 0x7FFFFFFFu;
+    e.repeat = (packed & 0x80000000u) != 0;
+  }
+  uint64_t num_vectors = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&num_vectors));
+  if (num_vectors > (uint64_t{1} << 40)) {
+    return Status::Corruption("imprints file: implausible vector count");
+  }
+  std::vector<uint64_t> vectors;
+  GEOCOL_RETURN_NOT_OK(r.ReadVector(&vectors, num_vectors));
+  return ImprintsIndex::Restore(bins, values_per_line, rows, epoch,
+                                std::move(vectors), std::move(dict));
+}
+
+Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
+                                          const std::string& path,
+                                          const ImprintsOptions& options) {
+  if (PathExists(path)) {
+    Result<ImprintsIndex> loaded = ReadImprintsFile(path);
+    if (loaded.ok() && loaded->built_epoch() == column.epoch() &&
+        loaded->num_rows() == column.size()) {
+      return loaded;
+    }
+    // Stale or corrupt sidecar: fall through to a rebuild.
+  }
+  GEOCOL_ASSIGN_OR_RETURN(ImprintsIndex built,
+                          ImprintsIndex::Build(column, options));
+  GEOCOL_RETURN_NOT_OK(WriteImprintsFile(built, path));
+  return built;
+}
+
+}  // namespace geocol

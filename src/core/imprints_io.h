@@ -1,0 +1,31 @@
+// Disk persistence for column imprints. MonetDB keeps imprints alongside
+// the BAT heaps so a restarted server does not pay the rebuild; we mirror
+// that with a compact sidecar file per column:
+//   magic "GIM1" | epoch | rows | values_per_line | num_bins |
+//   bounds[num_bins] | dict entries | vectors.
+#ifndef GEOCOL_CORE_IMPRINTS_IO_H_
+#define GEOCOL_CORE_IMPRINTS_IO_H_
+
+#include <string>
+
+#include "core/imprints.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Writes `index` to `path` (truncating).
+Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path);
+
+/// Reads an imprints file. The caller is responsible for checking
+/// `built_epoch()` against the live column before trusting the index.
+Result<ImprintsIndex> ReadImprintsFile(const std::string& path);
+
+/// Convenience: loads the sidecar if it exists and matches the column's
+/// epoch and row count, else builds fresh and writes the sidecar.
+Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
+                                          const std::string& path,
+                                          const ImprintsOptions& options = {});
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_IMPRINTS_IO_H_

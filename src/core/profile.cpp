@@ -1,0 +1,31 @@
+#include "core/profile.h"
+
+#include <cstdio>
+
+namespace geocol {
+
+int64_t QueryProfile::TotalNanos() const {
+  int64_t total = 0;
+  for (const auto& op : ops_) total += op.nanos;
+  return total;
+}
+
+std::string QueryProfile::ToString() const {
+  std::string out;
+  char line[512];
+  for (const auto& op : ops_) {
+    std::snprintf(line, sizeof(line),
+                  "  %-28s %10.3f ms  %12llu -> %-12llu %s\n",
+                  op.name.c_str(), op.nanos / 1e6,
+                  static_cast<unsigned long long>(op.rows_in),
+                  static_cast<unsigned long long>(op.rows_out),
+                  op.detail.c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "  %-28s %10.3f ms\n", "TOTAL",
+                TotalNanos() / 1e6);
+  out += line;
+  return out;
+}
+
+}  // namespace geocol

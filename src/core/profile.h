@@ -1,0 +1,49 @@
+// Per-operator execution profile — the demo's scenario 2 lets users "see
+// the plans of the queries and the execution time spent in each operator"
+// (§4.2). Every engine query fills one of these.
+#ifndef GEOCOL_CORE_PROFILE_H_
+#define GEOCOL_CORE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geocol {
+
+/// One executed operator: name, wall time, cardinalities.
+struct OperatorProfile {
+  std::string name;
+  int64_t nanos = 0;
+  uint64_t rows_in = 0;
+  uint64_t rows_out = 0;
+  std::string detail;  ///< free-form annotation ("mask=0x3f", "grid=64x48")
+};
+
+/// Ordered list of operator profiles for one query execution.
+class QueryProfile {
+ public:
+  void Clear() { ops_.clear(); }
+
+  void Add(std::string name, int64_t nanos, uint64_t rows_in,
+           uint64_t rows_out, std::string detail = "") {
+    ops_.push_back({std::move(name), nanos, rows_in, rows_out,
+                    std::move(detail)});
+  }
+
+  const std::vector<OperatorProfile>& operators() const { return ops_; }
+  bool empty() const { return ops_.empty(); }
+
+  /// Sum of operator times.
+  int64_t TotalNanos() const;
+
+  /// Multi-line plan rendering:
+  ///   filter.imprints.x      1.23 ms   12500 -> 830 lines  [mask=...]
+  std::string ToString() const;
+
+ private:
+  std::vector<OperatorProfile> ops_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_PROFILE_H_

@@ -1,0 +1,117 @@
+#include "core/raster.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace geocol {
+
+Result<Raster> RasterizeRows(const FlatTable& table,
+                             const std::vector<uint64_t>& rows,
+                             const std::string& value_column,
+                             const Box& extent, uint32_t cols,
+                             uint32_t raster_rows, RasterStat stat) {
+  if (cols == 0 || raster_rows == 0) {
+    return Status::InvalidArgument("raster dimensions must be positive");
+  }
+  if (extent.empty()) return Status::InvalidArgument("empty raster extent");
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table.GetColumn("x"));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table.GetColumn("y"));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr vc, table.GetColumn(value_column));
+
+  Raster raster;
+  raster.extent = extent;
+  raster.cols = cols;
+  raster.rows = raster_rows;
+  size_t cells = static_cast<size_t>(cols) * raster_rows;
+  raster.counts.assign(cells, 0);
+  float init = 0.0f;
+  if (stat == RasterStat::kMin) init = std::numeric_limits<float>::max();
+  if (stat == RasterStat::kMax) init = std::numeric_limits<float>::lowest();
+  raster.values.assign(cells, init);
+
+  auto cell_of = [&](double x, double y) -> size_t {
+    int64_t cx = static_cast<int64_t>((x - extent.min_x) / extent.width() * cols);
+    int64_t cy =
+        static_cast<int64_t>((y - extent.min_y) / extent.height() * raster_rows);
+    cx = std::clamp<int64_t>(cx, 0, cols - 1);
+    cy = std::clamp<int64_t>(cy, 0, raster_rows - 1);
+    return static_cast<size_t>(cy) * cols + static_cast<size_t>(cx);
+  };
+
+  auto accumulate = [&](uint64_t r) {
+    size_t cell = cell_of(xc->GetDouble(r), yc->GetDouble(r));
+    float v = static_cast<float>(vc->GetDouble(r));
+    switch (stat) {
+      case RasterStat::kMean: raster.values[cell] += v; break;
+      case RasterStat::kMin:
+        raster.values[cell] = std::min(raster.values[cell], v);
+        break;
+      case RasterStat::kMax:
+        raster.values[cell] = std::max(raster.values[cell], v);
+        break;
+      case RasterStat::kCount: break;
+    }
+    ++raster.counts[cell];
+  };
+  if (rows.empty()) {
+    for (uint64_t r = 0; r < table.num_rows(); ++r) accumulate(r);
+  } else {
+    for (uint64_t r : rows) accumulate(r);
+  }
+
+  for (size_t c = 0; c < cells; ++c) {
+    if (raster.counts[c] == 0) {
+      raster.values[c] = 0.0f;
+      continue;
+    }
+    if (stat == RasterStat::kMean) {
+      raster.values[c] /= static_cast<float>(raster.counts[c]);
+    } else if (stat == RasterStat::kCount) {
+      raster.values[c] = static_cast<float>(raster.counts[c]);
+    }
+  }
+  return raster;
+}
+
+void FillRasterVoids(Raster* raster, uint32_t max_steps) {
+  // Iterative dilation: each pass fills empty cells adjacent to filled
+  // ones with the neighbour average.
+  for (uint32_t step = 0; step < max_steps; ++step) {
+    std::vector<uint32_t> new_counts = raster->counts;
+    std::vector<float> new_values = raster->values;
+    bool changed = false;
+    for (uint32_t ry = 0; ry < raster->rows; ++ry) {
+      for (uint32_t cx = 0; cx < raster->cols; ++cx) {
+        if (!raster->Empty(cx, ry)) continue;
+        float sum = 0.0f;
+        uint32_t n = 0;
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            int nx = static_cast<int>(cx) + dx;
+            int ny = static_cast<int>(ry) + dy;
+            if (nx < 0 || ny < 0 || nx >= static_cast<int>(raster->cols) ||
+                ny >= static_cast<int>(raster->rows)) {
+              continue;
+            }
+            if (!raster->Empty(nx, ny)) {
+              sum += raster->At(nx, ny);
+              ++n;
+            }
+          }
+        }
+        if (n > 0) {
+          size_t at = static_cast<size_t>(ry) * raster->cols + cx;
+          new_values[at] = sum / static_cast<float>(n);
+          new_counts[at] = 1;
+          changed = true;
+        }
+      }
+    }
+    raster->values = std::move(new_values);
+    raster->counts = std::move(new_counts);
+    if (!changed) break;
+  }
+}
+
+}  // namespace geocol

@@ -1,0 +1,55 @@
+// Raster aggregation over spatial selections: digital surface models
+// (per-cell elevation statistics) computed straight from the flat table —
+// the product LIDAR surveys exist to produce ("the base of digital surface
+// or elevation models", §1).
+#ifndef GEOCOL_CORE_RASTER_H_
+#define GEOCOL_CORE_RASTER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "columns/flat_table.h"
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// A single-band float raster with world georeferencing.
+struct Raster {
+  Box extent;
+  uint32_t cols = 0;
+  uint32_t rows = 0;
+  std::vector<float> values;      ///< row-major, rows * cols
+  std::vector<uint32_t> counts;   ///< points aggregated per cell
+
+  float At(uint32_t col, uint32_t row) const {
+    return values[static_cast<size_t>(row) * cols + col];
+  }
+  uint32_t CountAt(uint32_t col, uint32_t row) const {
+    return counts[static_cast<size_t>(row) * cols + col];
+  }
+  bool Empty(uint32_t col, uint32_t row) const {
+    return CountAt(col, row) == 0;
+  }
+};
+
+/// Per-cell statistic of the rasteriser.
+enum class RasterStat { kMean, kMin, kMax, kCount };
+
+/// Rasterises `value_column` of the given rows over `extent` into a
+/// cols x rows grid. Rows outside the extent are clamped into edge cells.
+/// Pass all table rows by leaving `rows` empty.
+Result<Raster> RasterizeRows(const FlatTable& table,
+                             const std::vector<uint64_t>& rows,
+                             const std::string& value_column,
+                             const Box& extent, uint32_t cols, uint32_t raster_rows,
+                             RasterStat stat = RasterStat::kMean);
+
+/// Fills empty cells from the nearest non-empty neighbour within
+/// `max_steps` ring steps (simple void filling for DSM output).
+void FillRasterVoids(Raster* raster, uint32_t max_steps = 4);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_RASTER_H_

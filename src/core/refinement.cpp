@@ -1,0 +1,122 @@
+#include "core/refinement.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace geocol {
+
+namespace {
+
+inline bool ExactTest(const Geometry& g, double buffer, const Point& p) {
+  return buffer > 0.0 ? GeometryDWithin(g, p, buffer)
+                      : GeometryContainsPoint(g, p);
+}
+
+Status CheckInputs(const Column& x, const Column& y,
+                   const BitVector& candidates) {
+  if (x.size() != y.size()) {
+    return Status::InvalidArgument("x/y column length mismatch");
+  }
+  if (candidates.size() != x.size()) {
+    return Status::InvalidArgument("candidate vector length mismatch");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
+                  const Geometry& geometry, double buffer,
+                  const RefineOptions& options, std::vector<uint64_t>* out_rows,
+                  RefinementStats* stats) {
+  GEOCOL_RETURN_NOT_OK(CheckInputs(x, y, candidates));
+  if (!options.use_grid) {
+    return ExhaustiveRefine(x, y, candidates, geometry, buffer, out_rows,
+                            stats);
+  }
+  RefinementStats local;
+
+  // Pass 1: collect candidate rows and their extent. The grid only needs to
+  // cover the filtered superset, which is already close to the query
+  // envelope thanks to the imprint filter.
+  std::vector<uint64_t> cand_rows;
+  Box extent;
+  for (size_t r = candidates.FindNext(0); r < candidates.size();
+       r = candidates.FindNext(r + 1)) {
+    cand_rows.push_back(r);
+    extent.Extend(x.GetDouble(r), y.GetDouble(r));
+  }
+  local.candidates = cand_rows.size();
+  if (cand_rows.empty()) {
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+
+  RegularGrid grid = RegularGrid::ForExpectedPoints(
+      extent, cand_rows.size(), options.target_points_per_cell,
+      options.max_cells_per_axis);
+  local.cells_total = grid.num_cells();
+  local.grid_cols = grid.cols();
+  local.grid_rows = grid.rows();
+
+  // Pass 2: classify cells lazily — only cells that actually hold
+  // candidates are ever evaluated against the geometry (§3.3: "the spatial
+  // relation is then evaluated between each non-empty cell and G").
+  constexpr uint8_t kUnclassified = 0xFF;
+  std::vector<uint8_t> cell_class(grid.num_cells(), kUnclassified);
+
+  for (uint64_t r : cand_rows) {
+    Point p{x.GetDouble(r), y.GetDouble(r)};
+    uint64_t cell = grid.CellOf(p.x, p.y);
+    uint8_t& cls = cell_class[cell];
+    if (cls == kUnclassified) {
+      cls = static_cast<uint8_t>(grid.ClassifyCell(cell, geometry, buffer));
+      ++local.cells_nonempty;
+      switch (static_cast<BoxRelation>(cls)) {
+        case BoxRelation::kInside: ++local.cells_inside; break;
+        case BoxRelation::kOutside: ++local.cells_outside; break;
+        case BoxRelation::kBoundary: ++local.cells_boundary; break;
+      }
+    }
+    switch (static_cast<BoxRelation>(cls)) {
+      case BoxRelation::kInside:
+        out_rows->push_back(r);
+        ++local.accepted;
+        break;
+      case BoxRelation::kOutside:
+        break;
+      case BoxRelation::kBoundary:
+        ++local.exact_tests;
+        if (ExactTest(geometry, buffer, p)) {
+          out_rows->push_back(r);
+          ++local.accepted;
+        }
+        break;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+Status ExhaustiveRefine(const Column& x, const Column& y,
+                        const BitVector& candidates, const Geometry& geometry,
+                        double buffer, std::vector<uint64_t>* out_rows,
+                        RefinementStats* stats) {
+  GEOCOL_RETURN_NOT_OK(CheckInputs(x, y, candidates));
+  RefinementStats local;
+  for (size_t r = candidates.FindNext(0); r < candidates.size();
+       r = candidates.FindNext(r + 1)) {
+    ++local.candidates;
+    ++local.exact_tests;
+    Point p{x.GetDouble(r), y.GetDouble(r)};
+    if (ExactTest(geometry, buffer, p)) {
+      out_rows->push_back(r);
+      ++local.accepted;
+    }
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
+}  // namespace geocol

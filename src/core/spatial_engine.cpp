@@ -1,0 +1,191 @@
+#include "core/spatial_engine.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "util/timer.h"
+
+namespace geocol {
+
+double AggregateRows(const Column& column, const std::vector<uint64_t>& rows,
+                     AggKind kind) {
+  if (kind == AggKind::kCount) return static_cast<double>(rows.size());
+  if (rows.empty()) return std::nan("");
+  double sum = 0.0;
+  double mn = std::numeric_limits<double>::infinity();
+  double mx = -std::numeric_limits<double>::infinity();
+  for (uint64_t r : rows) {
+    double v = column.GetDouble(r);
+    sum += v;
+    mn = std::min(mn, v);
+    mx = std::max(mx, v);
+  }
+  switch (kind) {
+    case AggKind::kSum: return sum;
+    case AggKind::kAvg: return sum / static_cast<double>(rows.size());
+    case AggKind::kMin: return mn;
+    case AggKind::kMax: return mx;
+    case AggKind::kCount: break;
+  }
+  return std::nan("");
+}
+
+SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
+                                       EngineOptions options,
+                                       std::string x_column,
+                                       std::string y_column)
+    : table_(std::move(table)),
+      options_(options),
+      x_name_(std::move(x_column)),
+      y_name_(std::move(y_column)),
+      imprints_(options.imprints) {}
+
+Result<SelectionResult> SpatialQueryEngine::SelectInBox(const Box& box) {
+  return Execute(Geometry(box), 0.0, {});
+}
+
+Result<SelectionResult> SpatialQueryEngine::SelectInGeometry(
+    const Geometry& geometry) {
+  return Execute(geometry, 0.0, {});
+}
+
+Result<SelectionResult> SpatialQueryEngine::SelectWithinDistance(
+    const Geometry& geometry, double d) {
+  if (d < 0) return Status::InvalidArgument("negative distance");
+  return Execute(geometry, d, {});
+}
+
+Result<SelectionResult> SpatialQueryEngine::Select(
+    const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic) {
+  return Execute(geometry, buffer, thematic);
+}
+
+Result<double> SpatialQueryEngine::Aggregate(
+    const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic, const std::string& column,
+    AggKind kind) {
+  GEOCOL_ASSIGN_OR_RETURN(SelectionResult sel,
+                          Execute(geometry, buffer, thematic));
+  if (kind == AggKind::kCount) {
+    return static_cast<double>(sel.row_ids.size());
+  }
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(column));
+  return AggregateRows(*col, sel.row_ids, kind);
+}
+
+Status SpatialQueryEngine::FilterColumn(const ColumnPtr& column, double lo,
+                                        double hi, BitVector* rows,
+                                        ImprintScanStats* stats,
+                                        QueryProfile* profile,
+                                        const std::string& op_name) {
+  Timer t;
+  if (options_.use_imprints) {
+    GEOCOL_ASSIGN_OR_RETURN(const ImprintsIndex* ix,
+                            imprints_.GetOrBuild(column));
+    double build_ms = t.ElapsedMillis();
+    Timer t2;
+    GEOCOL_RETURN_NOT_OK(ImprintRangeSelect(*column, *ix, lo, hi, rows, stats));
+    char detail[128];
+    std::snprintf(detail, sizeof(detail),
+                  "lines %llu/%llu full=%llu (build %.2f ms)",
+                  static_cast<unsigned long long>(stats->lines_candidate),
+                  static_cast<unsigned long long>(stats->lines_total),
+                  static_cast<unsigned long long>(stats->lines_full), build_ms);
+    profile->Add(op_name, t2.ElapsedNanos(), column->size(),
+                 stats->rows_selected, detail);
+    return Status::OK();
+  }
+  FullScanRangeSelect(*column, lo, hi, rows);
+  ImprintScanStats local;
+  local.lines_total = 0;
+  local.values_checked = column->size();
+  local.rows_selected = rows->Count();
+  *stats = local;
+  profile->Add(op_name + ".scan", t.ElapsedNanos(), column->size(),
+               local.rows_selected);
+  return Status::OK();
+}
+
+Result<SelectionResult> SpatialQueryEngine::Execute(
+    const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic) {
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xcol, table_->GetColumn(x_name_));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr ycol, table_->GetColumn(y_name_));
+  if (xcol->size() != ycol->size()) {
+    return Status::Corruption("x/y column length mismatch");
+  }
+  SelectionResult result;
+  if (xcol->empty()) return result;
+
+  Box env = geometry.Envelope();
+  if (buffer > 0) env = env.Expanded(buffer);
+  if (env.empty()) return result;
+
+  // ---- Step 1: filter. Imprint range selections on x and y, intersected,
+  // then conjunctive thematic ranges, each narrowing the selection.
+  BitVector rows;
+  GEOCOL_RETURN_NOT_OK(FilterColumn(xcol, env.min_x, env.max_x, &rows,
+                                    &result.filter_x, &result.profile,
+                                    "filter.imprints.x"));
+  BitVector rows_y;
+  GEOCOL_RETURN_NOT_OK(FilterColumn(ycol, env.min_y, env.max_y, &rows_y,
+                                    &result.filter_y, &result.profile,
+                                    "filter.imprints.y"));
+  {
+    Timer t;
+    rows.And(rows_y);
+    result.profile.Add("filter.intersect", t.ElapsedNanos(),
+                       result.filter_x.rows_selected + result.filter_y.rows_selected,
+                       rows.Count());
+  }
+  for (const AttributeRange& attr : thematic) {
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(attr.column));
+    if (col->size() != xcol->size()) {
+      return Status::Corruption("thematic column length mismatch: " +
+                                attr.column);
+    }
+    BitVector sel;
+    ImprintScanStats st;
+    GEOCOL_RETURN_NOT_OK(FilterColumn(col, attr.lo, attr.hi, &sel, &st,
+                                      &result.profile,
+                                      "filter.imprints." + attr.column));
+    Timer t;
+    rows.And(sel);
+    result.profile.Add("filter.intersect." + attr.column, t.ElapsedNanos(),
+                       st.rows_selected, rows.Count());
+  }
+
+  // ---- Step 2: refinement. A box query with no buffer is already exact
+  // after the envelope filter; everything else goes through the grid.
+  Timer t;
+  uint64_t candidates = rows.Count();
+  if (geometry.is_box() && buffer == 0.0) {
+    result.row_ids.reserve(candidates);
+    rows.CollectSetBits(&result.row_ids);
+    result.refine.candidates = candidates;
+    result.refine.accepted = candidates;
+    result.profile.Add("refine.none(box)", t.ElapsedNanos(), candidates,
+                       candidates);
+    return result;
+  }
+  GEOCOL_RETURN_NOT_OK(GridRefine(*xcol, *ycol, rows, geometry, buffer,
+                                  options_.refine, &result.row_ids,
+                                  &result.refine));
+  char detail[128];
+  std::snprintf(detail, sizeof(detail),
+                "grid=%ux%u cells in/bnd/out=%llu/%llu/%llu exact=%llu",
+                result.refine.grid_cols, result.refine.grid_rows,
+                static_cast<unsigned long long>(result.refine.cells_inside),
+                static_cast<unsigned long long>(result.refine.cells_boundary),
+                static_cast<unsigned long long>(result.refine.cells_outside),
+                static_cast<unsigned long long>(result.refine.exact_tests));
+  result.profile.Add(options_.refine.use_grid ? "refine.grid"
+                                              : "refine.exhaustive",
+                     t.ElapsedNanos(), candidates, result.row_ids.size(),
+                     detail);
+  return result;
+}
+
+}  // namespace geocol

@@ -1,0 +1,107 @@
+#include "geom/geometry.h"
+
+#include <cmath>
+
+namespace geocol {
+
+Box LineString::Envelope() const {
+  Box b;
+  for (const Point& p : points) b.Extend(p);
+  return b;
+}
+
+double LineString::Length() const {
+  double len = 0.0;
+  for (size_t i = 1; i < points.size(); ++i) {
+    double dx = points[i].x - points[i - 1].x;
+    double dy = points[i].y - points[i - 1].y;
+    len += std::sqrt(dx * dx + dy * dy);
+  }
+  return len;
+}
+
+Box Ring::Envelope() const {
+  Box b;
+  for (const Point& p : points) b.Extend(p);
+  return b;
+}
+
+double Ring::SignedArea() const {
+  double a = 0.0;
+  size_t n = points.size();
+  if (n < 3) return 0.0;
+  for (size_t i = 0; i < n; ++i) {
+    const Point& p = points[i];
+    const Point& q = points[(i + 1) % n];
+    a += p.x * q.y - q.x * p.y;
+  }
+  return a / 2.0;
+}
+
+Box Polygon::Envelope() const { return shell.Envelope(); }
+
+double Polygon::Area() const {
+  double a = shell.Area();
+  for (const Ring& h : holes) a -= h.Area();
+  return a;
+}
+
+Polygon Polygon::FromBox(const Box& box) {
+  Polygon p;
+  p.shell.points = {{box.min_x, box.min_y},
+                    {box.max_x, box.min_y},
+                    {box.max_x, box.max_y},
+                    {box.min_x, box.max_y}};
+  return p;
+}
+
+Polygon Polygon::Circle(const Point& center, double radius, int segments) {
+  Polygon p;
+  p.shell.points.reserve(segments);
+  for (int i = 0; i < segments; ++i) {
+    double a = 2.0 * M_PI * i / segments;
+    p.shell.points.push_back(
+        {center.x + radius * std::cos(a), center.y + radius * std::sin(a)});
+  }
+  return p;
+}
+
+Box MultiPolygon::Envelope() const {
+  Box b;
+  for (const Polygon& p : polygons) b.Extend(p.Envelope());
+  return b;
+}
+
+double MultiPolygon::Area() const {
+  double a = 0.0;
+  for (const Polygon& p : polygons) a += p.Area();
+  return a;
+}
+
+const char* GeometryTypeName(GeometryType t) {
+  switch (t) {
+    case GeometryType::kPoint: return "POINT";
+    case GeometryType::kLineString: return "LINESTRING";
+    case GeometryType::kPolygon: return "POLYGON";
+    case GeometryType::kMultiPolygon: return "MULTIPOLYGON";
+    case GeometryType::kBox: return "BOX";
+  }
+  return "UNKNOWN";
+}
+
+Box Geometry::Envelope() const {
+  switch (type_) {
+    case GeometryType::kPoint: {
+      Box b;
+      b.Extend(point_);
+      return b;
+    }
+    case GeometryType::kBox: return box_;
+    case GeometryType::kLineString: return line_->Envelope();
+    case GeometryType::kPolygon: return polygon_->Envelope();
+    case GeometryType::kMultiPolygon: return multi_->Envelope();
+  }
+  return Box();
+}
+
+}  // namespace geocol

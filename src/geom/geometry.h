@@ -1,0 +1,175 @@
+// A compact OGC Simple Features subset: the geometry types the demo's query
+// workload needs (points, linestrings, polygons with holes, multipolygons)
+// plus axis-aligned boxes used by every index structure in the library.
+#ifndef GEOCOL_GEOM_GEOMETRY_H_
+#define GEOCOL_GEOM_GEOMETRY_H_
+
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace geocol {
+
+/// A 2-D point (the Z coordinate of LIDAR points lives in its own column;
+/// spatial predicates in the paper are 2-D).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+};
+
+/// Axis-aligned bounding box. An empty box has min > max.
+struct Box {
+  double min_x = std::numeric_limits<double>::infinity();
+  double min_y = std::numeric_limits<double>::infinity();
+  double max_x = -std::numeric_limits<double>::infinity();
+  double max_y = -std::numeric_limits<double>::infinity();
+
+  Box() = default;
+  Box(double mnx, double mny, double mxx, double mxy)
+      : min_x(mnx), min_y(mny), max_x(mxx), max_y(mxy) {}
+
+  bool empty() const { return min_x > max_x || min_y > max_y; }
+  double width() const { return max_x - min_x; }
+  double height() const { return max_y - min_y; }
+  double area() const { return empty() ? 0.0 : width() * height(); }
+  Point center() const { return {(min_x + max_x) / 2, (min_y + max_y) / 2}; }
+
+  /// Grows the box to cover `p`.
+  void Extend(const Point& p) {
+    min_x = p.x < min_x ? p.x : min_x;
+    min_y = p.y < min_y ? p.y : min_y;
+    max_x = p.x > max_x ? p.x : max_x;
+    max_y = p.y > max_y ? p.y : max_y;
+  }
+  void Extend(double x, double y) { Extend(Point{x, y}); }
+  void Extend(const Box& other) {
+    if (other.empty()) return;
+    Extend(Point{other.min_x, other.min_y});
+    Extend(Point{other.max_x, other.max_y});
+  }
+
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+  bool Contains(const Box& o) const {
+    return !o.empty() && o.min_x >= min_x && o.max_x <= max_x &&
+           o.min_y >= min_y && o.max_y <= max_y;
+  }
+  bool Intersects(const Box& o) const {
+    return !empty() && !o.empty() && o.min_x <= max_x && o.max_x >= min_x &&
+           o.min_y <= max_y && o.max_y >= min_y;
+  }
+
+  /// Box expanded by `d` on every side.
+  Box Expanded(double d) const {
+    return Box(min_x - d, min_y - d, max_x + d, max_y + d);
+  }
+
+  bool operator==(const Box& o) const {
+    return min_x == o.min_x && min_y == o.min_y && max_x == o.max_x &&
+           max_y == o.max_y;
+  }
+};
+
+/// An open or closed sequence of vertices.
+struct LineString {
+  std::vector<Point> points;
+
+  Box Envelope() const;
+  /// Sum of segment lengths.
+  double Length() const;
+};
+
+/// A simple closed ring. Vertices need not repeat the first point at the
+/// end; the closing segment is implicit. Orientation is not required.
+struct Ring {
+  std::vector<Point> points;
+
+  Box Envelope() const;
+  /// Signed area via the shoelace formula (positive when counter-clockwise).
+  double SignedArea() const;
+  double Area() const { return SignedArea() < 0 ? -SignedArea() : SignedArea(); }
+};
+
+/// A polygon with an outer shell and zero or more holes.
+struct Polygon {
+  Ring shell;
+  std::vector<Ring> holes;
+
+  Box Envelope() const;
+  double Area() const;
+
+  /// Axis-aligned rectangle polygon covering `box`.
+  static Polygon FromBox(const Box& box);
+
+  /// Regular n-gon approximating a circle (used for "near"/buffer queries).
+  static Polygon Circle(const Point& center, double radius, int segments = 32);
+};
+
+struct MultiPolygon {
+  std::vector<Polygon> polygons;
+
+  Box Envelope() const;
+  double Area() const;
+};
+
+/// Tag for the dynamic geometry wrapper.
+enum class GeometryType : uint8_t {
+  kPoint = 1,
+  kLineString = 2,
+  kPolygon = 3,
+  kMultiPolygon = 6,
+  kBox = 100,  // non-OGC convenience type used internally
+};
+
+const char* GeometryTypeName(GeometryType t);
+
+/// Dynamically-typed geometry used by the WKT layer, the vector layers and
+/// the SQL front end. Cheap to copy for points/boxes; polygon payloads are
+/// shared through shared_ptr.
+class Geometry {
+ public:
+  Geometry() : type_(GeometryType::kPoint), point_{} {}
+  explicit Geometry(Point p) : type_(GeometryType::kPoint), point_(p) {}
+  explicit Geometry(Box b) : type_(GeometryType::kBox), box_(b) {}
+  explicit Geometry(LineString ls)
+      : type_(GeometryType::kLineString),
+        line_(std::make_shared<LineString>(std::move(ls))) {}
+  explicit Geometry(Polygon poly)
+      : type_(GeometryType::kPolygon),
+        polygon_(std::make_shared<Polygon>(std::move(poly))) {}
+  explicit Geometry(MultiPolygon mp)
+      : type_(GeometryType::kMultiPolygon),
+        multi_(std::make_shared<MultiPolygon>(std::move(mp))) {}
+
+  GeometryType type() const { return type_; }
+  bool is_point() const { return type_ == GeometryType::kPoint; }
+  bool is_box() const { return type_ == GeometryType::kBox; }
+  bool is_line() const { return type_ == GeometryType::kLineString; }
+  bool is_polygon() const { return type_ == GeometryType::kPolygon; }
+  bool is_multipolygon() const { return type_ == GeometryType::kMultiPolygon; }
+
+  const Point& point() const { return point_; }
+  const Box& box() const { return box_; }
+  const LineString& line() const { return *line_; }
+  const Polygon& polygon() const { return *polygon_; }
+  const MultiPolygon& multipolygon() const { return *multi_; }
+
+  Box Envelope() const;
+
+ private:
+  GeometryType type_;
+  Point point_{};
+  Box box_{};
+  std::shared_ptr<LineString> line_;
+  std::shared_ptr<Polygon> polygon_;
+  std::shared_ptr<MultiPolygon> multi_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_GEOM_GEOMETRY_H_

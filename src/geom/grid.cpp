@@ -1,0 +1,56 @@
+#include "geom/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geocol {
+
+RegularGrid::RegularGrid(const Box& extent, uint32_t cols, uint32_t rows)
+    : extent_(extent),
+      cols_(std::max<uint32_t>(cols, 1)),
+      rows_(std::max<uint32_t>(rows, 1)) {
+  // Inflate degenerate extents so CellOf() stays well defined.
+  if (extent_.width() <= 0.0) extent_.max_x = extent_.min_x + 1e-9;
+  if (extent_.height() <= 0.0) extent_.max_y = extent_.min_y + 1e-9;
+  inv_cell_w_ = cols_ / extent_.width();
+  inv_cell_h_ = rows_ / extent_.height();
+}
+
+Box RegularGrid::CellBox(uint64_t idx) const {
+  uint64_t cy = idx / cols_;
+  uint64_t cx = idx % cols_;
+  double w = extent_.width() / cols_;
+  double h = extent_.height() / rows_;
+  return Box(extent_.min_x + cx * w, extent_.min_y + cy * h,
+             extent_.min_x + (cx + 1) * w, extent_.min_y + (cy + 1) * h);
+}
+
+std::vector<BoxRelation> RegularGrid::ClassifyCells(const Geometry& g,
+                                                    double buffer) const {
+  std::vector<BoxRelation> out(num_cells());
+  for (uint64_t i = 0; i < out.size(); ++i) {
+    out[i] = ClassifyBoxGeometry(CellBox(i), g, buffer);
+  }
+  return out;
+}
+
+RegularGrid RegularGrid::ForExpectedPoints(const Box& extent,
+                                           uint64_t num_points,
+                                           uint64_t target_points_per_cell,
+                                           uint32_t max_cells_per_axis) {
+  double cells =
+      static_cast<double>(num_points) / std::max<uint64_t>(target_points_per_cell, 1);
+  double per_axis = std::sqrt(std::max(cells, 1.0));
+  // Keep the grid aspect ratio close to the extent's.
+  double w = std::max(extent.width(), 1e-9);
+  double h = std::max(extent.height(), 1e-9);
+  double aspect = std::sqrt(w / h);
+  auto clampu = [&](double v) {
+    return static_cast<uint32_t>(
+        std::clamp(v, 1.0, static_cast<double>(max_cells_per_axis)));
+  };
+  return RegularGrid(extent, clampu(per_axis * aspect),
+                     clampu(per_axis / aspect));
+}
+
+}  // namespace geocol

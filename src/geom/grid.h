@@ -1,0 +1,73 @@
+// The regular grid of the paper's refinement step (§3.3): a uniform grid
+// laid over the candidate points from the imprint filter. Cells are
+// classified against the query geometry once; only boundary cells require
+// exact per-point tests.
+#ifndef GEOCOL_GEOM_GRID_H_
+#define GEOCOL_GEOM_GRID_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "geom/predicates.h"
+
+namespace geocol {
+
+/// A uniform grid over a bounding box with cell-level geometry
+/// classification.
+class RegularGrid {
+ public:
+  /// Builds a `cols` x `rows` grid covering `extent`. Degenerate extents
+  /// (zero width/height) are inflated by an epsilon so every point maps to
+  /// a valid cell.
+  RegularGrid(const Box& extent, uint32_t cols, uint32_t rows);
+
+  uint32_t cols() const { return cols_; }
+  uint32_t rows() const { return rows_; }
+  uint64_t num_cells() const {
+    return static_cast<uint64_t>(cols_) * static_cast<uint64_t>(rows_);
+  }
+  const Box& extent() const { return extent_; }
+
+  /// Cell index for a point inside the extent (clamped on the edges).
+  uint64_t CellOf(double x, double y) const {
+    int64_t cx = static_cast<int64_t>((x - extent_.min_x) * inv_cell_w_);
+    int64_t cy = static_cast<int64_t>((y - extent_.min_y) * inv_cell_h_);
+    if (cx < 0) cx = 0;
+    if (cy < 0) cy = 0;
+    if (cx >= cols_) cx = cols_ - 1;
+    if (cy >= rows_) cy = rows_ - 1;
+    return static_cast<uint64_t>(cy) * cols_ + static_cast<uint64_t>(cx);
+  }
+
+  /// Geometric bounds of cell `idx`.
+  Box CellBox(uint64_t idx) const;
+
+  /// Classifies every cell against geometry `g` (optionally buffered by
+  /// `buffer`, for ST_DWithin refinement). Returns num_cells() entries.
+  std::vector<BoxRelation> ClassifyCells(const Geometry& g,
+                                         double buffer = 0.0) const;
+
+  /// Classifies a single cell.
+  BoxRelation ClassifyCell(uint64_t idx, const Geometry& g,
+                           double buffer = 0.0) const {
+    return ClassifyBoxGeometry(CellBox(idx), g, buffer);
+  }
+
+  /// Picks a grid resolution so the expected points per cell is roughly
+  /// `target_points_per_cell`, bounded to [1, max_cells_per_axis]^2.
+  static RegularGrid ForExpectedPoints(const Box& extent, uint64_t num_points,
+                                       uint64_t target_points_per_cell = 256,
+                                       uint32_t max_cells_per_axis = 4096);
+
+ private:
+  Box extent_;
+  int64_t cols_;
+  int64_t rows_;
+  double inv_cell_w_;
+  double inv_cell_h_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_GEOM_GRID_H_

@@ -1,0 +1,438 @@
+#include "geom/predicates.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+
+namespace geocol {
+
+double Orient2D(const Point& a, const Point& b, const Point& c) {
+  return (b.x - a.x) * (c.y - a.y) - (b.y - a.y) * (c.x - a.x);
+}
+
+bool PointOnSegment(const Point& p, const Point& a, const Point& b) {
+  if (Orient2D(a, b, p) != 0.0) return false;
+  return p.x >= std::min(a.x, b.x) && p.x <= std::max(a.x, b.x) &&
+         p.y >= std::min(a.y, b.y) && p.y <= std::max(a.y, b.y);
+}
+
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d) {
+  double d1 = Orient2D(c, d, a);
+  double d2 = Orient2D(c, d, b);
+  double d3 = Orient2D(a, b, c);
+  double d4 = Orient2D(a, b, d);
+  if (((d1 > 0 && d2 < 0) || (d1 < 0 && d2 > 0)) &&
+      ((d3 > 0 && d4 < 0) || (d3 < 0 && d4 > 0))) {
+    return true;
+  }
+  if (d1 == 0 && PointOnSegment(a, c, d)) return true;
+  if (d2 == 0 && PointOnSegment(b, c, d)) return true;
+  if (d3 == 0 && PointOnSegment(c, a, b)) return true;
+  if (d4 == 0 && PointOnSegment(d, a, b)) return true;
+  return false;
+}
+
+double DistanceSquared(const Point& a, const Point& b) {
+  double dx = a.x - b.x, dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+double PointSegmentDistanceSquared(const Point& p, const Point& a,
+                                   const Point& b) {
+  double abx = b.x - a.x, aby = b.y - a.y;
+  double len2 = abx * abx + aby * aby;
+  if (len2 == 0.0) return DistanceSquared(p, a);
+  double t = ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2;
+  t = std::clamp(t, 0.0, 1.0);
+  Point proj{a.x + t * abx, a.y + t * aby};
+  return DistanceSquared(p, proj);
+}
+
+bool PointInRing(const Point& p, const Ring& ring) {
+  size_t n = ring.points.size();
+  if (n < 3) return false;
+  bool inside = false;
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    const Point& a = ring.points[i];
+    const Point& b = ring.points[j];
+    if (PointOnSegment(p, a, b)) return true;  // boundary counts as inside
+    if ((a.y > p.y) != (b.y > p.y)) {
+      double x_cross = (b.x - a.x) * (p.y - a.y) / (b.y - a.y) + a.x;
+      if (p.x < x_cross) inside = !inside;
+    }
+  }
+  return inside;
+}
+
+bool PointInPolygon(const Point& p, const Polygon& poly) {
+  if (!PointInRing(p, poly.shell)) return false;
+  for (const Ring& h : poly.holes) {
+    // Points exactly on a hole boundary remain part of the polygon.
+    if (PointInRing(p, h)) {
+      bool on_hole_boundary = false;
+      size_t n = h.points.size();
+      for (size_t i = 0, j = n - 1; i < n && !on_hole_boundary; j = i++) {
+        on_hole_boundary = PointOnSegment(p, h.points[i], h.points[j]);
+      }
+      if (!on_hole_boundary) return false;
+    }
+  }
+  return true;
+}
+
+bool PointInMultiPolygon(const Point& p, const MultiPolygon& mp) {
+  for (const Polygon& poly : mp.polygons) {
+    if (PointInPolygon(p, poly)) return true;
+  }
+  return false;
+}
+
+bool GeometryContainsPoint(const Geometry& g, const Point& p) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return g.point() == p;
+    case GeometryType::kBox:
+      return g.box().Contains(p);
+    case GeometryType::kLineString: {
+      const auto& pts = g.line().points;
+      for (size_t i = 1; i < pts.size(); ++i) {
+        if (PointOnSegment(p, pts[i - 1], pts[i])) return true;
+      }
+      return false;
+    }
+    case GeometryType::kPolygon:
+      return PointInPolygon(p, g.polygon());
+    case GeometryType::kMultiPolygon:
+      return PointInMultiPolygon(p, g.multipolygon());
+  }
+  return false;
+}
+
+double PointLineDistance(const Point& p, const LineString& line) {
+  const auto& pts = line.points;
+  if (pts.empty()) return std::numeric_limits<double>::infinity();
+  if (pts.size() == 1) return std::sqrt(DistanceSquared(p, pts[0]));
+  double best = std::numeric_limits<double>::infinity();
+  for (size_t i = 1; i < pts.size(); ++i) {
+    best = std::min(best, PointSegmentDistanceSquared(p, pts[i - 1], pts[i]));
+  }
+  return std::sqrt(best);
+}
+
+namespace {
+double PointRingBoundaryDistanceSquared(const Point& p, const Ring& ring) {
+  double best = std::numeric_limits<double>::infinity();
+  size_t n = ring.points.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    best = std::min(best,
+                    PointSegmentDistanceSquared(p, ring.points[i], ring.points[j]));
+  }
+  return best;
+}
+}  // namespace
+
+double PointPolygonDistance(const Point& p, const Polygon& poly) {
+  if (PointInPolygon(p, poly)) return 0.0;
+  double best = PointRingBoundaryDistanceSquared(p, poly.shell);
+  for (const Ring& h : poly.holes) {
+    best = std::min(best, PointRingBoundaryDistanceSquared(p, h));
+  }
+  return std::sqrt(best);
+}
+
+double GeometryPointDistance(const Geometry& g, const Point& p) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return std::sqrt(DistanceSquared(g.point(), p));
+    case GeometryType::kBox: {
+      const Box& b = g.box();
+      double dx = std::max({b.min_x - p.x, 0.0, p.x - b.max_x});
+      double dy = std::max({b.min_y - p.y, 0.0, p.y - b.max_y});
+      return std::sqrt(dx * dx + dy * dy);
+    }
+    case GeometryType::kLineString:
+      return PointLineDistance(p, g.line());
+    case GeometryType::kPolygon:
+      return PointPolygonDistance(p, g.polygon());
+    case GeometryType::kMultiPolygon: {
+      double best = std::numeric_limits<double>::infinity();
+      for (const Polygon& poly : g.multipolygon().polygons) {
+        best = std::min(best, PointPolygonDistance(p, poly));
+        if (best == 0.0) break;
+      }
+      return best;
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+bool GeometryDWithin(const Geometry& g, const Point& p, double d) {
+  Box env = g.Envelope().Expanded(d);
+  if (!env.Contains(p)) return false;
+  return GeometryPointDistance(g, p) <= d;
+}
+
+bool SegmentIntersectsBox(const Point& a, const Point& b, const Box& box) {
+  if (box.Contains(a) || box.Contains(b)) return true;
+  // Trivially disjoint when the segment envelope misses the box.
+  Box seg;
+  seg.Extend(a);
+  seg.Extend(b);
+  if (!seg.Intersects(box)) return false;
+  Point c0{box.min_x, box.min_y}, c1{box.max_x, box.min_y};
+  Point c2{box.max_x, box.max_y}, c3{box.min_x, box.max_y};
+  return SegmentsIntersect(a, b, c0, c1) || SegmentsIntersect(a, b, c1, c2) ||
+         SegmentsIntersect(a, b, c2, c3) || SegmentsIntersect(a, b, c3, c0);
+}
+
+bool RingBoundaryIntersectsBox(const Ring& ring, const Box& box) {
+  size_t n = ring.points.size();
+  for (size_t i = 0, j = n - 1; i < n; j = i++) {
+    if (SegmentIntersectsBox(ring.points[i], ring.points[j], box)) return true;
+  }
+  return false;
+}
+
+BoxRelation ClassifyBoxPolygon(const Box& box, const Polygon& poly) {
+  Box penv = poly.Envelope();
+  if (!box.Intersects(penv)) return BoxRelation::kOutside;
+  if (RingBoundaryIntersectsBox(poly.shell, box)) return BoxRelation::kBoundary;
+  for (const Ring& h : poly.holes) {
+    if (RingBoundaryIntersectsBox(h, box)) return BoxRelation::kBoundary;
+  }
+  // No boundary crosses the box: either the whole box is inside the polygon
+  // or entirely outside it. One corner decides.
+  Point corner{box.min_x, box.min_y};
+  return PointInPolygon(corner, poly) ? BoxRelation::kInside
+                                      : BoxRelation::kOutside;
+}
+
+BoxRelation ClassifyBoxGeometry(const Box& box, const Geometry& g,
+                                double buffer) {
+  Box env = g.Envelope().Expanded(buffer);
+  if (!box.Intersects(env)) return BoxRelation::kOutside;
+  switch (g.type()) {
+    case GeometryType::kBox: {
+      if (buffer == 0.0) {
+        const Box& q = g.box();
+        if (q.Contains(box)) return BoxRelation::kInside;
+        return q.Intersects(box) ? BoxRelation::kBoundary
+                                 : BoxRelation::kOutside;
+      }
+      break;  // buffered box handled by the corner-distance test below
+    }
+    case GeometryType::kPolygon:
+      if (buffer == 0.0) return ClassifyBoxPolygon(box, g.polygon());
+      break;
+    case GeometryType::kMultiPolygon:
+      if (buffer == 0.0) {
+        // Inside any member polygon → inside; boundary in any → boundary.
+        BoxRelation rel = BoxRelation::kOutside;
+        for (const Polygon& poly : g.multipolygon().polygons) {
+          BoxRelation r = ClassifyBoxPolygon(box, poly);
+          if (r == BoxRelation::kInside) return BoxRelation::kInside;
+          if (r == BoxRelation::kBoundary) rel = BoxRelation::kBoundary;
+        }
+        return rel;
+      }
+      break;
+    default:
+      break;
+  }
+  // Buffered geometries (ST_DWithin) and buffered boxes: test the four box
+  // corners plus the centre by distance. All within the buffer → treat as
+  // inside only when the box is small relative to the buffer region; we use
+  // the conservative rule: all five sample points within distance AND the
+  // box diagonal fits in the buffer slack of the farthest corner → inside.
+  Point corners[5] = {{box.min_x, box.min_y},
+                      {box.max_x, box.min_y},
+                      {box.max_x, box.max_y},
+                      {box.min_x, box.max_y},
+                      box.center()};
+  int within = 0;
+  double max_dist = 0.0;
+  for (const Point& c : corners) {
+    double dist = GeometryPointDistance(g, c);
+    max_dist = std::max(max_dist, dist);
+    if (dist <= buffer) ++within;
+  }
+  if (within == 0) {
+    // No corner within distance. The box may still clip the buffer region;
+    // only safe to discard when the centre's clearance exceeds the
+    // half-diagonal (no interior point can be within the buffer).
+    double half_diag =
+        0.5 * std::sqrt(box.width() * box.width() + box.height() * box.height());
+    double center_dist = GeometryPointDistance(g, box.center());
+    if (center_dist - half_diag > buffer) return BoxRelation::kOutside;
+    return BoxRelation::kBoundary;
+  }
+  if (within == 5) {
+    // All samples within. For convex-ish buffer regions the box is inside
+    // when even the farthest corner has slack; stay conservative otherwise.
+    if (max_dist <= buffer) return BoxRelation::kInside;
+  }
+  return BoxRelation::kBoundary;
+}
+
+bool PolygonIntersectsBox(const Polygon& poly, const Box& box) {
+  BoxRelation r = ClassifyBoxPolygon(box, poly);
+  if (r != BoxRelation::kOutside) return true;
+  // The polygon might be entirely inside the box with no boundary crossing.
+  if (!poly.shell.points.empty() && box.Contains(poly.shell.points[0])) {
+    return true;
+  }
+  return false;
+}
+
+bool LineIntersectsBox(const LineString& line, const Box& box) {
+  const auto& pts = line.points;
+  if (pts.size() == 1) return box.Contains(pts[0]);
+  for (size_t i = 1; i < pts.size(); ++i) {
+    if (SegmentIntersectsBox(pts[i - 1], pts[i], box)) return true;
+  }
+  return false;
+}
+
+namespace {
+
+// Enumerates the boundary segments of a geometry (box edges, linestring
+// segments, polygon shell+hole edges).
+void ForEachSegment(const Geometry& g,
+                    const std::function<void(const Point&, const Point&)>& fn) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      break;
+    case GeometryType::kBox: {
+      const Box& b = g.box();
+      Point c0{b.min_x, b.min_y}, c1{b.max_x, b.min_y};
+      Point c2{b.max_x, b.max_y}, c3{b.min_x, b.max_y};
+      fn(c0, c1);
+      fn(c1, c2);
+      fn(c2, c3);
+      fn(c3, c0);
+      break;
+    }
+    case GeometryType::kLineString: {
+      const auto& pts = g.line().points;
+      for (size_t i = 1; i < pts.size(); ++i) fn(pts[i - 1], pts[i]);
+      break;
+    }
+    case GeometryType::kPolygon: {
+      auto ring = [&](const Ring& r) {
+        size_t n = r.points.size();
+        for (size_t i = 0, j = n - 1; i < n; j = i++) fn(r.points[j], r.points[i]);
+      };
+      ring(g.polygon().shell);
+      for (const Ring& h : g.polygon().holes) ring(h);
+      break;
+    }
+    case GeometryType::kMultiPolygon:
+      for (const Polygon& p : g.multipolygon().polygons) {
+        ForEachSegment(Geometry(p), fn);
+      }
+      break;
+  }
+}
+
+// Enumerates representative vertices of a geometry.
+void ForEachVertex(const Geometry& g,
+                   const std::function<void(const Point&)>& fn) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      fn(g.point());
+      break;
+    case GeometryType::kBox: {
+      const Box& b = g.box();
+      fn({b.min_x, b.min_y});
+      fn({b.max_x, b.max_y});
+      break;
+    }
+    case GeometryType::kLineString:
+      for (const Point& p : g.line().points) fn(p);
+      break;
+    case GeometryType::kPolygon:
+      for (const Point& p : g.polygon().shell.points) fn(p);
+      break;
+    case GeometryType::kMultiPolygon:
+      for (const Polygon& poly : g.multipolygon().polygons) {
+        for (const Point& p : poly.shell.points) fn(p);
+      }
+      break;
+  }
+}
+
+}  // namespace
+
+bool GeometriesIntersect(const Geometry& a, const Geometry& b) {
+  if (!a.Envelope().Intersects(b.Envelope())) return false;
+  if (a.is_point()) return GeometryContainsPoint(b, a.point());
+  if (b.is_point()) return GeometryContainsPoint(a, b.point());
+  if (a.is_box() && b.is_box()) return a.box().Intersects(b.box());
+  // A vertex of one inside the other ⇒ intersecting.
+  bool hit = false;
+  ForEachVertex(a, [&](const Point& p) {
+    if (!hit && GeometryContainsPoint(b, p)) hit = true;
+  });
+  if (hit) return true;
+  ForEachVertex(b, [&](const Point& p) {
+    if (!hit && GeometryContainsPoint(a, p)) hit = true;
+  });
+  if (hit) return true;
+  // Otherwise any boundary crossing decides. O(|A|·|B|) — layer features
+  // are small (tens of vertices), so this stays cheap after the envelope
+  // pre-filter.
+  ForEachSegment(a, [&](const Point& a0, const Point& a1) {
+    if (hit) return;
+    ForEachSegment(b, [&](const Point& b0, const Point& b1) {
+      if (!hit && SegmentsIntersect(a0, a1, b0, b1)) hit = true;
+    });
+  });
+  return hit;
+}
+
+namespace {
+double SegmentSegmentDistance(const Point& a0, const Point& a1,
+                              const Point& b0, const Point& b1) {
+  if (SegmentsIntersect(a0, a1, b0, b1)) return 0.0;
+  double d = PointSegmentDistanceSquared(a0, b0, b1);
+  d = std::min(d, PointSegmentDistanceSquared(a1, b0, b1));
+  d = std::min(d, PointSegmentDistanceSquared(b0, a0, a1));
+  d = std::min(d, PointSegmentDistanceSquared(b1, a0, a1));
+  return std::sqrt(d);
+}
+}  // namespace
+
+double GeometryDistance(const Geometry& a, const Geometry& b) {
+  if (a.is_point()) return GeometryPointDistance(b, a.point());
+  if (b.is_point()) return GeometryPointDistance(a, b.point());
+  if (GeometriesIntersect(a, b)) return 0.0;
+  double best = std::numeric_limits<double>::infinity();
+  ForEachSegment(a, [&](const Point& a0, const Point& a1) {
+    ForEachSegment(b, [&](const Point& b0, const Point& b1) {
+      best = std::min(best, SegmentSegmentDistance(a0, a1, b0, b1));
+    });
+  });
+  return best;
+}
+
+bool GeometryIntersectsBox(const Geometry& g, const Box& box) {
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      return box.Contains(g.point());
+    case GeometryType::kBox:
+      return g.box().Intersects(box);
+    case GeometryType::kLineString:
+      return LineIntersectsBox(g.line(), box);
+    case GeometryType::kPolygon:
+      return PolygonIntersectsBox(g.polygon(), box);
+    case GeometryType::kMultiPolygon:
+      for (const Polygon& poly : g.multipolygon().polygons) {
+        if (PolygonIntersectsBox(poly, box)) return true;
+      }
+      return false;
+  }
+  return false;
+}
+
+}  // namespace geocol

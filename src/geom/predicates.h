@@ -1,0 +1,104 @@
+// Exact geometric predicates used by the refinement step and the vector
+// layer joins: containment, intersection and distance tests over the Simple
+// Features subset in geometry.h.
+#ifndef GEOCOL_GEOM_PREDICATES_H_
+#define GEOCOL_GEOM_PREDICATES_H_
+
+#include "geom/geometry.h"
+
+namespace geocol {
+
+/// Relation of an axis-aligned box to a region: fully inside, fully
+/// outside, or crossing the region's boundary. The regular-grid refinement
+/// step (paper §3.3) decides kInside cells wholesale, discards kOutside
+/// cells, and falls back to per-point tests only for kBoundary cells.
+enum class BoxRelation : uint8_t { kOutside = 0, kInside = 1, kBoundary = 2 };
+
+// ---- point / segment primitives --------------------------------------
+
+/// 2x signed area of triangle (a,b,c); >0 when c is left of a->b.
+double Orient2D(const Point& a, const Point& b, const Point& c);
+
+/// True if point p lies on segment [a,b] (inclusive of endpoints).
+bool PointOnSegment(const Point& p, const Point& a, const Point& b);
+
+/// True if segments [a,b] and [c,d] intersect (touching counts).
+bool SegmentsIntersect(const Point& a, const Point& b, const Point& c,
+                       const Point& d);
+
+/// Squared Euclidean distance between two points.
+double DistanceSquared(const Point& a, const Point& b);
+
+/// Squared distance from p to segment [a,b].
+double PointSegmentDistanceSquared(const Point& p, const Point& a,
+                                   const Point& b);
+
+// ---- point-in-region tests --------------------------------------------
+
+/// Even-odd crossing test; boundary points count as inside.
+bool PointInRing(const Point& p, const Ring& ring);
+
+/// Inside the shell and outside every hole.
+bool PointInPolygon(const Point& p, const Polygon& poly);
+
+bool PointInMultiPolygon(const Point& p, const MultiPolygon& mp);
+
+/// Dispatch over Geometry (box/polygon/multipolygon; a line or point region
+/// contains only points exactly on it).
+bool GeometryContainsPoint(const Geometry& g, const Point& p);
+
+// ---- distance ----------------------------------------------------------
+
+/// Distance from a point to a linestring (0 if on it).
+double PointLineDistance(const Point& p, const LineString& line);
+
+/// Distance from a point to a polygon (0 if inside).
+double PointPolygonDistance(const Point& p, const Polygon& poly);
+
+/// Distance from p to geometry g (0 when p is within g).
+double GeometryPointDistance(const Geometry& g, const Point& p);
+
+/// True when distance(g, p) <= d. Cheaper than computing the distance when
+/// an early envelope check rejects.
+bool GeometryDWithin(const Geometry& g, const Point& p, double d);
+
+// ---- box / region relations --------------------------------------------
+
+/// True if segment [a,b] intersects `box`.
+bool SegmentIntersectsBox(const Point& a, const Point& b, const Box& box);
+
+/// True if `ring`'s boundary crosses `box` (any edge intersects it).
+bool RingBoundaryIntersectsBox(const Ring& ring, const Box& box);
+
+/// Classifies `box` against the polygon region.
+BoxRelation ClassifyBoxPolygon(const Box& box, const Polygon& poly);
+
+/// Classifies `box` against an arbitrary query geometry, including
+/// distance-buffered geometries when `buffer > 0` ("within d of g").
+/// For buffered line/point geometries the kInside classification is
+/// conservative (may return kBoundary for boxes that are actually inside);
+/// refinement remains correct, just less able to short-cut.
+BoxRelation ClassifyBoxGeometry(const Box& box, const Geometry& g,
+                                double buffer = 0.0);
+
+/// True if polygon `poly` intersects `box` (shares any point).
+bool PolygonIntersectsBox(const Polygon& poly, const Box& box);
+
+/// True if linestring intersects `box`.
+bool LineIntersectsBox(const LineString& line, const Box& box);
+
+/// True if geometry g intersects `box`.
+bool GeometryIntersectsBox(const Geometry& g, const Box& box);
+
+/// General geometry-geometry intersection over the supported subset
+/// (point/box/linestring/polygon/multipolygon): true when the two share at
+/// least one point. Decided via mutual vertex containment plus pairwise
+/// boundary-segment intersection.
+bool GeometriesIntersect(const Geometry& a, const Geometry& b);
+
+/// Minimum distance between two geometries (0 when they intersect).
+double GeometryDistance(const Geometry& a, const Geometry& b);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_GEOM_PREDICATES_H_

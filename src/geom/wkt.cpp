@@ -1,0 +1,260 @@
+#include "geom/wkt.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+namespace geocol {
+
+namespace {
+
+/// Tiny recursive-descent scanner over the WKT text.
+class WktScanner {
+ public:
+  explicit WktScanner(const std::string& text) : text_(text) {}
+
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Eat(char c) {
+    SkipSpace();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Expect(char c) {
+    if (!Eat(c)) {
+      return Status::InvalidArgument(std::string("WKT: expected '") + c +
+                                     "' at offset " + std::to_string(pos_));
+    }
+    return Status::OK();
+  }
+
+  /// Reads an uppercase keyword (letters/underscore).
+  std::string ReadWord() {
+    SkipSpace();
+    std::string w;
+    while (pos_ < text_.size() &&
+           (std::isalpha(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_')) {
+      w += static_cast<char>(std::toupper(static_cast<unsigned char>(text_[pos_])));
+      ++pos_;
+    }
+    return w;
+  }
+
+  Result<double> ReadNumber() {
+    SkipSpace();
+    const char* begin = text_.c_str() + pos_;
+    char* end = nullptr;
+    double v = std::strtod(begin, &end);
+    if (end == begin) {
+      return Status::InvalidArgument("WKT: expected number at offset " +
+                                     std::to_string(pos_));
+    }
+    pos_ += static_cast<size_t>(end - begin);
+    return v;
+  }
+
+  Result<Point> ReadPointCoords() {
+    GEOCOL_ASSIGN_OR_RETURN(double x, ReadNumber());
+    GEOCOL_ASSIGN_OR_RETURN(double y, ReadNumber());
+    // Swallow an optional Z coordinate (we index Z as a regular column).
+    SkipSpace();
+    if (pos_ < text_.size() &&
+        (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+         text_[pos_] == '-' || text_[pos_] == '+' || text_[pos_] == '.')) {
+      GEOCOL_ASSIGN_OR_RETURN(double z, ReadNumber());
+      (void)z;
+    }
+    return Point{x, y};
+  }
+
+  Result<std::vector<Point>> ReadPointList() {
+    GEOCOL_RETURN_NOT_OK(Expect('('));
+    std::vector<Point> pts;
+    do {
+      GEOCOL_ASSIGN_OR_RETURN(Point p, ReadPointCoords());
+      pts.push_back(p);
+    } while (Eat(','));
+    GEOCOL_RETURN_NOT_OK(Expect(')'));
+    return pts;
+  }
+
+  Result<Polygon> ReadPolygonBody() {
+    GEOCOL_RETURN_NOT_OK(Expect('('));
+    Polygon poly;
+    bool first = true;
+    do {
+      GEOCOL_ASSIGN_OR_RETURN(std::vector<Point> pts, ReadPointList());
+      // WKT rings repeat the first vertex at the end; drop the duplicate.
+      if (pts.size() >= 2 && pts.front() == pts.back()) pts.pop_back();
+      if (pts.size() < 3) {
+        return Status::InvalidArgument("WKT: ring with fewer than 3 points");
+      }
+      if (first) {
+        poly.shell.points = std::move(pts);
+        first = false;
+      } else {
+        Ring h;
+        h.points = std::move(pts);
+        poly.holes.push_back(std::move(h));
+      }
+    } while (Eat(','));
+    GEOCOL_RETURN_NOT_OK(Expect(')'));
+    return poly;
+  }
+
+  bool AtEnd() {
+    SkipSpace();
+    return pos_ >= text_.size();
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void AppendCoord(std::string* out, double v, int precision) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*g", precision + 6, v);
+  *out += buf;
+}
+
+void AppendPoint(std::string* out, const Point& p, int precision) {
+  AppendCoord(out, p.x, precision);
+  *out += ' ';
+  AppendCoord(out, p.y, precision);
+}
+
+void AppendRing(std::string* out, const Ring& r, int precision) {
+  *out += '(';
+  for (size_t i = 0; i < r.points.size(); ++i) {
+    if (i > 0) *out += ", ";
+    AppendPoint(out, r.points[i], precision);
+  }
+  if (!r.points.empty()) {
+    *out += ", ";
+    AppendPoint(out, r.points.front(), precision);  // close the ring
+  }
+  *out += ')';
+}
+
+void AppendPolygonBody(std::string* out, const Polygon& p, int precision) {
+  *out += '(';
+  AppendRing(out, p.shell, precision);
+  for (const Ring& h : p.holes) {
+    *out += ", ";
+    AppendRing(out, h, precision);
+  }
+  *out += ')';
+}
+
+}  // namespace
+
+Result<Geometry> ParseWkt(const std::string& text) {
+  WktScanner s(text);
+  std::string kw = s.ReadWord();
+  if (kw == "POINT") {
+    GEOCOL_RETURN_NOT_OK(s.Expect('('));
+    GEOCOL_ASSIGN_OR_RETURN(Point p, s.ReadPointCoords());
+    GEOCOL_RETURN_NOT_OK(s.Expect(')'));
+    if (!s.AtEnd()) return Status::InvalidArgument("WKT: trailing text");
+    return Geometry(p);
+  }
+  if (kw == "BOX") {
+    GEOCOL_RETURN_NOT_OK(s.Expect('('));
+    GEOCOL_ASSIGN_OR_RETURN(Point lo, s.ReadPointCoords());
+    GEOCOL_RETURN_NOT_OK(s.Expect(','));
+    GEOCOL_ASSIGN_OR_RETURN(Point hi, s.ReadPointCoords());
+    GEOCOL_RETURN_NOT_OK(s.Expect(')'));
+    if (!s.AtEnd()) return Status::InvalidArgument("WKT: trailing text");
+    if (hi.x < lo.x || hi.y < lo.y) {
+      return Status::InvalidArgument("BOX: max corner below min corner");
+    }
+    return Geometry(Box(lo.x, lo.y, hi.x, hi.y));
+  }
+  if (kw == "LINESTRING") {
+    GEOCOL_ASSIGN_OR_RETURN(std::vector<Point> pts, s.ReadPointList());
+    if (!s.AtEnd()) return Status::InvalidArgument("WKT: trailing text");
+    if (pts.size() < 2) {
+      return Status::InvalidArgument("LINESTRING: needs >= 2 points");
+    }
+    LineString ls;
+    ls.points = std::move(pts);
+    return Geometry(std::move(ls));
+  }
+  if (kw == "POLYGON") {
+    GEOCOL_ASSIGN_OR_RETURN(Polygon poly, s.ReadPolygonBody());
+    if (!s.AtEnd()) return Status::InvalidArgument("WKT: trailing text");
+    return Geometry(std::move(poly));
+  }
+  if (kw == "MULTIPOLYGON") {
+    MultiPolygon mp;
+    WktScanner& sc = s;
+    GEOCOL_RETURN_NOT_OK(sc.Expect('('));
+    do {
+      GEOCOL_ASSIGN_OR_RETURN(Polygon poly, sc.ReadPolygonBody());
+      mp.polygons.push_back(std::move(poly));
+    } while (sc.Eat(','));
+    GEOCOL_RETURN_NOT_OK(sc.Expect(')'));
+    if (!s.AtEnd()) return Status::InvalidArgument("WKT: trailing text");
+    return Geometry(std::move(mp));
+  }
+  return Status::InvalidArgument("WKT: unknown geometry type '" + kw + "'");
+}
+
+std::string ToWkt(const Geometry& g, int precision) {
+  std::string out;
+  switch (g.type()) {
+    case GeometryType::kPoint:
+      out = "POINT (";
+      AppendPoint(&out, g.point(), precision);
+      out += ')';
+      break;
+    case GeometryType::kBox: {
+      const Box& b = g.box();
+      out = "BOX (";
+      AppendPoint(&out, {b.min_x, b.min_y}, precision);
+      out += ", ";
+      AppendPoint(&out, {b.max_x, b.max_y}, precision);
+      out += ')';
+      break;
+    }
+    case GeometryType::kLineString: {
+      out = "LINESTRING (";
+      const auto& pts = g.line().points;
+      for (size_t i = 0; i < pts.size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendPoint(&out, pts[i], precision);
+      }
+      out += ')';
+      break;
+    }
+    case GeometryType::kPolygon:
+      out = "POLYGON ";
+      AppendPolygonBody(&out, g.polygon(), precision);
+      break;
+    case GeometryType::kMultiPolygon: {
+      out = "MULTIPOLYGON (";
+      const auto& polys = g.multipolygon().polygons;
+      for (size_t i = 0; i < polys.size(); ++i) {
+        if (i > 0) out += ", ";
+        AppendPolygonBody(&out, polys[i], precision);
+      }
+      out += ')';
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace geocol

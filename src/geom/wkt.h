@@ -1,0 +1,22 @@
+// Well-Known Text reader/writer covering the geometry subset. Used by the
+// SQL front end (geometry literals) and the examples.
+#ifndef GEOCOL_GEOM_WKT_H_
+#define GEOCOL_GEOM_WKT_H_
+
+#include <string>
+
+#include "geom/geometry.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Parses a WKT string: POINT, LINESTRING, POLYGON, MULTIPOLYGON, and the
+/// PostGIS-style BOX(minx miny, maxx maxy) extension.
+Result<Geometry> ParseWkt(const std::string& text);
+
+/// Formats a geometry as WKT with up to `precision` fractional digits.
+std::string ToWkt(const Geometry& g, int precision = 6);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_GEOM_WKT_H_

@@ -1,0 +1,65 @@
+#include "gis/catalog.h"
+
+namespace geocol {
+
+Status Catalog::AddPointCloud(const std::string& name,
+                              std::shared_ptr<FlatTable> table,
+                              EngineOptions options) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (engines_.count(name) != 0 || layers_.count(name) != 0) {
+    return Status::AlreadyExists("dataset '" + name + "' exists");
+  }
+  tables_[name] = table;
+  engines_[name] =
+      std::make_unique<SpatialQueryEngine>(std::move(table), options);
+  return Status::OK();
+}
+
+Status Catalog::AddLayer(std::shared_ptr<VectorLayer> layer) {
+  if (layer == nullptr) return Status::InvalidArgument("null layer");
+  const std::string& name = layer->name();
+  if (engines_.count(name) != 0 || layers_.count(name) != 0) {
+    return Status::AlreadyExists("dataset '" + name + "' exists");
+  }
+  layers_[name] = std::move(layer);
+  return Status::OK();
+}
+
+Result<SpatialQueryEngine*> Catalog::GetEngine(const std::string& name) {
+  auto it = engines_.find(name);
+  if (it == engines_.end()) {
+    return Status::NotFound("no point cloud '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<std::shared_ptr<FlatTable>> Catalog::GetTable(const std::string& name) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound("no point cloud '" + name + "'");
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<VectorLayer>> Catalog::GetLayer(
+    const std::string& name) {
+  auto it = layers_.find(name);
+  if (it == layers_.end()) {
+    return Status::NotFound("no layer '" + name + "'");
+  }
+  return it->second;
+}
+
+std::vector<std::string> Catalog::PointCloudNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : engines_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Catalog::LayerNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : layers_) out.push_back(name);
+  return out;
+}
+
+}  // namespace geocol

@@ -1,0 +1,51 @@
+// The catalog: named point-cloud tables (each wrapped by a spatial query
+// engine) and named vector layers. This is what the SQL front end resolves
+// FROM clauses against, and what the demo scenarios assemble.
+#ifndef GEOCOL_GIS_CATALOG_H_
+#define GEOCOL_GIS_CATALOG_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/spatial_engine.h"
+#include "gis/layer.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Named dataset registry.
+class Catalog {
+ public:
+  /// Registers a point cloud table; a SpatialQueryEngine is created over
+  /// it with `options`.
+  Status AddPointCloud(const std::string& name,
+                       std::shared_ptr<FlatTable> table,
+                       EngineOptions options = {});
+
+  Status AddLayer(std::shared_ptr<VectorLayer> layer);
+
+  bool HasPointCloud(const std::string& name) const {
+    return engines_.count(name) != 0;
+  }
+  bool HasLayer(const std::string& name) const {
+    return layers_.count(name) != 0;
+  }
+
+  Result<SpatialQueryEngine*> GetEngine(const std::string& name);
+  Result<std::shared_ptr<FlatTable>> GetTable(const std::string& name);
+  Result<std::shared_ptr<VectorLayer>> GetLayer(const std::string& name);
+
+  std::vector<std::string> PointCloudNames() const;
+  std::vector<std::string> LayerNames() const;
+
+ private:
+  std::map<std::string, std::unique_ptr<SpatialQueryEngine>> engines_;
+  std::map<std::string, std::shared_ptr<FlatTable>> tables_;
+  std::map<std::string, std::shared_ptr<VectorLayer>> layers_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_GIS_CATALOG_H_

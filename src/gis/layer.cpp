@@ -1,0 +1,71 @@
+#include "gis/layer.h"
+
+#include <algorithm>
+
+#include "geom/predicates.h"
+
+namespace geocol {
+
+std::shared_ptr<VectorLayer> VectorLayer::FromFeatures(
+    std::string name, std::vector<VectorFeature> features) {
+  auto layer = std::make_shared<VectorLayer>(std::move(name));
+  layer->features_ = std::move(features);
+  return layer;
+}
+
+Box VectorLayer::Envelope() const {
+  Box b;
+  for (const VectorFeature& f : features_) b.Extend(f.geometry.Envelope());
+  return b;
+}
+
+std::vector<uint64_t> VectorLayer::SelectByClass(uint32_t feature_class) const {
+  std::vector<uint64_t> out;
+  for (size_t i = 0; i < features_.size(); ++i) {
+    if (features_[i].feature_class == feature_class) out.push_back(i);
+  }
+  return out;
+}
+
+void VectorLayer::EnsureIndex() {
+  if (index_built_) return;
+  std::vector<RTree::Entry> entries;
+  entries.reserve(features_.size());
+  for (size_t i = 0; i < features_.size(); ++i) {
+    entries.push_back({features_[i].geometry.Envelope(), i});
+  }
+  index_ = RTree::BulkLoad(std::move(entries));
+  index_built_ = true;
+}
+
+std::vector<uint64_t> VectorLayer::QueryEnvelopes(const Box& query) {
+  EnsureIndex();
+  std::vector<uint64_t> out;
+  index_.QueryBox(query, &out);
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<uint64_t> VectorLayer::QueryIntersecting(const Geometry& g) {
+  std::vector<uint64_t> candidates = QueryEnvelopes(g.Envelope());
+  std::vector<uint64_t> out;
+  for (uint64_t i : candidates) {
+    if (GeometriesIntersect(features_[i].geometry, g)) out.push_back(i);
+  }
+  return out;
+}
+
+std::vector<uint64_t> VectorLayer::QueryWithinDistance(const Geometry& g,
+                                                       double distance) {
+  std::vector<uint64_t> candidates =
+      QueryEnvelopes(g.Envelope().Expanded(distance));
+  std::vector<uint64_t> out;
+  for (uint64_t i : candidates) {
+    if (GeometryDistance(features_[i].geometry, g) <= distance) {
+      out.push_back(i);
+    }
+  }
+  return out;
+}
+
+}  // namespace geocol

@@ -1,0 +1,63 @@
+// Vector layers: named collections of features (roads, land-use polygons,
+// POIs) with thematic attributes and an envelope R-tree, the auxiliary GIS
+// data of the demo (OSM, Urban Atlas).
+#ifndef GEOCOL_GIS_LAYER_H_
+#define GEOCOL_GIS_LAYER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/rtree.h"
+#include "geom/geometry.h"
+#include "pointcloud/vector_gen.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// An immutable-after-build feature collection.
+class VectorLayer {
+ public:
+  explicit VectorLayer(std::string name) : name_(std::move(name)) {}
+
+  static std::shared_ptr<VectorLayer> FromFeatures(
+      std::string name, std::vector<VectorFeature> features);
+
+  const std::string& name() const { return name_; }
+  size_t size() const { return features_.size(); }
+  const VectorFeature& feature(size_t i) const { return features_[i]; }
+  const std::vector<VectorFeature>& features() const { return features_; }
+
+  void Add(VectorFeature f) {
+    features_.push_back(std::move(f));
+    index_built_ = false;
+  }
+
+  /// Union envelope of all features.
+  Box Envelope() const;
+
+  /// Feature indexes with the given thematic class.
+  std::vector<uint64_t> SelectByClass(uint32_t feature_class) const;
+
+  /// Feature indexes whose envelope intersects `query` (builds the R-tree
+  /// on first use).
+  std::vector<uint64_t> QueryEnvelopes(const Box& query);
+
+  /// Feature indexes whose geometry exactly intersects `g`.
+  std::vector<uint64_t> QueryIntersecting(const Geometry& g);
+
+  /// Feature indexes within `distance` of `g`.
+  std::vector<uint64_t> QueryWithinDistance(const Geometry& g, double distance);
+
+ private:
+  void EnsureIndex();
+
+  std::string name_;
+  std::vector<VectorFeature> features_;
+  RTree index_;
+  bool index_built_ = false;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_GIS_LAYER_H_

@@ -1,0 +1,80 @@
+#include "gis/layer_io.h"
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "geom/wkt.h"
+
+namespace geocol {
+
+Status WriteLayerFile(const VectorLayer& layer, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+  for (const VectorFeature& feat : layer.features()) {
+    // Names may not contain tabs/newlines in this format.
+    std::string safe_name = feat.name;
+    for (char& c : safe_name) {
+      if (c == '\t' || c == '\n' || c == '\r') c = ' ';
+    }
+    std::fprintf(f, "%llu\t%u\t%s\t%s\n",
+                 static_cast<unsigned long long>(feat.id), feat.feature_class,
+                 safe_name.c_str(), ToWkt(feat.geometry, 9).c_str());
+  }
+  if (std::fclose(f) != 0) return Status::IOError("close failed " + path);
+  return Status::OK();
+}
+
+Result<std::shared_ptr<VectorLayer>> ReadLayerFile(const std::string& path,
+                                                   const std::string& name) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return Status::IOError("cannot open " + path);
+
+  std::string layer_name = name;
+  if (layer_name.empty()) {
+    size_t slash = path.find_last_of('/');
+    layer_name = slash == std::string::npos ? path : path.substr(slash + 1);
+    size_t dot = layer_name.find_last_of('.');
+    if (dot != std::string::npos) layer_name = layer_name.substr(0, dot);
+  }
+
+  std::vector<VectorFeature> features;
+  std::string line;
+  char buf[1 << 16];
+  uint64_t line_no = 0;
+  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+    ++line_no;
+    line = buf;
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    // Split into exactly 4 tab-separated fields.
+    size_t t1 = line.find('\t');
+    size_t t2 = t1 == std::string::npos ? t1 : line.find('\t', t1 + 1);
+    size_t t3 = t2 == std::string::npos ? t2 : line.find('\t', t2 + 1);
+    if (t3 == std::string::npos) {
+      std::fclose(f);
+      return Status::Corruption("layer file: line " + std::to_string(line_no) +
+                                " does not have 4 fields");
+    }
+    VectorFeature feat;
+    char* end = nullptr;
+    feat.id = std::strtoull(line.c_str(), &end, 10);
+    feat.feature_class =
+        static_cast<uint32_t>(std::strtoul(line.c_str() + t1 + 1, &end, 10));
+    feat.name = line.substr(t2 + 1, t3 - t2 - 1);
+    auto geom = ParseWkt(line.substr(t3 + 1));
+    if (!geom.ok()) {
+      std::fclose(f);
+      return Status::Corruption("layer file: line " + std::to_string(line_no) +
+                                ": " + geom.status().message());
+    }
+    feat.geometry = *geom;
+    features.push_back(std::move(feat));
+  }
+  std::fclose(f);
+  return VectorLayer::FromFeatures(layer_name, std::move(features));
+}
+
+}  // namespace geocol

@@ -1,0 +1,25 @@
+// Vector layer exchange format: a simple tab-separated text file with one
+// feature per line (`id \t class \t name \t WKT`), loadable by QGIS-style
+// tools and by the geocol CLI.
+#ifndef GEOCOL_GIS_LAYER_IO_H_
+#define GEOCOL_GIS_LAYER_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "gis/layer.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Writes `layer` to `path` (one feature per line).
+Status WriteLayerFile(const VectorLayer& layer, const std::string& path);
+
+/// Reads a layer file; the layer name is taken from the file's base name
+/// unless `name` is non-empty.
+Result<std::shared_ptr<VectorLayer>> ReadLayerFile(const std::string& path,
+                                                   const std::string& name = "");
+
+}  // namespace geocol
+
+#endif  // GEOCOL_GIS_LAYER_IO_H_

@@ -1,0 +1,22 @@
+// Readers for the LAS-like tile format. Header-only reads are cheap and
+// are what the file-based baseline's per-file pre-filter uses (§2.2: "a
+// large amount of files to be inspected for a simple selection").
+#ifndef GEOCOL_LAS_LAS_READER_H_
+#define GEOCOL_LAS_LAS_READER_H_
+
+#include <string>
+
+#include "las/las_format.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Reads only the fixed header of a tile file.
+Result<LasHeader> ReadLasHeader(const std::string& path);
+
+/// Reads a whole tile, decompressing when the header says LAZ.
+Result<LasTile> ReadLasFile(const std::string& path);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_LAS_LAS_READER_H_

@@ -1,0 +1,58 @@
+#include "las/las_writer.h"
+
+#include "las/laz.h"
+#include "util/binary_io.h"
+
+namespace geocol {
+
+namespace {
+constexpr char kLasMagic[4] = {'G', 'L', 'A', 'S'};
+
+Status WriteHeader(BinaryWriter* w, const LasHeader& h) {
+  GEOCOL_RETURN_NOT_OK(w->WriteBytes(kLasMagic, 4));
+  GEOCOL_RETURN_NOT_OK(w->WriteScalar<uint64_t>(h.point_count));
+  for (double v : h.scale) GEOCOL_RETURN_NOT_OK(w->WriteScalar(v));
+  for (double v : h.offset) GEOCOL_RETURN_NOT_OK(w->WriteScalar(v));
+  for (double v : h.min_world) GEOCOL_RETURN_NOT_OK(w->WriteScalar(v));
+  for (double v : h.max_world) GEOCOL_RETURN_NOT_OK(w->WriteScalar(v));
+  GEOCOL_RETURN_NOT_OK(w->WriteScalar<uint16_t>(h.record_length));
+  GEOCOL_RETURN_NOT_OK(w->WriteScalar<uint8_t>(h.compressed));
+  return Status::OK();
+}
+
+Status WriteFileImpl(LasTile& tile, const std::string& path, bool compressed) {
+  tile.RecomputeHeader();
+  tile.header.compressed = compressed ? 1 : 0;
+  BinaryWriter w;
+  GEOCOL_RETURN_NOT_OK(w.Open(path));
+  GEOCOL_RETURN_NOT_OK(WriteHeader(&w, tile.header));
+  if (compressed) {
+    std::vector<uint8_t> payload;
+    GEOCOL_RETURN_NOT_OK(LazCompress(tile.points, &payload));
+    GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(payload.size()));
+    GEOCOL_RETURN_NOT_OK(w.WriteBytes(payload.data(), payload.size()));
+  } else {
+    std::vector<uint8_t> buf(tile.points.size() * kLasRecordBytes);
+    for (size_t i = 0; i < tile.points.size(); ++i) {
+      SerializeRecord(tile.points[i], buf.data() + i * kLasRecordBytes);
+    }
+    GEOCOL_RETURN_NOT_OK(w.WriteBytes(buf.data(), buf.size()));
+  }
+  return w.Close();
+}
+}  // namespace
+
+Status WriteLasFile(LasTile& tile, const std::string& path) {
+  return WriteFileImpl(tile, path, /*compressed=*/false);
+}
+
+Status WriteLazFile(LasTile& tile, const std::string& path) {
+  return WriteFileImpl(tile, path, /*compressed=*/true);
+}
+
+Status WriteTileFile(LasTile& tile, const std::string& path) {
+  bool laz = path.size() >= 4 && path.compare(path.size() - 4, 4, ".laz") == 0;
+  return WriteFileImpl(tile, path, laz);
+}
+
+}  // namespace geocol

@@ -1,0 +1,24 @@
+// Writers for the LAS-like tile format, plain and LAZ-compressed.
+#ifndef GEOCOL_LAS_LAS_WRITER_H_
+#define GEOCOL_LAS_LAS_WRITER_H_
+
+#include <string>
+
+#include "las/las_format.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Writes the tile uncompressed (".las" convention). The header's point
+/// count and bbox are recomputed before writing.
+Status WriteLasFile(LasTile& tile, const std::string& path);
+
+/// Writes the tile with the LAZ-like compressed payload (".laz").
+Status WriteLazFile(LasTile& tile, const std::string& path);
+
+/// Dispatches on the path suffix (".laz" → compressed).
+Status WriteTileFile(LasTile& tile, const std::string& path);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_LAS_LAS_WRITER_H_

@@ -1,0 +1,38 @@
+// The conventional CSV load path the paper's binary loader replaces: tile
+// -> CSV text -> per-record parsing into the table. Exists only as the E1
+// baseline ("the dominant part of loading stems from the conversion of the
+// LAZ files into CSV format and the subsequent parsing of the CSV records
+// by the database engine", §3.2).
+#ifndef GEOCOL_LOADER_CSV_LOADER_H_
+#define GEOCOL_LOADER_CSV_LOADER_H_
+
+#include <memory>
+#include <string>
+
+#include "columns/flat_table.h"
+#include "loader/binary_loader.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// CSV-based loader for LAS/LAZ tile directories.
+class CsvLoader {
+ public:
+  explicit CsvLoader(std::string scratch_dir)
+      : scratch_dir_(std::move(scratch_dir)) {}
+
+  /// Loads every .las/.laz file under `dir` via the CSV round trip.
+  Result<std::shared_ptr<FlatTable>> LoadDirectory(const std::string& dir,
+                                                   LoadStats* stats = nullptr);
+
+  /// Loads one tile file into `table` through a CSV intermediate.
+  Status LoadFile(const std::string& path, FlatTable* table,
+                  LoadStats* stats = nullptr);
+
+ private:
+  std::string scratch_dir_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_LOADER_CSV_LOADER_H_

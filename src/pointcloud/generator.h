@@ -1,0 +1,83 @@
+// The AHN2-like point cloud generator. Points are emitted in *acquisition
+// order*: the virtual aircraft flies south-to-north strips, the scanner
+// sweeping across-track — exactly the process that gives real LIDAR columns
+// the "local clustering or partial ordering as a side effect of the
+// construction process" that imprints compression exploits (§2.1.1).
+#ifndef GEOCOL_POINTCLOUD_GENERATOR_H_
+#define GEOCOL_POINTCLOUD_GENERATOR_H_
+
+#include <functional>
+#include <memory>
+
+#include "columns/flat_table.h"
+#include "las/las_format.h"
+#include "pointcloud/terrain.h"
+#include "util/status.h"
+
+namespace geocol {
+
+/// Generator configuration. Defaults produce a ~2 km² survey patch with
+/// AHN2-like density (6-10 points/m²).
+struct AhnGeneratorOptions {
+  uint64_t seed = 20150831;          ///< VLDB'15 started Aug 31 — any seed works
+  Box extent = Box(85000.0, 444000.0, 86000.0, 446000.0);  ///< RD-like coords
+  double point_density = 8.0;        ///< points per m² (AHN2: 6-10)
+  double strip_width = 120.0;        ///< flight strip width, meters
+  double scan_line_spacing = 0.35;   ///< along-track distance between sweeps
+  uint64_t target_points_per_tile = 200000;  ///< tile split threshold
+  double coordinate_scale = 0.01;    ///< LAS scale (cm precision)
+};
+
+/// Streams tiles of synthetic AHN2-like data.
+class AhnGenerator {
+ public:
+  explicit AhnGenerator(AhnGeneratorOptions options = {});
+
+  const AhnGeneratorOptions& options() const { return options_; }
+  const TerrainModel& terrain() const { return terrain_; }
+
+  /// Expected total point count for the configured extent/density.
+  uint64_t EstimatedPoints() const;
+
+  /// Generates the full survey, invoking `consumer` once per tile (in
+  /// acquisition order). The consumer may write the tile to disk, load it
+  /// into a table, or both. Generation stops on the first non-OK status.
+  Status GenerateTiles(
+      const std::function<Status(LasTile&, uint64_t tile_index)>& consumer);
+
+  /// Convenience: generates approximately `num_points` points (overriding
+  /// density-based sizing) directly into a flat table with the LAS schema,
+  /// in acquisition order.
+  Result<std::shared_ptr<FlatTable>> GenerateTable(uint64_t num_points);
+
+  /// Writes all tiles as files under `dir` named tile_00042.las/.laz.
+  /// Returns the number of tiles written.
+  Result<uint64_t> WriteTileDirectory(const std::string& dir, bool compress);
+
+ private:
+  /// Emits the points of one flight strip into `sink`.
+  void GenerateStrip(uint32_t strip_index,
+                     const std::function<void(const LasPointRecord&)>& sink,
+                     LasTile* proto) const;
+
+  AhnGeneratorOptions options_;
+  TerrainModel terrain_;
+};
+
+/// Generates a plain random (unclustered) column of doubles — the worst
+/// case for zonemaps in E5.
+std::shared_ptr<Column> MakeUniformColumn(const std::string& name, size_t n,
+                                          double lo, double hi, uint64_t seed);
+
+/// Shuffles all columns of `table` with the same permutation — destroys
+/// acquisition order while preserving row integrity (E5's "unclustered"
+/// configuration).
+void ShuffleTableRows(FlatTable* table, uint64_t seed);
+
+/// Sorts all columns of `table` by Morton code of (x, y) — the `lassort`
+/// configuration of E5/E3.
+Status SortTableMorton(FlatTable* table);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_POINTCLOUD_GENERATOR_H_

@@ -1,0 +1,144 @@
+#include "pointcloud/terrain.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace geocol {
+
+namespace {
+// 64-bit mix (SplitMix64 finaliser) — the lattice hash.
+uint64_t Mix(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ULL;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBULL;
+  x ^= x >> 31;
+  return x;
+}
+
+double SmoothStep(double t) { return t * t * (3.0 - 2.0 * t); }
+}  // namespace
+
+double TerrainModel::LatticeNoise(int64_t ix, int64_t iy, uint64_t salt) const {
+  uint64_t h = Mix(static_cast<uint64_t>(ix) * 0x9E3779B97F4A7C15ULL ^
+                   Mix(static_cast<uint64_t>(iy) ^ (seed_ + salt)));
+  return (h >> 11) * 0x1.0p-53;
+}
+
+double TerrainModel::SmoothNoise(double x, double y, double freq,
+                                 uint64_t salt) const {
+  double fx = x * freq, fy = y * freq;
+  int64_t ix = static_cast<int64_t>(std::floor(fx));
+  int64_t iy = static_cast<int64_t>(std::floor(fy));
+  double tx = SmoothStep(fx - ix);
+  double ty = SmoothStep(fy - iy);
+  double v00 = LatticeNoise(ix, iy, salt);
+  double v10 = LatticeNoise(ix + 1, iy, salt);
+  double v01 = LatticeNoise(ix, iy + 1, salt);
+  double v11 = LatticeNoise(ix + 1, iy + 1, salt);
+  double a = v00 + (v10 - v00) * tx;
+  double b = v01 + (v11 - v01) * tx;
+  return a + (b - a) * ty;
+}
+
+double TerrainModel::Fbm(double x, double y, double base_freq, int octaves,
+                         uint64_t salt) const {
+  double sum = 0.0, amp = 1.0, norm = 0.0, freq = base_freq;
+  for (int o = 0; o < octaves; ++o) {
+    sum += amp * SmoothNoise(x, y, freq, salt + o * 7919);
+    norm += amp;
+    amp *= 0.5;
+    freq *= 2.0;
+  }
+  return sum / norm;
+}
+
+double TerrainModel::GroundElevation(double x, double y) const {
+  // The Netherlands: mostly within [-5, +40] m; gentle large-scale relief
+  // with fine detail.
+  double coarse = Fbm(x, y, 1.0 / 2500.0, 4, 1);
+  double fine = Fbm(x, y, 1.0 / 80.0, 3, 2);
+  return -5.0 + coarse * 40.0 + (fine - 0.5) * 2.0;
+}
+
+double TerrainModel::UrbanFactor(double x, double y) const {
+  // A few city kernels per 10 km with soft falloff.
+  double n = Fbm(x, y, 1.0 / 1800.0, 3, 3);
+  return std::clamp((n - 0.55) * 4.0, 0.0, 1.0);
+}
+
+bool TerrainModel::IsWater(double x, double y) const {
+  // Polder channels and lakes: low-lying bands of a dedicated noise field.
+  double n = Fbm(x, y, 1.0 / 900.0, 3, 4);
+  return n < 0.30;
+}
+
+SurfaceSample TerrainModel::SampleAt(double x, double y) const {
+  SurfaceSample s;
+  double ground = GroundElevation(x, y);
+
+  if (IsWater(x, y)) {
+    s.classification = kClassWater;
+    s.elevation = std::min(ground, -0.5);  // water level below surroundings
+    s.intensity = static_cast<uint16_t>(20 + 30 * SmoothNoise(x, y, 0.5, 11));
+    s.red = 30;
+    s.green = 60;
+    s.blue = 120;
+    s.nir = 10;  // water absorbs NIR
+    return s;
+  }
+
+  double urban = UrbanFactor(x, y);
+  // Building lots: a 28 m lattice; a lot holds a building when the lot
+  // hash clears the urban threshold. Building footprints fill ~60% of the
+  // lot, leaving streets between them.
+  constexpr double kLot = 28.0;
+  int64_t lot_x = static_cast<int64_t>(std::floor(x / kLot));
+  int64_t lot_y = static_cast<int64_t>(std::floor(y / kLot));
+  double lot_rnd = LatticeNoise(lot_x, lot_y, 5);
+  double in_lot_x = x - lot_x * kLot;
+  double in_lot_y = y - lot_y * kLot;
+  bool in_footprint = in_lot_x > kLot * 0.2 && in_lot_x < kLot * 0.8 &&
+                      in_lot_y > kLot * 0.2 && in_lot_y < kLot * 0.8;
+  if (urban > 0.05 && lot_rnd < urban * 0.85 && in_footprint) {
+    double height = 4.0 + lot_rnd * 40.0 * (0.3 + urban);
+    s.classification = kClassBuilding;
+    s.elevation = ground + height;
+    s.intensity = static_cast<uint16_t>(120 + 80 * LatticeNoise(lot_x, lot_y, 6));
+    uint16_t shade = static_cast<uint16_t>(90 + 100 * LatticeNoise(lot_x, lot_y, 7));
+    s.red = shade;
+    s.green = shade;
+    s.blue = static_cast<uint16_t>(shade * 0.9);
+    s.nir = static_cast<uint16_t>(40 + 40 * lot_rnd);
+    return s;
+  }
+
+  // Vegetation: denser away from cities.
+  double veg = Fbm(x, y, 1.0 / 140.0, 3, 8) * (1.0 - 0.7 * urban);
+  if (veg > 0.62) {
+    double canopy = (veg - 0.62) / 0.38;  // 0..1
+    double height = canopy * 25.0;
+    s.elevation = ground + height;
+    s.num_returns = height > 10 ? 3 : (height > 3 ? 2 : 1);
+    s.classification = height > 8    ? kClassHighVegetation
+                       : height > 1.5 ? kClassMediumVegetation
+                                      : kClassLowVegetation;
+    s.intensity = static_cast<uint16_t>(60 + 60 * veg);
+    s.red = 40;
+    s.green = static_cast<uint16_t>(90 + 80 * canopy);
+    s.blue = 35;
+    s.nir = static_cast<uint16_t>(180 + 60 * canopy);  // vegetation reflects NIR
+    return s;
+  }
+
+  s.classification = kClassGround;
+  s.elevation = ground;
+  s.intensity = static_cast<uint16_t>(80 + 60 * SmoothNoise(x, y, 0.02, 9));
+  s.red = static_cast<uint16_t>(110 + 40 * SmoothNoise(x, y, 0.01, 10));
+  s.green = static_cast<uint16_t>(90 + 40 * SmoothNoise(x, y, 0.01, 12));
+  s.blue = 70;
+  s.nir = 120;
+  return s;
+}
+
+}  // namespace geocol

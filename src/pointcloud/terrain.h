@@ -1,0 +1,68 @@
+// Deterministic synthetic terrain standing in for the AHN2 survey: a
+// fractal height field with urban blocks (buildings), vegetation and water
+// bodies. Every evaluation is a pure function of (seed, x, y), so tiles can
+// be generated independently and reproducibly.
+#ifndef GEOCOL_POINTCLOUD_TERRAIN_H_
+#define GEOCOL_POINTCLOUD_TERRAIN_H_
+
+#include <cstdint>
+
+#include "geom/geometry.h"
+
+namespace geocol {
+
+/// LAS classification codes used by the generator (ASPRS standard values).
+enum LasClass : uint8_t {
+  kClassUnclassified = 1,
+  kClassGround = 2,
+  kClassLowVegetation = 3,
+  kClassMediumVegetation = 4,
+  kClassHighVegetation = 5,
+  kClassBuilding = 6,
+  kClassWater = 9,
+};
+
+/// Per-sample surface description returned by the terrain model.
+struct SurfaceSample {
+  double elevation = 0.0;      ///< meters (what the LIDAR return measures)
+  uint8_t classification = kClassGround;
+  uint16_t intensity = 0;      ///< reflectance proxy
+  uint16_t red = 0, green = 0, blue = 0, nir = 0;
+  uint8_t num_returns = 1;     ///< >1 under vegetation canopies
+};
+
+/// The synthetic Netherlands: gentle fractal relief, polder water bodies,
+/// urban districts with rectangular buildings, and vegetated patches.
+class TerrainModel {
+ public:
+  explicit TerrainModel(uint64_t seed) : seed_(seed) {}
+
+  /// Ground elevation (without buildings/vegetation) at (x, y), meters.
+  double GroundElevation(double x, double y) const;
+
+  /// Full surface sample: what a LIDAR pulse hitting (x, y) returns.
+  SurfaceSample SampleAt(double x, double y) const;
+
+  /// Urbanisation factor in [0, 1] (drives building density).
+  double UrbanFactor(double x, double y) const;
+
+  /// True when (x, y) lies in a water body.
+  bool IsWater(double x, double y) const;
+
+  uint64_t seed() const { return seed_; }
+
+ private:
+  /// Value noise in [0,1] at integer lattice hashed with `salt`.
+  double LatticeNoise(int64_t ix, int64_t iy, uint64_t salt) const;
+  /// Smooth bilinear value noise at frequency `freq` (cycles per meter).
+  double SmoothNoise(double x, double y, double freq, uint64_t salt) const;
+  /// Fractal Brownian motion: `octaves` octaves of SmoothNoise.
+  double Fbm(double x, double y, double base_freq, int octaves,
+             uint64_t salt) const;
+
+  uint64_t seed_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_POINTCLOUD_TERRAIN_H_

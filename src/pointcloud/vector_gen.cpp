@@ -1,0 +1,259 @@
+#include "pointcloud/vector_gen.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.h"
+
+namespace geocol {
+
+const char* UrbanAtlasClassName(UrbanAtlasClass c) {
+  switch (c) {
+    case UrbanAtlasClass::kContinuousUrbanFabric:
+      return "Continuous urban fabric";
+    case UrbanAtlasClass::kDiscontinuousUrbanFabric:
+      return "Discontinuous urban fabric";
+    case UrbanAtlasClass::kIndustrialCommercial:
+      return "Industrial, commercial, public units";
+    case UrbanAtlasClass::kFastTransitRoads:
+      return "Fast transit roads and associated land";
+    case UrbanAtlasClass::kOtherRoads:
+      return "Other roads and associated land";
+    case UrbanAtlasClass::kGreenUrbanAreas:
+      return "Green urban areas";
+    case UrbanAtlasClass::kAgricultural:
+      return "Agricultural areas";
+    case UrbanAtlasClass::kForests:
+      return "Forests";
+    case UrbanAtlasClass::kWater:
+      return "Water bodies";
+  }
+  return "Unknown";
+}
+
+const char* RoadClassName(RoadClass c) {
+  switch (c) {
+    case RoadClass::kMotorway: return "motorway";
+    case RoadClass::kPrimary: return "primary";
+    case RoadClass::kSecondary: return "secondary";
+    case RoadClass::kResidential: return "residential";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// Random waypoint walk: start on one side of the extent, drift toward the
+/// opposite side with heading noise. `smoothness` in (0,1] damps turns.
+LineString RandomWalk(Rng* rng, const Box& extent, double step,
+                      double smoothness, size_t max_points) {
+  LineString line;
+  // Start on a random edge, heading inward.
+  double heading;
+  Point p;
+  switch (rng->Uniform(4)) {
+    case 0: p = {extent.min_x, rng->UniformDouble(extent.min_y, extent.max_y)};
+      heading = 0.0;
+      break;
+    case 1: p = {extent.max_x, rng->UniformDouble(extent.min_y, extent.max_y)};
+      heading = M_PI;
+      break;
+    case 2: p = {rng->UniformDouble(extent.min_x, extent.max_x), extent.min_y};
+      heading = M_PI / 2;
+      break;
+    default: p = {rng->UniformDouble(extent.min_x, extent.max_x), extent.max_y};
+      heading = -M_PI / 2;
+      break;
+  }
+  line.points.push_back(p);
+  for (size_t i = 0; i < max_points; ++i) {
+    heading += rng->NextGaussian() * (1.0 - smoothness) * 0.8;
+    p.x += std::cos(heading) * step;
+    p.y += std::sin(heading) * step;
+    if (!extent.Contains(p)) break;
+    line.points.push_back(p);
+  }
+  return line;
+}
+
+}  // namespace
+
+std::vector<VectorFeature> OsmGenerator::GenerateRoads(uint32_t count) const {
+  Rng rng(seed_ ^ 0x0A0DULL);
+  std::vector<VectorFeature> out;
+  out.reserve(count);
+  // Step sizes must fit the extent or short walks would retry forever on
+  // small survey patches.
+  const double max_step =
+      std::max(1.0, std::min(extent_.width(), extent_.height()) / 4.0);
+  uint32_t attempts = 0;
+  const uint32_t max_attempts = count * 50 + 100;
+  for (uint32_t i = 0; i < count && attempts < max_attempts; ++i) {
+    ++attempts;
+    RoadClass cls;
+    double step, smooth;
+    size_t max_pts;
+    // The first road is always a motorway so every generated network has a
+    // fast-transit corridor for the scenario-2 demo queries.
+    uint64_t pick = out.empty() ? 0 : rng.Uniform(100);
+    if (pick < 10) {
+      cls = RoadClass::kMotorway;
+      step = 120.0;
+      smooth = 0.95;
+      max_pts = 400;
+    } else if (pick < 30) {
+      cls = RoadClass::kPrimary;
+      step = 80.0;
+      smooth = 0.85;
+      max_pts = 250;
+    } else if (pick < 60) {
+      cls = RoadClass::kSecondary;
+      step = 50.0;
+      smooth = 0.75;
+      max_pts = 150;
+    } else {
+      cls = RoadClass::kResidential;
+      step = 25.0;
+      smooth = 0.6;
+      max_pts = 60;
+    }
+    step = std::min(step, max_step);
+    LineString line = RandomWalk(&rng, extent_, step, smooth, max_pts);
+    if (line.points.size() < 2) {
+      --i;  // too short to be a road; retry (bounded by max_attempts)
+      continue;
+    }
+    VectorFeature f;
+    f.id = out.size() + 1;
+    f.geometry = Geometry(std::move(line));
+    f.feature_class = static_cast<uint32_t>(cls);
+    f.name = std::string(RoadClassName(cls)) + "_" + std::to_string(f.id);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<VectorFeature> OsmGenerator::GenerateRivers(uint32_t count) const {
+  Rng rng(seed_ ^ 0x51BE5ULL);
+  std::vector<VectorFeature> out;
+  for (uint32_t i = 0; i < count; ++i) {
+    LineString line = RandomWalk(&rng, extent_, 90.0, 0.92, 500);
+    if (line.points.size() < 2) continue;
+    VectorFeature f;
+    f.id = 100000 + out.size() + 1;
+    f.geometry = Geometry(std::move(line));
+    f.feature_class = static_cast<uint32_t>(UrbanAtlasClass::kWater);
+    f.name = "river_" + std::to_string(f.id);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+std::vector<VectorFeature> OsmGenerator::GeneratePois(uint32_t count) const {
+  Rng rng(seed_ ^ 0x901ULL);
+  std::vector<VectorFeature> out;
+  out.reserve(count);
+  uint32_t placed = 0;
+  uint32_t attempts = 0;
+  while (placed < count && attempts < count * 50) {
+    ++attempts;
+    Point p{rng.UniformDouble(extent_.min_x, extent_.max_x),
+            rng.UniformDouble(extent_.min_y, extent_.max_y)};
+    // POIs cluster where people are: accept with probability ~ urbanness.
+    double urban = terrain_->UrbanFactor(p.x, p.y);
+    if (!rng.NextBool(0.05 + 0.95 * urban)) continue;
+    VectorFeature f;
+    f.id = 200000 + placed + 1;
+    f.geometry = Geometry(p);
+    f.feature_class = static_cast<uint32_t>(1 + rng.Uniform(10));  // POI kind
+    f.name = "poi_" + std::to_string(f.id);
+    out.push_back(std::move(f));
+    ++placed;
+  }
+  return out;
+}
+
+std::vector<VectorFeature> UrbanAtlasGenerator::GenerateLandUse(
+    uint32_t blocks_per_axis) const {
+  Rng rng(seed_ ^ 0xA71A5ULL);
+  std::vector<VectorFeature> out;
+  out.reserve(static_cast<size_t>(blocks_per_axis) * blocks_per_axis);
+  double bw = extent_.width() / blocks_per_axis;
+  double bh = extent_.height() / blocks_per_axis;
+  for (uint32_t by = 0; by < blocks_per_axis; ++by) {
+    for (uint32_t bx = 0; bx < blocks_per_axis; ++bx) {
+      Box block(extent_.min_x + bx * bw, extent_.min_y + by * bh,
+                extent_.min_x + (bx + 1) * bw, extent_.min_y + (by + 1) * bh);
+      Point c = block.center();
+      UrbanAtlasClass cls;
+      if (terrain_->IsWater(c.x, c.y)) {
+        cls = UrbanAtlasClass::kWater;
+      } else {
+        double urban = terrain_->UrbanFactor(c.x, c.y);
+        if (urban > 0.7) {
+          cls = rng.NextBool(0.2) ? UrbanAtlasClass::kIndustrialCommercial
+                                  : UrbanAtlasClass::kContinuousUrbanFabric;
+        } else if (urban > 0.3) {
+          cls = rng.NextBool(0.15) ? UrbanAtlasClass::kGreenUrbanAreas
+                                   : UrbanAtlasClass::kDiscontinuousUrbanFabric;
+        } else {
+          cls = rng.NextBool(0.35) ? UrbanAtlasClass::kForests
+                                   : UrbanAtlasClass::kAgricultural;
+        }
+      }
+      VectorFeature f;
+      f.id = 300000 + out.size() + 1;
+      f.geometry = Geometry(Polygon::FromBox(block));
+      f.feature_class = static_cast<uint32_t>(cls);
+      f.name = UrbanAtlasClassName(cls);
+      out.push_back(std::move(f));
+    }
+  }
+  return out;
+}
+
+MultiPolygon BufferLine(const LineString& line, double half_width) {
+  MultiPolygon mp;
+  for (size_t i = 1; i < line.points.size(); ++i) {
+    const Point& a = line.points[i - 1];
+    const Point& b = line.points[i];
+    double dx = b.x - a.x, dy = b.y - a.y;
+    double len = std::sqrt(dx * dx + dy * dy);
+    if (len <= 0.0) continue;
+    // Unit normal, plus a half-width extension along the segment so
+    // consecutive quads overlap at joints.
+    double nx = -dy / len * half_width;
+    double ny = dx / len * half_width;
+    double ex = dx / len * half_width;
+    double ey = dy / len * half_width;
+    Polygon quad;
+    quad.shell.points = {{a.x - ex + nx, a.y - ey + ny},
+                         {b.x + ex + nx, b.y + ey + ny},
+                         {b.x + ex - nx, b.y + ey - ny},
+                         {a.x - ex - nx, a.y - ey - ny}};
+    mp.polygons.push_back(std::move(quad));
+  }
+  return mp;
+}
+
+std::vector<VectorFeature> UrbanAtlasGenerator::GenerateTransitCorridors(
+    const std::vector<VectorFeature>& roads, double half_width) const {
+  std::vector<VectorFeature> out;
+  for (const VectorFeature& road : roads) {
+    if (road.feature_class != static_cast<uint32_t>(RoadClass::kMotorway)) {
+      continue;
+    }
+    if (!road.geometry.is_line()) continue;
+    MultiPolygon corridor = BufferLine(road.geometry.line(), half_width);
+    if (corridor.polygons.empty()) continue;
+    VectorFeature f;
+    f.id = 400000 + out.size() + 1;
+    f.geometry = Geometry(std::move(corridor));
+    f.feature_class = static_cast<uint32_t>(UrbanAtlasClass::kFastTransitRoads);
+    f.name = UrbanAtlasClassName(UrbanAtlasClass::kFastTransitRoads);
+    out.push_back(std::move(f));
+  }
+  return out;
+}
+
+}  // namespace geocol

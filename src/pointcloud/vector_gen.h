@@ -1,0 +1,97 @@
+// Synthetic auxiliary GIS layers standing in for OpenStreetMap and the
+// Urban Atlas (§4): a road/river/POI network and a land-use/land-cover
+// polygon coverage with the Urban Atlas nomenclature codes the demo's
+// scenario-2 queries reference ("fast transit roads").
+#ifndef GEOCOL_POINTCLOUD_VECTOR_GEN_H_
+#define GEOCOL_POINTCLOUD_VECTOR_GEN_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+#include "pointcloud/terrain.h"
+
+namespace geocol {
+
+/// OSM-like highway classes.
+enum class RoadClass : uint32_t {
+  kMotorway = 1,
+  kPrimary = 2,
+  kSecondary = 3,
+  kResidential = 4,
+};
+
+/// Urban Atlas nomenclature codes (the subset the demo queries touch).
+enum class UrbanAtlasClass : uint32_t {
+  kContinuousUrbanFabric = 11100,
+  kDiscontinuousUrbanFabric = 11210,
+  kIndustrialCommercial = 12100,
+  kFastTransitRoads = 12210,  ///< "fast transit roads and associated land"
+  kOtherRoads = 12220,
+  kGreenUrbanAreas = 14100,
+  kAgricultural = 20000,
+  kForests = 30000,
+  kWater = 50000,
+};
+
+const char* UrbanAtlasClassName(UrbanAtlasClass c);
+const char* RoadClassName(RoadClass c);
+
+/// One vector feature: geometry + thematic class + display name.
+struct VectorFeature {
+  uint64_t id = 0;
+  Geometry geometry;
+  uint32_t feature_class = 0;  ///< RoadClass or UrbanAtlasClass value
+  std::string name;
+};
+
+/// OSM-like generator: roads as polylines (motorways are long and smooth,
+/// residential roads short and wiggly), rivers as wide smooth polylines,
+/// POIs as points clustered in urban areas.
+class OsmGenerator {
+ public:
+  OsmGenerator(uint64_t seed, const Box& extent, const TerrainModel& terrain)
+      : seed_(seed), extent_(extent), terrain_(&terrain) {}
+
+  std::vector<VectorFeature> GenerateRoads(uint32_t count) const;
+  std::vector<VectorFeature> GenerateRivers(uint32_t count) const;
+  std::vector<VectorFeature> GeneratePois(uint32_t count) const;
+
+ private:
+  uint64_t seed_;
+  Box extent_;
+  const TerrainModel* terrain_;
+};
+
+/// Urban-Atlas-like generator: a block coverage of land-use polygons
+/// derived from the terrain model plus fast-transit-road corridor polygons
+/// buffered around the motorways.
+class UrbanAtlasGenerator {
+ public:
+  UrbanAtlasGenerator(uint64_t seed, const Box& extent,
+                      const TerrainModel& terrain)
+      : seed_(seed), extent_(extent), terrain_(&terrain) {}
+
+  /// Block-grid land-use polygons (one rectangle per block, classed by the
+  /// dominant terrain character at its centre).
+  std::vector<VectorFeature> GenerateLandUse(uint32_t blocks_per_axis) const;
+
+  /// Corridor polygons of class kFastTransitRoads around the given
+  /// motorway polylines, `half_width` meters to each side.
+  std::vector<VectorFeature> GenerateTransitCorridors(
+      const std::vector<VectorFeature>& roads, double half_width) const;
+
+ private:
+  uint64_t seed_;
+  Box extent_;
+  const TerrainModel* terrain_;
+};
+
+/// Buffers a polyline into a corridor polygon (per-segment quads merged
+/// into a multipolygon — adequate for containment/near queries).
+MultiPolygon BufferLine(const LineString& line, double half_width);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_POINTCLOUD_VECTOR_GEN_H_

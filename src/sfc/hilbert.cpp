@@ -1,0 +1,60 @@
+#include "sfc/hilbert.h"
+
+#include <algorithm>
+
+namespace geocol {
+
+namespace {
+// Rotates/flips a quadrant-local coordinate pair.
+void Rot(uint32_t n, uint32_t* x, uint32_t* y, uint32_t rx, uint32_t ry) {
+  if (ry == 0) {
+    if (rx == 1) {
+      *x = n - 1 - *x;
+      *y = n - 1 - *y;
+    }
+    uint32_t t = *x;
+    *x = *y;
+    *y = t;
+  }
+}
+}  // namespace
+
+uint64_t HilbertEncode(uint32_t x, uint32_t y, uint32_t order) {
+  uint64_t d = 0;
+  for (uint32_t s = order; s-- > 0;) {
+    uint32_t side = uint32_t{1} << s;
+    uint32_t rx = (x & side) > 0 ? 1 : 0;
+    uint32_t ry = (y & side) > 0 ? 1 : 0;
+    d += static_cast<uint64_t>(side) * side * ((3 * rx) ^ ry);
+    Rot(uint32_t{1} << order, &x, &y, rx, ry);
+  }
+  return d;
+}
+
+std::pair<uint32_t, uint32_t> HilbertDecode(uint64_t d, uint32_t order) {
+  uint32_t x = 0, y = 0;
+  uint64_t t = d;
+  for (uint32_t s = 0; s < order; ++s) {
+    uint32_t side = uint32_t{1} << s;
+    uint32_t rx = 1 & static_cast<uint32_t>(t / 2);
+    uint32_t ry = 1 & static_cast<uint32_t>(t ^ rx);
+    Rot(side, &x, &y, rx, ry);
+    x += side * rx;
+    y += side * ry;
+    t /= 4;
+  }
+  return {x, y};
+}
+
+uint64_t HilbertEncodeScaled(double x, double y, const Box& extent,
+                             uint32_t order) {
+  double w = std::max(extent.width(), 1e-12);
+  double h = std::max(extent.height(), 1e-12);
+  double scale = static_cast<double>((uint64_t{1} << order) - 1);
+  double fx = std::clamp((x - extent.min_x) / w, 0.0, 1.0);
+  double fy = std::clamp((y - extent.min_y) / h, 0.0, 1.0);
+  return HilbertEncode(static_cast<uint32_t>(fx * scale),
+                       static_cast<uint32_t>(fy * scale), order);
+}
+
+}  // namespace geocol

@@ -1,0 +1,26 @@
+// Hilbert space-filling curve (the block ordering Oracle Spatial uses for
+// its point-cloud blocks, paper §2.3). Iterative rot/flip formulation.
+#ifndef GEOCOL_SFC_HILBERT_H_
+#define GEOCOL_SFC_HILBERT_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "geom/geometry.h"
+
+namespace geocol {
+
+/// Maps (x, y) on a 2^order x 2^order grid to its Hilbert curve distance.
+/// `order` must be in [1, 31].
+uint64_t HilbertEncode(uint32_t x, uint32_t y, uint32_t order = 16);
+
+/// Inverse of HilbertEncode.
+std::pair<uint32_t, uint32_t> HilbertDecode(uint64_t d, uint32_t order = 16);
+
+/// Scales doubles within `extent` onto the Hilbert grid and encodes.
+uint64_t HilbertEncodeScaled(double x, double y, const Box& extent,
+                             uint32_t order = 16);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_SFC_HILBERT_H_

@@ -1,0 +1,57 @@
+#include "sfc/morton.h"
+
+#include <algorithm>
+
+namespace geocol {
+
+namespace {
+// Spreads the low 32 bits of v to the even bit positions of a 64-bit word.
+uint64_t Part1By1(uint32_t v) {
+  uint64_t x = v;
+  x = (x | (x << 16)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x << 8)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x << 4)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x << 2)) & 0x3333333333333333ULL;
+  x = (x | (x << 1)) & 0x5555555555555555ULL;
+  return x;
+}
+
+uint32_t Compact1By1(uint64_t x) {
+  x &= 0x5555555555555555ULL;
+  x = (x | (x >> 1)) & 0x3333333333333333ULL;
+  x = (x | (x >> 2)) & 0x0F0F0F0F0F0F0F0FULL;
+  x = (x | (x >> 4)) & 0x00FF00FF00FF00FFULL;
+  x = (x | (x >> 8)) & 0x0000FFFF0000FFFFULL;
+  x = (x | (x >> 16)) & 0x00000000FFFFFFFFULL;
+  return static_cast<uint32_t>(x);
+}
+}  // namespace
+
+uint64_t MortonEncode(uint32_t x, uint32_t y) {
+  return Part1By1(x) | (Part1By1(y) << 1);
+}
+
+std::pair<uint32_t, uint32_t> MortonDecode(uint64_t code) {
+  return {Compact1By1(code), Compact1By1(code >> 1)};
+}
+
+uint64_t MortonEncodeScaled(double x, double y, const Box& extent,
+                            uint32_t bits) {
+  double w = std::max(extent.width(), 1e-12);
+  double h = std::max(extent.height(), 1e-12);
+  // Scale by 2^bits (clamped) so grid cell k covers exactly
+  // [k/2^bits, (k+1)/2^bits) of the extent — this keeps codes aligned
+  // with binary quadrant subdivision, which the Morton-interval query
+  // decomposition depends on.
+  double scale = static_cast<double>(uint64_t{1} << bits);
+  uint64_t max_cell = (uint64_t{1} << bits) - 1;
+  double fx = std::clamp((x - extent.min_x) / w, 0.0, 1.0);
+  double fy = std::clamp((y - extent.min_y) / h, 0.0, 1.0);
+  uint32_t xi = static_cast<uint32_t>(
+      std::min<uint64_t>(static_cast<uint64_t>(fx * scale), max_cell));
+  uint32_t yi = static_cast<uint32_t>(
+      std::min<uint64_t>(static_cast<uint64_t>(fy * scale), max_cell));
+  return MortonEncode(xi, yi);
+}
+
+}  // namespace geocol

@@ -1,0 +1,27 @@
+// Morton (Z-order) space-filling curve, used by `lassort`-style file
+// re-ordering and by the block store's spatial block ordering (paper §2.3).
+#ifndef GEOCOL_SFC_MORTON_H_
+#define GEOCOL_SFC_MORTON_H_
+
+#include <cstdint>
+#include <utility>
+
+#include "geom/geometry.h"
+
+namespace geocol {
+
+/// Interleaves the low 32 bits of x and y into a 64-bit Morton code
+/// (x occupies the even bit positions).
+uint64_t MortonEncode(uint32_t x, uint32_t y);
+
+/// Inverse of MortonEncode.
+std::pair<uint32_t, uint32_t> MortonDecode(uint64_t code);
+
+/// Maps doubles within `extent` to the 32-bit grid and encodes. Values are
+/// clamped to the extent.
+uint64_t MortonEncodeScaled(double x, double y, const Box& extent,
+                            uint32_t bits = 21);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_SFC_MORTON_H_

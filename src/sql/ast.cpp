@@ -1,0 +1,94 @@
+#include "sql/ast.h"
+
+#include <cstdio>
+
+#include "geom/wkt.h"
+
+namespace geocol {
+namespace sql {
+
+const char* AggFuncName(AggFunc f) {
+  switch (f) {
+    case AggFunc::kNone: return "";
+    case AggFunc::kCount: return "COUNT";
+    case AggFunc::kSum: return "SUM";
+    case AggFunc::kAvg: return "AVG";
+    case AggFunc::kMin: return "MIN";
+    case AggFunc::kMax: return "MAX";
+  }
+  return "";
+}
+
+bool SelectStmt::IsAggregate() const {
+  if (items.empty()) return false;
+  for (const SelectItem& it : items) {
+    if (it.agg == AggFunc::kNone) return false;
+  }
+  return true;
+}
+
+std::string SelectStmt::ToString() const {
+  std::string s = "SELECT ";
+  for (size_t i = 0; i < items.size(); ++i) {
+    if (i > 0) s += ", ";
+    const SelectItem& it = items[i];
+    if (it.agg != AggFunc::kNone) {
+      s += AggFuncName(it.agg);
+      s += '(';
+      s += it.star ? "*" : it.column;
+      s += ')';
+    } else {
+      s += it.star ? "*" : it.column;
+    }
+  }
+  s += " FROM " + table;
+  bool first = true;
+  auto conj = [&]() {
+    s += first ? " WHERE " : " AND ";
+    first = false;
+  };
+  for (const RangePred& r : ranges) {
+    conj();
+    char buf[128];
+    if (r.equality && r.lo == r.hi) {
+      std::snprintf(buf, sizeof(buf), "%s = %g", r.column.c_str(), r.lo);
+    } else if (r.lo == -std::numeric_limits<double>::infinity()) {
+      std::snprintf(buf, sizeof(buf), "%s <= %g", r.column.c_str(), r.hi);
+    } else if (r.hi == std::numeric_limits<double>::infinity()) {
+      std::snprintf(buf, sizeof(buf), "%s >= %g", r.column.c_str(), r.lo);
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s BETWEEN %g AND %g",
+                    r.column.c_str(), r.lo, r.hi);
+    }
+    s += buf;
+  }
+  for (const SpatialPred& sp : spatial) {
+    conj();
+    char buf[64];
+    switch (sp.kind) {
+      case SpatialPred::Kind::kWithin:
+        s += "ST_WITHIN(pt, '" + ToWkt(sp.geometry) + "')";
+        break;
+      case SpatialPred::Kind::kIntersects:
+        s += "ST_INTERSECTS(geom, '" + ToWkt(sp.geometry) + "')";
+        break;
+      case SpatialPred::Kind::kDWithin:
+        std::snprintf(buf, sizeof(buf), "', %g)", sp.distance);
+        s += "ST_DWITHIN(pt, '" + ToWkt(sp.geometry) + buf;
+        break;
+      case SpatialPred::Kind::kNearLayer:
+        std::snprintf(buf, sizeof(buf), ", %u, %g)", sp.feature_class,
+                      sp.distance);
+        s += "NEAR(" + sp.layer + buf;
+        break;
+    }
+  }
+  if (!order_by.empty()) {
+    s += " ORDER BY " + order_by + (order_desc ? " DESC" : "");
+  }
+  if (limit >= 0) s += " LIMIT " + std::to_string(limit);
+  return s;
+}
+
+}  // namespace sql
+}  // namespace geocol

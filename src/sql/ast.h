@@ -1,0 +1,84 @@
+// Abstract syntax of the GeoColumn SQL dialect — the subset needed for the
+// demo's predefined and ad-hoc queries (§4):
+//
+//   SELECT x, y, z FROM ahn2
+//   WHERE ST_Within(pt, ST_GeomFromText('POLYGON((...))'))
+//     AND classification BETWEEN 3 AND 5 LIMIT 100;
+//
+//   SELECT AVG(z) FROM ahn2
+//   WHERE NEAR(urban_atlas, 12210, 50.0);
+//
+//   SELECT id, class FROM osm_roads
+//   WHERE ST_Intersects(geom, ST_GeomFromText('BOX(85000 444000, 85500 444500)'));
+#ifndef GEOCOL_SQL_AST_H_
+#define GEOCOL_SQL_AST_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "geom/geometry.h"
+
+namespace geocol {
+namespace sql {
+
+enum class AggFunc { kNone, kCount, kSum, kAvg, kMin, kMax };
+
+const char* AggFuncName(AggFunc f);
+
+/// One item of the SELECT list: a column, `*`, or agg(column | *).
+struct SelectItem {
+  AggFunc agg = AggFunc::kNone;
+  std::string column;  ///< lower-cased; empty for star
+  bool star = false;
+};
+
+/// A one-sided or two-sided numeric range on an attribute (from =, <, <=,
+/// >, >=, BETWEEN). Multiple predicates on one column are merged by the
+/// planner.
+struct RangePred {
+  std::string column;
+  double lo = -std::numeric_limits<double>::infinity();
+  double hi = std::numeric_limits<double>::infinity();
+  /// True when the predicate came from an equality (affects EXPLAIN only).
+  bool equality = false;
+};
+
+/// A spatial predicate on the row geometry.
+struct SpatialPred {
+  enum class Kind {
+    kWithin,      ///< ST_Within(pt, G) / ST_Contains(G, pt)
+    kIntersects,  ///< ST_Intersects(geom, G)
+    kDWithin,     ///< ST_DWithin(pt, G, d)
+    kNearLayer,   ///< NEAR(layer, class, d) — scenario-2 sugar
+  };
+  Kind kind = Kind::kWithin;
+  Geometry geometry;
+  double distance = 0.0;
+  std::string layer;           ///< kNearLayer only
+  uint32_t feature_class = 0;  ///< kNearLayer only (0 = any class)
+};
+
+/// A parsed SELECT statement.
+struct SelectStmt {
+  bool explain = false;  ///< EXPLAIN prefix: also return the plan text
+  std::vector<SelectItem> items;
+  std::string table;  ///< lower-cased FROM target
+  std::vector<RangePred> ranges;
+  std::vector<SpatialPred> spatial;
+  std::string order_by;     ///< empty = no ORDER BY
+  bool order_desc = false;  ///< ORDER BY ... DESC
+  int64_t limit = -1;  ///< -1 = unlimited
+
+  /// True when every select item is an aggregate.
+  bool IsAggregate() const;
+
+  /// Canonical rendering (used by EXPLAIN and tests).
+  std::string ToString() const;
+};
+
+}  // namespace sql
+}  // namespace geocol
+
+#endif  // GEOCOL_SQL_AST_H_

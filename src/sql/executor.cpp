@@ -1,0 +1,344 @@
+#include "sql/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "geom/wkt.h"
+#include "gis/spatial_join.h"
+#include "util/timer.h"
+
+namespace geocol {
+namespace sql {
+
+std::string Value::ToString() const {
+  switch (kind) {
+    case Kind::kNull: return "NULL";
+    case Kind::kText: return text;
+    case Kind::kNumber: {
+      char buf[64];
+      if (number == std::floor(number) && std::abs(number) < 1e15) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(number));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.6g", number);
+      }
+      return buf;
+    }
+  }
+  return "";
+}
+
+bool Value::operator==(const Value& o) const {
+  if (kind != o.kind) return false;
+  if (kind == Kind::kNumber) return number == o.number;
+  if (kind == Kind::kText) return text == o.text;
+  return true;
+}
+
+std::string ResultSet::ToString(size_t max_rows) const {
+  std::string s;
+  for (size_t c = 0; c < columns.size(); ++c) {
+    if (c > 0) s += " | ";
+    s += columns[c];
+  }
+  s += '\n';
+  s += std::string(std::max<size_t>(s.size(), 2) - 1, '-');
+  s += '\n';
+  size_t shown = std::min(rows.size(), max_rows);
+  for (size_t r = 0; r < shown; ++r) {
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      if (c > 0) s += " | ";
+      s += rows[r][c].ToString();
+    }
+    s += '\n';
+  }
+  if (shown < rows.size()) {
+    s += "... (" + std::to_string(rows.size() - shown) + " more rows)\n";
+  }
+  s += "(" + std::to_string(rows.size()) + " rows)\n";
+  return s;
+}
+
+namespace {
+
+double AggKindFromFunc(AggFunc f, const Column& col,
+                       const std::vector<uint64_t>& rows) {
+  switch (f) {
+    case AggFunc::kCount: return static_cast<double>(rows.size());
+    case AggFunc::kSum: return AggregateRows(col, rows, AggKind::kSum);
+    case AggFunc::kAvg: return AggregateRows(col, rows, AggKind::kAvg);
+    case AggFunc::kMin: return AggregateRows(col, rows, AggKind::kMin);
+    case AggFunc::kMax: return AggregateRows(col, rows, AggKind::kMax);
+    case AggFunc::kNone: break;
+  }
+  return std::nan("");
+}
+
+Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
+  ResultSet rs;
+  const FlatTable& table = plan.engine->table();
+
+  // ---- Selection.
+  std::vector<uint64_t> rows;
+  if (plan.near) {
+    GEOCOL_ASSIGN_OR_RETURN(
+        NearLayerResult near,
+        PointsNearLayerClass(plan.engine, plan.near_layer.get(),
+                             plan.near_class, plan.near_distance));
+    rows = std::move(near.row_ids);
+    rs.profile = std::move(near.profile);
+    // NEAR + thematic: post-filter the joined rows (the per-feature engine
+    // calls cannot push the thematic ranges into the union).
+    if (!plan.thematic.empty()) {
+      Timer t;
+      std::vector<ColumnPtr> cols;
+      for (const AttributeRange& a : plan.thematic) {
+        GEOCOL_ASSIGN_OR_RETURN(ColumnPtr c, table.GetColumn(a.column));
+        cols.push_back(std::move(c));
+      }
+      std::vector<uint64_t> kept;
+      for (uint64_t r : rows) {
+        bool ok = true;
+        for (size_t i = 0; i < cols.size(); ++i) {
+          double v = cols[i]->GetDouble(r);
+          if (v < plan.thematic[i].lo || v > plan.thematic[i].hi) {
+            ok = false;
+            break;
+          }
+        }
+        if (ok) kept.push_back(r);
+      }
+      rs.profile.Add("thematic.postfilter", t.ElapsedNanos(), rows.size(),
+                     kept.size());
+      rows = std::move(kept);
+    }
+  } else {
+    Geometry query_geom = plan.geometry;
+    if (!plan.has_geometry) {
+      // No spatial predicate: the whole table extent is the query box; the
+      // imprint filter degenerates to full-line acceptance.
+      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table.GetColumn("x"));
+      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table.GetColumn("y"));
+      Box extent(xc->Stats().min, yc->Stats().min, xc->Stats().max,
+                 yc->Stats().max);
+      query_geom = Geometry(extent);
+    }
+    GEOCOL_ASSIGN_OR_RETURN(
+        SelectionResult sel,
+        plan.engine->Select(query_geom, plan.buffer, plan.thematic));
+    rows = std::move(sel.row_ids);
+    rs.profile = std::move(sel.profile);
+  }
+
+  // ---- Projection / aggregation.
+  if (plan.stmt.IsAggregate()) {
+    std::vector<Value> out_row;
+    for (const SelectItem& it : plan.stmt.items) {
+      rs.columns.push_back(std::string(AggFuncName(it.agg)) + "(" +
+                           (it.star ? "*" : it.column) + ")");
+      if (it.agg == AggFunc::kCount) {
+        out_row.push_back(Value::Num(static_cast<double>(rows.size())));
+      } else {
+        GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table.GetColumn(it.column));
+        double v = AggKindFromFunc(it.agg, *col, rows);
+        out_row.push_back(rows.empty() ? Value::Null() : Value::Num(v));
+      }
+    }
+    rs.rows.push_back(std::move(out_row));
+    return rs;
+  }
+
+  // Expand `*`.
+  std::vector<std::string> proj;
+  const Schema table_schema = table.schema();
+  for (const SelectItem& it : plan.stmt.items) {
+    if (it.star) {
+      for (const Field& f : table_schema.fields()) proj.push_back(f.name);
+    } else {
+      proj.push_back(it.column);
+    }
+  }
+  std::vector<ColumnPtr> cols;
+  for (const std::string& name : proj) {
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr c, table.GetColumn(name));
+    cols.push_back(std::move(c));
+    rs.columns.push_back(name);
+  }
+  if (!plan.stmt.order_by.empty()) {
+    Timer ts;
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr key, table.GetColumn(plan.stmt.order_by));
+    std::stable_sort(rows.begin(), rows.end(), [&](uint64_t a, uint64_t b) {
+      double va = key->GetDouble(a), vb = key->GetDouble(b);
+      return plan.stmt.order_desc ? va > vb : va < vb;
+    });
+    rs.profile.Add("sort." + plan.stmt.order_by, ts.ElapsedNanos(),
+                   rows.size(), rows.size());
+  }
+  uint64_t limit = plan.stmt.limit >= 0
+                       ? static_cast<uint64_t>(plan.stmt.limit)
+                       : rows.size();
+  Timer t;
+  for (uint64_t i = 0; i < rows.size() && i < limit; ++i) {
+    std::vector<Value> out_row;
+    out_row.reserve(cols.size());
+    for (const ColumnPtr& c : cols) {
+      out_row.push_back(Value::Num(c->GetDouble(rows[i])));
+    }
+    rs.rows.push_back(std::move(out_row));
+  }
+  rs.profile.Add("project", t.ElapsedNanos(), rows.size(), rs.rows.size());
+  return rs;
+}
+
+Result<ResultSet> ExecuteLayer(const PlannedQuery& plan) {
+  ResultSet rs;
+  VectorLayer* layer = plan.layer.get();
+
+  Timer t;
+  std::vector<uint64_t> features;
+  if (plan.has_geometry) {
+    features = plan.buffer > 0
+                   ? layer->QueryWithinDistance(plan.geometry, plan.buffer)
+                   : layer->QueryIntersecting(plan.geometry);
+    rs.profile.Add("layer.spatial_select", t.ElapsedNanos(), layer->size(),
+                   features.size());
+  } else {
+    features.resize(layer->size());
+    for (size_t i = 0; i < layer->size(); ++i) features[i] = i;
+  }
+
+  if (!plan.thematic.empty()) {
+    Timer t2;
+    std::vector<uint64_t> kept;
+    for (uint64_t fi : features) {
+      const VectorFeature& f = layer->feature(fi);
+      bool ok = true;
+      for (const AttributeRange& a : plan.thematic) {
+        double v = a.column == "id" ? static_cast<double>(f.id)
+                                    : static_cast<double>(f.feature_class);
+        if (v < a.lo || v > a.hi) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) kept.push_back(fi);
+    }
+    rs.profile.Add("layer.thematic", t2.ElapsedNanos(), features.size(),
+                   kept.size());
+    features = std::move(kept);
+  }
+
+  auto cell = [&](const SelectItem& it, const VectorFeature& f) -> Value {
+    if (it.column == "id") return Value::Num(static_cast<double>(f.id));
+    if (it.column == "class") {
+      return Value::Num(static_cast<double>(f.feature_class));
+    }
+    if (it.column == "name") return Value::Text(f.name);
+    if (it.column == "geom") return Value::Text(ToWkt(f.geometry));
+    return Value::Null();
+  };
+
+  if (plan.stmt.IsAggregate()) {
+    std::vector<Value> out_row;
+    for (const SelectItem& it : plan.stmt.items) {
+      rs.columns.push_back(std::string(AggFuncName(it.agg)) + "(" +
+                           (it.star ? "*" : it.column) + ")");
+      if (it.agg == AggFunc::kCount) {
+        out_row.push_back(Value::Num(static_cast<double>(features.size())));
+        continue;
+      }
+      if (features.empty()) {
+        out_row.push_back(Value::Null());
+        continue;
+      }
+      double acc = it.agg == AggFunc::kMin
+                       ? std::numeric_limits<double>::infinity()
+                       : (it.agg == AggFunc::kMax
+                              ? -std::numeric_limits<double>::infinity()
+                              : 0.0);
+      for (uint64_t fi : features) {
+        const VectorFeature& f = layer->feature(fi);
+        double v = it.column == "id" ? static_cast<double>(f.id)
+                                     : static_cast<double>(f.feature_class);
+        switch (it.agg) {
+          case AggFunc::kSum:
+          case AggFunc::kAvg: acc += v; break;
+          case AggFunc::kMin: acc = std::min(acc, v); break;
+          case AggFunc::kMax: acc = std::max(acc, v); break;
+          default: break;
+        }
+      }
+      if (it.agg == AggFunc::kAvg) acc /= static_cast<double>(features.size());
+      out_row.push_back(Value::Num(acc));
+    }
+    rs.rows.push_back(std::move(out_row));
+    return rs;
+  }
+
+  if (!plan.stmt.order_by.empty()) {
+    auto key_of = [&](uint64_t fi) -> std::string {
+      const VectorFeature& f = layer->feature(fi);
+      if (plan.stmt.order_by == "name") return f.name;
+      char buf[32];
+      double v = plan.stmt.order_by == "id"
+                     ? static_cast<double>(f.id)
+                     : static_cast<double>(f.feature_class);
+      std::snprintf(buf, sizeof(buf), "%020.3f", v);
+      return buf;
+    };
+    std::stable_sort(features.begin(), features.end(),
+                     [&](uint64_t a, uint64_t b) {
+                       return plan.stmt.order_desc ? key_of(a) > key_of(b)
+                                                   : key_of(a) < key_of(b);
+                     });
+  }
+
+  std::vector<SelectItem> proj;
+  for (const SelectItem& it : plan.stmt.items) {
+    if (it.star) {
+      for (const char* c : {"id", "class", "name", "geom"}) {
+        SelectItem si;
+        si.column = c;
+        proj.push_back(si);
+      }
+    } else {
+      proj.push_back(it);
+    }
+  }
+  for (const SelectItem& it : proj) rs.columns.push_back(it.column);
+  uint64_t limit = plan.stmt.limit >= 0
+                       ? static_cast<uint64_t>(plan.stmt.limit)
+                       : features.size();
+  for (uint64_t i = 0; i < features.size() && i < limit; ++i) {
+    const VectorFeature& f = layer->feature(features[i]);
+    std::vector<Value> out_row;
+    for (const SelectItem& it : proj) out_row.push_back(cell(it, f));
+    rs.rows.push_back(std::move(out_row));
+  }
+  return rs;
+}
+
+}  // namespace
+
+Result<ResultSet> ExecuteQuery(const PlannedQuery& plan) {
+  if (plan.stmt.explain) {
+    ResultSet rs;
+    rs.columns = {"plan"};
+    std::string desc = plan.Describe();
+    size_t start = 0;
+    while (start < desc.size()) {
+      size_t nl = desc.find('\n', start);
+      if (nl == std::string::npos) nl = desc.size();
+      rs.rows.push_back({Value::Text(desc.substr(start, nl - start))});
+      start = nl + 1;
+    }
+    return rs;
+  }
+  return plan.target == PlannedQuery::Target::kPointCloud
+             ? ExecutePointCloud(plan)
+             : ExecuteLayer(plan);
+}
+
+}  // namespace sql
+}  // namespace geocol

@@ -1,0 +1,108 @@
+#include "sql/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace geocol {
+namespace sql {
+
+Result<std::vector<Token>> Tokenize(const std::string& input) {
+  std::vector<Token> out;
+  size_t i = 0;
+  const size_t n = input.size();
+  while (i < n) {
+    char c = input[i];
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    Token tok;
+    tok.offset = i;
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = i;
+      while (i < n && (std::isalnum(static_cast<unsigned char>(input[i])) ||
+                       input[i] == '_')) {
+        ++i;
+      }
+      tok.kind = TokKind::kIdent;
+      tok.raw = input.substr(start, i - start);
+      tok.text = tok.raw;
+      for (char& ch : tok.text) {
+        ch = static_cast<char>(std::toupper(static_cast<unsigned char>(ch)));
+      }
+    } else if (std::isdigit(static_cast<unsigned char>(c)) ||
+               (c == '.' && i + 1 < n &&
+                std::isdigit(static_cast<unsigned char>(input[i + 1]))) ||
+               ((c == '-' || c == '+') && i + 1 < n &&
+                (std::isdigit(static_cast<unsigned char>(input[i + 1])) ||
+                 input[i + 1] == '.') &&
+                (out.empty() || out.back().kind == TokKind::kSymbol))) {
+      // Signed numbers are only lexed as one token after a symbol (so
+      // `x < -5` works while `5 - 3` would still split — the dialect has
+      // no arithmetic, so this is sufficient).
+      const char* begin = input.c_str() + i;
+      char* end = nullptr;
+      tok.number = std::strtod(begin, &end);
+      if (end == begin) {
+        return Status::InvalidArgument("SQL: bad number at offset " +
+                                       std::to_string(i));
+      }
+      tok.kind = TokKind::kNumber;
+      tok.raw = input.substr(i, static_cast<size_t>(end - begin));
+      tok.text = tok.raw;
+      i += static_cast<size_t>(end - begin);
+    } else if (c == '\'') {
+      ++i;
+      std::string content;
+      bool closed = false;
+      while (i < n) {
+        if (input[i] == '\'') {
+          if (i + 1 < n && input[i + 1] == '\'') {  // escaped quote
+            content += '\'';
+            i += 2;
+            continue;
+          }
+          closed = true;
+          ++i;
+          break;
+        }
+        content += input[i++];
+      }
+      if (!closed) {
+        return Status::InvalidArgument("SQL: unterminated string literal");
+      }
+      tok.kind = TokKind::kString;
+      tok.text = content;
+      tok.raw = content;
+    } else {
+      // Multi-char operators first.
+      auto two = [&](const char* op) {
+        return i + 1 < n && input[i] == op[0] && input[i + 1] == op[1];
+      };
+      if (two("<=") || two(">=") || two("<>") || two("!=")) {
+        tok.kind = TokKind::kSymbol;
+        tok.text = input.substr(i, 2);
+        if (tok.text == "!=") tok.text = "<>";
+        tok.raw = input.substr(i, 2);
+        i += 2;
+      } else if (std::string("(),*=<>;.").find(c) != std::string::npos) {
+        tok.kind = TokKind::kSymbol;
+        tok.text = std::string(1, c);
+        tok.raw = tok.text;
+        ++i;
+      } else {
+        return Status::InvalidArgument(std::string("SQL: unexpected '") + c +
+                                       "' at offset " + std::to_string(i));
+      }
+    }
+    out.push_back(std::move(tok));
+  }
+  Token end_tok;
+  end_tok.kind = TokKind::kEnd;
+  end_tok.offset = n;
+  out.push_back(end_tok);
+  return out;
+}
+
+}  // namespace sql
+}  // namespace geocol

@@ -1,0 +1,35 @@
+// SQL tokenizer for the GeoColumn dialect.
+#ifndef GEOCOL_SQL_LEXER_H_
+#define GEOCOL_SQL_LEXER_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geocol {
+namespace sql {
+
+enum class TokKind {
+  kIdent,   ///< bare identifier / keyword (uppercased in `text`)
+  kNumber,  ///< numeric literal (value in `number`)
+  kString,  ///< single-quoted string (unescaped content in `text`)
+  kSymbol,  ///< punctuation / operator in `text`: ( ) , * = < > <= >= <> ;
+  kEnd,
+};
+
+struct Token {
+  TokKind kind = TokKind::kEnd;
+  std::string text;     ///< uppercased for idents; verbatim for strings
+  std::string raw;      ///< original spelling (idents keep case here)
+  double number = 0.0;
+  size_t offset = 0;    ///< byte offset in the input (for error messages)
+};
+
+/// Tokenizes `sql`; the result always ends with a kEnd token.
+Result<std::vector<Token>> Tokenize(const std::string& sql);
+
+}  // namespace sql
+}  // namespace geocol
+
+#endif  // GEOCOL_SQL_LEXER_H_

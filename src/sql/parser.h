@@ -1,0 +1,19 @@
+// Recursive-descent parser for the GeoColumn SQL dialect.
+#ifndef GEOCOL_SQL_PARSER_H_
+#define GEOCOL_SQL_PARSER_H_
+
+#include <string>
+
+#include "sql/ast.h"
+#include "util/status.h"
+
+namespace geocol {
+namespace sql {
+
+/// Parses one statement (an optional trailing ';' is accepted).
+Result<SelectStmt> Parse(const std::string& sql);
+
+}  // namespace sql
+}  // namespace geocol
+
+#endif  // GEOCOL_SQL_PARSER_H_

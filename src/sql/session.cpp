@@ -1,0 +1,18 @@
+#include "sql/session.h"
+
+#include "sql/parser.h"
+
+namespace geocol {
+namespace sql {
+
+Result<ResultSet> Session::Execute(const std::string& sql_text) {
+  GEOCOL_ASSIGN_OR_RETURN(SelectStmt stmt, Parse(sql_text));
+  GEOCOL_ASSIGN_OR_RETURN(PlannedQuery plan, PlanQuery(catalog_, std::move(stmt)));
+  last_plan_ = plan.Describe();
+  GEOCOL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteQuery(plan));
+  last_profile_ = rs.profile;
+  return rs;
+}
+
+}  // namespace sql
+}  // namespace geocol

@@ -1,0 +1,38 @@
+// The user-facing SQL entry point: parse -> plan -> execute, keeping the
+// last query's plan and per-operator profile available — the demo's
+// interactive front end in library form.
+#ifndef GEOCOL_SQL_SESSION_H_
+#define GEOCOL_SQL_SESSION_H_
+
+#include <string>
+
+#include "sql/executor.h"
+
+namespace geocol {
+namespace sql {
+
+/// A lightweight SQL session over a catalog (not thread safe; create one
+/// per thread).
+class Session {
+ public:
+  explicit Session(Catalog* catalog) : catalog_(catalog) {}
+
+  /// Parses, plans and executes `sql_text`.
+  Result<ResultSet> Execute(const std::string& sql_text);
+
+  /// Plan description of the last executed (or explained) statement.
+  const std::string& last_plan() const { return last_plan_; }
+
+  /// Per-operator profile of the last executed statement.
+  const QueryProfile& last_profile() const { return last_profile_; }
+
+ private:
+  Catalog* catalog_;
+  std::string last_plan_;
+  QueryProfile last_profile_;
+};
+
+}  // namespace sql
+}  // namespace geocol
+
+#endif  // GEOCOL_SQL_SESSION_H_

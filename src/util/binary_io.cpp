@@ -1,0 +1,134 @@
+#include "util/binary_io.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+
+namespace geocol {
+
+BinaryWriter::~BinaryWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryWriter::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::Internal("writer already open");
+  file_ = std::fopen(path.c_str(), "wb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open for write: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  bytes_written_ = 0;
+  return Status::OK();
+}
+
+Status BinaryWriter::Close() {
+  if (file_ == nullptr) return Status::OK();
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (rc != 0) return Status::IOError("fclose failed");
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteBytes(const void* data, size_t n) {
+  if (file_ == nullptr) return Status::Internal("writer not open");
+  if (n == 0) return Status::OK();
+  if (std::fwrite(data, 1, n, file_) != n) {
+    return Status::IOError("short write");
+  }
+  bytes_written_ += n;
+  return Status::OK();
+}
+
+Status BinaryWriter::WriteString(const std::string& s) {
+  GEOCOL_RETURN_NOT_OK(WriteScalar<uint32_t>(static_cast<uint32_t>(s.size())));
+  return WriteBytes(s.data(), s.size());
+}
+
+BinaryReader::~BinaryReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status BinaryReader::Open(const std::string& path) {
+  if (file_ != nullptr) return Status::Internal("reader already open");
+  file_ = std::fopen(path.c_str(), "rb");
+  if (file_ == nullptr) {
+    return Status::IOError("cannot open for read: " + path + " (" +
+                           std::strerror(errno) + ")");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::Close() {
+  if (file_ == nullptr) return Status::OK();
+  std::fclose(file_);
+  file_ = nullptr;
+  return Status::OK();
+}
+
+Status BinaryReader::ReadBytes(void* data, size_t n) {
+  if (file_ == nullptr) return Status::Internal("reader not open");
+  if (n == 0) return Status::OK();
+  if (std::fread(data, 1, n, file_) != n) {
+    return Status::Corruption("short read (truncated file?)");
+  }
+  return Status::OK();
+}
+
+Status BinaryReader::ReadString(std::string* s, uint32_t max_len) {
+  uint32_t len = 0;
+  GEOCOL_RETURN_NOT_OK(ReadScalar(&len));
+  if (len > max_len) {
+    return Status::Corruption("string length " + std::to_string(len) +
+                              " exceeds limit");
+  }
+  s->resize(len);
+  return ReadBytes(s->data(), len);
+}
+
+Status BinaryReader::Seek(uint64_t offset) {
+  if (file_ == nullptr) return Status::Internal("reader not open");
+  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+    return Status::IOError("seek failed");
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> BinaryReader::FileSize() {
+  if (file_ == nullptr) return Status::Internal("reader not open");
+  long cur = std::ftell(file_);
+  if (std::fseek(file_, 0, SEEK_END) != 0) return Status::IOError("seek end");
+  long end = std::ftell(file_);
+  if (std::fseek(file_, cur, SEEK_SET) != 0) return Status::IOError("seek back");
+  return static_cast<uint64_t>(end);
+}
+
+Result<uint64_t> FileSizeBytes(const std::string& path) {
+  struct stat st;
+  if (::stat(path.c_str(), &st) != 0) {
+    return Status::IOError("stat failed: " + path);
+  }
+  return static_cast<uint64_t>(st.st_size);
+}
+
+bool PathExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+Status WriteFileBytes(const std::string& path, const void* data, size_t n) {
+  BinaryWriter w;
+  GEOCOL_RETURN_NOT_OK(w.Open(path));
+  GEOCOL_RETURN_NOT_OK(w.WriteBytes(data, n));
+  return w.Close();
+}
+
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
+  BinaryReader r;
+  GEOCOL_RETURN_NOT_OK(r.Open(path));
+  GEOCOL_ASSIGN_OR_RETURN(uint64_t size, r.FileSize());
+  out->resize(size);
+  GEOCOL_RETURN_NOT_OK(r.ReadBytes(out->data(), size));
+  return r.Close();
+}
+
+}  // namespace geocol

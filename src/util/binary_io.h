@@ -1,0 +1,112 @@
+// Little-endian binary file I/O used by the column files, the LAS
+// reader/writer and the binary bulk loader.
+#ifndef GEOCOL_UTIL_BINARY_IO_H_
+#define GEOCOL_UTIL_BINARY_IO_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geocol {
+
+/// Buffered binary writer over a stdio FILE.
+///
+/// All multi-byte values are written little-endian (the native order on the
+/// platforms this library targets; asserted at build configuration time).
+class BinaryWriter {
+ public:
+  BinaryWriter() = default;
+  ~BinaryWriter();
+
+  BinaryWriter(const BinaryWriter&) = delete;
+  BinaryWriter& operator=(const BinaryWriter&) = delete;
+
+  /// Opens `path` for writing, truncating any existing file.
+  Status Open(const std::string& path);
+  Status Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  Status WriteBytes(const void* data, size_t n);
+
+  template <typename T>
+  Status WriteScalar(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(&value, sizeof(T));
+  }
+
+  template <typename T>
+  Status WriteVector(const std::vector<T>& v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return WriteBytes(v.data(), v.size() * sizeof(T));
+  }
+
+  /// Length-prefixed (uint32) string.
+  Status WriteString(const std::string& s);
+
+  uint64_t bytes_written() const { return bytes_written_; }
+
+ private:
+  std::FILE* file_ = nullptr;
+  uint64_t bytes_written_ = 0;
+};
+
+/// Buffered binary reader over a stdio FILE.
+class BinaryReader {
+ public:
+  BinaryReader() = default;
+  ~BinaryReader();
+
+  BinaryReader(const BinaryReader&) = delete;
+  BinaryReader& operator=(const BinaryReader&) = delete;
+
+  Status Open(const std::string& path);
+  Status Close();
+  bool is_open() const { return file_ != nullptr; }
+
+  /// Reads exactly `n` bytes; Corruption on short read.
+  Status ReadBytes(void* data, size_t n);
+
+  template <typename T>
+  Status ReadScalar(T* value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    return ReadBytes(value, sizeof(T));
+  }
+
+  /// Reads `count` elements into `v` (resized).
+  template <typename T>
+  Status ReadVector(std::vector<T>* v, size_t count) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    v->resize(count);
+    return ReadBytes(v->data(), count * sizeof(T));
+  }
+
+  /// Length-prefixed (uint32) string; `max_len` bounds allocations on
+  /// corrupt input.
+  Status ReadString(std::string* s, uint32_t max_len = 1u << 20);
+
+  Status Seek(uint64_t offset);
+  Result<uint64_t> FileSize();
+
+ private:
+  std::FILE* file_ = nullptr;
+};
+
+/// Returns the size of `path` in bytes, or IOError.
+Result<uint64_t> FileSizeBytes(const std::string& path);
+
+/// True if `path` exists (file or directory).
+bool PathExists(const std::string& path);
+
+/// Writes `data` to `path` in one call (truncate semantics).
+Status WriteFileBytes(const std::string& path, const void* data, size_t n);
+
+/// Reads the whole file into `out`.
+Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_UTIL_BINARY_IO_H_

@@ -1,0 +1,96 @@
+// Bit-level packing primitives shared by the LAZ-like compressor and the
+// column compression codecs: an LSB-first bit stream writer/reader and
+// zigzag mapping for signed deltas.
+#ifndef GEOCOL_UTIL_BITPACK_H_
+#define GEOCOL_UTIL_BITPACK_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+namespace geocol {
+
+/// Appends values of a fixed bit width to a byte vector, LSB first.
+class BitWriter {
+ public:
+  explicit BitWriter(std::vector<uint8_t>* out) : out_(out) {}
+
+  void Write(uint64_t value, uint32_t bits) {
+    while (bits > 0) {
+      uint32_t take = std::min(bits, 8 - nacc_);
+      acc_ |= static_cast<uint8_t>((value & ((uint64_t{1} << take) - 1))
+                                   << nacc_);
+      value >>= take;
+      bits -= take;
+      nacc_ += take;
+      if (nacc_ == 8) Flush();
+    }
+  }
+
+  /// Pads the current byte with zero bits.
+  void FlushByte() {
+    if (nacc_ > 0) Flush();
+  }
+
+ private:
+  void Flush() {
+    out_->push_back(acc_);
+    acc_ = 0;
+    nacc_ = 0;
+  }
+  std::vector<uint8_t>* out_;
+  uint8_t acc_ = 0;
+  uint32_t nacc_ = 0;
+};
+
+/// Reads back a BitWriter stream.
+class BitReader {
+ public:
+  BitReader(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+
+  /// Returns false on stream exhaustion.
+  bool Read(uint64_t* value, uint32_t bits) {
+    uint64_t v = 0;
+    uint32_t got = 0;
+    while (got < bits) {
+      if (navail_ == 0) {
+        if (pos_ >= size_) return false;
+        acc_ = data_[pos_++];
+        navail_ = 8;
+      }
+      uint32_t take = std::min(bits - got, navail_);
+      v |= static_cast<uint64_t>(acc_ & ((1u << take) - 1)) << got;
+      acc_ >>= take;
+      navail_ -= take;
+      got += take;
+    }
+    *value = v;
+    return true;
+  }
+
+  size_t pos() const { return pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  uint8_t acc_ = 0;
+  uint32_t navail_ = 0;
+};
+
+/// Maps signed to unsigned so small-magnitude deltas get small codes.
+inline uint64_t ZigZagEncode(int64_t v) {
+  return (static_cast<uint64_t>(v) << 1) ^ static_cast<uint64_t>(v >> 63);
+}
+inline int64_t ZigZagDecode(uint64_t v) {
+  return static_cast<int64_t>(v >> 1) ^ -static_cast<int64_t>(v & 1);
+}
+
+/// Number of bits needed to represent v (0 for v == 0).
+inline uint32_t BitsFor(uint64_t v) {
+  return v == 0 ? 0 : 64 - static_cast<uint32_t>(__builtin_clzll(v));
+}
+
+}  // namespace geocol
+
+#endif  // GEOCOL_UTIL_BITPACK_H_

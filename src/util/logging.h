@@ -1,0 +1,50 @@
+// Minimal leveled logger. Benchmarks and the SQL shell use it for progress
+// reporting; the library itself logs only at kWarning and above.
+#ifndef GEOCOL_UTIL_LOGGING_H_
+#define GEOCOL_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace geocol {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Emits one log line to stderr; used via the GEOCOL_LOG macro.
+void LogMessage(LogLevel level, const char* file, int line,
+                const std::string& message);
+
+namespace internal {
+
+/// Accumulates a stream-formatted message and emits it on destruction.
+class LogStream {
+ public:
+  LogStream(LogLevel level, const char* file, int line)
+      : level_(level), file_(file), line_(line) {}
+  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+
+  template <typename T>
+  LogStream& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  const char* file_;
+  int line_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace geocol
+
+#define GEOCOL_LOG(level)                                              \
+  ::geocol::internal::LogStream(::geocol::LogLevel::k##level, __FILE__, \
+                                __LINE__)
+
+#endif  // GEOCOL_UTIL_LOGGING_H_

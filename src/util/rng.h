@@ -1,0 +1,96 @@
+// Deterministic, fast pseudo-random generators for data synthesis and tests.
+// All generators are seeded explicitly so every experiment is reproducible.
+#ifndef GEOCOL_UTIL_RNG_H_
+#define GEOCOL_UTIL_RNG_H_
+
+#include <cstdint>
+
+namespace geocol {
+
+/// xoshiro256** by Blackman & Vigna — fast, high-quality 64-bit PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL) {
+    // SplitMix64 seeding avoids correlated low-entropy states.
+    uint64_t z = seed;
+    for (auto& si : s_) {
+      z += 0x9E3779B97F4A7C15ULL;
+      uint64_t x = z;
+      x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+      x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+      si = x ^ (x >> 31);
+    }
+  }
+
+  uint64_t Next() {
+    uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t Uniform(uint64_t bound) {
+    // Lemire's multiply-shift rejection-free approximation is fine for the
+    // bounds used here (data synthesis, not cryptography).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t UniformInt(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Uniform(static_cast<uint64_t>(hi - lo) + 1));
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  /// Uniform double in [lo, hi).
+  double UniformDouble(double lo, double hi) {
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  double NextGaussian() {
+    if (has_spare_) {
+      has_spare_ = false;
+      return spare_;
+    }
+    double u, v, s;
+    do {
+      u = 2.0 * NextDouble() - 1.0;
+      v = 2.0 * NextDouble() - 1.0;
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    double m = Sqrt(-2.0 * Log(s) / s);
+    spare_ = v * m;
+    has_spare_ = true;
+    return u * m;
+  }
+
+  bool NextBool(double p = 0.5) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  static double Sqrt(double x);
+  static double Log(double x);
+
+  uint64_t s_[4];
+  bool has_spare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace geocol
+
+#include <cmath>
+namespace geocol {
+inline double Rng::Sqrt(double x) { return std::sqrt(x); }
+inline double Rng::Log(double x) { return std::log(x); }
+}  // namespace geocol
+
+#endif  // GEOCOL_UTIL_RNG_H_

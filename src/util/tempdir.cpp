@@ -1,0 +1,75 @@
+#include "util/tempdir.h"
+
+#include <dirent.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace geocol {
+
+namespace {
+std::atomic<uint64_t> g_tempdir_counter{0};
+}  // namespace
+
+TempDir::TempDir(const std::string& prefix) {
+  const char* root = std::getenv("TMPDIR");
+  std::string base = root != nullptr ? root : "/tmp";
+  uint64_t n = g_tempdir_counter.fetch_add(1);
+  path_ = base + "/" + prefix + "-" + std::to_string(::getpid()) + "-" +
+          std::to_string(n);
+  ::mkdir(path_.c_str(), 0755);
+}
+
+TempDir::~TempDir() { RemoveDirRecursive(path_); }
+
+Status MakeDir(const std::string& path) {
+  if (::mkdir(path.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::IOError("mkdir failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status RemoveDirRecursive(const std::string& path) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) return Status::OK();
+  struct dirent* entry;
+  while ((entry = ::readdir(dir)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    std::string full = path + "/" + name;
+    struct stat st;
+    if (::stat(full.c_str(), &st) == 0 && S_ISDIR(st.st_mode)) {
+      RemoveDirRecursive(full);
+    } else {
+      ::unlink(full.c_str());
+    }
+  }
+  ::closedir(dir);
+  ::rmdir(path.c_str());
+  return Status::OK();
+}
+
+Status ListFiles(const std::string& dir, const std::string& suffix,
+                 std::vector<std::string>* out) {
+  DIR* d = ::opendir(dir.c_str());
+  if (d == nullptr) return Status::IOError("opendir failed: " + dir);
+  struct dirent* entry;
+  while ((entry = ::readdir(d)) != nullptr) {
+    std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    if (name.size() >= suffix.size() &&
+        name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0) {
+      out->push_back(dir + "/" + name);
+    }
+  }
+  ::closedir(d);
+  std::sort(out->begin(), out->end());
+  return Status::OK();
+}
+
+}  // namespace geocol

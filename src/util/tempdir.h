@@ -1,0 +1,45 @@
+// Scoped temporary directories for tests and benchmarks that exercise the
+// on-disk formats (LAS tiles, column files).
+#ifndef GEOCOL_UTIL_TEMPDIR_H_
+#define GEOCOL_UTIL_TEMPDIR_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geocol {
+
+/// Creates a unique directory under the system temp root on construction
+/// and removes it (recursively) on destruction.
+class TempDir {
+ public:
+  /// `prefix` becomes part of the directory name for debuggability.
+  explicit TempDir(const std::string& prefix = "geocol");
+  ~TempDir();
+
+  TempDir(const TempDir&) = delete;
+  TempDir& operator=(const TempDir&) = delete;
+
+  const std::string& path() const { return path_; }
+
+  /// Joins `name` onto the temp dir path.
+  std::string File(const std::string& name) const { return path_ + "/" + name; }
+
+ private:
+  std::string path_;
+};
+
+/// Creates directory `path` (single level). AlreadyExists is not an error.
+Status MakeDir(const std::string& path);
+
+/// Recursively deletes `path`. Missing path is not an error.
+Status RemoveDirRecursive(const std::string& path);
+
+/// Lists regular files in `dir` whose names end with `suffix`, sorted.
+Status ListFiles(const std::string& dir, const std::string& suffix,
+                 std::vector<std::string>* out);
+
+}  // namespace geocol
+
+#endif  // GEOCOL_UTIL_TEMPDIR_H_

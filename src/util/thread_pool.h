@@ -1,0 +1,54 @@
+// Fixed-size thread pool used to parallelise per-file LAS conversion in the
+// binary loader and per-tile generation in the synthetic data generators.
+#ifndef GEOCOL_UTIL_THREAD_POOL_H_
+#define GEOCOL_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace geocol {
+
+/// A minimal fixed-size worker pool.
+///
+/// Tasks are arbitrary void() callables. `WaitIdle` blocks until the queue
+/// drains and every worker is parked, which is the only synchronisation the
+/// loaders need (fork-join usage).
+class ThreadPool {
+ public:
+  /// `num_threads == 0` selects std::thread::hardware_concurrency().
+  explicit ThreadPool(size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  void Submit(std::function<void()> task);
+
+  /// Blocks until all submitted tasks have completed.
+  void WaitIdle();
+
+  size_t num_threads() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::deque<std::function<void()>> queue_;
+  std::vector<std::thread> workers_;
+  size_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_UTIL_THREAD_POOL_H_

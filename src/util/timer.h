@@ -1,0 +1,56 @@
+// Wall-clock timing helpers used by the benchmark harnesses and the
+// per-operator query profiler.
+#ifndef GEOCOL_UTIL_TIMER_H_
+#define GEOCOL_UTIL_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace geocol {
+
+/// Monotonic stopwatch. Started on construction; Restart() resets.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction/Restart in nanoseconds.
+  int64_t ElapsedNanos() const {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                                start_)
+        .count();
+  }
+
+  double ElapsedMicros() const { return ElapsedNanos() / 1e3; }
+  double ElapsedMillis() const { return ElapsedNanos() / 1e6; }
+  double ElapsedSeconds() const { return ElapsedNanos() / 1e9; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulates elapsed time across multiple start/stop intervals.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); running_ = true; }
+  void Stop() {
+    if (running_) {
+      total_nanos_ += timer_.ElapsedNanos();
+      running_ = false;
+    }
+  }
+  int64_t TotalNanos() const { return total_nanos_; }
+  double TotalMillis() const { return total_nanos_ / 1e6; }
+  void Reset() { total_nanos_ = 0; running_ = false; }
+
+ private:
+  Timer timer_;
+  int64_t total_nanos_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_UTIL_TIMER_H_

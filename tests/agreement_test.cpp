@@ -1,0 +1,245 @@
+// Cross-system agreement: every access path in the repository — the
+// imprints engine, full scan, point R-tree, block store (all orderings)
+// and file store (plain / lasindex / lassort) — must return the identical
+// point set for the identical query over the identical synthetic survey.
+// This is the master integration test behind the E3 benchmark.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/block_store.h"
+#include "baselines/file_store.h"
+#include "baselines/full_scan.h"
+#include "baselines/rtree.h"
+#include "core/spatial_engine.h"
+#include "las/las_reader.h"
+#include "loader/binary_loader.h"
+#include "pointcloud/generator.h"
+#include "util/binary_io.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+std::vector<PointXYZ> RowsToPoints(const FlatTable& table,
+                                   const std::vector<uint64_t>& rows) {
+  ColumnPtr x = table.column("x"), y = table.column("y"),
+            z = table.column("z");
+  std::vector<PointXYZ> out;
+  out.reserve(rows.size());
+  for (uint64_t r : rows) {
+    out.push_back({x->GetDouble(r), y->GetDouble(r), z->GetDouble(r)});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+class AgreementTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    tmp_ = new TempDir("agree");
+    AhnGeneratorOptions opts;
+    opts.extent = Box(85000, 444000, 85200, 444200);
+    opts.point_density = 1.5;
+    opts.strip_width = 70.0;
+    opts.scan_line_spacing = 0.8;
+    opts.target_points_per_tile = 10000;
+    AhnGenerator gen(opts);
+    ASSERT_TRUE(MakeDir(tmp_->File("tiles")).ok());
+    ASSERT_TRUE(MakeDir(tmp_->File("scratch")).ok());
+    ASSERT_TRUE(gen.WriteTileDirectory(tmp_->File("tiles"), false).ok());
+
+    // Load the flat table through the paper's binary loader.
+    BinaryLoader loader(tmp_->File("scratch"));
+    auto table = loader.LoadDirectory(tmp_->File("tiles"));
+    ASSERT_TRUE(table.ok());
+    table_ = new std::shared_ptr<FlatTable>(*table);
+
+    // Collect raw records for the block store.
+    records_ = new std::vector<LasPointRecord>();
+    std::vector<std::string> files;
+    ASSERT_TRUE(ListFiles(tmp_->File("tiles"), ".las", &files).ok());
+    LasHeader header;
+    for (const auto& f : files) {
+      auto tile = ReadLasFile(f);
+      ASSERT_TRUE(tile.ok());
+      header = tile->header;
+      records_->insert(records_->end(), tile->points.begin(),
+                       tile->points.end());
+    }
+    header_ = new LasHeader(header);
+  }
+
+  static void TearDownTestSuite() {
+    delete records_;
+    delete header_;
+    delete table_;
+    delete tmp_;
+    records_ = nullptr;
+    header_ = nullptr;
+    table_ = nullptr;
+    tmp_ = nullptr;
+  }
+
+  static TempDir* tmp_;
+  static std::shared_ptr<FlatTable>* table_;
+  static std::vector<LasPointRecord>* records_;
+  static LasHeader* header_;
+};
+
+TempDir* AgreementTest::tmp_ = nullptr;
+std::shared_ptr<FlatTable>* AgreementTest::table_ = nullptr;
+std::vector<LasPointRecord>* AgreementTest::records_ = nullptr;
+LasHeader* AgreementTest::header_ = nullptr;
+
+TEST_F(AgreementTest, AllSystemsAgreeOnRegionSelections) {
+  const std::shared_ptr<FlatTable>& table = *table_;
+  SpatialQueryEngine engine(table);
+  auto rtree = BuildPointRTree(*table);
+  ASSERT_TRUE(rtree.ok());
+  auto block_store = BlockStore::Build(*records_, *header_);
+  ASSERT_TRUE(block_store.ok());
+  auto file_store = FileStore::Open(tmp_->File("tiles"));
+  ASSERT_TRUE(file_store.ok());
+  FileStoreOptions idx_opts;
+  idx_opts.use_index = true;
+  auto file_store_idx = FileStore::Open(tmp_->File("tiles"), idx_opts);
+  ASSERT_TRUE(file_store_idx.ok());
+  ASSERT_TRUE(file_store_idx->BuildIndexes().ok());
+
+  const Box queries[] = {
+      Box(85010, 444010, 85050, 444050),     // small region
+      Box(85000, 444000, 85200, 444200),     // whole survey
+      Box(85100, 444100, 85101, 444101),     // needle
+      Box(84000, 443000, 84500, 443500),     // disjoint
+      Box(85190, 444190, 85400, 444400),     // partial overlap
+  };
+  for (const Box& q : queries) {
+    SCOPED_TRACE(testing::Message() << "query box " << q.min_x << ","
+                                    << q.min_y << " - " << q.max_x << ","
+                                    << q.max_y);
+    Geometry g(q);
+    auto eng_res = engine.SelectInBox(q);
+    ASSERT_TRUE(eng_res.ok());
+    std::vector<PointXYZ> expected = RowsToPoints(*table, eng_res->row_ids);
+
+    auto scan_res = FullScanSelectBox(*table, q);
+    ASSERT_TRUE(scan_res.ok());
+    EXPECT_EQ(RowsToPoints(*table, *scan_res), expected) << "full scan";
+
+    std::vector<uint64_t> rtree_rows;
+    rtree->QueryBox(q, &rtree_rows);
+    std::sort(rtree_rows.begin(), rtree_rows.end());
+    EXPECT_EQ(RowsToPoints(*table, rtree_rows), expected) << "point R-tree";
+
+    auto block_res = block_store->QueryGeometry(g);
+    ASSERT_TRUE(block_res.ok());
+    std::sort(block_res->begin(), block_res->end());
+    EXPECT_EQ(*block_res, expected) << "block store";
+
+    auto file_res = file_store->QueryGeometry(g);
+    ASSERT_TRUE(file_res.ok());
+    std::sort(file_res->begin(), file_res->end());
+    EXPECT_EQ(*file_res, expected) << "file store";
+
+    auto file_idx_res = file_store_idx->QueryGeometry(g);
+    ASSERT_TRUE(file_idx_res.ok());
+    std::sort(file_idx_res->begin(), file_idx_res->end());
+    EXPECT_EQ(*file_idx_res, expected) << "file store + lasindex";
+  }
+}
+
+TEST_F(AgreementTest, PolygonQueriesAgree) {
+  const std::shared_ptr<FlatTable>& table = *table_;
+  SpatialQueryEngine engine(table);
+  auto block_store = BlockStore::Build(*records_, *header_);
+  ASSERT_TRUE(block_store.ok());
+  auto file_store = FileStore::Open(tmp_->File("tiles"));
+  ASSERT_TRUE(file_store.ok());
+
+  Polygon poly;
+  poly.shell.points = {{85020, 444020}, {85180, 444060},
+                       {85150, 444180}, {85040, 444150}};
+  Geometry g(poly);
+  auto eng_res = engine.SelectInGeometry(g);
+  ASSERT_TRUE(eng_res.ok());
+  std::vector<PointXYZ> expected = RowsToPoints(*table, eng_res->row_ids);
+  ASSERT_FALSE(expected.empty());
+
+  auto oracle = FullScanSelect(*table, g);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(RowsToPoints(*table, *oracle), expected);
+
+  auto block_res = block_store->QueryGeometry(g);
+  ASSERT_TRUE(block_res.ok());
+  std::sort(block_res->begin(), block_res->end());
+  EXPECT_EQ(*block_res, expected);
+
+  auto file_res = file_store->QueryGeometry(g);
+  ASSERT_TRUE(file_res.ok());
+  std::sort(file_res->begin(), file_res->end());
+  EXPECT_EQ(*file_res, expected);
+}
+
+TEST_F(AgreementTest, BufferedLineQueriesAgree) {
+  const std::shared_ptr<FlatTable>& table = *table_;
+  SpatialQueryEngine engine(table);
+  auto block_store = BlockStore::Build(*records_, *header_);
+  ASSERT_TRUE(block_store.ok());
+  auto file_store = FileStore::Open(tmp_->File("tiles"));
+  ASSERT_TRUE(file_store.ok());
+
+  LineString road;
+  road.points = {{85000, 444100}, {85080, 444110}, {85200, 444090}};
+  Geometry g(road);
+  const double d = 12.0;
+  auto eng_res = engine.SelectWithinDistance(g, d);
+  ASSERT_TRUE(eng_res.ok());
+  std::vector<PointXYZ> expected = RowsToPoints(*table, eng_res->row_ids);
+  ASSERT_FALSE(expected.empty());
+
+  auto block_res = block_store->QueryGeometry(g, d);
+  ASSERT_TRUE(block_res.ok());
+  std::sort(block_res->begin(), block_res->end());
+  EXPECT_EQ(*block_res, expected);
+
+  auto file_res = file_store->QueryGeometry(g, d);
+  ASSERT_TRUE(file_res.ok());
+  std::sort(file_res->begin(), file_res->end());
+  EXPECT_EQ(*file_res, expected);
+}
+
+TEST_F(AgreementTest, LassortedFileStoreStillAgrees) {
+  const std::shared_ptr<FlatTable>& table = *table_;
+  SpatialQueryEngine engine(table);
+  // Copy tiles into a sortable directory (SortTiles rewrites in place).
+  std::string sorted_dir = tmp_->File("sorted");
+  ASSERT_TRUE(MakeDir(sorted_dir).ok());
+  std::vector<std::string> files;
+  ASSERT_TRUE(ListFiles(tmp_->File("tiles"), ".las", &files).ok());
+  for (const auto& f : files) {
+    std::vector<uint8_t> bytes;
+    ASSERT_TRUE(ReadFileBytes(f, &bytes).ok());
+    std::string name = f.substr(f.find_last_of('/') + 1);
+    ASSERT_TRUE(
+        WriteFileBytes(sorted_dir + "/" + name, bytes.data(), bytes.size())
+            .ok());
+  }
+  ASSERT_TRUE(FileStore::SortTiles(sorted_dir).ok());
+  FileStoreOptions idx_opts;
+  idx_opts.use_index = true;
+  auto store = FileStore::Open(sorted_dir, idx_opts);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->BuildIndexes().ok());
+
+  Box q(85030, 444030, 85120, 444160);
+  auto eng_res = engine.SelectInBox(q);
+  ASSERT_TRUE(eng_res.ok());
+  auto res = store->QueryGeometry(Geometry(q));
+  ASSERT_TRUE(res.ok());
+  std::sort(res->begin(), res->end());
+  EXPECT_EQ(*res, RowsToPoints(*table, eng_res->row_ids));
+}
+
+}  // namespace
+}  // namespace geocol

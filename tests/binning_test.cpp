@@ -1,0 +1,153 @@
+// Bin-bounds tests: construction, BinOf search, sampling behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/binning.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+TEST(BinBoundsTest, FromBoundsBasic) {
+  auto b = BinBounds::FromBounds({10.0, 20.0, 30.0});
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_bins(), 4u);
+  EXPECT_EQ(b->BinOf(5), 0u);
+  EXPECT_EQ(b->BinOf(10), 0u);   // inclusive upper bound
+  EXPECT_EQ(b->BinOf(10.1), 1u);
+  EXPECT_EQ(b->BinOf(20), 1u);
+  EXPECT_EQ(b->BinOf(25), 2u);
+  EXPECT_EQ(b->BinOf(30.0001), 3u);
+  EXPECT_EQ(b->BinOf(1e18), 3u);
+}
+
+TEST(BinBoundsTest, PadsToPowerOfTwo) {
+  auto b = BinBounds::FromBounds({1, 2, 3, 4, 5});  // 6 bins -> 8
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_bins(), 8u);
+  EXPECT_EQ(b->BinOf(100), 5u);  // everything above lands in the last real bin
+}
+
+TEST(BinBoundsTest, RejectsNonIncreasing) {
+  EXPECT_FALSE(BinBounds::FromBounds({1, 1}).ok());
+  EXPECT_FALSE(BinBounds::FromBounds({2, 1}).ok());
+}
+
+TEST(BinBoundsTest, RejectsTooMany) {
+  std::vector<double> bounds(64);
+  for (int i = 0; i < 64; ++i) bounds[i] = i;
+  EXPECT_FALSE(BinBounds::FromBounds(bounds).ok());
+}
+
+TEST(BinBoundsTest, BinOfIsMonotone) {
+  auto b = BinBounds::FromBounds({-3, 0, 1.5, 7, 100});
+  ASSERT_TRUE(b.ok());
+  uint32_t prev = 0;
+  for (double v = -10; v < 110; v += 0.37) {
+    uint32_t bin = b->BinOf(v);
+    EXPECT_GE(bin, prev);
+    prev = bin;
+  }
+}
+
+TEST(BinBoundsTest, BinOfMatchesLinearSearch) {
+  Rng rng(5);
+  std::vector<double> bounds;
+  double v = -100;
+  for (int i = 0; i < 63; ++i) {
+    v += rng.UniformDouble(0.1, 10.0);
+    bounds.push_back(v);
+  }
+  auto b = BinBounds::FromBounds(bounds);
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(b->num_bins(), 64u);
+  for (int i = 0; i < 5000; ++i) {
+    double x = rng.UniformDouble(-150, 300);
+    uint32_t expected = 0;
+    while (expected < 63 && x > bounds[expected]) ++expected;
+    EXPECT_EQ(b->BinOf(x), expected) << "x=" << x;
+  }
+}
+
+TEST(BinBoundsSampleTest, EmptyColumnRejected) {
+  Column col("c", DataType::kFloat64);
+  EXPECT_FALSE(BinBounds::Sample(col, 64, 1024, 1).ok());
+}
+
+TEST(BinBoundsSampleTest, BadMaxBinsRejected) {
+  auto col = Column::FromVector<double>("c", {1, 2, 3});
+  EXPECT_FALSE(BinBounds::Sample(*col, 1, 1024, 1).ok());
+  EXPECT_FALSE(BinBounds::Sample(*col, 65, 1024, 1).ok());
+}
+
+TEST(BinBoundsSampleTest, FewDistinctValuesShrinkBins) {
+  std::vector<double> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(i % 3);  // 3 distinct
+  auto col = Column::FromVector<double>("c", vals);
+  auto b = BinBounds::Sample(*col, 64, 1024, 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_LE(b->num_bins(), 4u);
+  // Each distinct value must land in its own bin.
+  EXPECT_NE(b->BinOf(0), b->BinOf(1));
+  EXPECT_NE(b->BinOf(1), b->BinOf(2));
+}
+
+TEST(BinBoundsSampleTest, UniformDataProducesBalancedBins) {
+  Rng rng(9);
+  std::vector<double> vals(100000);
+  for (auto& v : vals) v = rng.UniformDouble(0, 1000);
+  auto col = Column::FromVector<double>("c", vals);
+  auto b = BinBounds::Sample(*col, 64, 4096, 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b->num_bins(), 64u);
+  // Histogram the data through the bins; equi-depth means no bin is
+  // grossly over-populated.
+  std::vector<uint64_t> histo(64, 0);
+  for (double v : vals) ++histo[b->BinOf(v)];
+  uint64_t max_count = *std::max_element(histo.begin(), histo.end());
+  EXPECT_LT(max_count, vals.size() / 64 * 4) << "bins far from equi-depth";
+}
+
+TEST(BinBoundsSampleTest, SkewedDataStillCoversTail) {
+  // 99% of mass at small values, 1% huge: the last bins must still split
+  // the tail rather than lumping everything together.
+  Rng rng(11);
+  std::vector<double> vals(50000);
+  for (auto& v : vals) {
+    v = rng.NextBool(0.99) ? rng.UniformDouble(0, 1) : rng.UniformDouble(1e6, 2e6);
+  }
+  auto col = Column::FromVector<double>("c", vals);
+  auto b = BinBounds::Sample(*col, 64, 4096, 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(b->BinOf(0.5), b->BinOf(1.5e6));
+}
+
+TEST(BinBoundsSampleTest, DeterministicForFixedSeed) {
+  Rng rng(13);
+  std::vector<double> vals(10000);
+  for (auto& v : vals) v = rng.NextGaussian();
+  auto col = Column::FromVector<double>("c", vals);
+  auto b1 = BinBounds::Sample(*col, 64, 2048, 42);
+  auto b2 = BinBounds::Sample(*col, 64, 2048, 42);
+  ASSERT_TRUE(b1.ok());
+  ASSERT_TRUE(b2.ok());
+  ASSERT_EQ(b1->num_bins(), b2->num_bins());
+  for (uint32_t i = 0; i < b1->num_bins(); ++i) {
+    EXPECT_EQ(b1->upper(i), b2->upper(i));
+  }
+}
+
+TEST(BinBoundsSampleTest, IntegerColumnsSupported) {
+  std::vector<int32_t> vals;
+  for (int i = 0; i < 10000; ++i) vals.push_back(i % 100);
+  auto col = Column::FromVector<int32_t>("c", vals);
+  auto b = BinBounds::Sample(*col, 32, 2048, 1);
+  ASSERT_TRUE(b.ok());
+  EXPECT_GE(b->num_bins(), 16u);
+  EXPECT_LE(b->num_bins(), 32u);
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,127 @@
+// Bit-packing primitive tests (shared by the LAZ codec and the column
+// compression codecs).
+#include <gtest/gtest.h>
+
+#include "util/bitpack.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+TEST(ZigZagTest, KnownValues) {
+  EXPECT_EQ(ZigZagEncode(0), 0u);
+  EXPECT_EQ(ZigZagEncode(-1), 1u);
+  EXPECT_EQ(ZigZagEncode(1), 2u);
+  EXPECT_EQ(ZigZagEncode(-2), 3u);
+  EXPECT_EQ(ZigZagEncode(2), 4u);
+  EXPECT_EQ(ZigZagDecode(0), 0);
+  EXPECT_EQ(ZigZagDecode(1), -1);
+  EXPECT_EQ(ZigZagDecode(2), 1);
+}
+
+TEST(ZigZagTest, RoundTripExtremes) {
+  for (int64_t v : {int64_t{0}, int64_t{1}, int64_t{-1}, INT64_MAX,
+                    INT64_MIN, INT64_MAX - 1, INT64_MIN + 1}) {
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v) << v;
+  }
+}
+
+TEST(ZigZagTest, RoundTripRandom) {
+  Rng rng(501);
+  for (int i = 0; i < 100000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next());
+    EXPECT_EQ(ZigZagDecode(ZigZagEncode(v)), v);
+  }
+}
+
+TEST(ZigZagTest, SmallMagnitudesGetSmallCodes) {
+  // The property delta coding relies on: |v| <= 2^k  =>  zigzag < 2^(k+1).
+  for (int k = 0; k < 62; ++k) {
+    int64_t v = int64_t{1} << k;
+    EXPECT_LT(ZigZagEncode(v), uint64_t{1} << (k + 2));
+    EXPECT_LT(ZigZagEncode(-v), uint64_t{1} << (k + 2));
+  }
+}
+
+TEST(BitsForTest, Boundaries) {
+  EXPECT_EQ(BitsFor(0), 0u);
+  EXPECT_EQ(BitsFor(1), 1u);
+  EXPECT_EQ(BitsFor(2), 2u);
+  EXPECT_EQ(BitsFor(3), 2u);
+  EXPECT_EQ(BitsFor(4), 3u);
+  EXPECT_EQ(BitsFor(255), 8u);
+  EXPECT_EQ(BitsFor(256), 9u);
+  EXPECT_EQ(BitsFor(~uint64_t{0}), 64u);
+}
+
+TEST(BitStreamTest, FixedWidthRoundTrip) {
+  Rng rng(502);
+  for (uint32_t bits = 1; bits <= 64; ++bits) {
+    std::vector<uint64_t> values(257);
+    uint64_t mask = bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    for (auto& v : values) v = rng.Next() & mask;
+    std::vector<uint8_t> buf;
+    BitWriter w(&buf);
+    for (uint64_t v : values) w.Write(v, bits);
+    w.FlushByte();
+    EXPECT_EQ(buf.size(), (values.size() * bits + 7) / 8) << bits;
+    BitReader r(buf.data(), buf.size());
+    for (uint64_t expected : values) {
+      uint64_t got = 0;
+      ASSERT_TRUE(r.Read(&got, bits)) << bits;
+      ASSERT_EQ(got, expected) << bits;
+    }
+  }
+}
+
+TEST(BitStreamTest, MixedWidthsInOneStream) {
+  Rng rng(503);
+  std::vector<std::pair<uint64_t, uint32_t>> entries;
+  std::vector<uint8_t> buf;
+  BitWriter w(&buf);
+  for (int i = 0; i < 5000; ++i) {
+    uint32_t bits = 1 + static_cast<uint32_t>(rng.Uniform(64));
+    uint64_t mask = bits == 64 ? ~uint64_t{0} : (uint64_t{1} << bits) - 1;
+    uint64_t v = rng.Next() & mask;
+    entries.emplace_back(v, bits);
+    w.Write(v, bits);
+  }
+  w.FlushByte();
+  BitReader r(buf.data(), buf.size());
+  for (const auto& [expected, bits] : entries) {
+    uint64_t got = 0;
+    ASSERT_TRUE(r.Read(&got, bits));
+    ASSERT_EQ(got, expected);
+  }
+}
+
+TEST(BitStreamTest, ZeroBitsWritesNothing) {
+  std::vector<uint8_t> buf;
+  BitWriter w(&buf);
+  w.Write(12345, 0);
+  w.FlushByte();
+  EXPECT_TRUE(buf.empty());
+}
+
+TEST(BitStreamTest, ReadPastEndFails) {
+  std::vector<uint8_t> buf;
+  BitWriter w(&buf);
+  w.Write(0xAB, 8);
+  w.FlushByte();
+  BitReader r(buf.data(), buf.size());
+  uint64_t v = 0;
+  EXPECT_TRUE(r.Read(&v, 8));
+  EXPECT_FALSE(r.Read(&v, 1));
+}
+
+TEST(BitStreamTest, PartialByteIsZeroPadded) {
+  std::vector<uint8_t> buf;
+  BitWriter w(&buf);
+  w.Write(0b101, 3);
+  w.FlushByte();
+  ASSERT_EQ(buf.size(), 1u);
+  EXPECT_EQ(buf[0], 0b101);
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,190 @@
+// Block store (PostgreSQL-pointcloud/Oracle-style) tests: build phases,
+// query correctness against the oracle, orderings, storage accounting.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/block_store.h"
+#include "geom/predicates.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+struct Dataset {
+  std::vector<LasPointRecord> points;
+  LasHeader header;
+};
+
+Dataset MakeDataset(size_t n, uint64_t seed) {
+  Dataset d;
+  d.header.scale[0] = d.header.scale[1] = d.header.scale[2] = 0.01;
+  Rng rng(seed);
+  // Strip-like drift so acquisition order is clustered.
+  double x = 0, y = 0;
+  for (size_t i = 0; i < n; ++i) {
+    LasPointRecord p;
+    x += rng.UniformDouble(0, 1.0);
+    if (x > 1000) {
+      x = 0;
+      y += 5;
+    }
+    p.x = static_cast<int32_t>(x * 100);
+    p.y = static_cast<int32_t>((y + rng.UniformDouble(0, 5)) * 100);
+    p.z = static_cast<int32_t>(rng.UniformDouble(0, 4000));
+    p.intensity = static_cast<uint16_t>(rng.Uniform(256));
+    d.points.push_back(p);
+  }
+  return d;
+}
+
+std::vector<PointXYZ> OracleSelect(const Dataset& d, const Geometry& g,
+                                   double buffer) {
+  LasTile shim;
+  shim.header = d.header;
+  std::vector<PointXYZ> out;
+  for (const auto& rec : d.points) {
+    Point p{shim.WorldX(rec), shim.WorldY(rec)};
+    bool hit = buffer > 0 ? GeometryDWithin(g, p, buffer)
+                          : GeometryContainsPoint(g, p);
+    if (hit) out.push_back({p.x, p.y, shim.WorldZ(rec)});
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+TEST(BlockStoreTest, BuildValidation) {
+  Dataset d = MakeDataset(100, 151);
+  BlockStoreOptions opts;
+  opts.points_per_block = 0;
+  EXPECT_FALSE(BlockStore::Build(d.points, d.header, opts).ok());
+}
+
+TEST(BlockStoreTest, BlockCountAndPointCount) {
+  Dataset d = MakeDataset(10000, 152);
+  BlockStoreOptions opts;
+  opts.points_per_block = 400;
+  auto store = BlockStore::Build(d.points, d.header, opts);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_points(), 10000u);
+  EXPECT_EQ(store->num_blocks(), 25u);
+}
+
+TEST(BlockStoreTest, EmptyStore) {
+  Dataset d = MakeDataset(0, 153);
+  auto store = BlockStore::Build(d.points, d.header);
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_blocks(), 0u);
+  auto res = store->QueryGeometry(Geometry(Box(0, 0, 1, 1)));
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->empty());
+}
+
+class BlockStoreOrderTest : public ::testing::TestWithParam<BlockOrder> {};
+
+TEST_P(BlockStoreOrderTest, QueryMatchesOracleUnderAllOrderings) {
+  Dataset d = MakeDataset(20000, 154);
+  BlockStoreOptions opts;
+  opts.order = GetParam();
+  auto store = BlockStore::Build(d.points, d.header, opts);
+  ASSERT_TRUE(store.ok());
+  Rng rng(155);
+  for (int q = 0; q < 8; ++q) {
+    double cx = rng.UniformDouble(0, 1000), cy = rng.UniformDouble(0, 200);
+    double r = rng.UniformDouble(10, 150);
+    Geometry g(Box(cx - r, cy - r, cx + r, cy + r));
+    auto res = store->QueryGeometry(g);
+    ASSERT_TRUE(res.ok());
+    std::sort(res->begin(), res->end());
+    EXPECT_EQ(*res, OracleSelect(d, g, 0.0));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Orders, BlockStoreOrderTest,
+                         ::testing::Values(BlockOrder::kAcquisition,
+                                           BlockOrder::kMorton,
+                                           BlockOrder::kHilbert),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case BlockOrder::kAcquisition: return "acq";
+                             case BlockOrder::kMorton: return "morton";
+                             default: return "hilbert";
+                           }
+                         });
+
+TEST(BlockStoreTest, PolygonAndBufferedQueries) {
+  Dataset d = MakeDataset(15000, 156);
+  auto store = BlockStore::Build(d.points, d.header);
+  ASSERT_TRUE(store.ok());
+  Geometry poly(Polygon::Circle({500, 100}, 80, 24));
+  auto res = store->QueryGeometry(poly);
+  ASSERT_TRUE(res.ok());
+  std::sort(res->begin(), res->end());
+  EXPECT_EQ(*res, OracleSelect(d, poly, 0.0));
+
+  LineString road;
+  road.points = {{0, 100}, {1000, 120}};
+  Geometry g(road);
+  auto near = store->QueryGeometry(g, 15.0);
+  ASSERT_TRUE(near.ok());
+  std::sort(near->begin(), near->end());
+  EXPECT_EQ(*near, OracleSelect(d, g, 15.0));
+}
+
+TEST(BlockStoreTest, SpatialOrderingPrunesBlocks) {
+  Dataset d = MakeDataset(50000, 157);
+  BlockStoreOptions acq;
+  acq.order = BlockOrder::kAcquisition;
+  BlockStoreOptions hil;
+  hil.order = BlockOrder::kHilbert;
+  auto store_a = BlockStore::Build(d.points, d.header, acq);
+  auto store_h = BlockStore::Build(d.points, d.header, hil);
+  ASSERT_TRUE(store_a.ok());
+  ASSERT_TRUE(store_h.ok());
+  Geometry q(Box(200, 50, 260, 110));
+  BlockStore::QueryStats sa, sh;
+  ASSERT_TRUE(store_a->QueryGeometry(q, 0, &sa).ok());
+  ASSERT_TRUE(store_h->QueryGeometry(q, 0, &sh).ok());
+  EXPECT_EQ(sa.results, sh.results);
+  // Hilbert-ordered blocks are spatially tight: fewer candidate blocks.
+  EXPECT_LE(sh.blocks_candidate, sa.blocks_candidate);
+  EXPECT_LE(sh.points_decompressed, sa.points_decompressed);
+}
+
+TEST(BlockStoreTest, BuildStatsPhases) {
+  Dataset d = MakeDataset(20000, 158);
+  BlockStore::BuildStats stats;
+  auto store = BlockStore::Build(d.points, d.header, BlockStoreOptions(), &stats);
+  ASSERT_TRUE(store.ok());
+  EXPECT_GT(stats.sort_seconds, 0.0);
+  EXPECT_GT(stats.compress_seconds, 0.0);
+  EXPECT_GT(stats.TotalSeconds(), 0.0);
+}
+
+TEST(BlockStoreTest, CompressionReducesStorage) {
+  Dataset d = MakeDataset(50000, 159);
+  auto store = BlockStore::Build(d.points, d.header);
+  ASSERT_TRUE(store.ok());
+  uint64_t raw = d.points.size() * kLasRecordBytes;
+  EXPECT_LT(store->PayloadBytes(), raw) << "blocks must be compressed";
+  EXPECT_GT(store->IndexBytes(), 0u);
+  EXPECT_EQ(store->StorageBytes(),
+            store->PayloadBytes() + store->IndexBytes());
+}
+
+TEST(BlockStoreTest, QueryStatsConsistent) {
+  Dataset d = MakeDataset(20000, 160);
+  auto store = BlockStore::Build(d.points, d.header);
+  ASSERT_TRUE(store.ok());
+  BlockStore::QueryStats stats;
+  Geometry q(Box(100, 20, 300, 120));
+  auto res = store->QueryGeometry(q, 0, &stats);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(stats.results, res->size());
+  EXPECT_EQ(stats.blocks_total, store->num_blocks());
+  EXPECT_LE(stats.blocks_candidate, stats.blocks_total);
+  EXPECT_LE(stats.results, stats.points_decompressed);
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,206 @@
+// File store (LAStools-like) tests: header pre-filter, lasindex sidecars,
+// lassort, compressed tiles, and oracle agreement.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/file_store.h"
+#include "geom/predicates.h"
+#include "las/las_reader.h"
+#include "pointcloud/generator.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+AhnGeneratorOptions TinyOptions() {
+  AhnGeneratorOptions opts;
+  opts.extent = Box(85000, 444000, 85150, 444150);
+  opts.point_density = 2.0;
+  opts.strip_width = 50.0;
+  opts.scan_line_spacing = 0.7;
+  opts.target_points_per_tile = 6000;
+  return opts;
+}
+
+class FileStoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ASSERT_TRUE(MakeDir(dir()).ok());
+    AhnGenerator gen(TinyOptions());
+    auto tiles = gen.WriteTileDirectory(dir(), /*compress=*/false);
+    ASSERT_TRUE(tiles.ok());
+    num_tiles_ = *tiles;
+  }
+
+  std::string dir() const { return tmp_.File("tiles"); }
+
+  // Oracle: read every tile, test every point.
+  std::vector<PointXYZ> Oracle(const Geometry& g, double buffer) {
+    std::vector<std::string> files;
+    EXPECT_TRUE(ListFiles(dir(), ".las", &files).ok());
+    EXPECT_TRUE(ListFiles(dir(), ".laz", &files).ok());
+    std::vector<PointXYZ> out;
+    for (const auto& f : files) {
+      auto tile = ReadLasFile(f);
+      EXPECT_TRUE(tile.ok());
+      for (const auto& rec : tile->points) {
+        Point p{tile->WorldX(rec), tile->WorldY(rec)};
+        bool hit = buffer > 0 ? GeometryDWithin(g, p, buffer)
+                              : GeometryContainsPoint(g, p);
+        if (hit) out.push_back({p.x, p.y, tile->WorldZ(rec)});
+      }
+    }
+    std::sort(out.begin(), out.end());
+    return out;
+  }
+
+  TempDir tmp_;
+  uint64_t num_tiles_ = 0;
+};
+
+TEST_F(FileStoreTest, OpenFindsAllTiles) {
+  auto store = FileStore::Open(dir());
+  ASSERT_TRUE(store.ok());
+  EXPECT_EQ(store->num_files(), num_tiles_);
+}
+
+TEST_F(FileStoreTest, OpenEmptyDirIsNotFound) {
+  std::string empty = tmp_.File("empty");
+  ASSERT_TRUE(MakeDir(empty).ok());
+  EXPECT_EQ(FileStore::Open(empty).status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(FileStoreTest, QueryMatchesOracleUnindexed) {
+  auto store = FileStore::Open(dir());
+  ASSERT_TRUE(store.ok());
+  Geometry q(Box(85020, 444020, 85090, 444100));
+  FileStore::QueryStats stats;
+  auto res = store->QueryGeometry(q, 0, &stats);
+  ASSERT_TRUE(res.ok());
+  std::sort(res->begin(), res->end());
+  EXPECT_EQ(*res, Oracle(q, 0));
+  EXPECT_EQ(stats.headers_inspected, num_tiles_);
+  EXPECT_EQ(stats.results, res->size());
+}
+
+TEST_F(FileStoreTest, HeaderPrefilterSkipsDisjointTiles) {
+  auto store = FileStore::Open(dir());
+  ASSERT_TRUE(store.ok());
+  Geometry far(Box(0, 0, 1, 1));  // nowhere near the survey
+  FileStore::QueryStats stats;
+  auto res = store->QueryGeometry(far, 0, &stats);
+  ASSERT_TRUE(res.ok());
+  EXPECT_TRUE(res->empty());
+  EXPECT_EQ(stats.headers_inspected, num_tiles_);  // headers always read
+  EXPECT_EQ(stats.files_opened, 0u);               // but no payload touched
+  EXPECT_EQ(stats.points_read, 0u);
+}
+
+TEST_F(FileStoreTest, IndexedQueryMatchesOracleAndReadsFewerPoints) {
+  FileStoreOptions with_index;
+  with_index.use_index = true;
+  auto plain = FileStore::Open(dir());
+  auto indexed = FileStore::Open(dir(), with_index);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(indexed.ok());
+  auto lax_bytes = indexed->BuildIndexes();
+  ASSERT_TRUE(lax_bytes.ok());
+  EXPECT_GT(*lax_bytes, 0u);
+
+  Geometry q(Box(85040, 444040, 85070, 444080));
+  FileStore::QueryStats sp, si;
+  auto rp = plain->QueryGeometry(q, 0, &sp);
+  auto ri = indexed->QueryGeometry(q, 0, &si);
+  ASSERT_TRUE(rp.ok());
+  ASSERT_TRUE(ri.ok());
+  std::sort(rp->begin(), rp->end());
+  std::sort(ri->begin(), ri->end());
+  EXPECT_EQ(*rp, *ri);
+  EXPECT_EQ(*ri, Oracle(q, 0));
+  EXPECT_LT(si.points_read, sp.points_read)
+      << "lasindex must avoid reading most points";
+}
+
+TEST_F(FileStoreTest, SortTilesImprovesIndexSelectivity) {
+  FileStoreOptions with_index;
+  with_index.use_index = true;
+  // lasindex before lassort: scan-ordered tiles produce fragmented cell
+  // intervals; after lassort the intervals coalesce and reads shrink.
+  auto store1 = FileStore::Open(dir(), with_index);
+  ASSERT_TRUE(store1.ok());
+  ASSERT_TRUE(store1->BuildIndexes().ok());
+  Geometry q(Box(85030, 444030, 85045, 444045));
+  FileStore::QueryStats before;
+  auto r1 = store1->QueryGeometry(q, 0, &before);
+  ASSERT_TRUE(r1.ok());
+
+  ASSERT_TRUE(FileStore::SortTiles(dir()).ok());
+  auto store2 = FileStore::Open(dir(), with_index);
+  ASSERT_TRUE(store2.ok());
+  ASSERT_TRUE(store2->BuildIndexes().ok());
+  FileStore::QueryStats after;
+  auto r2 = store2->QueryGeometry(q, 0, &after);
+  ASSERT_TRUE(r2.ok());
+
+  std::sort(r1->begin(), r1->end());
+  std::sort(r2->begin(), r2->end());
+  EXPECT_EQ(*r1, *r2) << "lassort must not change answers";
+  EXPECT_LE(after.points_read, before.points_read);
+}
+
+TEST_F(FileStoreTest, CompressedTilesAnswerIdentically) {
+  std::string laz_dir = tmp_.File("laz");
+  ASSERT_TRUE(MakeDir(laz_dir).ok());
+  AhnGenerator gen(TinyOptions());
+  ASSERT_TRUE(gen.WriteTileDirectory(laz_dir, /*compress=*/true).ok());
+  auto las_store = FileStore::Open(dir());
+  auto laz_store = FileStore::Open(laz_dir);
+  ASSERT_TRUE(las_store.ok());
+  ASSERT_TRUE(laz_store.ok());
+  Geometry q(Polygon::Circle({85075, 444075}, 40, 24));
+  auto r1 = las_store->QueryGeometry(q);
+  auto r2 = laz_store->QueryGeometry(q);
+  ASSERT_TRUE(r1.ok());
+  ASSERT_TRUE(r2.ok());
+  std::sort(r1->begin(), r1->end());
+  std::sort(r2->begin(), r2->end());
+  EXPECT_EQ(*r1, *r2);
+}
+
+TEST_F(FileStoreTest, IndexedCompressedTilesStillCorrect) {
+  std::string laz_dir = tmp_.File("lazidx");
+  ASSERT_TRUE(MakeDir(laz_dir).ok());
+  AhnGenerator gen(TinyOptions());
+  ASSERT_TRUE(gen.WriteTileDirectory(laz_dir, /*compress=*/true).ok());
+  FileStoreOptions with_index;
+  with_index.use_index = true;
+  auto store = FileStore::Open(laz_dir, with_index);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE(store->BuildIndexes().ok());
+  Geometry q(Box(85020, 444020, 85060, 444060));
+  auto res = store->QueryGeometry(q);
+  ASSERT_TRUE(res.ok());
+  auto plain = FileStore::Open(laz_dir);
+  ASSERT_TRUE(plain.ok());
+  auto expected = plain->QueryGeometry(q);
+  ASSERT_TRUE(expected.ok());
+  std::sort(res->begin(), res->end());
+  std::sort(expected->begin(), expected->end());
+  EXPECT_EQ(*res, *expected);
+}
+
+TEST_F(FileStoreTest, BufferedQueryMatchesOracle) {
+  auto store = FileStore::Open(dir());
+  ASSERT_TRUE(store.ok());
+  LineString road;
+  road.points = {{85000, 444075}, {85150, 444080}};
+  Geometry g(road);
+  auto res = store->QueryGeometry(g, 10.0);
+  ASSERT_TRUE(res.ok());
+  std::sort(res->begin(), res->end());
+  EXPECT_EQ(*res, Oracle(g, 10.0));
+}
+
+}  // namespace
+}  // namespace geocol

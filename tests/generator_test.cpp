@@ -1,0 +1,282 @@
+// Synthetic data generator tests: terrain determinism and plausibility,
+// AHN tile streaming, acquisition-order clustering, table reorganisation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <tuple>
+
+#include "pointcloud/generator.h"
+#include "pointcloud/terrain.h"
+#include "sfc/morton.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+AhnGeneratorOptions SmallOptions() {
+  AhnGeneratorOptions opts;
+  opts.extent = Box(85000, 444000, 85200, 444200);  // 200x200 m
+  opts.point_density = 2.0;
+  opts.strip_width = 60.0;
+  opts.scan_line_spacing = 0.7;
+  opts.target_points_per_tile = 20000;
+  return opts;
+}
+
+TEST(TerrainTest, Deterministic) {
+  TerrainModel a(42), b(42);
+  for (double x = 0; x < 1000; x += 97) {
+    for (double y = 0; y < 1000; y += 89) {
+      EXPECT_EQ(a.GroundElevation(x, y), b.GroundElevation(x, y));
+      SurfaceSample sa = a.SampleAt(x, y);
+      SurfaceSample sb = b.SampleAt(x, y);
+      EXPECT_EQ(sa.elevation, sb.elevation);
+      EXPECT_EQ(sa.classification, sb.classification);
+    }
+  }
+}
+
+TEST(TerrainTest, DifferentSeedsDifferentTerrain) {
+  TerrainModel a(1), b(2);
+  int diff = 0;
+  for (double x = 0; x < 2000; x += 111) {
+    diff += a.GroundElevation(x, x) != b.GroundElevation(x, x);
+  }
+  EXPECT_GT(diff, 10);
+}
+
+TEST(TerrainTest, ElevationInDutchRange) {
+  TerrainModel t(7);
+  for (double x = 0; x < 5000; x += 53) {
+    for (double y = 0; y < 5000; y += 47) {
+      SurfaceSample s = t.SampleAt(x, y);
+      EXPECT_GT(s.elevation, -20.0);
+      EXPECT_LT(s.elevation, 120.0);  // ground + buildings + canopy
+    }
+  }
+}
+
+TEST(TerrainTest, ProducesAllMajorClasses) {
+  TerrainModel t(20150831);
+  std::set<uint8_t> classes;
+  for (double x = 0; x < 20000; x += 13) {
+    classes.insert(t.SampleAt(x, x * 0.7).classification);
+  }
+  EXPECT_TRUE(classes.count(kClassGround));
+  EXPECT_TRUE(classes.count(kClassWater));
+  EXPECT_TRUE(classes.count(kClassBuilding));
+  bool veg = classes.count(kClassLowVegetation) ||
+             classes.count(kClassMediumVegetation) ||
+             classes.count(kClassHighVegetation);
+  EXPECT_TRUE(veg);
+}
+
+TEST(TerrainTest, WaterIsFlatAndLow) {
+  TerrainModel t(9);
+  for (double x = 0; x < 20000 ; x += 31) {
+    if (t.IsWater(x, 100)) {
+      SurfaceSample s = t.SampleAt(x, 100);
+      EXPECT_EQ(s.classification, kClassWater);
+      EXPECT_LE(s.elevation, -0.5);
+      EXPECT_LT(s.nir, 50);  // water absorbs NIR
+    }
+  }
+}
+
+TEST(TerrainTest, BuildingsAreElevated) {
+  // Urban kernels are sparse, so sample a 2-D sweep rather than a line.
+  TerrainModel t(11);
+  int found = 0;
+  for (double x = 0; x < 20000 && found < 20; x += 41) {
+    for (double y = 0; y < 20000 && found < 20; y += 37) {
+      SurfaceSample s = t.SampleAt(x, y);
+      if (s.classification == kClassBuilding) {
+        ++found;
+        EXPECT_GT(s.elevation - t.GroundElevation(x, y), 3.0);
+      }
+    }
+  }
+  EXPECT_GT(found, 0);
+}
+
+// ---------------- AHN generator ----------------
+
+TEST(AhnGeneratorTest, EstimatedPointsMatchesDensity) {
+  AhnGenerator gen(SmallOptions());
+  // 200*200 m^2 * 2 pts/m^2 = 80000
+  EXPECT_EQ(gen.EstimatedPoints(), 80000u);
+}
+
+TEST(AhnGeneratorTest, TilesStreamInOrderAndRespectSize) {
+  AhnGenerator gen(SmallOptions());
+  uint64_t total = 0, tiles = 0, last_index = 0;
+  ASSERT_TRUE(gen.GenerateTiles([&](LasTile& tile, uint64_t idx) {
+    EXPECT_EQ(idx, tiles);
+    last_index = idx;
+    EXPECT_LE(tile.points.size(), 20000u);
+    EXPECT_FALSE(tile.points.empty());
+    total += tile.points.size();
+    ++tiles;
+    return Status::OK();
+  }).ok());
+  EXPECT_GT(tiles, 1u);
+  EXPECT_EQ(last_index, tiles - 1);
+  // Within 30% of the density estimate.
+  EXPECT_NEAR(static_cast<double>(total), 80000.0, 80000.0 * 0.3);
+}
+
+TEST(AhnGeneratorTest, ConsumerErrorStopsGeneration) {
+  AhnGenerator gen(SmallOptions());
+  int calls = 0;
+  Status st = gen.GenerateTiles([&](LasTile&, uint64_t) {
+    ++calls;
+    return Status::IOError("disk full");
+  });
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(AhnGeneratorTest, PointsInsideExtentWithFullSchema) {
+  AhnGeneratorOptions opts = SmallOptions();
+  AhnGenerator gen(opts);
+  ASSERT_TRUE(gen.GenerateTiles([&](LasTile& tile, uint64_t) {
+    for (const auto& p : tile.points) {
+      double wx = tile.WorldX(p), wy = tile.WorldY(p);
+      EXPECT_GE(wx, opts.extent.min_x - 0.01);
+      EXPECT_LE(wx, opts.extent.max_x + 0.01);
+      EXPECT_GE(wy, opts.extent.min_y - 0.01);
+      EXPECT_LE(wy, opts.extent.max_y + 0.01);
+      EXPECT_GE(p.return_number, 1);
+      EXPECT_LE(p.return_number, p.number_of_returns);
+      EXPECT_GE(p.scan_angle, -30);
+      EXPECT_LE(p.scan_angle, 30);
+      EXPECT_GT(p.point_source_id, 0);  // strip id
+    }
+    return Status::OK();
+  }).ok());
+}
+
+TEST(AhnGeneratorTest, DeterministicAcrossRuns) {
+  AhnGenerator g1(SmallOptions());
+  AhnGenerator g2(SmallOptions());
+  std::vector<int32_t> xs1, xs2;
+  ASSERT_TRUE(g1.GenerateTiles([&](LasTile& t, uint64_t) {
+    for (const auto& p : t.points) xs1.push_back(p.x);
+    return Status::OK();
+  }).ok());
+  ASSERT_TRUE(g2.GenerateTiles([&](LasTile& t, uint64_t) {
+    for (const auto& p : t.points) xs2.push_back(p.x);
+    return Status::OK();
+  }).ok());
+  EXPECT_EQ(xs1, xs2);
+}
+
+TEST(AhnGeneratorTest, GenerateTableApproximatesRequestedCount) {
+  AhnGenerator gen(SmallOptions());
+  auto table = gen.GenerateTable(50000);
+  ASSERT_TRUE(table.ok());
+  EXPECT_NEAR(static_cast<double>((*table)->num_rows()), 50000.0,
+              50000.0 * 0.3);
+  EXPECT_EQ((*table)->num_columns(), kLasAttributeCount);
+}
+
+TEST(AhnGeneratorTest, AcquisitionOrderIsLocallyClustered) {
+  AhnGenerator gen(SmallOptions());
+  auto table = gen.GenerateTable(40000);
+  ASSERT_TRUE(table.ok());
+  ColumnPtr y = (*table)->column("y");
+  // Consecutive points must be near each other in y far more often than
+  // random pairs would be (flight-strip ordering).
+  double near = 0;
+  uint64_t n = y->size();
+  for (uint64_t i = 1; i < n; ++i) {
+    near += std::abs(y->GetDouble(i) - y->GetDouble(i - 1)) < 5.0;
+  }
+  EXPECT_GT(near / n, 0.9);
+}
+
+TEST(AhnGeneratorTest, WriteTileDirectory) {
+  TempDir tmp;
+  AhnGenerator gen(SmallOptions());
+  auto tiles = gen.WriteTileDirectory(tmp.path(), /*compress=*/true);
+  ASSERT_TRUE(tiles.ok());
+  EXPECT_GT(*tiles, 0u);
+  std::vector<std::string> files;
+  ASSERT_TRUE(ListFiles(tmp.path(), ".laz", &files).ok());
+  EXPECT_EQ(files.size(), *tiles);
+}
+
+// ---------------- table reorganisation ----------------
+
+TEST(ReorganiseTest, ShuffleKeepsRowIntegrity) {
+  AhnGenerator gen(SmallOptions());
+  auto table_res = gen.GenerateTable(20000);
+  ASSERT_TRUE(table_res.ok());
+  auto table = *table_res;
+  // Capture (x, y, z) multiset fingerprint before.
+  ColumnPtr x = table->column("x"), y = table->column("y"),
+            z = table->column("z");
+  std::multiset<std::tuple<double, double, double>> before;
+  for (uint64_t r = 0; r < table->num_rows(); ++r) {
+    before.emplace(x->GetDouble(r), y->GetDouble(r), z->GetDouble(r));
+  }
+  uint64_t epoch_before = x->epoch();
+  ShuffleTableRows(table.get(), 999);
+  EXPECT_GT(x->epoch(), epoch_before);
+  std::multiset<std::tuple<double, double, double>> after;
+  for (uint64_t r = 0; r < table->num_rows(); ++r) {
+    after.emplace(x->GetDouble(r), y->GetDouble(r), z->GetDouble(r));
+  }
+  EXPECT_EQ(before, after) << "shuffle must permute rows, not corrupt them";
+}
+
+TEST(ReorganiseTest, ShuffleDestroysLocality) {
+  AhnGenerator gen(SmallOptions());
+  auto table = *gen.GenerateTable(20000);
+  ColumnPtr y = table->column("y");
+  auto locality = [&]() {
+    double near = 0;
+    for (uint64_t i = 1; i < y->size(); ++i) {
+      near += std::abs(y->GetDouble(i) - y->GetDouble(i - 1)) < 5.0;
+    }
+    return near / y->size();
+  };
+  double before = locality();
+  ShuffleTableRows(table.get(), 1000);
+  double after = locality();
+  EXPECT_LT(after, before / 2);
+}
+
+TEST(ReorganiseTest, MortonSortRestoresSpatialLocality) {
+  AhnGenerator gen(SmallOptions());
+  auto table = *gen.GenerateTable(20000);
+  ShuffleTableRows(table.get(), 1001);
+  ASSERT_TRUE(SortTableMorton(table.get()).ok());
+  ColumnPtr x = table->column("x"), y = table->column("y");
+  // After the sort, Morton codes must be non-decreasing.
+  Box extent;
+  for (uint64_t r = 0; r < table->num_rows(); ++r) {
+    extent.Extend(x->GetDouble(r), y->GetDouble(r));
+  }
+  uint64_t prev = 0;
+  for (uint64_t r = 0; r < table->num_rows(); ++r) {
+    uint64_t code =
+        MortonEncodeScaled(x->GetDouble(r), y->GetDouble(r), extent);
+    ASSERT_GE(code, prev) << "row " << r;
+    prev = code;
+  }
+}
+
+TEST(ReorganiseTest, MakeUniformColumn) {
+  auto col = MakeUniformColumn("u", 10000, -5, 5, 77);
+  EXPECT_EQ(col->size(), 10000u);
+  EXPECT_GE(col->Stats().min, -5.0);
+  EXPECT_LE(col->Stats().max, 5.0);
+  auto col2 = MakeUniformColumn("u", 10000, -5, 5, 77);
+  EXPECT_EQ(col->GetDouble(123), col2->GetDouble(123));  // deterministic
+}
+
+}  // namespace
+}  // namespace geocol

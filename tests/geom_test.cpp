@@ -1,0 +1,380 @@
+// Tests for geometry types and exact predicates.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "geom/geometry.h"
+#include "geom/predicates.h"
+
+namespace geocol {
+namespace {
+
+Polygon UnitSquare() { return Polygon::FromBox(Box(0, 0, 1, 1)); }
+
+Polygon SquareWithHole() {
+  Polygon p = Polygon::FromBox(Box(0, 0, 10, 10));
+  Ring hole;
+  hole.points = {{4, 4}, {6, 4}, {6, 6}, {4, 6}};
+  p.holes.push_back(hole);
+  return p;
+}
+
+// ---------------- Box ----------------
+
+TEST(BoxTest, EmptyByDefault) {
+  Box b;
+  EXPECT_TRUE(b.empty());
+  EXPECT_EQ(b.area(), 0.0);
+}
+
+TEST(BoxTest, ExtendAndContains) {
+  Box b;
+  b.Extend(1, 2);
+  b.Extend(3, -1);
+  EXPECT_FALSE(b.empty());
+  EXPECT_EQ(b.min_x, 1);
+  EXPECT_EQ(b.max_x, 3);
+  EXPECT_EQ(b.min_y, -1);
+  EXPECT_EQ(b.max_y, 2);
+  EXPECT_TRUE(b.Contains(Point{2, 0}));
+  EXPECT_TRUE(b.Contains(Point{1, -1}));  // border inclusive
+  EXPECT_FALSE(b.Contains(Point{0.5, 0}));
+}
+
+TEST(BoxTest, IntersectsIncludingTouch) {
+  Box a(0, 0, 1, 1);
+  EXPECT_TRUE(a.Intersects(Box(1, 1, 2, 2)));  // corner touch
+  EXPECT_TRUE(a.Intersects(Box(0.5, 0.5, 2, 2)));
+  EXPECT_FALSE(a.Intersects(Box(1.01, 0, 2, 1)));
+  EXPECT_FALSE(a.Intersects(Box()));  // empty never intersects
+}
+
+TEST(BoxTest, ContainsBoxAndExpand) {
+  Box a(0, 0, 10, 10);
+  EXPECT_TRUE(a.Contains(Box(1, 1, 9, 9)));
+  EXPECT_FALSE(a.Contains(Box(1, 1, 11, 9)));
+  Box e = a.Expanded(2);
+  EXPECT_EQ(e.min_x, -2);
+  EXPECT_EQ(e.max_y, 12);
+}
+
+// ---------------- rings / polygons ----------------
+
+TEST(RingTest, SignedAreaOrientation) {
+  Ring ccw;
+  ccw.points = {{0, 0}, {1, 0}, {1, 1}, {0, 1}};
+  EXPECT_DOUBLE_EQ(ccw.SignedArea(), 1.0);
+  Ring cw;
+  cw.points = {{0, 0}, {0, 1}, {1, 1}, {1, 0}};
+  EXPECT_DOUBLE_EQ(cw.SignedArea(), -1.0);
+  EXPECT_DOUBLE_EQ(cw.Area(), 1.0);
+}
+
+TEST(PolygonTest, AreaSubtractsHoles) {
+  Polygon p = SquareWithHole();
+  EXPECT_DOUBLE_EQ(p.Area(), 100.0 - 4.0);
+}
+
+TEST(PolygonTest, CircleApproximation) {
+  Polygon c = Polygon::Circle({0, 0}, 10, 128);
+  // Area of a regular 128-gon is slightly below pi*r^2.
+  EXPECT_NEAR(c.Area(), M_PI * 100, 0.5);
+  Box env = c.Envelope();
+  EXPECT_NEAR(env.min_x, -10, 1e-9);
+  EXPECT_NEAR(env.max_y, 10, 1e-2);
+}
+
+TEST(LineStringTest, LengthAndEnvelope) {
+  LineString l;
+  l.points = {{0, 0}, {3, 4}, {3, 8}};
+  EXPECT_DOUBLE_EQ(l.Length(), 5.0 + 4.0);
+  Box env = l.Envelope();
+  EXPECT_EQ(env.max_x, 3);
+  EXPECT_EQ(env.max_y, 8);
+}
+
+// ---------------- Geometry wrapper ----------------
+
+TEST(GeometryTest, TypeDispatchAndEnvelope) {
+  Geometry gp(Point{1, 2});
+  EXPECT_TRUE(gp.is_point());
+  EXPECT_EQ(gp.Envelope().min_x, 1);
+
+  Geometry gb(Box(0, 0, 2, 3));
+  EXPECT_TRUE(gb.is_box());
+  EXPECT_EQ(gb.Envelope().max_y, 3);
+
+  Geometry gpoly(UnitSquare());
+  EXPECT_TRUE(gpoly.is_polygon());
+  EXPECT_EQ(gpoly.Envelope().max_x, 1);
+
+  MultiPolygon mp;
+  mp.polygons.push_back(UnitSquare());
+  mp.polygons.push_back(Polygon::FromBox(Box(5, 5, 6, 6)));
+  Geometry gmp(mp);
+  EXPECT_TRUE(gmp.is_multipolygon());
+  EXPECT_EQ(gmp.Envelope().max_x, 6);
+  EXPECT_DOUBLE_EQ(gmp.multipolygon().Area(), 2.0);
+}
+
+// ---------------- segment primitives ----------------
+
+TEST(PredicatesTest, Orient2D) {
+  EXPECT_GT(Orient2D({0, 0}, {1, 0}, {0, 1}), 0);  // left turn
+  EXPECT_LT(Orient2D({0, 0}, {1, 0}, {0, -1}), 0);
+  EXPECT_EQ(Orient2D({0, 0}, {1, 1}, {2, 2}), 0);  // collinear
+}
+
+TEST(PredicatesTest, PointOnSegment) {
+  EXPECT_TRUE(PointOnSegment({1, 1}, {0, 0}, {2, 2}));
+  EXPECT_TRUE(PointOnSegment({0, 0}, {0, 0}, {2, 2}));  // endpoint
+  EXPECT_FALSE(PointOnSegment({3, 3}, {0, 0}, {2, 2}));  // collinear, outside
+  EXPECT_FALSE(PointOnSegment({1, 1.01}, {0, 0}, {2, 2}));
+}
+
+TEST(PredicatesTest, SegmentsIntersectProper) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {0, 2}, {2, 0}));
+  EXPECT_FALSE(SegmentsIntersect({0, 0}, {1, 1}, {2, 2}, {3, 3}));
+}
+
+TEST(PredicatesTest, SegmentsIntersectTouching) {
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {1, 1}, {1, 1}, {2, 0}));   // endpoint
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 0}, {1, 0}, {1, 5}));   // T
+  EXPECT_TRUE(SegmentsIntersect({0, 0}, {2, 2}, {1, 1}, {3, 3}));   // overlap
+}
+
+TEST(PredicatesTest, DistancePrimitives) {
+  EXPECT_DOUBLE_EQ(DistanceSquared({0, 0}, {3, 4}), 25.0);
+  EXPECT_DOUBLE_EQ(PointSegmentDistanceSquared({0, 5}, {-1, 0}, {1, 0}), 25.0);
+  // Beyond the endpoint the distance is to the endpoint.
+  EXPECT_DOUBLE_EQ(PointSegmentDistanceSquared({5, 0}, {-1, 0}, {1, 0}), 16.0);
+  // Degenerate segment.
+  EXPECT_DOUBLE_EQ(PointSegmentDistanceSquared({3, 4}, {0, 0}, {0, 0}), 25.0);
+}
+
+// ---------------- point in polygon ----------------
+
+TEST(PointInPolygonTest, InteriorExteriorBoundary) {
+  Polygon p = UnitSquare();
+  EXPECT_TRUE(PointInPolygon({0.5, 0.5}, p));
+  EXPECT_FALSE(PointInPolygon({1.5, 0.5}, p));
+  EXPECT_TRUE(PointInPolygon({0, 0.5}, p));   // edge
+  EXPECT_TRUE(PointInPolygon({0, 0}, p));     // vertex
+}
+
+TEST(PointInPolygonTest, HolesExcluded) {
+  Polygon p = SquareWithHole();
+  EXPECT_TRUE(PointInPolygon({1, 1}, p));
+  EXPECT_FALSE(PointInPolygon({5, 5}, p));      // inside hole
+  EXPECT_TRUE(PointInPolygon({4, 5}, p));       // on hole boundary: kept
+  EXPECT_TRUE(PointInPolygon({3.99, 5}, p));    // just outside hole
+}
+
+TEST(PointInPolygonTest, ConcavePolygon) {
+  // A "C" shape.
+  Polygon c;
+  c.shell.points = {{0, 0}, {4, 0}, {4, 1}, {1, 1},
+                    {1, 3}, {4, 3}, {4, 4}, {0, 4}};
+  EXPECT_TRUE(PointInPolygon({0.5, 2}, c));
+  EXPECT_FALSE(PointInPolygon({2.5, 2}, c));  // inside the notch
+  EXPECT_TRUE(PointInPolygon({2.5, 0.5}, c));
+}
+
+TEST(PointInPolygonTest, MultiPolygon) {
+  MultiPolygon mp;
+  mp.polygons.push_back(UnitSquare());
+  mp.polygons.push_back(Polygon::FromBox(Box(10, 10, 11, 11)));
+  EXPECT_TRUE(PointInMultiPolygon({0.5, 0.5}, mp));
+  EXPECT_TRUE(PointInMultiPolygon({10.5, 10.5}, mp));
+  EXPECT_FALSE(PointInMultiPolygon({5, 5}, mp));
+}
+
+TEST(PredicatesTest, GeometryContainsPointDispatch) {
+  EXPECT_TRUE(GeometryContainsPoint(Geometry(Point{1, 1}), {1, 1}));
+  EXPECT_FALSE(GeometryContainsPoint(Geometry(Point{1, 1}), {1, 2}));
+  EXPECT_TRUE(GeometryContainsPoint(Geometry(Box(0, 0, 2, 2)), {1, 1}));
+  LineString l;
+  l.points = {{0, 0}, {2, 2}};
+  EXPECT_TRUE(GeometryContainsPoint(Geometry(l), {1, 1}));
+  EXPECT_FALSE(GeometryContainsPoint(Geometry(l), {1, 1.1}));
+}
+
+// ---------------- distances ----------------
+
+TEST(DistanceTest, PointLineDistance) {
+  LineString l;
+  l.points = {{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(PointLineDistance({5, 3}, l), 3.0);
+  EXPECT_DOUBLE_EQ(PointLineDistance({-4, 3}, l), 5.0);
+  EXPECT_DOUBLE_EQ(PointLineDistance({5, 0}, l), 0.0);
+}
+
+TEST(DistanceTest, PointPolygonDistanceZeroInside) {
+  Polygon p = UnitSquare();
+  EXPECT_DOUBLE_EQ(PointPolygonDistance({0.5, 0.5}, p), 0.0);
+  EXPECT_DOUBLE_EQ(PointPolygonDistance({2, 0.5}, p), 1.0);
+  EXPECT_NEAR(PointPolygonDistance({2, 2}, p), std::sqrt(2.0), 1e-12);
+}
+
+TEST(DistanceTest, PointPolygonDistanceInsideHole) {
+  Polygon p = SquareWithHole();
+  // Centre of the hole: 1 unit from the hole boundary.
+  EXPECT_DOUBLE_EQ(PointPolygonDistance({5, 5}, p), 1.0);
+}
+
+TEST(DistanceTest, GeometryPointDistanceBox) {
+  Geometry g(Box(0, 0, 1, 1));
+  EXPECT_DOUBLE_EQ(GeometryPointDistance(g, {3, 1}), 2.0);
+  EXPECT_DOUBLE_EQ(GeometryPointDistance(g, {0.5, 0.5}), 0.0);
+  EXPECT_NEAR(GeometryPointDistance(g, {2, 2}), std::sqrt(2.0), 1e-12);
+}
+
+TEST(DistanceTest, DWithin) {
+  LineString l;
+  l.points = {{0, 0}, {10, 0}};
+  Geometry g(l);
+  EXPECT_TRUE(GeometryDWithin(g, {5, 2}, 2.0));
+  EXPECT_FALSE(GeometryDWithin(g, {5, 2.1}, 2.0));
+  EXPECT_TRUE(GeometryDWithin(g, {5, 0}, 0.0));
+}
+
+// ---------------- box classification ----------------
+
+TEST(ClassifyTest, BoxPolygonInsideOutsideBoundary) {
+  Polygon p = Polygon::FromBox(Box(0, 0, 10, 10));
+  EXPECT_EQ(ClassifyBoxPolygon(Box(1, 1, 2, 2), p), BoxRelation::kInside);
+  EXPECT_EQ(ClassifyBoxPolygon(Box(20, 20, 21, 21), p), BoxRelation::kOutside);
+  EXPECT_EQ(ClassifyBoxPolygon(Box(9, 9, 11, 11), p), BoxRelation::kBoundary);
+}
+
+TEST(ClassifyTest, BoxAroundHoleIsBoundary) {
+  Polygon p = SquareWithHole();
+  EXPECT_EQ(ClassifyBoxPolygon(Box(3.5, 3.5, 6.5, 6.5), p),
+            BoxRelation::kBoundary);
+  EXPECT_EQ(ClassifyBoxPolygon(Box(1, 1, 2, 2), p), BoxRelation::kInside);
+}
+
+TEST(ClassifyTest, BoxContainingWholePolygonIsBoundary) {
+  Polygon p = UnitSquare();
+  EXPECT_EQ(ClassifyBoxPolygon(Box(-1, -1, 2, 2), p), BoxRelation::kBoundary);
+}
+
+TEST(ClassifyTest, ClassifyBoxGeometryBoxTarget) {
+  Geometry g(Box(0, 0, 10, 10));
+  EXPECT_EQ(ClassifyBoxGeometry(Box(1, 1, 2, 2), g), BoxRelation::kInside);
+  EXPECT_EQ(ClassifyBoxGeometry(Box(9, 9, 12, 12), g), BoxRelation::kBoundary);
+  EXPECT_EQ(ClassifyBoxGeometry(Box(11, 11, 12, 12), g), BoxRelation::kOutside);
+}
+
+TEST(ClassifyTest, BufferedLineClassification) {
+  LineString l;
+  l.points = {{0, 0}, {100, 0}};
+  Geometry g(l);
+  // A tiny box right on the line, well within the buffer: inside.
+  EXPECT_EQ(ClassifyBoxGeometry(Box(50, -0.5, 51, 0.5), g, 10.0),
+            BoxRelation::kInside);
+  // Far away: outside.
+  EXPECT_EQ(ClassifyBoxGeometry(Box(50, 100, 60, 110), g, 10.0),
+            BoxRelation::kOutside);
+  // Straddling the buffer edge: boundary.
+  EXPECT_EQ(ClassifyBoxGeometry(Box(50, 8, 60, 12), g, 10.0),
+            BoxRelation::kBoundary);
+}
+
+// Soundness sweep: classification must agree with per-point truth on a
+// sample grid inside each cell.
+TEST(ClassifyTest, ClassificationIsSoundOnSamples) {
+  Polygon p;
+  p.shell.points = {{0, 0}, {20, 5}, {15, 18}, {4, 15}};
+  Geometry g(p);
+  for (int cx = -2; cx < 24; cx += 2) {
+    for (int cy = -2; cy < 20; cy += 2) {
+      Box cell(cx, cy, cx + 2, cy + 2);
+      BoxRelation rel = ClassifyBoxGeometry(cell, g);
+      for (double fx = 0.25; fx < 1.0; fx += 0.25) {
+        for (double fy = 0.25; fy < 1.0; fy += 0.25) {
+          Point pt{cell.min_x + fx * cell.width(),
+                   cell.min_y + fy * cell.height()};
+          bool in = GeometryContainsPoint(g, pt);
+          if (rel == BoxRelation::kInside) EXPECT_TRUE(in);
+          if (rel == BoxRelation::kOutside) EXPECT_FALSE(in);
+        }
+      }
+    }
+  }
+}
+
+// ---------------- segment/box and line/box ----------------
+
+TEST(SegmentBoxTest, Cases) {
+  Box b(0, 0, 10, 10);
+  EXPECT_TRUE(SegmentIntersectsBox({-5, 5}, {15, 5}, b));  // crosses
+  EXPECT_TRUE(SegmentIntersectsBox({5, 5}, {6, 6}, b));    // inside
+  EXPECT_TRUE(SegmentIntersectsBox({-1, -1}, {0, 0}, b));  // touches corner
+  EXPECT_FALSE(SegmentIntersectsBox({-5, -5}, {-1, -1}, b));
+  EXPECT_FALSE(SegmentIntersectsBox({11, 0}, {12, 10}, b));
+}
+
+TEST(LineBoxTest, PolylineIntersection) {
+  Box b(0, 0, 10, 10);
+  LineString l;
+  l.points = {{-5, -5}, {-5, 5}, {5, 5}};
+  EXPECT_TRUE(LineIntersectsBox(l, b));
+  LineString l2;
+  l2.points = {{-5, -5}, {-5, 20}, {-2, 20}};
+  EXPECT_FALSE(LineIntersectsBox(l2, b));
+}
+
+TEST(PolygonBoxTest, PolygonInsideBoxCounts) {
+  Polygon p = UnitSquare();
+  EXPECT_TRUE(PolygonIntersectsBox(p, Box(-5, -5, 5, 5)));
+  EXPECT_TRUE(PolygonIntersectsBox(p, Box(0.4, 0.4, 0.6, 0.6)));  // box in poly
+  EXPECT_FALSE(PolygonIntersectsBox(p, Box(2, 2, 3, 3)));
+}
+
+// ---------------- geometry-geometry ----------------
+
+TEST(GeomGeomTest, LinePolygon) {
+  Polygon p = Polygon::FromBox(Box(0, 0, 10, 10));
+  LineString cross;
+  cross.points = {{-5, 5}, {15, 5}};
+  EXPECT_TRUE(GeometriesIntersect(Geometry(cross), Geometry(p)));
+  LineString inside;
+  inside.points = {{1, 1}, {2, 2}};
+  EXPECT_TRUE(GeometriesIntersect(Geometry(inside), Geometry(p)));
+  LineString outside;
+  outside.points = {{20, 20}, {30, 30}};
+  EXPECT_FALSE(GeometriesIntersect(Geometry(outside), Geometry(p)));
+}
+
+TEST(GeomGeomTest, PolygonPolygon) {
+  Geometry a(Polygon::FromBox(Box(0, 0, 10, 10)));
+  Geometry b(Polygon::FromBox(Box(5, 5, 15, 15)));
+  Geometry c(Polygon::FromBox(Box(11, 11, 15, 15)));
+  Geometry inner(Polygon::FromBox(Box(2, 2, 3, 3)));
+  EXPECT_TRUE(GeometriesIntersect(a, b));
+  EXPECT_FALSE(GeometriesIntersect(a, c));
+  EXPECT_TRUE(GeometriesIntersect(a, inner));  // containment counts
+  EXPECT_TRUE(GeometriesIntersect(inner, a));
+}
+
+TEST(GeomGeomTest, PointAndBoxCombos) {
+  Geometry pt(Point{1, 1});
+  Geometry bx(Box(0, 0, 2, 2));
+  EXPECT_TRUE(GeometriesIntersect(pt, bx));
+  EXPECT_TRUE(GeometriesIntersect(bx, pt));
+  EXPECT_FALSE(GeometriesIntersect(Geometry(Point{5, 5}), bx));
+}
+
+TEST(GeomGeomTest, Distance) {
+  Geometry a(Polygon::FromBox(Box(0, 0, 1, 1)));
+  Geometry b(Polygon::FromBox(Box(3, 0, 4, 1)));
+  EXPECT_DOUBLE_EQ(GeometryDistance(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(GeometryDistance(a, a), 0.0);
+  LineString l;
+  l.points = {{0, 5}, {1, 5}};
+  EXPECT_DOUBLE_EQ(GeometryDistance(a, Geometry(l)), 4.0);
+}
+
+}  // namespace
+}  // namespace geocol

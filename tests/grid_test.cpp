@@ -1,0 +1,106 @@
+// Regular grid tests: cell mapping, classification, auto-sizing.
+#include <gtest/gtest.h>
+
+#include "geom/grid.h"
+
+namespace geocol {
+namespace {
+
+TEST(GridTest, Dimensions) {
+  RegularGrid g(Box(0, 0, 100, 50), 10, 5);
+  EXPECT_EQ(g.cols(), 10u);
+  EXPECT_EQ(g.rows(), 5u);
+  EXPECT_EQ(g.num_cells(), 50u);
+}
+
+TEST(GridTest, CellOfMapsPointsConsistently) {
+  RegularGrid g(Box(0, 0, 100, 100), 10, 10);
+  EXPECT_EQ(g.CellOf(5, 5), 0u);
+  EXPECT_EQ(g.CellOf(95, 5), 9u);
+  EXPECT_EQ(g.CellOf(5, 95), 90u);
+  EXPECT_EQ(g.CellOf(95, 95), 99u);
+  // Edges clamp into valid cells.
+  EXPECT_EQ(g.CellOf(100, 100), 99u);
+  EXPECT_EQ(g.CellOf(-5, -5), 0u);
+}
+
+TEST(GridTest, CellBoxInvertsCellOf) {
+  RegularGrid g(Box(10, 20, 110, 70), 7, 3);
+  for (uint64_t c = 0; c < g.num_cells(); ++c) {
+    Box b = g.CellBox(c);
+    Point mid = b.center();
+    EXPECT_EQ(g.CellOf(mid.x, mid.y), c);
+  }
+}
+
+TEST(GridTest, CellBoxesTileTheExtent) {
+  RegularGrid g(Box(0, 0, 10, 10), 4, 4);
+  double area = 0;
+  for (uint64_t c = 0; c < g.num_cells(); ++c) area += g.CellBox(c).area();
+  EXPECT_NEAR(area, 100.0, 1e-9);
+}
+
+TEST(GridTest, DegenerateExtentHandled) {
+  RegularGrid g(Box(5, 5, 5, 5), 4, 4);
+  EXPECT_EQ(g.CellOf(5, 5), 0u);
+  RegularGrid g2(Box(0, 5, 10, 5), 4, 4);  // zero height
+  (void)g2.CellOf(5, 5);
+}
+
+TEST(GridTest, ZeroColsClampedToOne) {
+  RegularGrid g(Box(0, 0, 1, 1), 0, 0);
+  EXPECT_EQ(g.cols(), 1u);
+  EXPECT_EQ(g.rows(), 1u);
+}
+
+TEST(GridTest, ClassifyCellsAgainstPolygon) {
+  RegularGrid g(Box(0, 0, 10, 10), 10, 10);
+  Geometry poly(Polygon::FromBox(Box(2.5, 2.5, 7.5, 7.5)));
+  auto classes = g.ClassifyCells(poly);
+  ASSERT_EQ(classes.size(), 100u);
+  // Cell (3,3) covering [3,4]x[3,4] is fully inside.
+  EXPECT_EQ(classes[3 * 10 + 3], BoxRelation::kInside);
+  // Cell (0,0) is fully outside.
+  EXPECT_EQ(classes[0], BoxRelation::kOutside);
+  // Cell (2,2) covering [2,3]x[2,3] touches the boundary at 2.5.
+  EXPECT_EQ(classes[2 * 10 + 2], BoxRelation::kBoundary);
+  // Count sanity: 9 inside (3..5 squared region fully within)...
+  int inside = 0, boundary = 0, outside = 0;
+  for (BoxRelation r : classes) {
+    inside += r == BoxRelation::kInside;
+    boundary += r == BoxRelation::kBoundary;
+    outside += r == BoxRelation::kOutside;
+  }
+  EXPECT_EQ(inside, 16);    // cells [3..6]x[3..6]
+  EXPECT_EQ(boundary, 20);  // ring of cells crossing the boundary
+  EXPECT_EQ(outside, 64);
+}
+
+TEST(GridTest, ForExpectedPointsTargetsDensity) {
+  RegularGrid g = RegularGrid::ForExpectedPoints(Box(0, 0, 100, 100),
+                                                 100000, 100);
+  // ~1000 cells expected.
+  EXPECT_GE(g.num_cells(), 500u);
+  EXPECT_LE(g.num_cells(), 2000u);
+}
+
+TEST(GridTest, ForExpectedPointsRespectsAspect) {
+  RegularGrid g = RegularGrid::ForExpectedPoints(Box(0, 0, 1000, 10),
+                                                 10000, 10);
+  EXPECT_GT(g.cols(), g.rows());
+}
+
+TEST(GridTest, ForExpectedPointsClampsToMax) {
+  RegularGrid g = RegularGrid::ForExpectedPoints(Box(0, 0, 1, 1),
+                                                 1'000'000'000ULL, 1, 64);
+  EXPECT_LE(g.cols(), 64u);
+  EXPECT_LE(g.rows(), 64u);
+}
+
+TEST(GridTest, FewPointsSmallGrid) {
+  RegularGrid g = RegularGrid::ForExpectedPoints(Box(0, 0, 1, 1), 10, 256);
+  EXPECT_EQ(g.num_cells(), 1u);
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,164 @@
+// Imprint-accelerated range selection: equivalence with the full scan
+// oracle, work accounting, staleness detection, and the ImprintManager's
+// lazy build/rebuild behaviour.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/imprint_scan.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+ColumnPtr MakeWalkColumn(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> vals(n);
+  double walk = 0;
+  for (auto& v : vals) {
+    walk += rng.NextGaussian();
+    v = walk;
+  }
+  return Column::FromVector<double>("c", vals);
+}
+
+TEST(ImprintScanTest, MatchesFullScanOracle) {
+  ColumnPtr col = MakeWalkColumn(30000, 61);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  Rng rng(62);
+  for (int q = 0; q < 25; ++q) {
+    double a = rng.UniformDouble(-100, 100);
+    double b = rng.UniformDouble(-100, 100);
+    double lo = std::min(a, b), hi = std::max(a, b);
+    BitVector via_imprints, via_scan;
+    ASSERT_TRUE(ImprintRangeSelect(*col, *ix, lo, hi, &via_imprints).ok());
+    FullScanRangeSelect(*col, lo, hi, &via_scan);
+    EXPECT_TRUE(via_imprints == via_scan) << "range [" << lo << "," << hi << "]";
+  }
+}
+
+TEST(ImprintScanTest, EmptyRange) {
+  ColumnPtr col = MakeWalkColumn(1000, 63);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  BitVector rows;
+  ImprintScanStats stats;
+  ASSERT_TRUE(ImprintRangeSelect(*col, *ix, 5, 4, &rows, &stats).ok());
+  EXPECT_EQ(rows.Count(), 0u);
+  EXPECT_EQ(stats.rows_selected, 0u);
+  EXPECT_EQ(stats.lines_candidate, 0u);
+}
+
+TEST(ImprintScanTest, StatsAreConsistent) {
+  ColumnPtr col = MakeWalkColumn(50000, 64);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  BitVector rows;
+  ImprintScanStats stats;
+  ASSERT_TRUE(ImprintRangeSelect(*col, *ix, -5, 5, &rows, &stats).ok());
+  EXPECT_EQ(stats.lines_total, ix->num_lines());
+  EXPECT_LE(stats.lines_full, stats.lines_candidate);
+  EXPECT_EQ(stats.rows_selected, rows.Count());
+  // values_checked counts only non-full candidate lines' values.
+  EXPECT_LE(stats.values_checked,
+            (stats.lines_candidate - stats.lines_full) * ix->values_per_line());
+  EXPECT_LE(stats.TouchedFraction(), 1.0);
+}
+
+TEST(ImprintScanTest, SelectiveQueryTouchesFewLines) {
+  // Clustered data + narrow range: the imprint filter must skip most of
+  // the column (the whole point of the index).
+  ColumnPtr col = MakeWalkColumn(200000, 65);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  const auto& stats_col = *col;
+  double mid = stats_col.Stats().min;  // range near the domain edge
+  BitVector rows;
+  ImprintScanStats stats;
+  ASSERT_TRUE(
+      ImprintRangeSelect(*col, *ix, mid, mid + 0.5, &rows, &stats).ok());
+  EXPECT_LT(stats.TouchedFraction(), 0.5);
+}
+
+TEST(ImprintScanTest, StaleIndexRejected) {
+  ColumnPtr col = MakeWalkColumn(1000, 66);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  col->Append<double>(1.0);
+  BitVector rows;
+  EXPECT_EQ(ImprintRangeSelect(*col, *ix, 0, 1, &rows).code(),
+            StatusCode::kInternal);
+}
+
+TEST(ImprintScanTest, IntegerColumnExactBoundaries) {
+  std::vector<int32_t> vals;
+  for (int i = 0; i < 10000; ++i) vals.push_back(i % 100);
+  auto col = Column::FromVector<int32_t>("c", vals);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  BitVector rows;
+  ASSERT_TRUE(ImprintRangeSelect(*col, *ix, 10, 19, &rows).ok());
+  EXPECT_EQ(rows.Count(), 1000u);  // 10 values x 100 repetitions
+}
+
+// ---------------- FullScanRangeSelect ----------------
+
+TEST(FullScanTest, InclusiveBounds) {
+  auto col = Column::FromVector<double>("c", {1, 2, 3, 4, 5});
+  BitVector rows;
+  FullScanRangeSelect(*col, 2, 4, &rows);
+  EXPECT_EQ(rows.Count(), 3u);
+  EXPECT_TRUE(rows.Get(1));
+  EXPECT_TRUE(rows.Get(3));
+  EXPECT_FALSE(rows.Get(0));
+}
+
+// ---------------- ImprintManager ----------------
+
+TEST(ImprintManagerTest, BuildsLazilyAndCaches) {
+  ImprintManager mgr;
+  ColumnPtr col = MakeWalkColumn(5000, 70);
+  EXPECT_EQ(mgr.num_indexes(), 0u);
+  auto ix1 = mgr.GetOrBuild(col);
+  ASSERT_TRUE(ix1.ok());
+  EXPECT_EQ(mgr.num_indexes(), 1u);
+  auto ix2 = mgr.GetOrBuild(col);
+  ASSERT_TRUE(ix2.ok());
+  EXPECT_EQ(*ix1, *ix2) << "second call must return the cached index";
+}
+
+TEST(ImprintManagerTest, RebuildsAfterAppend) {
+  ImprintManager mgr;
+  ColumnPtr col = MakeWalkColumn(5000, 71);
+  auto ix1 = mgr.GetOrBuild(col);
+  ASSERT_TRUE(ix1.ok());
+  uint64_t lines_before = (*ix1)->num_lines();
+  for (int i = 0; i < 1000; ++i) col->Append<double>(i);
+  auto ix2 = mgr.GetOrBuild(col);
+  ASSERT_TRUE(ix2.ok());
+  EXPECT_EQ((*ix2)->built_epoch(), col->epoch());
+  EXPECT_GT((*ix2)->num_lines(), lines_before);
+  EXPECT_EQ(mgr.num_indexes(), 1u);  // replaced, not duplicated
+}
+
+TEST(ImprintManagerTest, NullColumnRejected) {
+  ImprintManager mgr;
+  EXPECT_FALSE(mgr.GetOrBuild(nullptr).ok());
+}
+
+TEST(ImprintManagerTest, TotalStorageAndClear) {
+  ImprintManager mgr;
+  ColumnPtr a = MakeWalkColumn(5000, 72);
+  ColumnPtr b = MakeWalkColumn(5000, 73);
+  ASSERT_TRUE(mgr.GetOrBuild(a).ok());
+  ASSERT_TRUE(mgr.GetOrBuild(b).ok());
+  EXPECT_EQ(mgr.num_indexes(), 2u);
+  EXPECT_GT(mgr.TotalStorageBytes(), 0u);
+  mgr.Clear();
+  EXPECT_EQ(mgr.num_indexes(), 0u);
+  EXPECT_EQ(mgr.TotalStorageBytes(), 0u);
+}
+
+}  // namespace
+}  // namespace geocol

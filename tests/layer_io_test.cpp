@@ -1,0 +1,124 @@
+// Vector layer file format tests.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "geom/wkt.h"
+#include "gis/layer_io.h"
+#include "pointcloud/terrain.h"
+#include "pointcloud/vector_gen.h"
+#include "util/binary_io.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+TEST(LayerIoTest, RoundTripAllGeometryKinds) {
+  TempDir tmp;
+  std::vector<VectorFeature> features;
+  VectorFeature pt;
+  pt.id = 1;
+  pt.geometry = Geometry(Point{1.5, 2.5});
+  pt.feature_class = 10;
+  pt.name = "a point";
+  features.push_back(pt);
+  VectorFeature line;
+  line.id = 2;
+  LineString l;
+  l.points = {{0, 0}, {10, 5}, {20, 0}};
+  line.geometry = Geometry(l);
+  line.feature_class = 20;
+  line.name = "a line";
+  features.push_back(line);
+  VectorFeature poly;
+  poly.id = 3;
+  poly.geometry = Geometry(Polygon::FromBox(Box(0, 0, 5, 5)));
+  poly.feature_class = 30;
+  poly.name = "a polygon";
+  features.push_back(poly);
+  VectorFeature mp;
+  mp.id = 4;
+  MultiPolygon m;
+  m.polygons.push_back(Polygon::FromBox(Box(0, 0, 1, 1)));
+  m.polygons.push_back(Polygon::FromBox(Box(3, 3, 4, 4)));
+  mp.geometry = Geometry(m);
+  mp.feature_class = 40;
+  mp.name = "a multipolygon";
+  features.push_back(mp);
+
+  auto layer = VectorLayer::FromFeatures("mixed", features);
+  ASSERT_TRUE(WriteLayerFile(*layer, tmp.File("mixed.layer")).ok());
+  auto back = ReadLayerFile(tmp.File("mixed.layer"));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->name(), "mixed");
+  ASSERT_EQ((*back)->size(), 4u);
+  for (size_t i = 0; i < 4; ++i) {
+    const VectorFeature& a = layer->feature(i);
+    const VectorFeature& b = (*back)->feature(i);
+    EXPECT_EQ(a.id, b.id);
+    EXPECT_EQ(a.feature_class, b.feature_class);
+    EXPECT_EQ(a.name, b.name);
+    EXPECT_EQ(a.geometry.type(), b.geometry.type());
+    EXPECT_EQ(ToWkt(a.geometry, 9), ToWkt(b.geometry, 9));
+  }
+}
+
+TEST(LayerIoTest, ExplicitNameOverridesFileName) {
+  TempDir tmp;
+  auto layer = VectorLayer::FromFeatures("x", {});
+  ASSERT_TRUE(WriteLayerFile(*layer, tmp.File("whatever.layer")).ok());
+  auto back = ReadLayerFile(tmp.File("whatever.layer"), "roads");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ((*back)->name(), "roads");
+}
+
+TEST(LayerIoTest, TabsInNamesSanitised) {
+  TempDir tmp;
+  VectorFeature f;
+  f.id = 1;
+  f.geometry = Geometry(Point{0, 0});
+  f.name = "bad\tname\nwith breaks";
+  auto layer = VectorLayer::FromFeatures("t", {f});
+  ASSERT_TRUE(WriteLayerFile(*layer, tmp.File("t.layer")).ok());
+  auto back = ReadLayerFile(tmp.File("t.layer"));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ((*back)->size(), 1u);
+  EXPECT_EQ((*back)->feature(0).name, "bad name with breaks");
+}
+
+TEST(LayerIoTest, MalformedLinesRejected) {
+  TempDir tmp;
+  const char* bad1 = "1\t2\tonly three fields\n";
+  ASSERT_TRUE(WriteFileBytes(tmp.File("bad1.layer"), bad1, strlen(bad1)).ok());
+  EXPECT_EQ(ReadLayerFile(tmp.File("bad1.layer")).status().code(),
+            StatusCode::kCorruption);
+  const char* bad2 = "1\t2\tname\tNOT A GEOMETRY\n";
+  ASSERT_TRUE(WriteFileBytes(tmp.File("bad2.layer"), bad2, strlen(bad2)).ok());
+  EXPECT_EQ(ReadLayerFile(tmp.File("bad2.layer")).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST(LayerIoTest, MissingFileIsIOError) {
+  EXPECT_EQ(ReadLayerFile("/no/such/file.layer").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(LayerIoTest, GeneratedLayersSurviveRoundTrip) {
+  TempDir tmp;
+  Box extent(85000, 444000, 85500, 444500);
+  TerrainModel terrain(7);
+  OsmGenerator og(7, extent, terrain);
+  auto roads = og.GenerateRoads(30);
+  auto layer = VectorLayer::FromFeatures("osm", roads);
+  ASSERT_TRUE(WriteLayerFile(*layer, tmp.File("osm.layer")).ok());
+  auto back = ReadLayerFile(tmp.File("osm.layer"));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ((*back)->size(), roads.size());
+  // Spatial queries agree between original and reloaded layer.
+  Box q(85100, 444100, 85300, 444300);
+  EXPECT_EQ(layer->QueryIntersecting(Geometry(q)),
+            (*back)->QueryIntersecting(Geometry(q)));
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,171 @@
+// Loader pipeline tests: the binary (dump + COPY BINARY) path, the CSV
+// baseline path, and the key equivalence property — both loaders and the
+// direct in-memory append produce identical tables.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+
+#include "las/las_writer.h"
+#include "loader/binary_loader.h"
+#include "loader/csv_loader.h"
+#include "pointcloud/generator.h"
+#include "util/binary_io.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+AhnGeneratorOptions TinyOptions() {
+  AhnGeneratorOptions opts;
+  opts.extent = Box(85000, 444000, 85100, 444100);
+  opts.point_density = 2.0;
+  opts.strip_width = 40.0;
+  opts.scan_line_spacing = 0.7;
+  opts.target_points_per_tile = 8000;
+  return opts;
+}
+
+class LoaderTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    gen_ = std::make_unique<AhnGenerator>(TinyOptions());
+    ASSERT_TRUE(MakeDir(tiles_dir()).ok());
+    ASSERT_TRUE(MakeDir(scratch_dir()).ok());
+    auto tiles = gen_->WriteTileDirectory(tiles_dir(), /*compress=*/false);
+    ASSERT_TRUE(tiles.ok());
+    num_tiles_ = *tiles;
+    // In-memory reference table (no file round trip).
+    reference_ = std::make_shared<FlatTable>("ref", LasPointSchema());
+    ASSERT_TRUE(gen_->GenerateTiles([&](LasTile& tile, uint64_t) {
+      return AppendTileToTable(tile, reference_.get());
+    }).ok());
+  }
+
+  std::string tiles_dir() const { return tmp_.File("tiles"); }
+  std::string scratch_dir() const { return tmp_.File("scratch"); }
+
+  static void ExpectTablesEqual(const FlatTable& a, const FlatTable& b) {
+    ASSERT_EQ(a.num_columns(), b.num_columns());
+    ASSERT_EQ(a.num_rows(), b.num_rows());
+    for (size_t c = 0; c < a.num_columns(); ++c) {
+      ASSERT_EQ(a.column(c)->type(), b.column(c)->type());
+      ASSERT_EQ(a.column(c)->raw_size_bytes(), b.column(c)->raw_size_bytes());
+      EXPECT_EQ(std::memcmp(a.column(c)->raw_data(), b.column(c)->raw_data(),
+                            a.column(c)->raw_size_bytes()),
+                0)
+          << "column " << a.column(c)->name();
+    }
+  }
+
+  TempDir tmp_;
+  std::unique_ptr<AhnGenerator> gen_;
+  std::shared_ptr<FlatTable> reference_;
+  uint64_t num_tiles_ = 0;
+};
+
+TEST_F(LoaderTest, BinaryLoaderMatchesDirectAppend) {
+  BinaryLoader loader(scratch_dir());
+  LoadStats stats;
+  auto table = loader.LoadDirectory(tiles_dir(), &stats);
+  ASSERT_TRUE(table.ok());
+  ExpectTablesEqual(*reference_, **table);
+  EXPECT_EQ(stats.files, num_tiles_);
+  EXPECT_EQ(stats.points, reference_->num_rows());
+  EXPECT_GT(stats.bytes_read, 0u);
+  EXPECT_GT(stats.TotalSeconds(), 0.0);
+  EXPECT_GT(stats.PointsPerSecond(), 0.0);
+}
+
+TEST_F(LoaderTest, ParallelLoaderMatchesSequentialExactly) {
+  BinaryLoader loader(scratch_dir());
+  auto seq = loader.LoadDirectory(tiles_dir());
+  ASSERT_TRUE(seq.ok());
+  for (size_t threads : {1, 2, 4}) {
+    LoadStats stats;
+    auto par = loader.LoadDirectoryParallel(tiles_dir(), threads, &stats);
+    ASSERT_TRUE(par.ok()) << threads << " threads";
+    ExpectTablesEqual(**seq, **par);
+    EXPECT_EQ(stats.points, (*seq)->num_rows());
+    EXPECT_EQ(stats.files, num_tiles_);
+  }
+}
+
+TEST_F(LoaderTest, ParallelLoaderPropagatesErrors) {
+  std::string bad_dir = tmp_.File("badpar");
+  ASSERT_TRUE(MakeDir(bad_dir).ok());
+  ASSERT_TRUE(WriteFileBytes(bad_dir + "/junk.las", "GARBAGE!", 8).ok());
+  BinaryLoader loader(scratch_dir());
+  EXPECT_FALSE(loader.LoadDirectoryParallel(bad_dir, 3).ok());
+}
+
+TEST_F(LoaderTest, CsvLoaderMatchesBinaryLoaderExactly) {
+  BinaryLoader bloader(scratch_dir());
+  CsvLoader cloader(scratch_dir());
+  auto bt = bloader.LoadDirectory(tiles_dir());
+  auto ct = cloader.LoadDirectory(tiles_dir());
+  ASSERT_TRUE(bt.ok());
+  ASSERT_TRUE(ct.ok());
+  // CSV doubles are written with %.17g (round-trip exact), so the two load
+  // paths must produce bit-identical tables.
+  ExpectTablesEqual(**bt, **ct);
+}
+
+TEST_F(LoaderTest, CompressedTilesLoadIdentically) {
+  std::string laz_dir = tmp_.File("laz_tiles");
+  ASSERT_TRUE(MakeDir(laz_dir).ok());
+  ASSERT_TRUE(gen_->WriteTileDirectory(laz_dir, /*compress=*/true).ok());
+  BinaryLoader loader(scratch_dir());
+  auto table = loader.LoadDirectory(laz_dir);
+  ASSERT_TRUE(table.ok());
+  ExpectTablesEqual(*reference_, **table);
+}
+
+TEST_F(LoaderTest, ConvertToDumpsProduces26Files) {
+  std::vector<std::string> files;
+  ASSERT_TRUE(ListFiles(tiles_dir(), ".las", &files).ok());
+  ASSERT_FALSE(files.empty());
+  BinaryLoader loader(scratch_dir());
+  auto dumps = loader.ConvertToDumps(files[0], "t0");
+  ASSERT_TRUE(dumps.ok());
+  EXPECT_EQ(dumps->size(), kLasAttributeCount);
+  for (const auto& d : *dumps) EXPECT_TRUE(PathExists(d));
+}
+
+TEST_F(LoaderTest, CopyBinaryArityMismatchRejected) {
+  BinaryLoader loader(scratch_dir());
+  FlatTable table("pc", LasPointSchema());
+  EXPECT_FALSE(loader.CopyBinary({"only", "three", "dumps"}, &table).ok());
+}
+
+TEST_F(LoaderTest, EmptyDirectoryIsNotFound) {
+  std::string empty = tmp_.File("empty");
+  ASSERT_TRUE(MakeDir(empty).ok());
+  BinaryLoader loader(scratch_dir());
+  EXPECT_EQ(loader.LoadDirectory(empty).status().code(),
+            StatusCode::kNotFound);
+  CsvLoader cloader(scratch_dir());
+  EXPECT_EQ(cloader.LoadDirectory(empty).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(LoaderTest, CorruptTileSurfacesError) {
+  std::string bad_dir = tmp_.File("bad");
+  ASSERT_TRUE(MakeDir(bad_dir).ok());
+  ASSERT_TRUE(WriteFileBytes(bad_dir + "/junk.las", "GARBAGE!", 8).ok());
+  BinaryLoader loader(scratch_dir());
+  EXPECT_EQ(loader.LoadDirectory(bad_dir).status().code(),
+            StatusCode::kCorruption);
+}
+
+TEST_F(LoaderTest, StatsPhasesAllPopulated) {
+  BinaryLoader loader(scratch_dir());
+  LoadStats stats;
+  ASSERT_TRUE(loader.LoadDirectory(tiles_dir(), &stats).ok());
+  EXPECT_GT(stats.read_seconds, 0.0);
+  EXPECT_GT(stats.convert_seconds, 0.0);
+  EXPECT_GT(stats.append_seconds, 0.0);
+}
+
+}  // namespace
+}  // namespace geocol

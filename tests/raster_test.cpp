@@ -1,0 +1,131 @@
+// Raster aggregation (DSM) tests.
+#include <gtest/gtest.h>
+
+#include "core/raster.h"
+#include "core/spatial_engine.h"
+#include "pointcloud/generator.h"
+
+namespace geocol {
+namespace {
+
+std::shared_ptr<FlatTable> GridTable() {
+  // A deterministic 4x4 arrangement: one point per cell with z = cell id.
+  auto t = std::make_shared<FlatTable>("pc");
+  std::vector<double> xs, ys, zs;
+  for (int cy = 0; cy < 4; ++cy) {
+    for (int cx = 0; cx < 4; ++cx) {
+      xs.push_back(cx + 0.5);
+      ys.push_back(cy + 0.5);
+      zs.push_back(cy * 4 + cx);
+    }
+  }
+  EXPECT_TRUE(t->AddColumn(Column::FromVector("x", xs)).ok());
+  EXPECT_TRUE(t->AddColumn(Column::FromVector("y", ys)).ok());
+  EXPECT_TRUE(t->AddColumn(Column::FromVector("z", zs)).ok());
+  return t;
+}
+
+TEST(RasterTest, MeanPerCell) {
+  auto table = GridTable();
+  auto raster = RasterizeRows(*table, {}, "z", Box(0, 0, 4, 4), 4, 4);
+  ASSERT_TRUE(raster.ok());
+  for (uint32_t ry = 0; ry < 4; ++ry) {
+    for (uint32_t cx = 0; cx < 4; ++cx) {
+      EXPECT_EQ(raster->CountAt(cx, ry), 1u);
+      EXPECT_EQ(raster->At(cx, ry), static_cast<float>(ry * 4 + cx));
+    }
+  }
+}
+
+TEST(RasterTest, StatsVariants) {
+  auto t = std::make_shared<FlatTable>("pc");
+  ASSERT_TRUE(t->AddColumn(
+      Column::FromVector<double>("x", {0.5, 0.5, 0.5})).ok());
+  ASSERT_TRUE(t->AddColumn(
+      Column::FromVector<double>("y", {0.5, 0.5, 0.5})).ok());
+  ASSERT_TRUE(t->AddColumn(
+      Column::FromVector<double>("z", {1.0, 2.0, 6.0})).ok());
+  Box e(0, 0, 1, 1);
+  auto mean = RasterizeRows(*t, {}, "z", e, 1, 1, RasterStat::kMean);
+  auto mn = RasterizeRows(*t, {}, "z", e, 1, 1, RasterStat::kMin);
+  auto mx = RasterizeRows(*t, {}, "z", e, 1, 1, RasterStat::kMax);
+  auto cnt = RasterizeRows(*t, {}, "z", e, 1, 1, RasterStat::kCount);
+  ASSERT_TRUE(mean.ok());
+  ASSERT_TRUE(mn.ok());
+  ASSERT_TRUE(mx.ok());
+  ASSERT_TRUE(cnt.ok());
+  EXPECT_FLOAT_EQ(mean->At(0, 0), 3.0f);
+  EXPECT_FLOAT_EQ(mn->At(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(mx->At(0, 0), 6.0f);
+  EXPECT_FLOAT_EQ(cnt->At(0, 0), 3.0f);
+}
+
+TEST(RasterTest, RowSubsetRestricts) {
+  auto table = GridTable();
+  auto raster = RasterizeRows(*table, {0, 15}, "z", Box(0, 0, 4, 4), 4, 4);
+  ASSERT_TRUE(raster.ok());
+  EXPECT_EQ(raster->CountAt(0, 0), 1u);
+  EXPECT_EQ(raster->CountAt(3, 3), 1u);
+  EXPECT_EQ(raster->CountAt(1, 1), 0u);
+  EXPECT_TRUE(raster->Empty(2, 2));
+}
+
+TEST(RasterTest, Validation) {
+  auto table = GridTable();
+  EXPECT_FALSE(RasterizeRows(*table, {}, "z", Box(0, 0, 4, 4), 0, 4).ok());
+  EXPECT_FALSE(RasterizeRows(*table, {}, "z", Box(), 4, 4).ok());
+  EXPECT_FALSE(RasterizeRows(*table, {}, "nope", Box(0, 0, 4, 4), 4, 4).ok());
+}
+
+TEST(RasterTest, VoidFilling) {
+  auto table = GridTable();
+  auto raster = RasterizeRows(*table, {0}, "z", Box(0, 0, 4, 4), 4, 4);
+  ASSERT_TRUE(raster.ok());
+  EXPECT_TRUE(raster->Empty(3, 3));
+  FillRasterVoids(&*raster, 8);
+  // Everything reachable within 8 dilation steps of the single filled cell
+  // becomes filled with its value.
+  EXPECT_FALSE(raster->Empty(3, 3));
+  EXPECT_FLOAT_EQ(raster->At(3, 3), 0.0f);
+}
+
+TEST(RasterTest, DsmOverSyntheticSurvey) {
+  AhnGeneratorOptions opts;
+  opts.extent = Box(85000, 444000, 85100, 444100);
+  AhnGenerator gen(opts);
+  auto table = *gen.GenerateTable(40000);
+  Box extent(85000, 444000, 85100, 444100);
+  auto dsm = RasterizeRows(*table, {}, "z", extent, 50, 50);
+  ASSERT_TRUE(dsm.ok());
+  // Density 4 pts/m² on 2x2 m cells: essentially every cell filled.
+  uint64_t filled = 0;
+  for (uint32_t c : dsm->counts) filled += c > 0;
+  EXPECT_GT(filled, dsm->counts.size() * 95 / 100);
+  // Elevations within the generator's plausible range.
+  for (size_t i = 0; i < dsm->values.size(); ++i) {
+    if (dsm->counts[i] == 0) continue;
+    EXPECT_GT(dsm->values[i], -20.0f);
+    EXPECT_LT(dsm->values[i], 120.0f);
+  }
+}
+
+TEST(RasterTest, SelectionDrivenRaster) {
+  // The workflow the demo implies: select a region with the engine, raster
+  // the selected points only.
+  AhnGeneratorOptions opts;
+  opts.extent = Box(85000, 444000, 85100, 444100);
+  AhnGenerator gen(opts);
+  auto table = *gen.GenerateTable(20000);
+  SpatialQueryEngine engine(table);
+  Box region(85020, 444020, 85060, 444060);
+  auto sel = engine.SelectInBox(region);
+  ASSERT_TRUE(sel.ok());
+  auto dsm = RasterizeRows(*table, sel->row_ids, "z", region, 20, 20);
+  ASSERT_TRUE(dsm.ok());
+  uint64_t total = 0;
+  for (uint32_t c : dsm->counts) total += c;
+  EXPECT_EQ(total, sel->count());
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,190 @@
+// Grid refinement tests: equivalence with exhaustive refinement (the core
+// correctness property of §3.3), statistics, and edge cases.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/refinement.h"
+#include "geom/wkt.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+struct XY {
+  ColumnPtr x, y;
+};
+
+XY MakePoints(size_t n, uint64_t seed, const Box& extent) {
+  Rng rng(seed);
+  std::vector<double> xs(n), ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = rng.UniformDouble(extent.min_x, extent.max_x);
+    ys[i] = rng.UniformDouble(extent.min_y, extent.max_y);
+  }
+  return {Column::FromVector<double>("x", xs),
+          Column::FromVector<double>("y", ys)};
+}
+
+BitVector AllRows(size_t n) {
+  BitVector bv(n);
+  bv.SetAll();
+  return bv;
+}
+
+TEST(RefinementTest, GridEqualsExhaustiveOnPolygon) {
+  XY pts = MakePoints(20000, 81, Box(0, 0, 100, 100));
+  Polygon poly;
+  poly.shell.points = {{10, 10}, {90, 20}, {70, 80}, {20, 60}};
+  Geometry g(poly);
+  BitVector cand = AllRows(20000);
+
+  std::vector<uint64_t> grid_rows, exact_rows;
+  RefinementStats gs, es;
+  ASSERT_TRUE(GridRefine(*pts.x, *pts.y, cand, g, 0.0, RefineOptions{},
+                         &grid_rows, &gs).ok());
+  ASSERT_TRUE(
+      ExhaustiveRefine(*pts.x, *pts.y, cand, g, 0.0, &exact_rows, &es).ok());
+  EXPECT_EQ(grid_rows, exact_rows);
+  EXPECT_EQ(gs.accepted, grid_rows.size());
+  EXPECT_EQ(es.exact_tests, 20000u);
+  // The grid must save a substantial share of exact tests.
+  EXPECT_LT(gs.exact_tests, es.exact_tests / 2);
+}
+
+TEST(RefinementTest, GridEqualsExhaustiveWithBuffer) {
+  XY pts = MakePoints(10000, 82, Box(0, 0, 100, 100));
+  LineString road;
+  road.points = {{0, 50}, {40, 55}, {100, 45}};
+  Geometry g(road);
+  BitVector cand = AllRows(10000);
+  std::vector<uint64_t> grid_rows, exact_rows;
+  ASSERT_TRUE(GridRefine(*pts.x, *pts.y, cand, g, 8.0, RefineOptions{},
+                         &grid_rows, nullptr).ok());
+  ASSERT_TRUE(
+      ExhaustiveRefine(*pts.x, *pts.y, cand, g, 8.0, &exact_rows, nullptr).ok());
+  EXPECT_EQ(grid_rows, exact_rows);
+  EXPECT_FALSE(grid_rows.empty());
+}
+
+TEST(RefinementTest, GridEqualsExhaustiveOnMultiPolygonWithHoles) {
+  XY pts = MakePoints(15000, 83, Box(0, 0, 100, 100));
+  auto g = ParseWkt(
+      "MULTIPOLYGON (((5 5, 45 5, 45 45, 5 45, 5 5), "
+      "(20 20, 30 20, 30 30, 20 30, 20 20)), "
+      "((60 60, 95 60, 95 95, 60 95, 60 60)))");
+  ASSERT_TRUE(g.ok());
+  BitVector cand = AllRows(15000);
+  std::vector<uint64_t> grid_rows, exact_rows;
+  ASSERT_TRUE(GridRefine(*pts.x, *pts.y, cand, *g, 0.0, RefineOptions{},
+                         &grid_rows, nullptr).ok());
+  ASSERT_TRUE(
+      ExhaustiveRefine(*pts.x, *pts.y, cand, *g, 0.0, &exact_rows, nullptr).ok());
+  EXPECT_EQ(grid_rows, exact_rows);
+}
+
+TEST(RefinementTest, RespectsCandidateSubset) {
+  XY pts = MakePoints(1000, 84, Box(0, 0, 10, 10));
+  Geometry g(Polygon::FromBox(Box(0, 0, 10, 10)));  // everything inside
+  BitVector cand(1000);
+  cand.Set(5);
+  cand.Set(500);
+  std::vector<uint64_t> rows;
+  ASSERT_TRUE(GridRefine(*pts.x, *pts.y, cand, g, 0.0, RefineOptions{},
+                         &rows, nullptr).ok());
+  EXPECT_EQ(rows, (std::vector<uint64_t>{5, 500}));
+}
+
+TEST(RefinementTest, EmptyCandidatesShortCircuit) {
+  XY pts = MakePoints(100, 85, Box(0, 0, 1, 1));
+  BitVector cand(100);
+  std::vector<uint64_t> rows;
+  RefinementStats stats;
+  ASSERT_TRUE(GridRefine(*pts.x, *pts.y, cand,
+                         Geometry(Polygon::FromBox(Box(0, 0, 1, 1))), 0.0,
+                         RefineOptions{}, &rows, &stats).ok());
+  EXPECT_TRUE(rows.empty());
+  EXPECT_EQ(stats.candidates, 0u);
+  EXPECT_EQ(stats.cells_nonempty, 0u);
+}
+
+TEST(RefinementTest, UseGridFalseDelegatesToExhaustive) {
+  XY pts = MakePoints(5000, 86, Box(0, 0, 50, 50));
+  Geometry g(Polygon::Circle({25, 25}, 10));
+  BitVector cand = AllRows(5000);
+  RefineOptions no_grid;
+  no_grid.use_grid = false;
+  std::vector<uint64_t> rows;
+  RefinementStats stats;
+  ASSERT_TRUE(
+      GridRefine(*pts.x, *pts.y, cand, g, 0.0, no_grid, &rows, &stats).ok());
+  EXPECT_EQ(stats.exact_tests, 5000u);  // every candidate tested
+  EXPECT_EQ(stats.cells_nonempty, 0u);
+}
+
+TEST(RefinementTest, StatsBreakdownConsistent) {
+  XY pts = MakePoints(30000, 87, Box(0, 0, 100, 100));
+  Geometry g(Polygon::FromBox(Box(20, 20, 80, 80)));
+  BitVector cand = AllRows(30000);
+  std::vector<uint64_t> rows;
+  RefinementStats s;
+  ASSERT_TRUE(GridRefine(*pts.x, *pts.y, cand, g, 0.0, RefineOptions{},
+                         &rows, &s).ok());
+  EXPECT_EQ(s.candidates, 30000u);
+  EXPECT_EQ(s.accepted, rows.size());
+  EXPECT_EQ(s.cells_nonempty, s.cells_inside + s.cells_outside + s.cells_boundary);
+  EXPECT_LE(s.cells_nonempty, s.cells_total);
+  EXPECT_GT(s.cells_inside, 0u);    // a big rectangle has interior cells
+  EXPECT_GT(s.cells_boundary, 0u);  // and boundary cells
+  EXPECT_EQ(s.grid_cols * s.grid_rows, s.cells_total);
+}
+
+TEST(RefinementTest, MismatchedInputsRejected) {
+  auto x = Column::FromVector<double>("x", {1, 2, 3});
+  auto y = Column::FromVector<double>("y", {1, 2});
+  BitVector cand(3);
+  std::vector<uint64_t> rows;
+  EXPECT_FALSE(GridRefine(*x, *y, cand, Geometry(Box(0, 0, 1, 1)), 0.0,
+                          RefineOptions{}, &rows, nullptr).ok());
+  auto y3 = Column::FromVector<double>("y", {1, 2, 3});
+  BitVector cand2(2);
+  EXPECT_FALSE(GridRefine(*x, *y3, cand2, Geometry(Box(0, 0, 1, 1)), 0.0,
+                          RefineOptions{}, &rows, nullptr).ok());
+}
+
+TEST(RefinementTest, OutputIsAscending) {
+  XY pts = MakePoints(8000, 88, Box(0, 0, 100, 100));
+  Geometry g(Polygon::Circle({50, 50}, 30, 48));
+  BitVector cand = AllRows(8000);
+  std::vector<uint64_t> rows;
+  ASSERT_TRUE(GridRefine(*pts.x, *pts.y, cand, g, 0.0, RefineOptions{},
+                         &rows, nullptr).ok());
+  EXPECT_TRUE(std::is_sorted(rows.begin(), rows.end()));
+}
+
+// Parameterised sweep over grid resolutions: the refinement result must be
+// independent of the grid tuning.
+class RefinementGridSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RefinementGridSweep, ResultIndependentOfCellTarget) {
+  XY pts = MakePoints(12000, 89, Box(0, 0, 100, 100));
+  Polygon poly;
+  poly.shell.points = {{15, 5}, {85, 15}, {95, 85}, {40, 95}, {5, 50}};
+  Geometry g(poly);
+  BitVector cand = AllRows(12000);
+  std::vector<uint64_t> exact_rows;
+  ASSERT_TRUE(
+      ExhaustiveRefine(*pts.x, *pts.y, cand, g, 0.0, &exact_rows, nullptr).ok());
+  RefineOptions opts;
+  opts.target_points_per_cell = GetParam();
+  std::vector<uint64_t> rows;
+  ASSERT_TRUE(
+      GridRefine(*pts.x, *pts.y, cand, g, 0.0, opts, &rows, nullptr).ok());
+  EXPECT_EQ(rows, exact_rows) << "cell target " << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(CellTargets, RefinementGridSweep,
+                         ::testing::Values(1, 16, 64, 256, 4096, 1000000));
+
+}  // namespace
+}  // namespace geocol

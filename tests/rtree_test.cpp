@@ -1,0 +1,153 @@
+// STR R-tree tests: structure, query correctness against brute force,
+// degenerate inputs, and the point-R-tree convenience builder.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "baselines/rtree.h"
+#include "columns/flat_table.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+std::vector<RTree::Entry> RandomBoxes(size_t n, uint64_t seed,
+                                      double world = 1000) {
+  Rng rng(seed);
+  std::vector<RTree::Entry> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = rng.UniformDouble(0, world);
+    double y = rng.UniformDouble(0, world);
+    double w = rng.UniformDouble(0, 10);
+    double h = rng.UniformDouble(0, 10);
+    out.push_back({Box(x, y, x + w, y + h), i});
+  }
+  return out;
+}
+
+std::set<uint64_t> BruteForce(const std::vector<RTree::Entry>& entries,
+                              const Box& q) {
+  std::set<uint64_t> out;
+  for (const auto& e : entries) {
+    if (e.box.Intersects(q)) out.insert(e.payload);
+  }
+  return out;
+}
+
+TEST(RTreeTest, EmptyTree) {
+  RTree t = RTree::BulkLoad({});
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.num_entries(), 0u);
+  std::vector<uint64_t> out;
+  t.QueryBox(Box(0, 0, 1, 1), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, SingleEntry) {
+  RTree t = RTree::BulkLoad({{Box(1, 1, 2, 2), 42}});
+  EXPECT_EQ(t.num_entries(), 1u);
+  EXPECT_EQ(t.height(), 1);
+  std::vector<uint64_t> out;
+  t.QueryBox(Box(0, 0, 3, 3), &out);
+  EXPECT_EQ(out, std::vector<uint64_t>{42});
+  out.clear();
+  t.QueryBox(Box(5, 5, 6, 6), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, MatchesBruteForceOnRandomQueries) {
+  auto entries = RandomBoxes(5000, 141);
+  RTree t = RTree::BulkLoad(entries, 16);
+  EXPECT_EQ(t.num_entries(), 5000u);
+  Rng rng(142);
+  for (int q = 0; q < 50; ++q) {
+    double x = rng.UniformDouble(0, 1000), y = rng.UniformDouble(0, 1000);
+    double s = rng.UniformDouble(1, 200);
+    Box query(x, y, x + s, y + s);
+    std::vector<uint64_t> out;
+    t.QueryBox(query, &out);
+    std::set<uint64_t> got(out.begin(), out.end());
+    EXPECT_EQ(got.size(), out.size()) << "duplicate results";
+    EXPECT_EQ(got, BruteForce(entries, query));
+  }
+}
+
+TEST(RTreeTest, HeightGrowsLogarithmically) {
+  RTree small = RTree::BulkLoad(RandomBoxes(16, 143), 16);
+  EXPECT_EQ(small.height(), 1);
+  RTree mid = RTree::BulkLoad(RandomBoxes(200, 144), 16);
+  EXPECT_EQ(mid.height(), 2);
+  RTree big = RTree::BulkLoad(RandomBoxes(5000, 145), 16);
+  EXPECT_LE(big.height(), 4);
+}
+
+TEST(RTreeTest, PrunesNodesOnSelectiveQueries) {
+  auto entries = RandomBoxes(20000, 146);
+  RTree t = RTree::BulkLoad(entries, 16);
+  std::vector<uint64_t> out;
+  t.QueryBox(Box(0, 0, 10, 10), &out);
+  // Visiting a tiny corner must touch far fewer nodes than the tree holds.
+  EXPECT_LT(t.last_nodes_visited(), 20000u / 16 / 2);
+}
+
+TEST(RTreeTest, DuplicateAndDegenerateBoxes) {
+  std::vector<RTree::Entry> entries;
+  for (uint64_t i = 0; i < 100; ++i) {
+    entries.push_back({Box(5, 5, 5, 5), i});  // all identical points
+  }
+  RTree t = RTree::BulkLoad(entries, 8);
+  std::vector<uint64_t> out;
+  t.QueryBox(Box(4, 4, 6, 6), &out);
+  EXPECT_EQ(out.size(), 100u);
+  out.clear();
+  t.QueryBox(Box(6.1, 6.1, 7, 7), &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(RTreeTest, FanoutTwoStillCorrect) {
+  auto entries = RandomBoxes(500, 147);
+  RTree t = RTree::BulkLoad(entries, 2);
+  Box q(100, 100, 400, 400);
+  std::vector<uint64_t> out;
+  t.QueryBox(q, &out);
+  EXPECT_EQ(std::set<uint64_t>(out.begin(), out.end()),
+            BruteForce(entries, q));
+}
+
+TEST(RTreeTest, MemoryReported) {
+  RTree t = RTree::BulkLoad(RandomBoxes(1000, 148));
+  EXPECT_GT(t.MemoryBytes(), 1000 * sizeof(RTree::Entry));
+}
+
+TEST(PointRTreeTest, BuildsFromTableAndAnswersBoxQueries) {
+  Rng rng(149);
+  std::vector<double> xs(5000), ys(5000);
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs[i] = rng.UniformDouble(0, 100);
+    ys[i] = rng.UniformDouble(0, 100);
+  }
+  FlatTable table("pc");
+  ASSERT_TRUE(table.AddColumn(Column::FromVector("x", xs)).ok());
+  ASSERT_TRUE(table.AddColumn(Column::FromVector("y", ys)).ok());
+  auto tree = BuildPointRTree(table);
+  ASSERT_TRUE(tree.ok());
+  Box q(20, 20, 40, 50);
+  std::vector<uint64_t> out;
+  tree->QueryBox(q, &out);
+  std::sort(out.begin(), out.end());
+  std::vector<uint64_t> expected;
+  for (uint64_t r = 0; r < xs.size(); ++r) {
+    if (q.Contains(Point{xs[r], ys[r]})) expected.push_back(r);
+  }
+  EXPECT_EQ(out, expected);
+}
+
+TEST(PointRTreeTest, MissingColumnsRejected) {
+  FlatTable t("bad");
+  EXPECT_FALSE(BuildPointRTree(t).ok());
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,152 @@
+// Morton SFC access path tests: interval decomposition properties and
+// query agreement with the oracle.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/full_scan.h"
+#include "baselines/sfc_index.h"
+#include "pointcloud/generator.h"
+#include "sfc/morton.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+TEST(MortonDecomposeTest, IntervalsAreSortedDisjointAndBounded) {
+  Box extent(0, 0, 1000, 1000);
+  Rng rng(401);
+  for (int q = 0; q < 50; ++q) {
+    double x = rng.UniformDouble(0, 900), y = rng.UniformDouble(0, 900);
+    double s = rng.UniformDouble(1, 400);
+    Box query(x, y, x + s, y + s);
+    auto intervals =
+        DecomposeBoxToMortonIntervals(query, extent, 16, 64);
+    ASSERT_LE(intervals.size(), 64u);
+    ASSERT_FALSE(intervals.empty());
+    for (size_t i = 0; i < intervals.size(); ++i) {
+      EXPECT_LE(intervals[i].lo, intervals[i].hi);
+      if (i > 0) EXPECT_GT(intervals[i].lo, intervals[i - 1].hi + 1);
+    }
+  }
+}
+
+TEST(MortonDecomposeTest, CoversAllCodesInsideQuery) {
+  // Every point in the query box must have a Morton code inside some
+  // interval (completeness — correctness depends on it).
+  Box extent(0, 0, 256, 256);
+  Box query(37.3, 81.9, 120.4, 175.2);
+  auto intervals = DecomposeBoxToMortonIntervals(query, extent, 16, 64);
+  Rng rng(402);
+  for (int i = 0; i < 20000; ++i) {
+    double x = rng.UniformDouble(query.min_x, query.max_x);
+    double y = rng.UniformDouble(query.min_y, query.max_y);
+    uint64_t code = MortonEncodeScaled(x, y, extent, 16);
+    bool covered = false;
+    for (const auto& iv : intervals) {
+      if (code >= iv.lo && code <= iv.hi) {
+        covered = true;
+        break;
+      }
+    }
+    ASSERT_TRUE(covered) << "point (" << x << "," << y << ") code " << code;
+  }
+}
+
+TEST(MortonDecomposeTest, WholeExtentIsOneInterval) {
+  Box extent(0, 0, 100, 100);
+  auto intervals = DecomposeBoxToMortonIntervals(extent, extent, 16, 64);
+  ASSERT_EQ(intervals.size(), 1u);
+  EXPECT_EQ(intervals[0].lo, 0u);
+  EXPECT_EQ(intervals[0].hi, (uint64_t{1} << 32) - 1);
+}
+
+TEST(MortonDecomposeTest, DisjointQueryYieldsNothing) {
+  Box extent(0, 0, 100, 100);
+  auto intervals =
+      DecomposeBoxToMortonIntervals(Box(200, 200, 300, 300), extent, 16, 64);
+  EXPECT_TRUE(intervals.empty());
+}
+
+TEST(MortonDecomposeTest, BudgetRespected) {
+  Box extent(0, 0, 1000, 1000);
+  // A thin diagonal-ish box produces many cells; the budget must hold.
+  Box query(1, 1, 999, 20);
+  for (size_t budget : {1, 4, 16, 64}) {
+    auto intervals =
+        DecomposeBoxToMortonIntervals(query, extent, 16, budget);
+    EXPECT_LE(intervals.size(), budget);
+    EXPECT_FALSE(intervals.empty());
+  }
+}
+
+class MortonSfcIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    AhnGeneratorOptions opts;
+    opts.extent = Box(85000, 444000, 85200, 444200);
+    AhnGenerator gen(opts);
+    table_ = *gen.GenerateTable(30000);
+    // Scramble first so the index's own sort is doing the work.
+    ShuffleTableRows(table_.get(), 403);
+    auto ix = MortonSfcIndex::Build(table_.get());
+    ASSERT_TRUE(ix.ok());
+    index_ = std::make_unique<MortonSfcIndex>(std::move(*ix));
+  }
+
+  std::shared_ptr<FlatTable> table_;
+  std::unique_ptr<MortonSfcIndex> index_;
+};
+
+TEST_F(MortonSfcIndexTest, TableIsSortedAndKeysMonotone) {
+  EXPECT_TRUE(std::is_sorted(index_->keys().begin(), index_->keys().end()));
+  EXPECT_EQ(index_->keys().size(), table_->num_rows());
+}
+
+TEST_F(MortonSfcIndexTest, QueryMatchesOracle) {
+  Rng rng(404);
+  for (int q = 0; q < 15; ++q) {
+    double x = rng.UniformDouble(85000, 85150);
+    double y = rng.UniformDouble(444000, 444150);
+    double s = rng.UniformDouble(2, 80);
+    Box query(x, y, x + s, y + s);
+    auto res = index_->QueryBox(query);
+    ASSERT_TRUE(res.ok());
+    auto oracle = FullScanSelectBox(*table_, query);
+    ASSERT_TRUE(oracle.ok());
+    EXPECT_EQ(*res, *oracle) << "query " << q;
+  }
+}
+
+TEST_F(MortonSfcIndexTest, StatsShowPruning) {
+  Box small(85010, 444010, 85020, 444020);
+  MortonSfcIndex::QueryStats stats;
+  auto res = index_->QueryBox(small, &stats);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(stats.results, res->size());
+  EXPECT_GT(stats.intervals, 0u);
+  // A tiny query must scan a small fraction of the table.
+  EXPECT_LT(stats.rows_scanned, table_->num_rows() / 10);
+}
+
+TEST_F(MortonSfcIndexTest, StorageIsOneKeyPerRow) {
+  EXPECT_EQ(index_->StorageBytes(), table_->num_rows() * sizeof(uint64_t));
+}
+
+TEST(MortonSfcIndexErrorsTest, Validation) {
+  FlatTable empty("e");
+  EXPECT_FALSE(MortonSfcIndex::Build(nullptr).ok());
+  EXPECT_FALSE(MortonSfcIndex::Build(&empty).ok());
+  MortonSfcOptions bad;
+  bad.bits = 0;
+  AhnGeneratorOptions opts;
+  opts.extent = Box(85000, 444000, 85020, 444020);
+  AhnGenerator gen(opts);
+  auto table = *gen.GenerateTable(500);
+  EXPECT_FALSE(MortonSfcIndex::Build(table.get(), bad).ok());
+  bad.bits = 22;
+  EXPECT_FALSE(MortonSfcIndex::Build(table.get(), bad).ok());
+}
+
+}  // namespace
+}  // namespace geocol

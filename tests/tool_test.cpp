@@ -1,0 +1,177 @@
+// End-to-end smoke tests of the geocol CLI: each subcommand is exercised
+// on a temporary workspace via std::system. The binary path is injected at
+// compile time (GEOCOL_TOOL_PATH).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "util/binary_io.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+#ifndef GEOCOL_TOOL_PATH
+#define GEOCOL_TOOL_PATH "geocol"
+#endif
+
+int RunTool(const std::string& args, std::string* out_path = nullptr,
+        TempDir* tmp = nullptr) {
+  static int counter = 0;
+  std::string capture =
+      tmp != nullptr ? tmp->File("out" + std::to_string(counter++) + ".txt")
+                     : "/dev/null";
+  if (out_path != nullptr) *out_path = capture;
+  std::string cmd = std::string(GEOCOL_TOOL_PATH) + " " + args + " > " +
+                    capture + " 2>&1";
+  int rc = std::system(cmd.c_str());
+  return rc;
+}
+
+std::string Slurp(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  if (!ReadFileBytes(path, &bytes).ok()) return "";
+  return std::string(bytes.begin(), bytes.end());
+}
+
+class ToolTest : public ::testing::Test {
+ protected:
+  // One workspace for the whole fixture run, built once.
+  static void SetUpTestSuite() {
+    tmp_ = new TempDir("tool");
+    ASSERT_EQ(RunTool("generate " + tmp_->File("tiles") + " --points 40000 " +
+                      "--layers " + tmp_->File("layers"),
+                  nullptr, tmp_),
+              0);
+    ASSERT_EQ(RunTool("load " + tmp_->File("tiles") + " " + tmp_->File("table"),
+                  nullptr, tmp_),
+              0);
+  }
+  static void TearDownTestSuite() {
+    delete tmp_;
+    tmp_ = nullptr;
+  }
+  static TempDir* tmp_;
+};
+
+TempDir* ToolTest::tmp_ = nullptr;
+
+TEST_F(ToolTest, NoArgsShowsUsage) {
+  EXPECT_NE(RunTool(""), 0);
+  EXPECT_NE(RunTool("frobnicate"), 0);
+}
+
+TEST_F(ToolTest, GenerateProducedTilesAndLayers) {
+  std::vector<std::string> tiles, layers;
+  ASSERT_TRUE(ListFiles(tmp_->File("tiles"), ".las", &tiles).ok());
+  EXPECT_FALSE(tiles.empty());
+  ASSERT_TRUE(ListFiles(tmp_->File("layers"), ".layer", &layers).ok());
+  EXPECT_EQ(layers.size(), 2u);
+}
+
+TEST_F(ToolTest, InfoListsTiles) {
+  std::string out;
+  ASSERT_EQ(RunTool("info " + tmp_->File("tiles"), &out, tmp_), 0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("TOTAL:"), std::string::npos);
+  EXPECT_NE(text.find("pts"), std::string::npos);
+}
+
+TEST_F(ToolTest, LoadPersistedQueryableTable) {
+  EXPECT_TRUE(PathExists(tmp_->File("table") + "/schema.gct"));
+  std::string out;
+  ASSERT_EQ(RunTool("query " + tmp_->File("table") +
+                    " \"SELECT COUNT(*) FROM ahn2\"",
+                &out, tmp_),
+            0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("COUNT(*)"), std::string::npos);
+  EXPECT_NE(text.find("(1 rows)"), std::string::npos);
+}
+
+TEST_F(ToolTest, QueryWithLayersAndProfile) {
+  std::string out;
+  ASSERT_EQ(
+      RunTool("query " + tmp_->File("table") +
+              " \"SELECT COUNT(*) FROM ahn2 WHERE NEAR(urban_atlas, 12210, "
+              "15)\" --layers " + tmp_->File("layers") + " --profile",
+          &out, tmp_),
+      0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("plan for:"), std::string::npos);
+  EXPECT_NE(text.find("TOTAL"), std::string::npos);
+}
+
+TEST_F(ToolTest, QueryErrorsSurface) {
+  std::string out;
+  EXPECT_NE(RunTool("query " + tmp_->File("table") +
+                    " \"SELECT bogus FROM ahn2\"",
+                &out, tmp_),
+            0);
+  EXPECT_NE(Slurp(out).find("error:"), std::string::npos);
+}
+
+TEST_F(ToolTest, SortAndIndexThenQueryStillWorks) {
+  ASSERT_EQ(RunTool("sort " + tmp_->File("tiles"), nullptr, tmp_), 0);
+  ASSERT_EQ(RunTool("index " + tmp_->File("tiles"), nullptr, tmp_), 0);
+  std::vector<std::string> lax;
+  ASSERT_TRUE(ListFiles(tmp_->File("tiles"), ".lax", &lax).ok());
+  EXPECT_FALSE(lax.empty());
+}
+
+TEST_F(ToolTest, CompressedLoadRoundTrip) {
+  ASSERT_EQ(RunTool("load " + tmp_->File("tiles") + " " + tmp_->File("ctable") +
+                    " --compressed",
+                nullptr, tmp_),
+            0);
+  std::vector<std::string> gcz;
+  ASSERT_TRUE(ListFiles(tmp_->File("ctable"), ".gcz", &gcz).ok());
+  EXPECT_EQ(gcz.size(), 26u);
+  std::string out;
+  ASSERT_EQ(RunTool("query " + tmp_->File("ctable") +
+                    " \"SELECT COUNT(*) FROM ahn2\"",
+                &out, tmp_),
+            0);
+  EXPECT_NE(Slurp(out).find("(1 rows)"), std::string::npos);
+}
+
+TEST_F(ToolTest, RasterWritesPpm) {
+  std::string ppm = tmp_->File("dsm.ppm");
+  ASSERT_EQ(RunTool("raster " + tmp_->File("table") + " " + ppm + " --cols 64",
+                nullptr, tmp_),
+            0);
+  auto size = FileSizeBytes(ppm);
+  ASSERT_TRUE(size.ok());
+  EXPECT_GT(*size, 64u * 3);
+  std::vector<uint8_t> head;
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(ppm).ok());
+  char magic[2];
+  ASSERT_TRUE(r.ReadBytes(magic, 2).ok());
+  EXPECT_EQ(magic[0], 'P');
+  EXPECT_EQ(magic[1], '6');
+}
+
+TEST_F(ToolTest, ParallelLoadMatchesSequential) {
+  ASSERT_EQ(RunTool("load " + tmp_->File("tiles") + " " + tmp_->File("ptable") +
+                    " --threads 3",
+                nullptr, tmp_),
+            0);
+  // COUNT/MIN/MAX are row-order independent (AVG is not, bit-wise).
+  std::string out1, out2;
+  ASSERT_EQ(RunTool("query " + tmp_->File("table") +
+                    " \"SELECT COUNT(*), MIN(z), MAX(z) FROM ahn2\"",
+                &out1, tmp_),
+            0);
+  ASSERT_EQ(RunTool("query " + tmp_->File("ptable") +
+                    " \"SELECT COUNT(*), MIN(z), MAX(z) FROM ahn2\"",
+                &out2, tmp_),
+            0);
+  // Identical result rows (the first line after the header separator).
+  EXPECT_EQ(Slurp(out1).substr(Slurp(out1).find('\n')),
+            Slurp(out2).substr(Slurp(out2).find('\n')));
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,113 @@
+// WKT parser/writer tests: positive forms, round trips, malformed inputs.
+#include <gtest/gtest.h>
+
+#include "geom/wkt.h"
+
+namespace geocol {
+namespace {
+
+TEST(WktParseTest, Point) {
+  auto g = ParseWkt("POINT (1.5 -2.5)");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->is_point());
+  EXPECT_EQ(g->point().x, 1.5);
+  EXPECT_EQ(g->point().y, -2.5);
+}
+
+TEST(WktParseTest, PointCaseInsensitiveAndZDropped) {
+  auto g = ParseWkt("point(3 4 99.0)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->point().x, 3);
+  EXPECT_EQ(g->point().y, 4);
+}
+
+TEST(WktParseTest, Box) {
+  auto g = ParseWkt("BOX(0 0, 10 20)");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->is_box());
+  EXPECT_EQ(g->box().max_y, 20);
+}
+
+TEST(WktParseTest, BoxReversedCornersRejected) {
+  EXPECT_FALSE(ParseWkt("BOX(10 10, 0 0)").ok());
+}
+
+TEST(WktParseTest, LineString) {
+  auto g = ParseWkt("LINESTRING (0 0, 1 1, 2 0)");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->is_line());
+  EXPECT_EQ(g->line().points.size(), 3u);
+}
+
+TEST(WktParseTest, PolygonWithHole) {
+  auto g = ParseWkt(
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->is_polygon());
+  // Closing duplicate vertex is dropped.
+  EXPECT_EQ(g->polygon().shell.points.size(), 4u);
+  ASSERT_EQ(g->polygon().holes.size(), 1u);
+  EXPECT_EQ(g->polygon().holes[0].points.size(), 4u);
+}
+
+TEST(WktParseTest, MultiPolygon) {
+  auto g = ParseWkt(
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), ((5 5, 6 5, 6 6, 5 6, 5 5)))");
+  ASSERT_TRUE(g.ok());
+  ASSERT_TRUE(g->is_multipolygon());
+  EXPECT_EQ(g->multipolygon().polygons.size(), 2u);
+}
+
+TEST(WktParseTest, ScientificNotationCoordinates) {
+  auto g = ParseWkt("POINT (8.5e4 4.44e5)");
+  ASSERT_TRUE(g.ok());
+  EXPECT_EQ(g->point().x, 85000);
+  EXPECT_EQ(g->point().y, 444000);
+}
+
+TEST(WktParseTest, MalformedInputs) {
+  EXPECT_FALSE(ParseWkt("").ok());
+  EXPECT_FALSE(ParseWkt("CIRCLE (0 0, 5)").ok());
+  EXPECT_FALSE(ParseWkt("POINT 1 2").ok());
+  EXPECT_FALSE(ParseWkt("POINT (1)").ok());
+  EXPECT_FALSE(ParseWkt("POINT (1 2").ok());
+  EXPECT_FALSE(ParseWkt("POINT (1 2) trailing").ok());
+  EXPECT_FALSE(ParseWkt("LINESTRING (1 1)").ok());          // too few points
+  EXPECT_FALSE(ParseWkt("POLYGON ((0 0, 1 1))").ok());      // degenerate ring
+  EXPECT_FALSE(ParseWkt("POLYGON (0 0, 1 1, 2 2)").ok());   // missing parens
+  EXPECT_FALSE(ParseWkt("POINT (a b)").ok());
+}
+
+TEST(WktRoundTripTest, AllTypes) {
+  const char* inputs[] = {
+      "POINT (1 2)",
+      "BOX (0 0, 5 5)",
+      "LINESTRING (0 0, 1 1, 2 0)",
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0))",
+      "POLYGON ((0 0, 10 0, 10 10, 0 10, 0 0), (4 4, 6 4, 6 6, 4 6, 4 4))",
+      "MULTIPOLYGON (((0 0, 1 0, 1 1, 0 1, 0 0)), "
+      "((5 5, 6 5, 6 6, 5 6, 5 5)))",
+  };
+  for (const char* in : inputs) {
+    auto g1 = ParseWkt(in);
+    ASSERT_TRUE(g1.ok()) << in;
+    std::string text = ToWkt(*g1);
+    auto g2 = ParseWkt(text);
+    ASSERT_TRUE(g2.ok()) << text;
+    EXPECT_EQ(ToWkt(*g2), text) << "unstable round trip for " << in;
+    EXPECT_EQ(g1->type(), g2->type());
+  }
+}
+
+TEST(WktRoundTripTest, PreservesCoordinates) {
+  auto g = ParseWkt("POLYGON ((85123.45 444987.65, 85200 444987.65, "
+                    "85200 445100, 85123.45 445100, 85123.45 444987.65))");
+  ASSERT_TRUE(g.ok());
+  auto g2 = ParseWkt(ToWkt(*g, 9));
+  ASSERT_TRUE(g2.ok());
+  EXPECT_DOUBLE_EQ(g2->polygon().shell.points[0].x, 85123.45);
+  EXPECT_DOUBLE_EQ(g2->polygon().shell.points[2].y, 445100);
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,138 @@
+// Zone map baseline tests: correctness against the oracle and the
+// clustering-sensitivity property the imprints paper highlights.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "baselines/zonemap.h"
+#include "core/imprint_scan.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+TEST(ZoneMapTest, BuildValidation) {
+  Column empty("c", DataType::kFloat64);
+  EXPECT_FALSE(ZoneMapIndex::Build(empty).ok());
+  auto col = Column::FromVector<double>("c", {1, 2, 3});
+  EXPECT_FALSE(ZoneMapIndex::Build(*col, 0).ok());
+  auto ix = ZoneMapIndex::Build(*col, 2);
+  ASSERT_TRUE(ix.ok());
+  EXPECT_EQ(ix->num_zones(), 2u);
+}
+
+TEST(ZoneMapTest, RangeSelectMatchesOracle) {
+  Rng rng(131);
+  std::vector<double> vals(30000);
+  double walk = 0;
+  for (auto& v : vals) {
+    walk += rng.NextGaussian();
+    v = walk;
+  }
+  auto col = Column::FromVector<double>("c", vals);
+  auto ix = ZoneMapIndex::Build(*col, 512);
+  ASSERT_TRUE(ix.ok());
+  for (int q = 0; q < 20; ++q) {
+    double a = rng.UniformDouble(-100, 100);
+    double b = rng.UniformDouble(-100, 100);
+    double lo = std::min(a, b), hi = std::max(a, b);
+    BitVector via_zone, via_scan;
+    ASSERT_TRUE(ix->RangeSelect(*col, lo, hi, &via_zone).ok());
+    FullScanRangeSelect(*col, lo, hi, &via_scan);
+    EXPECT_TRUE(via_zone == via_scan);
+  }
+}
+
+TEST(ZoneMapTest, FilterRangeFullZones) {
+  std::vector<double> vals;
+  for (int i = 0; i < 1024; ++i) vals.push_back(i);
+  auto col = Column::FromVector<double>("c", vals);
+  auto ix = ZoneMapIndex::Build(*col, 256);
+  ASSERT_TRUE(ix.ok());
+  ASSERT_EQ(ix->num_zones(), 4u);
+  BitVector cand, full;
+  ix->FilterRange(256, 511, &cand, &full);  // exactly zone 1
+  EXPECT_EQ(cand.Count(), 1u);
+  EXPECT_EQ(full.Count(), 1u);
+  EXPECT_TRUE(full.Get(1));
+}
+
+TEST(ZoneMapTest, StaleIndexRejected) {
+  auto col = Column::FromVector<double>("c", {1, 2, 3});
+  auto ix = ZoneMapIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  col->Append<double>(4);
+  BitVector rows;
+  EXPECT_EQ(ix->RangeSelect(*col, 0, 10, &rows).code(),
+            StatusCode::kInternal);
+}
+
+TEST(ZoneMapTest, StorageIsTwoDoublesPerZone) {
+  auto col = Column::FromVector<double>("c", std::vector<double>(10000, 1.0));
+  auto ix = ZoneMapIndex::Build(*col, 1000);
+  ASSERT_TRUE(ix.ok());
+  EXPECT_EQ(ix->StorageBytes(), 10u * 2 * sizeof(double));
+}
+
+// The central contrast of E5: on clustered data zone maps filter well; on
+// shuffled data every zone's [min,max] covers the whole domain and the
+// filter admits everything, while imprints keep discriminating.
+TEST(ZoneMapTest, FilterQualityCollapsesOnShuffledData) {
+  Rng rng(137);
+  const size_t n = 100000;
+  std::vector<double> clustered(n);
+  double walk = 0;
+  for (auto& v : clustered) {
+    walk += rng.NextGaussian();
+    v = walk;
+  }
+  std::vector<double> shuffled = clustered;
+  for (size_t i = n - 1; i > 0; --i) {
+    std::swap(shuffled[i], shuffled[rng.Uniform(i + 1)]);
+  }
+  auto c_col = Column::FromVector<double>("c", clustered);
+  auto s_col = Column::FromVector<double>("s", shuffled);
+  auto c_ix = ZoneMapIndex::Build(*c_col, 512);
+  auto s_ix = ZoneMapIndex::Build(*s_col, 512);
+  ASSERT_TRUE(c_ix.ok());
+  ASSERT_TRUE(s_ix.ok());
+
+  // A 2%-of-domain range.
+  std::vector<double> sorted = clustered;
+  std::sort(sorted.begin(), sorted.end());
+  double lo = sorted[n / 2];
+  double hi = sorted[n / 2 + n / 50];
+
+  ZoneMapScanStats cs, ss;
+  BitVector rows;
+  ASSERT_TRUE(c_ix->RangeSelect(*c_col, lo, hi, &rows, &cs).ok());
+  ASSERT_TRUE(s_ix->RangeSelect(*s_col, lo, hi, &rows, &ss).ok());
+  EXPECT_LT(cs.TouchedFraction(), 0.6);
+  EXPECT_GT(ss.TouchedFraction(), 0.95)
+      << "shuffled data should defeat zone maps";
+
+  // Imprints on the same shuffled column keep some discrimination at the
+  // value level even though every cache line is touched-or-not by bins.
+  auto imp = ImprintsIndex::Build(*s_col);
+  ASSERT_TRUE(imp.ok());
+  ImprintScanStats is;
+  BitVector irows;
+  ASSERT_TRUE(ImprintRangeSelect(*s_col, *imp, lo, hi, &irows, &is).ok());
+  EXPECT_LT(is.TouchedFraction(), ss.TouchedFraction());
+}
+
+TEST(ZoneMapTest, IntegerColumn) {
+  std::vector<int32_t> vals;
+  for (int i = 0; i < 10000; ++i) vals.push_back(i);
+  auto col = Column::FromVector<int32_t>("c", vals);
+  auto ix = ZoneMapIndex::Build(*col, 100);
+  ASSERT_TRUE(ix.ok());
+  BitVector rows;
+  ZoneMapScanStats stats;
+  ASSERT_TRUE(ix->RangeSelect(*col, 500, 599, &rows, &stats).ok());
+  EXPECT_EQ(rows.Count(), 100u);
+  EXPECT_LE(stats.zones_candidate, 2u);
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,339 @@
+// geocol — the command-line companion of the library, LAStools-style.
+//
+//   geocol generate <tiles_dir> [--points N] [--compress] [--layers <dir>]
+//   geocol info     <tiles_dir>
+//   geocol sort     <tiles_dir>                    (lassort)
+//   geocol index    <tiles_dir>                    (lasindex)
+//   geocol load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]
+//   geocol query    <table_dir> "<SQL>" [--layers <dir>] [--profile]
+//   geocol raster   <table_dir> <out.ppm> [--cols N]
+//
+// Tables are persisted GeoColumn table directories; layers are .layer text
+// files (id \t class \t name \t WKT).
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "baselines/file_store.h"
+#include "columns/column_file.h"
+#include "columns/compression.h"
+#include "core/raster.h"
+#include "gis/catalog.h"
+#include "gis/layer_io.h"
+#include "las/las_reader.h"
+#include "loader/binary_loader.h"
+#include "loader/csv_loader.h"
+#include "pointcloud/generator.h"
+#include "pointcloud/vector_gen.h"
+#include "sql/session.h"
+#include "util/binary_io.h"
+#include "util/tempdir.h"
+
+using namespace geocol;
+
+namespace {
+
+struct Args {
+  std::vector<std::string> positional;
+  std::vector<std::string> flags;
+
+  bool Has(const char* flag) const {
+    for (const auto& f : flags) {
+      if (f == flag) return true;
+    }
+    return false;
+  }
+  std::string Value(const char* flag, const std::string& def) const {
+    for (size_t i = 0; i + 1 < flags.size(); ++i) {
+      if (flags[i] == flag) return flags[i + 1];
+    }
+    return def;
+  }
+  uint64_t U64(const char* flag, uint64_t def) const {
+    std::string v = Value(flag, "");
+    return v.empty() ? def : std::strtoull(v.c_str(), nullptr, 10);
+  }
+};
+
+int Fail(const Status& st) {
+  std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  return 1;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: geocol <command> ...\n"
+               "  generate <tiles_dir> [--points N] [--compress] [--layers <dir>]\n"
+               "  info     <tiles_dir>\n"
+               "  sort     <tiles_dir>\n"
+               "  index    <tiles_dir>\n"
+               "  load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]\n"
+               "  query    <table_dir> \"<SQL>\" [--layers <dir>] [--profile]\n"
+               "  raster   <table_dir> <out.ppm> [--cols N]\n");
+  return 2;
+}
+
+int CmdGenerate(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& dir = args.positional[0];
+  uint64_t points = args.U64("--points", 500000);
+  if (Status st = MakeDir(dir); !st.ok()) return Fail(st);
+
+  AhnGeneratorOptions opts;
+  double side = std::sqrt(static_cast<double>(points) / 8.0);
+  opts.extent = Box(85000, 444000, 85000 + side, 444000 + side);
+  opts.point_density = 8.0;
+  opts.scan_line_spacing = 1.0 / std::sqrt(8.0);
+  opts.strip_width = std::max(side / 8.0, 10.0);
+  AhnGenerator gen(opts);
+  auto tiles = gen.WriteTileDirectory(dir, args.Has("--compress"));
+  if (!tiles.ok()) return Fail(tiles.status());
+  std::printf("wrote %llu tiles (~%llu points) to %s\n",
+              static_cast<unsigned long long>(*tiles),
+              static_cast<unsigned long long>(gen.EstimatedPoints()),
+              dir.c_str());
+
+  std::string layers_dir = args.Value("--layers", "");
+  if (!layers_dir.empty()) {
+    if (Status st = MakeDir(layers_dir); !st.ok()) return Fail(st);
+    TerrainModel terrain(opts.seed);
+    OsmGenerator osm(31, opts.extent, terrain);
+    auto roads = osm.GenerateRoads(60);
+    UrbanAtlasGenerator ua(32, opts.extent, terrain);
+    auto land = ua.GenerateLandUse(10);
+    for (auto& c : ua.GenerateTransitCorridors(roads, 20.0)) land.push_back(c);
+    auto osm_layer = VectorLayer::FromFeatures("osm", std::move(roads));
+    auto ua_layer = VectorLayer::FromFeatures("urban_atlas", std::move(land));
+    if (Status st = WriteLayerFile(*osm_layer, layers_dir + "/osm.layer");
+        !st.ok()) {
+      return Fail(st);
+    }
+    if (Status st =
+            WriteLayerFile(*ua_layer, layers_dir + "/urban_atlas.layer");
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("wrote layers to %s (osm.layer, urban_atlas.layer)\n",
+                layers_dir.c_str());
+  }
+  return 0;
+}
+
+int CmdInfo(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  std::vector<std::string> files;
+  if (Status st = ListFiles(args.positional[0], ".las", &files); !st.ok()) {
+    return Fail(st);
+  }
+  if (Status st = ListFiles(args.positional[0], ".laz", &files); !st.ok()) {
+    return Fail(st);
+  }
+  uint64_t total_points = 0, total_bytes = 0;
+  Box footprint;
+  for (const auto& f : files) {
+    auto header = ReadLasHeader(f);
+    if (!header.ok()) return Fail(header.status());
+    auto size = FileSizeBytes(f);
+    total_points += header->point_count;
+    total_bytes += size.ok() ? *size : 0;
+    footprint.Extend(header->Footprint());
+    std::printf("%-40s %10llu pts  %s  bbox (%.1f %.1f)-(%.1f %.1f)\n",
+                f.c_str(),
+                static_cast<unsigned long long>(header->point_count),
+                header->compressed ? "laz" : "las", header->min_world[0],
+                header->min_world[1], header->max_world[0],
+                header->max_world[1]);
+  }
+  std::printf("TOTAL: %zu files, %llu points, %.1f MB, footprint "
+              "(%.1f %.1f)-(%.1f %.1f)\n",
+              files.size(), static_cast<unsigned long long>(total_points),
+              total_bytes / 1048576.0, footprint.min_x, footprint.min_y,
+              footprint.max_x, footprint.max_y);
+  return 0;
+}
+
+int CmdSort(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  if (Status st = FileStore::SortTiles(args.positional[0]); !st.ok()) {
+    return Fail(st);
+  }
+  std::printf("tiles under %s re-sorted along the Morton curve\n",
+              args.positional[0].c_str());
+  return 0;
+}
+
+int CmdIndex(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto store = FileStore::Open(args.positional[0]);
+  if (!store.ok()) return Fail(store.status());
+  auto bytes = store->BuildIndexes();
+  if (!bytes.ok()) return Fail(bytes.status());
+  std::printf("wrote .lax sidecars for %zu tiles (%.1f KB)\n",
+              store->num_files(), *bytes / 1024.0);
+  return 0;
+}
+
+int CmdLoad(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  const std::string& tiles = args.positional[0];
+  const std::string& table_dir = args.positional[1];
+  TempDir scratch("geocol-load");
+  LoadStats stats;
+  Result<std::shared_ptr<FlatTable>> table = Status::Internal("unset");
+  if (args.Has("--csv")) {
+    CsvLoader loader(scratch.path());
+    table = loader.LoadDirectory(tiles, &stats);
+  } else {
+    BinaryLoader loader(scratch.path());
+    uint64_t threads = args.U64("--threads", 1);
+    table = threads > 1
+                ? loader.LoadDirectoryParallel(tiles, threads, &stats)
+                : loader.LoadDirectory(tiles, &stats);
+  }
+  if (!table.ok()) return Fail(table.status());
+  std::printf("loaded %llu points from %llu files in %.2f s (%.2f Mpts/s)\n",
+              static_cast<unsigned long long>(stats.points),
+              static_cast<unsigned long long>(stats.files),
+              stats.TotalSeconds(), stats.PointsPerSecond() / 1e6);
+  if (args.Has("--compressed")) {
+    uint64_t bytes = 0;
+    if (Status st = WriteCompressedTableDir(**table, table_dir, &bytes);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("persisted compressed table to %s (%.1f MB, %.2fx)\n",
+                table_dir.c_str(), bytes / 1048576.0,
+                static_cast<double>((*table)->DataBytes()) / bytes);
+  } else {
+    if (Status st = WriteTableDir(**table, table_dir); !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("persisted table to %s (%.1f MB)\n", table_dir.c_str(),
+                (*table)->DataBytes() / 1048576.0);
+  }
+  return 0;
+}
+
+Result<FlatTable> OpenTable(const std::string& dir) {
+  if (PathExists(dir + "/schema.gct")) {
+    // Try compressed columns first, fall back to raw.
+    std::vector<std::string> gcz;
+    Status st = ListFiles(dir, ".gcz", &gcz);
+    if (st.ok() && !gcz.empty()) return ReadCompressedTableDir(dir);
+    return ReadTableDir(dir);
+  }
+  return Status::NotFound("no table manifest under " + dir);
+}
+
+int CmdQuery(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto table = OpenTable(args.positional[0]);
+  if (!table.ok()) return Fail(table.status());
+  Catalog catalog;
+  if (Status st = catalog.AddPointCloud(
+          table->name().empty() ? "ahn2" : table->name(),
+          std::make_shared<FlatTable>(std::move(*table)));
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::string layers_dir = args.Value("--layers", "");
+  if (!layers_dir.empty()) {
+    std::vector<std::string> layer_files;
+    if (Status st = ListFiles(layers_dir, ".layer", &layer_files); !st.ok()) {
+      return Fail(st);
+    }
+    for (const auto& lf : layer_files) {
+      auto layer = ReadLayerFile(lf);
+      if (!layer.ok()) return Fail(layer.status());
+      if (Status st = catalog.AddLayer(*layer); !st.ok()) return Fail(st);
+    }
+  }
+  std::printf("datasets: %s", catalog.PointCloudNames()[0].c_str());
+  for (const auto& l : catalog.LayerNames()) std::printf(", %s", l.c_str());
+  std::printf("\n");
+  sql::Session session(&catalog);
+  auto rs = session.Execute(args.positional[1]);
+  if (!rs.ok()) return Fail(rs.status());
+  std::printf("%s", rs->ToString(50).c_str());
+  if (args.Has("--profile")) {
+    std::printf("\n%s\n%s", session.last_plan().c_str(),
+                session.last_profile().ToString().c_str());
+  }
+  return 0;
+}
+
+int CmdRaster(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto table = OpenTable(args.positional[0]);
+  if (!table.ok()) return Fail(table.status());
+  uint32_t cols = static_cast<uint32_t>(args.U64("--cols", 512));
+  ColumnPtr xc = table->column("x"), yc = table->column("y");
+  if (xc == nullptr || yc == nullptr) {
+    return Fail(Status::InvalidArgument("table lacks x/y columns"));
+  }
+  Box extent(xc->Stats().min, yc->Stats().min, xc->Stats().max,
+             yc->Stats().max);
+  uint32_t rows = std::max<uint32_t>(
+      1, static_cast<uint32_t>(cols * extent.height() /
+                               std::max(extent.width(), 1e-9)));
+  auto raster = RasterizeRows(*table, {}, "z", extent, cols, rows);
+  if (!raster.ok()) return Fail(raster.status());
+  FillRasterVoids(&*raster);
+  // Grayscale PPM of the DSM.
+  float mn = 1e30f, mx = -1e30f;
+  for (size_t i = 0; i < raster->values.size(); ++i) {
+    if (raster->counts[i] == 0) continue;
+    mn = std::min(mn, raster->values[i]);
+    mx = std::max(mx, raster->values[i]);
+  }
+  if (mx <= mn) mx = mn + 1;
+  std::FILE* f = std::fopen(args.positional[1].c_str(), "wb");
+  if (f == nullptr) return Fail(Status::IOError("cannot open output"));
+  std::fprintf(f, "P6\n%u %u\n255\n", raster->cols, raster->rows);
+  for (uint32_t ry = raster->rows; ry-- > 0;) {
+    for (uint32_t cx = 0; cx < raster->cols; ++cx) {
+      float v = (raster->At(cx, ry) - mn) / (mx - mn);
+      uint8_t g = static_cast<uint8_t>(v * 255);
+      std::fputc(g, f);
+      std::fputc(g, f);
+      std::fputc(g, f);
+    }
+  }
+  std::fclose(f);
+  std::printf("DSM raster (%ux%u, z in [%.2f, %.2f]) written to %s\n",
+              raster->cols, raster->rows, mn, mx, args.positional[1].c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  Args args;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a.rfind("--", 0) == 0) {
+      args.flags.push_back(a);
+      // Flags with values consume the next token.
+      if ((a == "--points" || a == "--layers" || a == "--threads" ||
+           a == "--cols") &&
+          i + 1 < argc) {
+        args.flags.push_back(argv[++i]);
+      }
+    } else {
+      args.positional.push_back(a);
+    }
+  }
+  std::string cmd = argv[1];
+  if (cmd == "generate") return CmdGenerate(args);
+  if (cmd == "info") return CmdInfo(args);
+  if (cmd == "sort") return CmdSort(args);
+  if (cmd == "index") return CmdIndex(args);
+  if (cmd == "load") return CmdLoad(args);
+  if (cmd == "query") return CmdQuery(args);
+  if (cmd == "raster") return CmdRaster(args);
+  return Usage();
+}
