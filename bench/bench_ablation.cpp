@@ -46,6 +46,7 @@ int main() {
     EngineOptions opts;
     opts.use_imprints = cfg.imprints;
     opts.refine.use_grid = cfg.grid;
+    opts.num_threads = 1;  // single-threaded, comparable with the baselines
     SpatialQueryEngine engine(table, opts);
     (void)engine.SelectInGeometry(polygon);  // warm: builds imprints
     uint64_t results = 0;
@@ -71,7 +72,9 @@ int main() {
     out.Row({"morton SFC index (box)", TablePrinter::Int(results),
              TablePrinter::Num(ms), TablePrinter::Num(ms / paper_ms) + "x"});
     // And the engine on the box for a like-for-like comparison.
-    SpatialQueryEngine engine(table);
+    EngineOptions serial1;
+    serial1.num_threads = 1;
+    SpatialQueryEngine engine(table, serial1);
     (void)engine.SelectInBox(box);
     double ms2 = TimeMs([&] { (void)engine.SelectInBox(box); });
     out.Row({"imprints (same box)", "-", TablePrinter::Num(ms2),

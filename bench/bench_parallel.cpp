@@ -1,0 +1,85 @@
+// E9: morsel-driven parallel execution — thread scaling of the two-step
+// filter/refine pipeline and of the imprint build on one large survey.
+//
+// The engine is identical at every row; only EngineOptions::num_threads
+// changes (1 = the serial executor). Row ids are checked against the
+// serial run, so the table doubles as an at-scale equivalence test.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/spatial_engine.h"
+#include "util/thread_pool.h"
+
+using namespace geocol;
+using namespace geocol::bench;
+
+int main() {
+  const uint64_t n = BenchPoints(10000000);
+  Banner("E9: thread scaling of the filter/refine pipeline",
+         "same query at 1/2/4/8 threads, min of reps; speedup vs 1 thread");
+
+  auto table = GenerateSurvey(n);
+  const Box extent = SurveyOptions(n).extent;
+  std::printf("survey: %llu points\n",
+              static_cast<unsigned long long>(table->num_rows()));
+
+  // A polygon covering roughly a quarter of the extent: large enough that
+  // both the scan and the refinement dominate fork/join overhead.
+  Polygon poly = Polygon::Circle(
+      {extent.min_x + extent.width() / 2, extent.min_y + extent.height() / 2},
+      extent.width() * 0.28, 48);
+  Geometry query(poly);
+
+  // ---- imprint build scaling (x column, fresh pool per row).
+  {
+    TablePrinter out({"threads", "build ms", "speedup"});
+    double base_ms = 0;
+    for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+      ColumnPtr x = table->column("x");
+      double ms;
+      if (threads == 1) {
+        ms = TimeMs([&] { (void)ImprintsIndex::Build(*x); });
+      } else {
+        ThreadPool pool(threads - 1);
+        ms = TimeMs([&] { (void)ImprintsIndex::Build(*x, {}, &pool); });
+      }
+      if (base_ms == 0) base_ms = ms;
+      out.Row({TablePrinter::Int(threads), TablePrinter::Num(ms),
+               TablePrinter::Num(base_ms / ms) + "x"});
+    }
+  }
+
+  // ---- end-to-end selection and aggregation scaling.
+  std::printf("\nselection + aggregation (%s):\n", "polygon, no buffer");
+  TablePrinter out({"threads", "select ms", "speedup", "agg(avg z) ms",
+                    "results", "match"});
+  double base_ms = 0;
+  std::vector<uint64_t> serial_rows;
+  for (uint32_t threads : {1u, 2u, 4u, 8u}) {
+    EngineOptions opts;
+    opts.num_threads = threads;
+    SpatialQueryEngine engine(table, opts);
+    (void)engine.SelectInGeometry(query);  // warm: builds imprints
+    uint64_t results = 0;
+    std::vector<uint64_t> rows;
+    double ms = TimeMs([&] {
+      auto res = engine.SelectInGeometry(query);
+      if (res.ok()) {
+        results = res->count();
+        rows = std::move(res->row_ids);
+      }
+    });
+    double agg_ms = TimeMs([&] {
+      (void)engine.Aggregate(query, 0.0, {}, "z", AggKind::kAvg);
+    });
+    if (threads == 1) {
+      base_ms = ms;
+      serial_rows = rows;
+    }
+    out.Row({TablePrinter::Int(threads), TablePrinter::Num(ms),
+             TablePrinter::Num(base_ms / ms) + "x", TablePrinter::Num(agg_ms),
+             TablePrinter::Int(results),
+             rows == serial_rows ? "yes" : "NO (BUG)"});
+  }
+  return 0;
+}

@@ -49,8 +49,12 @@ int main() {
               static_cast<unsigned long long>(table->num_rows()),
               extent.width(), extent.height());
 
-  // ---- systems.
-  SpatialQueryEngine engine(table);
+  // ---- systems. The engine runs single-threaded here so the comparison
+  // with the (serial) baselines stays apples-to-apples; bench_parallel
+  // covers thread scaling.
+  EngineOptions engine_opts;
+  engine_opts.num_threads = 1;
+  SpatialQueryEngine engine(table, engine_opts);
   auto rtree = BuildPointRTree(*table);
   if (!rtree.ok()) return 1;
 

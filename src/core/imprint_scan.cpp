@@ -1,43 +1,140 @@
 #include "core/imprint_scan.h"
 
+#include <algorithm>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/native_range.h"
+#include "util/thread_pool.h"
+
 namespace geocol {
+
+namespace {
+
+// Columns below this size are scanned serially even when a pool is given —
+// the fork/join overhead would dominate.
+constexpr uint64_t kMinParallelScanRows = 1 << 17;
+// Morsel granularity (rows); rounded up to a multiple of lcm(64, values
+// per line) so every morsel covers whole cache lines and whole BitVector
+// words.
+constexpr uint64_t kTargetMorselRows = 1 << 16;
+
+/// One maximal run of candidate cache lines from the imprint filter.
+struct CandidateRun {
+  uint64_t first_line;
+  uint64_t line_count;
+  bool full;
+};
+
+}  // namespace
 
 Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
                           double lo, double hi, BitVector* out_rows,
-                          ImprintScanStats* stats) {
+                          ImprintScanStats* stats, ThreadPool* pool) {
   if (index.built_epoch() != column.epoch()) {
     return Status::Internal("stale imprints index (column was modified)");
   }
   out_rows->Resize(column.size());
-  ImprintScanStats local;
-  local.lines_total = index.num_lines();
+  ImprintScanStats merged;
+  merged.lines_total = index.num_lines();
+
+  const bool want_parallel = pool != nullptr && pool->num_threads() > 0 &&
+                             column.size() >= kMinParallelScanRows;
 
   DispatchDataType(column.type(), [&]<typename T>() {
     std::span<const T> values = column.Values<T>();
-    // Compare in the column's native type to avoid double-rounding
-    // surprises for 64-bit integers; the bounds are clamped into range.
-    index.FilterRangeRuns(lo, hi, [&](uint64_t first_line, uint64_t line_count,
-                                      bool full) {
-      local.lines_candidate += line_count;
-      uint64_t first_row = index.LineRows(first_line).first;
-      uint64_t last_row = index.LineRows(first_line + line_count - 1).second;
+    // Compare in the column's native type: the bounds are clamped into T
+    // once per scan, so large int64 values are never rounded through
+    // double. An unsatisfiable clamped range selects nothing.
+    NativeRange<T> nr = ClampRangeToType<T>(lo, hi);
+    if (nr.empty) return;
+
+    const uint64_t n = column.size();
+    const uint64_t vpl = index.values_per_line();
+
+    // Scans the lines [first_line, first_line + line_count) of one run,
+    // shared by the serial path and the clipped per-morsel path.
+    auto scan_lines = [&](uint64_t first_line, uint64_t line_count, bool full,
+                          ImprintScanStats& st) {
+      st.lines_candidate += line_count;
+      uint64_t first_row = first_line * vpl;
+      uint64_t last_row = std::min((first_line + line_count) * vpl, n);
       if (full) {
-        local.lines_full += line_count;
+        st.lines_full += line_count;
         out_rows->SetRange(first_row, last_row);
-        local.rows_selected += last_row - first_row;
+        st.rows_selected += last_row - first_row;
         return;
       }
       for (uint64_t r = first_row; r < last_row; ++r) {
-        double v = static_cast<double>(values[r]);
-        ++local.values_checked;
-        if (v >= lo && v <= hi) {
+        ++st.values_checked;
+        T v = values[r];
+        if (v >= nr.lo && v <= nr.hi) {
           out_rows->Set(r);
-          ++local.rows_selected;
+          ++st.rows_selected;
         }
       }
+    };
+
+    if (!want_parallel) {
+      index.FilterRangeRuns(lo, hi,
+                            [&](uint64_t first_line, uint64_t line_count,
+                                bool full) {
+                              scan_lines(first_line, line_count, full, merged);
+                            });
+      return;
+    }
+
+    // Parallel scan: materialise the candidate runs (touches only the
+    // compressed imprint stream), then carve the row space into morsels
+    // whose boundaries are multiples of lcm(64, values_per_line). Every
+    // morsel covers whole cache lines (stats split exactly) and whole
+    // 64-bit words (workers write disjoint BitVector words).
+    std::vector<CandidateRun> runs;
+    index.FilterRangeRuns(lo, hi, [&](uint64_t first_line, uint64_t line_count,
+                                      bool full) {
+      runs.push_back({first_line, line_count, full});
     });
+    if (runs.empty()) return;
+
+    const uint64_t unit = std::lcm<uint64_t>(64, vpl);
+    const uint64_t morsel_rows = ((kTargetMorselRows + unit - 1) / unit) * unit;
+    const uint64_t num_morsels = (n + morsel_rows - 1) / morsel_rows;
+    if (num_morsels < 2) {
+      for (const CandidateRun& r : runs) {
+        scan_lines(r.first_line, r.line_count, r.full, merged);
+      }
+      return;
+    }
+
+    std::vector<ImprintScanStats> morsel_stats(num_morsels);
+    pool->ParallelFor(num_morsels, [&](size_t m) {
+      const uint64_t row_begin = m * morsel_rows;
+      const uint64_t row_end = std::min(n, row_begin + morsel_rows);
+      const uint64_t line_begin = row_begin / vpl;
+      const uint64_t line_end = (row_end + vpl - 1) / vpl;
+      ImprintScanStats& st = morsel_stats[m];
+      // First run overlapping this morsel; runs are sorted and disjoint.
+      auto it = std::partition_point(
+          runs.begin(), runs.end(), [&](const CandidateRun& r) {
+            return r.first_line + r.line_count <= line_begin;
+          });
+      for (; it != runs.end() && it->first_line < line_end; ++it) {
+        uint64_t lb = std::max(it->first_line, line_begin);
+        uint64_t le = std::min(it->first_line + it->line_count, line_end);
+        scan_lines(lb, le - lb, it->full, st);
+      }
+    });
+    for (const ImprintScanStats& st : morsel_stats) {
+      merged.lines_candidate += st.lines_candidate;
+      merged.lines_full += st.lines_full;
+      merged.values_checked += st.values_checked;
+      merged.rows_selected += st.rows_selected;
+    }
+    merged.workers = static_cast<uint32_t>(
+        std::min<uint64_t>(num_morsels, pool->num_threads() + 1));
   });
-  if (stats != nullptr) *stats = local;
+  if (stats != nullptr) *stats = merged;
   return Status::OK();
 }
 
@@ -46,34 +143,70 @@ void FullScanRangeSelect(const Column& column, double lo, double hi,
   out_rows->Resize(column.size());
   DispatchDataType(column.type(), [&]<typename T>() {
     std::span<const T> values = column.Values<T>();
+    NativeRange<T> nr = ClampRangeToType<T>(lo, hi);
+    if (nr.empty) return;
     for (size_t r = 0; r < values.size(); ++r) {
-      double v = static_cast<double>(values[r]);
-      if (v >= lo && v <= hi) out_rows->Set(r);
+      T v = values[r];
+      if (v >= nr.lo && v <= nr.hi) out_rows->Set(r);
     }
   });
 }
 
-Result<const ImprintsIndex*> ImprintManager::GetOrBuild(
+Result<std::shared_ptr<const ImprintsIndex>> ImprintManager::GetOrBuild(
     const ColumnPtr& column) {
   if (column == nullptr) return Status::InvalidArgument("null column");
-  auto it = cache_.find(column.get());
-  if (it != cache_.end() &&
-      it->second.index->built_epoch() == column->epoch()) {
-    return it->second.index.get();
+  std::shared_ptr<Entry> entry;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::shared_ptr<Entry>& slot = cache_[column.get()];
+    if (slot == nullptr) slot = std::make_shared<Entry>();
+    entry = slot;
+    if (entry->index != nullptr &&
+        entry->index->built_epoch() == column->epoch()) {
+      return entry->index;
+    }
+  }
+  // Serialise builds per column: the losers of a concurrent first query
+  // wait here, then take the winner's index from the re-check.
+  std::lock_guard<std::mutex> build_lock(entry->build_mu);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (entry->index != nullptr &&
+        entry->index->built_epoch() == column->epoch()) {
+      return entry->index;
+    }
   }
   GEOCOL_ASSIGN_OR_RETURN(ImprintsIndex built,
-                          ImprintsIndex::Build(*column, options_));
-  auto& entry = cache_[column.get()];
-  entry.index = std::make_unique<ImprintsIndex>(std::move(built));
-  return entry.index.get();
+                          ImprintsIndex::Build(*column, options_, pool_));
+  auto index = std::make_shared<const ImprintsIndex>(std::move(built));
+  std::lock_guard<std::mutex> lock(mu_);
+  entry->index = index;
+  return index;
 }
 
 uint64_t ImprintManager::TotalStorageBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [col, entry] : cache_) {
-    total += entry.index->Storage(0).total_bytes;
+    if (entry->index != nullptr) {
+      total += entry->index->Storage(0).total_bytes;
+    }
   }
   return total;
+}
+
+size_t ImprintManager::num_indexes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t n = 0;
+  for (const auto& [col, entry] : cache_) {
+    n += entry->index != nullptr ? 1 : 0;
+  }
+  return n;
+}
+
+void ImprintManager::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cache_.clear();
 }
 
 }  // namespace geocol

@@ -2,7 +2,9 @@
 // of the paper's query model (§3.3), turned into a row-level selection.
 // Cache lines whose imprint misses the query mask are never touched; lines
 // fully inside the range are accepted wholesale; only boundary lines incur
-// per-value comparisons.
+// per-value comparisons. With a thread pool the candidate cacheline runs
+// are partitioned into morsels aligned to 64-row boundaries, so workers
+// write disjoint BitVector words without synchronisation.
 #ifndef GEOCOL_CORE_IMPRINT_SCAN_H_
 #define GEOCOL_CORE_IMPRINT_SCAN_H_
 
@@ -17,13 +19,18 @@
 
 namespace geocol {
 
+class ThreadPool;
+
 /// Work accounting of one imprint-filtered scan (drives E3/E5 reporting).
+/// Parallel scans merge per-morsel counters; because morsels cover whole
+/// cache lines, the merged stats equal the serial scan's exactly.
 struct ImprintScanStats {
   uint64_t lines_total = 0;
   uint64_t lines_candidate = 0;  ///< imprint hit: line was visited
   uint64_t lines_full = 0;       ///< accepted without per-value checks
   uint64_t values_checked = 0;   ///< per-value comparisons performed
   uint64_t rows_selected = 0;
+  uint32_t workers = 1;          ///< threads that executed scan morsels
 
   /// Fraction of the column actually touched by the scan.
   double TouchedFraction() const {
@@ -36,44 +43,65 @@ struct ImprintScanStats {
 /// Selects rows with value in [lo, hi] using the imprints index.
 /// `out_rows` is resized to the column length. The index must have been
 /// built on the current column state (epoch match) — Internal error
-/// otherwise.
+/// otherwise. Values are compared in the column's native type (the bounds
+/// are clamped into it once per scan). A non-null `pool` scans candidate
+/// runs in parallel morsels; the selection and stats are identical to the
+/// serial scan.
 Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
                           double lo, double hi, BitVector* out_rows,
-                          ImprintScanStats* stats = nullptr);
+                          ImprintScanStats* stats = nullptr,
+                          ThreadPool* pool = nullptr);
 
 /// Plain full-scan range selection (no index). Used as the correctness
-/// oracle in tests and the baseline in benchmarks.
+/// oracle in tests and the baseline in benchmarks. Same native-type
+/// comparison semantics as ImprintRangeSelect.
 void FullScanRangeSelect(const Column& column, double lo, double hi,
                          BitVector* out_rows);
 
 /// Lazily builds and caches imprints per column, mirroring MonetDB's
 /// "creation is triggered when it encounters a range query for the first
 /// time" (§3.2). Rebuilds when the column's epoch moves (appends).
+///
+/// Thread-safety: all members may be called concurrently. Builds of the
+/// same column are serialised on a per-column mutex (concurrent first
+/// queries build once and share), while different columns build in
+/// parallel. Returned indexes are shared_ptr so a rebuild triggered by an
+/// epoch change never invalidates an index another thread is scanning.
+/// Callers must still not mutate a column while queries on it are in
+/// flight — the epoch check is advisory, not a memory fence.
 class ImprintManager {
  public:
   explicit ImprintManager(ImprintsOptions options = {})
       : options_(options) {}
 
   /// Returns the (possibly freshly built) index for `column`.
-  Result<const ImprintsIndex*> GetOrBuild(const ColumnPtr& column);
+  Result<std::shared_ptr<const ImprintsIndex>> GetOrBuild(
+      const ColumnPtr& column);
+
+  /// Pool used to parallelise index builds (nullptr = serial builds). Set
+  /// once at engine construction, before any queries run.
+  void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
   /// Total storage consumed by all cached indexes.
   uint64_t TotalStorageBytes() const;
 
   /// Number of indexes currently cached.
-  size_t num_indexes() const { return cache_.size(); }
+  size_t num_indexes() const;
 
   /// Drops all cached indexes.
-  void Clear() { cache_.clear(); }
+  void Clear();
 
   const ImprintsOptions& options() const { return options_; }
 
  private:
   struct Entry {
-    std::unique_ptr<ImprintsIndex> index;
+    std::mutex build_mu;  ///< serialises builds of this column
+    std::shared_ptr<const ImprintsIndex> index;  ///< published under mu_
   };
   ImprintsOptions options_;
-  std::unordered_map<const Column*, Entry> cache_;
+  ThreadPool* pool_ = nullptr;
+  mutable std::mutex mu_;  ///< guards cache_ and every Entry::index
+  std::unordered_map<const Column*, std::shared_ptr<Entry>> cache_;
 };
 
 }  // namespace geocol

@@ -2,11 +2,30 @@
 
 #include <algorithm>
 #include <limits>
+#include <span>
+
+#include "util/thread_pool.h"
 
 namespace geocol {
 
+namespace {
+
+constexpr uint32_t kMaxCount = (1u << 30);  // headroom below the 31-bit cap
+
+// Chunks below this many cache lines are not worth forking for.
+constexpr uint64_t kMinParallelBuildLines = 1 << 12;
+
+/// A maximal run of identical imprint vectors inside one build chunk.
+struct VectorRun {
+  uint64_t vec;
+  uint64_t count;
+};
+
+}  // namespace
+
 Result<ImprintsIndex> ImprintsIndex::Build(const Column& column,
-                                           const ImprintsOptions& options) {
+                                           const ImprintsOptions& options,
+                                           ThreadPool* pool) {
   if (column.empty()) {
     return Status::InvalidArgument("cannot build imprints on empty column");
   }
@@ -28,7 +47,77 @@ Result<ImprintsIndex> ImprintsIndex::Build(const Column& column,
   ix.built_epoch_ = column.epoch();
   ix.vectors_.reserve(ix.num_lines_ / 4 + 16);
 
-  constexpr uint32_t kMaxCount = (1u << 30);  // headroom below the 31-bit cap
+  if (pool != nullptr && pool->num_threads() > 0 &&
+      ix.num_lines_ >= kMinParallelBuildLines) {
+    // Parallel build: workers binarise disjoint line chunks into maximal
+    // runs of identical vectors; the dictionary is then stitched serially,
+    // merging runs that touch across chunk seams. The emission rules below
+    // reproduce the serial greedy encoding exactly (runs of >= 2 lines
+    // become repeat entries, singleton runs coalesce into literal entries),
+    // so parallel and serial builds are byte-identical.
+    uint64_t num_chunks =
+        std::min<uint64_t>(ix.num_lines_ / (kMinParallelBuildLines / 8),
+                           (pool->num_threads() + 1) * 8);
+    if (num_chunks < 2) num_chunks = 2;
+    uint64_t chunk_lines = (ix.num_lines_ + num_chunks - 1) / num_chunks;
+    num_chunks = (ix.num_lines_ + chunk_lines - 1) / chunk_lines;
+    std::vector<std::vector<VectorRun>> chunk_runs(num_chunks);
+    pool->ParallelFor(num_chunks, [&](size_t c) {
+      uint64_t line_begin = c * chunk_lines;
+      uint64_t line_end =
+          std::min<uint64_t>(ix.num_lines_, line_begin + chunk_lines);
+      std::vector<VectorRun>& runs = chunk_runs[c];
+      DispatchDataType(column.type(), [&]<typename T>() {
+        std::span<const T> values = column.Values<T>();
+        for (uint64_t line = line_begin; line < line_end; ++line) {
+          uint64_t first = line * ix.values_per_line_;
+          uint64_t last = std::min<uint64_t>(first + ix.values_per_line_,
+                                             ix.num_rows_);
+          uint64_t v = 0;
+          for (uint64_t i = first; i < last; ++i) {
+            v |= uint64_t{1} << bins.BinOf(static_cast<double>(values[i]));
+          }
+          if (!runs.empty() && runs.back().vec == v) {
+            ++runs.back().count;
+          } else {
+            runs.push_back({v, 1});
+          }
+        }
+      });
+    });
+
+    auto emit = [&ix](uint64_t vec, uint64_t count) {
+      while (count > 0) {
+        uint64_t piece = std::min<uint64_t>(count, kMaxCount);
+        count -= piece;
+        if (piece >= 2) {
+          ix.vectors_.push_back(vec);
+          ix.dict_.push_back({static_cast<uint32_t>(piece), true});
+        } else {
+          ix.vectors_.push_back(vec);
+          if (!ix.dict_.empty() && !ix.dict_.back().repeat &&
+              ix.dict_.back().count < kMaxCount) {
+            ++ix.dict_.back().count;
+          } else {
+            ix.dict_.push_back({1, false});
+          }
+        }
+      }
+    };
+    VectorRun pending{0, 0};
+    for (const auto& runs : chunk_runs) {
+      for (const VectorRun& r : runs) {
+        if (pending.count > 0 && pending.vec == r.vec) {
+          pending.count += r.count;
+        } else {
+          if (pending.count > 0) emit(pending.vec, pending.count);
+          pending = r;
+        }
+      }
+    }
+    if (pending.count > 0) emit(pending.vec, pending.count);
+    return ix;
+  }
 
   DispatchDataType(column.type(), [&]<typename T>() {
     std::span<const T> values = column.Values<T>();

@@ -26,6 +26,8 @@
 
 namespace geocol {
 
+class ThreadPool;
+
 /// Build-time knobs for an imprints index.
 struct ImprintsOptions {
   /// Upper bound on bins; the build may choose fewer (power of two) when
@@ -64,9 +66,13 @@ struct ImprintMask {
 class ImprintsIndex {
  public:
   /// Scans `column` once and builds the index. The column must be
-  /// non-empty.
+  /// non-empty. When `pool` is non-null the column is chunked across its
+  /// workers: each chunk produces per-line vectors as maximal runs, and the
+  /// run-length dictionary is stitched at chunk seams — the result is
+  /// byte-identical to the serial build.
   static Result<ImprintsIndex> Build(const Column& column,
-                                     const ImprintsOptions& options = {});
+                                     const ImprintsOptions& options = {},
+                                     ThreadPool* pool = nullptr);
 
   uint32_t num_bins() const { return bins_.num_bins(); }
   uint32_t values_per_line() const { return values_per_line_; }

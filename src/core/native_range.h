@@ -1,0 +1,69 @@
+// Clamping of a [lo, hi] double range into a column's native value type,
+// so range scans compare values as T instead of widening every value to
+// double (which silently rounds large int64/uint64 values). The clamp is
+// exact: a value v of type T satisfies lo <= (double)v <= hi under real
+// arithmetic iff nr.lo <= v <= nr.hi (or the range is empty).
+#ifndef GEOCOL_CORE_NATIVE_RANGE_H_
+#define GEOCOL_CORE_NATIVE_RANGE_H_
+
+#include <cmath>
+#include <limits>
+#include <type_traits>
+
+namespace geocol {
+
+template <typename T>
+struct NativeRange {
+  T lo{};
+  T hi{};
+  bool empty = false;
+};
+
+template <typename T>
+NativeRange<T> ClampRangeToType(double lo, double hi) {
+  NativeRange<T> r;
+  if (std::isnan(lo) || std::isnan(hi) || lo > hi) {
+    r.empty = true;
+    return r;
+  }
+  if constexpr (std::is_same_v<T, double>) {
+    r.lo = lo;
+    r.hi = hi;
+  } else if constexpr (std::is_same_v<T, float>) {
+    // Round lo up and hi down to the nearest float so float comparisons
+    // select exactly the values double comparisons would.
+    float flo = static_cast<float>(lo);
+    if (static_cast<double>(flo) < lo) {
+      flo = std::nextafter(flo, std::numeric_limits<float>::infinity());
+    }
+    float fhi = static_cast<float>(hi);
+    if (static_cast<double>(fhi) > hi) {
+      fhi = std::nextafter(fhi, -std::numeric_limits<float>::infinity());
+    }
+    r.lo = flo;
+    r.hi = fhi;
+    r.empty = !(r.lo <= r.hi);  // also catches infinite-only gaps
+  } else {
+    // Integer T. 2^digits and min() are exactly representable as doubles,
+    // so the boundary tests below are exact even for 64-bit types whose
+    // max() is not.
+    const double max_plus_one =
+        std::ldexp(1.0, std::numeric_limits<T>::digits);
+    const double min_d = static_cast<double>(std::numeric_limits<T>::min());
+    double cl = std::ceil(lo);
+    double fh = std::floor(hi);
+    if (cl >= max_plus_one || fh < min_d) {
+      r.empty = true;
+      return r;
+    }
+    r.lo = cl <= min_d ? std::numeric_limits<T>::min() : static_cast<T>(cl);
+    r.hi = fh >= max_plus_one ? std::numeric_limits<T>::max()
+                              : static_cast<T>(fh);
+    r.empty = r.lo > r.hi;
+  }
+  return r;
+}
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_NATIVE_RANGE_H_

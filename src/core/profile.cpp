@@ -14,9 +14,13 @@ std::string QueryProfile::ToString() const {
   std::string out;
   char line[512];
   for (const auto& op : ops_) {
+    char workers[16] = "";
+    if (op.workers > 1) {
+      std::snprintf(workers, sizeof(workers), " x%u", op.workers);
+    }
     std::snprintf(line, sizeof(line),
-                  "  %-28s %10.3f ms  %12llu -> %-12llu %s\n",
-                  op.name.c_str(), op.nanos / 1e6,
+                  "  %-28s %10.3f ms%s  %12llu -> %-12llu %s\n",
+                  op.name.c_str(), op.nanos / 1e6, workers,
                   static_cast<unsigned long long>(op.rows_in),
                   static_cast<unsigned long long>(op.rows_out),
                   op.detail.c_str());

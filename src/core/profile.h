@@ -10,12 +10,16 @@
 
 namespace geocol {
 
-/// One executed operator: name, wall time, cardinalities.
+/// One executed operator: name, wall time, cardinalities. Parallel
+/// operators additionally record how many workers participated; their
+/// `nanos` is the operator's wall time, so summing over concurrently
+/// executed operators can exceed the query's wall time.
 struct OperatorProfile {
   std::string name;
   int64_t nanos = 0;
   uint64_t rows_in = 0;
   uint64_t rows_out = 0;
+  uint32_t workers = 1;  ///< threads that executed morsels of this operator
   std::string detail;  ///< free-form annotation ("mask=0x3f", "grid=64x48")
 };
 
@@ -26,8 +30,23 @@ class QueryProfile {
 
   void Add(std::string name, int64_t nanos, uint64_t rows_in,
            uint64_t rows_out, std::string detail = "") {
-    ops_.push_back({std::move(name), nanos, rows_in, rows_out,
+    ops_.push_back({std::move(name), nanos, rows_in, rows_out, 1,
                     std::move(detail)});
+  }
+
+  /// As Add, for operators executed by `workers` threads.
+  void AddParallel(std::string name, int64_t nanos, uint64_t rows_in,
+                   uint64_t rows_out, uint32_t workers,
+                   std::string detail = "") {
+    ops_.push_back({std::move(name), nanos, rows_in, rows_out,
+                    workers == 0 ? 1 : workers, std::move(detail)});
+  }
+
+  /// Appends every operator of `other`, preserving order. Used to merge
+  /// the branch-local profiles of concurrently executed filter steps back
+  /// into the query profile in a deterministic order.
+  void Append(const QueryProfile& other) {
+    ops_.insert(ops_.end(), other.ops_.begin(), other.ops_.end());
   }
 
   const std::vector<OperatorProfile>& operators() const { return ops_; }

@@ -1,12 +1,20 @@
 #include "core/refinement.h"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 
 #include "geom/predicates.h"
+#include "util/thread_pool.h"
 
 namespace geocol {
 
 namespace {
+
+// Candidate vectors below this size refine serially even with a pool.
+constexpr size_t kMinParallelRefineRows = 1 << 17;
+// Rows per refinement morsel; multiple of 64 so ranges cover whole words.
+constexpr size_t kRefineMorselRows = 1 << 16;
 
 inline bool ExactTest(const Geometry& g, double buffer, const Point& p) {
   return buffer > 0.0 ? GeometryDWithin(g, p, buffer)
@@ -24,16 +32,130 @@ Status CheckInputs(const Column& x, const Column& y,
   return Status::OK();
 }
 
+constexpr uint8_t kUnclassified = 0xFF;
+
+Status ParallelGridRefine(const Column& x, const Column& y,
+                          const BitVector& candidates,
+                          const Geometry& geometry, double buffer,
+                          const RefineOptions& options, ThreadPool* pool,
+                          std::vector<uint64_t>* out_rows,
+                          RefinementStats* stats) {
+  RefinementStats local;
+  const size_t n = candidates.size();
+  const size_t num_morsels = (n + kRefineMorselRows - 1) / kRefineMorselRows;
+  local.workers = static_cast<uint32_t>(
+      std::min(num_morsels, pool->num_threads() + 1));
+
+  // Pass 1 (parallel): per-morsel candidate row lists and extents.
+  std::vector<std::vector<uint64_t>> morsel_rows(num_morsels);
+  std::vector<Box> morsel_extent(num_morsels);
+  pool->ParallelFor(num_morsels, [&](size_t m) {
+    size_t begin = m * kRefineMorselRows;
+    size_t end = std::min(n, begin + kRefineMorselRows);
+    std::vector<uint64_t>& rows = morsel_rows[m];
+    candidates.CollectSetBitsInRange(begin, end, &rows);
+    Box& ext = morsel_extent[m];
+    for (uint64_t r : rows) ext.Extend(x.GetDouble(r), y.GetDouble(r));
+  });
+  Box extent;
+  for (const Box& b : morsel_extent) extent.Extend(b);
+  for (const auto& rows : morsel_rows) local.candidates += rows.size();
+  if (local.candidates == 0) {
+    if (stats != nullptr) *stats = local;
+    return Status::OK();
+  }
+
+  RegularGrid grid = RegularGrid::ForExpectedPoints(
+      extent, local.candidates, options.target_points_per_cell,
+      options.max_cells_per_axis);
+  local.cells_total = grid.num_cells();
+  local.grid_cols = grid.cols();
+  local.grid_rows = grid.rows();
+
+  // Pass 2 (parallel): classify-and-test. Cell classifications are shared
+  // through an atomic table; ClassifyCell is deterministic, so the only
+  // race is which worker publishes first — the CAS winner also counts the
+  // cell in its stats, keeping per-cell counters exact.
+  std::unique_ptr<std::atomic<uint8_t>[]> cell_class(
+      new std::atomic<uint8_t>[grid.num_cells()]);
+  for (uint64_t c = 0; c < grid.num_cells(); ++c) {
+    cell_class[c].store(kUnclassified, std::memory_order_relaxed);
+  }
+
+  std::vector<std::vector<uint64_t>> morsel_out(num_morsels);
+  std::vector<RefinementStats> morsel_stats(num_morsels);
+  pool->ParallelFor(num_morsels, [&](size_t m) {
+    RefinementStats& st = morsel_stats[m];
+    std::vector<uint64_t>& out = morsel_out[m];
+    for (uint64_t r : morsel_rows[m]) {
+      Point p{x.GetDouble(r), y.GetDouble(r)};
+      uint64_t cell = grid.CellOf(p.x, p.y);
+      uint8_t cls = cell_class[cell].load(std::memory_order_acquire);
+      if (cls == kUnclassified) {
+        uint8_t computed =
+            static_cast<uint8_t>(grid.ClassifyCell(cell, geometry, buffer));
+        uint8_t expected = kUnclassified;
+        if (cell_class[cell].compare_exchange_strong(
+                expected, computed, std::memory_order_acq_rel)) {
+          cls = computed;
+          ++st.cells_nonempty;
+          switch (static_cast<BoxRelation>(cls)) {
+            case BoxRelation::kInside: ++st.cells_inside; break;
+            case BoxRelation::kOutside: ++st.cells_outside; break;
+            case BoxRelation::kBoundary: ++st.cells_boundary; break;
+          }
+        } else {
+          cls = expected;  // another worker published first
+        }
+      }
+      switch (static_cast<BoxRelation>(cls)) {
+        case BoxRelation::kInside:
+          out.push_back(r);
+          ++st.accepted;
+          break;
+        case BoxRelation::kOutside:
+          break;
+        case BoxRelation::kBoundary:
+          ++st.exact_tests;
+          if (ExactTest(geometry, buffer, p)) {
+            out.push_back(r);
+            ++st.accepted;
+          }
+          break;
+      }
+    }
+  });
+
+  for (size_t m = 0; m < num_morsels; ++m) {
+    const RefinementStats& st = morsel_stats[m];
+    local.accepted += st.accepted;
+    local.cells_nonempty += st.cells_nonempty;
+    local.cells_inside += st.cells_inside;
+    local.cells_outside += st.cells_outside;
+    local.cells_boundary += st.cells_boundary;
+    local.exact_tests += st.exact_tests;
+    out_rows->insert(out_rows->end(), morsel_out[m].begin(),
+                     morsel_out[m].end());
+  }
+  if (stats != nullptr) *stats = local;
+  return Status::OK();
+}
+
 }  // namespace
 
 Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
                   const Geometry& geometry, double buffer,
                   const RefineOptions& options, std::vector<uint64_t>* out_rows,
-                  RefinementStats* stats) {
+                  RefinementStats* stats, ThreadPool* pool) {
   GEOCOL_RETURN_NOT_OK(CheckInputs(x, y, candidates));
   if (!options.use_grid) {
     return ExhaustiveRefine(x, y, candidates, geometry, buffer, out_rows,
                             stats);
+  }
+  if (pool != nullptr && pool->num_threads() > 0 &&
+      candidates.size() >= kMinParallelRefineRows) {
+    return ParallelGridRefine(x, y, candidates, geometry, buffer, options,
+                              pool, out_rows, stats);
   }
   RefinementStats local;
 
@@ -63,7 +185,6 @@ Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
   // Pass 2: classify cells lazily — only cells that actually hold
   // candidates are ever evaluated against the geometry (§3.3: "the spatial
   // relation is then evaluated between each non-empty cell and G").
-  constexpr uint8_t kUnclassified = 0xFF;
   std::vector<uint8_t> cell_class(grid.num_cells(), kUnclassified);
 
   for (uint64_t r : cand_rows) {

@@ -17,6 +17,8 @@
 
 namespace geocol {
 
+class ThreadPool;
+
 /// Refinement tuning knobs.
 struct RefineOptions {
   /// Target candidate points per grid cell; controls grid resolution.
@@ -39,6 +41,7 @@ struct RefinementStats {
   uint64_t exact_tests = 0;     ///< point-in-geometry evaluations
   uint32_t grid_cols = 0;
   uint32_t grid_rows = 0;
+  uint32_t workers = 1;         ///< threads that executed refine morsels
 };
 
 /// Refines candidate rows against `geometry` (buffered by `buffer` for
@@ -46,10 +49,18 @@ struct RefinementStats {
 /// are given as set bits of `candidates`; accepted row ids are appended to
 /// `out_rows` in ascending order. `x`/`y` must be FlatTable columns of
 /// equal length covering the same rows.
+///
+/// A non-null `pool` splits the candidate vector into word-aligned row
+/// ranges refined by parallel workers, each appending to a local row list;
+/// the lists are concatenated in range order, so the result is identical
+/// to the serial pass. Cell classifications are shared through an atomic
+/// per-cell table (classification is deterministic, so racing workers
+/// agree); per-cell stats are counted by the unique worker that published
+/// the classification, making the merged stats equal the serial ones.
 Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
                   const Geometry& geometry, double buffer,
                   const RefineOptions& options, std::vector<uint64_t>* out_rows,
-                  RefinementStats* stats = nullptr);
+                  RefinementStats* stats = nullptr, ThreadPool* pool = nullptr);
 
 /// Exhaustive refinement: exact test per candidate, no grid. The oracle in
 /// tests and the baseline of E4.

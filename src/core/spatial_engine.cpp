@@ -3,32 +3,108 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <span>
+#include <thread>
 
+#include "columns/types.h"
 #include "util/timer.h"
 
 namespace geocol {
 
+namespace {
+
+// Row lists below this size aggregate serially even with a pool.
+constexpr size_t kMinParallelAggRows = size_t{1} << 17;
+// Rows per aggregation chunk; partials merge in chunk order so the result
+// is deterministic for a given row list.
+constexpr size_t kAggChunkRows = size_t{1} << 16;
+
+uint32_t EffectiveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<uint32_t>(hw);
+}
+
+}  // namespace
+
 double AggregateRows(const Column& column, const std::vector<uint64_t>& rows,
-                     AggKind kind) {
+                     AggKind kind, ThreadPool* pool) {
   if (kind == AggKind::kCount) return static_cast<double>(rows.size());
   if (rows.empty()) return std::nan("");
-  double sum = 0.0;
-  double mn = std::numeric_limits<double>::infinity();
-  double mx = -std::numeric_limits<double>::infinity();
-  for (uint64_t r : rows) {
-    double v = column.GetDouble(r);
-    sum += v;
-    mn = std::min(mn, v);
-    mx = std::max(mx, v);
-  }
-  switch (kind) {
-    case AggKind::kSum: return sum;
-    case AggKind::kAvg: return sum / static_cast<double>(rows.size());
-    case AggKind::kMin: return mn;
-    case AggKind::kMax: return mx;
-    case AggKind::kCount: break;
-  }
-  return std::nan("");
+  const bool parallel = pool != nullptr && pool->num_threads() > 0 &&
+                        rows.size() >= kMinParallelAggRows;
+  const size_t num_chunks = (rows.size() + kAggChunkRows - 1) / kAggChunkRows;
+  double out = std::nan("");
+  DispatchDataType(column.type(), [&]<typename T>() {
+    std::span<const T> values = column.Values<T>();
+    switch (kind) {
+      case AggKind::kSum:
+      case AggKind::kAvg: {
+        double sum = 0.0;
+        if (parallel) {
+          std::vector<double> partial(num_chunks, 0.0);
+          pool->ParallelFor(num_chunks, [&](size_t c) {
+            size_t begin = c * kAggChunkRows;
+            size_t end = std::min(rows.size(), begin + kAggChunkRows);
+            double s = 0.0;
+            for (size_t i = begin; i < end; ++i) {
+              s += static_cast<double>(values[rows[i]]);
+            }
+            partial[c] = s;
+          });
+          for (double p : partial) sum += p;
+        } else {
+          for (uint64_t r : rows) sum += static_cast<double>(values[r]);
+        }
+        out = kind == AggKind::kSum ? sum
+                                    : sum / static_cast<double>(rows.size());
+        break;
+      }
+      case AggKind::kMin: {
+        T mn = values[rows[0]];
+        if (parallel) {
+          std::vector<T> partial(num_chunks, values[rows[0]]);
+          pool->ParallelFor(num_chunks, [&](size_t c) {
+            size_t begin = c * kAggChunkRows;
+            size_t end = std::min(rows.size(), begin + kAggChunkRows);
+            T m = values[rows[begin]];
+            for (size_t i = begin + 1; i < end; ++i) {
+              m = std::min(m, values[rows[i]]);
+            }
+            partial[c] = m;
+          });
+          for (T p : partial) mn = std::min(mn, p);
+        } else {
+          for (uint64_t r : rows) mn = std::min(mn, values[r]);
+        }
+        out = static_cast<double>(mn);
+        break;
+      }
+      case AggKind::kMax: {
+        T mx = values[rows[0]];
+        if (parallel) {
+          std::vector<T> partial(num_chunks, values[rows[0]]);
+          pool->ParallelFor(num_chunks, [&](size_t c) {
+            size_t begin = c * kAggChunkRows;
+            size_t end = std::min(rows.size(), begin + kAggChunkRows);
+            T m = values[rows[begin]];
+            for (size_t i = begin + 1; i < end; ++i) {
+              m = std::max(m, values[rows[i]]);
+            }
+            partial[c] = m;
+          });
+          for (T p : partial) mx = std::max(mx, p);
+        } else {
+          for (uint64_t r : rows) mx = std::max(mx, values[r]);
+        }
+        out = static_cast<double>(mx);
+        break;
+      }
+      case AggKind::kCount:
+        break;
+    }
+  });
+  return out;
 }
 
 SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
@@ -39,7 +115,15 @@ SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
       options_(options),
       x_name_(std::move(x_column)),
       y_name_(std::move(y_column)),
-      imprints_(options.imprints) {}
+      imprints_(options.imprints) {
+  uint32_t threads = EffectiveThreads(options_.num_threads);
+  if (threads > 1) {
+    // The calling thread participates in every parallel loop, so the pool
+    // only needs threads-1 workers.
+    pool_ = std::make_unique<ThreadPool>(threads - 1);
+    imprints_.set_thread_pool(pool_.get());
+  }
+}
 
 Result<SelectionResult> SpatialQueryEngine::SelectInBox(const Box& box) {
   return Execute(Geometry(box), 0.0, {});
@@ -72,7 +156,7 @@ Result<double> SpatialQueryEngine::Aggregate(
     return static_cast<double>(sel.row_ids.size());
   }
   GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(column));
-  return AggregateRows(*col, sel.row_ids, kind);
+  return AggregateRows(*col, sel.row_ids, kind, pool_.get());
 }
 
 Status SpatialQueryEngine::FilterColumn(const ColumnPtr& column, double lo,
@@ -82,19 +166,20 @@ Status SpatialQueryEngine::FilterColumn(const ColumnPtr& column, double lo,
                                         const std::string& op_name) {
   Timer t;
   if (options_.use_imprints) {
-    GEOCOL_ASSIGN_OR_RETURN(const ImprintsIndex* ix,
+    GEOCOL_ASSIGN_OR_RETURN(std::shared_ptr<const ImprintsIndex> ix,
                             imprints_.GetOrBuild(column));
     double build_ms = t.ElapsedMillis();
     Timer t2;
-    GEOCOL_RETURN_NOT_OK(ImprintRangeSelect(*column, *ix, lo, hi, rows, stats));
+    GEOCOL_RETURN_NOT_OK(
+        ImprintRangeSelect(*column, *ix, lo, hi, rows, stats, pool_.get()));
     char detail[128];
     std::snprintf(detail, sizeof(detail),
                   "lines %llu/%llu full=%llu (build %.2f ms)",
                   static_cast<unsigned long long>(stats->lines_candidate),
                   static_cast<unsigned long long>(stats->lines_total),
                   static_cast<unsigned long long>(stats->lines_full), build_ms);
-    profile->Add(op_name, t2.ElapsedNanos(), column->size(),
-                 stats->rows_selected, detail);
+    profile->AddParallel(op_name, t2.ElapsedNanos(), column->size(),
+                         stats->rows_selected, stats->workers, detail);
     return Status::OK();
   }
   FullScanRangeSelect(*column, lo, hi, rows);
@@ -124,37 +209,97 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
   if (env.empty()) return result;
 
   // ---- Step 1: filter. Imprint range selections on x and y, intersected,
-  // then conjunctive thematic ranges, each narrowing the selection.
+  // then conjunctive thematic ranges, each narrowing the selection. With a
+  // pool, all filter branches execute concurrently into branch-local state
+  // (selection, stats, profile); results merge in the serial order, so the
+  // selection, stats and operator order are identical to serial execution.
   BitVector rows;
-  GEOCOL_RETURN_NOT_OK(FilterColumn(xcol, env.min_x, env.max_x, &rows,
-                                    &result.filter_x, &result.profile,
-                                    "filter.imprints.x"));
-  BitVector rows_y;
-  GEOCOL_RETURN_NOT_OK(FilterColumn(ycol, env.min_y, env.max_y, &rows_y,
-                                    &result.filter_y, &result.profile,
-                                    "filter.imprints.y"));
-  {
-    Timer t;
-    rows.And(rows_y);
-    result.profile.Add("filter.intersect", t.ElapsedNanos(),
-                       result.filter_x.rows_selected + result.filter_y.rows_selected,
-                       rows.Count());
-  }
-  for (const AttributeRange& attr : thematic) {
-    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(attr.column));
-    if (col->size() != xcol->size()) {
-      return Status::Corruption("thematic column length mismatch: " +
-                                attr.column);
+  if (pool_ != nullptr) {
+    struct FilterBranch {
+      ColumnPtr column;
+      double lo, hi;
+      std::string op;
+      BitVector rows;
+      ImprintScanStats stats;
+      QueryProfile profile;
+      Status status;
+    };
+    std::vector<FilterBranch> branches;
+    branches.reserve(2 + thematic.size());
+    branches.push_back(
+        {xcol, env.min_x, env.max_x, "filter.imprints.x", {}, {}, {}, {}});
+    branches.push_back(
+        {ycol, env.min_y, env.max_y, "filter.imprints.y", {}, {}, {}, {}});
+    for (const AttributeRange& attr : thematic) {
+      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(attr.column));
+      if (col->size() != xcol->size()) {
+        return Status::Corruption("thematic column length mismatch: " +
+                                  attr.column);
+      }
+      branches.push_back({col, attr.lo, attr.hi,
+                          "filter.imprints." + attr.column, {}, {}, {}, {}});
     }
-    BitVector sel;
-    ImprintScanStats st;
-    GEOCOL_RETURN_NOT_OK(FilterColumn(col, attr.lo, attr.hi, &sel, &st,
-                                      &result.profile,
-                                      "filter.imprints." + attr.column));
-    Timer t;
-    rows.And(sel);
-    result.profile.Add("filter.intersect." + attr.column, t.ElapsedNanos(),
-                       st.rows_selected, rows.Count());
+    pool_->ParallelFor(branches.size(), [&](size_t i) {
+      FilterBranch& b = branches[i];
+      b.status = FilterColumn(b.column, b.lo, b.hi, &b.rows, &b.stats,
+                              &b.profile, b.op);
+    });
+    for (const FilterBranch& b : branches) {
+      GEOCOL_RETURN_NOT_OK(b.status);
+    }
+    result.filter_x = branches[0].stats;
+    result.filter_y = branches[1].stats;
+    result.profile.Append(branches[0].profile);
+    result.profile.Append(branches[1].profile);
+    rows = std::move(branches[0].rows);
+    {
+      Timer t;
+      rows.And(branches[1].rows);
+      result.profile.Add(
+          "filter.intersect", t.ElapsedNanos(),
+          result.filter_x.rows_selected + result.filter_y.rows_selected,
+          rows.Count());
+    }
+    for (size_t i = 2; i < branches.size(); ++i) {
+      const FilterBranch& b = branches[i];
+      result.profile.Append(b.profile);
+      Timer t;
+      rows.And(b.rows);
+      result.profile.Add("filter.intersect." + thematic[i - 2].column,
+                         t.ElapsedNanos(), b.stats.rows_selected, rows.Count());
+    }
+  } else {
+    GEOCOL_RETURN_NOT_OK(FilterColumn(xcol, env.min_x, env.max_x, &rows,
+                                      &result.filter_x, &result.profile,
+                                      "filter.imprints.x"));
+    BitVector rows_y;
+    GEOCOL_RETURN_NOT_OK(FilterColumn(ycol, env.min_y, env.max_y, &rows_y,
+                                      &result.filter_y, &result.profile,
+                                      "filter.imprints.y"));
+    {
+      Timer t;
+      rows.And(rows_y);
+      result.profile.Add(
+          "filter.intersect", t.ElapsedNanos(),
+          result.filter_x.rows_selected + result.filter_y.rows_selected,
+          rows.Count());
+    }
+    for (const AttributeRange& attr : thematic) {
+      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(attr.column));
+      if (col->size() != xcol->size()) {
+        return Status::Corruption("thematic column length mismatch: " +
+                                  attr.column);
+      }
+      BitVector sel;
+      ImprintScanStats st;
+      GEOCOL_RETURN_NOT_OK(FilterColumn(col, attr.lo, attr.hi, &sel, &st,
+                                        &result.profile,
+                                        "filter.imprints." + attr.column));
+      Timer t;
+      rows.And(sel);
+      result.profile.Add("filter.intersect." + attr.column, t.ElapsedNanos(),
+                         st.rows_selected, rows.Count());
+    }
   }
 
   // ---- Step 2: refinement. A box query with no buffer is already exact
@@ -172,7 +317,7 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
   }
   GEOCOL_RETURN_NOT_OK(GridRefine(*xcol, *ycol, rows, geometry, buffer,
                                   options_.refine, &result.row_ids,
-                                  &result.refine));
+                                  &result.refine, pool_.get()));
   char detail[128];
   std::snprintf(detail, sizeof(detail),
                 "grid=%ux%u cells in/bnd/out=%llu/%llu/%llu exact=%llu",
@@ -181,10 +326,11 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
                 static_cast<unsigned long long>(result.refine.cells_boundary),
                 static_cast<unsigned long long>(result.refine.cells_outside),
                 static_cast<unsigned long long>(result.refine.exact_tests));
-  result.profile.Add(options_.refine.use_grid ? "refine.grid"
-                                              : "refine.exhaustive",
-                     t.ElapsedNanos(), candidates, result.row_ids.size(),
-                     detail);
+  result.profile.AddParallel(options_.refine.use_grid ? "refine.grid"
+                                                      : "refine.exhaustive",
+                             t.ElapsedNanos(), candidates,
+                             result.row_ids.size(), result.refine.workers,
+                             detail);
   return result;
 }
 

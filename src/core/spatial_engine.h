@@ -16,6 +16,7 @@
 #include "core/refinement.h"
 #include "geom/geometry.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace geocol {
 
@@ -34,6 +35,11 @@ struct EngineOptions {
   RefineOptions refine;
   /// When false the filter step degrades to a full scan of x/y.
   bool use_imprints = true;
+  /// Query/build parallelism: 0 = one thread per hardware core, 1 = the
+  /// serial executor (results, stats and profiles identical to the engine
+  /// before morsel-driven execution), n = n threads total (the calling
+  /// thread participates, so n threads means n-1 pool workers).
+  uint32_t num_threads = 0;
 };
 
 /// Result of a spatial selection.
@@ -50,11 +56,21 @@ struct SelectionResult {
 /// Supported aggregates over a selection.
 enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
 
-/// Aggregates `column` over `rows`. kCount ignores the column.
+/// Aggregates `column` over `rows`. kCount ignores the column. Values are
+/// read as typed spans and only the accumulator `kind` needs is computed.
+/// A non-null `pool` aggregates row chunks in parallel and merges the
+/// partials in chunk order, so the result is deterministic for a given
+/// row list (floating-point sums may differ from the serial order in the
+/// last bits; min/max/count are exact).
 double AggregateRows(const Column& column, const std::vector<uint64_t>& rows,
-                     AggKind kind);
+                     AggKind kind, ThreadPool* pool = nullptr);
 
 /// The spatially-enabled engine over one flat point-cloud table.
+///
+/// Thread-safety: concurrent queries (Select*/Aggregate) against one
+/// engine are safe, including the racing first queries that trigger the
+/// imprint build. Appending to the underlying table while queries are in
+/// flight is not.
 class SpatialQueryEngine {
  public:
   /// `table` must contain columns named `x_column`/`y_column` (any numeric
@@ -66,6 +82,12 @@ class SpatialQueryEngine {
 
   const FlatTable& table() const { return *table_; }
   const EngineOptions& options() const { return options_; }
+
+  /// Threads executing one query: pool workers + the calling thread.
+  uint32_t num_effective_threads() const {
+    return pool_ != nullptr ? static_cast<uint32_t>(pool_->num_threads()) + 1
+                            : 1;
+  }
 
   /// All points with (x, y) inside `box`. For a rectangle the refinement
   /// is exact during the filter step already.
@@ -110,6 +132,10 @@ class SpatialQueryEngine {
   EngineOptions options_;
   std::string x_name_, y_name_;
   ImprintManager imprints_;
+  /// Workers shared by all queries; null when running serially. The
+  /// calling thread always participates in parallel loops, so the pool
+  /// holds num_effective_threads() - 1 workers.
+  std::unique_ptr<ThreadPool> pool_;
 };
 
 }  // namespace geocol

@@ -83,6 +83,25 @@ void BitVector::CollectSetBits(std::vector<uint64_t>* out) const {
   }
 }
 
+void BitVector::CollectSetBitsInRange(size_t begin, size_t end,
+                                      std::vector<uint64_t>* out) const {
+  if (end > size_) end = size_;
+  if (begin >= end) return;
+  size_t wb = begin >> 6, we = (end - 1) >> 6;
+  for (size_t w = wb; w <= we; ++w) {
+    uint64_t word = words_[w];
+    if (w == wb) word &= ~uint64_t{0} << (begin & 63);
+    if (w == we && ((end & 63) != 0)) {
+      word &= ~uint64_t{0} >> (64 - (end & 63));
+    }
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out->push_back((static_cast<uint64_t>(w) << 6) + bit);
+      word &= word - 1;
+    }
+  }
+}
+
 void BitVector::MaskTail() {
   size_t rem = size_ & 63;
   if (rem != 0 && !words_.empty()) {

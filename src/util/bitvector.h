@@ -54,6 +54,12 @@ class BitVector {
   /// Appends the index of every set bit to `out`.
   void CollectSetBits(std::vector<uint64_t>* out) const;
 
+  /// Appends the index of every set bit in [begin, end) to `out`. Used by
+  /// the morsel-driven executor to split a selection vector across workers;
+  /// 64-aligned `begin`/`end` keep the scan on whole words.
+  void CollectSetBitsInRange(size_t begin, size_t end,
+                             std::vector<uint64_t>* out) const;
+
   const std::vector<uint64_t>& words() const { return words_; }
   uint64_t* mutable_words() { return words_.data(); }
 

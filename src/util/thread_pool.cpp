@@ -1,6 +1,7 @@
 #include "util/thread_pool.h"
 
 #include <atomic>
+#include <memory>
 
 namespace geocol {
 
@@ -39,16 +40,47 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
-  // Chunk to avoid one task per tiny index.
-  size_t chunks = std::min(n, workers_.size() * 4);
-  std::atomic<size_t> next{0};
-  for (size_t c = 0; c < chunks; ++c) {
-    Submit([&next, n, &fn] {
-      size_t i;
-      while ((i = next.fetch_add(1)) < n) fn(i);
-    });
+  if (n == 1 || workers_.empty()) {
+    for (size_t i = 0; i < n; ++i) fn(i);
+    return;
   }
-  WaitIdle();
+  // Per-call completion tracking (not WaitIdle): the group state is shared
+  // with helper tasks that may only start after the loop has finished, so
+  // it lives on the heap. Helpers that arrive late find no index left and
+  // exit without touching `fn`, which may be gone by then.
+  struct Group {
+    std::atomic<size_t> next{0};
+    std::atomic<size_t> done{0};
+    std::mutex mu;
+    std::condition_variable cv;
+    size_t n = 0;
+    const std::function<void(size_t)>* fn = nullptr;
+  };
+  auto group = std::make_shared<Group>();
+  group->n = n;
+  group->fn = &fn;
+  auto run = [group] {
+    size_t claimed = 0;
+    size_t i;
+    while ((i = group->next.fetch_add(1, std::memory_order_relaxed)) <
+           group->n) {
+      (*group->fn)(i);
+      ++claimed;
+    }
+    if (claimed > 0 &&
+        group->done.fetch_add(claimed, std::memory_order_acq_rel) + claimed ==
+            group->n) {
+      std::lock_guard<std::mutex> lock(group->mu);
+      group->cv.notify_all();
+    }
+  };
+  size_t helpers = std::min(n - 1, workers_.size());
+  for (size_t h = 0; h < helpers; ++h) Submit(run);
+  run();  // the caller claims morsels too: no deadlock under nesting
+  std::unique_lock<std::mutex> lock(group->mu);
+  group->cv.wait(lock, [&] {
+    return group->done.load(std::memory_order_acquire) == group->n;
+  });
 }
 
 void ThreadPool::WorkerLoop() {

@@ -1,5 +1,6 @@
-// Fixed-size thread pool used to parallelise per-file LAS conversion in the
-// binary loader and per-tile generation in the synthetic data generators.
+// Fixed-size thread pool shared by the bulk loaders (per-file LAS
+// conversion, per-tile generation) and the morsel-driven parallel query
+// executor of the spatial engine.
 #ifndef GEOCOL_UTIL_THREAD_POOL_H_
 #define GEOCOL_UTIL_THREAD_POOL_H_
 
@@ -15,9 +16,18 @@ namespace geocol {
 
 /// A minimal fixed-size worker pool.
 ///
-/// Tasks are arbitrary void() callables. `WaitIdle` blocks until the queue
-/// drains and every worker is parked, which is the only synchronisation the
-/// loaders need (fork-join usage).
+/// Tasks are arbitrary void() callables. Two usage styles coexist:
+///  - fork/join via Submit + WaitIdle (the loaders): WaitIdle blocks until
+///    the queue drains and every worker is parked.
+///  - scoped parallel loops via ParallelFor: each call tracks its own
+///    completion, so multiple threads may run ParallelFor on one pool
+///    concurrently, and a ParallelFor may be issued from inside a worker
+///    task (nested parallelism). The calling thread participates in the
+///    loop, so progress is guaranteed even when every worker is busy.
+///
+/// Submit is reentrant: a worker task may Submit further tasks; WaitIdle
+/// observes them because the submitting task is still active. Tasks must
+/// not throw — the pool does not fence exceptions.
 class ThreadPool {
  public:
   /// `num_threads == 0` selects std::thread::hardware_concurrency().
@@ -29,12 +39,18 @@ class ThreadPool {
 
   void Submit(std::function<void()> task);
 
-  /// Blocks until all submitted tasks have completed.
+  /// Blocks until all submitted tasks have completed. Do not mix with
+  /// concurrent ParallelFor callers on the same pool — it waits for the
+  /// whole queue, not just the caller's tasks.
   void WaitIdle();
 
   size_t num_threads() const { return workers_.size(); }
 
-  /// Runs fn(i) for i in [0, n) across the pool and waits for completion.
+  /// Runs fn(i) for i in [0, n) across the pool workers plus the calling
+  /// thread and returns when every index has completed. Indices are claimed
+  /// dynamically (morsel-driven), so uneven per-index work balances itself.
+  /// Safe to call concurrently from several threads and recursively from
+  /// inside worker tasks.
   void ParallelFor(size_t n, const std::function<void(size_t)>& fn);
 
  private:

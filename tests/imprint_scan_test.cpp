@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <thread>
+#include <vector>
 
 #include "core/imprint_scan.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace geocol {
 namespace {
@@ -102,6 +105,83 @@ TEST(ImprintScanTest, IntegerColumnExactBoundaries) {
   EXPECT_EQ(rows.Count(), 1000u);  // 10 values x 100 repetitions
 }
 
+TEST(ImprintScanTest, NativeInt64BoundariesAreExact) {
+  // Regression: values near 2^62 differ by 1 — indistinguishable after a
+  // double round-trip. The scan must compare in the native type, so
+  // base + 1 stays outside [0, 2^62] even though (double)(base + 1) == 2^62.
+  const int64_t base = int64_t{1} << 62;
+  std::vector<int64_t> vals;
+  for (int i = 0; i < 1000; ++i) vals.push_back(i);
+  vals.push_back(base - 1);
+  vals.push_back(base);
+  vals.push_back(base + 1);
+  vals.push_back(base + 1025);
+  auto col = Column::FromVector<int64_t>("c", vals);
+  const double hi = 4611686018427387904.0;  // exactly 2^62
+
+  BitVector scan;
+  FullScanRangeSelect(*col, 0.0, hi, &scan);
+  EXPECT_EQ(scan.Count(), 1002u);  // 0..999, base-1, base
+  EXPECT_TRUE(scan.Get(1000));     // base - 1
+  EXPECT_TRUE(scan.Get(1001));     // base
+  EXPECT_FALSE(scan.Get(1002));    // base + 1 rounds to 2^62 as double
+  EXPECT_FALSE(scan.Get(1003));
+
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  BitVector via_imprints;
+  ASSERT_TRUE(ImprintRangeSelect(*col, *ix, 0.0, hi, &via_imprints).ok());
+  EXPECT_TRUE(via_imprints == scan);
+}
+
+TEST(ImprintScanTest, ParallelScanMatchesSerial) {
+  // Above the parallelisation threshold the morsel-driven scan must
+  // produce the identical selection and identical merged stats.
+  ColumnPtr col = MakeWalkColumn(400000, 67);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  ThreadPool pool(3);
+  Rng rng(68);
+  for (int q = 0; q < 10; ++q) {
+    double a = rng.UniformDouble(-300, 300);
+    double b = rng.UniformDouble(-300, 300);
+    double lo = std::min(a, b), hi = std::max(a, b);
+    BitVector serial_rows, parallel_rows;
+    ImprintScanStats serial_stats, parallel_stats;
+    ASSERT_TRUE(
+        ImprintRangeSelect(*col, *ix, lo, hi, &serial_rows, &serial_stats)
+            .ok());
+    ASSERT_TRUE(ImprintRangeSelect(*col, *ix, lo, hi, &parallel_rows,
+                                   &parallel_stats, &pool)
+                    .ok());
+    EXPECT_TRUE(serial_rows == parallel_rows) << "[" << lo << "," << hi << "]";
+    EXPECT_EQ(parallel_stats.lines_total, serial_stats.lines_total);
+    EXPECT_EQ(parallel_stats.lines_candidate, serial_stats.lines_candidate);
+    EXPECT_EQ(parallel_stats.lines_full, serial_stats.lines_full);
+    EXPECT_EQ(parallel_stats.values_checked, serial_stats.values_checked);
+    EXPECT_EQ(parallel_stats.rows_selected, serial_stats.rows_selected);
+    EXPECT_EQ(serial_stats.workers, 1u);
+    if (serial_stats.lines_candidate > 0) {
+      EXPECT_GT(parallel_stats.workers, 1u);
+    }
+  }
+}
+
+TEST(ImprintScanTest, SmallColumnIgnoresPool) {
+  // Below the threshold the pool must not change anything.
+  ColumnPtr col = MakeWalkColumn(5000, 69);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  ThreadPool pool(3);
+  BitVector rows;
+  ImprintScanStats stats;
+  ASSERT_TRUE(ImprintRangeSelect(*col, *ix, -5, 5, &rows, &stats, &pool).ok());
+  EXPECT_EQ(stats.workers, 1u);
+  BitVector oracle;
+  FullScanRangeSelect(*col, -5, 5, &oracle);
+  EXPECT_TRUE(rows == oracle);
+}
+
 // ---------------- FullScanRangeSelect ----------------
 
 TEST(FullScanTest, InclusiveBounds) {
@@ -145,6 +225,44 @@ TEST(ImprintManagerTest, RebuildsAfterAppend) {
 TEST(ImprintManagerTest, NullColumnRejected) {
   ImprintManager mgr;
   EXPECT_FALSE(mgr.GetOrBuild(nullptr).ok());
+}
+
+TEST(ImprintManagerTest, ConcurrentFirstQueriesBuildOnce) {
+  // Racing first queries on the same column must serialise on the
+  // per-column build mutex and all receive the one built index.
+  ImprintManager mgr;
+  ColumnPtr col = MakeWalkColumn(100000, 74);
+  constexpr int kThreads = 8;
+  std::vector<std::shared_ptr<const ImprintsIndex>> got(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&mgr, &col, &got, t] {
+      auto r = mgr.GetOrBuild(col);
+      ASSERT_TRUE(r.ok());
+      got[t] = *r;
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(mgr.num_indexes(), 1u);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(got[t], got[0]) << "thread " << t << " got a different index";
+  }
+}
+
+TEST(ImprintManagerTest, RebuildKeepsOldIndexAlive) {
+  // A rebuild after an append must not invalidate the index an earlier
+  // caller still holds (shared ownership, not replacement-in-place).
+  ImprintManager mgr;
+  ColumnPtr col = MakeWalkColumn(5000, 75);
+  auto ix1 = mgr.GetOrBuild(col);
+  ASSERT_TRUE(ix1.ok());
+  uint64_t old_epoch = (*ix1)->built_epoch();
+  for (int i = 0; i < 100; ++i) col->Append<double>(i);
+  auto ix2 = mgr.GetOrBuild(col);
+  ASSERT_TRUE(ix2.ok());
+  EXPECT_NE(*ix1, *ix2);
+  EXPECT_EQ((*ix1)->built_epoch(), old_epoch);  // old handle still valid
+  EXPECT_EQ((*ix2)->built_epoch(), col->epoch());
 }
 
 TEST(ImprintManagerTest, TotalStorageAndClear) {

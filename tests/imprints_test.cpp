@@ -9,6 +9,7 @@
 
 #include "core/imprints.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace geocol {
 namespace {
@@ -317,6 +318,69 @@ INSTANTIATE_TEST_SUITE_P(
     [](const ::testing::TestParamInfo<PropertyParam>& info) {
       return info.param.name;
     });
+
+// ---------------- parallel build ----------------
+
+// The chunked build stitches per-chunk run-length pieces at the seams; its
+// promise is a byte-identical index, so compare the raw vectors and the
+// dictionary entry by entry across distributions.
+TEST(ImprintsParallelBuildTest, ByteIdenticalToSerialBuild) {
+  ThreadPool pool(3);
+  Rng rng(91);
+  const size_t n = 300000;  // above the parallel-build threshold
+  std::vector<std::vector<double>> datasets;
+  {
+    std::vector<double> walk(n);
+    double w = 0;
+    for (auto& v : walk) {
+      w += rng.NextGaussian();
+      v = w;
+    }
+    datasets.push_back(std::move(walk));
+  }
+  {
+    std::vector<double> uniform(n);
+    for (auto& v : uniform) v = rng.UniformDouble(0, 1000);
+    datasets.push_back(std::move(uniform));
+  }
+  {
+    // Long constant runs: stresses seam stitching of repeat entries.
+    std::vector<double> steps(n);
+    for (size_t i = 0; i < n; ++i) steps[i] = static_cast<double>(i / 20000);
+    datasets.push_back(std::move(steps));
+  }
+  for (size_t d = 0; d < datasets.size(); ++d) {
+    auto col = Column::FromVector<double>("c", datasets[d]);
+    auto serial = ImprintsIndex::Build(*col);
+    auto parallel = ImprintsIndex::Build(*col, {}, &pool);
+    ASSERT_TRUE(serial.ok());
+    ASSERT_TRUE(parallel.ok());
+    EXPECT_EQ(parallel->vectors(), serial->vectors()) << "dataset " << d;
+    ASSERT_EQ(parallel->dictionary().size(), serial->dictionary().size())
+        << "dataset " << d;
+    for (size_t i = 0; i < serial->dictionary().size(); ++i) {
+      EXPECT_EQ(parallel->dictionary()[i].count, serial->dictionary()[i].count)
+          << "dataset " << d << " entry " << i;
+      EXPECT_EQ(parallel->dictionary()[i].repeat,
+                serial->dictionary()[i].repeat)
+          << "dataset " << d << " entry " << i;
+    }
+    EXPECT_EQ(parallel->num_lines(), serial->num_lines());
+    EXPECT_EQ(parallel->num_rows(), serial->num_rows());
+    EXPECT_EQ(parallel->built_epoch(), serial->built_epoch());
+  }
+}
+
+TEST(ImprintsParallelBuildTest, SmallColumnFallsBackToSerial) {
+  ThreadPool pool(3);
+  auto col = Column::FromVector<double>("c", std::vector<double>(500, 1.0));
+  auto serial = ImprintsIndex::Build(*col);
+  auto parallel = ImprintsIndex::Build(*col, {}, &pool);
+  ASSERT_TRUE(serial.ok());
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->vectors(), serial->vectors());
+  EXPECT_EQ(parallel->dictionary().size(), serial->dictionary().size());
+}
 
 // ---------------- compression effectiveness contrast ----------------
 

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <cmath>
+#include <thread>
+#include <vector>
 
 #include "baselines/full_scan.h"
 #include "core/spatial_engine.h"
@@ -250,6 +252,138 @@ TEST(SpatialEngineTest, IndexStorageReported) {
   EXPECT_EQ(eng.IndexStorageBytes(), 0u);  // lazy: nothing built yet
   ASSERT_TRUE(eng.SelectInBox(Box(0, 0, 10, 10)).ok());
   EXPECT_GT(eng.IndexStorageBytes(), 0u);  // x and y imprints exist now
+}
+
+// ---------------- parallel execution ----------------
+
+TEST(SpatialEngineTest, NumThreadsKnob) {
+  auto table = MakeTable(1000, 110, Box(0, 0, 10, 10));
+  EngineOptions serial;
+  serial.num_threads = 1;
+  EXPECT_EQ(SpatialQueryEngine(table, serial).num_effective_threads(), 1u);
+  EngineOptions four;
+  four.num_threads = 4;
+  EXPECT_EQ(SpatialQueryEngine(table, four).num_effective_threads(), 4u);
+  EngineOptions hw;  // 0 = hardware concurrency
+  EXPECT_GE(SpatialQueryEngine(table, hw).num_effective_threads(), 1u);
+}
+
+TEST(SpatialEngineTest, ParallelMatchesSerialExactly) {
+  // Big enough that the morsel paths (scan, build, refine) all engage.
+  auto table = MakeTable(600000, 111, Box(0, 0, 1000, 1000));
+  EngineOptions serial_opts;
+  serial_opts.num_threads = 1;
+  EngineOptions parallel_opts;
+  parallel_opts.num_threads = 4;
+  SpatialQueryEngine serial(table, serial_opts);
+  SpatialQueryEngine parallel(table, parallel_opts);
+
+  Geometry g(Polygon::Circle({500, 500}, 300, 32));
+  auto s = serial.Select(g, 0.0, {{"classification", 2, 6}});
+  auto p = parallel.Select(g, 0.0, {{"classification", 2, 6}});
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->row_ids, s->row_ids);
+
+  // Merged stats equal the serial stats field for field (workers aside).
+  EXPECT_EQ(p->filter_x.lines_candidate, s->filter_x.lines_candidate);
+  EXPECT_EQ(p->filter_x.lines_full, s->filter_x.lines_full);
+  EXPECT_EQ(p->filter_x.values_checked, s->filter_x.values_checked);
+  EXPECT_EQ(p->filter_x.rows_selected, s->filter_x.rows_selected);
+  EXPECT_EQ(p->filter_y.rows_selected, s->filter_y.rows_selected);
+  EXPECT_GT(p->filter_x.workers, 1u);
+  EXPECT_EQ(p->refine.candidates, s->refine.candidates);
+  EXPECT_EQ(p->refine.accepted, s->refine.accepted);
+  EXPECT_EQ(p->refine.cells_nonempty, s->refine.cells_nonempty);
+  EXPECT_EQ(p->refine.cells_inside, s->refine.cells_inside);
+  EXPECT_EQ(p->refine.cells_outside, s->refine.cells_outside);
+  EXPECT_EQ(p->refine.cells_boundary, s->refine.cells_boundary);
+  EXPECT_EQ(p->refine.exact_tests, s->refine.exact_tests);
+  EXPECT_GT(p->refine.workers, 1u);
+
+  // Operator order in the profile is canonical regardless of which branch
+  // finished first.
+  const auto& s_ops = s->profile.operators();
+  const auto& p_ops = p->profile.operators();
+  ASSERT_EQ(p_ops.size(), s_ops.size());
+  for (size_t i = 0; i < s_ops.size(); ++i) {
+    EXPECT_EQ(p_ops[i].name, s_ops[i].name) << "op " << i;
+    EXPECT_EQ(p_ops[i].rows_out, s_ops[i].rows_out) << "op " << i;
+  }
+}
+
+TEST(SpatialEngineTest, ConcurrentQueriesMatchSerialOracle) {
+  // Satellite: N threads firing mixed selections and aggregates at one
+  // parallel engine — including the racing first queries that trigger the
+  // imprint build — must all observe the serial engine's answers.
+  auto table = MakeTable(250000, 112, Box(0, 0, 1000, 1000));
+  EngineOptions serial_opts;
+  serial_opts.num_threads = 1;
+  SpatialQueryEngine oracle(table, serial_opts);
+
+  Geometry circle(Polygon::Circle({400, 400}, 250, 24));
+  Geometry box_g(Box(100, 200, 600, 700));
+  auto oracle_circle = oracle.SelectInGeometry(circle);
+  auto oracle_box = oracle.SelectInGeometry(box_g);
+  ASSERT_TRUE(oracle_circle.ok());
+  ASSERT_TRUE(oracle_box.ok());
+  auto oracle_cnt = oracle.Aggregate(circle, 0.0, {}, "z", AggKind::kCount);
+  auto oracle_min = oracle.Aggregate(circle, 0.0, {}, "z", AggKind::kMin);
+  auto oracle_max = oracle.Aggregate(circle, 0.0, {}, "z", AggKind::kMax);
+  auto oracle_avg = oracle.Aggregate(circle, 0.0, {}, "z", AggKind::kAvg);
+  ASSERT_TRUE(oracle_cnt.ok());
+  ASSERT_TRUE(oracle_min.ok());
+  ASSERT_TRUE(oracle_max.ok());
+  ASSERT_TRUE(oracle_avg.ok());
+
+  EngineOptions parallel_opts;
+  parallel_opts.num_threads = 4;
+  SpatialQueryEngine eng(table, parallel_opts);  // fresh: no imprints yet
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 3;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIters; ++i) {
+        switch ((t + i) % 4) {
+          case 0: {
+            auto r = eng.SelectInGeometry(circle);
+            ASSERT_TRUE(r.ok());
+            EXPECT_EQ(r->row_ids, oracle_circle->row_ids);
+            break;
+          }
+          case 1: {
+            auto r = eng.SelectInGeometry(box_g);
+            ASSERT_TRUE(r.ok());
+            EXPECT_EQ(r->row_ids, oracle_box->row_ids);
+            break;
+          }
+          case 2: {
+            auto c = eng.Aggregate(circle, 0.0, {}, "z", AggKind::kCount);
+            auto mn = eng.Aggregate(circle, 0.0, {}, "z", AggKind::kMin);
+            auto mx = eng.Aggregate(circle, 0.0, {}, "z", AggKind::kMax);
+            ASSERT_TRUE(c.ok());
+            ASSERT_TRUE(mn.ok());
+            ASSERT_TRUE(mx.ok());
+            EXPECT_EQ(*c, *oracle_cnt);   // bit-exact
+            EXPECT_EQ(*mn, *oracle_min);  // bit-exact
+            EXPECT_EQ(*mx, *oracle_max);  // bit-exact
+            break;
+          }
+          default: {
+            auto a = eng.Aggregate(circle, 0.0, {}, "z", AggKind::kAvg);
+            ASSERT_TRUE(a.ok());
+            // Chunked summation may reorder additions.
+            EXPECT_NEAR(*a, *oracle_avg, 1e-9 * std::abs(*oracle_avg));
+            break;
+          }
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(eng.imprint_manager().num_indexes(), 2u);  // x and y, built once
 }
 
 // Random-query equivalence sweep across geometry kinds.

@@ -4,6 +4,8 @@
 
 #include <atomic>
 #include <set>
+#include <thread>
+#include <vector>
 
 #include "util/binary_io.h"
 #include "util/bitvector.h"
@@ -387,6 +389,74 @@ TEST(ThreadPoolTest, ZeroTasksIsFine) {
   ThreadPool pool(2);
   pool.ParallelFor(0, [](size_t) { FAIL(); });
   pool.WaitIdle();
+}
+
+TEST(ThreadPoolTest, SingleIndexRunsOnCaller) {
+  ThreadPool pool(2);
+  std::thread::id caller = std::this_thread::get_id();
+  std::thread::id ran;
+  pool.ParallelFor(1, [&](size_t) { ran = std::this_thread::get_id(); });
+  EXPECT_EQ(ran, caller);
+}
+
+TEST(ThreadPoolTest, SubmitIsReentrantFromWorkers) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 8; ++i) {
+    pool.Submit([&pool, &count] {
+      count.fetch_add(1);
+      pool.Submit([&count] { count.fetch_add(1); });
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 16);
+}
+
+TEST(ThreadPoolTest, NestedParallelForFromWorkerTask) {
+  // A ParallelFor issued from inside a worker task must complete even when
+  // every worker is busy: the issuing thread claims indices itself.
+  ThreadPool pool(2);
+  constexpr size_t kOuter = 8;
+  constexpr size_t kInner = 64;
+  std::vector<std::atomic<int>> hits(kOuter * kInner);
+  pool.ParallelFor(kOuter, [&](size_t o) {
+    pool.ParallelFor(kInner, [&](size_t i) {
+      hits[o * kInner + i].fetch_add(1);
+    });
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ConcurrentParallelForCallers) {
+  // Several external threads drive independent loops through one pool;
+  // each call tracks its own completion, so no loop observes another's.
+  ThreadPool pool(3);
+  constexpr int kCallers = 4;
+  constexpr size_t kIters = 500;
+  std::vector<std::atomic<int>> hits(kCallers * kIters);
+  std::vector<std::thread> callers;
+  for (int c = 0; c < kCallers; ++c) {
+    callers.emplace_back([&pool, &hits, c] {
+      pool.ParallelFor(kIters, [&hits, c](size_t i) {
+        hits[c * kIters + i].fetch_add(1);
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForBalancesUnevenWork) {
+  ThreadPool pool(4);
+  std::atomic<uint64_t> total{0};
+  pool.ParallelFor(100, [&](size_t i) {
+    // Quadratic skew: a static partition would leave one thread with most
+    // of the work; dynamic claiming must still visit every index once.
+    volatile uint64_t sink = 0;
+    for (size_t k = 0; k < i * i; ++k) sink += k;
+    total.fetch_add(i + 1);
+  });
+  EXPECT_EQ(total.load(), 5050u);
 }
 
 // ---------------- Timer ----------------
