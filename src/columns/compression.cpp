@@ -2,8 +2,10 @@
 
 #include <cstring>
 
+#include "columns/column_file.h"
 #include "util/binary_io.h"
 #include "util/bitpack.h"
+#include "util/crc32c.h"
 #include "util/tempdir.h"
 
 namespace geocol {
@@ -351,13 +353,28 @@ Status WriteCompressedColumnFile(const Column& column, const std::string& path,
                                  ColumnCodec codec, CompressionStats* stats) {
   GEOCOL_ASSIGN_OR_RETURN(std::vector<uint8_t> data,
                           CompressColumn(column, codec, stats));
-  return WriteFileBytes(path, data.data(), data.size());
+  // Whole-file CRC32C footer over the encoded buffer, then an atomic
+  // publish — a torn or bit-rotted .gcz is detected before decoding.
+  uint32_t crc = Crc32c(data.data(), data.size());
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(&crc);
+  data.insert(data.end(), p, p + sizeof(crc));
+  return WriteFileAtomic(path, data.data(), data.size());
 }
 
 Result<ColumnPtr> ReadCompressedColumnFile(const std::string& path,
                                            const std::string& name) {
   std::vector<uint8_t> data;
   GEOCOL_RETURN_NOT_OK(ReadFileBytes(path, &data));
+  if (data.size() < 4) {
+    return Status::Corruption("compressed column file too small: " + path);
+  }
+  uint32_t stored = 0;
+  std::memcpy(&stored, data.data() + data.size() - 4, 4);
+  data.resize(data.size() - 4);
+  uint32_t computed = Crc32c(data.data(), data.size());
+  if (stored != computed) {
+    return Status::Corruption("compressed column crc mismatch: " + path);
+  }
   return DecompressColumn(data, name);
 }
 
@@ -365,53 +382,41 @@ Status WriteCompressedTableDir(const FlatTable& table, const std::string& dir,
                                uint64_t* total_bytes) {
   GEOCOL_RETURN_NOT_OK(table.Validate());
   GEOCOL_RETURN_NOT_OK(MakeDir(dir));
-  BinaryWriter w;
-  GEOCOL_RETURN_NOT_OK(w.Open(dir + "/schema.gct"));
-  GEOCOL_RETURN_NOT_OK(w.WriteBytes("GCT1", 4));
-  GEOCOL_RETURN_NOT_OK(w.WriteString(table.name()));
-  GEOCOL_RETURN_NOT_OK(
-      w.WriteScalar<uint32_t>(static_cast<uint32_t>(table.num_columns())));
-  for (const auto& col : table.columns()) {
-    GEOCOL_RETURN_NOT_OK(w.WriteString(col->name()));
-    GEOCOL_RETURN_NOT_OK(
-        w.WriteScalar<uint8_t>(static_cast<uint8_t>(col->type())));
+  // Same generation protocol as WriteTableDir: new generation under fresh
+  // names, manifest swap as the commit point, old generation untouched.
+  uint64_t gen = 1;
+  if (PathExists(dir + "/schema.gct")) {
+    auto old = ReadTableManifest(dir);
+    if (old.ok()) gen = old->generation + 1;
   }
-  GEOCOL_RETURN_NOT_OK(w.Close());
+  TableManifest m;
+  m.table_name = table.name();
+  m.generation = gen;
   uint64_t total = 0;
   for (const auto& col : table.columns()) {
+    std::string fname = col->name() + ".g" + std::to_string(gen) + ".gcz";
     CompressionStats stats;
     GEOCOL_RETURN_NOT_OK(WriteCompressedColumnFile(
-        *col, dir + "/" + col->name() + ".gcz", ColumnCodec::kAuto, &stats));
+        *col, dir + "/" + fname, ColumnCodec::kAuto, &stats));
     total += stats.compressed_bytes;
+    m.columns.push_back({col->name(), col->type(), fname});
   }
+  GEOCOL_RETURN_NOT_OK(WriteTableManifest(dir, m));
+  CleanStaleTableFiles(dir, m);
   if (total_bytes != nullptr) *total_bytes = total;
   return Status::OK();
 }
 
 Result<FlatTable> ReadCompressedTableDir(const std::string& dir) {
-  BinaryReader r;
-  GEOCOL_RETURN_NOT_OK(r.Open(dir + "/schema.gct"));
-  char magic[4];
-  GEOCOL_RETURN_NOT_OK(r.ReadBytes(magic, 4));
-  if (std::memcmp(magic, "GCT1", 4) != 0) {
-    return Status::Corruption("bad table manifest magic");
-  }
-  std::string name;
-  GEOCOL_RETURN_NOT_OK(r.ReadString(&name));
-  uint32_t ncols = 0;
-  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&ncols));
-  if (ncols > 4096) return Status::Corruption("implausible column count");
-  FlatTable table(name);
-  for (uint32_t i = 0; i < ncols; ++i) {
-    std::string col_name;
-    GEOCOL_RETURN_NOT_OK(r.ReadString(&col_name));
-    uint8_t type_byte = 0;
-    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&type_byte));
+  GEOCOL_ASSIGN_OR_RETURN(TableManifest m, ReadTableManifest(dir));
+  FlatTable table(m.table_name);
+  for (const auto& mc : m.columns) {
+    const std::string fname =
+        mc.filename.empty() ? mc.name + ".gcz" : mc.filename;
     GEOCOL_ASSIGN_OR_RETURN(
-        ColumnPtr col,
-        ReadCompressedColumnFile(dir + "/" + col_name + ".gcz", col_name));
-    if (static_cast<uint8_t>(col->type()) != type_byte) {
-      return Status::Corruption("manifest/file type mismatch for " + col_name);
+        ColumnPtr col, ReadCompressedColumnFile(dir + "/" + fname, mc.name));
+    if (col->type() != mc.type) {
+      return Status::Corruption("manifest/file type mismatch for " + mc.name);
     }
     GEOCOL_RETURN_NOT_OK(table.AddColumn(std::move(col)));
   }

@@ -5,6 +5,7 @@
 #include <span>
 #include <vector>
 
+#include "core/imprints_io.h"
 #include "core/native_range.h"
 #include "util/thread_pool.h"
 
@@ -176,9 +177,16 @@ Result<std::shared_ptr<const ImprintsIndex>> ImprintManager::GetOrBuild(
       return entry->index;
     }
   }
-  GEOCOL_ASSIGN_OR_RETURN(ImprintsIndex built,
-                          ImprintsIndex::Build(*column, options_, pool_));
-  auto index = std::make_shared<const ImprintsIndex>(std::move(built));
+  // Sidecar-backed build reuses a verified on-disk index when fresh and
+  // transparently quarantines + rebuilds when corrupt or stale.
+  Result<ImprintsIndex> built =
+      sidecar_dir_.empty()
+          ? ImprintsIndex::Build(*column, options_, pool_)
+          : LoadOrBuildImprints(*column,
+                                sidecar_dir_ + "/" + column->name() + ".gim",
+                                options_, pool_);
+  GEOCOL_RETURN_NOT_OK(built.status());
+  auto index = std::make_shared<const ImprintsIndex>(std::move(*built));
   std::lock_guard<std::mutex> lock(mu_);
   entry->index = index;
   return index;

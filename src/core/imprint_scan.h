@@ -82,6 +82,14 @@ class ImprintManager {
   /// once at engine construction, before any queries run.
   void set_thread_pool(ThreadPool* pool) { pool_ = pool; }
 
+  /// Directory for persisted imprint sidecars ("" = in-memory only). When
+  /// set, a build first tries `<dir>/<column>.gim`; a corrupt or stale
+  /// sidecar is quarantined/rebuilt transparently (see
+  /// core/imprints_io.h), so a damaged cache file never fails a query.
+  /// Set once at engine construction, before any queries run.
+  void set_sidecar_dir(std::string dir) { sidecar_dir_ = std::move(dir); }
+  const std::string& sidecar_dir() const { return sidecar_dir_; }
+
   /// Total storage consumed by all cached indexes.
   uint64_t TotalStorageBytes() const;
 
@@ -100,6 +108,7 @@ class ImprintManager {
   };
   ImprintsOptions options_;
   ThreadPool* pool_ = nullptr;
+  std::string sidecar_dir_;  ///< "" = do not persist indexes
   mutable std::mutex mu_;  ///< guards cache_ and every Entry::index
   std::unordered_map<const Column*, std::shared_ptr<Entry>> cache_;
 };

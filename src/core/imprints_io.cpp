@@ -4,94 +4,145 @@
 #include <cstring>
 
 #include "util/binary_io.h"
+#include "util/crc32c.h"
+#include "util/logging.h"
 
 namespace geocol {
 
 namespace {
-constexpr char kImprintsMagic[4] = {'G', 'I', 'M', '1'};
-}  // namespace
 
-Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path) {
-  BinaryWriter w;
-  GEOCOL_RETURN_NOT_OK(w.Open(path));
-  GEOCOL_RETURN_NOT_OK(w.WriteBytes(kImprintsMagic, 4));
-  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(index.built_epoch()));
-  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(index.num_rows()));
-  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint32_t>(index.values_per_line()));
-  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint32_t>(index.num_bins()));
-  for (uint32_t b = 0; b < index.num_bins(); ++b) {
-    GEOCOL_RETURN_NOT_OK(w.WriteScalar<double>(index.bins().upper(b)));
-  }
-  const auto& dict = index.dictionary();
-  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(dict.size()));
-  for (const auto& e : dict) {
-    // Packed: low 31 bits count, top bit repeat.
-    uint32_t packed = e.count | (e.repeat ? 0x80000000u : 0u);
-    GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint32_t>(packed));
-  }
-  GEOCOL_RETURN_NOT_OK(w.WriteScalar<uint64_t>(index.vectors().size()));
-  GEOCOL_RETURN_NOT_OK(w.WriteVector(index.vectors()));
-  return w.Close();
-}
+constexpr char kImprintsMagic[4] = {'G', 'I', 'M', '2'};
+constexpr char kImprintsMagicV1[4] = {'G', 'I', 'M', '1'};
 
-Result<ImprintsIndex> ReadImprintsFile(const std::string& path) {
-  BinaryReader r;
-  GEOCOL_RETURN_NOT_OK(r.Open(path));
-  char magic[4];
-  GEOCOL_RETURN_NOT_OK(r.ReadBytes(magic, 4));
-  if (std::memcmp(magic, kImprintsMagic, 4) != 0) {
-    return Status::Corruption("bad imprints file magic: " + path);
-  }
+/// Parses the body shared by GIM1 and GIM2 (everything after the magic).
+Result<ImprintsIndex> ParseImprintsBody(BufferReader* r,
+                                        const std::string& path) {
   uint64_t epoch = 0, rows = 0;
   uint32_t values_per_line = 0, num_bins = 0;
-  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&epoch));
-  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&rows));
-  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&values_per_line));
-  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&num_bins));
+  GEOCOL_RETURN_NOT_OK(r->ReadScalar(&epoch));
+  GEOCOL_RETURN_NOT_OK(r->ReadScalar(&rows));
+  GEOCOL_RETURN_NOT_OK(r->ReadScalar(&values_per_line));
+  GEOCOL_RETURN_NOT_OK(r->ReadScalar(&num_bins));
   if (num_bins < 2 || num_bins > 64) {
-    return Status::Corruption("imprints file: bad bin count");
+    return Status::Corruption("imprints file: bad bin count: " + path);
   }
-  std::vector<double> bounds(num_bins);
-  for (auto& b : bounds) GEOCOL_RETURN_NOT_OK(r.ReadScalar(&b));
+  std::vector<double> bounds;
+  GEOCOL_RETURN_NOT_OK(r->ReadVector(&bounds, num_bins));
   GEOCOL_ASSIGN_OR_RETURN(BinBounds bins, BinBounds::FromRawUppers(bounds));
 
   uint64_t dict_size = 0;
-  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&dict_size));
-  if (dict_size > (uint64_t{1} << 40)) {
-    return Status::Corruption("imprints file: implausible dictionary size");
-  }
-  std::vector<ImprintsIndex::DictEntry> dict(dict_size);
-  for (auto& e : dict) {
-    uint32_t packed = 0;
-    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&packed));
-    e.count = packed & 0x7FFFFFFFu;
-    e.repeat = (packed & 0x80000000u) != 0;
+  GEOCOL_RETURN_NOT_OK(r->ReadScalar(&dict_size));
+  std::vector<uint32_t> packed;
+  GEOCOL_RETURN_NOT_OK(r->ReadVector(&packed, dict_size));
+  std::vector<ImprintsIndex::DictEntry> dict(packed.size());
+  for (size_t i = 0; i < packed.size(); ++i) {
+    dict[i].count = packed[i] & 0x7FFFFFFFu;
+    dict[i].repeat = (packed[i] & 0x80000000u) != 0;
   }
   uint64_t num_vectors = 0;
-  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&num_vectors));
-  if (num_vectors > (uint64_t{1} << 40)) {
-    return Status::Corruption("imprints file: implausible vector count");
-  }
+  GEOCOL_RETURN_NOT_OK(r->ReadScalar(&num_vectors));
   std::vector<uint64_t> vectors;
-  GEOCOL_RETURN_NOT_OK(r.ReadVector(&vectors, num_vectors));
+  GEOCOL_RETURN_NOT_OK(r->ReadVector(&vectors, num_vectors));
   return ImprintsIndex::Restore(bins, values_per_line, rows, epoch,
                                 std::move(vectors), std::move(dict));
 }
 
+}  // namespace
+
+Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path) {
+  BufferWriter w;
+  w.WriteBytes(kImprintsMagic, 4);
+  w.WriteScalar<uint64_t>(index.built_epoch());
+  w.WriteScalar<uint64_t>(index.num_rows());
+  w.WriteScalar<uint32_t>(index.values_per_line());
+  w.WriteScalar<uint32_t>(index.num_bins());
+  for (uint32_t b = 0; b < index.num_bins(); ++b) {
+    w.WriteScalar<double>(index.bins().upper(b));
+  }
+  const auto& dict = index.dictionary();
+  w.WriteScalar<uint64_t>(dict.size());
+  for (const auto& e : dict) {
+    // Packed: low 31 bits count, top bit repeat.
+    uint32_t packed = e.count | (e.repeat ? 0x80000000u : 0u);
+    w.WriteScalar<uint32_t>(packed);
+  }
+  w.WriteScalar<uint64_t>(index.vectors().size());
+  w.WriteVector(index.vectors());
+  // Whole-file CRC32C footer, then an atomic publish: a reader sees the
+  // previous sidecar or this one in full, and any bit rot is detected.
+  w.WriteScalar<uint32_t>(Crc32c(w.buffer().data(), w.size()));
+  const auto& buf = w.buffer();
+  return WriteFileAtomic(path, buf.data(), buf.size());
+}
+
+Result<ImprintsIndex> ReadImprintsFile(const std::string& path) {
+  std::vector<uint8_t> data;
+  GEOCOL_RETURN_NOT_OK(ReadFileBytes(path, &data));
+  if (data.size() < 4) {
+    return Status::Corruption("imprints file too small: " + path);
+  }
+  bool legacy = std::memcmp(data.data(), kImprintsMagicV1, 4) == 0;
+  if (!legacy) {
+    if (std::memcmp(data.data(), kImprintsMagic, 4) != 0) {
+      return Status::Corruption("bad imprints file magic: " + path);
+    }
+    if (data.size() < 8) {
+      return Status::Corruption("imprints file too small: " + path);
+    }
+    uint32_t stored = 0;
+    std::memcpy(&stored, data.data() + data.size() - 4, 4);
+    data.resize(data.size() - 4);
+    uint32_t computed = Crc32c(data.data(), data.size());
+    if (stored != computed) {
+      return Status::Corruption("imprints file crc mismatch: " + path);
+    }
+  }
+  BufferReader r(data.data() + 4, data.size() - 4);
+  return ParseImprintsBody(&r, path);
+}
+
 Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
                                           const std::string& path,
-                                          const ImprintsOptions& options) {
+                                          const ImprintsOptions& options,
+                                          ThreadPool* pool) {
+  bool overwrite_stale = false;
   if (PathExists(path)) {
     Result<ImprintsIndex> loaded = ReadImprintsFile(path);
     if (loaded.ok() && loaded->built_epoch() == column.epoch() &&
         loaded->num_rows() == column.size()) {
       return loaded;
     }
-    // Stale or corrupt sidecar: fall through to a rebuild.
+    if (!loaded.ok()) {
+      // Corrupt sidecar: keep the evidence out of the load path and
+      // rebuild from the (authoritative) column data.
+      std::string quarantine = path + ".quarantined";
+      GEOCOL_LOG(Warning) << "quarantining corrupt imprints sidecar " << path
+                          << " -> " << quarantine << ": "
+                          << loaded.status().ToString();
+      Status moved = RenameFile(path, quarantine);
+      if (!moved.ok()) {
+        GEOCOL_LOG(Warning) << "could not quarantine " << path << ": "
+                            << moved.ToString();
+      }
+    } else {
+      overwrite_stale = true;
+      GEOCOL_LOG(Info) << "imprints sidecar " << path
+                       << " is stale (epoch " << loaded->built_epoch()
+                       << " vs " << column.epoch() << ", rows "
+                       << loaded->num_rows() << " vs " << column.size()
+                       << "); rebuilding";
+    }
   }
   GEOCOL_ASSIGN_OR_RETURN(ImprintsIndex built,
-                          ImprintsIndex::Build(column, options));
-  GEOCOL_RETURN_NOT_OK(WriteImprintsFile(built, path));
+                          ImprintsIndex::Build(column, options, pool));
+  Status persisted = WriteImprintsFile(built, path);
+  if (!persisted.ok()) {
+    // The sidecar is cache; the freshly built index is still good.
+    GEOCOL_LOG(Warning) << "could not persist imprints sidecar " << path
+                        << ": " << persisted.ToString();
+  } else if (overwrite_stale) {
+    GEOCOL_LOG(Info) << "rewrote imprints sidecar " << path;
+  }
   return built;
 }
 

@@ -1,8 +1,13 @@
 // Disk persistence for column imprints. MonetDB keeps imprints alongside
 // the BAT heaps so a restarted server does not pay the rebuild; we mirror
 // that with a compact sidecar file per column:
-//   magic "GIM1" | epoch | rows | values_per_line | num_bins |
-//   bounds[num_bins] | dict entries | vectors.
+//   magic "GIM2" | epoch | rows | values_per_line | num_bins |
+//   bounds[num_bins] | dict entries | vectors | crc32c footer.
+//
+// The sidecar is pure cache: it is written atomically, verified against
+// its CRC32C footer and against the live column's epoch/row count on load,
+// and a corrupt or stale file is quarantined and rebuilt — never trusted,
+// never fatal to the query. Legacy "GIM1" files (no footer) still load.
 #ifndef GEOCOL_CORE_IMPRINTS_IO_H_
 #define GEOCOL_CORE_IMPRINTS_IO_H_
 
@@ -13,18 +18,29 @@
 
 namespace geocol {
 
-/// Writes `index` to `path` (truncating).
+class ThreadPool;
+
+/// Writes `index` to `path` atomically with a CRC32C footer.
 Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path);
 
-/// Reads an imprints file. The caller is responsible for checking
-/// `built_epoch()` against the live column before trusting the index.
+/// Reads and checksum-verifies an imprints file. The caller is responsible
+/// for checking `built_epoch()` against the live column before trusting
+/// the index.
 Result<ImprintsIndex> ReadImprintsFile(const std::string& path);
 
-/// Convenience: loads the sidecar if it exists and matches the column's
-/// epoch and row count, else builds fresh and writes the sidecar.
+/// Loads the sidecar if it exists, verifies, and matches the column's
+/// epoch and row count, else builds fresh (on `pool` when given) and
+/// rewrites the sidecar. Degradation is graceful and logged:
+///   - corrupt/unreadable sidecar -> quarantined to `path + ".quarantined"`
+///     and rebuilt;
+///   - stale sidecar (epoch or row-count mismatch) -> rebuilt, overwritten;
+///   - failure to persist the rebuilt sidecar -> logged, the fresh index
+///     is still returned.
+/// The only error path is the build itself failing.
 Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
                                           const std::string& path,
-                                          const ImprintsOptions& options = {});
+                                          const ImprintsOptions& options = {},
+                                          ThreadPool* pool = nullptr);
 
 }  // namespace geocol
 

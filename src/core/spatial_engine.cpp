@@ -116,6 +116,9 @@ SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
       x_name_(std::move(x_column)),
       y_name_(std::move(y_column)),
       imprints_(options.imprints) {
+  if (!options_.imprints_dir.empty()) {
+    imprints_.set_sidecar_dir(options_.imprints_dir);
+  }
   uint32_t threads = EffectiveThreads(options_.num_threads);
   if (threads > 1) {
     // The calling thread participates in every parallel loop, so the pool

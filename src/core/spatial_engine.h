@@ -40,6 +40,10 @@ struct EngineOptions {
   /// before morsel-driven execution), n = n threads total (the calling
   /// thread participates, so n threads means n-1 pool workers).
   uint32_t num_threads = 0;
+  /// Directory for persisted imprint sidecar files ("" = in-memory only).
+  /// A corrupt or stale sidecar is quarantined and rebuilt from the
+  /// column — it degrades to a rebuild, never fails the query.
+  std::string imprints_dir;
 };
 
 /// Result of a spatial selection.

@@ -5,30 +5,66 @@
 #include <vector>
 
 #include "geom/wkt.h"
+#include "util/binary_io.h"
+#include "util/crc32c.h"
 
 namespace geocol {
 
+namespace {
+
+/// Final line of a checksummed layer file; the CRC32C covers every byte
+/// before this line. Legacy files simply end with the last feature line.
+constexpr char kCrcPrefix[] = "#crc32c=";
+constexpr size_t kCrcPrefixLen = sizeof(kCrcPrefix) - 1;
+
+}  // namespace
+
 Status WriteLayerFile(const VectorLayer& layer, const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "w");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::string out;
+  char line[128];
   for (const VectorFeature& feat : layer.features()) {
     // Names may not contain tabs/newlines in this format.
     std::string safe_name = feat.name;
     for (char& c : safe_name) {
       if (c == '\t' || c == '\n' || c == '\r') c = ' ';
     }
-    std::fprintf(f, "%llu\t%u\t%s\t%s\n",
-                 static_cast<unsigned long long>(feat.id), feat.feature_class,
-                 safe_name.c_str(), ToWkt(feat.geometry, 9).c_str());
+    std::snprintf(line, sizeof(line), "%llu\t%u\t",
+                  static_cast<unsigned long long>(feat.id),
+                  feat.feature_class);
+    out += line;
+    out += safe_name;
+    out += '\t';
+    out += ToWkt(feat.geometry, 9);
+    out += '\n';
   }
-  if (std::fclose(f) != 0) return Status::IOError("close failed " + path);
-  return Status::OK();
+  // Text CRC footer: stays grep-/diff-friendly, detects any flipped bit in
+  // the feature lines, and the atomic write rules out torn files.
+  uint32_t crc = Crc32c(out.data(), out.size());
+  std::snprintf(line, sizeof(line), "%s%08X\n", kCrcPrefix, crc);
+  out += line;
+  return WriteFileAtomic(path, out.data(), out.size());
 }
 
 Result<std::shared_ptr<VectorLayer>> ReadLayerFile(const std::string& path,
                                                    const std::string& name) {
-  std::FILE* f = std::fopen(path.c_str(), "r");
-  if (f == nullptr) return Status::IOError("cannot open " + path);
+  std::vector<uint8_t> raw;
+  GEOCOL_RETURN_NOT_OK(ReadFileBytes(path, &raw));
+  std::string text(reinterpret_cast<const char*>(raw.data()), raw.size());
+
+  // A checksummed file ends with "#crc32c=XXXXXXXX\n" covering everything
+  // before that line; a legacy file has no footer and is accepted as-is.
+  size_t last_line = text.rfind('\n', text.empty() ? 0 : text.size() - 2);
+  last_line = last_line == std::string::npos ? 0 : last_line + 1;
+  if (text.compare(last_line, kCrcPrefixLen, kCrcPrefix) == 0) {
+    char* end = nullptr;
+    unsigned long stored =
+        std::strtoul(text.c_str() + last_line + kCrcPrefixLen, &end, 16);
+    uint32_t computed = Crc32c(text.data(), last_line);
+    if (static_cast<uint32_t>(stored) != computed) {
+      return Status::Corruption("layer file crc mismatch: " + path);
+    }
+    text.resize(last_line);
+  }
 
   std::string layer_name = name;
   if (layer_name.empty()) {
@@ -39,12 +75,14 @@ Result<std::shared_ptr<VectorLayer>> ReadLayerFile(const std::string& path,
   }
 
   std::vector<VectorFeature> features;
-  std::string line;
-  char buf[1 << 16];
   uint64_t line_no = 0;
-  while (std::fgets(buf, sizeof(buf), f) != nullptr) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
     ++line_no;
-    line = buf;
     while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
       line.pop_back();
     }
@@ -54,7 +92,6 @@ Result<std::shared_ptr<VectorLayer>> ReadLayerFile(const std::string& path,
     size_t t2 = t1 == std::string::npos ? t1 : line.find('\t', t1 + 1);
     size_t t3 = t2 == std::string::npos ? t2 : line.find('\t', t2 + 1);
     if (t3 == std::string::npos) {
-      std::fclose(f);
       return Status::Corruption("layer file: line " + std::to_string(line_no) +
                                 " does not have 4 fields");
     }
@@ -66,14 +103,12 @@ Result<std::shared_ptr<VectorLayer>> ReadLayerFile(const std::string& path,
     feat.name = line.substr(t2 + 1, t3 - t2 - 1);
     auto geom = ParseWkt(line.substr(t3 + 1));
     if (!geom.ok()) {
-      std::fclose(f);
       return Status::Corruption("layer file: line " + std::to_string(line_no) +
                                 ": " + geom.status().message());
     }
     feat.geometry = *geom;
     features.push_back(std::move(feat));
   }
-  std::fclose(f);
   return VectorLayer::FromFeatures(layer_name, std::move(features));
 }
 

@@ -1,10 +1,45 @@
 #include "util/binary_io.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
 
+#include "util/fault_injection.h"
+
 namespace geocol {
+
+namespace {
+
+/// "<what> <path>: <strerror> (errno N)" — every I/O failure, injected or
+/// real, is diagnosable from the message alone.
+Status ErrnoError(const std::string& what, const std::string& path, int err) {
+  return Status::IOError(what + " " + path + ": " + std::strerror(err) +
+                         " (errno " + std::to_string(err) + ")");
+}
+
+/// Runs the injector failpoint for `op`; returns the errno to fail with.
+int Failpoint(FileOp op) { return FaultInjector::Global().OnOp(op); }
+
+/// fsync of the directory containing `path`, making a rename durable.
+Status SyncParentDir(const std::string& path) {
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  if (dir.empty()) dir = "/";
+  if (int err = Failpoint(FileOp::kSync); err != 0) {
+    return ErrnoError("cannot fsync directory", dir, err);
+  }
+  int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoError("cannot open directory", dir, errno);
+  int rc = ::fsync(fd);
+  int fsync_errno = errno;
+  ::close(fd);
+  if (rc != 0) return ErrnoError("cannot fsync directory", dir, fsync_errno);
+  return Status::OK();
+}
+
+}  // namespace
 
 BinaryWriter::~BinaryWriter() {
   if (file_ != nullptr) std::fclose(file_);
@@ -12,30 +47,102 @@ BinaryWriter::~BinaryWriter() {
 
 Status BinaryWriter::Open(const std::string& path) {
   if (file_ != nullptr) return Status::Internal("writer already open");
+  if (int err = Failpoint(FileOp::kOpen); err != 0) {
+    return ErrnoError("cannot open for write", path, err);
+  }
   file_ = std::fopen(path.c_str(), "wb");
   if (file_ == nullptr) {
-    return Status::IOError("cannot open for write: " + path + " (" +
-                           std::strerror(errno) + ")");
+    return ErrnoError("cannot open for write", path, errno);
   }
   bytes_written_ = 0;
+  final_path_.clear();
+  tmp_path_.clear();
   return Status::OK();
+}
+
+Status BinaryWriter::OpenAtomic(const std::string& path) {
+  GEOCOL_RETURN_NOT_OK(Open(path + ".tmp"));
+  final_path_ = path;
+  tmp_path_ = path + ".tmp";
+  return Status::OK();
+}
+
+Status BinaryWriter::Commit() {
+  if (file_ == nullptr) return Status::Internal("writer not open");
+  if (final_path_.empty()) {
+    return Status::Internal("Commit on a non-atomic writer");
+  }
+  // Flush stdio, then force the bytes to stable storage before the rename
+  // makes them visible; otherwise a crash could publish an empty file.
+  if (int err = Failpoint(FileOp::kFlush); err != 0) {
+    return ErrnoError("cannot flush", tmp_path_, err);
+  }
+  if (std::fflush(file_) != 0) {
+    return ErrnoError("cannot flush", tmp_path_, errno);
+  }
+  if (int err = Failpoint(FileOp::kSync); err != 0) {
+    return ErrnoError("cannot fsync", tmp_path_, err);
+  }
+  if (::fsync(::fileno(file_)) != 0) {
+    return ErrnoError("cannot fsync", tmp_path_, errno);
+  }
+  int close_err = Failpoint(FileOp::kClose);
+  int rc = std::fclose(file_);
+  file_ = nullptr;
+  if (close_err != 0) return ErrnoError("cannot close", tmp_path_, close_err);
+  if (rc != 0) return ErrnoError("cannot close", tmp_path_, errno);
+  GEOCOL_RETURN_NOT_OK(RenameFile(tmp_path_, final_path_));
+  std::string final_path = final_path_;
+  final_path_.clear();
+  tmp_path_.clear();
+  return SyncParentDir(final_path);
+}
+
+void BinaryWriter::Abandon() {
+  if (file_ != nullptr) {
+    std::fclose(file_);
+    file_ = nullptr;
+  }
+  if (!tmp_path_.empty()) {
+    // Best effort — under an armed crash failpoint the unlink fails too,
+    // leaving the .tmp on disk exactly as a real crash would.
+    RemoveFile(tmp_path_);
+  }
+  final_path_.clear();
+  tmp_path_.clear();
 }
 
 Status BinaryWriter::Close() {
   if (file_ == nullptr) return Status::OK();
+  std::string path = tmp_path_.empty() ? "file" : tmp_path_;
+  int close_err = Failpoint(FileOp::kClose);
   int rc = std::fclose(file_);
   file_ = nullptr;
-  if (rc != 0) return Status::IOError("fclose failed");
+  if (close_err != 0) return ErrnoError("cannot close", path, close_err);
+  if (rc != 0) return ErrnoError("cannot close", path, errno);
   return Status::OK();
 }
 
 Status BinaryWriter::WriteBytes(const void* data, size_t n) {
   if (file_ == nullptr) return Status::Internal("writer not open");
   if (n == 0) return Status::OK();
-  if (std::fwrite(data, 1, n, file_) != n) {
-    return Status::IOError("short write");
+  size_t io_bytes = n;
+  int err = FaultInjector::Global().OnWrite(n, &io_bytes);
+  if (io_bytes > 0) {
+    size_t wrote = std::fwrite(data, 1, io_bytes, file_);
+    bytes_written_ += wrote;
+    if (err == 0 && wrote != io_bytes) {
+      return ErrnoError("short write to",
+                        tmp_path_.empty() ? "file" : tmp_path_, errno);
+    }
   }
-  bytes_written_ += n;
+  if (err != 0) {
+    // Injected torn write: the prefix above reached the file, then the
+    // device "failed". Flush so the torn bytes land like they would have.
+    std::fflush(file_);
+    return ErrnoError("cannot write to",
+                      tmp_path_.empty() ? "file" : tmp_path_, err);
+  }
   return Status::OK();
 }
 
@@ -50,26 +157,54 @@ BinaryReader::~BinaryReader() {
 
 Status BinaryReader::Open(const std::string& path) {
   if (file_ != nullptr) return Status::Internal("reader already open");
+  if (int err = Failpoint(FileOp::kOpen); err != 0) {
+    return ErrnoError("cannot open for read", path, err);
+  }
   file_ = std::fopen(path.c_str(), "rb");
   if (file_ == nullptr) {
-    return Status::IOError("cannot open for read: " + path + " (" +
-                           std::strerror(errno) + ")");
+    return ErrnoError("cannot open for read", path, errno);
   }
+#if defined(POSIX_FADV_SEQUENTIAL)
+  // Formats are consumed front to back; a deeper readahead window keeps
+  // the device busy while the CPU verifies the previous chunk's checksum.
+  ::posix_fadvise(::fileno(file_), 0, 0, POSIX_FADV_SEQUENTIAL);
+#endif
+  pos_ = 0;
+  // Cache the size so counts can be bounds-checked against Remaining().
+  if (std::fseek(file_, 0, SEEK_END) != 0) {
+    Status st = ErrnoError("cannot seek in", path, errno);
+    std::fclose(file_);
+    file_ = nullptr;
+    return st;
+  }
+  long end = std::ftell(file_);
+  std::rewind(file_);
+  size_ = end < 0 ? 0 : static_cast<uint64_t>(end);
   return Status::OK();
 }
 
 Status BinaryReader::Close() {
   if (file_ == nullptr) return Status::OK();
+  int close_err = Failpoint(FileOp::kClose);
   std::fclose(file_);
   file_ = nullptr;
+  if (close_err != 0) return ErrnoError("cannot close", "file", close_err);
   return Status::OK();
 }
 
 Status BinaryReader::ReadBytes(void* data, size_t n) {
   if (file_ == nullptr) return Status::Internal("reader not open");
   if (n == 0) return Status::OK();
-  if (std::fread(data, 1, n, file_) != n) {
-    return Status::Corruption("short read (truncated file?)");
+  size_t io_bytes = n;
+  int err = FaultInjector::Global().OnRead(n, &io_bytes);
+  if (err != 0) return ErrnoError("cannot read from", "file", err);
+  size_t got = std::fread(data, 1, io_bytes, file_);
+  pos_ += got;
+  FaultInjector::Global().OnReadData(data, got);
+  if (got != n) {
+    return Status::Corruption("short read: wanted " + std::to_string(n) +
+                              " bytes, got " + std::to_string(got) +
+                              " (truncated file?)");
   }
   return Status::OK();
 }
@@ -77,7 +212,7 @@ Status BinaryReader::ReadBytes(void* data, size_t n) {
 Status BinaryReader::ReadString(std::string* s, uint32_t max_len) {
   uint32_t len = 0;
   GEOCOL_RETURN_NOT_OK(ReadScalar(&len));
-  if (len > max_len) {
+  if (len > max_len || len > Remaining()) {
     return Status::Corruption("string length " + std::to_string(len) +
                               " exceeds limit");
   }
@@ -88,24 +223,31 @@ Status BinaryReader::ReadString(std::string* s, uint32_t max_len) {
 Status BinaryReader::Seek(uint64_t offset) {
   if (file_ == nullptr) return Status::Internal("reader not open");
   if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
-    return Status::IOError("seek failed");
+    return ErrnoError("cannot seek in", "file", errno);
   }
+  pos_ = offset;
   return Status::OK();
 }
 
 Result<uint64_t> BinaryReader::FileSize() {
   if (file_ == nullptr) return Status::Internal("reader not open");
-  long cur = std::ftell(file_);
-  if (std::fseek(file_, 0, SEEK_END) != 0) return Status::IOError("seek end");
-  long end = std::ftell(file_);
-  if (std::fseek(file_, cur, SEEK_SET) != 0) return Status::IOError("seek back");
-  return static_cast<uint64_t>(end);
+  return size_;
+}
+
+Status BinaryReader::CheckRemaining(uint64_t count, size_t elem_size) const {
+  if (elem_size == 0 || count > Remaining() / elem_size) {
+    return Status::Corruption(
+        "element count " + std::to_string(count) + " x " +
+        std::to_string(elem_size) + " bytes exceeds the " +
+        std::to_string(Remaining()) + " bytes remaining in the file");
+  }
+  return Status::OK();
 }
 
 Result<uint64_t> FileSizeBytes(const std::string& path) {
   struct stat st;
   if (::stat(path.c_str(), &st) != 0) {
-    return Status::IOError("stat failed: " + path);
+    return ErrnoError("cannot stat", path, errno);
   }
   return static_cast<uint64_t>(st.st_size);
 }
@@ -122,6 +264,15 @@ Status WriteFileBytes(const std::string& path, const void* data, size_t n) {
   return w.Close();
 }
 
+Status WriteFileAtomic(const std::string& path, const void* data, size_t n) {
+  BinaryWriter w;
+  GEOCOL_RETURN_NOT_OK(w.OpenAtomic(path));
+  Status st = w.WriteBytes(data, n);
+  if (st.ok()) st = w.Commit();
+  if (!st.ok()) w.Abandon();
+  return st;
+}
+
 Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
   BinaryReader r;
   GEOCOL_RETURN_NOT_OK(r.Open(path));
@@ -129,6 +280,26 @@ Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out) {
   out->resize(size);
   GEOCOL_RETURN_NOT_OK(r.ReadBytes(out->data(), size));
   return r.Close();
+}
+
+Status RenameFile(const std::string& from, const std::string& to) {
+  if (int err = Failpoint(FileOp::kRename); err != 0) {
+    return ErrnoError("cannot rename " + from + " to", to, err);
+  }
+  if (::rename(from.c_str(), to.c_str()) != 0) {
+    return ErrnoError("cannot rename " + from + " to", to, errno);
+  }
+  return Status::OK();
+}
+
+Status RemoveFile(const std::string& path) {
+  if (int err = Failpoint(FileOp::kUnlink); err != 0) {
+    return ErrnoError("cannot remove", path, err);
+  }
+  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+    return ErrnoError("cannot remove", path, errno);
+  }
+  return Status::OK();
 }
 
 }  // namespace geocol

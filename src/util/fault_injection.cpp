@@ -1,0 +1,115 @@
+#include "util/fault_injection.h"
+
+#include <cerrno>
+
+namespace geocol {
+
+const char* FileOpName(FileOp op) {
+  switch (op) {
+    case FileOp::kOpen: return "open";
+    case FileOp::kRead: return "read";
+    case FileOp::kWrite: return "write";
+    case FileOp::kFlush: return "flush";
+    case FileOp::kSync: return "sync";
+    case FileOp::kRename: return "rename";
+    case FileOp::kUnlink: return "unlink";
+    case FileOp::kClose: return "close";
+  }
+  return "?";
+}
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::Arm(Mode mode, uint64_t k, size_t a, size_t b) {
+  std::lock_guard<std::mutex> lock(mu_);
+  mode_ = mode;
+  k_ = k;
+  param_a_ = a;
+  param_b_ = b;
+  flip_pending_ = false;
+  ops_seen_.store(0, std::memory_order_relaxed);
+  active_.store(mode != Mode::kOff, std::memory_order_release);
+}
+
+void FaultInjector::StartCounting() { Arm(Mode::kCounting, 0, 0, 0); }
+
+uint64_t FaultInjector::StopCounting() {
+  uint64_t seen = ops_seen();
+  Disarm();
+  return seen;
+}
+
+void FaultInjector::ArmCrashAtOp(uint64_t k) { Arm(Mode::kCrash, k, 0, 0); }
+
+void FaultInjector::ArmTornWrite(uint64_t k, size_t keep_bytes) {
+  Arm(Mode::kTornWrite, k, keep_bytes, 0);
+}
+
+void FaultInjector::ArmShortRead(uint64_t k, size_t keep_bytes) {
+  Arm(Mode::kShortRead, k, keep_bytes, 0);
+}
+
+void FaultInjector::ArmBitFlip(uint64_t k, size_t byte_offset, uint8_t bit) {
+  Arm(Mode::kBitFlip, k, byte_offset, bit);
+}
+
+void FaultInjector::Disarm() { Arm(Mode::kOff, 0, 0, 0); }
+
+uint64_t FaultInjector::NextOp() {
+  if (!active_.load(std::memory_order_acquire)) return 0;
+  return ops_seen_.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+int FaultInjector::OnOp(FileOp op) {
+  (void)op;
+  uint64_t n = NextOp();
+  if (n == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if ((mode_ == Mode::kCrash || mode_ == Mode::kTornWrite) && n >= k_) {
+    return EIO;
+  }
+  return 0;
+}
+
+int FaultInjector::OnWrite(size_t n, size_t* io_bytes) {
+  uint64_t op = NextOp();
+  if (op == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (mode_ == Mode::kCrash && op >= k_) return EIO;
+  if (mode_ == Mode::kTornWrite && op >= k_) {
+    // The failing write lands a prefix; anything later lands nothing.
+    *io_bytes = op == k_ ? (param_a_ < n ? param_a_ : n) : 0;
+    return EIO;
+  }
+  return 0;
+}
+
+int FaultInjector::OnRead(size_t n, size_t* io_bytes) {
+  uint64_t op = NextOp();
+  if (op == 0) return 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  if ((mode_ == Mode::kCrash || mode_ == Mode::kTornWrite) && op >= k_) {
+    return EIO;
+  }
+  if (mode_ == Mode::kShortRead && op == k_) {
+    *io_bytes = param_a_ < n ? param_a_ : n;
+  }
+  if (mode_ == Mode::kBitFlip && op == k_) flip_pending_ = true;
+  return 0;
+}
+
+void FaultInjector::OnReadData(void* data, size_t n) {
+  if (!active_.load(std::memory_order_acquire)) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!flip_pending_) return;
+  flip_pending_ = false;
+  if (param_a_ < n) {
+    static_cast<uint8_t*>(data)[param_a_] ^=
+        static_cast<uint8_t>(1u << (param_b_ & 7));
+  }
+}
+
+}  // namespace geocol

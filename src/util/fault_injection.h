@@ -1,0 +1,123 @@
+// Failpoint registry for the durability layer. All file I/O in
+// util/binary_io routes through the process-global FaultInjector, which can
+// make the k-th operation fail the way real storage fails: a crash (every
+// operation from k on errors out, leaving whatever bytes already reached
+// disk), a torn write (a prefix of the payload lands before the failure), a
+// short read, or a silent bit flip in the returned buffer.
+//
+// Crash-sweep tests use it as:
+//   auto& fi = FaultInjector::Global();
+//   fi.StartCounting();
+//   RunWorkload();                        // clean run
+//   uint64_t total = fi.StopCounting();   // fallible ops in the workload
+//   for (uint64_t k = 1; k <= total; ++k) {
+//     ResetState();
+//     fi.ArmCrashAtOp(k);
+//     RunWorkload();                      // dies at op k
+//     fi.Disarm();
+//     CheckOldOrNewStateInvariant();
+//   }
+//
+// When disarmed the hooks cost one relaxed atomic load; production builds
+// carry the hooks but never take the slow path.
+#ifndef GEOCOL_UTIL_FAULT_INJECTION_H_
+#define GEOCOL_UTIL_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+
+namespace geocol {
+
+/// Kinds of fallible file operations the injector counts and can fail.
+enum class FileOp {
+  kOpen,
+  kRead,
+  kWrite,
+  kFlush,
+  kSync,    ///< fsync of a file or its parent directory
+  kRename,
+  kUnlink,
+  kClose,
+};
+
+const char* FileOpName(FileOp op);
+
+class FaultInjector {
+ public:
+  /// The process-wide injector consulted by util/binary_io.
+  static FaultInjector& Global();
+
+  // ---- arming (tests) ---------------------------------------------------
+
+  /// Counts fallible operations without failing any; StopCounting returns
+  /// the number seen since StartCounting.
+  void StartCounting();
+  uint64_t StopCounting();
+
+  /// Operation `k` (1-based since arming) and every later operation fail
+  /// with EIO — the process "crashed" at op k. A failing write persists
+  /// nothing.
+  void ArmCrashAtOp(uint64_t k);
+
+  /// Like ArmCrashAtOp, but if op `k` is a write, the first `keep_bytes`
+  /// of its payload reach the file before the failure (a torn write).
+  void ArmTornWrite(uint64_t k, size_t keep_bytes);
+
+  /// The k-th operation, if a read, returns only `keep_bytes` bytes (a
+  /// short read). Operations after k behave normally.
+  void ArmShortRead(uint64_t k, size_t keep_bytes);
+
+  /// Flips bit `bit` of byte `byte_offset` in the buffer returned by the
+  /// k-th operation, if a read — silent media corruption. Operations after
+  /// k behave normally.
+  void ArmBitFlip(uint64_t k, size_t byte_offset, uint8_t bit);
+
+  /// Turns everything off (also stops counting).
+  void Disarm();
+
+  /// Operations seen since the last StartCounting/Arm* call.
+  uint64_t ops_seen() const { return ops_seen_.load(std::memory_order_relaxed); }
+
+  // ---- hooks (util/binary_io) -------------------------------------------
+
+  /// Called before a non-payload operation. Returns 0 to proceed or the
+  /// errno the operation must fail with.
+  int OnOp(FileOp op);
+
+  /// Called before writing `n` payload bytes. May lower `*io_bytes` (torn
+  /// write); the caller writes that prefix, then fails with the returned
+  /// errno if non-zero.
+  int OnWrite(size_t n, size_t* io_bytes);
+
+  /// Called before reading `n` payload bytes. May lower `*io_bytes` (short
+  /// read). Returns 0 to proceed or an errno.
+  int OnRead(size_t n, size_t* io_bytes);
+
+  /// Called after a read with the bytes actually obtained; applies an armed
+  /// bit flip belonging to that read.
+  void OnReadData(void* data, size_t n);
+
+ private:
+  enum class Mode { kOff, kCounting, kCrash, kTornWrite, kShortRead, kBitFlip };
+
+  FaultInjector() = default;
+
+  void Arm(Mode mode, uint64_t k, size_t a, size_t b);
+  /// Returns the 1-based index of this op, or 0 when the injector is off.
+  uint64_t NextOp();
+
+  std::atomic<bool> active_{false};
+  std::atomic<uint64_t> ops_seen_{0};
+  mutable std::mutex mu_;
+  Mode mode_ = Mode::kOff;
+  uint64_t k_ = 0;
+  size_t param_a_ = 0;  ///< keep_bytes / byte_offset
+  size_t param_b_ = 0;  ///< bit index (kBitFlip)
+  bool flip_pending_ = false;  ///< armed read happened; flip on OnReadData
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_UTIL_FAULT_INJECTION_H_

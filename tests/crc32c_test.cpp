@@ -1,0 +1,69 @@
+// CRC32C tests: known-answer vectors, incremental extension, and
+// hardware/software agreement on the platforms that have SSE4.2.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/crc32c.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+TEST(Crc32cTest, KnownVectors) {
+  // RFC 3720 / standard CRC32C test vectors.
+  EXPECT_EQ(Crc32c("", 0), 0x00000000u);
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  const char* abc = "abc";
+  EXPECT_EQ(Crc32c(abc, 3), 0x364B3FB7u);
+  std::vector<uint8_t> zeros(32, 0);
+  EXPECT_EQ(Crc32c(zeros.data(), zeros.size()), 0x8A9136AAu);
+  std::vector<uint8_t> ffs(32, 0xFF);
+  EXPECT_EQ(Crc32c(ffs.data(), ffs.size()), 0x62A8AB43u);
+}
+
+TEST(Crc32cTest, ExtendComposes) {
+  std::string msg = "the quick brown fox jumps over the lazy dog";
+  uint32_t whole = Crc32c(msg.data(), msg.size());
+  // Any split point must produce the same CRC via Extend.
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    uint32_t crc = Crc32cExtend(0, msg.data(), split);
+    crc = Crc32cExtend(crc, msg.data() + split, msg.size() - split);
+    EXPECT_EQ(crc, whole) << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlips) {
+  std::string msg = "payload under test 0123456789";
+  uint32_t good = Crc32c(msg.data(), msg.size());
+  for (size_t byte = 0; byte < msg.size(); ++byte) {
+    for (int bit = 0; bit < 8; ++bit) {
+      std::string bad = msg;
+      bad[byte] ^= static_cast<char>(1 << bit);
+      EXPECT_NE(Crc32c(bad.data(), bad.size()), good)
+          << "flip at byte " << byte << " bit " << bit;
+    }
+  }
+}
+
+TEST(Crc32cTest, HardwareMatchesSoftware) {
+  if (!internal::Crc32cHardwareEnabled()) {
+    GTEST_SKIP() << "no SSE4.2 CRC32 on this machine";
+  }
+  Rng rng(42);
+  // Odd lengths and offsets exercise the head/tail alignment handling.
+  for (size_t len : {0u, 1u, 7u, 8u, 9u, 63u, 64u, 65u, 1000u, 4096u}) {
+    std::vector<uint8_t> buf(len + 3);
+    for (auto& b : buf) b = static_cast<uint8_t>(rng.Next());
+    for (size_t off = 0; off < 3; ++off) {
+      EXPECT_EQ(Crc32cExtend(0x12345678u, buf.data() + off, len),
+                internal::Crc32cSoftware(0x12345678u, buf.data() + off, len))
+          << "len " << len << " offset " << off;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace geocol

@@ -1,0 +1,143 @@
+// FaultInjector unit tests: op counting, crash-at-op, torn writes, short
+// reads, bit flips, and the errno detail carried by injected failures.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/fault_injection.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+// Every test must leave the global injector disarmed, or it poisons the
+// rest of the binary.
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FaultInjector::Global().Disarm(); }
+  TempDir tmp_;
+};
+
+Status WriteThreeChunks(const std::string& path) {
+  BinaryWriter w;
+  GEOCOL_RETURN_NOT_OK(w.OpenAtomic(path));
+  std::vector<uint8_t> chunk(100, 0xAB);
+  for (int i = 0; i < 3; ++i) {
+    Status st = w.WriteBytes(chunk.data(), chunk.size());
+    if (!st.ok()) {
+      w.Abandon();
+      return st;
+    }
+  }
+  Status st = w.Commit();
+  if (!st.ok()) w.Abandon();
+  return st;
+}
+
+TEST_F(FaultInjectionTest, CountsFallibleOps) {
+  auto& fi = FaultInjector::Global();
+  fi.StartCounting();
+  ASSERT_TRUE(WriteThreeChunks(tmp_.File("a.bin")).ok());
+  uint64_t total = fi.StopCounting();
+  // open + 3 writes + flush + fsync + close + rename + dir fsync = 9.
+  EXPECT_EQ(total, 9u);
+}
+
+TEST_F(FaultInjectionTest, CrashSweepNeverPublishes) {
+  auto& fi = FaultInjector::Global();
+  fi.StartCounting();
+  ASSERT_TRUE(WriteThreeChunks(tmp_.File("clean.bin")).ok());
+  uint64_t total = fi.StopCounting();
+
+  for (uint64_t k = 1; k <= total; ++k) {
+    std::string path = tmp_.File("crash" + std::to_string(k) + ".bin");
+    fi.ArmCrashAtOp(k);
+    Status st = WriteThreeChunks(path);
+    fi.Disarm();
+    if (k < total) {
+      // Any op before the final dir fsync fails => never published.
+      EXPECT_FALSE(st.ok()) << "op " << k;
+      EXPECT_FALSE(PathExists(path)) << "op " << k;
+    } else {
+      // Crash in the parent-dir fsync: the rename already happened. The
+      // caller sees an error but the file is complete — "new", not torn.
+      EXPECT_FALSE(st.ok());
+      EXPECT_TRUE(PathExists(path));
+      auto size = FileSizeBytes(path);
+      ASSERT_TRUE(size.ok());
+      EXPECT_EQ(*size, 300u);
+    }
+  }
+}
+
+TEST_F(FaultInjectionTest, CrashFailuresCarryErrno) {
+  auto& fi = FaultInjector::Global();
+  fi.ArmCrashAtOp(2);
+  Status st = WriteThreeChunks(tmp_.File("e.bin"));
+  fi.Disarm();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIOError) << st.ToString();
+  // Injected EIO surfaces with strerror text and the numeric errno.
+  EXPECT_NE(st.message().find("errno 5"), std::string::npos) << st.ToString();
+  EXPECT_NE(st.message().find(".tmp"), std::string::npos) << st.ToString();
+}
+
+TEST_F(FaultInjectionTest, TornWriteLandsPrefix) {
+  auto& fi = FaultInjector::Global();
+  // Op 1 is the open; op 2 is the first 100-byte write. Keep 37 bytes.
+  fi.ArmTornWrite(2, 37);
+  Status st = WriteThreeChunks(tmp_.File("torn.bin"));
+  fi.Disarm();
+  ASSERT_FALSE(st.ok());
+  // The final file never appears (rename was never reached) but the torn
+  // prefix must be visible in the .tmp, like a real mid-write power cut.
+  EXPECT_FALSE(PathExists(tmp_.File("torn.bin")));
+  auto size = FileSizeBytes(tmp_.File("torn.bin.tmp"));
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 37u);
+}
+
+TEST_F(FaultInjectionTest, ShortReadSurfacesAsCorruption) {
+  std::string path = tmp_.File("s.bin");
+  std::vector<uint8_t> data(64, 0x5A);
+  ASSERT_TRUE(WriteFileBytes(path, data.data(), data.size()).ok());
+
+  auto& fi = FaultInjector::Global();
+  fi.ArmShortRead(2, 10);  // op 1 = open, op 2 = the payload read
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(path).ok());
+  std::vector<uint8_t> buf(64);
+  Status st = r.ReadBytes(buf.data(), buf.size());
+  fi.Disarm();
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kCorruption) << st.ToString();
+}
+
+TEST_F(FaultInjectionTest, BitFlipCorruptsExactlyOneBit) {
+  std::string path = tmp_.File("b.bin");
+  std::vector<uint8_t> data(64, 0x00);
+  ASSERT_TRUE(WriteFileBytes(path, data.data(), data.size()).ok());
+
+  auto& fi = FaultInjector::Global();
+  fi.ArmBitFlip(2, 17, 3);
+  BinaryReader r;
+  ASSERT_TRUE(r.Open(path).ok());
+  std::vector<uint8_t> buf(64, 0xEE);
+  ASSERT_TRUE(r.ReadBytes(buf.data(), buf.size()).ok());
+  fi.Disarm();
+  for (size_t i = 0; i < buf.size(); ++i) {
+    EXPECT_EQ(buf[i], i == 17 ? 0x08 : 0x00) << "byte " << i;
+  }
+}
+
+TEST_F(FaultInjectionTest, DisarmedIsTransparent) {
+  auto& fi = FaultInjector::Global();
+  fi.Disarm();
+  EXPECT_EQ(fi.ops_seen(), 0u);
+  ASSERT_TRUE(WriteThreeChunks(tmp_.File("off.bin")).ok());
+  EXPECT_EQ(fi.ops_seen(), 0u);  // hooks must not count when off
+}
+
+}  // namespace
+}  // namespace geocol

@@ -153,6 +153,39 @@ TEST_F(ToolTest, RasterWritesPpm) {
   EXPECT_EQ(magic[1], '6');
 }
 
+TEST_F(ToolTest, VerifyPassesOnCleanTable) {
+  std::string out;
+  ASSERT_EQ(RunTool("verify " + tmp_->File("table"), &out, tmp_), 0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("schema.gct"), std::string::npos);
+  EXPECT_NE(text.find("OK"), std::string::npos);
+  EXPECT_NE(text.find("all checks passed"), std::string::npos);
+  EXPECT_EQ(text.find("CORRUPT"), std::string::npos) << text;
+}
+
+TEST_F(ToolTest, VerifyDetectsCorruptedColumn) {
+  // A private copy of the table, so the damage cannot leak into other
+  // tests' fixtures.
+  std::string dir = tmp_->File("vtable");
+  ASSERT_EQ(RunTool("load " + tmp_->File("tiles") + " " + dir, nullptr, tmp_),
+            0);
+  std::vector<std::string> gcl;
+  ASSERT_TRUE(ListFiles(dir, ".gcl", &gcl).ok());
+  ASSERT_FALSE(gcl.empty());
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(gcl[0], &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileBytes(gcl[0], bytes.data(), bytes.size()).ok());
+
+  std::string out;
+  EXPECT_NE(RunTool("verify " + dir, &out, tmp_), 0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("CORRUPT"), std::string::npos) << text;
+  EXPECT_NE(text.find("corrupt file(s)"), std::string::npos) << text;
+  // The other columns still verify OK in the same report.
+  EXPECT_NE(text.find("OK"), std::string::npos) << text;
+}
+
 TEST_F(ToolTest, ParallelLoadMatchesSequential) {
   ASSERT_EQ(RunTool("load " + tmp_->File("tiles") + " " + tmp_->File("ptable") +
                     " --threads 3",

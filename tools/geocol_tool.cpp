@@ -7,6 +7,7 @@
 //   geocol load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]
 //   geocol query    <table_dir> "<SQL>" [--layers <dir>] [--profile]
 //   geocol raster   <table_dir> <out.ppm> [--cols N]
+//   geocol verify   <table_dir>
 //
 // Tables are persisted GeoColumn table directories; layers are .layer text
 // files (id \t class \t name \t WKT).
@@ -20,6 +21,7 @@
 #include "baselines/file_store.h"
 #include "columns/column_file.h"
 #include "columns/compression.h"
+#include "core/imprints_io.h"
 #include "core/raster.h"
 #include "gis/catalog.h"
 #include "gis/layer_io.h"
@@ -72,7 +74,8 @@ int Usage() {
                "  index    <tiles_dir>\n"
                "  load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]\n"
                "  query    <table_dir> \"<SQL>\" [--layers <dir>] [--profile]\n"
-               "  raster   <table_dir> <out.ppm> [--cols N]\n");
+               "  raster   <table_dir> <out.ppm> [--cols N]\n"
+               "  verify   <table_dir>\n");
   return 2;
 }
 
@@ -217,15 +220,136 @@ int CmdLoad(const Args& args) {
   return 0;
 }
 
-Result<FlatTable> OpenTable(const std::string& dir) {
-  if (PathExists(dir + "/schema.gct")) {
-    // Try compressed columns first, fall back to raw.
-    std::vector<std::string> gcz;
-    Status st = ListFiles(dir, ".gcz", &gcz);
-    if (st.ok() && !gcz.empty()) return ReadCompressedTableDir(dir);
-    return ReadTableDir(dir);
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+/// Whether the table under `dir` holds compressed (.gcz) columns. Modern
+/// manifests record each column's file name; legacy ones fall back to a
+/// directory listing.
+bool IsCompressedTable(const std::string& dir, const TableManifest& m) {
+  if (!m.columns.empty() && !m.columns[0].filename.empty()) {
+    return EndsWith(m.columns[0].filename, ".gcz");
   }
-  return Status::NotFound("no table manifest under " + dir);
+  std::vector<std::string> gcz;
+  Status st = ListFiles(dir, ".gcz", &gcz);
+  return st.ok() && !gcz.empty();
+}
+
+Result<FlatTable> OpenTable(const std::string& dir) {
+  if (!PathExists(dir + "/schema.gct")) {
+    return Status::NotFound("no table manifest under " + dir);
+  }
+  GEOCOL_ASSIGN_OR_RETURN(TableManifest m, ReadTableManifest(dir));
+  return IsCompressedTable(dir, m) ? ReadCompressedTableDir(dir)
+                                   : ReadTableDir(dir);
+}
+
+/// `geocol verify <table_dir>`: checks every persistence invariant the
+/// durability layer maintains — manifest checksum, per-column checksums
+/// and type agreement, imprint sidecar integrity and freshness — and
+/// reports stale leftovers (.tmp, superseded generations, quarantined
+/// sidecars). Exit 1 if anything is corrupt, 0 otherwise.
+int CmdVerify(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& dir = args.positional[0];
+  int corrupt = 0;
+
+  auto manifest = ReadTableManifest(dir);
+  if (!manifest.ok()) {
+    std::printf("%-32s CORRUPT  %s\n", "schema.gct",
+                manifest.status().ToString().c_str());
+    return 1;  // Nothing else is checkable without the manifest.
+  }
+  if (manifest->legacy) {
+    std::printf("%-32s OK       legacy manifest (no checksum), %zu columns\n",
+                "schema.gct", manifest->columns.size());
+  } else {
+    std::printf("%-32s OK       generation %llu, %zu columns\n", "schema.gct",
+                static_cast<unsigned long long>(manifest->generation),
+                manifest->columns.size());
+  }
+
+  const bool compressed = IsCompressedTable(dir, *manifest);
+  // Column name -> loaded column, for sidecar freshness checks below.
+  std::vector<ColumnPtr> columns;
+  std::vector<std::string> referenced;
+  for (const auto& mc : manifest->columns) {
+    std::string fname = mc.filename;
+    if (fname.empty()) fname = mc.name + (compressed ? ".gcz" : ".gcl");
+    referenced.push_back(fname);
+    const std::string path = dir + "/" + fname;
+    auto col = EndsWith(fname, ".gcz")
+                   ? ReadCompressedColumnFile(path, mc.name)
+                   : ReadColumnFile(path, mc.name);
+    if (!col.ok()) {
+      ++corrupt;
+      std::printf("%-32s CORRUPT  %s\n", fname.c_str(),
+                  col.status().ToString().c_str());
+      continue;
+    }
+    if ((*col)->type() != mc.type) {
+      ++corrupt;
+      std::printf("%-32s CORRUPT  type does not match the manifest\n",
+                  fname.c_str());
+      continue;
+    }
+    auto size = FileSizeBytes(path);
+    std::printf("%-32s OK       %llu rows, %llu bytes\n", fname.c_str(),
+                static_cast<unsigned long long>((*col)->size()),
+                static_cast<unsigned long long>(size.ok() ? *size : 0));
+    columns.push_back(std::move(*col));
+  }
+
+  std::vector<std::string> sidecars;
+  (void)ListFiles(dir, ".gim", &sidecars);
+  for (const auto& path : sidecars) {
+    std::string fname = path.substr(dir.size() + 1);
+    referenced.push_back(fname);
+    auto index = ReadImprintsFile(path);
+    if (!index.ok()) {
+      ++corrupt;
+      std::printf("%-32s CORRUPT  %s\n", fname.c_str(),
+                  index.status().ToString().c_str());
+      continue;
+    }
+    // Freshness: match the sidecar to its column by name.
+    std::string col_name = fname.substr(0, fname.size() - 4);
+    const char* freshness = "no matching column";
+    for (const auto& col : columns) {
+      if (col->name() != col_name) continue;
+      freshness = index->built_epoch() == col->epoch() &&
+                          index->num_rows() == col->size()
+                      ? "fresh"
+                      : "STALE (will be rebuilt on use)";
+      break;
+    }
+    std::printf("%-32s OK       %llu rows, %s\n", fname.c_str(),
+                static_cast<unsigned long long>(index->num_rows()), freshness);
+  }
+
+  // Leftovers a crash or a superseded generation can leave behind. They
+  // are unreferenced, so they are reported but are not corruption.
+  for (const char* suffix : {".tmp", ".gcl", ".gcz", ".quarantined"}) {
+    std::vector<std::string> files;
+    (void)ListFiles(dir, suffix, &files);
+    for (const auto& path : files) {
+      std::string fname = path.substr(dir.size() + 1);
+      if (std::find(referenced.begin(), referenced.end(), fname) !=
+          referenced.end()) {
+        continue;
+      }
+      std::printf("%-32s STALE    unreferenced leftover\n", fname.c_str());
+    }
+  }
+
+  if (corrupt > 0) {
+    std::printf("%d corrupt file(s) under %s\n", corrupt, dir.c_str());
+    return 1;
+  }
+  std::printf("all checks passed under %s\n", dir.c_str());
+  return 0;
 }
 
 int CmdQuery(const Args& args) {
@@ -335,5 +459,6 @@ int main(int argc, char** argv) {
   if (cmd == "load") return CmdLoad(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "raster") return CmdRaster(args);
+  if (cmd == "verify") return CmdVerify(args);
   return Usage();
 }
