@@ -12,7 +12,10 @@ namespace geocol {
 
 namespace {
 
-constexpr char kMagic[4] = {'G', 'C', 'C', '1'};
+// GCC1 files predate the durability layer and carry no checksum; GCC2
+// files end in a whole-file CRC32C footer. Both decode identically.
+constexpr char kMagicV1[4] = {'G', 'C', 'C', '1'};
+constexpr char kMagicV2[4] = {'G', 'C', 'C', '2'};
 
 // Integer view of a column value (floats go through their bit patterns so
 // every codec round-trips exactly).
@@ -251,7 +254,7 @@ Result<std::vector<uint8_t>> CompressColumn(const Column& column,
                                             ColumnCodec codec,
                                             CompressionStats* stats) {
   std::vector<uint8_t> out;
-  out.insert(out.end(), kMagic, kMagic + 4);
+  out.insert(out.end(), kMagicV2, kMagicV2 + 4);
   out.push_back(static_cast<uint8_t>(column.type()));
   size_t codec_at = out.size();
   out.push_back(0);  // patched below
@@ -304,7 +307,8 @@ Result<std::vector<uint8_t>> CompressColumn(const Column& column,
 Result<ColumnPtr> DecompressColumn(const std::vector<uint8_t>& data,
                                    const std::string& name) {
   if (data.size() < 4 + 1 + 1 + 8 ||
-      std::memcmp(data.data(), kMagic, 4) != 0) {
+      (std::memcmp(data.data(), kMagicV2, 4) != 0 &&
+       std::memcmp(data.data(), kMagicV1, 4) != 0)) {
     return Status::Corruption("bad compressed column header");
   }
   size_t pos = 4;
@@ -358,6 +362,7 @@ Status WriteCompressedColumnFile(const Column& column, const std::string& path,
   uint32_t crc = Crc32c(data.data(), data.size());
   const uint8_t* p = reinterpret_cast<const uint8_t*>(&crc);
   data.insert(data.end(), p, p + sizeof(crc));
+  if (stats != nullptr) stats->compressed_bytes = data.size();
   return WriteFileAtomic(path, data.data(), data.size());
 }
 
@@ -368,12 +373,21 @@ Result<ColumnPtr> ReadCompressedColumnFile(const std::string& path,
   if (data.size() < 4) {
     return Status::Corruption("compressed column file too small: " + path);
   }
-  uint32_t stored = 0;
-  std::memcpy(&stored, data.data() + data.size() - 4, 4);
-  data.resize(data.size() - 4);
-  uint32_t computed = Crc32c(data.data(), data.size());
-  if (stored != computed) {
-    return Status::Corruption("compressed column crc mismatch: " + path);
+  // Legacy GCC1 files were written without a footer and decode as-is.
+  if (std::memcmp(data.data(), kMagicV1, 4) != 0) {
+    if (std::memcmp(data.data(), kMagicV2, 4) != 0) {
+      return Status::Corruption("bad compressed column magic: " + path);
+    }
+    if (data.size() < 8) {
+      return Status::Corruption("compressed column file too small: " + path);
+    }
+    uint32_t stored = 0;
+    std::memcpy(&stored, data.data() + data.size() - 4, 4);
+    data.resize(data.size() - 4);
+    uint32_t computed = Crc32c(data.data(), data.size());
+    if (stored != computed) {
+      return Status::Corruption("compressed column crc mismatch: " + path);
+    }
   }
   return DecompressColumn(data, name);
 }

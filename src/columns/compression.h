@@ -45,7 +45,7 @@ struct CompressionStats {
 };
 
 /// Encodes a column into a self-describing buffer:
-/// magic "GCC1" | type u8 | codec u8 | count u64 | payload.
+/// magic "GCC2" | type u8 | codec u8 | count u64 | payload.
 Result<std::vector<uint8_t>> CompressColumn(
     const Column& column, ColumnCodec codec = ColumnCodec::kAuto,
     CompressionStats* stats = nullptr);
@@ -54,7 +54,10 @@ Result<std::vector<uint8_t>> CompressColumn(
 Result<ColumnPtr> DecompressColumn(const std::vector<uint8_t>& data,
                                    const std::string& name);
 
-/// Writes/reads one compressed column file.
+/// Writes/reads one compressed column file: a CompressColumn buffer plus a
+/// whole-file CRC32C footer, written atomically. The reader verifies the
+/// footer before decoding; legacy footer-less "GCC1" files still load.
+/// `stats->compressed_bytes` reports the full on-disk size.
 Status WriteCompressedColumnFile(const Column& column, const std::string& path,
                                  ColumnCodec codec = ColumnCodec::kAuto,
                                  CompressionStats* stats = nullptr);

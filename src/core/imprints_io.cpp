@@ -49,9 +49,17 @@ Result<ImprintsIndex> ParseImprintsBody(BufferReader* r,
 
 }  // namespace
 
-Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path) {
+uint32_t ColumnFingerprint(const Column& column) {
+  uint8_t type_byte = static_cast<uint8_t>(column.type());
+  uint32_t crc = Crc32c(&type_byte, 1);
+  return Crc32cExtend(crc, column.raw_data(), column.raw_size_bytes());
+}
+
+Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path,
+                         uint32_t column_fingerprint) {
   BufferWriter w;
   w.WriteBytes(kImprintsMagic, 4);
+  w.WriteScalar<uint32_t>(column_fingerprint);
   w.WriteScalar<uint64_t>(index.built_epoch());
   w.WriteScalar<uint64_t>(index.num_rows());
   w.WriteScalar<uint32_t>(index.values_per_line());
@@ -75,7 +83,8 @@ Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path) {
   return WriteFileAtomic(path, buf.data(), buf.size());
 }
 
-Result<ImprintsIndex> ReadImprintsFile(const std::string& path) {
+Result<ImprintsIndex> ReadImprintsFile(const std::string& path,
+                                       ImprintsFileMeta* meta) {
   std::vector<uint8_t> data;
   GEOCOL_RETURN_NOT_OK(ReadFileBytes(path, &data));
   if (data.size() < 4) {
@@ -98,6 +107,14 @@ Result<ImprintsIndex> ReadImprintsFile(const std::string& path) {
     }
   }
   BufferReader r(data.data() + 4, data.size() - 4);
+  if (!legacy) {
+    uint32_t fingerprint = 0;
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&fingerprint));
+    if (meta != nullptr) {
+      meta->has_fingerprint = true;
+      meta->column_fingerprint = fingerprint;
+    }
+  }
   return ParseImprintsBody(&r, path);
 }
 
@@ -105,10 +122,18 @@ Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
                                           const std::string& path,
                                           const ImprintsOptions& options,
                                           ThreadPool* pool) {
+  // One CRC pass over the column payload per sidecar adoption (cached by
+  // ImprintManager afterwards) — without it, a sidecar keyed only by
+  // column name could be adopted by a same-named, same-sized column of a
+  // different table and silently mis-prune scans.
+  const uint32_t fingerprint = ColumnFingerprint(column);
   bool overwrite_stale = false;
   if (PathExists(path)) {
-    Result<ImprintsIndex> loaded = ReadImprintsFile(path);
-    if (loaded.ok() && loaded->built_epoch() == column.epoch() &&
+    ImprintsFileMeta meta;
+    Result<ImprintsIndex> loaded = ReadImprintsFile(path, &meta);
+    if (loaded.ok() && meta.has_fingerprint &&
+        meta.column_fingerprint == fingerprint &&
+        loaded->built_epoch() == column.epoch() &&
         loaded->num_rows() == column.size()) {
       return loaded;
     }
@@ -127,15 +152,19 @@ Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
     } else {
       overwrite_stale = true;
       GEOCOL_LOG(Info) << "imprints sidecar " << path
-                       << " is stale (epoch " << loaded->built_epoch()
-                       << " vs " << column.epoch() << ", rows "
-                       << loaded->num_rows() << " vs " << column.size()
-                       << "); rebuilding";
+                       << " is stale (fingerprint "
+                       << (meta.has_fingerprint
+                               ? std::to_string(meta.column_fingerprint)
+                               : std::string("none"))
+                       << " vs " << fingerprint << ", epoch "
+                       << loaded->built_epoch() << " vs " << column.epoch()
+                       << ", rows " << loaded->num_rows() << " vs "
+                       << column.size() << "); rebuilding";
     }
   }
   GEOCOL_ASSIGN_OR_RETURN(ImprintsIndex built,
                           ImprintsIndex::Build(column, options, pool));
-  Status persisted = WriteImprintsFile(built, path);
+  Status persisted = WriteImprintsFile(built, path, fingerprint);
   if (!persisted.ok()) {
     // The sidecar is cache; the freshly built index is still good.
     GEOCOL_LOG(Warning) << "could not persist imprints sidecar " << path

@@ -22,6 +22,24 @@ Status ErrnoError(const std::string& what, const std::string& path, int err) {
 /// Runs the injector failpoint for `op`; returns the errno to fail with.
 int Failpoint(FileOp op) { return FaultInjector::Global().OnOp(op); }
 
+// 64-bit-clean seek/tell: `long` is 32 bits on some platforms (Windows),
+// and the column format allows files far beyond 2 GiB.
+int Seek64(std::FILE* f, int64_t offset, int whence) {
+#if defined(_WIN32)
+  return ::_fseeki64(f, offset, whence);
+#else
+  return ::fseeko(f, static_cast<off_t>(offset), whence);
+#endif
+}
+
+int64_t Tell64(std::FILE* f) {
+#if defined(_WIN32)
+  return ::_ftelli64(f);
+#else
+  return static_cast<int64_t>(::ftello(f));
+#endif
+}
+
 /// fsync of the directory containing `path`, making a rename durable.
 Status SyncParentDir(const std::string& path) {
   size_t slash = path.find_last_of('/');
@@ -171,13 +189,13 @@ Status BinaryReader::Open(const std::string& path) {
 #endif
   pos_ = 0;
   // Cache the size so counts can be bounds-checked against Remaining().
-  if (std::fseek(file_, 0, SEEK_END) != 0) {
+  if (Seek64(file_, 0, SEEK_END) != 0) {
     Status st = ErrnoError("cannot seek in", path, errno);
     std::fclose(file_);
     file_ = nullptr;
     return st;
   }
-  long end = std::ftell(file_);
+  int64_t end = Tell64(file_);
   std::rewind(file_);
   size_ = end < 0 ? 0 : static_cast<uint64_t>(end);
   return Status::OK();
@@ -222,7 +240,7 @@ Status BinaryReader::ReadString(std::string* s, uint32_t max_len) {
 
 Status BinaryReader::Seek(uint64_t offset) {
   if (file_ == nullptr) return Status::Internal("reader not open");
-  if (std::fseek(file_, static_cast<long>(offset), SEEK_SET) != 0) {
+  if (Seek64(file_, static_cast<int64_t>(offset), SEEK_SET) != 0) {
     return ErrnoError("cannot seek in", "file", errno);
   }
   pos_ = offset;

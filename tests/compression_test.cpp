@@ -34,6 +34,21 @@ void RoundTrip(const Column& col, ColumnCodec codec,
   ExpectColumnsEqual(col, **back);
 }
 
+TEST(CompressionTest, FileStatsReportOnDiskSize) {
+  TempDir tmp;
+  std::vector<int32_t> vals(1000);
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<int32_t>(i);
+  auto col = Column::FromVector("c", vals);
+  std::string path = tmp.File("c.gcz");
+  CompressionStats stats;
+  ASSERT_TRUE(
+      WriteCompressedColumnFile(*col, path, ColumnCodec::kAuto, &stats).ok());
+  // compressed_bytes must count the whole file, CRC footer included.
+  auto size = FileSizeBytes(path);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(stats.compressed_bytes, *size);
+}
+
 TEST(CompressionTest, RawRoundTripAllTypes) {
   Rng rng(201);
   for (int t = 0; t < kNumDataTypes; ++t) {

@@ -337,12 +337,12 @@ TEST_F(DurabilityTest, HugeCountWithValidCrcIsRejected) {
 
   std::vector<uint8_t> bytes;
   ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
-  // Overwrite the dictionary count (after magic, epoch, rows, vpl, nbins,
-  // and the nbins bounds) with an absurd value, then re-seal the CRC so
-  // only the bounded-count check can reject it.
+  // Overwrite the dictionary count (after magic, fingerprint, epoch, rows,
+  // vpl, nbins, and the nbins bounds) with an absurd value, then re-seal
+  // the CRC so only the bounded-count check can reject it.
   uint32_t nbins = 0;
-  std::memcpy(&nbins, bytes.data() + 4 + 8 + 8 + 4, 4);
-  size_t dict_at = 4 + 8 + 8 + 4 + 4 + size_t{nbins} * 8;
+  std::memcpy(&nbins, bytes.data() + 4 + 4 + 8 + 8 + 4, 4);
+  size_t dict_at = 4 + 4 + 8 + 8 + 4 + 4 + size_t{nbins} * 8;
   ASSERT_LT(dict_at + 8, bytes.size());
   uint64_t huge = uint64_t{1} << 60;
   std::memcpy(bytes.data() + dict_at, &huge, 8);
@@ -471,6 +471,55 @@ TEST_F(DurabilityTest, LegacyLayerFileWithoutFooterStillLoads) {
   ASSERT_TRUE(got.ok()) << got.status().ToString();
   ASSERT_EQ((*got)->features().size(), 1u);
   EXPECT_EQ((*got)->features()[0].name, "main st");
+}
+
+TEST_F(DurabilityTest, LegacyCompressedColumnFileWithoutFooterStillLoads) {
+  std::vector<int32_t> vals(500);
+  for (size_t i = 0; i < vals.size(); ++i) vals[i] = static_cast<int32_t>(i);
+  ColumnPtr col = Column::FromVector("c", vals);
+  // A pre-durability .gcz: a bare CompressColumn buffer under the GCC1
+  // magic, with no CRC footer.
+  auto buf = CompressColumn(*col);
+  ASSERT_TRUE(buf.ok());
+  (*buf)[3] = '1';
+  std::string path = tmp_.File("old.gcz");
+  ASSERT_TRUE(WriteFileBytes(path, buf->data(), buf->size()).ok());
+  auto got = ReadCompressedColumnFile(path, "c");
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  ASSERT_EQ((*got)->size(), col->size());
+  EXPECT_EQ(std::memcmp((*got)->raw_data(), col->raw_data(),
+                        col->raw_size_bytes()),
+            0);
+}
+
+TEST_F(DurabilityTest, LegacyImprintsFileWithoutFooterStillLoads) {
+  ColumnPtr col = Column::FromVector(
+      "c", std::vector<double>{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5});
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+  std::string path = tmp_.File("c.gim");
+  ASSERT_TRUE(WriteImprintsFile(*ix, path, ColumnFingerprint(*col)).ok());
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(path, &bytes).ok());
+  // A GIM1 file is the GIM2 body minus the fingerprint field and footer.
+  std::vector<uint8_t> legacy = {'G', 'I', 'M', '1'};
+  legacy.insert(legacy.end(), bytes.begin() + 8, bytes.end() - 4);
+  ASSERT_TRUE(WriteFileBytes(path, legacy.data(), legacy.size()).ok());
+
+  ImprintsFileMeta meta;
+  auto got = ReadImprintsFile(path, &meta);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  EXPECT_FALSE(meta.has_fingerprint);
+  EXPECT_EQ(got->num_rows(), col->size());
+
+  // LoadOrBuild treats the missing fingerprint as stale and upgrades the
+  // sidecar to a fingerprinted GIM2 in place.
+  auto rebuilt = LoadOrBuildImprints(*col, path);
+  ASSERT_TRUE(rebuilt.ok()) << rebuilt.status().ToString();
+  ImprintsFileMeta upgraded;
+  ASSERT_TRUE(ReadImprintsFile(path, &upgraded).ok());
+  EXPECT_TRUE(upgraded.has_fingerprint);
+  EXPECT_EQ(upgraded.column_fingerprint, ColumnFingerprint(*col));
 }
 
 }  // namespace

@@ -95,8 +95,9 @@ TEST(ImprintsIoTest, CorruptFilesRejected) {
   {
     // Flip a dictionary count so coverage breaks.
     auto bad = bytes;
-    // Dictionary starts after: 4 magic + 8 + 8 + 4 + 4 + bins*8 + 8.
-    size_t dict_at = 4 + 8 + 8 + 4 + 4 + ix->num_bins() * 8 + 8;
+    // Dictionary starts after: 4 magic + 4 fingerprint + 8 + 8 + 4 + 4 +
+    // bins*8 + 8.
+    size_t dict_at = 4 + 4 + 8 + 8 + 4 + 4 + ix->num_bins() * 8 + 8;
     ASSERT_LT(dict_at + 4, bad.size());
     bad[dict_at] ^= 0x3F;
     ASSERT_TRUE(WriteFileBytes(path, bad.data(), bad.size()).ok());
@@ -143,6 +144,33 @@ TEST(ImprintsIoTest, LoadOrBuildCachesAndRebuilds) {
   ASSERT_TRUE(third.ok());
   EXPECT_EQ(third->built_epoch(), col->epoch());
   EXPECT_EQ(third->num_rows(), col->size());
+}
+
+TEST(ImprintsIoTest, SidecarForDifferentColumnContentIsNotAdopted) {
+  TempDir tmp;
+  std::string path = tmp.File("c.gim");
+  // Two same-named, same-sized, same-epoch columns with different values —
+  // exactly what two tables sharing one imprints dir can produce. Name,
+  // epoch and row count all collide; only the payload fingerprint can
+  // tell the sidecars apart.
+  ColumnPtr a = MakeColumn(20000, 311);
+  ColumnPtr b = MakeColumn(20000, 312);
+  ASSERT_EQ(a->epoch(), b->epoch());
+  ASSERT_EQ(a->size(), b->size());
+  ASSERT_TRUE(LoadOrBuildImprints(*a, path).ok());
+
+  auto got = LoadOrBuildImprints(*b, path);
+  ASSERT_TRUE(got.ok()) << got.status().ToString();
+  // b must get an index built from its own data, identical to a fresh
+  // build, not a's sidecar.
+  auto fresh = ImprintsIndex::Build(*b);
+  ASSERT_TRUE(fresh.ok());
+  ExpectIndexesEqual(*fresh, *got);
+  // And the sidecar was rewritten under b's fingerprint.
+  ImprintsFileMeta meta;
+  ASSERT_TRUE(ReadImprintsFile(path, &meta).ok());
+  EXPECT_TRUE(meta.has_fingerprint);
+  EXPECT_EQ(meta.column_fingerprint, ColumnFingerprint(*b));
 }
 
 TEST(ImprintsIoTest, LoadOrBuildSurvivesGarbageSidecar) {

@@ -307,19 +307,23 @@ int CmdVerify(const Args& args) {
   for (const auto& path : sidecars) {
     std::string fname = path.substr(dir.size() + 1);
     referenced.push_back(fname);
-    auto index = ReadImprintsFile(path);
+    ImprintsFileMeta meta;
+    auto index = ReadImprintsFile(path, &meta);
     if (!index.ok()) {
       ++corrupt;
       std::printf("%-32s CORRUPT  %s\n", fname.c_str(),
                   index.status().ToString().c_str());
       continue;
     }
-    // Freshness: match the sidecar to its column by name.
+    // Freshness: match the sidecar to its column by name, then require
+    // the payload fingerprint, epoch and row count to all agree.
     std::string col_name = fname.substr(0, fname.size() - 4);
     const char* freshness = "no matching column";
     for (const auto& col : columns) {
       if (col->name() != col_name) continue;
-      freshness = index->built_epoch() == col->epoch() &&
+      freshness = meta.has_fingerprint &&
+                          meta.column_fingerprint == ColumnFingerprint(*col) &&
+                          index->built_epoch() == col->epoch() &&
                           index->num_rows() == col->size()
                       ? "fresh"
                       : "STALE (will be rebuilt on use)";
