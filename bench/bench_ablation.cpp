@@ -13,7 +13,8 @@
 using namespace geocol;
 using namespace geocol::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
   const uint64_t n = BenchPoints(1000000);
   Banner("E8: design-choice ablation",
          "engine feature toggles + SFC alternative + column codecs");

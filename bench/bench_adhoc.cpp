@@ -18,7 +18,8 @@
 using namespace geocol;
 using namespace geocol::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
   const uint64_t n = BenchPoints(1000000);
   Banner("E6: ad-hoc multi-dataset SQL queries (paper section 4.2)",
          "scenario-2 queries over point cloud + OSM-like + Urban-Atlas-like");

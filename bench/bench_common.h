@@ -11,9 +11,11 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <functional>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "columns/flat_table.h"
@@ -79,6 +81,126 @@ inline double TimeMs(const std::function<void()>& fn, int reps = 0) {
   return best;
 }
 
+/// Machine-readable mirror of the bench output. When a bench binary is run
+/// with `--json <path>`, every TablePrinter row is also recorded as a
+/// `{bench, config, metrics}` object and the collected rows are written to
+/// `path` as one JSON array at exit. tools/bench_report.py merges these
+/// files into the BENCH_E*.json artifacts at the repo root.
+class JsonSink {
+ public:
+  static JsonSink& Get() {
+    static JsonSink sink;
+    return sink;
+  }
+
+  void Open(std::string path) { path_ = std::move(path); }
+  bool enabled() const { return !path_.empty(); }
+
+  /// Banner() routes through this: rows that follow belong to experiment
+  /// `id` (e.g. "E11") with human description `description`.
+  void SetBench(std::string id, std::string description) {
+    bench_ = std::move(id);
+    description_ = std::move(description);
+  }
+
+  void AddRow(const std::vector<std::string>& headers,
+              const std::vector<std::string>& cells) {
+    if (!enabled()) return;
+    Row row;
+    row.bench = bench_;
+    row.description = description_;
+    const size_t n = std::min(headers.size(), cells.size());
+    for (size_t i = 0; i < n; ++i) row.metrics.emplace_back(headers[i], cells[i]);
+    rows_.push_back(std::move(row));
+  }
+
+  void Flush() {
+    if (!enabled() || flushed_) return;
+    flushed_ = true;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "[\n");
+    for (size_t r = 0; r < rows_.size(); ++r) {
+      const Row& row = rows_[r];
+      std::fprintf(f, "  {\"bench\": %s, \"config\": {\"description\": %s",
+                   Quote(row.bench).c_str(), Quote(row.description).c_str());
+      EmitEnv(f, "GEOCOL_BENCH_POINTS");
+      EmitEnv(f, "GEOCOL_BENCH_REPS");
+      EmitEnv(f, "GEOCOL_THREADS");
+      EmitEnv(f, "GEOCOL_SIMD");
+      std::fprintf(f, "}, \"metrics\": {");
+      for (size_t i = 0; i < row.metrics.size(); ++i) {
+        std::fprintf(f, "%s%s: %s", i == 0 ? "" : ", ",
+                     Quote(row.metrics[i].first).c_str(),
+                     NumberOrQuote(row.metrics[i].second).c_str());
+      }
+      std::fprintf(f, "}}%s\n", r + 1 == rows_.size() ? "" : ",");
+    }
+    std::fprintf(f, "]\n");
+    std::fclose(f);
+  }
+
+  ~JsonSink() { Flush(); }
+
+ private:
+  struct Row {
+    std::string bench;
+    std::string description;
+    std::vector<std::pair<std::string, std::string>> metrics;
+  };
+
+  static std::string Quote(const std::string& s) {
+    std::string out = "\"";
+    for (char c : s) {
+      if (c == '"' || c == '\\') {
+        out += '\\';
+        out += c;
+      } else if (c == '\n') {
+        out += "\\n";
+      } else {
+        out += c;
+      }
+    }
+    out += '"';
+    return out;
+  }
+
+  // Cells that parse fully as finite numbers are emitted bare; everything
+  // else ("85.3%", "1.20 MB") stays a JSON string.
+  static std::string NumberOrQuote(const std::string& s) {
+    if (!s.empty()) {
+      char* end = nullptr;
+      double v = std::strtod(s.c_str(), &end);
+      if (end == s.c_str() + s.size() && std::isfinite(v)) return s;
+    }
+    return Quote(s);
+  }
+
+  static void EmitEnv(std::FILE* f, const char* name) {
+    const char* v = std::getenv(name);
+    if (v != nullptr) std::fprintf(f, ", %s: %s", Quote(name).c_str(), Quote(v).c_str());
+  }
+
+  std::string path_;
+  std::string bench_ = "unknown";
+  std::string description_;
+  std::vector<Row> rows_;
+  bool flushed_ = false;
+};
+
+/// Parses harness-level flags (currently `--json <path>`); every bench
+/// binary calls this first thing in main().
+inline void InitBench(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--json") == 0) {
+      JsonSink::Get().Open(argv[i + 1]);
+    }
+  }
+}
+
 /// Minimal aligned-column table printer for the harness reports.
 class TablePrinter {
  public:
@@ -91,7 +213,10 @@ class TablePrinter {
     }
   }
 
-  void Row(const std::vector<std::string>& cells) { PrintRowImpl(cells); }
+  void Row(const std::vector<std::string>& cells) {
+    PrintRowImpl(cells);
+    JsonSink::Get().AddRow(headers_, cells);
+  }
 
   static std::string Num(double v, int precision = 2) {
     char buf[64];
@@ -131,6 +256,11 @@ inline void Banner(const char* experiment, const char* description) {
   std::printf("\n=================================================================\n");
   std::printf("%s\n%s\n", experiment, description);
   std::printf("=================================================================\n");
+  // "E11: SIMD kernels" -> bench id "E11" for the JSON rows.
+  std::string id(experiment);
+  size_t cut = id.find_first_of(": ");
+  if (cut != std::string::npos) id = id.substr(0, cut);
+  JsonSink::Get().SetBench(id, description);
 }
 
 }  // namespace bench

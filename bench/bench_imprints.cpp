@@ -3,6 +3,9 @@
 // ablation, and filter throughput vs selectivity.
 #include <benchmark/benchmark.h>
 
+#include <string>
+#include <vector>
+
 #include "core/imprint_scan.h"
 #include "pointcloud/generator.h"
 #include "util/rng.h"
@@ -128,4 +131,27 @@ BENCHMARK(BM_ImprintFilterOnAhnCoordinates);
 }  // namespace
 }  // namespace geocol
 
-BENCHMARK_MAIN();
+// Like BENCHMARK_MAIN(), but translates the harness-wide `--json <path>`
+// flag into google-benchmark's JSON reporter so this binary emits the same
+// artifact style as the TablePrinter-based benches.
+int main(int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::vector<std::string> extra;
+  for (size_t i = 1; i + 1 < args.size(); ++i) {
+    if (std::string(args[i]) == "--json") {
+      extra.push_back(std::string("--benchmark_out=") + args[i + 1]);
+      extra.push_back("--benchmark_out_format=json");
+      args.erase(args.begin() + i, args.begin() + i + 2);
+      break;
+    }
+  }
+  for (std::string& s : extra) args.push_back(s.data());
+  int filtered_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&filtered_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(filtered_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -22,7 +22,8 @@
 using namespace geocol;
 using namespace geocol::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
   const uint64_t n = BenchPoints(400000);
   Banner("E1: bulk loading throughput (paper section 3.2)",
          "flat+COPY BINARY vs flat+CSV vs block store vs file-store prep");

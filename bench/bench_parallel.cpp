@@ -13,7 +13,8 @@
 using namespace geocol;
 using namespace geocol::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
   const uint64_t n = BenchPoints(10000000);
   Banner("E9: thread scaling of the filter/refine pipeline",
          "same query at 1/2/4/8 threads, min of reps; speedup vs 1 thread");

@@ -15,7 +15,8 @@
 using namespace geocol;
 using namespace geocol::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
   const uint64_t n = BenchPoints(500000);
   Banner("E4: grid refinement vs exhaustive point checks (paper section 3.3)",
          "polygon complexity sweep; candidates = all survey points");

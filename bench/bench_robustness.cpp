@@ -74,7 +74,8 @@ FilterQuality MeasureZoneMap(const Column& col, double lo, double hi) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
   const uint64_t n = BenchPoints(2000000);
   Banner("E5: filter robustness vs data clustering (paper section 2.1.1)",
          "imprints vs zone maps on sorted / acquisition / shuffled x column");

@@ -23,7 +23,8 @@
 using namespace geocol;
 using namespace geocol::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
   const uint64_t n = BenchPoints(1000000);
   Banner("E3: spatial selection latency across systems (paper section 4.1)",
          "7 region sizes (S1 smallest .. S7 = full extent), min of reps");

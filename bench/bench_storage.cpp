@@ -28,7 +28,8 @@
 using namespace geocol;
 using namespace geocol::bench;
 
-int main() {
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
   const uint64_t n = BenchPoints(1000000);
   Banner("E2: storage footprint (paper section 3.2, [18] table)",
          "flat columns + imprints vs block store vs LAZ archive");

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "simd/kernels.h"
+
 namespace geocol {
 
 const char* DataTypeName(DataType t) {
@@ -26,6 +28,13 @@ double Column::GetDouble(size_t row) const {
     T v;
     std::memcpy(&v, data_.data() + row * sizeof(T), sizeof(T));
     return static_cast<double>(v);
+  });
+}
+
+void Column::GetDoubleBatch(const uint64_t* rows, size_t n,
+                            double* out) const {
+  DispatchDataType(type_, [&]<typename T>() {
+    simd::GatherDouble(reinterpret_cast<const T*>(data_.data()), rows, n, out);
   });
 }
 

@@ -85,6 +85,11 @@ class Column {
   /// Value converted to double (lossless for all types up to 2^53).
   double GetDouble(size_t row) const;
 
+  /// Batched GetDouble: out[i] = GetDouble(rows[i]). Resolves the type
+  /// switch once for the whole batch and runs the SIMD gather kernel, so
+  /// refinement can pull candidate coordinates without a per-row dispatch.
+  void GetDoubleBatch(const uint64_t* rows, size_t n, double* out) const;
+
   /// Value converted to int64 (floats are truncated).
   int64_t GetInt64(size_t row) const;
 

@@ -7,6 +7,7 @@
 
 #include "core/imprints_io.h"
 #include "core/native_range.h"
+#include "simd/kernels.h"
 #include "util/thread_pool.h"
 
 namespace geocol {
@@ -67,13 +68,19 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
         st.rows_selected += last_row - first_row;
         return;
       }
-      for (uint64_t r = first_row; r < last_row; ++r) {
-        ++st.values_checked;
-        T v = values[r];
-        if (v >= nr.lo && v <= nr.hi) {
-          out_rows->Set(r);
-          ++st.rows_selected;
-        }
+      // Boundary run: the SIMD range kernel turns each chunk of values into
+      // selection words on the stack, which land in the BitVector with two
+      // ORs per word. Workers stay write-disjoint because morsels cover
+      // whole 64-bit words and the chunk never crosses last_row.
+      constexpr uint64_t kChunkValues = 4096;
+      uint64_t scratch[kChunkValues / 64];
+      for (uint64_t r = first_row; r < last_row; r += kChunkValues) {
+        const uint64_t cn = std::min(kChunkValues, last_row - r);
+        const uint64_t sel =
+            simd::RangeSelectBits(values.data() + r, cn, nr.lo, nr.hi, scratch);
+        out_rows->OrWordsAt(r, scratch, cn);
+        st.values_checked += cn;
+        st.rows_selected += sel;
       }
     };
 
@@ -146,10 +153,10 @@ void FullScanRangeSelect(const Column& column, double lo, double hi,
     std::span<const T> values = column.Values<T>();
     NativeRange<T> nr = ClampRangeToType<T>(lo, hi);
     if (nr.empty) return;
-    for (size_t r = 0; r < values.size(); ++r) {
-      T v = values[r];
-      if (v >= nr.lo && v <= nr.hi) out_rows->Set(r);
-    }
+    // The whole column is one run: the kernel writes ceil(n/64) selection
+    // words straight into the BitVector's word array (tail bits zero).
+    simd::RangeSelectBits(values.data(), values.size(), nr.lo, nr.hi,
+                          out_rows->mutable_words());
   });
 }
 

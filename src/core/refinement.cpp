@@ -15,10 +15,17 @@ namespace {
 constexpr size_t kMinParallelRefineRows = 1 << 17;
 // Rows per refinement morsel; multiple of 64 so ranges cover whole words.
 constexpr size_t kRefineMorselRows = 1 << 16;
+// Candidate rows per SIMD batch: gather + cell assignment + exact tests run
+// over blocks this size, keeping the scratch buffers cache-resident.
+constexpr size_t kRefineBlockRows = 1024;
 
-inline bool ExactTest(const Geometry& g, double buffer, const Point& p) {
-  return buffer > 0.0 ? GeometryDWithin(g, p, buffer)
-                      : GeometryContainsPoint(g, p);
+inline void ExactTestBatch(const Geometry& g, double buffer, const double* xs,
+                           const double* ys, size_t n, uint8_t* out) {
+  if (buffer > 0.0) {
+    GeometryDWithinBatch(g, buffer, xs, ys, n, out);
+  } else {
+    GeometryContainsPointBatch(g, xs, ys, n, out);
+  }
 }
 
 Status CheckInputs(const Column& x, const Column& y,
@@ -34,6 +41,82 @@ Status CheckInputs(const Column& x, const Column& y,
 
 constexpr uint8_t kUnclassified = 0xFF;
 
+// Extent of the gathered candidate coordinates, extended in row order so
+// Box::Extend sees exactly the values (and NaN ordering) of the per-row
+// scalar walk it replaces.
+Box GatherExtent(const Column& x, const Column& y, const uint64_t* rows,
+                 size_t count) {
+  Box ext;
+  std::vector<double> xs(kRefineBlockRows), ys(kRefineBlockRows);
+  for (size_t base = 0; base < count; base += kRefineBlockRows) {
+    const size_t bn = std::min(kRefineBlockRows, count - base);
+    x.GetDoubleBatch(rows + base, bn, xs.data());
+    y.GetDoubleBatch(rows + base, bn, ys.data());
+    for (size_t i = 0; i < bn; ++i) ext.Extend(xs[i], ys[i]);
+  }
+  return ext;
+}
+
+enum : uint8_t { kActReject = 0, kActAccept = 1, kActBoundary = 2 };
+
+// The batched classify-and-test loop shared by the serial and parallel grid
+// paths. Per block: gather coordinates, assign cells, classify each row's
+// cell through `classify_cell` (lazy; serial table or atomic CAS table),
+// then run one batched exact test over the boundary-cell rows. Accepted
+// rows are emitted in candidate order — identical to the old per-row walk.
+template <typename ClassifyFn>
+void RefineRowsBatched(const Column& x, const Column& y, const uint64_t* rows,
+                       size_t count, const RegularGrid& grid,
+                       const Geometry& geometry, double buffer,
+                       ClassifyFn&& classify_cell, std::vector<uint64_t>* out,
+                       RefinementStats& st) {
+  std::vector<double> xs(kRefineBlockRows), ys(kRefineBlockRows);
+  std::vector<uint64_t> cells(kRefineBlockRows);
+  std::vector<uint8_t> action(kRefineBlockRows);
+  std::vector<double> bxs(kRefineBlockRows), bys(kRefineBlockRows);
+  std::vector<uint8_t> verdict(kRefineBlockRows);
+  for (size_t base = 0; base < count; base += kRefineBlockRows) {
+    const size_t bn = std::min(kRefineBlockRows, count - base);
+    x.GetDoubleBatch(rows + base, bn, xs.data());
+    y.GetDoubleBatch(rows + base, bn, ys.data());
+    grid.CellOfBatch(xs.data(), ys.data(), bn, cells.data());
+    size_t nb = 0;
+    for (size_t i = 0; i < bn; ++i) {
+      switch (classify_cell(cells[i], st)) {
+        case BoxRelation::kInside:
+          action[i] = kActAccept;
+          break;
+        case BoxRelation::kOutside:
+          action[i] = kActReject;
+          break;
+        case BoxRelation::kBoundary:
+          action[i] = kActBoundary;
+          bxs[nb] = xs[i];
+          bys[nb] = ys[i];
+          ++nb;
+          break;
+      }
+    }
+    if (nb > 0) {
+      ExactTestBatch(geometry, buffer, bxs.data(), bys.data(), nb,
+                     verdict.data());
+    }
+    size_t b = 0;
+    for (size_t i = 0; i < bn; ++i) {
+      if (action[i] == kActAccept) {
+        out->push_back(rows[base + i]);
+        ++st.accepted;
+      } else if (action[i] == kActBoundary) {
+        ++st.exact_tests;
+        if (verdict[b++] != 0) {
+          out->push_back(rows[base + i]);
+          ++st.accepted;
+        }
+      }
+    }
+  }
+}
+
 Status ParallelGridRefine(const Column& x, const Column& y,
                           const BitVector& candidates,
                           const Geometry& geometry, double buffer,
@@ -46,16 +129,18 @@ Status ParallelGridRefine(const Column& x, const Column& y,
   local.workers = static_cast<uint32_t>(
       std::min(num_morsels, pool->num_threads() + 1));
 
-  // Pass 1 (parallel): per-morsel candidate row lists and extents.
+  // Pass 1 (parallel): per-morsel candidate row lists and extents. The
+  // popcount pre-pass sizes each list exactly, so collection never
+  // reallocates mid-scan.
   std::vector<std::vector<uint64_t>> morsel_rows(num_morsels);
   std::vector<Box> morsel_extent(num_morsels);
   pool->ParallelFor(num_morsels, [&](size_t m) {
     size_t begin = m * kRefineMorselRows;
     size_t end = std::min(n, begin + kRefineMorselRows);
     std::vector<uint64_t>& rows = morsel_rows[m];
+    rows.reserve(candidates.CountInRange(begin, end));
     candidates.CollectSetBitsInRange(begin, end, &rows);
-    Box& ext = morsel_extent[m];
-    for (uint64_t r : rows) ext.Extend(x.GetDouble(r), y.GetDouble(r));
+    morsel_extent[m] = GatherExtent(x, y, rows.data(), rows.size());
   });
   Box extent;
   for (const Box& b : morsel_extent) extent.Extend(b);
@@ -81,49 +166,34 @@ Status ParallelGridRefine(const Column& x, const Column& y,
   for (uint64_t c = 0; c < grid.num_cells(); ++c) {
     cell_class[c].store(kUnclassified, std::memory_order_relaxed);
   }
+  auto classify = [&](uint64_t cell, RefinementStats& st) -> BoxRelation {
+    uint8_t cls = cell_class[cell].load(std::memory_order_acquire);
+    if (cls == kUnclassified) {
+      uint8_t computed =
+          static_cast<uint8_t>(grid.ClassifyCell(cell, geometry, buffer));
+      uint8_t expected = kUnclassified;
+      if (cell_class[cell].compare_exchange_strong(
+              expected, computed, std::memory_order_acq_rel)) {
+        cls = computed;
+        ++st.cells_nonempty;
+        switch (static_cast<BoxRelation>(cls)) {
+          case BoxRelation::kInside: ++st.cells_inside; break;
+          case BoxRelation::kOutside: ++st.cells_outside; break;
+          case BoxRelation::kBoundary: ++st.cells_boundary; break;
+        }
+      } else {
+        cls = expected;  // another worker published first
+      }
+    }
+    return static_cast<BoxRelation>(cls);
+  };
 
   std::vector<std::vector<uint64_t>> morsel_out(num_morsels);
   std::vector<RefinementStats> morsel_stats(num_morsels);
   pool->ParallelFor(num_morsels, [&](size_t m) {
-    RefinementStats& st = morsel_stats[m];
-    std::vector<uint64_t>& out = morsel_out[m];
-    for (uint64_t r : morsel_rows[m]) {
-      Point p{x.GetDouble(r), y.GetDouble(r)};
-      uint64_t cell = grid.CellOf(p.x, p.y);
-      uint8_t cls = cell_class[cell].load(std::memory_order_acquire);
-      if (cls == kUnclassified) {
-        uint8_t computed =
-            static_cast<uint8_t>(grid.ClassifyCell(cell, geometry, buffer));
-        uint8_t expected = kUnclassified;
-        if (cell_class[cell].compare_exchange_strong(
-                expected, computed, std::memory_order_acq_rel)) {
-          cls = computed;
-          ++st.cells_nonempty;
-          switch (static_cast<BoxRelation>(cls)) {
-            case BoxRelation::kInside: ++st.cells_inside; break;
-            case BoxRelation::kOutside: ++st.cells_outside; break;
-            case BoxRelation::kBoundary: ++st.cells_boundary; break;
-          }
-        } else {
-          cls = expected;  // another worker published first
-        }
-      }
-      switch (static_cast<BoxRelation>(cls)) {
-        case BoxRelation::kInside:
-          out.push_back(r);
-          ++st.accepted;
-          break;
-        case BoxRelation::kOutside:
-          break;
-        case BoxRelation::kBoundary:
-          ++st.exact_tests;
-          if (ExactTest(geometry, buffer, p)) {
-            out.push_back(r);
-            ++st.accepted;
-          }
-          break;
-      }
-    }
+    RefineRowsBatched(x, y, morsel_rows[m].data(), morsel_rows[m].size(), grid,
+                      geometry, buffer, classify, &morsel_out[m],
+                      morsel_stats[m]);
   });
 
   for (size_t m = 0; m < num_morsels; ++m) {
@@ -161,14 +231,12 @@ Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
 
   // Pass 1: collect candidate rows and their extent. The grid only needs to
   // cover the filtered superset, which is already close to the query
-  // envelope thanks to the imprint filter.
+  // envelope thanks to the imprint filter. Count() pre-sizes the row list
+  // so collection never reallocates.
   std::vector<uint64_t> cand_rows;
-  Box extent;
-  for (size_t r = candidates.FindNext(0); r < candidates.size();
-       r = candidates.FindNext(r + 1)) {
-    cand_rows.push_back(r);
-    extent.Extend(x.GetDouble(r), y.GetDouble(r));
-  }
+  cand_rows.reserve(candidates.Count());
+  candidates.CollectSetBits(&cand_rows);
+  Box extent = GatherExtent(x, y, cand_rows.data(), cand_rows.size());
   local.candidates = cand_rows.size();
   if (cand_rows.empty()) {
     if (stats != nullptr) *stats = local;
@@ -186,36 +254,21 @@ Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
   // candidates are ever evaluated against the geometry (§3.3: "the spatial
   // relation is then evaluated between each non-empty cell and G").
   std::vector<uint8_t> cell_class(grid.num_cells(), kUnclassified);
-
-  for (uint64_t r : cand_rows) {
-    Point p{x.GetDouble(r), y.GetDouble(r)};
-    uint64_t cell = grid.CellOf(p.x, p.y);
+  auto classify = [&](uint64_t cell, RefinementStats& st) -> BoxRelation {
     uint8_t& cls = cell_class[cell];
     if (cls == kUnclassified) {
       cls = static_cast<uint8_t>(grid.ClassifyCell(cell, geometry, buffer));
-      ++local.cells_nonempty;
+      ++st.cells_nonempty;
       switch (static_cast<BoxRelation>(cls)) {
-        case BoxRelation::kInside: ++local.cells_inside; break;
-        case BoxRelation::kOutside: ++local.cells_outside; break;
-        case BoxRelation::kBoundary: ++local.cells_boundary; break;
+        case BoxRelation::kInside: ++st.cells_inside; break;
+        case BoxRelation::kOutside: ++st.cells_outside; break;
+        case BoxRelation::kBoundary: ++st.cells_boundary; break;
       }
     }
-    switch (static_cast<BoxRelation>(cls)) {
-      case BoxRelation::kInside:
-        out_rows->push_back(r);
-        ++local.accepted;
-        break;
-      case BoxRelation::kOutside:
-        break;
-      case BoxRelation::kBoundary:
-        ++local.exact_tests;
-        if (ExactTest(geometry, buffer, p)) {
-          out_rows->push_back(r);
-          ++local.accepted;
-        }
-        break;
-    }
-  }
+    return static_cast<BoxRelation>(cls);
+  };
+  RefineRowsBatched(x, y, cand_rows.data(), cand_rows.size(), grid, geometry,
+                    buffer, classify, out_rows, local);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }
@@ -226,14 +279,23 @@ Status ExhaustiveRefine(const Column& x, const Column& y,
                         RefinementStats* stats) {
   GEOCOL_RETURN_NOT_OK(CheckInputs(x, y, candidates));
   RefinementStats local;
-  for (size_t r = candidates.FindNext(0); r < candidates.size();
-       r = candidates.FindNext(r + 1)) {
-    ++local.candidates;
-    ++local.exact_tests;
-    Point p{x.GetDouble(r), y.GetDouble(r)};
-    if (ExactTest(geometry, buffer, p)) {
-      out_rows->push_back(r);
-      ++local.accepted;
+  std::vector<uint64_t> cand_rows;
+  cand_rows.reserve(candidates.Count());
+  candidates.CollectSetBits(&cand_rows);
+  local.candidates = cand_rows.size();
+  local.exact_tests = cand_rows.size();
+  std::vector<double> xs(kRefineBlockRows), ys(kRefineBlockRows);
+  std::vector<uint8_t> verdict(kRefineBlockRows);
+  for (size_t base = 0; base < cand_rows.size(); base += kRefineBlockRows) {
+    const size_t bn = std::min(kRefineBlockRows, cand_rows.size() - base);
+    x.GetDoubleBatch(cand_rows.data() + base, bn, xs.data());
+    y.GetDoubleBatch(cand_rows.data() + base, bn, ys.data());
+    ExactTestBatch(geometry, buffer, xs.data(), ys.data(), bn, verdict.data());
+    for (size_t i = 0; i < bn; ++i) {
+      if (verdict[i] != 0) {
+        out_rows->push_back(cand_rows[base + i]);
+        ++local.accepted;
+      }
     }
   }
   if (stats != nullptr) *stats = local;

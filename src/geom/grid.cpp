@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "simd/kernels.h"
+
 namespace geocol {
 
 RegularGrid::RegularGrid(const Box& extent, uint32_t cols, uint32_t rows)
@@ -14,6 +16,18 @@ RegularGrid::RegularGrid(const Box& extent, uint32_t cols, uint32_t rows)
   if (extent_.height() <= 0.0) extent_.max_y = extent_.min_y + 1e-9;
   inv_cell_w_ = cols_ / extent_.width();
   inv_cell_h_ = rows_ / extent_.height();
+}
+
+void RegularGrid::CellOfBatch(const double* xs, const double* ys, size_t n,
+                              uint64_t* cells) const {
+  simd::GridParams g;
+  g.min_x = extent_.min_x;
+  g.min_y = extent_.min_y;
+  g.inv_w = inv_cell_w_;
+  g.inv_h = inv_cell_h_;
+  g.cols = cols_;
+  g.rows = rows_;
+  simd::Kernels().cell_of(xs, ys, n, g, cells);
 }
 
 Box RegularGrid::CellBox(uint64_t idx) const {

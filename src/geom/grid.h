@@ -30,15 +30,29 @@ class RegularGrid {
   const Box& extent() const { return extent_; }
 
   /// Cell index for a point inside the extent (clamped on the edges).
+  /// The compare-guarded float->int conversion keeps NaN and far-out
+  /// coordinates defined (they clamp to cell 0 / the last cell) instead of
+  /// hitting an out-of-range cast.
   uint64_t CellOf(double x, double y) const {
-    int64_t cx = static_cast<int64_t>((x - extent_.min_x) * inv_cell_w_);
-    int64_t cy = static_cast<int64_t>((y - extent_.min_y) * inv_cell_h_);
-    if (cx < 0) cx = 0;
-    if (cy < 0) cy = 0;
-    if (cx >= cols_) cx = cols_ - 1;
-    if (cy >= rows_) cy = rows_ - 1;
+    const double fx = (x - extent_.min_x) * inv_cell_w_;
+    const double fy = (y - extent_.min_y) * inv_cell_h_;
+    const int64_t cx =
+        fx > 0.0
+            ? (fx < static_cast<double>(cols_) ? static_cast<int64_t>(fx)
+                                               : cols_ - 1)
+            : 0;
+    const int64_t cy =
+        fy > 0.0
+            ? (fy < static_cast<double>(rows_) ? static_cast<int64_t>(fy)
+                                               : rows_ - 1)
+            : 0;
     return static_cast<uint64_t>(cy) * cols_ + static_cast<uint64_t>(cx);
   }
+
+  /// Batched CellOf through the SIMD kernel layer: cells[i] =
+  /// CellOf(xs[i], ys[i]).
+  void CellOfBatch(const double* xs, const double* ys, size_t n,
+                   uint64_t* cells) const;
 
   /// Geometric bounds of cell `idx`.
   Box CellBox(uint64_t idx) const;

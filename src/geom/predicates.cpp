@@ -2,7 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <functional>
+#include <vector>
+
+#include "simd/kernels.h"
 
 namespace geocol {
 
@@ -173,6 +177,149 @@ bool GeometryDWithin(const Geometry& g, const Point& p, double d) {
   return GeometryPointDistance(g, p) <= d;
 }
 
+// ---- batched predicates -------------------------------------------------
+
+void PointInPolygonBatch(const double* xs, const double* ys, size_t n,
+                         const Polygon& poly, uint8_t* out) {
+  const simd::KernelTable& k = simd::Kernels();
+  std::vector<uint8_t> edge(n);  // shell boundary mask, not needed further
+  k.ring_masks(xs, ys, n, poly.shell.points.data(), poly.shell.points.size(),
+               out, edge.data());
+  if (poly.holes.empty()) return;
+  std::vector<uint8_t> hole_in(n);
+  for (const Ring& h : poly.holes) {
+    k.ring_masks(xs, ys, n, h.points.data(), h.points.size(), hole_in.data(),
+                 edge.data());
+    // A point is cut out by the hole only when strictly interior to it;
+    // hole-boundary points stay in the polygon (same as PointInPolygon).
+    for (size_t i = 0; i < n; ++i) {
+      out[i] = static_cast<uint8_t>(out[i] & ~(hole_in[i] & ~edge[i]) & 1);
+    }
+  }
+}
+
+void GeometryContainsPointBatch(const Geometry& g, const double* xs,
+                                const double* ys, size_t n, uint8_t* out) {
+  const simd::KernelTable& k = simd::Kernels();
+  switch (g.type()) {
+    case GeometryType::kPoint: {
+      const Point q = g.point();
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = static_cast<uint8_t>(q == Point{xs[i], ys[i]});
+      }
+      return;
+    }
+    case GeometryType::kBox:
+      k.box_contains(xs, ys, n, g.box(), out);
+      return;
+    case GeometryType::kLineString:
+      k.on_segments(xs, ys, n, g.line().points.data(), g.line().points.size(),
+                    out);
+      return;
+    case GeometryType::kPolygon:
+      PointInPolygonBatch(xs, ys, n, g.polygon(), out);
+      return;
+    case GeometryType::kMultiPolygon: {
+      std::memset(out, 0, n);
+      std::vector<uint8_t> tmp(n);
+      for (const Polygon& poly : g.multipolygon().polygons) {
+        PointInPolygonBatch(xs, ys, n, poly, tmp.data());
+        for (size_t i = 0; i < n; ++i) out[i] |= tmp[i];
+      }
+      return;
+    }
+  }
+  std::memset(out, 0, n);
+}
+
+namespace {
+
+// best[i] = min(best[i], distance²(point i, boundary of poly)), walking the
+// rings in the same order as PointPolygonDistance.
+void PolygonBoundaryDist2Batch(const double* xs, const double* ys, size_t n,
+                               const Polygon& poly, double* best) {
+  const simd::KernelTable& k = simd::Kernels();
+  k.segments_dist2(xs, ys, n, poly.shell.points.data(),
+                   poly.shell.points.size(), /*closed=*/true, best);
+  for (const Ring& h : poly.holes) {
+    k.segments_dist2(xs, ys, n, h.points.data(), h.points.size(),
+                     /*closed=*/true, best);
+  }
+}
+
+void PointPolygonDistanceBatch(const double* xs, const double* ys, size_t n,
+                               const Polygon& poly, double* out) {
+  std::vector<uint8_t> inside(n);
+  PointInPolygonBatch(xs, ys, n, poly, inside.data());
+  std::vector<double> best(n, std::numeric_limits<double>::infinity());
+  PolygonBoundaryDist2Batch(xs, ys, n, poly, best.data());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = inside[i] != 0 ? 0.0 : std::sqrt(best[i]);
+  }
+}
+
+}  // namespace
+
+void GeometryPointDistanceBatch(const Geometry& g, const double* xs,
+                                const double* ys, size_t n, double* out) {
+  const simd::KernelTable& k = simd::Kernels();
+  switch (g.type()) {
+    case GeometryType::kPoint:
+    case GeometryType::kBox:
+      // Two subtractions per point: the scalar path is already minimal.
+      for (size_t i = 0; i < n; ++i) {
+        out[i] = GeometryPointDistance(g, Point{xs[i], ys[i]});
+      }
+      return;
+    case GeometryType::kLineString: {
+      const auto& pts = g.line().points;
+      if (pts.empty()) {
+        std::fill(out, out + n, std::numeric_limits<double>::infinity());
+        return;
+      }
+      if (pts.size() == 1) {
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = std::sqrt(DistanceSquared(Point{xs[i], ys[i]}, pts[0]));
+        }
+        return;
+      }
+      std::vector<double> best(n, std::numeric_limits<double>::infinity());
+      k.segments_dist2(xs, ys, n, pts.data(), pts.size(), /*closed=*/false,
+                       best.data());
+      for (size_t i = 0; i < n; ++i) out[i] = std::sqrt(best[i]);
+      return;
+    }
+    case GeometryType::kPolygon:
+      PointPolygonDistanceBatch(xs, ys, n, g.polygon(), out);
+      return;
+    case GeometryType::kMultiPolygon: {
+      std::fill(out, out + n, std::numeric_limits<double>::infinity());
+      std::vector<double> tmp(n);
+      for (const Polygon& poly : g.multipolygon().polygons) {
+        PointPolygonDistanceBatch(xs, ys, n, poly, tmp.data());
+        // std::min(out, tmp): distances are never NaN, so the per-point
+        // early break of the scalar loop cannot change the minimum.
+        for (size_t i = 0; i < n; ++i) {
+          out[i] = tmp[i] < out[i] ? tmp[i] : out[i];
+        }
+      }
+      return;
+    }
+  }
+  std::fill(out, out + n, std::numeric_limits<double>::infinity());
+}
+
+void GeometryDWithinBatch(const Geometry& g, double d, const double* xs,
+                          const double* ys, size_t n, uint8_t* out) {
+  const Box env = g.Envelope().Expanded(d);
+  simd::Kernels().box_contains(xs, ys, n, env, out);
+  std::vector<double> dist(n);
+  GeometryPointDistanceBatch(g, xs, ys, n, dist.data());
+  for (size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<uint8_t>(out[i] != 0 && dist[i] <= d);
+  }
+}
+
 bool SegmentIntersectsBox(const Point& a, const Point& b, const Box& box) {
   if (box.Contains(a) || box.Contains(b)) return true;
   // Trivially disjoint when the segment envelope misses the box.
@@ -240,37 +387,38 @@ BoxRelation ClassifyBoxGeometry(const Box& box, const Geometry& g,
     default:
       break;
   }
-  // Buffered geometries (ST_DWithin) and buffered boxes: test the four box
-  // corners plus the centre by distance. All within the buffer → treat as
-  // inside only when the box is small relative to the buffer region; we use
-  // the conservative rule: all five sample points within distance AND the
-  // box diagonal fits in the buffer slack of the farthest corner → inside.
-  Point corners[5] = {{box.min_x, box.min_y},
-                      {box.max_x, box.min_y},
-                      {box.max_x, box.max_y},
-                      {box.min_x, box.max_y},
-                      box.center()};
-  int within = 0;
-  double max_dist = 0.0;
-  for (const Point& c : corners) {
-    double dist = GeometryPointDistance(g, c);
-    max_dist = std::max(max_dist, dist);
-    if (dist <= buffer) ++within;
-  }
-  if (within == 0) {
-    // No corner within distance. The box may still clip the buffer region;
-    // only safe to discard when the centre's clearance exceeds the
-    // half-diagonal (no interior point can be within the buffer).
-    double half_diag =
-        0.5 * std::sqrt(box.width() * box.width() + box.height() * box.height());
-    double center_dist = GeometryPointDistance(g, box.center());
-    if (center_dist - half_diag > buffer) return BoxRelation::kOutside;
-    return BoxRelation::kBoundary;
-  }
-  if (within == 5) {
-    // All samples within. For convex-ish buffer regions the box is inside
-    // when even the farthest corner has slack; stay conservative otherwise.
-    if (max_dist <= buffer) return BoxRelation::kInside;
+  // Buffered geometries (ST_DWithin) and buffered boxes. The distance
+  // function d(p) = dist(p, g) is 1-Lipschitz, so the centre sample bounds
+  // d over the whole box: |d(p) - d(centre)| <= half_diag for every p in
+  // it. Corner samples cannot tighten this for concave geometries — the
+  // maximum of d over a box need not occur at a corner (a cell straddling
+  // a concave notch has its farthest-from-g point in the interior), so
+  // wholesale decisions must come from the Lipschitz bound alone.
+  const double half_diag =
+      0.5 * std::sqrt(box.width() * box.width() + box.height() * box.height());
+  const double center_dist = GeometryPointDistance(g, box.center());
+  if (center_dist - half_diag > buffer) return BoxRelation::kOutside;
+  if (center_dist + half_diag <= buffer) return BoxRelation::kInside;
+  // A box entirely inside an areal geometry has d == 0 everywhere even when
+  // the box is large; the centre bound alone would leave it kBoundary.
+  switch (g.type()) {
+    case GeometryType::kBox:
+      if (g.box().Contains(box)) return BoxRelation::kInside;
+      break;
+    case GeometryType::kPolygon:
+      if (ClassifyBoxPolygon(box, g.polygon()) == BoxRelation::kInside) {
+        return BoxRelation::kInside;
+      }
+      break;
+    case GeometryType::kMultiPolygon:
+      for (const Polygon& poly : g.multipolygon().polygons) {
+        if (ClassifyBoxPolygon(box, poly) == BoxRelation::kInside) {
+          return BoxRelation::kInside;
+        }
+      }
+      break;
+    default:
+      break;
   }
   return BoxRelation::kBoundary;
 }

@@ -62,6 +62,29 @@ double GeometryPointDistance(const Geometry& g, const Point& p);
 /// an early envelope check rejects.
 bool GeometryDWithin(const Geometry& g, const Point& p, double d);
 
+// ---- batched predicates -------------------------------------------------
+// Structure-of-arrays versions of the point tests above, routed through the
+// SIMD kernel layer (src/simd). Each is bit-identical to calling its scalar
+// counterpart per point: out[i] == f({xs[i], ys[i]}) for every i, at every
+// dispatch level. The geometry-level composition (type switch, hole logic,
+// sqrt) stays scalar; only the per-edge/per-segment inner loops vectorize.
+
+/// out[i] = PointInPolygon({xs[i], ys[i]}, poly), as 0/1 bytes.
+void PointInPolygonBatch(const double* xs, const double* ys, size_t n,
+                         const Polygon& poly, uint8_t* out);
+
+/// out[i] = GeometryContainsPoint(g, {xs[i], ys[i]}), as 0/1 bytes.
+void GeometryContainsPointBatch(const Geometry& g, const double* xs,
+                                const double* ys, size_t n, uint8_t* out);
+
+/// out[i] = GeometryPointDistance(g, {xs[i], ys[i]}).
+void GeometryPointDistanceBatch(const Geometry& g, const double* xs,
+                                const double* ys, size_t n, double* out);
+
+/// out[i] = GeometryDWithin(g, {xs[i], ys[i]}, d), as 0/1 bytes.
+void GeometryDWithinBatch(const Geometry& g, double d, const double* xs,
+                          const double* ys, size_t n, uint8_t* out);
+
 // ---- box / region relations --------------------------------------------
 
 /// True if segment [a,b] intersects `box`.

@@ -1,0 +1,139 @@
+// The SIMD kernel table: branch-free vectorized inner loops of the
+// filter/refine pipeline, selected at runtime by src/simd/dispatch.
+//
+// Contract: every kernel is bit-identical to the scalar reference at every
+// dispatch level — same selection words, same accepted rows, same FP
+// results (NaN/±Inf/±0/denormals propagate exactly like the scalar code in
+// geom/predicates.cpp and geom/grid.h). The kernel translation units are
+// compiled with -ffp-contract=off (like the rest of the library) so no
+// level ever fuses a multiply-add the others don't.
+#ifndef GEOCOL_SIMD_KERNELS_H_
+#define GEOCOL_SIMD_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+
+#include "geom/geometry.h"
+#include "simd/dispatch.h"
+
+namespace geocol {
+namespace simd {
+
+/// Grid geometry for the cell-assignment kernel (mirrors RegularGrid).
+struct GridParams {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double inv_w = 0.0;
+  double inv_h = 0.0;
+  int64_t cols = 1;
+  int64_t rows = 1;
+};
+
+/// Function-pointer table bound to the active SimdLevel.
+///
+/// range_*: selection words for a value run. Writes ceil(n/64) words to
+/// `out` (bit i of the stream = values[i] in [lo, hi], bits >= n zero) and
+/// returns the number of selected values.
+///
+/// gather_*: out[i] = double(base[rows[i]]) — the batched Column::GetDouble.
+///
+/// cell_of: cells[i] = grid cell id of (xs[i], ys[i]), exactly matching
+/// RegularGrid::CellOf (edge clamping, NaN/overflow -> cell 0 semantics).
+///
+/// ring_masks: in_out[i] = even-odd point-in-ring including the boundary
+/// (semantics of geocol::PointInRing), edge_out[i] = point exactly on the
+/// ring boundary. Outputs are 0/1 bytes.
+///
+/// on_segments: out[i] = point lies on any segment of the open polyline.
+///
+/// segments_dist2: best[i] = min(best[i], squared distance to each segment)
+/// with std::min(best, d) NaN semantics; `closed` walks ring edges
+/// (pts[i], pts[i-1 mod n]) exactly like PointRingBoundaryDistanceSquared,
+/// open walks (pts[s-1], pts[s]) like PointLineDistance.
+///
+/// box_contains: out[i] = Box::Contains({xs[i], ys[i]}) as 0/1 bytes.
+struct KernelTable {
+  uint64_t (*range_i8)(const int8_t*, size_t, int8_t, int8_t, uint64_t*);
+  uint64_t (*range_u8)(const uint8_t*, size_t, uint8_t, uint8_t, uint64_t*);
+  uint64_t (*range_i16)(const int16_t*, size_t, int16_t, int16_t, uint64_t*);
+  uint64_t (*range_u16)(const uint16_t*, size_t, uint16_t, uint16_t,
+                        uint64_t*);
+  uint64_t (*range_i32)(const int32_t*, size_t, int32_t, int32_t, uint64_t*);
+  uint64_t (*range_u32)(const uint32_t*, size_t, uint32_t, uint32_t,
+                        uint64_t*);
+  uint64_t (*range_i64)(const int64_t*, size_t, int64_t, int64_t, uint64_t*);
+  uint64_t (*range_u64)(const uint64_t*, size_t, uint64_t, uint64_t,
+                        uint64_t*);
+  uint64_t (*range_f32)(const float*, size_t, float, float, uint64_t*);
+  uint64_t (*range_f64)(const double*, size_t, double, double, uint64_t*);
+
+  void (*gather_i8)(const int8_t*, const uint64_t*, size_t, double*);
+  void (*gather_u8)(const uint8_t*, const uint64_t*, size_t, double*);
+  void (*gather_i16)(const int16_t*, const uint64_t*, size_t, double*);
+  void (*gather_u16)(const uint16_t*, const uint64_t*, size_t, double*);
+  void (*gather_i32)(const int32_t*, const uint64_t*, size_t, double*);
+  void (*gather_u32)(const uint32_t*, const uint64_t*, size_t, double*);
+  void (*gather_i64)(const int64_t*, const uint64_t*, size_t, double*);
+  void (*gather_u64)(const uint64_t*, const uint64_t*, size_t, double*);
+  void (*gather_f32)(const float*, const uint64_t*, size_t, double*);
+  void (*gather_f64)(const double*, const uint64_t*, size_t, double*);
+
+  void (*cell_of)(const double*, const double*, size_t, const GridParams&,
+                  uint64_t*);
+
+  void (*ring_masks)(const double*, const double*, size_t, const Point*,
+                     size_t, uint8_t*, uint8_t*);
+  void (*on_segments)(const double*, const double*, size_t, const Point*,
+                      size_t, uint8_t*);
+  void (*segments_dist2)(const double*, const double*, size_t, const Point*,
+                         size_t, bool, double*);
+  void (*box_contains)(const double*, const double*, size_t, const Box&,
+                       uint8_t*);
+};
+
+/// The table bound to ActiveSimdLevel(). Rebound by SetSimdLevel().
+const KernelTable& Kernels();
+
+/// Builds the table for a specific level without touching the global
+/// binding (benchmarks compare levels side by side through this).
+void BindKernelsForLevel(SimdLevel level, KernelTable* table);
+
+/// Typed front door of the range-compare kernels.
+template <typename T>
+inline uint64_t RangeSelectBits(const T* values, size_t n, T lo, T hi,
+                                uint64_t* out) {
+  const KernelTable& k = Kernels();
+  if constexpr (std::is_same_v<T, int8_t>) return k.range_i8(values, n, lo, hi, out);
+  else if constexpr (std::is_same_v<T, uint8_t>) return k.range_u8(values, n, lo, hi, out);
+  else if constexpr (std::is_same_v<T, int16_t>) return k.range_i16(values, n, lo, hi, out);
+  else if constexpr (std::is_same_v<T, uint16_t>) return k.range_u16(values, n, lo, hi, out);
+  else if constexpr (std::is_same_v<T, int32_t>) return k.range_i32(values, n, lo, hi, out);
+  else if constexpr (std::is_same_v<T, uint32_t>) return k.range_u32(values, n, lo, hi, out);
+  else if constexpr (std::is_same_v<T, int64_t>) return k.range_i64(values, n, lo, hi, out);
+  else if constexpr (std::is_same_v<T, uint64_t>) return k.range_u64(values, n, lo, hi, out);
+  else if constexpr (std::is_same_v<T, float>) return k.range_f32(values, n, lo, hi, out);
+  else return k.range_f64(values, n, lo, hi, out);
+}
+
+/// Typed front door of the gather kernels.
+template <typename T>
+inline void GatherDouble(const T* base, const uint64_t* rows, size_t n,
+                         double* out) {
+  const KernelTable& k = Kernels();
+  if constexpr (std::is_same_v<T, int8_t>) k.gather_i8(base, rows, n, out);
+  else if constexpr (std::is_same_v<T, uint8_t>) k.gather_u8(base, rows, n, out);
+  else if constexpr (std::is_same_v<T, int16_t>) k.gather_i16(base, rows, n, out);
+  else if constexpr (std::is_same_v<T, uint16_t>) k.gather_u16(base, rows, n, out);
+  else if constexpr (std::is_same_v<T, int32_t>) k.gather_i32(base, rows, n, out);
+  else if constexpr (std::is_same_v<T, uint32_t>) k.gather_u32(base, rows, n, out);
+  else if constexpr (std::is_same_v<T, int64_t>) k.gather_i64(base, rows, n, out);
+  else if constexpr (std::is_same_v<T, uint64_t>) k.gather_u64(base, rows, n, out);
+  else if constexpr (std::is_same_v<T, float>) k.gather_f32(base, rows, n, out);
+  else k.gather_f64(base, rows, n, out);
+}
+
+}  // namespace simd
+}  // namespace geocol
+
+#endif  // GEOCOL_SIMD_KERNELS_H_

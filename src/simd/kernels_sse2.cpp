@@ -1,0 +1,420 @@
+// SSE2 (x86-64 baseline) kernel overlay: 128-bit branch-free versions of
+// the filter/refine inner loops. 64-bit integer compares and the gathers
+// stay on the scalar reference (no SSE2 instructions help them); remainder
+// tails always run the scalar reference, so results stay bit-identical.
+#include "simd/kernels_generic.h"
+
+#if defined(__SSE2__)
+
+#include <emmintrin.h>
+
+namespace geocol {
+namespace simd {
+namespace {
+
+// std::min(best, d): d replaces best only when d < best; NaN d keeps best.
+inline __m128d MinStd(__m128d best, __m128d d) {
+  __m128d lt = _mm_cmplt_pd(d, best);
+  return _mm_or_pd(_mm_and_pd(lt, d), _mm_andnot_pd(lt, best));
+}
+
+inline __m128d Blend(__m128d a, __m128d b, __m128d mask) {
+  return _mm_or_pd(_mm_and_pd(mask, b), _mm_andnot_pd(mask, a));
+}
+
+// ---- range-compare -----------------------------------------------------
+
+uint64_t RangeF64(const double* v, size_t n, double lo, double hi,
+                  uint64_t* out) {
+  const __m128d vlo = _mm_set1_pd(lo), vhi = _mm_set1_pd(hi);
+  const size_t full = n / 64;
+  uint64_t selected = 0;
+  size_t w = 0;
+  for (; w < full; ++w) {
+    const double* p = v + w * 64;
+    uint64_t word = 0;
+    for (int k = 0; k < 32; ++k) {
+      __m128d x = _mm_loadu_pd(p + 2 * k);
+      __m128d m = _mm_and_pd(_mm_cmpge_pd(x, vlo), _mm_cmple_pd(x, vhi));
+      word |= static_cast<uint64_t>(_mm_movemask_pd(m)) << (2 * k);
+    }
+    out[w] = word;
+    selected += static_cast<uint64_t>(std::popcount(word));
+  }
+  const size_t done = full * 64;
+  if (done < n) {
+    selected += generic::RangeSelectBits(v + done, n - done, lo, hi, out + w);
+  }
+  return selected;
+}
+
+uint64_t RangeF32(const float* v, size_t n, float lo, float hi,
+                  uint64_t* out) {
+  const __m128 vlo = _mm_set1_ps(lo), vhi = _mm_set1_ps(hi);
+  const size_t full = n / 64;
+  uint64_t selected = 0;
+  size_t w = 0;
+  for (; w < full; ++w) {
+    const float* p = v + w * 64;
+    uint64_t word = 0;
+    for (int k = 0; k < 16; ++k) {
+      __m128 x = _mm_loadu_ps(p + 4 * k);
+      __m128 m = _mm_and_ps(_mm_cmpge_ps(x, vlo), _mm_cmple_ps(x, vhi));
+      word |= static_cast<uint64_t>(_mm_movemask_ps(m)) << (4 * k);
+    }
+    out[w] = word;
+    selected += static_cast<uint64_t>(std::popcount(word));
+  }
+  const size_t done = full * 64;
+  if (done < n) {
+    selected += generic::RangeSelectBits(v + done, n - done, lo, hi, out + w);
+  }
+  return selected;
+}
+
+// Integer helpers: signed compares exist natively; unsigned types flip the
+// sign bit so the same signed compare orders them correctly.
+template <bool kSigned>
+uint64_t RangeI8Impl(const __m128i* blocks_end_unused, const void* vp,
+                     size_t n, int8_t lo8, int8_t hi8, uint64_t* out);
+
+uint64_t RangeI8(const int8_t* v, size_t n, int8_t lo, int8_t hi,
+                 uint64_t* out) {
+  const __m128i vlo = _mm_set1_epi8(lo), vhi = _mm_set1_epi8(hi);
+  const size_t full = n / 64;
+  uint64_t selected = 0;
+  size_t w = 0;
+  for (; w < full; ++w) {
+    const __m128i* p = reinterpret_cast<const __m128i*>(v + w * 64);
+    uint64_t word = 0;
+    for (int k = 0; k < 4; ++k) {
+      __m128i x = _mm_loadu_si128(p + k);
+      __m128i bad = _mm_or_si128(_mm_cmplt_epi8(x, vlo),
+                                 _mm_cmpgt_epi8(x, vhi));
+      uint64_t good = static_cast<uint16_t>(~_mm_movemask_epi8(bad));
+      word |= good << (16 * k);
+    }
+    out[w] = word;
+    selected += static_cast<uint64_t>(std::popcount(word));
+  }
+  const size_t done = full * 64;
+  if (done < n) {
+    selected += generic::RangeSelectBits(v + done, n - done, lo, hi, out + w);
+  }
+  return selected;
+}
+
+uint64_t RangeU8(const uint8_t* v, size_t n, uint8_t lo, uint8_t hi,
+                 uint64_t* out) {
+  const __m128i bias = _mm_set1_epi8(static_cast<char>(0x80));
+  const __m128i vlo = _mm_xor_si128(_mm_set1_epi8(static_cast<char>(lo)), bias);
+  const __m128i vhi = _mm_xor_si128(_mm_set1_epi8(static_cast<char>(hi)), bias);
+  const size_t full = n / 64;
+  uint64_t selected = 0;
+  size_t w = 0;
+  for (; w < full; ++w) {
+    const __m128i* p = reinterpret_cast<const __m128i*>(v + w * 64);
+    uint64_t word = 0;
+    for (int k = 0; k < 4; ++k) {
+      __m128i x = _mm_xor_si128(_mm_loadu_si128(p + k), bias);
+      __m128i bad = _mm_or_si128(_mm_cmplt_epi8(x, vlo),
+                                 _mm_cmpgt_epi8(x, vhi));
+      uint64_t good = static_cast<uint16_t>(~_mm_movemask_epi8(bad));
+      word |= good << (16 * k);
+    }
+    out[w] = word;
+    selected += static_cast<uint64_t>(std::popcount(word));
+  }
+  const size_t done = full * 64;
+  if (done < n) {
+    selected += generic::RangeSelectBits(v + done, n - done, lo, hi, out + w);
+  }
+  return selected;
+}
+
+template <typename T>
+uint64_t Range16(const T* v, size_t n, T lo, T hi, uint64_t* out) {
+  // 16-bit: compare two 8-lane blocks, pack the (saturating 0/-1) masks to
+  // bytes, movemask -> 16 selection bits per iteration.
+  const __m128i bias = std::is_signed_v<T> ? _mm_setzero_si128()
+                                           : _mm_set1_epi16(short(0x8000));
+  const __m128i vlo =
+      _mm_xor_si128(_mm_set1_epi16(static_cast<short>(lo)), bias);
+  const __m128i vhi =
+      _mm_xor_si128(_mm_set1_epi16(static_cast<short>(hi)), bias);
+  const size_t full = n / 64;
+  uint64_t selected = 0;
+  size_t w = 0;
+  for (; w < full; ++w) {
+    const __m128i* p = reinterpret_cast<const __m128i*>(v + w * 64);
+    uint64_t word = 0;
+    for (int k = 0; k < 4; ++k) {
+      __m128i x0 = _mm_xor_si128(_mm_loadu_si128(p + 2 * k), bias);
+      __m128i x1 = _mm_xor_si128(_mm_loadu_si128(p + 2 * k + 1), bias);
+      __m128i bad0 = _mm_or_si128(_mm_cmplt_epi16(x0, vlo),
+                                  _mm_cmpgt_epi16(x0, vhi));
+      __m128i bad1 = _mm_or_si128(_mm_cmplt_epi16(x1, vlo),
+                                  _mm_cmpgt_epi16(x1, vhi));
+      __m128i bad = _mm_packs_epi16(bad0, bad1);
+      uint64_t good = static_cast<uint16_t>(~_mm_movemask_epi8(bad));
+      word |= good << (16 * k);
+    }
+    out[w] = word;
+    selected += static_cast<uint64_t>(std::popcount(word));
+  }
+  const size_t done = full * 64;
+  if (done < n) {
+    selected += generic::RangeSelectBits(v + done, n - done, lo, hi, out + w);
+  }
+  return selected;
+}
+
+template <typename T>
+uint64_t Range32(const T* v, size_t n, T lo, T hi, uint64_t* out) {
+  const __m128i bias = std::is_signed_v<T>
+                           ? _mm_setzero_si128()
+                           : _mm_set1_epi32(static_cast<int>(0x80000000u));
+  const __m128i vlo =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int>(lo)), bias);
+  const __m128i vhi =
+      _mm_xor_si128(_mm_set1_epi32(static_cast<int>(hi)), bias);
+  const size_t full = n / 64;
+  uint64_t selected = 0;
+  size_t w = 0;
+  for (; w < full; ++w) {
+    const __m128i* p = reinterpret_cast<const __m128i*>(v + w * 64);
+    uint64_t word = 0;
+    for (int k = 0; k < 16; ++k) {
+      __m128i x = _mm_xor_si128(_mm_loadu_si128(p + k), bias);
+      __m128i bad = _mm_or_si128(_mm_cmplt_epi32(x, vlo),
+                                 _mm_cmpgt_epi32(x, vhi));
+      uint64_t good =
+          static_cast<unsigned>(~_mm_movemask_ps(_mm_castsi128_ps(bad))) & 0xF;
+      word |= good << (4 * k);
+    }
+    out[w] = word;
+    selected += static_cast<uint64_t>(std::popcount(word));
+  }
+  const size_t done = full * 64;
+  if (done < n) {
+    selected += generic::RangeSelectBits(v + done, n - done, lo, hi, out + w);
+  }
+  return selected;
+}
+
+// ---- grid cell assignment ---------------------------------------------
+
+void CellOf(const double* xs, const double* ys, size_t n, const GridParams& g,
+            uint64_t* cells) {
+  const __m128d minx = _mm_set1_pd(g.min_x), miny = _mm_set1_pd(g.min_y);
+  const __m128d invw = _mm_set1_pd(g.inv_w), invh = _mm_set1_pd(g.inv_h);
+  const __m128d colsd = _mm_set1_pd(static_cast<double>(g.cols));
+  const __m128d rowsd = _mm_set1_pd(static_cast<double>(g.rows));
+  const __m128d zero = _mm_setzero_pd();
+  size_t i = 0;
+  alignas(16) int32_t cxa[4], cya[4];
+  for (; i + 2 <= n; i += 2) {
+    __m128d fx = _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(xs + i), minx), invw);
+    __m128d fy = _mm_mul_pd(_mm_sub_pd(_mm_loadu_pd(ys + i), miny), invh);
+    __m128d posx_m = _mm_cmpgt_pd(fx, zero), ltx_m = _mm_cmplt_pd(fx, colsd);
+    __m128d posy_m = _mm_cmpgt_pd(fy, zero), lty_m = _mm_cmplt_pd(fy, rowsd);
+    // In-range lanes convert directly; others are zeroed first so the
+    // float->int conversion never sees an out-of-range value.
+    __m128i cx = _mm_cvttpd_epi32(_mm_and_pd(fx, _mm_and_pd(posx_m, ltx_m)));
+    __m128i cy = _mm_cvttpd_epi32(_mm_and_pd(fy, _mm_and_pd(posy_m, lty_m)));
+    _mm_store_si128(reinterpret_cast<__m128i*>(cxa), cx);
+    _mm_store_si128(reinterpret_cast<__m128i*>(cya), cy);
+    const int posx = _mm_movemask_pd(posx_m), ltx = _mm_movemask_pd(ltx_m);
+    const int posy = _mm_movemask_pd(posy_m), lty = _mm_movemask_pd(lty_m);
+    for (int k = 0; k < 2; ++k) {
+      int64_t ccx = ((posx >> k) & 1) == 0 ? 0
+                    : ((ltx >> k) & 1) != 0 ? cxa[k]
+                                            : g.cols - 1;
+      int64_t ccy = ((posy >> k) & 1) == 0 ? 0
+                    : ((lty >> k) & 1) != 0 ? cya[k]
+                                            : g.rows - 1;
+      cells[i + k] = static_cast<uint64_t>(ccy) *
+                         static_cast<uint64_t>(g.cols) +
+                     static_cast<uint64_t>(ccx);
+    }
+  }
+  if (i < n) generic::CellOf(xs + i, ys + i, n - i, g, cells + i);
+}
+
+// ---- point-in-ring masks ----------------------------------------------
+
+void RingMasks(const double* xs, const double* ys, size_t n, const Point* pts,
+               size_t npts, uint8_t* in_out, uint8_t* edge_out) {
+  if (npts < 3) {
+    std::memset(in_out, 0, n);
+    std::memset(edge_out, 0, n);
+    return;
+  }
+  const __m128d zero = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d px = _mm_loadu_pd(xs + i), py = _mm_loadu_pd(ys + i);
+    __m128d parity = zero, edge = zero;
+    for (size_t e = 0, j = npts - 1; e < npts; j = e++) {
+      const Point& a = pts[e];
+      const Point& b = pts[j];
+      const double dxab = b.x - a.x, dyab = b.y - a.y;
+      const __m128d pya = _mm_sub_pd(py, _mm_set1_pd(a.y));
+      const __m128d pxa = _mm_sub_pd(px, _mm_set1_pd(a.x));
+      const __m128d t1 = _mm_mul_pd(_mm_set1_pd(dxab), pya);
+      const __m128d o = _mm_sub_pd(t1, _mm_mul_pd(_mm_set1_pd(dyab), pxa));
+      __m128d on = _mm_cmpeq_pd(o, zero);
+      on = _mm_and_pd(on, _mm_cmpge_pd(px, _mm_set1_pd(std::min(a.x, b.x))));
+      on = _mm_and_pd(on, _mm_cmple_pd(px, _mm_set1_pd(std::max(a.x, b.x))));
+      on = _mm_and_pd(on, _mm_cmpge_pd(py, _mm_set1_pd(std::min(a.y, b.y))));
+      on = _mm_and_pd(on, _mm_cmple_pd(py, _mm_set1_pd(std::max(a.y, b.y))));
+      edge = _mm_or_pd(edge, on);
+      const __m128d ca = _mm_cmpgt_pd(_mm_set1_pd(a.y), py);
+      const __m128d cb = _mm_cmpgt_pd(_mm_set1_pd(b.y), py);
+      const __m128d cross = _mm_xor_pd(ca, cb);
+      // Division is unconditional; lanes where cross is false (including
+      // dyab == 0) are masked out, matching the scalar guard.
+      const __m128d xc =
+          _mm_add_pd(_mm_div_pd(t1, _mm_set1_pd(dyab)), _mm_set1_pd(a.x));
+      const __m128d lt = _mm_cmplt_pd(px, xc);
+      parity = _mm_xor_pd(parity, _mm_and_pd(cross, lt));
+    }
+    const int mi = _mm_movemask_pd(_mm_or_pd(parity, edge));
+    const int me = _mm_movemask_pd(edge);
+    for (int k = 0; k < 2; ++k) {
+      in_out[i + k] = static_cast<uint8_t>((mi >> k) & 1);
+      edge_out[i + k] = static_cast<uint8_t>((me >> k) & 1);
+    }
+  }
+  if (i < n) {
+    generic::RingMasks(xs + i, ys + i, n - i, pts, npts, in_out + i,
+                       edge_out + i);
+  }
+}
+
+void OnSegments(const double* xs, const double* ys, size_t n, const Point* pts,
+                size_t npts, uint8_t* out) {
+  const __m128d zero = _mm_setzero_pd();
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d px = _mm_loadu_pd(xs + i), py = _mm_loadu_pd(ys + i);
+    __m128d acc = zero;
+    for (size_t s = 1; s < npts; ++s) {
+      const Point& a = pts[s - 1];
+      const Point& b = pts[s];
+      const double dxab = b.x - a.x, dyab = b.y - a.y;
+      const __m128d o = _mm_sub_pd(
+          _mm_mul_pd(_mm_set1_pd(dxab), _mm_sub_pd(py, _mm_set1_pd(a.y))),
+          _mm_mul_pd(_mm_set1_pd(dyab), _mm_sub_pd(px, _mm_set1_pd(a.x))));
+      __m128d on = _mm_cmpeq_pd(o, zero);
+      on = _mm_and_pd(on, _mm_cmpge_pd(px, _mm_set1_pd(std::min(a.x, b.x))));
+      on = _mm_and_pd(on, _mm_cmple_pd(px, _mm_set1_pd(std::max(a.x, b.x))));
+      on = _mm_and_pd(on, _mm_cmpge_pd(py, _mm_set1_pd(std::min(a.y, b.y))));
+      on = _mm_and_pd(on, _mm_cmple_pd(py, _mm_set1_pd(std::max(a.y, b.y))));
+      acc = _mm_or_pd(acc, on);
+    }
+    const int m = _mm_movemask_pd(acc);
+    out[i] = static_cast<uint8_t>(m & 1);
+    out[i + 1] = static_cast<uint8_t>((m >> 1) & 1);
+  }
+  if (i < n) generic::OnSegments(xs + i, ys + i, n - i, pts, npts, out + i);
+}
+
+// ---- point-segment squared distance (min-accumulated) ------------------
+
+inline void SegmentDist2AccumV(const double* xs, const double* ys, size_t n,
+                               const Point& a, const Point& b, double* best) {
+  const double abx = b.x - a.x, aby = b.y - a.y;
+  const double len2 = abx * abx + aby * aby;
+  const __m128d ax = _mm_set1_pd(a.x), ay = _mm_set1_pd(a.y);
+  size_t i = 0;
+  if (len2 == 0.0) {
+    for (; i + 2 <= n; i += 2) {
+      const __m128d dx = _mm_sub_pd(_mm_loadu_pd(xs + i), ax);
+      const __m128d dy = _mm_sub_pd(_mm_loadu_pd(ys + i), ay);
+      const __m128d d = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+      _mm_storeu_pd(best + i, MinStd(_mm_loadu_pd(best + i), d));
+    }
+  } else {
+    const __m128d vabx = _mm_set1_pd(abx), vaby = _mm_set1_pd(aby);
+    const __m128d vlen2 = _mm_set1_pd(len2);
+    const __m128d zero = _mm_setzero_pd(), one = _mm_set1_pd(1.0);
+    for (; i + 2 <= n; i += 2) {
+      const __m128d px = _mm_loadu_pd(xs + i), py = _mm_loadu_pd(ys + i);
+      const __m128d pax = _mm_sub_pd(px, ax), pay = _mm_sub_pd(py, ay);
+      __m128d t = _mm_div_pd(
+          _mm_add_pd(_mm_mul_pd(pax, vabx), _mm_mul_pd(pay, vaby)), vlen2);
+      // std::clamp(t, 0, 1): the low clamp wins when both apply; NaN stays.
+      t = Blend(t, one, _mm_cmplt_pd(one, t));
+      t = Blend(t, zero, _mm_cmplt_pd(t, zero));
+      const __m128d projx = _mm_add_pd(ax, _mm_mul_pd(t, vabx));
+      const __m128d projy = _mm_add_pd(ay, _mm_mul_pd(t, vaby));
+      const __m128d dx = _mm_sub_pd(px, projx), dy = _mm_sub_pd(py, projy);
+      const __m128d d = _mm_add_pd(_mm_mul_pd(dx, dx), _mm_mul_pd(dy, dy));
+      _mm_storeu_pd(best + i, MinStd(_mm_loadu_pd(best + i), d));
+    }
+  }
+  if (i < n) generic::SegmentDist2Accum(xs + i, ys + i, n - i, a, b, best + i);
+}
+
+void SegmentsDist2(const double* xs, const double* ys, size_t n,
+                   const Point* pts, size_t npts, bool closed, double* best) {
+  if (npts == 0) return;
+  if (closed) {
+    for (size_t s = 0, j = npts - 1; s < npts; j = s++) {
+      SegmentDist2AccumV(xs, ys, n, pts[s], pts[j], best);
+    }
+  } else {
+    for (size_t s = 1; s < npts; ++s) {
+      SegmentDist2AccumV(xs, ys, n, pts[s - 1], pts[s], best);
+    }
+  }
+}
+
+void BoxContains(const double* xs, const double* ys, size_t n, const Box& box,
+                 uint8_t* out) {
+  const __m128d mnx = _mm_set1_pd(box.min_x), mxx = _mm_set1_pd(box.max_x);
+  const __m128d mny = _mm_set1_pd(box.min_y), mxy = _mm_set1_pd(box.max_y);
+  size_t i = 0;
+  for (; i + 2 <= n; i += 2) {
+    const __m128d px = _mm_loadu_pd(xs + i), py = _mm_loadu_pd(ys + i);
+    __m128d m = _mm_and_pd(_mm_cmpge_pd(px, mnx), _mm_cmple_pd(px, mxx));
+    m = _mm_and_pd(m, _mm_and_pd(_mm_cmpge_pd(py, mny), _mm_cmple_pd(py, mxy)));
+    const int bits = _mm_movemask_pd(m);
+    out[i] = static_cast<uint8_t>(bits & 1);
+    out[i + 1] = static_cast<uint8_t>((bits >> 1) & 1);
+  }
+  if (i < n) generic::BoxContains(xs + i, ys + i, n - i, box, out + i);
+}
+
+}  // namespace
+
+void BindSse2Kernels(KernelTable* t) {
+  t->range_i8 = &RangeI8;
+  t->range_u8 = &RangeU8;
+  t->range_i16 = &Range16<int16_t>;
+  t->range_u16 = &Range16<uint16_t>;
+  t->range_i32 = &Range32<int32_t>;
+  t->range_u32 = &Range32<uint32_t>;
+  t->range_f32 = &RangeF32;
+  t->range_f64 = &RangeF64;
+  // 64-bit integer compares and the gathers keep the scalar binding.
+  t->cell_of = &CellOf;
+  t->ring_masks = &RingMasks;
+  t->on_segments = &OnSegments;
+  t->segments_dist2 = &SegmentsDist2;
+  t->box_contains = &BoxContains;
+}
+
+}  // namespace simd
+}  // namespace geocol
+
+#else  // !defined(__SSE2__)
+
+namespace geocol {
+namespace simd {
+void BindSse2Kernels(KernelTable*) {}
+}  // namespace simd
+}  // namespace geocol
+
+#endif

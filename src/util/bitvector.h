@@ -39,6 +39,10 @@ class BitVector {
   /// Number of set bits.
   size_t Count() const;
 
+  /// Number of set bits in [begin, end). Lets callers pre-size row-id
+  /// buffers for one morsel without paying a full-vector Count().
+  size_t CountInRange(size_t begin, size_t end) const;
+
   /// Index of the first set bit at or after `from`, or size() if none.
   size_t FindNext(size_t from) const;
 
@@ -59,6 +63,14 @@ class BitVector {
   /// 64-aligned `begin`/`end` keep the scan on whole words.
   void CollectSetBitsInRange(size_t begin, size_t end,
                              std::vector<uint64_t>* out) const;
+
+  /// ORs `nbits` bits from `words` (LSB-first) into the vector starting at
+  /// `bit_offset`. Bits >= nbits in the source must be zero. This is the
+  /// word-granular sink of the SIMD range kernels: a whole selection word
+  /// lands with two |= instead of 64 Set() calls. Safe under the morsel
+  /// executor because morsel boundaries are 64-aligned, so concurrent
+  /// writers touch disjoint words whenever bit_offset is 64-aligned.
+  void OrWordsAt(size_t bit_offset, const uint64_t* words, size_t nbits);
 
   const std::vector<uint64_t>& words() const { return words_; }
   uint64_t* mutable_words() { return words_.data(); }

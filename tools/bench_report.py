@@ -1,0 +1,82 @@
+#!/usr/bin/env python3
+"""Merge per-binary bench JSON outputs into BENCH_E*.json artifacts.
+
+Every bench binary accepts `--json <path>` and writes its table rows as a
+JSON array of {bench, config, metrics} objects (bench_imprints, which runs
+on google-benchmark, writes that library's native report instead; it is
+converted here). This script groups all rows by experiment id and writes
+one BENCH_<id>.json per experiment:
+
+    build/bench/bench_selection --json /tmp/sel.json
+    build/bench/bench_simd      --json /tmp/simd.json
+    tools/bench_report.py --out-dir . /tmp/sel.json /tmp/simd.json
+    # -> ./BENCH_E3.json ./BENCH_E11.json ...
+"""
+
+import argparse
+import json
+import os
+import sys
+from collections import defaultdict
+
+# google-benchmark reports carry no experiment id; map the binary name
+# (recorded in the report context) to its id from EXPERIMENTS.md.
+GBENCH_EXPERIMENTS = {"bench_imprints": "E7"}
+
+
+def rows_from_file(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if isinstance(doc, list):
+        return doc  # native {bench, config, metrics} rows
+    if isinstance(doc, dict) and "benchmarks" in doc:
+        # google-benchmark format: one row per benchmark entry.
+        exe = os.path.basename(
+            doc.get("context", {}).get("executable", "")) or "gbench"
+        bench = GBENCH_EXPERIMENTS.get(exe, exe)
+        rows = []
+        for b in doc["benchmarks"]:
+            metrics = {
+                k: v
+                for k, v in b.items()
+                if isinstance(v, (int, float)) or k == "name"
+            }
+            rows.append({
+                "bench": bench,
+                "config": {"source": exe},
+                "metrics": metrics,
+            })
+        return rows
+    raise ValueError(f"{path}: unrecognised bench JSON shape")
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__)
+    ap.add_argument("inputs", nargs="+", help="per-binary --json outputs")
+    ap.add_argument("--out-dir", default=".",
+                    help="directory for BENCH_<id>.json files")
+    args = ap.parse_args()
+
+    by_bench = defaultdict(list)
+    for path in args.inputs:
+        try:
+            for row in rows_from_file(path):
+                by_bench[str(row.get("bench", "unknown"))].append(row)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
+
+    os.makedirs(args.out_dir, exist_ok=True)
+    for bench, rows in sorted(by_bench.items()):
+        out = os.path.join(args.out_dir, f"BENCH_{bench}.json")
+        with open(out, "w") as f:
+            json.dump(rows, f, indent=2)
+            f.write("\n")
+        print(f"wrote {out} ({len(rows)} rows)")
+    if not by_bench:
+        print("bench_report: no rows found", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

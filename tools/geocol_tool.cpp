@@ -8,12 +8,14 @@
 //   geocol query    <table_dir> "<SQL>" [--layers <dir>] [--profile]
 //   geocol raster   <table_dir> <out.ppm> [--cols N]
 //   geocol verify   <table_dir>
+//   geocol simd
 //
 // Tables are persisted GeoColumn table directories; layers are .layer text
 // files (id \t class \t name \t WKT).
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -30,6 +32,7 @@
 #include "loader/csv_loader.h"
 #include "pointcloud/generator.h"
 #include "pointcloud/vector_gen.h"
+#include "simd/dispatch.h"
 #include "sql/session.h"
 #include "util/binary_io.h"
 #include "util/tempdir.h"
@@ -75,8 +78,24 @@ int Usage() {
                "  load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]\n"
                "  query    <table_dir> \"<SQL>\" [--layers <dir>] [--profile]\n"
                "  raster   <table_dir> <out.ppm> [--cols N]\n"
-               "  verify   <table_dir>\n");
+               "  verify   <table_dir>\n"
+               "  simd     (print CPU features and active kernel dispatch)\n");
   return 2;
+}
+
+int CmdSimd(const Args&) {
+  const simd::CpuFeatures& f = simd::DetectCpuFeatures();
+  std::printf("cpu features: sse2=%d sse4.2=%d avx=%d os_ymm=%d avx2=%d "
+              "bmi2=%d avx512f=%d\n",
+              f.sse2, f.sse42, f.avx, f.os_ymm, f.avx2, f.bmi2, f.avx512f);
+  std::printf("max supported level: %s\n",
+              simd::SimdLevelName(simd::MaxSupportedSimdLevel()));
+  const char* forced = std::getenv("GEOCOL_SIMD");
+  std::printf("GEOCOL_SIMD override: %s\n",
+              forced != nullptr ? forced : "(unset)");
+  std::printf("active dispatch level: %s\n",
+              simd::SimdLevelName(simd::ActiveSimdLevel()));
+  return 0;
 }
 
 int CmdGenerate(const Args& args) {
@@ -464,5 +483,6 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "raster") return CmdRaster(args);
   if (cmd == "verify") return CmdVerify(args);
+  if (cmd == "simd") return CmdSimd(args);
   return Usage();
 }
