@@ -20,6 +20,8 @@
 
 #include "columns/flat_table.h"
 #include "pointcloud/generator.h"
+#include "telemetry/metrics.h"
+#include "util/logging.h"
 #include "util/timer.h"
 
 namespace geocol {
@@ -62,8 +64,8 @@ inline std::shared_ptr<FlatTable> GenerateSurvey(uint64_t approx_points,
   AhnGenerator gen(SurveyOptions(approx_points, seed));
   auto table = gen.GenerateTable(approx_points);
   if (!table.ok()) {
-    std::fprintf(stderr, "survey generation failed: %s\n",
-                 table.status().ToString().c_str());
+    GEOCOL_LOG(Error).With("error", table.status().ToString())
+        << "survey generation failed";
     std::exit(1);
   }
   return std::move(table).value();
@@ -119,7 +121,7 @@ class JsonSink {
     flushed_ = true;
     std::FILE* f = std::fopen(path_.c_str(), "w");
     if (f == nullptr) {
-      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      GEOCOL_LOG(Error).With("path", path_) << "bench: cannot write JSON";
       return;
     }
     std::fprintf(f, "[\n");
@@ -191,14 +193,22 @@ class JsonSink {
   bool flushed_ = false;
 };
 
-/// Parses harness-level flags (currently `--json <path>`); every bench
-/// binary calls this first thing in main().
+/// Parses harness-level flags; every bench binary calls this first thing
+/// in main().
+///   --json <path>     write TablePrinter rows as a JSON array
+///   --metrics <path>  dump the telemetry registry as JSON at exit
+///                     (ingested by tools/bench_report.py --metrics)
+/// With GEOCOL_METRICS=1 a one-line telemetry summary prints on exit.
 inline void InitBench(int argc, char** argv) {
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::strcmp(argv[i], "--json") == 0) {
       JsonSink::Get().Open(argv[i + 1]);
     }
+    if (std::strcmp(argv[i], "--metrics") == 0) {
+      telemetry::WriteMetricsJsonAtExit(argv[i + 1]);
+    }
   }
+  std::atexit([] { telemetry::MaybePrintSummary(stderr); });
 }
 
 /// Minimal aligned-column table printer for the harness reports.

@@ -1,0 +1,86 @@
+// E12: telemetry overhead on the hot query path.
+//
+// The metrics registry promises "always on, never felt": sharded relaxed
+// atomic counters plus a single enabled-flag load per update. This harness
+// quantifies that promise on the same selection workload as E3 (imprint
+// filter + refine), comparing counters enabled vs disabled. The acceptance
+// bar from DESIGN.md §10 is <2% overhead for counters-only telemetry.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+#include "core/spatial_engine.h"
+#include "telemetry/metrics.h"
+
+using namespace geocol;
+using namespace geocol::bench;
+
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
+  const uint64_t n = BenchPoints(1000000);
+  Banner("E12: telemetry overhead (counters on vs off)",
+         "selection latency per region size, metrics enabled vs disabled");
+
+  auto table = GenerateSurvey(n);
+  const Box extent = SurveyOptions(n).extent;
+  std::printf("survey: %llu points\n",
+              static_cast<unsigned long long>(table->num_rows()));
+
+  // Single-threaded, like E3: the overhead of a per-scan counter bump is
+  // easiest to see without thread-pool noise on top.
+  EngineOptions engine_opts;
+  engine_opts.num_threads = 1;
+  SpatialQueryEngine engine(table, engine_opts);
+
+  const double fractions[5] = {0.0001, 0.001, 0.01, 0.05, 0.15};
+  TablePrinter out({"query", "results", "on ms", "off ms", "overhead"}, 12);
+
+  double sum_on = 0.0;
+  double sum_off = 0.0;
+  for (int qi = 0; qi < 5; ++qi) {
+    double side = std::sqrt(extent.area() * fractions[qi]);
+    Point c{extent.min_x + extent.width() * 0.43,
+            extent.min_y + extent.height() * 0.57};
+    Box q(c.x - side / 2, c.y - side / 2, c.x + side / 2, c.y + side / 2);
+
+    // Interleave on/off repetitions (min of each) so frequency scaling,
+    // cache warm-up and background noise hit both sides equally.
+    uint64_t results = 0;
+    double t_on = 1e300, t_off = 1e300;
+    const int reps = BenchReps();
+    for (int rep = 0; rep < reps; ++rep) {
+      telemetry::SetMetricsEnabled(true);
+      {
+        Timer t;
+        auto r = engine.SelectInBox(q);
+        t_on = std::min(t_on, t.ElapsedMillis());
+        results = r.ok() ? r->count() : 0;
+      }
+      telemetry::SetMetricsEnabled(false);
+      {
+        Timer t;
+        (void)engine.SelectInBox(q);
+        t_off = std::min(t_off, t.ElapsedMillis());
+      }
+    }
+    telemetry::SetMetricsEnabled(true);
+    sum_on += t_on;
+    sum_off += t_off;
+
+    char label[16];
+    std::snprintf(label, sizeof(label), "S%d %.3g%%", qi + 1,
+                  fractions[qi] * 100);
+    out.Row({label, TablePrinter::Int(results), TablePrinter::Num(t_on, 3),
+             TablePrinter::Num(t_off, 3),
+             TablePrinter::Pct(t_off > 0 ? t_on / t_off - 1.0 : 0.0)});
+  }
+
+  double overall = sum_off > 0 ? sum_on / sum_off - 1.0 : 0.0;
+  out.Row({"ALL", "", TablePrinter::Num(sum_on, 3),
+           TablePrinter::Num(sum_off, 3), TablePrinter::Pct(overall)});
+
+  std::printf(
+      "\nexpected shape: overhead within noise (<2%%) — each scan touches "
+      "thousands of\ncachelines but bumps only a handful of thread-sharded "
+      "relaxed counters.\n");
+  return 0;
+}

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "telemetry/metrics.h"
 #include "util/binary_io.h"
 #include "util/crc32c.h"
 #include "util/tempdir.h"
@@ -99,12 +100,16 @@ Status ReadColumnPayload(BinaryReader* r, const ColumnFileHeader& h,
     return r->ReadBytes(out, payload);
   }
   // Verify chunk by chunk, while the freshly read bytes are hot in cache.
+  GEOCOL_METRIC_COUNTER(c_verifies, "geocol_crc_chunk_verifies_total");
+  GEOCOL_METRIC_COUNTER(c_failures, "geocol_crc_failures_total");
   for (uint64_t c = 0; c < h.chunk_crcs.size(); ++c) {
     uint64_t off = c * h.chunk_bytes;
     uint64_t len = std::min<uint64_t>(h.chunk_bytes, payload - off);
     GEOCOL_RETURN_NOT_OK(r->ReadBytes(out + off, len));
     uint32_t crc = Crc32c(out + off, len);
+    c_verifies.Increment();
     if (crc != h.chunk_crcs[c]) {
+      c_failures.Increment();
       return Status::Corruption("column chunk " + std::to_string(c) +
                                 " crc mismatch (stored " +
                                 CrcHex(h.chunk_crcs[c]) + ", computed " +

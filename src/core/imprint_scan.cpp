@@ -1,6 +1,7 @@
 #include "core/imprint_scan.h"
 
 #include <algorithm>
+#include <chrono>
 #include <numeric>
 #include <span>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "core/imprints_io.h"
 #include "core/native_range.h"
 #include "simd/kernels.h"
+#include "telemetry/metrics.h"
 #include "util/thread_pool.h"
 
 namespace geocol {
@@ -37,6 +39,7 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
   if (index.built_epoch() != column.epoch()) {
     return Status::Internal("stale imprints index (column was modified)");
   }
+  const auto scan_start = std::chrono::steady_clock::now();
   out_rows->Resize(column.size());
   ImprintScanStats merged;
   merged.lines_total = index.num_lines();
@@ -66,6 +69,7 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
         st.lines_full += line_count;
         out_rows->SetRange(first_row, last_row);
         st.rows_selected += last_row - first_row;
+        st.rows_full += last_row - first_row;
         return;
       }
       // Boundary run: the SIMD range kernel turns each chunk of values into
@@ -138,10 +142,31 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
       merged.lines_full += st.lines_full;
       merged.values_checked += st.values_checked;
       merged.rows_selected += st.rows_selected;
+      merged.rows_full += st.rows_full;
     }
     merged.workers = static_cast<uint32_t>(
         std::min<uint64_t>(num_morsels, pool->num_threads() + 1));
   });
+  // Work counters feed `geocol metrics` exposition and must stay equal to
+  // the span attributes EXPLAIN ANALYZE reports (asserted in tests).
+  GEOCOL_METRIC_COUNTER(c_scans, "geocol_imprint_scans_total");
+  GEOCOL_METRIC_COUNTER(c_lines_total, "geocol_imprint_cachelines_total");
+  GEOCOL_METRIC_COUNTER(c_lines_probed, "geocol_imprint_cachelines_probed_total");
+  GEOCOL_METRIC_COUNTER(c_lines_full, "geocol_imprint_cachelines_full_total");
+  GEOCOL_METRIC_COUNTER(c_values, "geocol_imprint_values_checked_total");
+  GEOCOL_METRIC_COUNTER(c_rows, "geocol_imprint_rows_selected_total");
+  GEOCOL_METRIC_COUNTER(c_rows_full, "geocol_imprint_rows_full_total");
+  GEOCOL_METRIC_HISTOGRAM(h_scan, "geocol_imprint_scan_nanos");
+  c_scans.Increment();
+  c_lines_total.Increment(merged.lines_total);
+  c_lines_probed.Increment(merged.lines_candidate);
+  c_lines_full.Increment(merged.lines_full);
+  c_values.Increment(merged.values_checked);
+  c_rows.Increment(merged.rows_selected);
+  c_rows_full.Increment(merged.rows_full);
+  h_scan.Observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                     std::chrono::steady_clock::now() - scan_start)
+                     .count());
   if (stats != nullptr) *stats = merged;
   return Status::OK();
 }
@@ -163,6 +188,10 @@ void FullScanRangeSelect(const Column& column, double lo, double hi,
 Result<std::shared_ptr<const ImprintsIndex>> ImprintManager::GetOrBuild(
     const ColumnPtr& column) {
   if (column == nullptr) return Status::InvalidArgument("null column");
+  GEOCOL_METRIC_COUNTER(c_hits, "geocol_imprint_cache_hits_total");
+  GEOCOL_METRIC_COUNTER(c_misses, "geocol_imprint_cache_misses_total");
+  GEOCOL_METRIC_COUNTER(c_builds, "geocol_imprint_builds_total");
+  GEOCOL_METRIC_HISTOGRAM(h_build, "geocol_imprint_build_nanos");
   std::shared_ptr<Entry> entry;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -171,6 +200,7 @@ Result<std::shared_ptr<const ImprintsIndex>> ImprintManager::GetOrBuild(
     entry = slot;
     if (entry->index != nullptr &&
         entry->index->built_epoch() == column->epoch()) {
+      c_hits.Increment();
       return entry->index;
     }
   }
@@ -181,9 +211,12 @@ Result<std::shared_ptr<const ImprintsIndex>> ImprintManager::GetOrBuild(
     std::lock_guard<std::mutex> lock(mu_);
     if (entry->index != nullptr &&
         entry->index->built_epoch() == column->epoch()) {
+      c_hits.Increment();
       return entry->index;
     }
   }
+  c_misses.Increment();
+  const auto build_start = std::chrono::steady_clock::now();
   // Sidecar-backed build reuses a verified on-disk index when fresh and
   // transparently quarantines + rebuilds when corrupt or stale.
   Result<ImprintsIndex> built =
@@ -193,6 +226,10 @@ Result<std::shared_ptr<const ImprintsIndex>> ImprintManager::GetOrBuild(
                                 sidecar_dir_ + "/" + column->name() + ".gim",
                                 options_, pool_);
   GEOCOL_RETURN_NOT_OK(built.status());
+  c_builds.Increment();
+  h_build.Observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                      std::chrono::steady_clock::now() - build_start)
+                      .count());
   auto index = std::make_shared<const ImprintsIndex>(std::move(*built));
   std::lock_guard<std::mutex> lock(mu_);
   entry->index = index;

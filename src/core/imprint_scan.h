@@ -30,6 +30,7 @@ struct ImprintScanStats {
   uint64_t lines_full = 0;       ///< accepted without per-value checks
   uint64_t values_checked = 0;   ///< per-value comparisons performed
   uint64_t rows_selected = 0;
+  uint64_t rows_full = 0;        ///< rows accepted via full lines (no check)
   uint32_t workers = 1;          ///< threads that executed scan morsels
 
   /// Fraction of the column actually touched by the scan.
@@ -37,6 +38,16 @@ struct ImprintScanStats {
     return lines_total > 0
                ? static_cast<double>(lines_candidate) / lines_total
                : 0.0;
+  }
+
+  /// Fraction of per-value comparisons that rejected the row: how often
+  /// the imprint flagged a boundary line whose values then failed the
+  /// predicate. 0 when no per-value checks ran.
+  double FalsePositiveRate() const {
+    if (values_checked == 0) return 0.0;
+    uint64_t boundary_selected = rows_selected - rows_full;
+    return static_cast<double>(values_checked - boundary_selected) /
+           static_cast<double>(values_checked);
   }
 };
 

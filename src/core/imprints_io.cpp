@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "telemetry/metrics.h"
 #include "util/binary_io.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
@@ -127,6 +128,9 @@ Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
   // column name could be adopted by a same-named, same-sized column of a
   // different table and silently mis-prune scans.
   const uint32_t fingerprint = ColumnFingerprint(column);
+  GEOCOL_METRIC_COUNTER(c_loads, "geocol_imprint_sidecar_loads_total");
+  GEOCOL_METRIC_COUNTER(c_quarantines, "geocol_imprint_sidecar_quarantines_total");
+  GEOCOL_METRIC_COUNTER(c_stale, "geocol_imprint_sidecar_stale_total");
   bool overwrite_stale = false;
   if (PathExists(path)) {
     ImprintsFileMeta meta;
@@ -135,31 +139,39 @@ Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
         meta.column_fingerprint == fingerprint &&
         loaded->built_epoch() == column.epoch() &&
         loaded->num_rows() == column.size()) {
+      c_loads.Increment();
       return loaded;
     }
     if (!loaded.ok()) {
       // Corrupt sidecar: keep the evidence out of the load path and
       // rebuild from the (authoritative) column data.
+      c_quarantines.Increment();
       std::string quarantine = path + ".quarantined";
-      GEOCOL_LOG(Warning) << "quarantining corrupt imprints sidecar " << path
-                          << " -> " << quarantine << ": "
-                          << loaded.status().ToString();
+      GEOCOL_LOG(Warning)
+              .With("path", path)
+              .With("quarantine", quarantine)
+              .With("error", loaded.status().ToString())
+          << "quarantining corrupt imprints sidecar";
       Status moved = RenameFile(path, quarantine);
       if (!moved.ok()) {
-        GEOCOL_LOG(Warning) << "could not quarantine " << path << ": "
-                            << moved.ToString();
+        GEOCOL_LOG(Warning).With("path", path).With("error", moved.ToString())
+            << "could not quarantine sidecar";
       }
     } else {
+      c_stale.Increment();
       overwrite_stale = true;
-      GEOCOL_LOG(Info) << "imprints sidecar " << path
-                       << " is stale (fingerprint "
-                       << (meta.has_fingerprint
-                               ? std::to_string(meta.column_fingerprint)
-                               : std::string("none"))
-                       << " vs " << fingerprint << ", epoch "
-                       << loaded->built_epoch() << " vs " << column.epoch()
-                       << ", rows " << loaded->num_rows() << " vs "
-                       << column.size() << "); rebuilding";
+      GEOCOL_LOG(Info)
+              .With("path", path)
+              .With("sidecar_fingerprint",
+                    meta.has_fingerprint
+                        ? std::to_string(meta.column_fingerprint)
+                        : std::string("none"))
+              .With("column_fingerprint", fingerprint)
+              .With("sidecar_epoch", loaded->built_epoch())
+              .With("column_epoch", column.epoch())
+              .With("sidecar_rows", loaded->num_rows())
+              .With("column_rows", column.size())
+          << "imprints sidecar is stale; rebuilding";
     }
   }
   GEOCOL_ASSIGN_OR_RETURN(ImprintsIndex built,
@@ -167,10 +179,10 @@ Result<ImprintsIndex> LoadOrBuildImprints(const Column& column,
   Status persisted = WriteImprintsFile(built, path, fingerprint);
   if (!persisted.ok()) {
     // The sidecar is cache; the freshly built index is still good.
-    GEOCOL_LOG(Warning) << "could not persist imprints sidecar " << path
-                        << ": " << persisted.ToString();
+    GEOCOL_LOG(Warning).With("path", path).With("error", persisted.ToString())
+        << "could not persist imprints sidecar";
   } else if (overwrite_stale) {
-    GEOCOL_LOG(Info) << "rewrote imprints sidecar " << path;
+    GEOCOL_LOG(Info).With("path", path) << "rewrote imprints sidecar";
   }
   return built;
 }

@@ -1,33 +1,223 @@
 #include "core/profile.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
 
 namespace geocol {
 
+namespace {
+
+int64_t SteadyNowNanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+uint32_t CurrentProfileThreadId() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
+void QueryProfile::Clear() {
+  ops_.clear();
+  open_.clear();
+  epoch_nanos_ = SteadyNowNanos();
+}
+
+int64_t QueryProfile::NowNanos() const {
+  return SteadyNowNanos() - epoch_nanos_;
+}
+
+int32_t QueryProfile::PushSpan(OperatorProfile op) {
+  op.parent = open_.empty() ? -1 : open_.back();
+  op.thread_id = CurrentProfileThreadId();
+  ops_.push_back(std::move(op));
+  return static_cast<int32_t>(ops_.size()) - 1;
+}
+
+int32_t QueryProfile::Add(std::string name, int64_t nanos, uint64_t rows_in,
+                          uint64_t rows_out, std::string detail) {
+  return AddParallel(std::move(name), nanos, rows_in, rows_out, 1,
+                     std::move(detail));
+}
+
+int32_t QueryProfile::AddParallel(std::string name, int64_t nanos,
+                                  uint64_t rows_in, uint64_t rows_out,
+                                  uint32_t workers, std::string detail) {
+  OperatorProfile op;
+  op.name = std::move(name);
+  op.nanos = nanos;
+  op.rows_in = rows_in;
+  op.rows_out = rows_out;
+  op.workers = workers == 0 ? 1 : workers;
+  op.detail = std::move(detail);
+  // The operator ended "now" and ran for `nanos`.
+  op.start_nanos = std::max<int64_t>(0, NowNanos() - nanos);
+  return PushSpan(std::move(op));
+}
+
+int32_t QueryProfile::AddSpanAt(std::string name, int64_t start_nanos,
+                                int64_t nanos, uint64_t rows_in,
+                                uint64_t rows_out, std::string detail) {
+  OperatorProfile op;
+  op.name = std::move(name);
+  op.nanos = nanos;
+  op.rows_in = rows_in;
+  op.rows_out = rows_out;
+  op.detail = std::move(detail);
+  op.start_nanos = start_nanos;
+  return PushSpan(std::move(op));
+}
+
+int32_t QueryProfile::OpenSpan(std::string name) {
+  OperatorProfile op;
+  op.name = std::move(name);
+  op.start_nanos = NowNanos();
+  int32_t index = PushSpan(std::move(op));
+  open_.push_back(index);
+  return index;
+}
+
+void QueryProfile::CloseSpan(uint64_t rows_in, uint64_t rows_out,
+                             std::string detail) {
+  if (open_.empty()) return;
+  OperatorProfile& op = ops_[open_.back()];
+  open_.pop_back();
+  op.nanos = std::max<int64_t>(0, NowNanos() - op.start_nanos);
+  if (rows_in != 0) op.rows_in = rows_in;
+  if (rows_out != 0) op.rows_out = rows_out;
+  if (!detail.empty()) op.detail = std::move(detail);
+}
+
+void QueryProfile::AddAttr(int32_t index, std::string key, std::string value) {
+  if (index < 0 || static_cast<size_t>(index) >= ops_.size()) return;
+  ops_[index].attrs.emplace_back(std::move(key), std::move(value));
+}
+
+void QueryProfile::AddAttr(int32_t index, std::string key, uint64_t value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%llu",
+                static_cast<unsigned long long>(value));
+  AddAttr(index, std::move(key), std::string(buf));
+}
+
+void QueryProfile::AddAttr(int32_t index, std::string key, double value) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.4f", value);
+  AddAttr(index, std::move(key), std::string(buf));
+}
+
+void QueryProfile::Append(const QueryProfile& other) {
+  const int32_t base = static_cast<int32_t>(ops_.size());
+  const int32_t adopt_parent = open_.empty() ? -1 : open_.back();
+  // Branch-local profiles were cleared (epoch re-based) when their branch
+  // started; shift their start offsets onto this profile's timeline.
+  const int64_t epoch_delta = other.epoch_nanos_ - epoch_nanos_;
+  for (const OperatorProfile& src : other.ops_) {
+    OperatorProfile op = src;
+    op.start_nanos = std::max<int64_t>(0, op.start_nanos + epoch_delta);
+    op.parent = op.parent < 0 ? adopt_parent : op.parent + base;
+    ops_.push_back(std::move(op));
+  }
+}
+
 int64_t QueryProfile::TotalNanos() const {
+  // Wrapper spans re-cover their children, so count leaves only. A flat
+  // profile (no OpenSpan calls) has only leaves — identical to the old
+  // plain sum.
+  std::vector<bool> has_child(ops_.size(), false);
+  for (const auto& op : ops_) {
+    if (op.parent >= 0) has_child[op.parent] = true;
+  }
   int64_t total = 0;
-  for (const auto& op : ops_) total += op.nanos;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    if (!has_child[i]) total += ops_[i].nanos;
+  }
   return total;
 }
 
+int64_t QueryProfile::CriticalPathNanos() const {
+  // Measure of the union of root-span intervals. Concurrent branches
+  // overlap on the timeline and are counted once.
+  std::vector<std::pair<int64_t, int64_t>> intervals;
+  intervals.reserve(ops_.size());
+  for (const auto& op : ops_) {
+    if (op.parent < 0) {
+      intervals.emplace_back(op.start_nanos, op.start_nanos + op.nanos);
+    }
+  }
+  std::sort(intervals.begin(), intervals.end());
+  int64_t covered = 0;
+  int64_t cursor = 0;
+  bool any = false;
+  for (const auto& iv : intervals) {
+    int64_t begin = any ? std::max(cursor, iv.first) : iv.first;
+    if (iv.second > begin) covered += iv.second - begin;
+    cursor = any ? std::max(cursor, iv.second) : iv.second;
+    any = true;
+  }
+  return covered;
+}
+
 std::string QueryProfile::ToString() const {
+  // Render as a tree: children printed directly under their parent,
+  // indented by depth, preserving recorded order among siblings.
+  std::vector<std::vector<int32_t>> children(ops_.size());
+  std::vector<int32_t> roots;
+  for (size_t i = 0; i < ops_.size(); ++i) {
+    int32_t parent = ops_[i].parent;
+    if (parent >= 0 && static_cast<size_t>(parent) < ops_.size()) {
+      children[parent].push_back(static_cast<int32_t>(i));
+    } else {
+      roots.push_back(static_cast<int32_t>(i));
+    }
+  }
+
   std::string out;
   char line[512];
-  for (const auto& op : ops_) {
+  // Iterative pre-order walk; stack holds (index, depth).
+  std::vector<std::pair<int32_t, int>> stack;
+  for (auto it = roots.rbegin(); it != roots.rend(); ++it) {
+    stack.emplace_back(*it, 0);
+  }
+  while (!stack.empty()) {
+    auto [index, depth] = stack.back();
+    stack.pop_back();
+    const OperatorProfile& op = ops_[index];
     char workers[16] = "";
     if (op.workers > 1) {
       std::snprintf(workers, sizeof(workers), " x%u", op.workers);
     }
+    std::string name(static_cast<size_t>(depth) * 2, ' ');
+    name += op.name;
+    std::string annot = op.detail;
+    for (const auto& kv : op.attrs) {
+      if (!annot.empty()) annot += " ";
+      annot += kv.first;
+      annot += "=";
+      annot += kv.second;
+    }
     std::snprintf(line, sizeof(line),
-                  "  %-28s %10.3f ms%s  %12llu -> %-12llu %s\n",
-                  op.name.c_str(), op.nanos / 1e6, workers,
+                  "  %-28s %10.3f ms%s  %12llu -> %-12llu %s\n", name.c_str(),
+                  op.nanos / 1e6, workers,
                   static_cast<unsigned long long>(op.rows_in),
-                  static_cast<unsigned long long>(op.rows_out),
-                  op.detail.c_str());
+                  static_cast<unsigned long long>(op.rows_out), annot.c_str());
     out += line;
+    for (auto it = children[index].rbegin(); it != children[index].rend();
+         ++it) {
+      stack.emplace_back(*it, depth + 1);
+    }
   }
-  std::snprintf(line, sizeof(line), "  %-28s %10.3f ms\n", "TOTAL",
+  std::snprintf(line, sizeof(line), "  %-28s %10.3f ms\n", "TOTAL (sum)",
                 TotalNanos() / 1e6);
+  out += line;
+  std::snprintf(line, sizeof(line), "  %-28s %10.3f ms\n",
+                "WALL (critical path)", CriticalPathNanos() / 1e6);
   out += line;
   return out;
 }

@@ -5,11 +5,32 @@
 #include <memory>
 
 #include "geom/predicates.h"
+#include "telemetry/metrics.h"
 #include "util/thread_pool.h"
 
 namespace geocol {
 
 namespace {
+
+/// Publishes one refinement's work accounting to the metrics registry.
+/// Called exactly once per top-level refine (grid, parallel grid, or
+/// exhaustive).
+void RecordRefineMetrics(const RefinementStats& st) {
+  GEOCOL_METRIC_COUNTER(c_refines, "geocol_refines_total");
+  GEOCOL_METRIC_COUNTER(c_cand, "geocol_refine_candidates_total");
+  GEOCOL_METRIC_COUNTER(c_acc, "geocol_refine_accepted_total");
+  GEOCOL_METRIC_COUNTER(c_inside, "geocol_refine_cells_inside_total");
+  GEOCOL_METRIC_COUNTER(c_outside, "geocol_refine_cells_outside_total");
+  GEOCOL_METRIC_COUNTER(c_boundary, "geocol_refine_cells_boundary_total");
+  GEOCOL_METRIC_COUNTER(c_exact, "geocol_refine_exact_tests_total");
+  c_refines.Increment();
+  c_cand.Increment(st.candidates);
+  c_acc.Increment(st.accepted);
+  c_inside.Increment(st.cells_inside);
+  c_outside.Increment(st.cells_outside);
+  c_boundary.Increment(st.cells_boundary);
+  c_exact.Increment(st.exact_tests);
+}
 
 // Candidate vectors below this size refine serially even with a pool.
 constexpr size_t kMinParallelRefineRows = 1 << 17;
@@ -146,6 +167,7 @@ Status ParallelGridRefine(const Column& x, const Column& y,
   for (const Box& b : morsel_extent) extent.Extend(b);
   for (const auto& rows : morsel_rows) local.candidates += rows.size();
   if (local.candidates == 0) {
+    RecordRefineMetrics(local);
     if (stats != nullptr) *stats = local;
     return Status::OK();
   }
@@ -207,6 +229,7 @@ Status ParallelGridRefine(const Column& x, const Column& y,
     out_rows->insert(out_rows->end(), morsel_out[m].begin(),
                      morsel_out[m].end());
   }
+  RecordRefineMetrics(local);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }
@@ -239,6 +262,7 @@ Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
   Box extent = GatherExtent(x, y, cand_rows.data(), cand_rows.size());
   local.candidates = cand_rows.size();
   if (cand_rows.empty()) {
+    RecordRefineMetrics(local);
     if (stats != nullptr) *stats = local;
     return Status::OK();
   }
@@ -269,6 +293,7 @@ Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
   };
   RefineRowsBatched(x, y, cand_rows.data(), cand_rows.size(), grid, geometry,
                     buffer, classify, out_rows, local);
+  RecordRefineMetrics(local);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }
@@ -298,6 +323,7 @@ Status ExhaustiveRefine(const Column& x, const Column& y,
       }
     }
   }
+  RecordRefineMetrics(local);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 #include <thread>
 
 #include "columns/types.h"
+#include "telemetry/metrics.h"
 #include "util/timer.h"
 
 namespace geocol {
@@ -181,8 +182,17 @@ Status SpatialQueryEngine::FilterColumn(const ColumnPtr& column, double lo,
                   static_cast<unsigned long long>(stats->lines_candidate),
                   static_cast<unsigned long long>(stats->lines_total),
                   static_cast<unsigned long long>(stats->lines_full), build_ms);
-    profile->AddParallel(op_name, t2.ElapsedNanos(), column->size(),
-                         stats->rows_selected, stats->workers, detail);
+    int32_t span =
+        profile->AddParallel(op_name, t2.ElapsedNanos(), column->size(),
+                             stats->rows_selected, stats->workers, detail);
+    // Span attributes mirror the registry counters one-to-one so EXPLAIN
+    // ANALYZE output can be cross-checked against `geocol metrics`.
+    profile->AddAttr(span, "cachelines_probed", stats->lines_candidate);
+    profile->AddAttr(span, "cachelines_total", stats->lines_total);
+    profile->AddAttr(span, "cachelines_full", stats->lines_full);
+    profile->AddAttr(span, "values_checked", stats->values_checked);
+    profile->AddAttr(span, "rows_selected", stats->rows_selected);
+    profile->AddAttr(span, "false_positive_rate", stats->FalsePositiveRate());
     return Status::OK();
   }
   FullScanRangeSelect(*column, lo, hi, rows);
@@ -211,12 +221,18 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
   if (buffer > 0) env = env.Expanded(buffer);
   if (env.empty()) return result;
 
+  GEOCOL_METRIC_COUNTER(c_queries, "geocol_queries_total");
+  GEOCOL_METRIC_HISTOGRAM(h_query, "geocol_query_nanos");
+  c_queries.Increment();
+  Timer query_timer;
+
   // ---- Step 1: filter. Imprint range selections on x and y, intersected,
   // then conjunctive thematic ranges, each narrowing the selection. With a
   // pool, all filter branches execute concurrently into branch-local state
   // (selection, stats, profile); results merge in the serial order, so the
   // selection, stats and operator order are identical to serial execution.
   BitVector rows;
+  result.profile.OpenSpan("filter");
   if (pool_ != nullptr) {
     struct FilterBranch {
       ColumnPtr column;
@@ -306,9 +322,12 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
   }
 
   // ---- Step 2: refinement. A box query with no buffer is already exact
-  // after the envelope filter; everything else goes through the grid.
-  Timer t;
+  // after the envelope filter; everything else goes through the grid. The
+  // filter span must close before the refine timer starts so the two
+  // spans never overlap in trace exports.
   uint64_t candidates = rows.Count();
+  result.profile.CloseSpan(xcol->size(), candidates);
+  Timer t;
   if (geometry.is_box() && buffer == 0.0) {
     result.row_ids.reserve(candidates);
     rows.CollectSetBits(&result.row_ids);
@@ -316,6 +335,7 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
     result.refine.accepted = candidates;
     result.profile.Add("refine.none(box)", t.ElapsedNanos(), candidates,
                        candidates);
+    h_query.Observe(query_timer.ElapsedNanos());
     return result;
   }
   GEOCOL_RETURN_NOT_OK(GridRefine(*xcol, *ycol, rows, geometry, buffer,
@@ -334,6 +354,7 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
                              t.ElapsedNanos(), candidates,
                              result.row_ids.size(), result.refine.workers,
                              detail);
+  h_query.Observe(query_timer.ElapsedNanos());
   return result;
 }
 

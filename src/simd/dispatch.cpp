@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "simd/kernels_generic.h"
+#include "telemetry/metrics.h"
 
 #if defined(__x86_64__) || defined(_M_X64)
 #define GEOCOL_X86_64 1
@@ -79,6 +80,13 @@ SimdLevel ClampLevel(SimdLevel level) {
   return level > max ? max : level;
 }
 
+/// Publishes the active dispatch level (0=scalar, 1=sse2, 2=avx2) so
+/// `geocol metrics` can attribute results to the code path that ran.
+void PublishSimdLevelGauge(SimdLevel level) {
+  GEOCOL_METRIC_GAUGE(g_level, "geocol_simd_dispatch_level");
+  g_level.Set(static_cast<int64_t>(level));
+}
+
 Runtime& GetRuntime() {
   static Runtime rt = [] {
     Runtime r;
@@ -88,6 +96,7 @@ Runtime& GetRuntime() {
       r.level = ClampLevel(forced);
     }
     BindKernelsForLevel(r.level, &r.table);
+    PublishSimdLevelGauge(r.level);
     return r;
   }();
   return rt;
@@ -117,6 +126,7 @@ SimdLevel SetSimdLevel(SimdLevel level) {
     BindKernelsForLevel(applied, &table);
     rt.table = table;
     rt.level = applied;
+    PublishSimdLevelGauge(applied);
   }
   return applied;
 }

@@ -63,6 +63,7 @@ struct SpatialPred {
 /// A parsed SELECT statement.
 struct SelectStmt {
   bool explain = false;  ///< EXPLAIN prefix: also return the plan text
+  bool analyze = false;  ///< EXPLAIN ANALYZE: execute, return plan + span tree
   std::vector<SelectItem> items;
   std::string table;  ///< lower-cased FROM target
   std::vector<RangePred> ranges;

@@ -321,23 +321,47 @@ Result<ResultSet> ExecuteLayer(const PlannedQuery& plan) {
 
 }  // namespace
 
+namespace {
+
+/// Appends each line of `text` as a one-column text row.
+void PushTextLines(ResultSet* rs, const std::string& text) {
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t nl = text.find('\n', start);
+    if (nl == std::string::npos) nl = text.size();
+    rs->rows.push_back({Value::Text(text.substr(start, nl - start))});
+    start = nl + 1;
+  }
+}
+
+}  // namespace
+
 Result<ResultSet> ExecuteQuery(const PlannedQuery& plan) {
-  if (plan.stmt.explain) {
+  if (plan.stmt.explain && !plan.stmt.analyze) {
     ResultSet rs;
     rs.columns = {"plan"};
-    std::string desc = plan.Describe();
-    size_t start = 0;
-    while (start < desc.size()) {
-      size_t nl = desc.find('\n', start);
-      if (nl == std::string::npos) nl = desc.size();
-      rs.rows.push_back({Value::Text(desc.substr(start, nl - start))});
-      start = nl + 1;
-    }
+    PushTextLines(&rs, plan.Describe());
     return rs;
   }
-  return plan.target == PlannedQuery::Target::kPointCloud
-             ? ExecutePointCloud(plan)
-             : ExecuteLayer(plan);
+  Result<ResultSet> executed = plan.target == PlannedQuery::Target::kPointCloud
+                                   ? ExecutePointCloud(plan)
+                                   : ExecuteLayer(plan);
+  if (!plan.stmt.analyze) return executed;
+  GEOCOL_RETURN_NOT_OK(executed.status());
+  // EXPLAIN ANALYZE: the query ran in full; return the plan followed by
+  // the executed span tree (times, cardinalities, worker counts, span
+  // attributes) instead of the result rows.
+  ResultSet rs;
+  rs.columns = {"explain analyze"};
+  PushTextLines(&rs, plan.Describe());
+  rs.rows.push_back({Value::Text("")});
+  char header[64];
+  std::snprintf(header, sizeof(header), "spans (%llu rows returned):",
+                static_cast<unsigned long long>(executed->rows.size()));
+  rs.rows.push_back({Value::Text(header)});
+  PushTextLines(&rs, executed->profile.ToString());
+  rs.profile = std::move(executed->profile);
+  return rs;
 }
 
 }  // namespace sql

@@ -25,6 +25,7 @@ class Parser {
     if (PeekKeyword("EXPLAIN")) {
       Advance();
       stmt.explain = true;
+      if (EatKeyword("ANALYZE")) stmt.analyze = true;
     }
     GEOCOL_RETURN_NOT_OK(ExpectKeyword("SELECT"));
     GEOCOL_RETURN_NOT_OK(ParseSelectList(&stmt));

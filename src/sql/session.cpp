@@ -1,16 +1,52 @@
 #include "sql/session.h"
 
+#include <cstdlib>
+
 #include "sql/parser.h"
+#include "telemetry/trace.h"
+#include "util/logging.h"
+#include "util/timer.h"
 
 namespace geocol {
 namespace sql {
 
+SessionOptions SessionOptions::FromEnv() {
+  SessionOptions options;
+  if (const char* env = std::getenv("GEOCOL_SLOW_QUERY_MS")) {
+    char* end = nullptr;
+    double ms = std::strtod(env, &end);
+    if (end != env && ms >= 0) options.slow_query_ms = ms;
+  }
+  return options;
+}
+
 Result<ResultSet> Session::Execute(const std::string& sql_text) {
+  Timer timer;
   GEOCOL_ASSIGN_OR_RETURN(SelectStmt stmt, Parse(sql_text));
   GEOCOL_ASSIGN_OR_RETURN(PlannedQuery plan, PlanQuery(catalog_, std::move(stmt)));
   last_plan_ = plan.Describe();
   GEOCOL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteQuery(plan));
   last_profile_ = rs.profile;
+  const int64_t wall_nanos = timer.ElapsedNanos();
+
+  if (options_.record_trace && !last_profile_.empty()) {
+    telemetry::TraceRecord record;
+    record.query = sql_text;
+    record.profile = last_profile_;
+    record.wall_nanos = wall_nanos;
+    telemetry::TraceRing::Global().Record(std::move(record));
+  }
+
+  if (options_.slow_query_ms >= 0 &&
+      wall_nanos / 1e6 > options_.slow_query_ms) {
+    GEOCOL_LOG(Warning)
+            .With("wall_ms", wall_nanos / 1e6)
+            .With("threshold_ms", options_.slow_query_ms)
+            .With("query", sql_text)
+        << "slow query\n"
+        << last_plan_ << "\n"
+        << last_profile_.ToString();
+  }
   return rs;
 }
 

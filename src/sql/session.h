@@ -11,11 +11,29 @@
 namespace geocol {
 namespace sql {
 
+/// Telemetry knobs for a Session.
+struct SessionOptions {
+  /// Record every executed query (text + span tree + wall time) into
+  /// telemetry::TraceRing::Global() for later export via `geocol trace`.
+  bool record_trace = true;
+
+  /// Queries slower than this (end-to-end: parse + plan + execute) are
+  /// logged at Warning with their plan and span tree. <0 disables; the
+  /// default comes from the GEOCOL_SLOW_QUERY_MS env var (unset = off).
+  double slow_query_ms = -1.0;
+
+  /// Fills slow_query_ms from GEOCOL_SLOW_QUERY_MS when set.
+  static SessionOptions FromEnv();
+};
+
 /// A lightweight SQL session over a catalog (not thread safe; create one
 /// per thread).
 class Session {
  public:
-  explicit Session(Catalog* catalog) : catalog_(catalog) {}
+  explicit Session(Catalog* catalog)
+      : catalog_(catalog), options_(SessionOptions::FromEnv()) {}
+  Session(Catalog* catalog, SessionOptions options)
+      : catalog_(catalog), options_(options) {}
 
   /// Parses, plans and executes `sql_text`.
   Result<ResultSet> Execute(const std::string& sql_text);
@@ -26,8 +44,11 @@ class Session {
   /// Per-operator profile of the last executed statement.
   const QueryProfile& last_profile() const { return last_profile_; }
 
+  const SessionOptions& options() const { return options_; }
+
  private:
   Catalog* catalog_;
+  SessionOptions options_;
   std::string last_plan_;
   QueryProfile last_profile_;
 };

@@ -1,0 +1,270 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdlib>
+#include <limits>
+
+namespace geocol {
+namespace telemetry {
+
+namespace {
+
+std::atomic<bool> g_metrics_enabled{true};
+
+/// Round-robin shard assignment: cheap, stable per thread, and spreads
+/// concurrent writers across cache lines even when thread ids collide.
+std::atomic<size_t> g_next_shard{0};
+
+/// Escapes a string for embedding in a JSON document.
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendFormat(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendFormat(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, std::min<size_t>(static_cast<size_t>(n), sizeof(buf) - 1));
+}
+
+}  // namespace
+
+void SetMetricsEnabled(bool enabled) {
+  g_metrics_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() {
+  return g_metrics_enabled.load(std::memory_order_relaxed);
+}
+
+size_t Counter::ShardIndex() {
+  thread_local size_t slot =
+      g_next_shard.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return slot;
+}
+
+int64_t Histogram::BucketUpperBound(size_t i) const {
+  if (i + 1 >= kNumBuckets) return std::numeric_limits<int64_t>::max();
+  // first_bound * 4^i, saturating.
+  int64_t bound = first_bound_;
+  for (size_t k = 0; k < i; ++k) {
+    if (bound > std::numeric_limits<int64_t>::max() / 4) {
+      return std::numeric_limits<int64_t>::max();
+    }
+    bound *= 4;
+  }
+  return bound;
+}
+
+size_t Histogram::BucketIndex(int64_t value) const {
+  int64_t bound = first_bound_;
+  for (size_t i = 0; i + 1 < kNumBuckets; ++i) {
+    if (value <= bound) return i;
+    if (bound > std::numeric_limits<int64_t>::max() / 4) break;
+    bound *= 4;
+  }
+  return kNumBuckets - 1;
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();  // never destroyed
+  return *registry;
+}
+
+Counter& MetricsRegistry::GetCounter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (!slot) slot.reset(new Counter());
+  return *slot;
+}
+
+Gauge& MetricsRegistry::GetGauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (!slot) slot.reset(new Gauge());
+  return *slot;
+}
+
+Histogram& MetricsRegistry::GetHistogram(const std::string& name,
+                                         int64_t first_bound) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (!slot) slot.reset(new Histogram(first_bound));
+  return *slot;
+}
+
+std::string MetricsRegistry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out;
+  for (const auto& kv : counters_) {
+    AppendFormat(&out, "# TYPE %s counter\n", kv.first.c_str());
+    AppendFormat(&out, "%s %" PRIu64 "\n", kv.first.c_str(),
+                 kv.second->Value());
+  }
+  for (const auto& kv : gauges_) {
+    AppendFormat(&out, "# TYPE %s gauge\n", kv.first.c_str());
+    AppendFormat(&out, "%s %" PRId64 "\n", kv.first.c_str(),
+                 kv.second->Value());
+  }
+  for (const auto& kv : histograms_) {
+    const Histogram& h = *kv.second;
+    AppendFormat(&out, "# TYPE %s histogram\n", kv.first.c_str());
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      cumulative += h.BucketCount(i);
+      int64_t bound = h.BucketUpperBound(i);
+      if (bound == std::numeric_limits<int64_t>::max()) {
+        AppendFormat(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                     kv.first.c_str(), cumulative);
+      } else {
+        AppendFormat(&out, "%s_bucket{le=\"%" PRId64 "\"} %" PRIu64 "\n",
+                     kv.first.c_str(), bound, cumulative);
+      }
+    }
+    AppendFormat(&out, "%s_sum %" PRId64 "\n", kv.first.c_str(), h.Sum());
+    AppendFormat(&out, "%s_count %" PRIu64 "\n", kv.first.c_str(), h.Count());
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& kv : counters_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    AppendJsonString(&out, kv.first);
+    AppendFormat(&out, ": %" PRIu64, kv.second->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& kv : gauges_) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    AppendJsonString(&out, kv.first);
+    AppendFormat(&out, ": %" PRId64, kv.second->Value());
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& kv : histograms_) {
+    const Histogram& h = *kv.second;
+    if (!first) out += ",";
+    first = false;
+    out += "\n    ";
+    AppendJsonString(&out, kv.first);
+    out += ": {\"count\": ";
+    AppendFormat(&out, "%" PRIu64 ", \"sum\": %" PRId64 ", \"buckets\": [",
+                 h.Count(), h.Sum());
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      if (i) out += ", ";
+      int64_t bound = h.BucketUpperBound(i);
+      if (bound == std::numeric_limits<int64_t>::max()) {
+        AppendFormat(&out, "{\"le\": \"+Inf\", \"count\": %" PRIu64 "}",
+                     h.BucketCount(i));
+      } else {
+        AppendFormat(&out, "{\"le\": %" PRId64 ", \"count\": %" PRIu64 "}",
+                     bound, h.BucketCount(i));
+      }
+    }
+    out += "]}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+void MetricsRegistry::ResetAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& kv : counters_) kv.second->Reset();
+  for (auto& kv : gauges_) kv.second->Reset();
+  for (auto& kv : histograms_) kv.second->Reset();
+}
+
+std::string SummaryLine() {
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  uint64_t bytes_read = reg.GetCounter("geocol_io_read_bytes_total").Value();
+  uint64_t bytes_written = reg.GetCounter("geocol_io_write_bytes_total").Value();
+  uint64_t crc = reg.GetCounter("geocol_crc_chunk_verifies_total").Value();
+  uint64_t hits = reg.GetCounter("geocol_imprint_cache_hits_total").Value();
+  uint64_t misses = reg.GetCounter("geocol_imprint_cache_misses_total").Value();
+  uint64_t scans = reg.GetCounter("geocol_imprint_scans_total").Value();
+  uint64_t queries = reg.GetCounter("geocol_queries_total").Value();
+  double hit_rate =
+      (hits + misses) > 0 ? 100.0 * static_cast<double>(hits) /
+                                static_cast<double>(hits + misses)
+                          : 0.0;
+  std::string out;
+  AppendFormat(&out,
+               "[telemetry] queries=%" PRIu64 " imprint_scans=%" PRIu64
+               " imprint_hit_rate=%.1f%% io_read=%.2f MiB io_write=%.2f MiB"
+               " crc_verifies=%" PRIu64,
+               queries, scans, hit_rate,
+               static_cast<double>(bytes_read) / (1024.0 * 1024.0),
+               static_cast<double>(bytes_written) / (1024.0 * 1024.0), crc);
+  return out;
+}
+
+void MaybePrintSummary(std::FILE* out) {
+  const char* env = std::getenv("GEOCOL_METRICS");
+  if (env == nullptr || std::string(env) != "1") return;
+  std::fprintf(out, "%s\n", SummaryLine().c_str());
+}
+
+namespace {
+std::string* g_metrics_json_path = nullptr;
+
+void DumpMetricsJson() {
+  if (g_metrics_json_path == nullptr) return;
+  std::FILE* f = std::fopen(g_metrics_json_path->c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "telemetry: cannot write %s\n",
+                 g_metrics_json_path->c_str());
+    return;
+  }
+  std::string json = MetricsRegistry::Global().RenderJson();
+  std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+}
+}  // namespace
+
+void WriteMetricsJsonAtExit(std::string path) {
+  if (g_metrics_json_path == nullptr) {
+    g_metrics_json_path = new std::string(std::move(path));
+    std::atexit(DumpMetricsJson);
+  } else {
+    *g_metrics_json_path = std::move(path);
+  }
+}
+
+}  // namespace telemetry
+}  // namespace geocol

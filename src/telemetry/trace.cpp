@@ -1,0 +1,125 @@
+#include "telemetry/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace geocol {
+namespace telemetry {
+
+namespace {
+
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+/// One trace_event object for span `op` (no trailing separator).
+void AppendSpanEvent(std::string* out, const OperatorProfile& op,
+                     const std::string& label) {
+  char buf[128];
+  *out += "{\"name\": ";
+  AppendJsonString(out, op.name);
+  *out += ", \"cat\": \"query\", \"ph\": \"X\"";
+  // Chrome expects microsecond ts/dur; keep fractional precision so
+  // sub-µs spans stay visible.
+  std::snprintf(buf, sizeof(buf), ", \"ts\": %.3f, \"dur\": %.3f",
+                op.start_nanos / 1e3, op.nanos / 1e3);
+  *out += buf;
+  std::snprintf(buf, sizeof(buf), ", \"pid\": 1, \"tid\": %u", op.thread_id);
+  *out += buf;
+  *out += ", \"args\": {";
+  std::snprintf(buf, sizeof(buf),
+                "\"rows_in\": %llu, \"rows_out\": %llu, \"workers\": %u",
+                static_cast<unsigned long long>(op.rows_in),
+                static_cast<unsigned long long>(op.rows_out), op.workers);
+  *out += buf;
+  if (!op.detail.empty()) {
+    *out += ", \"detail\": ";
+    AppendJsonString(out, op.detail);
+  }
+  for (const auto& kv : op.attrs) {
+    *out += ", ";
+    AppendJsonString(out, kv.first);
+    *out += ": ";
+    AppendJsonString(out, kv.second);
+  }
+  if (!label.empty()) {
+    *out += ", \"query\": ";
+    AppendJsonString(out, label);
+  }
+  *out += "}}";
+}
+
+}  // namespace
+
+std::string ProfileToChromeTrace(const QueryProfile& profile,
+                                 const std::string& label) {
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const OperatorProfile& op : profile.operators()) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  ";
+    AppendSpanEvent(&out, op, label);
+  }
+  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+std::string ProfileToJsonl(const QueryProfile& profile,
+                           const std::string& label) {
+  std::string out;
+  for (const OperatorProfile& op : profile.operators()) {
+    AppendSpanEvent(&out, op, label);
+    out += "\n";
+  }
+  return out;
+}
+
+TraceRing& TraceRing::Global() {
+  static TraceRing* ring = new TraceRing();  // never destroyed
+  return *ring;
+}
+
+void TraceRing::Record(TraceRecord record) {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.push_back(std::move(record));
+  while (records_.size() > capacity_) records_.pop_front();
+}
+
+std::vector<TraceRecord> TraceRing::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return std::vector<TraceRecord>(records_.begin(), records_.end());
+}
+
+bool TraceRing::Latest(TraceRecord* out) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (records_.empty()) return false;
+  *out = records_.back();
+  return true;
+}
+
+void TraceRing::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  records_.clear();
+}
+
+}  // namespace telemetry
+}  // namespace geocol

@@ -6,6 +6,7 @@
 
 #include <cerrno>
 
+#include "telemetry/metrics.h"
 #include "util/fault_injection.h"
 
 namespace geocol {
@@ -43,8 +44,9 @@ int64_t Tell64(std::FILE* f) {
 /// fsync of the directory containing `path`, making a rename durable.
 Status SyncParentDir(const std::string& path) {
   size_t slash = path.find_last_of('/');
-  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
-  if (dir.empty()) dir = "/";
+  std::string dir = slash == std::string::npos ? "."
+                    : slash == 0               ? "/"
+                                               : path.substr(0, slash);
   if (int err = Failpoint(FileOp::kSync); err != 0) {
     return ErrnoError("cannot fsync directory", dir, err);
   }
@@ -104,6 +106,8 @@ Status BinaryWriter::Commit() {
   if (::fsync(::fileno(file_)) != 0) {
     return ErrnoError("cannot fsync", tmp_path_, errno);
   }
+  GEOCOL_METRIC_COUNTER(c_fsyncs, "geocol_io_fsyncs_total");
+  c_fsyncs.Increment();
   int close_err = Failpoint(FileOp::kClose);
   int rc = std::fclose(file_);
   file_ = nullptr;
@@ -113,7 +117,12 @@ Status BinaryWriter::Commit() {
   std::string final_path = final_path_;
   final_path_.clear();
   tmp_path_.clear();
-  return SyncParentDir(final_path);
+  Status st = SyncParentDir(final_path);
+  if (st.ok()) {
+    GEOCOL_METRIC_COUNTER(c_commits, "geocol_io_atomic_commits_total");
+    c_commits.Increment();
+  }
+  return st;
 }
 
 void BinaryWriter::Abandon() {
@@ -146,9 +155,11 @@ Status BinaryWriter::WriteBytes(const void* data, size_t n) {
   if (n == 0) return Status::OK();
   size_t io_bytes = n;
   int err = FaultInjector::Global().OnWrite(n, &io_bytes);
+  GEOCOL_METRIC_COUNTER(c_write_bytes, "geocol_io_write_bytes_total");
   if (io_bytes > 0) {
     size_t wrote = std::fwrite(data, 1, io_bytes, file_);
     bytes_written_ += wrote;
+    c_write_bytes.Increment(wrote);
     if (err == 0 && wrote != io_bytes) {
       return ErrnoError("short write to",
                         tmp_path_.empty() ? "file" : tmp_path_, errno);
@@ -218,6 +229,8 @@ Status BinaryReader::ReadBytes(void* data, size_t n) {
   if (err != 0) return ErrnoError("cannot read from", "file", err);
   size_t got = std::fread(data, 1, io_bytes, file_);
   pos_ += got;
+  GEOCOL_METRIC_COUNTER(c_read_bytes, "geocol_io_read_bytes_total");
+  c_read_bytes.Increment(got);
   FaultInjector::Global().OnReadData(data, got);
   if (got != n) {
     return Status::Corruption("short read: wanted " + std::to_string(n) +

@@ -137,8 +137,12 @@ class BinaryReader {
 class BufferWriter {
  public:
   void WriteBytes(const void* data, size_t n) {
-    const uint8_t* p = static_cast<const uint8_t*>(data);
-    buf_.insert(buf_.end(), p, p + n);
+    // resize + memcpy rather than insert: GCC 12's -Wstringop-overflow
+    // misfires on the inlined insert path for small fixed-size writes.
+    if (n == 0) return;
+    size_t old = buf_.size();
+    buf_.resize(old + n);
+    std::memcpy(buf_.data() + old, data, n);
   }
 
   template <typename T>

@@ -2,7 +2,17 @@
 
 #include <cerrno>
 
+#include "telemetry/metrics.h"
+
 namespace geocol {
+
+namespace {
+/// Counts every injected failure (non-zero errno handed to the IO layer).
+void CountTrip() {
+  GEOCOL_METRIC_COUNTER(c_trips, "geocol_fault_injection_trips_total");
+  c_trips.Increment();
+}
+}  // namespace
 
 const char* FileOpName(FileOp op) {
   switch (op) {
@@ -69,6 +79,7 @@ int FaultInjector::OnOp(FileOp op) {
   if (n == 0) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   if ((mode_ == Mode::kCrash || mode_ == Mode::kTornWrite) && n >= k_) {
+    CountTrip();
     return EIO;
   }
   return 0;
@@ -78,10 +89,14 @@ int FaultInjector::OnWrite(size_t n, size_t* io_bytes) {
   uint64_t op = NextOp();
   if (op == 0) return 0;
   std::lock_guard<std::mutex> lock(mu_);
-  if (mode_ == Mode::kCrash && op >= k_) return EIO;
+  if (mode_ == Mode::kCrash && op >= k_) {
+    CountTrip();
+    return EIO;
+  }
   if (mode_ == Mode::kTornWrite && op >= k_) {
     // The failing write lands a prefix; anything later lands nothing.
     *io_bytes = op == k_ ? (param_a_ < n ? param_a_ : n) : 0;
+    CountTrip();
     return EIO;
   }
   return 0;
@@ -92,6 +107,7 @@ int FaultInjector::OnRead(size_t n, size_t* io_bytes) {
   if (op == 0) return 0;
   std::lock_guard<std::mutex> lock(mu_);
   if ((mode_ == Mode::kCrash || mode_ == Mode::kTornWrite) && op >= k_) {
+    CountTrip();
     return EIO;
   }
   if (mode_ == Mode::kShortRead && op == k_) {

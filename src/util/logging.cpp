@@ -2,12 +2,16 @@
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
+#include <mutex>
 
 namespace geocol {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kWarning};
+std::atomic<bool> g_level_explicit{false};
+std::once_flag g_env_once;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -18,13 +22,44 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+bool ParseLevel(const char* s, LogLevel* out) {
+  if (s == nullptr) return false;
+  if (std::strcmp(s, "debug") == 0) { *out = LogLevel::kDebug; return true; }
+  if (std::strcmp(s, "info") == 0) { *out = LogLevel::kInfo; return true; }
+  if (std::strcmp(s, "warning") == 0 || std::strcmp(s, "warn") == 0) {
+    *out = LogLevel::kWarning;
+    return true;
+  }
+  if (std::strcmp(s, "error") == 0) { *out = LogLevel::kError; return true; }
+  return false;
+}
+
+/// Reads GEOCOL_LOG_LEVEL exactly once; an earlier SetLogLevel() wins.
+void InitLevelFromEnv() {
+  std::call_once(g_env_once, [] {
+    LogLevel level;
+    if (!g_level_explicit.load(std::memory_order_acquire) &&
+        ParseLevel(std::getenv("GEOCOL_LOG_LEVEL"), &level)) {
+      g_level.store(level, std::memory_order_relaxed);
+    }
+  });
+}
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level.store(level); }
-LogLevel GetLogLevel() { return g_level.load(); }
+void SetLogLevel(LogLevel level) {
+  g_level_explicit.store(true, std::memory_order_release);
+  g_level.store(level);
+}
+
+LogLevel GetLogLevel() {
+  InitLevelFromEnv();
+  return g_level.load();
+}
 
 void LogMessage(LogLevel level, const char* file, int line,
                 const std::string& message) {
+  InitLevelFromEnv();
   if (level < g_level.load(std::memory_order_relaxed)) return;
   const char* base = std::strrchr(file, '/');
   base = base != nullptr ? base + 1 : file;

@@ -1,16 +1,30 @@
 // Minimal leveled logger. Benchmarks and the SQL shell use it for progress
 // reporting; the library itself logs only at kWarning and above.
+//
+// Messages can carry structured key=value fields alongside the free-form
+// text; fields are appended to the line in insertion order:
+//
+//   GEOCOL_LOG(Warning).With("path", p).With("rows", n)
+//       << "quarantined corrupt sidecar";
+//   // [WARN imprints_io.cpp:42] quarantined corrupt sidecar path=... rows=...
+//
+// The initial level is kWarning, overridable by the GEOCOL_LOG_LEVEL env
+// var (debug|info|warning|error, read once at first use); an explicit
+// SetLogLevel() call always wins over the env var.
 #ifndef GEOCOL_UTIL_LOGGING_H_
 #define GEOCOL_UTIL_LOGGING_H_
 
 #include <sstream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace geocol {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
 
 /// Sets the global minimum level; messages below it are dropped.
+/// Overrides any GEOCOL_LOG_LEVEL env setting.
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
@@ -20,16 +34,35 @@ void LogMessage(LogLevel level, const char* file, int line,
 
 namespace internal {
 
-/// Accumulates a stream-formatted message and emits it on destruction.
+/// Accumulates a stream-formatted message plus structured fields and
+/// emits it on destruction.
 class LogStream {
  public:
   LogStream(LogLevel level, const char* file, int line)
       : level_(level), file_(file), line_(line) {}
-  ~LogStream() { LogMessage(level_, file_, line_, stream_.str()); }
+  ~LogStream() {
+    std::string message = stream_.str();
+    for (const auto& kv : fields_) {
+      if (!message.empty()) message += " ";
+      message += kv.first;
+      message += "=";
+      message += kv.second;
+    }
+    LogMessage(level_, file_, line_, message);
+  }
 
   template <typename T>
   LogStream& operator<<(const T& value) {
     stream_ << value;
+    return *this;
+  }
+
+  /// Attaches a structured key=value field (value is stream-formatted).
+  template <typename T>
+  LogStream& With(std::string key, const T& value) {
+    std::ostringstream v;
+    v << value;
+    fields_.emplace_back(std::move(key), v.str());
     return *this;
   }
 
@@ -38,6 +71,7 @@ class LogStream {
   const char* file_;
   int line_;
   std::ostringstream stream_;
+  std::vector<std::pair<std::string, std::string>> fields_;
 };
 
 }  // namespace internal

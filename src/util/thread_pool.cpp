@@ -3,6 +3,8 @@
 #include <atomic>
 #include <memory>
 
+#include "telemetry/metrics.h"
+
 namespace geocol {
 
 ThreadPool::ThreadPool(size_t num_threads) {
@@ -26,9 +28,13 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
+  GEOCOL_METRIC_COUNTER(c_tasks, "geocol_pool_tasks_total");
+  GEOCOL_METRIC_GAUGE(g_depth, "geocol_pool_queue_depth");
+  c_tasks.Increment();
   {
     std::lock_guard<std::mutex> lock(mu_);
     queue_.push_back(std::move(task));
+    g_depth.Set(static_cast<int64_t>(queue_.size()));
   }
   work_cv_.notify_one();
 }
@@ -40,6 +46,13 @@ void ThreadPool::WaitIdle() {
 
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
+  GEOCOL_METRIC_COUNTER(c_pfor, "geocol_pool_parallel_for_total");
+  // Morsel-count histogram: first bucket <=1 item, buckets grow 4x.
+  static telemetry::Histogram& h_items =
+      telemetry::MetricsRegistry::Global().GetHistogram(
+          "geocol_pool_parallel_for_items", 1);
+  c_pfor.Increment();
+  h_items.Observe(static_cast<int64_t>(n));
   if (n == 1 || workers_.empty()) {
     for (size_t i = 0; i < n; ++i) fn(i);
     return;

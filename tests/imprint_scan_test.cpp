@@ -160,11 +160,40 @@ TEST(ImprintScanTest, ParallelScanMatchesSerial) {
     EXPECT_EQ(parallel_stats.lines_full, serial_stats.lines_full);
     EXPECT_EQ(parallel_stats.values_checked, serial_stats.values_checked);
     EXPECT_EQ(parallel_stats.rows_selected, serial_stats.rows_selected);
+    EXPECT_EQ(parallel_stats.rows_full, serial_stats.rows_full);
+    EXPECT_DOUBLE_EQ(parallel_stats.FalsePositiveRate(),
+                     serial_stats.FalsePositiveRate());
     EXPECT_EQ(serial_stats.workers, 1u);
     if (serial_stats.lines_candidate > 0) {
       EXPECT_GT(parallel_stats.workers, 1u);
     }
   }
+}
+
+TEST(ImprintScanTest, RowsFullAndFalsePositiveRate) {
+  ColumnPtr col = MakeWalkColumn(100000, 71);
+  auto ix = ImprintsIndex::Build(*col);
+  ASSERT_TRUE(ix.ok());
+
+  // Full-extent query: everything is selected. Lines touching the extreme
+  // histogram bins still get value-checked, but every checked value
+  // matches, so the false-positive rate is exactly zero and the full-line
+  // rows plus the checked values cover the whole column.
+  BitVector all;
+  ImprintScanStats st_all;
+  ASSERT_TRUE(ImprintRangeSelect(*col, *ix, -1e18, 1e18, &all, &st_all).ok());
+  EXPECT_EQ(st_all.rows_selected, col->size());
+  EXPECT_EQ(st_all.rows_full + st_all.values_checked, col->size());
+  EXPECT_DOUBLE_EQ(st_all.FalsePositiveRate(), 0.0);
+
+  // Narrow query: boundary lines get checked; the rate is a valid
+  // fraction and rows_full never exceeds the selection.
+  BitVector narrow;
+  ImprintScanStats st;
+  ASSERT_TRUE(ImprintRangeSelect(*col, *ix, -2, 2, &narrow, &st).ok());
+  EXPECT_LE(st.rows_full, st.rows_selected);
+  EXPECT_GE(st.FalsePositiveRate(), 0.0);
+  EXPECT_LE(st.FalsePositiveRate(), 1.0);
 }
 
 TEST(ImprintScanTest, SmallColumnIgnoresPool) {

@@ -167,9 +167,14 @@ TEST(SpatialEngineTest, ProfileHasFilterAndRefineOperators) {
   auto res = eng.SelectInGeometry(Geometry(Polygon::Circle({50, 50}, 20)));
   ASSERT_TRUE(res.ok());
   const auto& ops = res->profile.operators();
-  ASSERT_GE(ops.size(), 4u);
-  EXPECT_EQ(ops[0].name, "filter.imprints.x");
-  EXPECT_EQ(ops[1].name, "filter.imprints.y");
+  ASSERT_GE(ops.size(), 5u);
+  // Since PR 4 the profile is a span tree: a "filter" wrapper span parents
+  // the imprint scans, which keep their serial recording order.
+  EXPECT_EQ(ops[0].name, "filter");
+  EXPECT_EQ(ops[1].name, "filter.imprints.x");
+  EXPECT_EQ(ops[2].name, "filter.imprints.y");
+  EXPECT_EQ(ops[1].parent, 0);
+  EXPECT_EQ(ops[2].parent, 0);
   bool has_refine = false;
   for (const auto& op : ops) has_refine |= op.name.rfind("refine", 0) == 0;
   EXPECT_TRUE(has_refine);

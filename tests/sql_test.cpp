@@ -2,6 +2,7 @@
 // against hand-built engine calls.
 #include <gtest/gtest.h>
 
+#include <cctype>
 #include <cmath>
 
 #include "gis/spatial_join.h"
@@ -436,6 +437,107 @@ TEST_F(SqlSessionTest, ResultSetToString) {
   std::string text = rs->ToString();
   EXPECT_NE(text.find("x | y"), std::string::npos);
   EXPECT_NE(text.find("(3 rows)"), std::string::npos);
+}
+
+// ---------------- EXPLAIN ANALYZE ----------------
+
+TEST(SqlParserTest, ExplainAnalyze) {
+  auto stmt = Parse("EXPLAIN ANALYZE SELECT x FROM t");
+  ASSERT_TRUE(stmt.ok());
+  EXPECT_TRUE(stmt->explain);
+  EXPECT_TRUE(stmt->analyze);
+  auto plain = Parse("EXPLAIN SELECT x FROM t");
+  ASSERT_TRUE(plain.ok());
+  EXPECT_FALSE(plain->analyze);
+  // ANALYZE only follows EXPLAIN.
+  EXPECT_FALSE(Parse("ANALYZE SELECT x FROM t").ok());
+}
+
+TEST_F(SqlSessionTest, ExplainAnalyzeReturnsSpanTree) {
+  auto rs = session_->Execute(
+      "EXPLAIN ANALYZE SELECT COUNT(*) FROM ahn2 WHERE ST_Within(pt, "
+      "'BOX(85020 444020, 85080 444080)')");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_EQ(rs->columns, std::vector<std::string>{"explain analyze"});
+  std::string text;
+  for (const auto& row : rs->rows) {
+    text += row[0].text;
+    text += '\n';
+  }
+  EXPECT_NE(text.find("spans ("), std::string::npos);
+  EXPECT_NE(text.find("filter.imprints.x"), std::string::npos);
+  EXPECT_NE(text.find("cachelines_probed="), std::string::npos);
+  EXPECT_NE(text.find("false_positive_rate="), std::string::npos);
+  EXPECT_NE(text.find("TOTAL (sum)"), std::string::npos);
+  EXPECT_NE(text.find("WALL (critical path)"), std::string::npos);
+  // The executed profile rides along for trace export.
+  EXPECT_FALSE(rs->profile.empty());
+}
+
+// Strips digits so the span tree's *shape* can be compared exactly while
+// times and cardinalities vary run to run.
+std::string NormalizeShape(const std::string& tree) {
+  std::string out;
+  bool last_hash = false;
+  for (char c : tree) {
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      if (!last_hash) out += '#';
+      last_hash = true;
+    } else {
+      out += c;
+      last_hash = false;
+    }
+  }
+  return out;
+}
+
+TEST(SqlExplainAnalyzeGoldenTest, SingleThreadedBoxQueryShape) {
+  // num_threads=1 executes the filter branches serially, so the span order
+  // is deterministic and the rendered tree shape is stable.
+  AhnGeneratorOptions gopts;
+  gopts.extent = Box(85000, 444000, 85100, 444100);
+  AhnGenerator gen(gopts);
+  auto table = gen.GenerateTable(5000);
+  ASSERT_TRUE(table.ok());
+  Catalog catalog;
+  EngineOptions eopts;
+  eopts.num_threads = 1;
+  ASSERT_TRUE(catalog.AddPointCloud("ahn2", *table, eopts).ok());
+  Session session(&catalog);
+
+  auto rs = session.Execute(
+      "EXPLAIN ANALYZE SELECT COUNT(*) FROM ahn2 WHERE ST_Within(pt, "
+      "'BOX(85010 444010, 85060 444060)')");
+  ASSERT_TRUE(rs.ok());
+
+  // Span-tree section only: everything after the "spans (...)" header.
+  std::string text;
+  bool in_spans = false;
+  for (const auto& row : rs->rows) {
+    if (row[0].text.rfind("spans (", 0) == 0) {
+      in_spans = true;
+      continue;
+    }
+    if (!in_spans) continue;
+    // Names and indentation only: cut each line at the first double space
+    // after the name starts (the padding before the timing columns).
+    const std::string& line = row[0].text;
+    size_t start = line.find_first_not_of(' ');
+    if (start == std::string::npos) continue;
+    size_t name_end = line.find("  ", start);
+    text += line.substr(0, name_end == std::string::npos ? line.size()
+                                                         : name_end);
+    text += '\n';
+  }
+  EXPECT_EQ(NormalizeShape(text),
+            "  filter\n"
+            "    filter.imprints.x\n"
+            "    filter.imprints.y\n"
+            "    filter.intersect\n"
+            "  refine.none(box)\n"
+            "  TOTAL (sum)\n"
+            "  WALL (critical path)\n")
+      << text;
 }
 
 }  // namespace

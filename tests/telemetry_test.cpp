@@ -1,0 +1,389 @@
+// Telemetry tests: metrics registry exactness under concurrency, histogram
+// bucket boundaries, exposition formats, span trees (nesting, critical
+// path, Append adoption), engine instrumentation (EXPLAIN ANALYZE span
+// attributes vs. registry counters), Chrome trace export, and the trace
+// ring. Counter assertions use deltas — the registry is process-global and
+// shared with every other test in the binary.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/profile.h"
+#include "core/spatial_engine.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+using telemetry::Counter;
+using telemetry::Gauge;
+using telemetry::Histogram;
+using telemetry::MetricsRegistry;
+
+TEST(MetricsTest, ConcurrentCountersSumExactly) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test_concurrent_total");
+  const uint64_t before = c.Value();
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Increment();
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(c.Value() - before, kThreads * kPerThread);
+}
+
+TEST(MetricsTest, CounterDeltaIncrements) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test_delta_total");
+  const uint64_t before = c.Value();
+  c.Increment(41);
+  c.Increment();
+  EXPECT_EQ(c.Value() - before, 42u);
+}
+
+TEST(MetricsTest, GetCounterReturnsSameObject) {
+  Counter& a = MetricsRegistry::Global().GetCounter("test_same_total");
+  Counter& b = MetricsRegistry::Global().GetCounter("test_same_total");
+  EXPECT_EQ(&a, &b);
+}
+
+TEST(MetricsTest, DisabledUpdatesAreDropped) {
+  Counter& c = MetricsRegistry::Global().GetCounter("test_disabled_total");
+  const uint64_t before = c.Value();
+  telemetry::SetMetricsEnabled(false);
+  c.Increment(100);
+  telemetry::SetMetricsEnabled(true);
+  EXPECT_EQ(c.Value(), before);
+  c.Increment(1);
+  EXPECT_EQ(c.Value() - before, 1u);
+}
+
+TEST(MetricsTest, GaugeSetAndAdd) {
+  Gauge& g = MetricsRegistry::Global().GetGauge("test_depth");
+  g.Set(7);
+  EXPECT_EQ(g.Value(), 7);
+  g.Add(-3);
+  EXPECT_EQ(g.Value(), 4);
+  g.Set(0);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  // first_bound=10: bounds 10, 40, 160, ... (power of 4), last = +inf.
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test_bounds_nanos", 10);
+  h.Reset();
+  EXPECT_EQ(h.BucketUpperBound(0), 10);
+  EXPECT_EQ(h.BucketUpperBound(1), 40);
+  EXPECT_EQ(h.BucketUpperBound(2), 160);
+  EXPECT_EQ(h.BucketUpperBound(Histogram::kNumBuckets - 1),
+            std::numeric_limits<int64_t>::max());
+
+  h.Observe(10);   // boundary value lands in its bucket (inclusive bound)
+  h.Observe(11);   // one past -> next bucket
+  h.Observe(40);
+  h.Observe(1);
+  EXPECT_EQ(h.BucketCount(0), 2u);  // 1 and 10
+  EXPECT_EQ(h.BucketCount(1), 2u);  // 11 and 40
+  EXPECT_EQ(h.Count(), 4u);
+  EXPECT_EQ(h.Sum(), 62);
+}
+
+TEST(MetricsTest, HistogramHugeValueLandsInLastBucket) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test_huge_nanos", 1000);
+  h.Reset();
+  h.Observe(std::numeric_limits<int64_t>::max() / 2);
+  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 1u);
+}
+
+TEST(MetricsTest, ConcurrentHistogramCountsExactly) {
+  Histogram& h =
+      MetricsRegistry::Global().GetHistogram("test_conc_nanos", 1000);
+  h.Reset();
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) h.Observe(t * 1000 + 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(h.Count(), uint64_t{kThreads} * kPerThread);
+}
+
+TEST(MetricsTest, PrometheusRendering) {
+  MetricsRegistry::Global().GetCounter("test_prom_total").Increment(5);
+  MetricsRegistry::Global().GetGauge("test_prom_gauge").Set(3);
+  MetricsRegistry::Global().GetHistogram("test_prom_nanos").Observe(1500);
+  std::string text = MetricsRegistry::Global().RenderPrometheus();
+  EXPECT_NE(text.find("# TYPE test_prom_total counter"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_total"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
+  EXPECT_NE(text.find("# TYPE test_prom_nanos histogram"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_nanos_bucket{le=\""), std::string::npos);
+  EXPECT_NE(text.find("test_prom_nanos_bucket{le=\"+Inf\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find("test_prom_nanos_sum"), std::string::npos);
+  EXPECT_NE(text.find("test_prom_nanos_count"), std::string::npos);
+}
+
+TEST(MetricsTest, JsonRendering) {
+  MetricsRegistry::Global().GetCounter("test_json_total").Increment();
+  std::string json = MetricsRegistry::Global().RenderJson();
+  EXPECT_EQ(json.front(), '{');
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test_json_total\""), std::string::npos);
+}
+
+TEST(MetricsTest, SummaryLineMentionsCoreCounters) {
+  std::string line = telemetry::SummaryLine();
+  EXPECT_NE(line.find("[telemetry]"), std::string::npos);
+  EXPECT_NE(line.find("queries="), std::string::npos);
+  EXPECT_NE(line.find("imprint_scans="), std::string::npos);
+  EXPECT_NE(line.find("io_read="), std::string::npos);
+}
+
+// ---------------------------------------------------------------- spans
+
+TEST(ProfileTest, OpenCloseBuildsTree) {
+  QueryProfile p;
+  int32_t root = p.OpenSpan("query");
+  int32_t child = p.Add("filter.x", 1000, 100, 10);
+  p.CloseSpan(100, 10);
+  ASSERT_EQ(p.operators().size(), 2u);
+  EXPECT_EQ(p.operators()[root].parent, -1);
+  EXPECT_EQ(p.operators()[child].parent, root);
+  EXPECT_EQ(p.operators()[root].rows_in, 100u);
+  EXPECT_EQ(p.operators()[root].rows_out, 10u);
+}
+
+TEST(ProfileTest, NestedSpans) {
+  QueryProfile p;
+  int32_t a = p.OpenSpan("a");
+  int32_t b = p.OpenSpan("b");
+  int32_t leaf = p.Add("leaf", 10, 1, 1);
+  p.CloseSpan();
+  p.CloseSpan();
+  EXPECT_EQ(p.operators()[a].parent, -1);
+  EXPECT_EQ(p.operators()[b].parent, a);
+  EXPECT_EQ(p.operators()[leaf].parent, b);
+}
+
+TEST(ProfileTest, TotalNanosCountsLeavesOnly) {
+  QueryProfile p;
+  p.OpenSpan("wrapper");
+  p.AddSpanAt("leaf1", 0, 1000, 0, 0);
+  p.AddSpanAt("leaf2", 1000, 2000, 0, 0);
+  p.CloseSpan();
+  // The wrapper's own duration covers the leaves; only leaves count.
+  EXPECT_EQ(p.TotalNanos(), 3000);
+}
+
+TEST(ProfileTest, CriticalPathMergesOverlaps) {
+  QueryProfile p;
+  // Two concurrent roots [0, 1000) and [500, 1500): union = 1500, sum 2000.
+  p.AddSpanAt("x", 0, 1000, 0, 0);
+  p.AddSpanAt("y", 500, 1000, 0, 0);
+  EXPECT_EQ(p.TotalNanos(), 2000);
+  EXPECT_EQ(p.CriticalPathNanos(), 1500);
+}
+
+TEST(ProfileTest, CriticalPathWithGap) {
+  QueryProfile p;
+  p.AddSpanAt("a", 0, 100, 0, 0);
+  p.AddSpanAt("b", 500, 100, 0, 0);  // disjoint: gap is not covered
+  EXPECT_EQ(p.CriticalPathNanos(), 200);
+}
+
+TEST(ProfileTest, AppendAdoptsIntoOpenSpan) {
+  QueryProfile branch;
+  branch.AddSpanAt("branch.op", 0, 100, 5, 3);
+
+  QueryProfile main;
+  int32_t filter = main.OpenSpan("filter");
+  main.Append(branch);
+  main.CloseSpan();
+  ASSERT_EQ(main.operators().size(), 2u);
+  EXPECT_EQ(main.operators()[1].name, "branch.op");
+  EXPECT_EQ(main.operators()[1].parent, filter);
+}
+
+TEST(ProfileTest, AttrsRenderInToString) {
+  QueryProfile p;
+  int32_t s = p.Add("filter.imprints.x", 1000000, 100, 10);
+  p.AddAttr(s, "cachelines_probed", uint64_t{42});
+  p.AddAttr(s, "false_positive_rate", 0.125);
+  std::string text = p.ToString();
+  EXPECT_NE(text.find("cachelines_probed=42"), std::string::npos);
+  EXPECT_NE(text.find("false_positive_rate="), std::string::npos);
+  EXPECT_NE(text.find("TOTAL (sum)"), std::string::npos);
+  EXPECT_NE(text.find("WALL (critical path)"), std::string::npos);
+}
+
+TEST(ProfileTest, ClearRebasesEpoch) {
+  QueryProfile p;
+  p.Add("op", 10, 1, 1);
+  p.Clear();
+  EXPECT_TRUE(p.empty());
+  EXPECT_EQ(p.TotalNanos(), 0);
+  EXPECT_EQ(p.CriticalPathNanos(), 0);
+}
+
+// ------------------------------------------------- engine instrumentation
+
+std::shared_ptr<FlatTable> MakeTable(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<double> xs(n), ys(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = rng.UniformDouble(0, 1000);
+    ys[i] = rng.UniformDouble(0, 1000);
+  }
+  auto t = std::make_shared<FlatTable>("pc");
+  EXPECT_TRUE(t->AddColumn(Column::FromVector("x", xs)).ok());
+  EXPECT_TRUE(t->AddColumn(Column::FromVector("y", ys)).ok());
+  return t;
+}
+
+uint64_t AttrSum(const QueryProfile& p, const std::string& key) {
+  uint64_t sum = 0;
+  for (const OperatorProfile& op : p.operators()) {
+    for (const auto& kv : op.attrs) {
+      if (kv.first == key) sum += std::stoull(kv.second);
+    }
+  }
+  return sum;
+}
+
+TEST(EngineTelemetryTest, SpanAttributesMatchCounterDeltas) {
+  auto table = MakeTable(50000, 7);
+  EngineOptions opts;
+  opts.num_threads = 1;
+  SpatialQueryEngine eng(table, opts);
+
+  // Warm the imprint cache so the measured query does scans only.
+  ASSERT_TRUE(eng.SelectInBox(Box(0, 0, 10, 10)).ok());
+
+  MetricsRegistry& reg = MetricsRegistry::Global();
+  const uint64_t scans0 =
+      reg.GetCounter("geocol_imprint_scans_total").Value();
+  const uint64_t probed0 =
+      reg.GetCounter("geocol_imprint_cachelines_probed_total").Value();
+  const uint64_t checked0 =
+      reg.GetCounter("geocol_imprint_values_checked_total").Value();
+  const uint64_t selected0 =
+      reg.GetCounter("geocol_imprint_rows_selected_total").Value();
+  const uint64_t queries0 = reg.GetCounter("geocol_queries_total").Value();
+
+  auto res = eng.SelectInBox(Box(100, 100, 400, 500));
+  ASSERT_TRUE(res.ok());
+
+  EXPECT_EQ(reg.GetCounter("geocol_imprint_scans_total").Value() - scans0,
+            2u);  // x and y
+  EXPECT_EQ(reg.GetCounter("geocol_queries_total").Value() - queries0, 1u);
+
+  // EXPLAIN ANALYZE's span attributes must agree with `geocol metrics`:
+  // the per-span numbers sum to exactly the registry counter deltas.
+  EXPECT_EQ(AttrSum(res->profile, "cachelines_probed"),
+            reg.GetCounter("geocol_imprint_cachelines_probed_total").Value() -
+                probed0);
+  EXPECT_EQ(AttrSum(res->profile, "values_checked"),
+            reg.GetCounter("geocol_imprint_values_checked_total").Value() -
+                checked0);
+  EXPECT_EQ(AttrSum(res->profile, "rows_selected"),
+            reg.GetCounter("geocol_imprint_rows_selected_total").Value() -
+                selected0);
+}
+
+TEST(EngineTelemetryTest, FilterSpanParentsImprintOps) {
+  auto table = MakeTable(30000, 8);
+  EngineOptions opts;
+  opts.num_threads = 4;  // exercise the morsel-parallel merge path
+  SpatialQueryEngine eng(table, opts);
+  auto res = eng.SelectInBox(Box(50, 50, 600, 600));
+  ASSERT_TRUE(res.ok());
+
+  const auto& ops = res->profile.operators();
+  int32_t filter = -1;
+  for (size_t i = 0; i < ops.size(); ++i) {
+    if (ops[i].name == "filter") filter = static_cast<int32_t>(i);
+  }
+  ASSERT_GE(filter, 0);
+  int children = 0;
+  for (const auto& op : ops) {
+    if (op.parent == filter) {
+      ++children;
+      EXPECT_EQ(op.name.rfind("filter.", 0), 0u) << op.name;
+    }
+  }
+  EXPECT_GE(children, 2);  // x and y imprint scans at least
+  EXPECT_GT(res->profile.CriticalPathNanos(), 0);
+}
+
+// ------------------------------------------------------------ trace export
+
+TEST(TraceTest, ChromeTraceShape) {
+  QueryProfile p;
+  int32_t root = p.OpenSpan("query");
+  p.AddSpanAt("filter.imprints.x", 10, 500, 100, 10, "mask");
+  p.AddAttr(1, "cachelines_probed", uint64_t{3});
+  p.CloseSpan(100, 10);
+  (void)root;
+
+  std::string json = telemetry::ProfileToChromeTrace(p, "test query");
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"filter.imprints.x\""), std::string::npos);
+  EXPECT_NE(json.find("\"cachelines_probed\""), std::string::npos);
+  EXPECT_NE(json.find("\"pid\""), std::string::npos);
+  EXPECT_NE(json.find("\"tid\""), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness proxy).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+  EXPECT_EQ(std::count(json.begin(), json.end(), '['),
+            std::count(json.begin(), json.end(), ']'));
+}
+
+TEST(TraceTest, JsonlOneObjectPerSpan) {
+  QueryProfile p;
+  p.Add("a", 10, 1, 1);
+  p.Add("b", 20, 2, 2);
+  std::string jsonl = telemetry::ProfileToJsonl(p, "q");
+  size_t lines = std::count(jsonl.begin(), jsonl.end(), '\n');
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(jsonl.front(), '{');
+}
+
+TEST(TraceTest, RingKeepsLastCapacity) {
+  telemetry::TraceRing ring(4);
+  for (int i = 0; i < 10; ++i) {
+    telemetry::TraceRecord r;
+    r.query = "q" + std::to_string(i);
+    r.wall_nanos = i;
+    ring.Record(std::move(r));
+  }
+  auto snap = ring.Snapshot();
+  ASSERT_EQ(snap.size(), 4u);
+  EXPECT_EQ(snap.front().query, "q6");
+  EXPECT_EQ(snap.back().query, "q9");
+  telemetry::TraceRecord latest;
+  ASSERT_TRUE(ring.Latest(&latest));
+  EXPECT_EQ(latest.query, "q9");
+  ring.Clear();
+  EXPECT_FALSE(ring.Latest(&latest));
+  EXPECT_TRUE(ring.Snapshot().empty());
+}
+
+}  // namespace
+}  // namespace geocol

@@ -186,6 +186,75 @@ TEST_F(ToolTest, VerifyDetectsCorruptedColumn) {
   EXPECT_NE(text.find("OK"), std::string::npos) << text;
 }
 
+TEST_F(ToolTest, ExplainAnalyzeRendersSpans) {
+  std::string out;
+  ASSERT_EQ(RunTool("query " + tmp_->File("table") +
+                    " \"EXPLAIN ANALYZE SELECT COUNT(*) FROM ahn2\"",
+                &out, tmp_),
+            0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("explain analyze"), std::string::npos);
+  EXPECT_NE(text.find("spans ("), std::string::npos);
+  EXPECT_NE(text.find("filter"), std::string::npos);
+  EXPECT_NE(text.find("WALL (critical path)"), std::string::npos);
+}
+
+TEST_F(ToolTest, MetricsPrometheusAndJson) {
+  std::string out;
+  ASSERT_EQ(RunTool("metrics " + tmp_->File("table") +
+                    " \"SELECT COUNT(*) FROM ahn2\"",
+                &out, tmp_),
+            0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("# TYPE geocol_queries_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("geocol_imprint_scans_total"), std::string::npos);
+  EXPECT_NE(text.find("geocol_io_read_bytes_total"), std::string::npos);
+
+  ASSERT_EQ(RunTool("metrics " + tmp_->File("table") + " --format json", &out,
+                tmp_),
+            0);
+  text = Slurp(out);
+  EXPECT_NE(text.find("\"counters\""), std::string::npos);
+  EXPECT_NE(text.find("\"histograms\""), std::string::npos);
+
+  EXPECT_NE(RunTool("metrics " + tmp_->File("table") + " --format xml", &out,
+                tmp_),
+            0);
+}
+
+TEST_F(ToolTest, TraceExportsChromeJson) {
+  std::string trace = tmp_->File("trace.json");
+  std::string out;
+  ASSERT_EQ(RunTool("trace " + tmp_->File("table") +
+                    " \"SELECT COUNT(*) FROM ahn2\" --out " + trace,
+                &out, tmp_),
+            0);
+  std::string json = Slurp(trace);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+
+  // JSONL variant to stdout: one object per line.
+  ASSERT_EQ(RunTool("trace " + tmp_->File("table") +
+                    " \"SELECT COUNT(*) FROM ahn2\" --jsonl",
+                &out, tmp_),
+            0);
+  std::string text = Slurp(out);
+  EXPECT_EQ(text.find('{'), 0u);
+}
+
+TEST_F(ToolTest, VerifyPrintsTelemetrySummaryWhenEnabled) {
+  static int counter = 0;
+  std::string capture = tmp_->File("env" + std::to_string(counter++) + ".txt");
+  std::string cmd = "GEOCOL_METRICS=1 " + std::string(GEOCOL_TOOL_PATH) +
+                    " verify " + tmp_->File("table") + " > " + capture +
+                    " 2>&1";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+  std::string text = Slurp(capture);
+  EXPECT_NE(text.find("[telemetry]"), std::string::npos);
+  EXPECT_NE(text.find("crc_verifies="), std::string::npos);
+}
+
 TEST_F(ToolTest, ParallelLoadMatchesSequential) {
   ASSERT_EQ(RunTool("load " + tmp_->File("tiles") + " " + tmp_->File("ptable") +
                     " --threads 3",

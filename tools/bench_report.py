@@ -11,6 +11,13 @@ one BENCH_<id>.json per experiment:
     build/bench/bench_simd      --json /tmp/simd.json
     tools/bench_report.py --out-dir . /tmp/sel.json /tmp/simd.json
     # -> ./BENCH_E3.json ./BENCH_E11.json ...
+
+Telemetry registry dumps (from `--metrics <path>` on a bench binary, or
+`geocol_tool metrics --format json`) can ride along via `--metrics`; their
+counters/gauges/histogram summaries are merged into BENCH_METRICS.json:
+
+    build/bench/bench_selection --metrics /tmp/sel-metrics.json
+    tools/bench_report.py --out-dir . --metrics /tmp/sel-metrics.json ...
 """
 
 import argparse
@@ -50,18 +57,51 @@ def rows_from_file(path):
     raise ValueError(f"{path}: unrecognised bench JSON shape")
 
 
+def metrics_row(path):
+    """One {bench: METRICS, ...} row from a telemetry registry JSON dump."""
+    with open(path) as f:
+        doc = json.load(f)
+    if not isinstance(doc, dict) or "counters" not in doc:
+        raise ValueError(f"{path}: not a telemetry metrics dump "
+                         "(expected an object with a 'counters' key)")
+    metrics = dict(doc.get("counters", {}))
+    metrics.update(doc.get("gauges", {}))
+    # Histograms contribute their scalar summaries; bucket vectors stay in
+    # the source dump.
+    for name, h in doc.get("histograms", {}).items():
+        if isinstance(h, dict):
+            metrics[f"{name}_count"] = h.get("count", 0)
+            metrics[f"{name}_sum"] = h.get("sum", 0)
+    return {
+        "bench": "METRICS",
+        "config": {"source": os.path.basename(path)},
+        "metrics": metrics,
+    }
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
-    ap.add_argument("inputs", nargs="+", help="per-binary --json outputs")
+    ap.add_argument("inputs", nargs="*", help="per-binary --json outputs")
+    ap.add_argument("--metrics", action="append", default=[],
+                    metavar="PATH",
+                    help="telemetry registry JSON dump(s) to merge into "
+                         "BENCH_METRICS.json")
     ap.add_argument("--out-dir", default=".",
                     help="directory for BENCH_<id>.json files")
     args = ap.parse_args()
+    if not args.inputs and not args.metrics:
+        ap.error("no inputs given")
 
     by_bench = defaultdict(list)
     for path in args.inputs:
         try:
             for row in rows_from_file(path):
                 by_bench[str(row.get("bench", "unknown"))].append(row)
+        except (OSError, ValueError, json.JSONDecodeError) as e:
+            print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
+    for path in args.metrics:
+        try:
+            by_bench["METRICS"].append(metrics_row(path))
         except (OSError, ValueError, json.JSONDecodeError) as e:
             print(f"bench_report: skipping {path}: {e}", file=sys.stderr)
 

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Validates a Chrome trace_event JSON file produced by `geocol_tool trace`.
+
+Checks the schema that chrome://tracing / Perfetto require to load the file
+without error: a top-level object with a `traceEvents` array, every event a
+complete ("ph": "X") event carrying name/cat/ph/ts/dur/pid/tid with numeric
+timestamps, and child spans nested inside their parents' time range on the
+same thread. Exits non-zero with a message on the first violation.
+
+Usage: check_trace.py <trace.json>
+"""
+import json
+import sys
+
+REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+
+def fail(msg):
+    print("check_trace: FAIL: %s" % msg, file=sys.stderr)
+    sys.exit(1)
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__.strip(), file=sys.stderr)
+        sys.exit(2)
+    path = sys.argv[1]
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        fail("cannot parse %s: %s" % (path, e))
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        fail("top level must be an object with a traceEvents array")
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        fail("traceEvents is not an array")
+    if not events:
+        fail("traceEvents is empty")
+
+    for i, ev in enumerate(events):
+        if not isinstance(ev, dict):
+            fail("event %d is not an object" % i)
+        for key in REQUIRED_KEYS:
+            if key not in ev:
+                fail("event %d (%r) missing key %r" % (i, ev.get("name"), key))
+        if ev["ph"] != "X":
+            fail("event %d has ph=%r, expected complete event 'X'" % (i, ev["ph"]))
+        for key in ("ts", "dur"):
+            if not isinstance(ev[key], (int, float)) or ev[key] < 0:
+                fail("event %d has non-numeric/negative %s: %r" % (i, key, ev[key]))
+        if not isinstance(ev["name"], str) or not ev["name"]:
+            fail("event %d has empty name" % i)
+
+    # Spans on one thread must nest: sorted by start, an event starting inside
+    # a predecessor must also end inside it (allowing microsecond rounding).
+    by_tid = {}
+    for ev in events:
+        by_tid.setdefault((ev["pid"], ev["tid"]), []).append(ev)
+    for (pid, tid), evs in by_tid.items():
+        evs.sort(key=lambda e: (e["ts"], -e["dur"]))
+        stack = []
+        for ev in evs:
+            end = ev["ts"] + ev["dur"]
+            while stack and ev["ts"] >= stack[-1] - 0.002:
+                stack.pop()
+            if stack and end > stack[-1] + 0.002:
+                fail("overlapping spans on pid=%s tid=%s near %r" % (pid, tid, ev["name"]))
+            stack.append(end)
+
+    print("check_trace: OK: %d events, %d threads" % (len(events), len(by_tid)))
+
+
+if __name__ == "__main__":
+    main()

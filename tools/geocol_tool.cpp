@@ -8,10 +8,13 @@
 //   geocol query    <table_dir> "<SQL>" [--layers <dir>] [--profile]
 //   geocol raster   <table_dir> <out.ppm> [--cols N]
 //   geocol verify   <table_dir>
+//   geocol metrics  <table_dir> ["<SQL>"] [--format prom|json] [--layers <dir>]
+//   geocol trace    <table_dir> "<SQL>" [--out <path>] [--jsonl] [--layers <dir>]
 //   geocol simd
 //
 // Tables are persisted GeoColumn table directories; layers are .layer text
-// files (id \t class \t name \t WKT).
+// files (id \t class \t name \t WKT). With GEOCOL_METRICS=1, query/verify
+// print a one-line telemetry summary on exit.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -34,6 +37,8 @@
 #include "pointcloud/vector_gen.h"
 #include "simd/dispatch.h"
 #include "sql/session.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 #include "util/binary_io.h"
 #include "util/tempdir.h"
 
@@ -79,6 +84,8 @@ int Usage() {
                "  query    <table_dir> \"<SQL>\" [--layers <dir>] [--profile]\n"
                "  raster   <table_dir> <out.ppm> [--cols N]\n"
                "  verify   <table_dir>\n"
+               "  metrics  <table_dir> [\"<SQL>\"] [--format prom|json] [--layers <dir>]\n"
+               "  trace    <table_dir> \"<SQL>\" [--out <path>] [--jsonl] [--layers <dir>]\n"
                "  simd     (print CPU features and active kernel dispatch)\n");
   return 2;
 }
@@ -367,6 +374,7 @@ int CmdVerify(const Args& args) {
     }
   }
 
+  telemetry::MaybePrintSummary(stderr);
   if (corrupt > 0) {
     std::printf("%d corrupt file(s) under %s\n", corrupt, dir.c_str());
     return 1;
@@ -375,29 +383,29 @@ int CmdVerify(const Args& args) {
   return 0;
 }
 
-int CmdQuery(const Args& args) {
-  if (args.positional.size() < 2) return Usage();
-  auto table = OpenTable(args.positional[0]);
-  if (!table.ok()) return Fail(table.status());
-  Catalog catalog;
-  if (Status st = catalog.AddPointCloud(
-          table->name().empty() ? "ahn2" : table->name(),
-          std::make_shared<FlatTable>(std::move(*table)));
-      !st.ok()) {
-    return Fail(st);
-  }
+/// Opens the table (and any --layers) into `catalog`; shared by the
+/// query/metrics/trace subcommands.
+Status SetupCatalog(const Args& args, Catalog* catalog) {
+  GEOCOL_ASSIGN_OR_RETURN(FlatTable table, OpenTable(args.positional[0]));
+  GEOCOL_RETURN_NOT_OK(catalog->AddPointCloud(
+      table.name().empty() ? "ahn2" : table.name(),
+      std::make_shared<FlatTable>(std::move(table))));
   std::string layers_dir = args.Value("--layers", "");
   if (!layers_dir.empty()) {
     std::vector<std::string> layer_files;
-    if (Status st = ListFiles(layers_dir, ".layer", &layer_files); !st.ok()) {
-      return Fail(st);
-    }
+    GEOCOL_RETURN_NOT_OK(ListFiles(layers_dir, ".layer", &layer_files));
     for (const auto& lf : layer_files) {
-      auto layer = ReadLayerFile(lf);
-      if (!layer.ok()) return Fail(layer.status());
-      if (Status st = catalog.AddLayer(*layer); !st.ok()) return Fail(st);
+      GEOCOL_ASSIGN_OR_RETURN(auto layer, ReadLayerFile(lf));
+      GEOCOL_RETURN_NOT_OK(catalog->AddLayer(layer));
     }
   }
+  return Status::OK();
+}
+
+int CmdQuery(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  Catalog catalog;
+  if (Status st = SetupCatalog(args, &catalog); !st.ok()) return Fail(st);
   std::printf("datasets: %s", catalog.PointCloudNames()[0].c_str());
   for (const auto& l : catalog.LayerNames()) std::printf(", %s", l.c_str());
   std::printf("\n");
@@ -409,6 +417,67 @@ int CmdQuery(const Args& args) {
     std::printf("\n%s\n%s", session.last_plan().c_str(),
                 session.last_profile().ToString().c_str());
   }
+  telemetry::MaybePrintSummary(stderr);
+  return 0;
+}
+
+/// `geocol metrics <table_dir> ["<SQL>"]`: optionally runs a query to
+/// exercise the engine, then dumps every registered metric. --format prom
+/// (default) renders Prometheus text exposition; --format json renders
+/// the JSON document bench_report.py ingests.
+int CmdMetrics(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  Catalog catalog;
+  if (Status st = SetupCatalog(args, &catalog); !st.ok()) return Fail(st);
+  if (args.positional.size() >= 2) {
+    sql::Session session(&catalog);
+    auto rs = session.Execute(args.positional[1]);
+    if (!rs.ok()) return Fail(rs.status());
+  }
+  std::string format = args.Value("--format", "prom");
+  if (format != "prom" && format != "json") {
+    return Fail(Status::InvalidArgument("--format must be prom or json"));
+  }
+  telemetry::MetricsRegistry& reg = telemetry::MetricsRegistry::Global();
+  std::string out = format == "json" ? reg.RenderJson()
+                                     : reg.RenderPrometheus();
+  std::fwrite(out.data(), 1, out.size(), stdout);
+  return 0;
+}
+
+/// `geocol trace <table_dir> "<SQL>"`: runs the query and exports its span
+/// tree as Chrome trace_event JSON (load in chrome://tracing / Perfetto)
+/// or JSONL with --jsonl. --out writes to a file instead of stdout.
+int CmdTrace(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  Catalog catalog;
+  if (Status st = SetupCatalog(args, &catalog); !st.ok()) return Fail(st);
+  sql::Session session(&catalog);
+  auto rs = session.Execute(args.positional[1]);
+  if (!rs.ok()) return Fail(rs.status());
+  if (session.last_profile().empty()) {
+    return Fail(Status::InvalidArgument(
+        "query produced no profile (nothing to trace)"));
+  }
+  std::string doc =
+      args.Has("--jsonl")
+          ? telemetry::ProfileToJsonl(session.last_profile(),
+                                      args.positional[1])
+          : telemetry::ProfileToChromeTrace(session.last_profile(),
+                                            args.positional[1]);
+  std::string out_path = args.Value("--out", "");
+  if (out_path.empty()) {
+    std::fwrite(doc.data(), 1, doc.size(), stdout);
+    return 0;
+  }
+  std::FILE* f = std::fopen(out_path.c_str(), "w");
+  if (f == nullptr) {
+    return Fail(Status::IOError("cannot open " + out_path));
+  }
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  std::fprintf(stderr, "trace (%zu spans) written to %s\n",
+               session.last_profile().operators().size(), out_path.c_str());
   return 0;
 }
 
@@ -466,7 +535,7 @@ int main(int argc, char** argv) {
       args.flags.push_back(a);
       // Flags with values consume the next token.
       if ((a == "--points" || a == "--layers" || a == "--threads" ||
-           a == "--cols") &&
+           a == "--cols" || a == "--format" || a == "--out") &&
           i + 1 < argc) {
         args.flags.push_back(argv[++i]);
       }
@@ -483,6 +552,8 @@ int main(int argc, char** argv) {
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "raster") return CmdRaster(args);
   if (cmd == "verify") return CmdVerify(args);
+  if (cmd == "metrics") return CmdMetrics(args);
+  if (cmd == "trace") return CmdTrace(args);
   if (cmd == "simd") return CmdSimd(args);
   return Usage();
 }
