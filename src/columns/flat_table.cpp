@@ -1,6 +1,13 @@
 #include "columns/flat_table.h"
 
+#include <atomic>
+
 namespace geocol {
+
+uint64_t FlatTable::NextTableId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
 
 Schema::Schema(std::vector<Field> fields) : fields_(std::move(fields)) {
   for (size_t i = 0; i < fields_.size(); ++i) {

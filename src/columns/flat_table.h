@@ -54,6 +54,11 @@ class FlatTable {
   const std::string& name() const { return name_; }
   void set_name(std::string name) { name_ = std::move(name); }
 
+  /// Process-unique id assigned at construction. The query result cache
+  /// keys on it (instead of the heap address) so a recycled allocation can
+  /// never alias another table's cache entries.
+  uint64_t table_id() const { return table_id_; }
+
   size_t num_columns() const { return columns_.size(); }
   uint64_t num_rows() const {
     return columns_.empty() ? 0 : columns_[0]->size();
@@ -89,7 +94,10 @@ class FlatTable {
   Status PermuteRows(const std::vector<uint64_t>& perm);
 
  private:
+  static uint64_t NextTableId();
+
   std::string name_;
+  uint64_t table_id_ = NextTableId();
   std::vector<ColumnPtr> columns_;
   std::unordered_map<std::string, size_t> by_name_;
 };

@@ -26,6 +26,51 @@ uint32_t EffectiveThreads(uint32_t requested) {
   return hw == 0 ? 1 : static_cast<uint32_t>(hw);
 }
 
+// Bridges GridRefine's cell hook to cache tier (b). The key carries the
+// geometry bits plus the exact grid frame (extent, cols, rows) and no
+// table identity: any query refining the same geometry on an identical
+// grid shares the classifications, whatever its candidate rows.
+class CacheCellHook final : public GridCellHook {
+ public:
+  CacheCellHook(cache::QueryResultCache* cache, const Geometry& geometry,
+                double buffer)
+      : cache_(cache), geometry_(geometry), buffer_(buffer) {}
+
+  std::shared_ptr<const std::vector<uint8_t>> Seed(const Box& extent,
+                                                   uint32_t cols,
+                                                   uint32_t rows) override {
+    auto seed = cache_->LookupGridCells(Key(extent, cols, rows));
+    seeded_ = seed != nullptr;
+    return seed;
+  }
+
+  void Publish(const Box& extent, uint32_t cols, uint32_t rows,
+               std::vector<uint8_t> cells) override {
+    cache_->MergeGridCells(Key(extent, cols, rows), std::move(cells));
+  }
+
+  bool seeded() const { return seeded_; }
+
+ private:
+  std::string Key(const Box& extent, uint32_t cols, uint32_t rows) const {
+    cache::KeyBuilder kb("grid");
+    kb.AppendGeometry(geometry_);
+    kb.AppendDouble(buffer_);
+    kb.AppendDouble(extent.min_x);
+    kb.AppendDouble(extent.min_y);
+    kb.AppendDouble(extent.max_x);
+    kb.AppendDouble(extent.max_y);
+    kb.AppendU32(cols);
+    kb.AppendU32(rows);
+    return kb.Take();
+  }
+
+  cache::QueryResultCache* cache_;
+  const Geometry& geometry_;
+  double buffer_;
+  bool seeded_ = false;
+};
+
 }  // namespace
 
 double AggregateRows(const Column& column, const std::vector<uint64_t>& rows,
@@ -127,6 +172,64 @@ SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
     pool_ = std::make_unique<ThreadPool>(threads - 1);
     imprints_.set_thread_pool(pool_.get());
   }
+  cache_owner_ = options_.cache.instance;
+  set_cache_budget(options_.cache.budget_bytes);
+}
+
+void SpatialQueryEngine::set_cache_budget(uint64_t budget_bytes) {
+  // No-op when already bound at this budget, so repeated per-query calls
+  // (the SQL session applies its knob on every Execute) never touch
+  // engine state.
+  if (budget_bytes == options_.cache.budget_bytes &&
+      (budget_bytes == 0) == (cache_ == nullptr)) {
+    return;
+  }
+  options_.cache.budget_bytes = budget_bytes;
+  if (budget_bytes == 0) {
+    cache_ = nullptr;
+    return;
+  }
+  cache_ = cache_owner_ != nullptr ? cache_owner_.get()
+                                   : &cache::QueryResultCache::Global();
+  cache_->GrowBudget(budget_bytes);
+}
+
+Result<std::string> SpatialQueryEngine::SelectionKey(
+    const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic) const {
+  cache::KeyBuilder kb("sel");
+  kb.AppendU64(table_->table_id());
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xcol, table_->GetColumn(x_name_));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr ycol, table_->GetColumn(y_name_));
+  kb.Append(x_name_);
+  kb.AppendU64(xcol->epoch());
+  kb.Append(y_name_);
+  kb.AppendU64(ycol->epoch());
+  kb.AppendGeometry(geometry);
+  kb.AppendDouble(buffer);
+  kb.AppendU64(thematic.size());
+  for (const AttributeRange& attr : thematic) {
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(attr.column));
+    kb.Append(attr.column);
+    kb.AppendU64(col->epoch());
+    kb.AppendDouble(attr.lo);
+    kb.AppendDouble(attr.hi);
+  }
+  // Result-shaping knobs. The SIMD level is deliberately absent — the
+  // kernel layer guarantees bit-identical selections across levels — but
+  // the thread count is present: parallel runs report `workers` in their
+  // stats and merge aggregate partials in chunk order, so serial and
+  // parallel engines must not share entries.
+  kb.AppendU32(options_.use_imprints ? 1u : 0u);
+  kb.AppendU32(num_effective_threads());
+  kb.AppendU32(options_.imprints.max_bins);
+  kb.AppendU32(options_.imprints.sample_size);
+  kb.AppendU64(options_.imprints.seed);
+  kb.AppendU32(options_.imprints.cacheline_bytes);
+  kb.AppendU64(options_.refine.target_points_per_cell);
+  kb.AppendU32(options_.refine.max_cells_per_axis);
+  kb.AppendU32(options_.refine.use_grid ? 1u : 0u);
+  return kb.Take();
 }
 
 Result<SelectionResult> SpatialQueryEngine::SelectInBox(const Box& box) {
@@ -154,13 +257,32 @@ Result<double> SpatialQueryEngine::Aggregate(
     const Geometry& geometry, double buffer,
     const std::vector<AttributeRange>& thematic, const std::string& column,
     AggKind kind) {
+  // Cache tier (c): the aggregate keys on the full selection key plus the
+  // aggregated column's (name, epoch) and the aggregate kind. COUNT skips
+  // the tier — it falls out of a tier (a) hit for free.
+  std::string agg_key;
+  if (cache_ != nullptr && kind != AggKind::kCount) {
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr agg_col, table_->GetColumn(column));
+    GEOCOL_ASSIGN_OR_RETURN(std::string sel_key,
+                            SelectionKey(geometry, buffer, thematic));
+    cache::KeyBuilder kb("agg");
+    kb.Append(sel_key);
+    kb.Append(column);
+    kb.AppendU64(agg_col->epoch());
+    kb.AppendU32(static_cast<uint32_t>(kind));
+    agg_key = kb.Take();
+    double cached;
+    if (cache_->LookupAggregate(agg_key, &cached)) return cached;
+  }
   GEOCOL_ASSIGN_OR_RETURN(SelectionResult sel,
                           Execute(geometry, buffer, thematic));
   if (kind == AggKind::kCount) {
     return static_cast<double>(sel.row_ids.size());
   }
   GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(column));
-  return AggregateRows(*col, sel.row_ids, kind, pool_.get());
+  double value = AggregateRows(*col, sel.row_ids, kind, pool_.get());
+  if (cache_ != nullptr) cache_->InsertAggregate(agg_key, value);
+  return value;
 }
 
 Status SpatialQueryEngine::FilterColumn(const ColumnPtr& column, double lo,
@@ -225,6 +347,42 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
   GEOCOL_METRIC_HISTOGRAM(h_query, "geocol_query_nanos");
   c_queries.Increment();
   Timer query_timer;
+
+  // ---- Cache tier (a): an exact repeat (same table epochs, geometry
+  // bits, ranges and knobs) replays the stored row ids and stats. The
+  // profile records the replay as a single cache.hit span.
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    GEOCOL_ASSIGN_OR_RETURN(cache_key,
+                            SelectionKey(geometry, buffer, thematic));
+    if (auto hit = cache_->LookupSelection(cache_key)) {
+      result.row_ids = hit->row_ids;
+      result.filter_x = hit->filter_x;
+      result.filter_y = hit->filter_y;
+      result.refine = hit->refine;
+      int32_t span =
+          result.profile.Add("cache.hit", query_timer.ElapsedNanos(),
+                             xcol->size(), result.row_ids.size());
+      result.profile.AddAttr(span, "cache_hit", "selection");
+      h_query.Observe(query_timer.ElapsedNanos());
+      return result;
+    }
+  }
+  auto store_selection = [&]() {
+    if (cache_ == nullptr) return;
+    // Pre-check admission so a doorkeeper-deferred (first-sighting) large
+    // result skips the row-id copy entirely, not just the insert.
+    if (!cache_->ShouldAdmit(cache::Tier::kSelection, cache_key,
+                             result.row_ids.size() * sizeof(uint64_t))) {
+      return;
+    }
+    auto value = std::make_shared<cache::CachedSelection>();
+    value->row_ids = result.row_ids;
+    value->filter_x = result.filter_x;
+    value->filter_y = result.filter_y;
+    value->refine = result.refine;
+    cache_->InsertSelection(cache_key, std::move(value));
+  };
 
   // ---- Step 1: filter. Imprint range selections on x and y, intersected,
   // then conjunctive thematic ranges, each narrowing the selection. With a
@@ -335,12 +493,17 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
     result.refine.accepted = candidates;
     result.profile.Add("refine.none(box)", t.ElapsedNanos(), candidates,
                        candidates);
+    store_selection();
     h_query.Observe(query_timer.ElapsedNanos());
     return result;
   }
-  GEOCOL_RETURN_NOT_OK(GridRefine(*xcol, *ycol, rows, geometry, buffer,
-                                  options_.refine, &result.row_ids,
-                                  &result.refine, pool_.get()));
+  // Tier (b): seed the refinement grid with classifications from earlier
+  // queries over the same geometry, and publish what this query adds.
+  CacheCellHook cell_hook(cache_, geometry, buffer);
+  GEOCOL_RETURN_NOT_OK(
+      GridRefine(*xcol, *ycol, rows, geometry, buffer, options_.refine,
+                 &result.row_ids, &result.refine, pool_.get(),
+                 cache_ != nullptr ? &cell_hook : nullptr));
   char detail[128];
   std::snprintf(detail, sizeof(detail),
                 "grid=%ux%u cells in/bnd/out=%llu/%llu/%llu exact=%llu",
@@ -349,11 +512,14 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
                 static_cast<unsigned long long>(result.refine.cells_boundary),
                 static_cast<unsigned long long>(result.refine.cells_outside),
                 static_cast<unsigned long long>(result.refine.exact_tests));
-  result.profile.AddParallel(options_.refine.use_grid ? "refine.grid"
-                                                      : "refine.exhaustive",
-                             t.ElapsedNanos(), candidates,
-                             result.row_ids.size(), result.refine.workers,
-                             detail);
+  int32_t refine_span = result.profile.AddParallel(
+      options_.refine.use_grid ? "refine.grid" : "refine.exhaustive",
+      t.ElapsedNanos(), candidates, result.row_ids.size(),
+      result.refine.workers, detail);
+  if (cell_hook.seeded()) {
+    result.profile.AddAttr(refine_span, "cache_hit", "grid");
+  }
+  store_selection();
   h_query.Observe(query_timer.ElapsedNanos());
   return result;
 }

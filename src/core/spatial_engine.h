@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "cache/query_cache.h"
 #include "columns/flat_table.h"
 #include "core/imprint_scan.h"
 #include "core/profile.h"
@@ -28,6 +29,20 @@ struct AttributeRange {
   double hi = std::numeric_limits<double>::infinity();
 };
 
+/// Query result cache binding of one engine (DESIGN.md §11).
+struct CacheOptions {
+  /// Memory the engine asks the cache to hold. 0 leaves the engine
+  /// entirely cache-free: no lookups, no inserts, no extra spans — the
+  /// execution path is bit-identical to an engine built before the cache
+  /// layer existed.
+  uint64_t budget_bytes = 0;
+  /// Cache instance to bind to; null binds to the process-wide
+  /// QueryResultCache::Global(), whose budget is grown (never shrunk) to
+  /// `budget_bytes`. Tests and benchmarks pass private instances for cold
+  /// state and exact budget control.
+  std::shared_ptr<cache::QueryResultCache> instance;
+};
+
 /// Engine configuration; the booleans exist so benchmarks can ablate each
 /// technique (E3/E4/E5 run the same engine with features toggled).
 struct EngineOptions {
@@ -44,6 +59,8 @@ struct EngineOptions {
   /// A corrupt or stale sidecar is quarantined and rebuilt from the
   /// column — it degrades to a rebuild, never fails the query.
   std::string imprints_dir;
+  /// Query result cache binding; budget 0 (the default) is cache-off.
+  CacheOptions cache;
 };
 
 /// Result of a spatial selection.
@@ -122,6 +139,15 @@ class SpatialQueryEngine {
 
   ImprintManager& imprint_manager() { return imprints_; }
 
+  /// Rebinds the engine's cache budget after construction (the SQL
+  /// session's per-session knob). 0 detaches the engine from the cache;
+  /// > 0 attaches it (growing a shared instance's budget as needed). Not
+  /// thread-safe against queries in flight on this engine.
+  void set_cache_budget(uint64_t budget_bytes);
+
+  /// The cache this engine consults, or nullptr when cache-off.
+  cache::QueryResultCache* result_cache() const { return cache_; }
+
  private:
   /// Shared two-step implementation.
   Result<SelectionResult> Execute(const Geometry& geometry, double buffer,
@@ -132,6 +158,14 @@ class SpatialQueryEngine {
                       BitVector* rows, ImprintScanStats* stats,
                       QueryProfile* profile, const std::string& op_name);
 
+  /// Tier (a)/(c) key prefix: the complete byte image of everything the
+  /// selection depends on — table id, per-column epochs, geometry bits,
+  /// thematic ranges, and result-shaping knobs (thread count, imprint and
+  /// refine options). NotFound when a thematic column is missing.
+  Result<std::string> SelectionKey(
+      const Geometry& geometry, double buffer,
+      const std::vector<AttributeRange>& thematic) const;
+
   std::shared_ptr<FlatTable> table_;
   EngineOptions options_;
   std::string x_name_, y_name_;
@@ -140,6 +174,10 @@ class SpatialQueryEngine {
   /// calling thread always participates in parallel loops, so the pool
   /// holds num_effective_threads() - 1 workers.
   std::unique_ptr<ThreadPool> pool_;
+  /// Keeps a private cache instance alive; null when using Global().
+  std::shared_ptr<cache::QueryResultCache> cache_owner_;
+  /// The cache every query consults; nullptr = cache-off.
+  cache::QueryResultCache* cache_ = nullptr;
 };
 
 }  // namespace geocol

@@ -17,6 +17,13 @@ SessionOptions SessionOptions::FromEnv() {
     double ms = std::strtod(env, &end);
     if (end != env && ms >= 0) options.slow_query_ms = ms;
   }
+  if (const char* env = std::getenv("GEOCOL_CACHE_MB")) {
+    char* end = nullptr;
+    double mb = std::strtod(env, &end);
+    if (end != env && mb >= 0) {
+      options.cache_budget_bytes = static_cast<int64_t>(mb * 1024 * 1024);
+    }
+  }
   return options;
 }
 
@@ -25,6 +32,10 @@ Result<ResultSet> Session::Execute(const std::string& sql_text) {
   GEOCOL_ASSIGN_OR_RETURN(SelectStmt stmt, Parse(sql_text));
   GEOCOL_ASSIGN_OR_RETURN(PlannedQuery plan, PlanQuery(catalog_, std::move(stmt)));
   last_plan_ = plan.Describe();
+  if (options_.cache_budget_bytes >= 0 && plan.engine != nullptr) {
+    plan.engine->set_cache_budget(
+        static_cast<uint64_t>(options_.cache_budget_bytes));
+  }
   GEOCOL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteQuery(plan));
   last_profile_ = rs.profile;
   const int64_t wall_nanos = timer.ElapsedNanos();

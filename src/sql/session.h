@@ -22,7 +22,15 @@ struct SessionOptions {
   /// default comes from the GEOCOL_SLOW_QUERY_MS env var (unset = off).
   double slow_query_ms = -1.0;
 
-  /// Fills slow_query_ms from GEOCOL_SLOW_QUERY_MS when set.
+  /// Result-cache budget applied to every point-cloud engine this session
+  /// queries (DESIGN.md §11). <0 leaves each engine's own configuration
+  /// untouched; 0 forces the cache off; >0 binds the engine to the
+  /// process-wide cache with at least this many bytes. The default comes
+  /// from the GEOCOL_CACHE_MB env var (unset = leave engines alone).
+  int64_t cache_budget_bytes = -1;
+
+  /// Fills slow_query_ms from GEOCOL_SLOW_QUERY_MS and cache_budget_bytes
+  /// from GEOCOL_CACHE_MB when set.
   static SessionOptions FromEnv();
 };
 

@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -11,6 +12,7 @@
 #include "core/spatial_engine.h"
 #include "geom/wkt.h"
 #include "util/rng.h"
+#include "util/thread_pool.h"
 
 namespace geocol {
 namespace {
@@ -159,6 +161,62 @@ TEST(SpatialEngineTest, EmptySelectionAggregates) {
   auto avg = eng.Aggregate(far, 0.0, {}, "z", AggKind::kAvg);
   ASSERT_TRUE(avg.ok());
   EXPECT_TRUE(std::isnan(*avg));
+}
+
+// Contract pin: AggregateRows over an empty selection returns NaN for the
+// value aggregates and 0 for COUNT. The SQL layer relies on this exact
+// behaviour to render NULL (executor.cpp maps empty-selection aggregates to
+// Value::Null()), and the result cache stores the NaN bit pattern verbatim.
+TEST(SpatialEngineTest, AggregateRowsEmptySelectionReturnsNaN) {
+  auto table = MakeTable(100, 101, Box(0, 0, 10, 10));
+  ColumnPtr z = table->column("z");
+  const std::vector<uint64_t> empty;
+  EXPECT_EQ(AggregateRows(*z, empty, AggKind::kCount), 0.0);
+  EXPECT_TRUE(std::isnan(AggregateRows(*z, empty, AggKind::kSum)));
+  EXPECT_TRUE(std::isnan(AggregateRows(*z, empty, AggKind::kAvg)));
+  EXPECT_TRUE(std::isnan(AggregateRows(*z, empty, AggKind::kMin)));
+  EXPECT_TRUE(std::isnan(AggregateRows(*z, empty, AggKind::kMax)));
+}
+
+// Contract pin: parallel AggregateRows merges per-chunk partial sums in
+// chunk order, so its SUM/AVG are bit-identical to a serial reduction that
+// sums each 2^16-row chunk and then adds the partials in order. The cache
+// equivalence suite depends on this — a cached aggregate computed by a
+// parallel engine must compare bit-equal to a serial recomputation.
+TEST(SpatialEngineTest, ParallelAggregateRowsSumsInDeterministicChunkOrder) {
+  constexpr size_t kRows = size_t{1} << 17;       // >= kMinParallelAggRows
+  constexpr size_t kChunk = size_t{1} << 16;      // == kAggChunkRows
+  auto table = MakeTable(kRows, 102, Box(0, 0, 1000, 1000));
+  ColumnPtr z = table->column("z");
+  std::vector<uint64_t> rows(kRows);
+  for (size_t i = 0; i < kRows; ++i) rows[i] = i;
+
+  // Chunk-ordered serial reference.
+  double ref_sum = 0.0;
+  for (size_t begin = 0; begin < kRows; begin += kChunk) {
+    double partial = 0.0;
+    size_t end = std::min(kRows, begin + kChunk);
+    for (size_t i = begin; i < end; ++i) partial += z->GetDouble(rows[i]);
+    ref_sum += partial;
+  }
+  double ref_avg = ref_sum / static_cast<double>(kRows);
+
+  ThreadPool pool(3);
+  double par_sum = AggregateRows(*z, rows, AggKind::kSum, &pool);
+  double par_avg = AggregateRows(*z, rows, AggKind::kAvg, &pool);
+  uint64_t ref_bits, par_bits;
+  std::memcpy(&ref_bits, &ref_sum, sizeof(ref_bits));
+  std::memcpy(&par_bits, &par_sum, sizeof(par_bits));
+  EXPECT_EQ(ref_bits, par_bits);
+  std::memcpy(&ref_bits, &ref_avg, sizeof(ref_bits));
+  std::memcpy(&par_bits, &par_avg, sizeof(par_bits));
+  EXPECT_EQ(ref_bits, par_bits);
+
+  // Repeated parallel runs are deterministic — thread scheduling must not
+  // leak into the merge order.
+  for (int repeat = 0; repeat < 3; ++repeat) {
+    EXPECT_EQ(AggregateRows(*z, rows, AggKind::kSum, &pool), par_sum);
+  }
 }
 
 TEST(SpatialEngineTest, ProfileHasFilterAndRefineOperators) {

@@ -1,8 +1,16 @@
 // SQL robustness: deterministic pseudo-random inputs must never crash the
 // lexer/parser/planner/executor — every outcome is either a result set or
 // a clean Status. Also mutates valid statements (truncation, token swaps).
+//
+// Every fuzzed statement is executed TWICE through a session whose result
+// cache is enabled — the first execution misses, the second is served or
+// seeded by the cache — and both outcomes must agree cell for cell
+// (numbers compared bitwise, so NaN aggregates count as equal). A fuzzer
+// that never crashes but silently returns stale or aliased cache entries
+// would fail here.
 #include <gtest/gtest.h>
 
+#include <cstring>
 #include <string>
 
 #include "pointcloud/generator.h"
@@ -13,6 +21,62 @@
 
 namespace geocol {
 namespace {
+
+bool SameValue(const sql::Value& a, const sql::Value& b) {
+  if (a.kind != b.kind) return false;
+  switch (a.kind) {
+    case sql::Value::Kind::kNull:
+      return true;
+    case sql::Value::Kind::kText:
+      return a.text == b.text;
+    case sql::Value::Kind::kNumber: {
+      uint64_t ba, bb;
+      std::memcpy(&ba, &a.number, sizeof(ba));
+      std::memcpy(&bb, &b.number, sizeof(bb));
+      return ba == bb;
+    }
+  }
+  return false;
+}
+
+bool SameResultSet(const sql::ResultSet& a, const sql::ResultSet& b) {
+  if (a.columns != b.columns || a.rows.size() != b.rows.size()) return false;
+  for (size_t r = 0; r < a.rows.size(); ++r) {
+    if (a.rows[r].size() != b.rows[r].size()) return false;
+    for (size_t c = 0; c < a.rows[r].size(); ++c) {
+      if (!SameValue(a.rows[r][c], b.rows[r][c])) return false;
+    }
+  }
+  return true;
+}
+
+// Session options with the result cache enabled, so the second execution of
+// every fuzzed statement runs miss-then-hit through src/cache/.
+sql::SessionOptions CacheOnOptions() {
+  auto opts = sql::SessionOptions::FromEnv();
+  opts.cache_budget_bytes = 32ll << 20;
+  return opts;
+}
+
+// Executes `text` twice through the same session and checks the two
+// outcomes agree: same ok-ness, same error code on failure, identical
+// result set on success. EXPLAIN ANALYZE output is exempt from the row
+// diff — its rows are the span tree, which embeds wall-clock timings.
+Result<sql::ResultSet> ExecuteTwice(sql::Session& session,
+                                    const std::string& text) {
+  auto first = session.Execute(text);
+  auto second = session.Execute(text);
+  EXPECT_EQ(first.ok(), second.ok()) << text;
+  if (!first.ok() && !second.ok()) {
+    EXPECT_EQ(first.status().code(), second.status().code()) << text;
+  }
+  if (first.ok() && second.ok() &&
+      !(first->columns.size() == 1 &&
+        first->columns[0] == "explain analyze")) {
+    EXPECT_TRUE(SameResultSet(*first, *second)) << text;
+  }
+  return first;
+}
 
 class SqlFuzzTest : public ::testing::Test {
  protected:
@@ -44,6 +108,7 @@ const char* kTokens[] = {
     "SELECT", "FROM",  "WHERE", "AND",   "BETWEEN", "LIMIT",  "ORDER",
     "BY",     "DESC",  "COUNT", "AVG",   "MIN",     "MAX",    "SUM",
     "NEAR",   "ST_WITHIN", "ST_DWITHIN", "ST_INTERSECTS", "EXPLAIN",
+    "ANALYZE",
     "x",      "y",     "z",    "ahn2",  "osm",    "pt",     "geom",
     "bogus",  "*",     ",",    "(",     ")",      "=",      "<",
     ">",      "<=",    ">=",   ";",     "5",      "-3.25",  "1e9",
@@ -52,7 +117,7 @@ const char* kTokens[] = {
 
 TEST_F(SqlFuzzTest, RandomTokenSoupNeverCrashes) {
   Rng rng(701);
-  sql::Session session(catalog_);
+  sql::Session session(catalog_, CacheOnOptions());
   int executed = 0;
   for (int iter = 0; iter < 3000; ++iter) {
     // Half the soups get a plausible prefix so some reach the executor.
@@ -62,7 +127,7 @@ TEST_F(SqlFuzzTest, RandomTokenSoupNeverCrashes) {
       text += kTokens[rng.Uniform(std::size(kTokens))];
       text += ' ';
     }
-    auto rs = session.Execute(text);
+    auto rs = ExecuteTwice(session, text);
     executed += rs.ok();
     if (!rs.ok()) {
       // Errors must be classified, never Internal.
@@ -80,13 +145,13 @@ TEST_F(SqlFuzzTest, RandomTokenSoupNeverCrashes) {
 }
 
 TEST_F(SqlFuzzTest, TruncationsOfValidQueryNeverCrash) {
-  sql::Session session(catalog_);
+  sql::Session session(catalog_, CacheOnOptions());
   const std::string query =
       "SELECT COUNT(*), AVG(z) FROM ahn2 WHERE ST_Within(pt, "
       "'BOX(85010 444010, 85050 444050)') AND classification BETWEEN 2 AND "
       "6 ORDER BY z DESC LIMIT 10";
   for (size_t cut = 0; cut <= query.size(); ++cut) {
-    auto rs = session.Execute(query.substr(0, cut));
+    auto rs = ExecuteTwice(session, query.substr(0, cut));
     if (!rs.ok()) {
       EXPECT_NE(rs.status().code(), StatusCode::kInternal)
           << "cut at " << cut;
@@ -96,7 +161,7 @@ TEST_F(SqlFuzzTest, TruncationsOfValidQueryNeverCrash) {
 
 TEST_F(SqlFuzzTest, RandomByteMutationsNeverCrash) {
   Rng rng(702);
-  sql::Session session(catalog_);
+  sql::Session session(catalog_, CacheOnOptions());
   const std::string base =
       "SELECT x, y FROM ahn2 WHERE ST_DWithin(pt, 'POINT (85030 444030)', "
       "12.5) LIMIT 5";
@@ -108,7 +173,7 @@ TEST_F(SqlFuzzTest, RandomByteMutationsNeverCrash) {
       char c = static_cast<char>(32 + rng.Uniform(95));  // printable ASCII
       text[at] = c;
     }
-    auto rs = session.Execute(text);
+    auto rs = ExecuteTwice(session, text);
     if (!rs.ok()) {
       EXPECT_NE(rs.status().code(), StatusCode::kInternal) << text;
     }
@@ -116,18 +181,19 @@ TEST_F(SqlFuzzTest, RandomByteMutationsNeverCrash) {
 }
 
 TEST_F(SqlFuzzTest, DeepNestingAndLongInputs) {
-  sql::Session session(catalog_);
+  sql::Session session(catalog_, CacheOnOptions());
   // Very long predicate chain.
   std::string text = "SELECT COUNT(*) FROM ahn2 WHERE z >= 0";
   for (int i = 0; i < 500; ++i) text += " AND z <= 1000";
-  auto rs = session.Execute(text);
+  auto rs = ExecuteTwice(session, text);
   EXPECT_TRUE(rs.ok());
   // Pathologically long identifier.
   std::string long_ident(10000, 'a');
-  EXPECT_FALSE(session.Execute("SELECT " + long_ident + " FROM ahn2").ok());
+  EXPECT_FALSE(ExecuteTwice(session, "SELECT " + long_ident + " FROM ahn2")
+                   .ok());
   // Deeply parenthesised garbage.
   std::string parens = "SELECT x FROM ahn2 WHERE " + std::string(2000, '(');
-  EXPECT_FALSE(session.Execute(parens).ok());
+  EXPECT_FALSE(ExecuteTwice(session, parens).ok());
 }
 
 TEST_F(SqlFuzzTest, ParserAloneOnRandomUnicodeBytes) {

@@ -22,6 +22,7 @@ using sql::SelectStmt;
 using sql::Session;
 using sql::TokKind;
 using sql::Tokenize;
+using sql::Value;
 
 // ---------------- lexer ----------------
 
@@ -237,6 +238,25 @@ TEST_F(SqlSessionTest, RangePredicatesViaImprints) {
     expected += c >= 3 && c <= 5;
   }
   EXPECT_EQ(rs->rows[0][0].number, static_cast<double>(expected));
+}
+
+// Contract pin: an aggregate over an empty selection comes back from the
+// engine as NaN (AggregateRows contract) and the SQL layer renders it as
+// NULL — never as a NaN number value. COUNT(*) stays a plain 0. The result
+// cache round-trips the NaN bit pattern, so this mapping must hold on both
+// cold and cached executions.
+TEST_F(SqlSessionTest, EmptySelectionAggregatesMapToNull) {
+  auto rs = session_->Execute(
+      "SELECT AVG(z), SUM(z), MIN(z), MAX(z), COUNT(*) FROM ahn2 "
+      "WHERE ST_Within(pt, 'BOX(0 0, 1 1)')");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_EQ(rs->rows.size(), 1u);
+  ASSERT_EQ(rs->rows[0].size(), 5u);
+  for (size_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(rs->rows[0][c].kind, Value::Kind::kNull) << "column " << c;
+  }
+  EXPECT_EQ(rs->rows[0][4].kind, Value::Kind::kNumber);
+  EXPECT_EQ(rs->rows[0][4].number, 0.0);
 }
 
 TEST_F(SqlSessionTest, AvgElevationNearFastTransitRoad) {

@@ -9,8 +9,10 @@ one BENCH_<id>.json per experiment:
 
     build/bench/bench_selection --json /tmp/sel.json
     build/bench/bench_simd      --json /tmp/simd.json
-    tools/bench_report.py --out-dir . /tmp/sel.json /tmp/simd.json
-    # -> ./BENCH_E3.json ./BENCH_E11.json ...
+    build/bench/bench_cache     --json /tmp/cache.json
+    tools/bench_report.py --out-dir . /tmp/sel.json /tmp/simd.json \
+        /tmp/cache.json
+    # -> ./BENCH_E3.json ./BENCH_E11.json ./BENCH_E13.json ...
 
 Telemetry registry dumps (from `--metrics <path>` on a bench binary, or
 `geocol_tool metrics --format json`) can ride along via `--metrics`; their

@@ -10,6 +10,7 @@
 //   geocol verify   <table_dir>
 //   geocol metrics  <table_dir> ["<SQL>"] [--format prom|json] [--layers <dir>]
 //   geocol trace    <table_dir> "<SQL>" [--out <path>] [--jsonl] [--layers <dir>]
+//   geocol cache    <table_dir> "<SQL>" [--budget-mb N] [--repeat N] [--layers <dir>]
 //   geocol simd
 //
 // Tables are persisted GeoColumn table directories; layers are .layer text
@@ -24,6 +25,7 @@
 #include <vector>
 
 #include "baselines/file_store.h"
+#include "cache/query_cache.h"
 #include "columns/column_file.h"
 #include "columns/compression.h"
 #include "core/imprints_io.h"
@@ -41,6 +43,7 @@
 #include "telemetry/trace.h"
 #include "util/binary_io.h"
 #include "util/tempdir.h"
+#include "util/timer.h"
 
 using namespace geocol;
 
@@ -86,6 +89,7 @@ int Usage() {
                "  verify   <table_dir>\n"
                "  metrics  <table_dir> [\"<SQL>\"] [--format prom|json] [--layers <dir>]\n"
                "  trace    <table_dir> \"<SQL>\" [--out <path>] [--jsonl] [--layers <dir>]\n"
+               "  cache    <table_dir> \"<SQL>\" [--budget-mb N] [--repeat N] [--layers <dir>]\n"
                "  simd     (print CPU features and active kernel dispatch)\n");
   return 2;
 }
@@ -481,6 +485,41 @@ int CmdTrace(const Args& args) {
   return 0;
 }
 
+/// `geocol cache <table_dir> "<SQL>" [--budget-mb N] [--repeat N]`: runs
+/// the query --repeat times through one session with the result cache
+/// bound at --budget-mb, printing per-run wall times and the cache's
+/// per-tier statistics — the interactive proof of the repeated-viewport
+/// speedup (EXPERIMENTS.md E13).
+int CmdCache(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  Catalog catalog;
+  if (Status st = SetupCatalog(args, &catalog); !st.ok()) return Fail(st);
+  sql::SessionOptions opts = sql::SessionOptions::FromEnv();
+  opts.cache_budget_bytes =
+      static_cast<int64_t>(args.U64("--budget-mb", 64)) * 1024 * 1024;
+  sql::Session session(&catalog, opts);
+  uint64_t repeat = std::max<uint64_t>(1, args.U64("--repeat", 3));
+  std::printf("budget: %.0f MB, %llu run(s)\n",
+              opts.cache_budget_bytes / 1048576.0,
+              static_cast<unsigned long long>(repeat));
+  for (uint64_t i = 0; i < repeat; ++i) {
+    Timer t;
+    auto rs = session.Execute(args.positional[1]);
+    if (!rs.ok()) return Fail(rs.status());
+    // A tier (a) hit shows up as the profile collapsing to one
+    // cache.hit span.
+    const auto& ops = session.last_profile().operators();
+    bool hit = !ops.empty() && ops[0].name == "cache.hit";
+    std::printf("run %llu: %8.3f ms  %llu row(s)%s\n",
+                static_cast<unsigned long long>(i + 1), t.ElapsedMillis(),
+                static_cast<unsigned long long>(rs->rows.size()),
+                hit ? "  [cache hit]" : "");
+  }
+  std::printf("\n%s", cache::QueryResultCache::Global().StatsToString().c_str());
+  telemetry::MaybePrintSummary(stderr);
+  return 0;
+}
+
 int CmdRaster(const Args& args) {
   if (args.positional.size() < 2) return Usage();
   auto table = OpenTable(args.positional[0]);
@@ -535,7 +574,8 @@ int main(int argc, char** argv) {
       args.flags.push_back(a);
       // Flags with values consume the next token.
       if ((a == "--points" || a == "--layers" || a == "--threads" ||
-           a == "--cols" || a == "--format" || a == "--out") &&
+           a == "--cols" || a == "--format" || a == "--out" ||
+           a == "--budget-mb" || a == "--repeat") &&
           i + 1 < argc) {
         args.flags.push_back(argv[++i]);
       }
@@ -554,6 +594,7 @@ int main(int argc, char** argv) {
   if (cmd == "verify") return CmdVerify(args);
   if (cmd == "metrics") return CmdMetrics(args);
   if (cmd == "trace") return CmdTrace(args);
+  if (cmd == "cache") return CmdCache(args);
   if (cmd == "simd") return CmdSimd(args);
   return Usage();
 }
