@@ -1,0 +1,319 @@
+#include "columns/sharded_table.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+
+#include "columns/column_file.h"
+#include "sfc/hilbert.h"
+#include "util/binary_io.h"
+#include "util/crc32c.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+
+namespace {
+
+constexpr char kShardManifestMagic[4] = {'G', 'S', 'M', '1'};
+constexpr uint32_t kMaxManifestShards = 1u << 16;
+
+/// Shard directory names carry the layout generation so a re-shard writes
+/// into fresh directories and never touches the ones the live manifest
+/// references — the manifest swap stays the only commit point even when
+/// the new layout has a different shard count.
+std::string ShardDirName(size_t i, uint64_t gen) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "shard_%04zu.g%llu", i,
+                static_cast<unsigned long long>(gen));
+  return buf;
+}
+
+/// Gathers `rows` source rows starting at perm[begin] into a fresh column
+/// of the same name/type. Type-erased byte copies — no dispatch needed.
+ColumnPtr GatherColumn(const Column& src, const std::vector<uint64_t>& perm,
+                       size_t begin, size_t rows) {
+  auto out = std::make_shared<Column>(src.name(), src.type());
+  const uint8_t* data = src.raw_data();
+  const size_t w = src.width();
+  std::vector<uint8_t> buf(rows * w);
+  for (size_t i = 0; i < rows; ++i) {
+    std::memcpy(buf.data() + i * w, data + perm[begin + i] * w, w);
+  }
+  out->AppendRaw(buf.data(), rows);
+  return out;
+}
+
+}  // namespace
+
+uint64_t ShardedTable::NextLayoutId() {
+  static std::atomic<uint64_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+size_t ShardedTable::ShardIndexOf(uint64_t global_row) const {
+  // First shard whose base exceeds the row, minus one.
+  size_t lo = 0, hi = shards_.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (shards_[mid].base <= global_row) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+Schema ShardedTable::schema() const {
+  return shards_.empty() ? Schema() : shards_[0].table->schema();
+}
+
+Result<std::shared_ptr<ShardedTable>> ShardedTable::Create(
+    const FlatTable& source, const ShardingOptions& options) {
+  GEOCOL_RETURN_NOT_OK(source.Validate());
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xcol,
+                          source.GetColumn(options.x_column));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr ycol,
+                          source.GetColumn(options.y_column));
+  if (options.hilbert_order < 1 || options.hilbert_order > 31) {
+    return Status::InvalidArgument("hilbert_order must be in [1, 31]");
+  }
+
+  auto out = std::make_shared<ShardedTable>();
+  out->name_ = source.name();
+  out->options_ = options;
+  const uint64_t n = source.num_rows();
+
+  // Extent the Hilbert keys scale to. HilbertEncodeScaled clamps
+  // zero-extent boxes internally, so an all-equal point cloud still sorts
+  // (all keys equal -> original order preserved by the stable sort).
+  Box extent;
+  if (n > 0) {
+    extent = Box(xcol->Stats().min, ycol->Stats().min, xcol->Stats().max,
+                 ycol->Stats().max);
+  }
+  out->extent_ = extent;
+
+  // Sort key per row. Ties (identical curve cells) keep source order, so
+  // the layout — and everything downstream: row ids, per-shard imprints,
+  // merged results — is deterministic for a given source table.
+  std::vector<uint64_t> perm(n);
+  std::iota(perm.begin(), perm.end(), uint64_t{0});
+  if (n > 0) {
+    std::vector<uint64_t> keys(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      keys[i] = HilbertEncodeScaled(xcol->GetDouble(i), ycol->GetDouble(i),
+                                    extent, options.hilbert_order);
+    }
+    std::stable_sort(perm.begin(), perm.end(),
+                     [&](uint64_t a, uint64_t b) { return keys[a] < keys[b]; });
+  }
+
+  // Near-equal contiguous splits: the first n % K shards get one extra
+  // row. K is clamped so no shard is ever forced empty (and an empty
+  // table keeps a single empty shard for schema access).
+  const uint64_t k = std::min<uint64_t>(std::max<uint32_t>(options.num_shards, 1),
+                                        std::max<uint64_t>(n, 1));
+  out->options_.num_shards = static_cast<uint32_t>(k);
+  const uint64_t per_shard = n / k;
+  const uint64_t extra = n % k;
+  uint64_t base = 0;
+  out->shards_.reserve(k);
+  for (uint64_t s = 0; s < k; ++s) {
+    const uint64_t rows = per_shard + (s < extra ? 1 : 0);
+    ShardSlice slice;
+    slice.base = base;
+    auto table = std::make_shared<FlatTable>(source.name() + ".shard" +
+                                             std::to_string(s));
+    for (const ColumnPtr& col : source.columns()) {
+      GEOCOL_RETURN_NOT_OK(
+          table->AddColumn(GatherColumn(*col, perm, base, rows)));
+    }
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr sx, table->GetColumn(options.x_column));
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr sy, table->GetColumn(options.y_column));
+    for (uint64_t i = 0; i < rows; ++i) {
+      slice.bbox.Extend(sx->GetDouble(i), sy->GetDouble(i));
+    }
+    slice.table = std::move(table);
+    out->shards_.push_back(std::move(slice));
+    base += rows;
+  }
+  out->num_rows_ = n;
+  return out;
+}
+
+bool IsShardedTableDir(const std::string& dir) {
+  return PathExists(dir + "/shards.gsm");
+}
+
+Status WriteShardedTableManifest(const std::string& dir,
+                                 const ShardedTableManifest& m) {
+  BufferWriter b;
+  b.WriteBytes(kShardManifestMagic, 4);
+  b.WriteScalar<uint64_t>(m.generation);
+  b.WriteString(m.table_name);
+  b.WriteString(m.x_column);
+  b.WriteString(m.y_column);
+  b.WriteScalar<uint32_t>(m.hilbert_order);
+  b.WriteScalar<double>(m.extent.min_x);
+  b.WriteScalar<double>(m.extent.min_y);
+  b.WriteScalar<double>(m.extent.max_x);
+  b.WriteScalar<double>(m.extent.max_y);
+  b.WriteScalar<uint32_t>(static_cast<uint32_t>(m.shards.size()));
+  for (const auto& s : m.shards) {
+    b.WriteString(s.dirname);
+    b.WriteScalar<uint64_t>(s.rows);
+    b.WriteScalar<double>(s.bbox.min_x);
+    b.WriteScalar<double>(s.bbox.min_y);
+    b.WriteScalar<double>(s.bbox.max_x);
+    b.WriteScalar<double>(s.bbox.max_y);
+  }
+  uint32_t crc = Crc32c(b.buffer().data(), b.size());
+  b.WriteScalar<uint32_t>(crc);
+  return WriteFileAtomic(dir + "/shards.gsm", b.buffer().data(), b.size());
+}
+
+Result<ShardedTableManifest> ReadShardedTableManifest(const std::string& dir) {
+  const std::string path = dir + "/shards.gsm";
+  std::vector<uint8_t> bytes;
+  GEOCOL_RETURN_NOT_OK(ReadFileBytes(path, &bytes));
+  if (bytes.size() < 8 ||
+      std::memcmp(bytes.data(), kShardManifestMagic, 4) != 0) {
+    return Status::Corruption("bad shard manifest magic: " + path);
+  }
+  const size_t body_size = bytes.size() - 4;
+  uint32_t stored = 0;
+  std::memcpy(&stored, bytes.data() + body_size, 4);
+  uint32_t computed = Crc32c(bytes.data(), body_size);
+  if (stored != computed) {
+    return Status::Corruption("shard manifest crc mismatch: " + path);
+  }
+
+  ShardedTableManifest m;
+  BufferReader r(bytes.data(), body_size);
+  char magic[4];
+  GEOCOL_RETURN_NOT_OK(r.ReadBytes(magic, 4));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&m.generation));
+  GEOCOL_RETURN_NOT_OK(r.ReadString(&m.table_name));
+  GEOCOL_RETURN_NOT_OK(r.ReadString(&m.x_column));
+  GEOCOL_RETURN_NOT_OK(r.ReadString(&m.y_column));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&m.hilbert_order));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&m.extent.min_x));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&m.extent.min_y));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&m.extent.max_x));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&m.extent.max_y));
+  uint32_t num_shards = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&num_shards));
+  // Each shard entry is at least 44 bytes; cap before allocating.
+  if (num_shards == 0 || num_shards > kMaxManifestShards ||
+      num_shards > r.remaining()) {
+    return Status::Corruption("implausible shard count " +
+                              std::to_string(num_shards) + ": " + path);
+  }
+  m.shards.reserve(num_shards);
+  for (uint32_t i = 0; i < num_shards; ++i) {
+    ShardedTableManifest::ManifestShard s;
+    GEOCOL_RETURN_NOT_OK(r.ReadString(&s.dirname));
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&s.rows));
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&s.bbox.min_x));
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&s.bbox.min_y));
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&s.bbox.max_x));
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&s.bbox.max_y));
+    if (s.dirname.empty() || s.dirname == "." || s.dirname == ".." ||
+        s.dirname.find('/') != std::string::npos) {
+      return Status::Corruption("bad shard dirname in manifest: " + path);
+    }
+    m.shards.push_back(std::move(s));
+  }
+  return m;
+}
+
+Status WriteShardedTableDir(const ShardedTable& table,
+                            const std::string& dir) {
+  GEOCOL_RETURN_NOT_OK(MakeDir(dir));
+  // Shard column files first — each WriteTableDir is itself crash-safe and
+  // generation-stamped, and a reader of the *sharded* layout follows
+  // shards.gsm, which still references the previous (fully intact)
+  // generation until the swap below.
+  ShardedTableManifest m;
+  m.table_name = table.name();
+  m.x_column = table.x_column();
+  m.y_column = table.y_column();
+  m.hilbert_order = table.options().hilbert_order;
+  m.extent = table.extent();
+  uint64_t gen = 1;
+  if (PathExists(dir + "/shards.gsm")) {
+    auto old = ReadShardedTableManifest(dir);
+    if (old.ok()) gen = old->generation + 1;
+  }
+  m.generation = gen;
+  for (size_t i = 0; i < table.num_shards(); ++i) {
+    const ShardSlice& slice = table.shard(i);
+    ShardedTableManifest::ManifestShard s;
+    s.dirname = ShardDirName(i, gen);
+    s.rows = slice.table->num_rows();
+    s.bbox = slice.bbox;
+    GEOCOL_RETURN_NOT_OK(WriteTableDir(*slice.table, dir + "/" + s.dirname));
+    m.shards.push_back(std::move(s));
+  }
+  // The commit point.
+  return WriteShardedTableManifest(dir, m);
+}
+
+Result<std::shared_ptr<ShardedTable>> ReadShardedTableDir(
+    const std::string& dir, bool verify_checksums) {
+  GEOCOL_ASSIGN_OR_RETURN(ShardedTableManifest m,
+                          ReadShardedTableManifest(dir));
+  auto out = std::make_shared<ShardedTable>();
+  out->set_name(m.table_name);
+  out->set_generation(m.generation);
+  ShardingOptions options;
+  options.num_shards = static_cast<uint32_t>(m.shards.size());
+  options.hilbert_order = m.hilbert_order;
+  options.x_column = m.x_column;
+  options.y_column = m.y_column;
+
+  uint64_t base = 0;
+  Schema schema;
+  for (size_t i = 0; i < m.shards.size(); ++i) {
+    const auto& ms = m.shards[i];
+    const std::string shard_dir = dir + "/" + ms.dirname;
+    GEOCOL_ASSIGN_OR_RETURN(FlatTable t,
+                            ReadTableDir(shard_dir, verify_checksums));
+    if (t.num_rows() != ms.rows) {
+      return Status::Corruption("shard row count mismatch in " + shard_dir +
+                                ": manifest says " + std::to_string(ms.rows) +
+                                ", columns hold " +
+                                std::to_string(t.num_rows()));
+    }
+    if (!t.schema().HasField(m.x_column) || !t.schema().HasField(m.y_column)) {
+      return Status::Corruption("shard missing coordinate columns: " +
+                                shard_dir);
+    }
+    if (i == 0) {
+      schema = t.schema();
+    } else if (!(schema == t.schema())) {
+      return Status::Corruption("shard schema mismatch: " + shard_dir);
+    }
+    ShardSlice slice;
+    slice.base = base;
+    slice.bbox = ms.bbox;
+    slice.dir = shard_dir;
+    slice.table = std::make_shared<FlatTable>(std::move(t));
+    base += ms.rows;
+    out->shards().push_back(std::move(slice));
+  }
+  out->FinishLoad(options, m.extent, base);
+  return out;
+}
+
+void ShardedTable::FinishLoad(const ShardingOptions& options,
+                              const Box& extent, uint64_t num_rows) {
+  options_ = options;
+  extent_ = extent;
+  num_rows_ = num_rows;
+}
+
+}  // namespace geocol

@@ -1,0 +1,113 @@
+// Aggregation core shared by the flat-table engine and the sharded
+// scatter-gather path. The accumulator types, operation order and parallel
+// chunking are fixed here once, so any two storage layouts that present
+// the same value sequence for the same row list produce bit-identical
+// aggregates — the contract shard_equivalence_test pins.
+#ifndef GEOCOL_CORE_AGGREGATE_H_
+#define GEOCOL_CORE_AGGREGATE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "util/thread_pool.h"
+
+namespace geocol {
+
+/// Supported aggregates over a selection.
+enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
+
+/// Row lists below this size aggregate serially even with a pool.
+constexpr size_t kMinParallelAggRows = size_t{1} << 17;
+/// Rows per aggregation chunk; partials merge in chunk order so the result
+/// is deterministic for a given row list.
+constexpr size_t kAggChunkRows = size_t{1} << 16;
+
+/// Aggregates `value_at(row)` over `rows`. kCount ignores the accessor;
+/// the empty selection yields NaN (SQL maps it to NULL). A non-null `pool`
+/// aggregates row chunks in parallel and merges the partials in chunk
+/// order, so the result is deterministic for a given row list
+/// (floating-point sums may differ from the serial order in the last
+/// bits; min/max/count are exact).
+template <typename T, typename ValueAt>
+double AggregateValues(const std::vector<uint64_t>& rows, AggKind kind,
+                       ThreadPool* pool, ValueAt&& value_at) {
+  if (kind == AggKind::kCount) return static_cast<double>(rows.size());
+  if (rows.empty()) return std::nan("");
+  const bool parallel = pool != nullptr && pool->num_threads() > 0 &&
+                        rows.size() >= kMinParallelAggRows;
+  const size_t num_chunks = (rows.size() + kAggChunkRows - 1) / kAggChunkRows;
+  double out = std::nan("");
+  switch (kind) {
+    case AggKind::kSum:
+    case AggKind::kAvg: {
+      double sum = 0.0;
+      if (parallel) {
+        std::vector<double> partial(num_chunks, 0.0);
+        pool->ParallelFor(num_chunks, [&](size_t c) {
+          size_t begin = c * kAggChunkRows;
+          size_t end = std::min(rows.size(), begin + kAggChunkRows);
+          double s = 0.0;
+          for (size_t i = begin; i < end; ++i) {
+            s += static_cast<double>(value_at(rows[i]));
+          }
+          partial[c] = s;
+        });
+        for (double p : partial) sum += p;
+      } else {
+        for (uint64_t r : rows) sum += static_cast<double>(value_at(r));
+      }
+      out = kind == AggKind::kSum ? sum
+                                  : sum / static_cast<double>(rows.size());
+      break;
+    }
+    case AggKind::kMin: {
+      T mn = value_at(rows[0]);
+      if (parallel) {
+        std::vector<T> partial(num_chunks, value_at(rows[0]));
+        pool->ParallelFor(num_chunks, [&](size_t c) {
+          size_t begin = c * kAggChunkRows;
+          size_t end = std::min(rows.size(), begin + kAggChunkRows);
+          T m = value_at(rows[begin]);
+          for (size_t i = begin + 1; i < end; ++i) {
+            m = std::min(m, value_at(rows[i]));
+          }
+          partial[c] = m;
+        });
+        for (T p : partial) mn = std::min(mn, p);
+      } else {
+        for (uint64_t r : rows) mn = std::min(mn, value_at(r));
+      }
+      out = static_cast<double>(mn);
+      break;
+    }
+    case AggKind::kMax: {
+      T mx = value_at(rows[0]);
+      if (parallel) {
+        std::vector<T> partial(num_chunks, value_at(rows[0]));
+        pool->ParallelFor(num_chunks, [&](size_t c) {
+          size_t begin = c * kAggChunkRows;
+          size_t end = std::min(rows.size(), begin + kAggChunkRows);
+          T m = value_at(rows[begin]);
+          for (size_t i = begin + 1; i < end; ++i) {
+            m = std::max(m, value_at(rows[i]));
+          }
+          partial[c] = m;
+        });
+        for (T p : partial) mx = std::max(mx, p);
+      } else {
+        for (uint64_t r : rows) mx = std::max(mx, value_at(r));
+      }
+      out = static_cast<double>(mx);
+      break;
+    }
+    case AggKind::kCount:
+      break;
+  }
+  return out;
+}
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_AGGREGATE_H_

@@ -1,0 +1,88 @@
+// The shard execution interface: scan/refine/aggregate over an opaque
+// handle. The router talks to shards exclusively through this surface —
+// bbox for pruning, epochs for cache keys, Select for local-row
+// selections, GetColumn for merge-side value access — so a shard that
+// lives in another process or on another node only needs to speak the
+// same contract (DESIGN.md §12 sketches that evolution). Today's only
+// implementation is LocalShard: a slice table plus a cache-off engine on
+// a borrowed morsel pool.
+#ifndef GEOCOL_CORE_SHARD_H_
+#define GEOCOL_CORE_SHARD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "columns/sharded_table.h"
+#include "core/spatial_engine.h"
+
+namespace geocol {
+
+/// One spatial shard, addressed opaquely. All row ids in and out of a
+/// shard are LOCAL (0-based within the shard); the router translates to
+/// global ids via the shard's base offset.
+class Shard {
+ public:
+  virtual ~Shard() = default;
+
+  virtual uint64_t num_rows() const = 0;
+
+  /// Tight bounds of the shard's points; the router prunes a shard when
+  /// this misses the query envelope. Empty for a rowless shard.
+  virtual const Box& bbox() const = 0;
+
+  /// Mutation epoch of one column — the cache-key ingredient that makes a
+  /// single-shard append invalidate by construction.
+  virtual Result<uint64_t> ColumnEpoch(const std::string& name) const = 0;
+
+  /// Exact spatial selection local to this shard: ascending local row ids
+  /// plus the shard's filter/refine stats and profile.
+  virtual Result<SelectionResult> Select(
+      const Geometry& geometry, double buffer,
+      const std::vector<AttributeRange>& thematic) = 0;
+
+  /// Local column values for merge-side aggregation and projection.
+  virtual Result<ColumnPtr> GetColumn(const std::string& name) const = 0;
+
+  /// Imprint storage currently held for this shard.
+  virtual uint64_t IndexStorageBytes() const = 0;
+};
+
+/// In-process shard: wraps a ShardSlice's table with a SpatialQueryEngine
+/// that shares the router's thread pool and never consults the query
+/// result cache (caching happens once, at the router, over merged global
+/// results). When the slice was loaded from disk, imprint sidecars live
+/// in the shard's own directory next to its column files.
+class LocalShard final : public Shard {
+ public:
+  /// `options` is the router's engine configuration; the cache binding is
+  /// stripped and the imprints sidecar dir is pointed at `slice.dir`.
+  LocalShard(const ShardSlice& slice, const EngineOptions& options,
+             const std::string& x_column, const std::string& y_column,
+             ThreadPool* pool);
+
+  uint64_t num_rows() const override { return table_->num_rows(); }
+  const Box& bbox() const override { return bbox_; }
+  Result<uint64_t> ColumnEpoch(const std::string& name) const override;
+  Result<SelectionResult> Select(
+      const Geometry& geometry, double buffer,
+      const std::vector<AttributeRange>& thematic) override;
+  Result<ColumnPtr> GetColumn(const std::string& name) const override;
+  uint64_t IndexStorageBytes() const override {
+    return engine_.IndexStorageBytes();
+  }
+
+  SpatialQueryEngine& engine() { return engine_; }
+
+ private:
+  static EngineOptions ShardOptions(const EngineOptions& options,
+                                    const std::string& dir);
+
+  std::shared_ptr<FlatTable> table_;
+  Box bbox_;
+  SpatialQueryEngine engine_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_SHARD_H_

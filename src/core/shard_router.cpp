@@ -1,0 +1,434 @@
+#include "core/shard_router.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <thread>
+
+#include "columns/types.h"
+#include "telemetry/metrics.h"
+#include "util/timer.h"
+
+namespace geocol {
+
+namespace {
+
+uint32_t EffectiveThreads(uint32_t requested) {
+  if (requested != 0) return requested;
+  unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<uint32_t>(hw);
+}
+
+/// Index of the shard containing `row` given the base offsets.
+size_t ShardIndexFor(const std::vector<uint64_t>& bases, uint64_t row) {
+  size_t lo = 0, hi = bases.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (bases[mid] <= row) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+void AccumulateFilterStats(const ImprintScanStats& in, ImprintScanStats* out) {
+  out->lines_total += in.lines_total;
+  out->lines_candidate += in.lines_candidate;
+  out->lines_full += in.lines_full;
+  out->values_checked += in.values_checked;
+  out->rows_selected += in.rows_selected;
+  out->rows_full += in.rows_full;
+  out->workers = std::max(out->workers, in.workers);
+}
+
+void AccumulateRefineStats(const RefinementStats& in, RefinementStats* out) {
+  out->candidates += in.candidates;
+  out->accepted += in.accepted;
+  out->cells_total += in.cells_total;
+  out->cells_nonempty += in.cells_nonempty;
+  out->cells_inside += in.cells_inside;
+  out->cells_outside += in.cells_outside;
+  out->cells_boundary += in.cells_boundary;
+  out->exact_tests += in.exact_tests;
+  // Per-shard refinement grids have their own frames; a merged grid shape
+  // would be meaningless, so the dimensions stay 0 for K > 1 (the
+  // single-scanned-shard path copies stats verbatim instead).
+  out->workers = std::max(out->workers, in.workers);
+}
+
+}  // namespace
+
+ShardRouter::ShardRouter(std::shared_ptr<ShardedTable> table,
+                         EngineOptions options)
+    : table_(std::move(table)), options_(options) {
+  uint32_t threads = EffectiveThreads(options_.num_threads);
+  if (threads > 1) {
+    // The calling thread participates in every parallel loop, so the pool
+    // only needs threads-1 workers. Shard engines borrow this pool;
+    // nested ParallelFor (scatter over shards, morsels within a shard) is
+    // safe and keeps all workers busy.
+    pool_ = std::make_unique<ThreadPool>(threads - 1);
+  }
+  shards_.reserve(table_->num_shards());
+  bases_.reserve(table_->num_shards());
+  for (size_t i = 0; i < table_->num_shards(); ++i) {
+    const ShardSlice& slice = table_->shard(i);
+    bases_.push_back(slice.base);
+    shards_.push_back(std::make_unique<LocalShard>(
+        slice, options_, table_->x_column(), table_->y_column(),
+        pool_.get()));
+  }
+  cache_owner_ = options_.cache.instance;
+  set_cache_budget(options_.cache.budget_bytes);
+}
+
+void ShardRouter::set_cache_budget(uint64_t budget_bytes) {
+  if (budget_bytes == options_.cache.budget_bytes &&
+      (budget_bytes == 0) == (cache_ == nullptr)) {
+    return;
+  }
+  options_.cache.budget_bytes = budget_bytes;
+  if (budget_bytes == 0) {
+    cache_ = nullptr;
+    return;
+  }
+  cache_ = cache_owner_ != nullptr ? cache_owner_.get()
+                                   : &cache::QueryResultCache::Global();
+  cache_->GrowBudget(budget_bytes);
+}
+
+uint64_t ShardRouter::IndexStorageBytes() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->IndexStorageBytes();
+  return total;
+}
+
+Result<std::string> ShardRouter::SelectionKey(
+    const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic) const {
+  cache::KeyBuilder kb("ssel");
+  // The shard layout: a re-shard produces a new layout id (and, for
+  // persisted layouts, a new generation), an append or in-place update to
+  // any single shard bumps that shard's column epochs — either way the
+  // key changes and stale entries age out by construction.
+  kb.AppendU64(table_->layout_id());
+  kb.AppendU64(table_->generation());
+  kb.AppendU32(static_cast<uint32_t>(shards_.size()));
+  kb.Append(table_->x_column());
+  kb.Append(table_->y_column());
+  for (const auto& shard : shards_) {
+    GEOCOL_ASSIGN_OR_RETURN(uint64_t xe,
+                            shard->ColumnEpoch(table_->x_column()));
+    GEOCOL_ASSIGN_OR_RETURN(uint64_t ye,
+                            shard->ColumnEpoch(table_->y_column()));
+    kb.AppendU64(xe);
+    kb.AppendU64(ye);
+  }
+  kb.AppendGeometry(geometry);
+  kb.AppendDouble(buffer);
+  kb.AppendU64(thematic.size());
+  for (const AttributeRange& attr : thematic) {
+    kb.Append(attr.column);
+    for (const auto& shard : shards_) {
+      GEOCOL_ASSIGN_OR_RETURN(uint64_t e, shard->ColumnEpoch(attr.column));
+      kb.AppendU64(e);
+    }
+    kb.AppendDouble(attr.lo);
+    kb.AppendDouble(attr.hi);
+  }
+  // Result-shaping knobs, mirroring the engine's selection key.
+  kb.AppendU32(options_.use_imprints ? 1u : 0u);
+  kb.AppendU32(num_effective_threads());
+  kb.AppendU32(options_.imprints.max_bins);
+  kb.AppendU32(options_.imprints.sample_size);
+  kb.AppendU64(options_.imprints.seed);
+  kb.AppendU32(options_.imprints.cacheline_bytes);
+  kb.AppendU64(options_.refine.target_points_per_cell);
+  kb.AppendU32(options_.refine.max_cells_per_axis);
+  kb.AppendU32(options_.refine.use_grid ? 1u : 0u);
+  return kb.Take();
+}
+
+Result<SelectionResult> ShardRouter::SelectInBox(const Box& box) {
+  return Execute(Geometry(box), 0.0, {});
+}
+
+Result<SelectionResult> ShardRouter::SelectInGeometry(
+    const Geometry& geometry) {
+  return Execute(geometry, 0.0, {});
+}
+
+Result<SelectionResult> ShardRouter::Select(
+    const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic) {
+  return Execute(geometry, buffer, thematic);
+}
+
+Result<SelectionResult> ShardRouter::Execute(
+    const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic) {
+  SelectionResult result;
+  const uint64_t total_rows = table_->num_rows();
+  if (total_rows == 0) return result;
+
+  Box env = geometry.Envelope();
+  if (buffer > 0) env = env.Expanded(buffer);
+  if (env.empty()) return result;
+
+  Timer query_timer;
+
+  // ---- Cache tier (a): an exact repeat against this exact shard layout
+  // replays the merged row ids and stats.
+  std::string cache_key;
+  if (cache_ != nullptr) {
+    GEOCOL_ASSIGN_OR_RETURN(cache_key,
+                            SelectionKey(geometry, buffer, thematic));
+    if (auto hit = cache_->LookupSelection(cache_key)) {
+      result.row_ids = hit->row_ids;
+      result.filter_x = hit->filter_x;
+      result.filter_y = hit->filter_y;
+      result.refine = hit->refine;
+      int32_t span =
+          result.profile.Add("cache.hit", query_timer.ElapsedNanos(),
+                             total_rows, result.row_ids.size());
+      result.profile.AddAttr(span, "cache_hit", "selection");
+      return result;
+    }
+  }
+  auto store_selection = [&]() {
+    if (cache_ == nullptr) return;
+    if (!cache_->ShouldAdmit(cache::Tier::kSelection, cache_key,
+                             result.row_ids.size() * sizeof(uint64_t))) {
+      return;
+    }
+    auto value = std::make_shared<cache::CachedSelection>();
+    value->row_ids = result.row_ids;
+    value->filter_x = result.filter_x;
+    value->filter_y = result.filter_y;
+    value->refine = result.refine;
+    cache_->InsertSelection(cache_key, std::move(value));
+  };
+
+  // ---- Prune: classify every shard against the query envelope before
+  // any imprint is consulted or built. Three outcomes:
+  //   pruned  — bbox misses the envelope; the shard contributes nothing.
+  //   covered — an unbuffered-equivalent box query fully contains the
+  //             shard's bbox and there are no thematic filters, so every
+  //             row qualifies (bbox-as-zonemap): the shard's full id range
+  //             is written straight into the merged result without
+  //             touching a single column. A covered shard contributes no
+  //             filter/refine stats — nothing was scanned.
+  //   scanned — everything else runs the shard engine's filter + refine.
+  // Pruning is the headline win of sharding: a clustered viewport query
+  // touches a handful of shards and never allocates whole-table state.
+  GEOCOL_METRIC_COUNTER(c_pruned, "geocol_shards_pruned_total");
+  GEOCOL_METRIC_COUNTER(c_scanned, "geocol_shards_scanned_total");
+  GEOCOL_METRIC_COUNTER(c_covered, "geocol_shards_covered_total");
+  // A box with a positive buffer covers a shard iff the raw box does (the
+  // buffer only enlarges the qualifying region).
+  const bool coverable = thematic.empty() && geometry.is_box();
+  struct ShardWork {
+    size_t shard;
+    int32_t branch;  ///< index into branches, or -1 for a covered shard
+  };
+  std::vector<ShardWork> work;
+  std::vector<size_t> scanned;
+  size_t num_covered = 0;
+  work.reserve(shards_.size());
+  scanned.reserve(shards_.size());
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    const Box& bbox = shards_[i]->bbox();
+    if (!bbox.Intersects(env)) continue;
+    if (coverable && geometry.box().Contains(bbox)) {
+      work.push_back({i, -1});
+      ++num_covered;
+    } else {
+      work.push_back({i, static_cast<int32_t>(scanned.size())});
+      scanned.push_back(i);
+    }
+  }
+  // Covered shards count as scanned in the headline counters (they were
+  // answered, not skipped), and separately in the covered counter.
+  c_scanned.Increment(work.size());
+  c_pruned.Increment(shards_.size() - work.size());
+  c_covered.Increment(num_covered);
+
+  int32_t route_span = result.profile.OpenSpan("shard.route");
+
+  // ---- Scatter: each surviving shard runs its own two-step filter +
+  // refine into branch-local state; all shard engines share one pool, so
+  // morsels from different shards interleave freely.
+  struct ShardBranch {
+    SelectionResult sel;
+    QueryProfile profile;
+    Status status;
+  };
+  std::vector<ShardBranch> branches(scanned.size());
+  auto run_shard = [&](size_t j) {
+    const size_t s = scanned[j];
+    ShardBranch& b = branches[j];
+    int32_t span = b.profile.OpenSpan("shard.scan");
+    b.profile.AddAttr(span, "shard", static_cast<uint64_t>(s));
+    auto r = shards_[s]->Select(geometry, buffer, thematic);
+    b.status = r.status();
+    if (r.ok()) {
+      b.sel = std::move(*r);
+      b.profile.Append(b.sel.profile);
+      char detail[64];
+      std::snprintf(detail, sizeof(detail), "shard %zu base=%llu", s,
+                    static_cast<unsigned long long>(bases_[s]));
+      b.profile.CloseSpan(shards_[s]->num_rows(), b.sel.row_ids.size(),
+                          detail);
+    } else {
+      b.profile.CloseSpan(0, 0);
+    }
+  };
+  if (pool_ != nullptr && branches.size() > 1) {
+    pool_->ParallelFor(branches.size(), run_shard);
+  } else {
+    for (size_t j = 0; j < branches.size(); ++j) run_shard(j);
+  }
+  for (const ShardBranch& b : branches) {
+    GEOCOL_RETURN_NOT_OK(b.status);
+  }
+
+  // ---- Gather: merge in shard order. Shards are contiguous runs of the
+  // Hilbert-sorted row space, so emitting base-offset local ids (or, for a
+  // covered shard, the shard's whole id range) in shard order yields the
+  // ascending global id list the unsharded engine over the sorted table
+  // produces. Stats: a single scanned shard's stats pass through verbatim
+  // (making K = 1 bit-identical to unsharded as long as the query didn't
+  // cover the shard); multiple shards merge field-wise in shard order;
+  // covered shards contribute nothing.
+  uint64_t merged = 0;
+  for (const ShardWork& w : work) {
+    merged += w.branch < 0 ? shards_[w.shard]->num_rows()
+                           : branches[w.branch].sel.row_ids.size();
+  }
+  result.row_ids.resize(merged);
+  uint64_t* out = result.row_ids.data();
+  for (const ShardWork& w : work) {
+    const uint64_t base = bases_[w.shard];
+    if (w.branch < 0) {
+      const uint64_t rows = shards_[w.shard]->num_rows();
+      for (uint64_t r = 0; r < rows; ++r) out[r] = base + r;
+      out += rows;
+      int32_t span = result.profile.Add("shard.covered", 0, rows, rows);
+      result.profile.AddAttr(span, "shard",
+                             static_cast<uint64_t>(w.shard));
+      continue;
+    }
+    const ShardBranch& b = branches[w.branch];
+    const uint64_t* in = b.sel.row_ids.data();
+    const size_t n = b.sel.row_ids.size();
+    for (size_t i = 0; i < n; ++i) out[i] = base + in[i];
+    out += n;
+    result.profile.Append(b.profile);
+    if (branches.size() == 1 && num_covered == 0) {
+      result.filter_x = b.sel.filter_x;
+      result.filter_y = b.sel.filter_y;
+      result.refine = b.sel.refine;
+    } else {
+      AccumulateFilterStats(b.sel.filter_x, &result.filter_x);
+      AccumulateFilterStats(b.sel.filter_y, &result.filter_y);
+      AccumulateRefineStats(b.sel.refine, &result.refine);
+    }
+  }
+  char detail[96];
+  std::snprintf(detail, sizeof(detail),
+                "scanned %zu/%zu shards (%zu pruned, %zu covered)",
+                work.size(), shards_.size(), shards_.size() - work.size(),
+                num_covered);
+  result.profile.CloseSpan(total_rows, result.row_ids.size(), detail);
+  result.profile.AddAttr(route_span, "shards_total",
+                         static_cast<uint64_t>(shards_.size()));
+  result.profile.AddAttr(route_span, "shards_scanned",
+                         static_cast<uint64_t>(work.size()));
+  result.profile.AddAttr(route_span, "shards_pruned",
+                         static_cast<uint64_t>(shards_.size() - work.size()));
+  result.profile.AddAttr(route_span, "shards_covered",
+                         static_cast<uint64_t>(num_covered));
+  store_selection();
+  return result;
+}
+
+Result<double> ShardRouter::AggregateGlobalRows(
+    const std::vector<uint64_t>& rows, const std::string& column,
+    AggKind kind, ThreadPool* pool) const {
+  if (kind == AggKind::kCount) return static_cast<double>(rows.size());
+  std::vector<ColumnPtr> columns;
+  columns.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, shard->GetColumn(column));
+    columns.push_back(std::move(col));
+  }
+  double out = std::nan("");
+  if (rows.empty()) return out;
+  DispatchDataType(columns[0]->type(), [&]<typename T>() {
+    std::vector<std::span<const T>> spans;
+    spans.reserve(columns.size());
+    for (const ColumnPtr& col : columns) spans.push_back(col->Values<T>());
+    out = AggregateValues<T>(rows, kind, pool, [&](uint64_t r) {
+      size_t s = ShardIndexFor(bases_, r);
+      return spans[s][r - bases_[s]];
+    });
+  });
+  return out;
+}
+
+Result<double> ShardRouter::Aggregate(
+    const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic, const std::string& column,
+    AggKind kind) {
+  // Cache tier (c): selection key + the aggregated column's per-shard
+  // epochs + the aggregate kind. COUNT falls out of tier (a).
+  std::string agg_key;
+  if (cache_ != nullptr && kind != AggKind::kCount) {
+    GEOCOL_ASSIGN_OR_RETURN(std::string sel_key,
+                            SelectionKey(geometry, buffer, thematic));
+    cache::KeyBuilder kb("agg");
+    kb.Append(sel_key);
+    kb.Append(column);
+    for (const auto& shard : shards_) {
+      GEOCOL_ASSIGN_OR_RETURN(uint64_t e, shard->ColumnEpoch(column));
+      kb.AppendU64(e);
+    }
+    kb.AppendU32(static_cast<uint32_t>(kind));
+    agg_key = kb.Take();
+    double cached;
+    if (cache_->LookupAggregate(agg_key, &cached)) return cached;
+  }
+  GEOCOL_ASSIGN_OR_RETURN(SelectionResult sel,
+                          Execute(geometry, buffer, thematic));
+  if (kind == AggKind::kCount) {
+    return static_cast<double>(sel.row_ids.size());
+  }
+  GEOCOL_ASSIGN_OR_RETURN(
+      double value, AggregateGlobalRows(sel.row_ids, column, kind,
+                                        pool_.get()));
+  if (cache_ != nullptr) cache_->InsertAggregate(agg_key, value);
+  return value;
+}
+
+Result<ShardedColumnReader> ShardedColumnReader::Make(
+    const ShardRouter& router, const std::string& column) {
+  ShardedColumnReader reader;
+  const ShardedTable& table = router.table();
+  reader.columns_.reserve(table.num_shards());
+  reader.bases_.reserve(table.num_shards());
+  for (size_t i = 0; i < table.num_shards(); ++i) {
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col,
+                            table.shard(i).table->GetColumn(column));
+    reader.columns_.push_back(std::move(col));
+    reader.bases_.push_back(table.shard(i).base);
+  }
+  return reader;
+}
+
+double ShardedColumnReader::GetDouble(uint64_t global_row) const {
+  size_t s = ShardIndexFor(bases_, global_row);
+  return columns_[s]->GetDouble(global_row - bases_[s]);
+}
+
+}  // namespace geocol

@@ -14,12 +14,6 @@ namespace geocol {
 
 namespace {
 
-// Row lists below this size aggregate serially even with a pool.
-constexpr size_t kMinParallelAggRows = size_t{1} << 17;
-// Rows per aggregation chunk; partials merge in chunk order so the result
-// is deterministic for a given row list.
-constexpr size_t kAggChunkRows = size_t{1} << 16;
-
 uint32_t EffectiveThreads(uint32_t requested) {
   if (requested != 0) return requested;
   unsigned hw = std::thread::hardware_concurrency();
@@ -76,79 +70,12 @@ class CacheCellHook final : public GridCellHook {
 double AggregateRows(const Column& column, const std::vector<uint64_t>& rows,
                      AggKind kind, ThreadPool* pool) {
   if (kind == AggKind::kCount) return static_cast<double>(rows.size());
-  if (rows.empty()) return std::nan("");
-  const bool parallel = pool != nullptr && pool->num_threads() > 0 &&
-                        rows.size() >= kMinParallelAggRows;
-  const size_t num_chunks = (rows.size() + kAggChunkRows - 1) / kAggChunkRows;
   double out = std::nan("");
+  if (rows.empty()) return out;
   DispatchDataType(column.type(), [&]<typename T>() {
     std::span<const T> values = column.Values<T>();
-    switch (kind) {
-      case AggKind::kSum:
-      case AggKind::kAvg: {
-        double sum = 0.0;
-        if (parallel) {
-          std::vector<double> partial(num_chunks, 0.0);
-          pool->ParallelFor(num_chunks, [&](size_t c) {
-            size_t begin = c * kAggChunkRows;
-            size_t end = std::min(rows.size(), begin + kAggChunkRows);
-            double s = 0.0;
-            for (size_t i = begin; i < end; ++i) {
-              s += static_cast<double>(values[rows[i]]);
-            }
-            partial[c] = s;
-          });
-          for (double p : partial) sum += p;
-        } else {
-          for (uint64_t r : rows) sum += static_cast<double>(values[r]);
-        }
-        out = kind == AggKind::kSum ? sum
-                                    : sum / static_cast<double>(rows.size());
-        break;
-      }
-      case AggKind::kMin: {
-        T mn = values[rows[0]];
-        if (parallel) {
-          std::vector<T> partial(num_chunks, values[rows[0]]);
-          pool->ParallelFor(num_chunks, [&](size_t c) {
-            size_t begin = c * kAggChunkRows;
-            size_t end = std::min(rows.size(), begin + kAggChunkRows);
-            T m = values[rows[begin]];
-            for (size_t i = begin + 1; i < end; ++i) {
-              m = std::min(m, values[rows[i]]);
-            }
-            partial[c] = m;
-          });
-          for (T p : partial) mn = std::min(mn, p);
-        } else {
-          for (uint64_t r : rows) mn = std::min(mn, values[r]);
-        }
-        out = static_cast<double>(mn);
-        break;
-      }
-      case AggKind::kMax: {
-        T mx = values[rows[0]];
-        if (parallel) {
-          std::vector<T> partial(num_chunks, values[rows[0]]);
-          pool->ParallelFor(num_chunks, [&](size_t c) {
-            size_t begin = c * kAggChunkRows;
-            size_t end = std::min(rows.size(), begin + kAggChunkRows);
-            T m = values[rows[begin]];
-            for (size_t i = begin + 1; i < end; ++i) {
-              m = std::max(m, values[rows[i]]);
-            }
-            partial[c] = m;
-          });
-          for (T p : partial) mx = std::max(mx, p);
-        } else {
-          for (uint64_t r : rows) mx = std::max(mx, values[r]);
-        }
-        out = static_cast<double>(mx);
-        break;
-      }
-      case AggKind::kCount:
-        break;
-    }
+    out = AggregateValues<T>(rows, kind, pool,
+                             [&](uint64_t r) { return values[r]; });
   });
   return out;
 }
@@ -162,16 +89,37 @@ SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
       x_name_(std::move(x_column)),
       y_name_(std::move(y_column)),
       imprints_(options.imprints) {
-  if (!options_.imprints_dir.empty()) {
-    imprints_.set_sidecar_dir(options_.imprints_dir);
-  }
   uint32_t threads = EffectiveThreads(options_.num_threads);
   if (threads > 1) {
     // The calling thread participates in every parallel loop, so the pool
     // only needs threads-1 workers.
-    pool_ = std::make_unique<ThreadPool>(threads - 1);
-    imprints_.set_thread_pool(pool_.get());
+    owned_pool_ = std::make_unique<ThreadPool>(threads - 1);
+    pool_ = owned_pool_.get();
   }
+  Init();
+}
+
+SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
+                                       EngineOptions options,
+                                       std::string x_column,
+                                       std::string y_column,
+                                       ThreadPool* borrowed_pool)
+    : table_(std::move(table)),
+      options_(options),
+      x_name_(std::move(x_column)),
+      y_name_(std::move(y_column)),
+      imprints_(options.imprints),
+      pool_(borrowed_pool != nullptr && borrowed_pool->num_threads() > 0
+                ? borrowed_pool
+                : nullptr) {
+  Init();
+}
+
+void SpatialQueryEngine::Init() {
+  if (!options_.imprints_dir.empty()) {
+    imprints_.set_sidecar_dir(options_.imprints_dir);
+  }
+  if (pool_ != nullptr) imprints_.set_thread_pool(pool_);
   cache_owner_ = options_.cache.instance;
   set_cache_budget(options_.cache.budget_bytes);
 }
@@ -280,7 +228,7 @@ Result<double> SpatialQueryEngine::Aggregate(
     return static_cast<double>(sel.row_ids.size());
   }
   GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(column));
-  double value = AggregateRows(*col, sel.row_ids, kind, pool_.get());
+  double value = AggregateRows(*col, sel.row_ids, kind, pool_);
   if (cache_ != nullptr) cache_->InsertAggregate(agg_key, value);
   return value;
 }
@@ -297,7 +245,7 @@ Status SpatialQueryEngine::FilterColumn(const ColumnPtr& column, double lo,
     double build_ms = t.ElapsedMillis();
     Timer t2;
     GEOCOL_RETURN_NOT_OK(
-        ImprintRangeSelect(*column, *ix, lo, hi, rows, stats, pool_.get()));
+        ImprintRangeSelect(*column, *ix, lo, hi, rows, stats, pool_));
     char detail[128];
     std::snprintf(detail, sizeof(detail),
                   "lines %llu/%llu full=%llu (build %.2f ms)",
@@ -502,7 +450,7 @@ Result<SelectionResult> SpatialQueryEngine::Execute(
   CacheCellHook cell_hook(cache_, geometry, buffer);
   GEOCOL_RETURN_NOT_OK(
       GridRefine(*xcol, *ycol, rows, geometry, buffer, options_.refine,
-                 &result.row_ids, &result.refine, pool_.get(),
+                 &result.row_ids, &result.refine, pool_,
                  cache_ != nullptr ? &cell_hook : nullptr));
   char detail[128];
   std::snprintf(detail, sizeof(detail),

@@ -12,6 +12,7 @@
 
 #include "cache/query_cache.h"
 #include "columns/flat_table.h"
+#include "core/aggregate.h"
 #include "core/imprint_scan.h"
 #include "core/profile.h"
 #include "core/refinement.h"
@@ -74,9 +75,6 @@ struct SelectionResult {
   uint64_t count() const { return row_ids.size(); }
 };
 
-/// Supported aggregates over a selection.
-enum class AggKind { kCount, kSum, kAvg, kMin, kMax };
-
 /// Aggregates `column` over `rows`. kCount ignores the column. Values are
 /// read as typed spans and only the accumulator `kind` needs is computed.
 /// A non-null `pool` aggregates row chunks in parallel and merges the
@@ -100,6 +98,14 @@ class SpatialQueryEngine {
   SpatialQueryEngine(std::shared_ptr<FlatTable> table,
                      EngineOptions options = {},
                      std::string x_column = "x", std::string y_column = "y");
+
+  /// As above, but executes on `borrowed_pool` (not owned; nullptr runs
+  /// serially) instead of creating a private pool from
+  /// `options.num_threads`. The shard router uses this so all shard
+  /// engines share one morsel pool.
+  SpatialQueryEngine(std::shared_ptr<FlatTable> table, EngineOptions options,
+                     std::string x_column, std::string y_column,
+                     ThreadPool* borrowed_pool);
 
   const FlatTable& table() const { return *table_; }
   const EngineOptions& options() const { return options_; }
@@ -166,14 +172,21 @@ class SpatialQueryEngine {
       const Geometry& geometry, double buffer,
       const std::vector<AttributeRange>& thematic) const;
 
+  /// Construction tail shared by both constructors (sidecar dir, pool
+  /// hand-off to the imprint manager, cache binding).
+  void Init();
+
   std::shared_ptr<FlatTable> table_;
   EngineOptions options_;
   std::string x_name_, y_name_;
   ImprintManager imprints_;
+  /// Pool this engine created for itself (the plain constructor); null
+  /// when serial or when executing on a borrowed pool.
+  std::unique_ptr<ThreadPool> owned_pool_;
   /// Workers shared by all queries; null when running serially. The
   /// calling thread always participates in parallel loops, so the pool
   /// holds num_effective_threads() - 1 workers.
-  std::unique_ptr<ThreadPool> pool_;
+  ThreadPool* pool_ = nullptr;
   /// Keeps a private cache instance alive; null when using Global().
   std::shared_ptr<cache::QueryResultCache> cache_owner_;
   /// The cache every query consults; nullptr = cache-off.

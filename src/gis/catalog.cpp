@@ -6,7 +6,7 @@ Status Catalog::AddPointCloud(const std::string& name,
                               std::shared_ptr<FlatTable> table,
                               EngineOptions options) {
   if (table == nullptr) return Status::InvalidArgument("null table");
-  if (engines_.count(name) != 0 || layers_.count(name) != 0) {
+  if (NameTaken(name)) {
     return Status::AlreadyExists("dataset '" + name + "' exists");
   }
   tables_[name] = table;
@@ -15,10 +15,22 @@ Status Catalog::AddPointCloud(const std::string& name,
   return Status::OK();
 }
 
+Status Catalog::AddShardedPointCloud(const std::string& name,
+                                     std::shared_ptr<ShardedTable> table,
+                                     EngineOptions options) {
+  if (table == nullptr) return Status::InvalidArgument("null table");
+  if (NameTaken(name)) {
+    return Status::AlreadyExists("dataset '" + name + "' exists");
+  }
+  sharded_tables_[name] = table;
+  routers_[name] = std::make_unique<ShardRouter>(std::move(table), options);
+  return Status::OK();
+}
+
 Status Catalog::AddLayer(std::shared_ptr<VectorLayer> layer) {
   if (layer == nullptr) return Status::InvalidArgument("null layer");
   const std::string& name = layer->name();
-  if (engines_.count(name) != 0 || layers_.count(name) != 0) {
+  if (NameTaken(name)) {
     return Status::AlreadyExists("dataset '" + name + "' exists");
   }
   layers_[name] = std::move(layer);
@@ -50,6 +62,23 @@ Result<std::shared_ptr<VectorLayer>> Catalog::GetLayer(
   return it->second;
 }
 
+Result<ShardRouter*> Catalog::GetRouter(const std::string& name) {
+  auto it = routers_.find(name);
+  if (it == routers_.end()) {
+    return Status::NotFound("no sharded point cloud '" + name + "'");
+  }
+  return it->second.get();
+}
+
+Result<std::shared_ptr<ShardedTable>> Catalog::GetShardedTable(
+    const std::string& name) {
+  auto it = sharded_tables_.find(name);
+  if (it == sharded_tables_.end()) {
+    return Status::NotFound("no sharded point cloud '" + name + "'");
+  }
+  return it->second;
+}
+
 std::vector<std::string> Catalog::PointCloudNames() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : engines_) out.push_back(name);
@@ -59,6 +88,12 @@ std::vector<std::string> Catalog::PointCloudNames() const {
 std::vector<std::string> Catalog::LayerNames() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : layers_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Catalog::ShardedPointCloudNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : routers_) out.push_back(name);
   return out;
 }
 

@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/shard_router.h"
 #include "core/spatial_engine.h"
 #include "gis/layer.h"
 #include "util/status.h"
@@ -26,24 +27,45 @@ class Catalog {
 
   Status AddLayer(std::shared_ptr<VectorLayer> layer);
 
+  /// Registers a Hilbert-sharded point cloud; queries route through a
+  /// ShardRouter built with `options`. Shares the point-cloud/layer
+  /// namespace.
+  Status AddShardedPointCloud(const std::string& name,
+                              std::shared_ptr<ShardedTable> table,
+                              EngineOptions options = {});
+
   bool HasPointCloud(const std::string& name) const {
     return engines_.count(name) != 0;
   }
   bool HasLayer(const std::string& name) const {
     return layers_.count(name) != 0;
   }
+  bool HasShardedPointCloud(const std::string& name) const {
+    return routers_.count(name) != 0;
+  }
 
   Result<SpatialQueryEngine*> GetEngine(const std::string& name);
   Result<std::shared_ptr<FlatTable>> GetTable(const std::string& name);
   Result<std::shared_ptr<VectorLayer>> GetLayer(const std::string& name);
+  Result<ShardRouter*> GetRouter(const std::string& name);
+  Result<std::shared_ptr<ShardedTable>> GetShardedTable(
+      const std::string& name);
 
   std::vector<std::string> PointCloudNames() const;
   std::vector<std::string> LayerNames() const;
+  std::vector<std::string> ShardedPointCloudNames() const;
 
  private:
+  bool NameTaken(const std::string& name) const {
+    return engines_.count(name) != 0 || layers_.count(name) != 0 ||
+           routers_.count(name) != 0;
+  }
+
   std::map<std::string, std::unique_ptr<SpatialQueryEngine>> engines_;
   std::map<std::string, std::shared_ptr<FlatTable>> tables_;
   std::map<std::string, std::shared_ptr<VectorLayer>> layers_;
+  std::map<std::string, std::unique_ptr<ShardRouter>> routers_;
+  std::map<std::string, std::shared_ptr<ShardedTable>> sharded_tables_;
 };
 
 }  // namespace geocol

@@ -191,6 +191,104 @@ Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
   return rs;
 }
 
+AggKind AggKindOf(AggFunc f) {
+  switch (f) {
+    case AggFunc::kSum: return AggKind::kSum;
+    case AggFunc::kAvg: return AggKind::kAvg;
+    case AggFunc::kMin: return AggKind::kMin;
+    case AggFunc::kMax: return AggKind::kMax;
+    case AggFunc::kCount:
+    case AggFunc::kNone: break;
+  }
+  return AggKind::kCount;
+}
+
+/// Mirror of ExecutePointCloud over a shard router. Value access goes
+/// through ShardedColumnReader (global row -> owning shard's local
+/// column); aggregates run the shared serial aggregation core, so results
+/// are bit-identical to the flat-table path over the same row set.
+Result<ResultSet> ExecuteShardedPointCloud(const PlannedQuery& plan) {
+  ResultSet rs;
+  ShardRouter* router = plan.router;
+
+  // ---- Selection (the planner rejects NEAR on sharded tables).
+  Geometry query_geom = plan.geometry;
+  if (!plan.has_geometry) {
+    // No spatial predicate: the sharded extent is the query box — every
+    // shard bbox intersects it, so nothing is pruned and the per-shard
+    // imprint filters degenerate to full-line acceptance.
+    query_geom = Geometry(router->table().extent());
+  }
+  GEOCOL_ASSIGN_OR_RETURN(
+      SelectionResult sel,
+      router->Select(query_geom, plan.buffer, plan.thematic));
+  std::vector<uint64_t> rows = std::move(sel.row_ids);
+  rs.profile = std::move(sel.profile);
+
+  // ---- Projection / aggregation.
+  if (plan.stmt.IsAggregate()) {
+    std::vector<Value> out_row;
+    for (const SelectItem& it : plan.stmt.items) {
+      rs.columns.push_back(std::string(AggFuncName(it.agg)) + "(" +
+                           (it.star ? "*" : it.column) + ")");
+      if (it.agg == AggFunc::kCount) {
+        out_row.push_back(Value::Num(static_cast<double>(rows.size())));
+      } else {
+        GEOCOL_ASSIGN_OR_RETURN(
+            double v, router->AggregateGlobalRows(rows, it.column,
+                                                  AggKindOf(it.agg)));
+        out_row.push_back(rows.empty() ? Value::Null() : Value::Num(v));
+      }
+    }
+    rs.rows.push_back(std::move(out_row));
+    return rs;
+  }
+
+  // Expand `*`.
+  std::vector<std::string> proj;
+  const Schema table_schema = router->schema();
+  for (const SelectItem& it : plan.stmt.items) {
+    if (it.star) {
+      for (const Field& f : table_schema.fields()) proj.push_back(f.name);
+    } else {
+      proj.push_back(it.column);
+    }
+  }
+  std::vector<ShardedColumnReader> cols;
+  for (const std::string& name : proj) {
+    GEOCOL_ASSIGN_OR_RETURN(ShardedColumnReader c,
+                            ShardedColumnReader::Make(*router, name));
+    cols.push_back(std::move(c));
+    rs.columns.push_back(name);
+  }
+  if (!plan.stmt.order_by.empty()) {
+    Timer ts;
+    GEOCOL_ASSIGN_OR_RETURN(
+        ShardedColumnReader key,
+        ShardedColumnReader::Make(*router, plan.stmt.order_by));
+    std::stable_sort(rows.begin(), rows.end(), [&](uint64_t a, uint64_t b) {
+      double va = key.GetDouble(a), vb = key.GetDouble(b);
+      return plan.stmt.order_desc ? va > vb : va < vb;
+    });
+    rs.profile.Add("sort." + plan.stmt.order_by, ts.ElapsedNanos(),
+                   rows.size(), rows.size());
+  }
+  uint64_t limit = plan.stmt.limit >= 0
+                       ? static_cast<uint64_t>(plan.stmt.limit)
+                       : rows.size();
+  Timer t;
+  for (uint64_t i = 0; i < rows.size() && i < limit; ++i) {
+    std::vector<Value> out_row;
+    out_row.reserve(cols.size());
+    for (const ShardedColumnReader& c : cols) {
+      out_row.push_back(Value::Num(c.GetDouble(rows[i])));
+    }
+    rs.rows.push_back(std::move(out_row));
+  }
+  rs.profile.Add("project", t.ElapsedNanos(), rows.size(), rs.rows.size());
+  return rs;
+}
+
 Result<ResultSet> ExecuteLayer(const PlannedQuery& plan) {
   ResultSet rs;
   VectorLayer* layer = plan.layer.get();
@@ -343,9 +441,11 @@ Result<ResultSet> ExecuteQuery(const PlannedQuery& plan) {
     PushTextLines(&rs, plan.Describe());
     return rs;
   }
-  Result<ResultSet> executed = plan.target == PlannedQuery::Target::kPointCloud
-                                   ? ExecutePointCloud(plan)
-                                   : ExecuteLayer(plan);
+  Result<ResultSet> executed =
+      plan.target == PlannedQuery::Target::kPointCloud
+          ? (plan.router != nullptr ? ExecuteShardedPointCloud(plan)
+                                    : ExecutePointCloud(plan))
+          : ExecuteLayer(plan);
   if (!plan.stmt.analyze) return executed;
   GEOCOL_RETURN_NOT_OK(executed.status());
   // EXPLAIN ANALYZE: the query ran in full; return the plan followed by
@@ -360,6 +460,19 @@ Result<ResultSet> ExecuteQuery(const PlannedQuery& plan) {
                 static_cast<unsigned long long>(executed->rows.size()));
   rs.rows.push_back({Value::Text(header)});
   PushTextLines(&rs, executed->profile.ToString());
+  // Sharded execution: summarise the bbox pruning below the span tree.
+  for (const OperatorProfile& op : executed->profile.operators()) {
+    if (op.name != "shard.route") continue;
+    std::string total = "?", scanned = "?", pruned = "?";
+    for (const auto& [k, v] : op.attrs) {
+      if (k == "shards_total") total = v;
+      if (k == "shards_scanned") scanned = v;
+      if (k == "shards_pruned") pruned = v;
+    }
+    rs.rows.push_back({Value::Text("shards: scanned " + scanned + "/" +
+                                   total + " (" + pruned + " pruned)")});
+    break;
+  }
   rs.profile = std::move(executed->profile);
   return rs;
 }

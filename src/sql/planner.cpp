@@ -63,6 +63,10 @@ Result<PlannedQuery> PlanQuery(Catalog* catalog, SelectStmt stmt) {
     pq.target = PlannedQuery::Target::kPointCloud;
     GEOCOL_ASSIGN_OR_RETURN(pq.engine, catalog->GetEngine(stmt.table));
     schema = pq.engine->table().schema();
+  } else if (catalog->HasShardedPointCloud(stmt.table)) {
+    pq.target = PlannedQuery::Target::kPointCloud;
+    GEOCOL_ASSIGN_OR_RETURN(pq.router, catalog->GetRouter(stmt.table));
+    schema = pq.router->schema();
   } else if (catalog->HasLayer(stmt.table)) {
     pq.target = PlannedQuery::Target::kLayer;
     GEOCOL_ASSIGN_OR_RETURN(pq.layer, catalog->GetLayer(stmt.table));
@@ -79,6 +83,9 @@ Result<PlannedQuery> PlanQuery(Catalog* catalog, SelectStmt stmt) {
       }
       if (pq.target == PlannedQuery::Target::kLayer) {
         return Status::Unsupported("SQL: NEAR on a vector layer");
+      }
+      if (pq.router != nullptr) {
+        return Status::Unsupported("SQL: NEAR on a sharded point cloud");
       }
       GEOCOL_ASSIGN_OR_RETURN(pq.near_layer, catalog->GetLayer(sp.layer));
       pq.near = true;
@@ -143,9 +150,18 @@ std::string PlannedQuery::Describe() const {
   std::string s;
   s += "plan for: " + stmt.ToString() + "\n";
   s += std::string("  target: ") +
-       (target == Target::kPointCloud ? "point cloud (flat table + imprints)"
-                                      : "vector layer (envelope R-tree)") +
+       (target == Target::kPointCloud
+            ? (router != nullptr
+                   ? "sharded point cloud (" +
+                         std::to_string(router->num_shards()) +
+                         " Hilbert shards + imprints)"
+                   : std::string("point cloud (flat table + imprints)"))
+            : std::string("vector layer (envelope R-tree)")) +
        " '" + stmt.table + "'\n";
+  if (router != nullptr) {
+    s += "  step 0: bbox-prune shards against query envelope, "
+         "scatter-gather the rest\n";
+  }
   if (has_geometry) {
     s += "  step 1: imprint filter on x/y over envelope of " +
          ToWkt(geometry) + (buffer > 0 ? " buffered " + std::to_string(buffer)

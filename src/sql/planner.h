@@ -20,8 +20,10 @@ struct PlannedQuery {
   Target target = Target::kPointCloud;
   SelectStmt stmt;
 
-  // Point-cloud target.
+  // Point-cloud target. Exactly one of `engine` (flat table) or `router`
+  // (Hilbert-sharded table, scatter-gather execution) is set.
   SpatialQueryEngine* engine = nullptr;  ///< owned by the catalog
+  ShardRouter* router = nullptr;         ///< owned by the catalog
 
   // Layer target.
   std::shared_ptr<VectorLayer> layer;

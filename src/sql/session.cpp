@@ -36,6 +36,10 @@ Result<ResultSet> Session::Execute(const std::string& sql_text) {
     plan.engine->set_cache_budget(
         static_cast<uint64_t>(options_.cache_budget_bytes));
   }
+  if (options_.cache_budget_bytes >= 0 && plan.router != nullptr) {
+    plan.router->set_cache_budget(
+        static_cast<uint64_t>(options_.cache_budget_bytes));
+  }
   GEOCOL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteQuery(plan));
   last_profile_ = rs.profile;
   const int64_t wall_nanos = timer.ElapsedNanos();

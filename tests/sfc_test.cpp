@@ -1,7 +1,9 @@
 // Space-filling curve properties: bijectivity, locality, ordering.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "sfc/hilbert.h"
 #include "sfc/morton.h"
@@ -118,6 +120,66 @@ TEST(HilbertTest, BetterLocalityThanMortonAlongTheCurve) {
   }
   EXPECT_DOUBLE_EQ(hilbert_sum / (n - 1), 1.0);
   EXPECT_LT(hilbert_sum / (n - 1), morton_sum / (n - 1));
+}
+
+TEST(HilbertTest, RectanglesClusterIntoFewerRunsThanMorton) {
+  // The inverse-direction locality property the sharding step relies on
+  // (Moon et al., "Analysis of the clustering properties of the Hilbert
+  // space-filling curve"): the cells of a rectangular query region occupy
+  // fewer contiguous key runs under Hilbert than under Morton — so a bbox
+  // query touches fewer contiguous shards of the key-sorted row space.
+  const uint32_t order = 6, side = 1u << order;
+  Rng rng(2024);
+  auto runs_in_rect = [&](uint32_t x0, uint32_t y0, uint32_t w, uint32_t h,
+                          auto encode) {
+    std::vector<uint64_t> keys;
+    keys.reserve(static_cast<size_t>(w) * h);
+    for (uint32_t x = x0; x < x0 + w; ++x) {
+      for (uint32_t y = y0; y < y0 + h; ++y) keys.push_back(encode(x, y));
+    }
+    std::sort(keys.begin(), keys.end());
+    size_t runs = 1;
+    for (size_t i = 1; i < keys.size(); ++i) {
+      if (keys[i] != keys[i - 1] + 1) ++runs;
+    }
+    return runs;
+  };
+  size_t morton_runs = 0, hilbert_runs = 0;
+  for (int i = 0; i < 200; ++i) {
+    uint32_t w = 2 + static_cast<uint32_t>(rng.Uniform(11));
+    uint32_t h = 2 + static_cast<uint32_t>(rng.Uniform(11));
+    uint32_t x0 = static_cast<uint32_t>(rng.Uniform(side - w));
+    uint32_t y0 = static_cast<uint32_t>(rng.Uniform(side - h));
+    morton_runs += runs_in_rect(x0, y0, w, h,
+                                [](uint32_t x, uint32_t y) {
+                                  return MortonEncode(x, y);
+                                });
+    hilbert_runs += runs_in_rect(x0, y0, w, h,
+                                 [order](uint32_t x, uint32_t y) {
+                                   return HilbertEncode(x, y, order);
+                                 });
+  }
+  EXPECT_LT(hilbert_runs, morton_runs)
+      << "hilbert runs " << hilbert_runs << " vs morton " << morton_runs;
+}
+
+TEST(HilbertTest, ScaledEncodeZeroExtentDegenerates) {
+  // A zero-extent bbox (all points identical, or a degenerate axis) must
+  // not divide by zero: every point maps to one deterministic key, and a
+  // zero-width (but tall) extent still orders points along the live axis.
+  Box point_extent(42, 17, 42, 17);
+  uint64_t k = HilbertEncodeScaled(42, 17, point_extent);
+  EXPECT_EQ(k, HilbertEncodeScaled(42, 17, point_extent));
+  EXPECT_EQ(k, HilbertEncode(0, 0));  // the single point sits at the origin
+  // Out-of-extent coordinates clamp to the grid instead of overflowing.
+  const uint64_t max_key = (uint64_t{1} << 32) - 1;
+  EXPECT_LE(HilbertEncodeScaled(1e30, -1e30, point_extent), max_key);
+
+  Box line_extent(5, 0, 5, 100);
+  uint64_t lo = HilbertEncodeScaled(5, 10, line_extent);
+  uint64_t hi = HilbertEncodeScaled(5, 90, line_extent);
+  EXPECT_NE(lo, hi);
+  EXPECT_EQ(lo, HilbertEncodeScaled(5, 10, line_extent));
 }
 
 TEST(HilbertTest, ScaledEncodeRespectsExtent) {

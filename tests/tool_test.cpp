@@ -255,6 +255,72 @@ TEST_F(ToolTest, VerifyPrintsTelemetrySummaryWhenEnabled) {
   EXPECT_NE(text.find("crc_verifies="), std::string::npos);
 }
 
+TEST_F(ToolTest, ShardBuildVerifyAndQuery) {
+  std::string sharded = tmp_->File("sharded");
+  std::string out;
+  ASSERT_EQ(RunTool("shard " + tmp_->File("table") + " " + sharded +
+                    " --shards 8",
+                &out, tmp_),
+            0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("8 Hilbert shards"), std::string::npos) << text;
+  EXPECT_TRUE(PathExists(sharded + "/shards.gsm"));
+
+  // verify walks the manifest and every shard directory.
+  ASSERT_EQ(RunTool("verify " + sharded, &out, tmp_), 0);
+  text = Slurp(out);
+  EXPECT_NE(text.find("shards.gsm"), std::string::npos) << text;
+  EXPECT_NE(text.find("generation 1, 8 shards"), std::string::npos) << text;
+  EXPECT_NE(text.find("all checks passed"), std::string::npos) << text;
+  EXPECT_EQ(text.find("CORRUPT"), std::string::npos) << text;
+
+  // Identical COUNT through the sharded and the flat layout.
+  std::string flat_out, shard_out;
+  ASSERT_EQ(RunTool("query " + tmp_->File("table") +
+                    " \"SELECT COUNT(*) FROM ahn2\"",
+                &flat_out, tmp_),
+            0);
+  ASSERT_EQ(RunTool("query " + sharded + " \"SELECT COUNT(*) FROM ahn2\"",
+                &shard_out, tmp_),
+            0);
+  EXPECT_EQ(Slurp(flat_out).substr(Slurp(flat_out).find('\n')),
+            Slurp(shard_out).substr(Slurp(shard_out).find('\n')));
+
+  // EXPLAIN ANALYZE on a viewport query surfaces the scatter-gather
+  // footer with a non-zero prune count.
+  ASSERT_EQ(RunTool("query " + sharded +
+                    " \"EXPLAIN ANALYZE SELECT COUNT(*) FROM ahn2 WHERE "
+                    "ST_Within(pt, 'BOX(85000 444000, 85010 444010)')\"",
+                &out, tmp_),
+            0);
+  text = Slurp(out);
+  EXPECT_NE(text.find("shard.route"), std::string::npos) << text;
+  EXPECT_NE(text.find("shards: scanned "), std::string::npos) << text;
+  EXPECT_EQ(text.find(" (0 pruned)"), std::string::npos) << text;
+}
+
+TEST_F(ToolTest, VerifyDetectsCorruptedShardColumn) {
+  std::string dir = tmp_->File("vsharded");
+  ASSERT_EQ(RunTool("shard " + tmp_->File("table") + " " + dir + " --shards 4",
+                nullptr, tmp_),
+            0);
+  // Damage one column file inside the first shard directory.
+  std::vector<std::string> shard_dirs;
+  ASSERT_TRUE(ListFiles(dir + "/shard_0000.g1", ".gcl", &shard_dirs).ok());
+  ASSERT_FALSE(shard_dirs.empty());
+  std::vector<uint8_t> bytes;
+  ASSERT_TRUE(ReadFileBytes(shard_dirs[0], &bytes).ok());
+  bytes[bytes.size() / 2] ^= 0x01;
+  ASSERT_TRUE(WriteFileBytes(shard_dirs[0], bytes.data(), bytes.size()).ok());
+
+  std::string out;
+  EXPECT_NE(RunTool("verify " + dir, &out, tmp_), 0);
+  std::string text = Slurp(out);
+  EXPECT_NE(text.find("CORRUPT"), std::string::npos) << text;
+  // The shard-qualified label points at the damaged directory.
+  EXPECT_NE(text.find("shard_0000.g1/"), std::string::npos) << text;
+}
+
 TEST_F(ToolTest, ParallelLoadMatchesSequential) {
   ASSERT_EQ(RunTool("load " + tmp_->File("tiles") + " " + tmp_->File("ptable") +
                     " --threads 3",

@@ -5,6 +5,7 @@
 //   geocol sort     <tiles_dir>                    (lassort)
 //   geocol index    <tiles_dir>                    (lasindex)
 //   geocol load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]
+//   geocol shard    <table_dir> <out_dir> [--shards K] [--order N]
 //   geocol query    <table_dir> "<SQL>" [--layers <dir>] [--profile]
 //   geocol raster   <table_dir> <out.ppm> [--cols N]
 //   geocol verify   <table_dir>
@@ -14,8 +15,11 @@
 //   geocol simd
 //
 // Tables are persisted GeoColumn table directories; layers are .layer text
-// files (id \t class \t name \t WKT). With GEOCOL_METRICS=1, query/verify
-// print a one-line telemetry summary on exit.
+// files (id \t class \t name \t WKT). Directories holding a shards.gsm
+// manifest are Hilbert-sharded tables (built by `geocol shard`); query/
+// metrics/trace/cache/verify detect them automatically. With
+// GEOCOL_METRICS=1, query/verify print a one-line telemetry summary on
+// exit.
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -28,6 +32,7 @@
 #include "cache/query_cache.h"
 #include "columns/column_file.h"
 #include "columns/compression.h"
+#include "columns/sharded_table.h"
 #include "core/imprints_io.h"
 #include "core/raster.h"
 #include "gis/catalog.h"
@@ -84,6 +89,7 @@ int Usage() {
                "  sort     <tiles_dir>\n"
                "  index    <tiles_dir>\n"
                "  load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]\n"
+               "  shard    <table_dir> <out_dir> [--shards K] [--order N]\n"
                "  query    <table_dir> \"<SQL>\" [--layers <dir>] [--profile]\n"
                "  raster   <table_dir> <out.ppm> [--cols N]\n"
                "  verify   <table_dir>\n"
@@ -276,27 +282,55 @@ Result<FlatTable> OpenTable(const std::string& dir) {
                                    : ReadTableDir(dir);
 }
 
-/// `geocol verify <table_dir>`: checks every persistence invariant the
-/// durability layer maintains — manifest checksum, per-column checksums
-/// and type agreement, imprint sidecar integrity and freshness — and
-/// reports stale leftovers (.tmp, superseded generations, quarantined
-/// sidecars). Exit 1 if anything is corrupt, 0 otherwise.
-int CmdVerify(const Args& args) {
-  if (args.positional.empty()) return Usage();
-  const std::string& dir = args.positional[0];
+/// `geocol shard <table_dir> <out_dir>`: re-layouts a persisted table into
+/// K Hilbert-ordered spatial shards under <out_dir> (DESIGN.md §12).
+int CmdShard(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  auto table = OpenTable(args.positional[0]);
+  if (!table.ok()) return Fail(table.status());
+  ShardingOptions opts;
+  opts.num_shards = static_cast<uint32_t>(args.U64("--shards", 16));
+  opts.hilbert_order = static_cast<uint32_t>(args.U64("--order", 16));
+  Timer t;
+  auto sharded = ShardedTable::Create(*table, opts);
+  if (!sharded.ok()) return Fail(sharded.status());
+  if (Status st = WriteShardedTableDir(**sharded, args.positional[1]);
+      !st.ok()) {
+    return Fail(st);
+  }
+  std::printf(
+      "sharded %llu rows into %zu Hilbert shards (order %u) under %s "
+      "in %.2f s\n",
+      static_cast<unsigned long long>((*sharded)->num_rows()),
+      (*sharded)->num_shards(), opts.hilbert_order,
+      args.positional[1].c_str(), t.ElapsedSeconds());
+  for (size_t i = 0; i < (*sharded)->num_shards(); ++i) {
+    const ShardSlice& s = (*sharded)->shard(i);
+    std::printf("  shard %4zu: %8llu rows  bbox [%.1f, %.1f] x [%.1f, %.1f]\n",
+                i, static_cast<unsigned long long>(s.table->num_rows()),
+                s.bbox.min_x, s.bbox.max_x, s.bbox.min_y, s.bbox.max_y);
+  }
+  return 0;
+}
+
+/// Verifies one flat table directory, printing each file prefixed by
+/// `prefix`. Returns the number of corrupt files (sharded tables call
+/// this once per shard directory).
+int VerifyOneTableDir(const std::string& dir, const std::string& prefix) {
   int corrupt = 0;
 
   auto manifest = ReadTableManifest(dir);
   if (!manifest.ok()) {
-    std::printf("%-32s CORRUPT  %s\n", "schema.gct",
+    std::printf("%-32s CORRUPT  %s\n", (prefix + "schema.gct").c_str(),
                 manifest.status().ToString().c_str());
     return 1;  // Nothing else is checkable without the manifest.
   }
   if (manifest->legacy) {
     std::printf("%-32s OK       legacy manifest (no checksum), %zu columns\n",
-                "schema.gct", manifest->columns.size());
+                (prefix + "schema.gct").c_str(), manifest->columns.size());
   } else {
-    std::printf("%-32s OK       generation %llu, %zu columns\n", "schema.gct",
+    std::printf("%-32s OK       generation %llu, %zu columns\n",
+                (prefix + "schema.gct").c_str(),
                 static_cast<unsigned long long>(manifest->generation),
                 manifest->columns.size());
   }
@@ -315,18 +349,19 @@ int CmdVerify(const Args& args) {
                    : ReadColumnFile(path, mc.name);
     if (!col.ok()) {
       ++corrupt;
-      std::printf("%-32s CORRUPT  %s\n", fname.c_str(),
+      std::printf("%-32s CORRUPT  %s\n", (prefix + fname).c_str(),
                   col.status().ToString().c_str());
       continue;
     }
     if ((*col)->type() != mc.type) {
       ++corrupt;
       std::printf("%-32s CORRUPT  type does not match the manifest\n",
-                  fname.c_str());
+                  (prefix + fname).c_str());
       continue;
     }
     auto size = FileSizeBytes(path);
-    std::printf("%-32s OK       %llu rows, %llu bytes\n", fname.c_str(),
+    std::printf("%-32s OK       %llu rows, %llu bytes\n",
+                (prefix + fname).c_str(),
                 static_cast<unsigned long long>((*col)->size()),
                 static_cast<unsigned long long>(size.ok() ? *size : 0));
     columns.push_back(std::move(*col));
@@ -341,7 +376,7 @@ int CmdVerify(const Args& args) {
     auto index = ReadImprintsFile(path, &meta);
     if (!index.ok()) {
       ++corrupt;
-      std::printf("%-32s CORRUPT  %s\n", fname.c_str(),
+      std::printf("%-32s CORRUPT  %s\n", (prefix + fname).c_str(),
                   index.status().ToString().c_str());
       continue;
     }
@@ -359,7 +394,7 @@ int CmdVerify(const Args& args) {
                       : "STALE (will be rebuilt on use)";
       break;
     }
-    std::printf("%-32s OK       %llu rows, %s\n", fname.c_str(),
+    std::printf("%-32s OK       %llu rows, %s\n", (prefix + fname).c_str(),
                 static_cast<unsigned long long>(index->num_rows()), freshness);
   }
 
@@ -374,8 +409,47 @@ int CmdVerify(const Args& args) {
           referenced.end()) {
         continue;
       }
-      std::printf("%-32s STALE    unreferenced leftover\n", fname.c_str());
+      std::printf("%-32s STALE    unreferenced leftover\n",
+                  (prefix + fname).c_str());
     }
+  }
+  return corrupt;
+}
+
+/// `geocol verify <table_dir>`: checks every persistence invariant the
+/// durability layer maintains — manifest checksum, per-column checksums
+/// and type agreement, imprint sidecar integrity and freshness — and
+/// reports stale leftovers (.tmp, superseded generations, quarantined
+/// sidecars). A sharded table dir (shards.gsm) is verified shard by shard
+/// after its own manifest's checksum and shape checks. Exit 1 if anything
+/// is corrupt, 0 otherwise.
+int CmdVerify(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string& dir = args.positional[0];
+  int corrupt = 0;
+
+  if (IsShardedTableDir(dir)) {
+    auto m = ReadShardedTableManifest(dir);
+    if (!m.ok()) {
+      std::printf("%-32s CORRUPT  %s\n", "shards.gsm",
+                  m.status().ToString().c_str());
+      return 1;  // No shard list without the manifest.
+    }
+    std::printf("%-32s OK       generation %llu, %zu shards (order %u)\n",
+                "shards.gsm", static_cast<unsigned long long>(m->generation),
+                m->shards.size(), m->hilbert_order);
+    for (const auto& shard : m->shards) {
+      const std::string shard_dir = dir + "/" + shard.dirname;
+      if (!PathExists(shard_dir + "/schema.gct")) {
+        ++corrupt;
+        std::printf("%-32s CORRUPT  shard directory missing\n",
+                    shard.dirname.c_str());
+        continue;
+      }
+      corrupt += VerifyOneTableDir(shard_dir, shard.dirname + "/");
+    }
+  } else {
+    corrupt = VerifyOneTableDir(dir, "");
   }
 
   telemetry::MaybePrintSummary(stderr);
@@ -390,10 +464,18 @@ int CmdVerify(const Args& args) {
 /// Opens the table (and any --layers) into `catalog`; shared by the
 /// query/metrics/trace subcommands.
 Status SetupCatalog(const Args& args, Catalog* catalog) {
-  GEOCOL_ASSIGN_OR_RETURN(FlatTable table, OpenTable(args.positional[0]));
-  GEOCOL_RETURN_NOT_OK(catalog->AddPointCloud(
-      table.name().empty() ? "ahn2" : table.name(),
-      std::make_shared<FlatTable>(std::move(table))));
+  const std::string& table_dir = args.positional[0];
+  if (IsShardedTableDir(table_dir)) {
+    GEOCOL_ASSIGN_OR_RETURN(auto sharded, ReadShardedTableDir(table_dir));
+    std::string name = sharded->name().empty() ? "ahn2" : sharded->name();
+    GEOCOL_RETURN_NOT_OK(
+        catalog->AddShardedPointCloud(name, std::move(sharded)));
+  } else {
+    GEOCOL_ASSIGN_OR_RETURN(FlatTable table, OpenTable(table_dir));
+    GEOCOL_RETURN_NOT_OK(catalog->AddPointCloud(
+        table.name().empty() ? "ahn2" : table.name(),
+        std::make_shared<FlatTable>(std::move(table))));
+  }
   std::string layers_dir = args.Value("--layers", "");
   if (!layers_dir.empty()) {
     std::vector<std::string> layer_files;
@@ -410,7 +492,10 @@ int CmdQuery(const Args& args) {
   if (args.positional.size() < 2) return Usage();
   Catalog catalog;
   if (Status st = SetupCatalog(args, &catalog); !st.ok()) return Fail(st);
-  std::printf("datasets: %s", catalog.PointCloudNames()[0].c_str());
+  std::string first = catalog.PointCloudNames().empty()
+                          ? catalog.ShardedPointCloudNames()[0] + " (sharded)"
+                          : catalog.PointCloudNames()[0];
+  std::printf("datasets: %s", first.c_str());
   for (const auto& l : catalog.LayerNames()) std::printf(", %s", l.c_str());
   std::printf("\n");
   sql::Session session(&catalog);
@@ -575,7 +660,8 @@ int main(int argc, char** argv) {
       // Flags with values consume the next token.
       if ((a == "--points" || a == "--layers" || a == "--threads" ||
            a == "--cols" || a == "--format" || a == "--out" ||
-           a == "--budget-mb" || a == "--repeat") &&
+           a == "--budget-mb" || a == "--repeat" || a == "--shards" ||
+           a == "--order") &&
           i + 1 < argc) {
         args.flags.push_back(argv[++i]);
       }
@@ -589,6 +675,7 @@ int main(int argc, char** argv) {
   if (cmd == "sort") return CmdSort(args);
   if (cmd == "index") return CmdIndex(args);
   if (cmd == "load") return CmdLoad(args);
+  if (cmd == "shard") return CmdShard(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "raster") return CmdRaster(args);
   if (cmd == "verify") return CmdVerify(args);
