@@ -48,6 +48,7 @@ int64_t Column::GetInt64(size_t row) const {
 }
 
 const ColumnStats& Column::Stats() const {
+  std::lock_guard<std::mutex> lock(stats_mu_);
   if (!stats_.valid) {
     if (empty()) {
       stats_.min = 0.0;
@@ -68,6 +69,26 @@ const ColumnStats& Column::Stats() const {
     stats_.valid = true;
   }
   return stats_;
+}
+
+void Column::SetCachedStats(double min, double max) {
+  std::lock_guard<std::mutex> lock(stats_mu_);
+  stats_.min = min;
+  stats_.max = max;
+  stats_.valid = true;
+}
+
+std::shared_ptr<Column> Column::CloneAppend(const std::shared_ptr<Column>& base,
+                                            const void* data, size_t count) {
+  assert(base != nullptr);
+  auto col = std::make_shared<Column>(base->name(), base->type());
+  col->data_.reserve(base->data_.size() + count * base->width_);
+  col->data_.insert(col->data_.end(), base->data_.begin(), base->data_.end());
+  const auto* p = static_cast<const uint8_t*>(data);
+  col->data_.insert(col->data_.end(), p, p + count * base->width_);
+  col->base_ = base;
+  col->base_rows_ = base->size();
+  return col;
 }
 
 }  // namespace geocol

@@ -7,6 +7,7 @@
 #include <cassert>
 #include <cstring>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
@@ -82,6 +83,23 @@ class Column {
     Invalidate();
   }
 
+  /// Copy-on-append: a NEW column holding `base`'s bytes followed by
+  /// `count` values from a raw little-endian buffer. `base` is never
+  /// touched — readers scanning it keep a stable view — and the new column
+  /// remembers `base` as its lineage (weak, so retiring every snapshot of
+  /// the old version frees its bytes). The imprint manager follows the
+  /// lineage to extend the old index incrementally instead of rebuilding.
+  /// This is the publication primitive of the live-ingestion path
+  /// (DESIGN.md §13).
+  static std::shared_ptr<Column> CloneAppend(
+      const std::shared_ptr<Column>& base, const void* data, size_t count);
+
+  /// Lineage of a CloneAppend column: the column this one extends, or null
+  /// when there is none (fresh column) or every reference to it is gone.
+  std::shared_ptr<const Column> base() const { return base_.lock(); }
+  /// Rows inherited from base() (0 when no lineage).
+  uint64_t base_rows() const { return base_rows_; }
+
   /// Value converted to double (lossless for all types up to 2^53).
   double GetDouble(size_t row) const;
 
@@ -93,8 +111,15 @@ class Column {
   /// Value converted to int64 (floats are truncated).
   int64_t GetInt64(size_t row) const;
 
-  /// Cached min/max; recomputed after appends.
+  /// Cached min/max; recomputed after appends. Safe to call from
+  /// concurrent readers of an immutable (published) column — computation
+  /// is serialised on an internal mutex. Mutating the column while another
+  /// thread reads it remains the caller's bug, as everywhere else.
   const ColumnStats& Stats() const;
+
+  /// Seeds the stats cache without a scan — the COW append path knows the
+  /// new min/max from base stats + batch extremes. Marks the cache valid.
+  void SetCachedStats(double min, double max);
 
   const uint8_t* raw_data() const { return data_.data(); }
 
@@ -128,6 +153,10 @@ class Column {
   size_t width_;
   std::vector<uint8_t> data_;
   uint64_t epoch_ = 0;
+  /// Lineage for incremental index maintenance (set by CloneAppend).
+  std::weak_ptr<const Column> base_;
+  uint64_t base_rows_ = 0;
+  mutable std::mutex stats_mu_;  ///< serialises lazy stats computation
   mutable ColumnStats stats_;
 };
 

@@ -19,17 +19,6 @@ namespace {
 constexpr char kShardManifestMagic[4] = {'G', 'S', 'M', '1'};
 constexpr uint32_t kMaxManifestShards = 1u << 16;
 
-/// Shard directory names carry the layout generation so a re-shard writes
-/// into fresh directories and never touches the ones the live manifest
-/// references — the manifest swap stays the only commit point even when
-/// the new layout has a different shard count.
-std::string ShardDirName(size_t i, uint64_t gen) {
-  char buf[48];
-  std::snprintf(buf, sizeof(buf), "shard_%04zu.g%llu", i,
-                static_cast<unsigned long long>(gen));
-  return buf;
-}
-
 /// Gathers `rows` source rows starting at perm[begin] into a fresh column
 /// of the same name/type. Type-erased byte copies — no dispatch needed.
 ColumnPtr GatherColumn(const Column& src, const std::vector<uint64_t>& perm,
@@ -146,6 +135,17 @@ Result<std::shared_ptr<ShardedTable>> ShardedTable::Create(
 
 bool IsShardedTableDir(const std::string& dir) {
   return PathExists(dir + "/shards.gsm");
+}
+
+// Shard directory names carry the layout generation so a re-shard (or a
+// live append) writes into fresh directories and never touches the ones
+// the live manifest references — the manifest swap stays the only commit
+// point even when the new layout has a different shard count.
+std::string ShardDirName(size_t i, uint64_t gen) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "shard_%04zu.g%llu", i,
+                static_cast<unsigned long long>(gen));
+  return buf;
 }
 
 Status WriteShardedTableManifest(const std::string& dir,

@@ -88,6 +88,11 @@ class ShardedTable {
   uint64_t generation() const { return generation_; }
   void set_generation(uint64_t g) { generation_ = g; }
 
+  /// Live-append hook: restamps the total row count after ShardRouter::
+  /// Append replaces shard slices in place (slice tables, bboxes and base
+  /// offsets are updated by the same caller, under its view lock).
+  void set_num_rows(uint64_t n) { num_rows_ = n; }
+
   /// Index of the shard containing `global_row` (rows are contiguous in
   /// shard order). Precondition: global_row < num_rows().
   size_t ShardIndexOf(uint64_t global_row) const;
@@ -111,6 +116,12 @@ class ShardedTable {
 
 /// True when `dir` holds a sharded table (a `shards.gsm` manifest).
 bool IsShardedTableDir(const std::string& dir);
+
+/// Name of shard `i`'s subdirectory in a generation-`gen` persisted layout
+/// ("shard_NNNN.g<gen>"). Live appends write replacement shard tables into
+/// next-generation names before swapping the manifest, mirroring what a
+/// full WriteShardedTableDir would do.
+std::string ShardDirName(size_t i, uint64_t gen);
 
 /// Persists the layout crash-safely: each shard goes to
 /// `<dir>/shard_NNNN.g<gen>` (generation-suffixed, so a re-shard — even

@@ -10,6 +10,8 @@
 #include "core/native_range.h"
 #include "simd/kernels.h"
 #include "telemetry/metrics.h"
+#include "util/binary_io.h"
+#include "util/logging.h"
 #include "util/thread_pool.h"
 
 namespace geocol {
@@ -185,6 +187,16 @@ void FullScanRangeSelect(const Column& column, double lo, double hi,
   });
 }
 
+namespace {
+
+/// True when `index` describes exactly the current state of `column`.
+bool IndexFresh(const ImprintsIndex* index, const Column& column) {
+  return index != nullptr && index->built_epoch() == column.epoch() &&
+         index->num_rows() == column.size();
+}
+
+}  // namespace
+
 Result<std::shared_ptr<const ImprintsIndex>> ImprintManager::GetOrBuild(
     const ColumnPtr& column) {
   if (column == nullptr) return Status::InvalidArgument("null column");
@@ -192,56 +204,155 @@ Result<std::shared_ptr<const ImprintsIndex>> ImprintManager::GetOrBuild(
   GEOCOL_METRIC_COUNTER(c_misses, "geocol_imprint_cache_misses_total");
   GEOCOL_METRIC_COUNTER(c_builds, "geocol_imprint_builds_total");
   GEOCOL_METRIC_HISTOGRAM(h_build, "geocol_imprint_build_nanos");
-  std::shared_ptr<Entry> entry;
+
+  std::shared_ptr<const ImprintsIndex> base_index;
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    std::shared_ptr<Entry>& slot = cache_[column.get()];
-    if (slot == nullptr) slot = std::make_shared<Entry>();
-    entry = slot;
-    if (entry->index != nullptr &&
-        entry->index->built_epoch() == column->epoch()) {
-      c_hits.Increment();
-      return entry->index;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      Entry& e = cache_[column.get()];
+      if (e.column.expired() && !e.building) {
+        // Fresh slot, or a dead column whose heap address was reused (the
+        // builder pins its column alive, so building implies not expired).
+        e.index.reset();
+        e.column = column;
+      }
+      if (IndexFresh(e.index.get(), *column)) {
+        c_hits.Increment();
+        return e.index;
+      }
+      if (!e.building) {
+        e.building = true;
+        break;
+      }
+      // Another thread is building this column's index off-lock; park
+      // until any build publishes, then re-check. The wait releases mu_,
+      // so lookups of other columns proceed unimpeded.
+      build_cv_.wait(lock);
     }
-  }
-  // Serialise builds per column: the losers of a concurrent first query
-  // wait here, then take the winner's index from the re-check.
-  std::lock_guard<std::mutex> build_lock(entry->build_mu);
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (entry->index != nullptr &&
-        entry->index->built_epoch() == column->epoch()) {
-      c_hits.Increment();
-      return entry->index;
+    // Incremental path: a fresh cached index of the COW lineage base lets
+    // us extend over the appended tail instead of rebuilding.
+    if (auto base_col = column->base()) {
+      auto it = cache_.find(base_col.get());
+      if (it != cache_.end() && IndexFresh(it->second.index.get(), *base_col) &&
+          column->base_rows() == base_col->size()) {
+        base_index = it->second.index;
+      }
     }
+    if (cache_.size() >= prune_watermark_) PruneLocked();
   }
+
   c_misses.Increment();
   const auto build_start = std::chrono::steady_clock::now();
-  // Sidecar-backed build reuses a verified on-disk index when fresh and
-  // transparently quarantines + rebuilds when corrupt or stale.
-  Result<ImprintsIndex> built =
-      sidecar_dir_.empty()
-          ? ImprintsIndex::Build(*column, options_, pool_)
-          : LoadOrBuildImprints(*column,
-                                sidecar_dir_ + "/" + column->name() + ".gim",
-                                options_, pool_);
+  Result<ImprintsIndex> built = BuildIndex(column, base_index);
+
+  std::lock_guard<std::mutex> lock(mu_);
+  Entry& e = cache_[column.get()];
+  e.building = false;
+  e.column = column;
+  build_cv_.notify_all();
   GEOCOL_RETURN_NOT_OK(built.status());
   c_builds.Increment();
   h_build.Observe(std::chrono::duration_cast<std::chrono::nanoseconds>(
                       std::chrono::steady_clock::now() - build_start)
                       .count());
   auto index = std::make_shared<const ImprintsIndex>(std::move(*built));
-  std::lock_guard<std::mutex> lock(mu_);
-  entry->index = index;
+  e.index = index;
   return index;
+}
+
+Result<ImprintsIndex> ImprintManager::BuildIndex(
+    const ColumnPtr& column,
+    const std::shared_ptr<const ImprintsIndex>& base_index) {
+  const std::string sidecar =
+      sidecar_dir_.empty() ? ""
+                           : sidecar_dir_ + "/" + column->name() + ".gim";
+  if (base_index != nullptr && column->size() > base_index->num_rows()) {
+    GEOCOL_METRIC_COUNTER(c_incr, "geocol_imprint_incremental_builds_total");
+    GEOCOL_METRIC_COUNTER(c_fallback, "geocol_imprint_stitch_fallbacks_total");
+    Result<ImprintsIndex> stitched =
+        ImprintsIndex::ExtendAppend(*base_index, *column, pool_);
+    bool verified = false;
+    if (stitched.ok()) {
+      // Probe verification: re-binarise a deterministic sample of lines
+      // (biased to the inherited prefix — the tail was just built) and
+      // compare against the stitched dictionary. A mismatch means the
+      // lineage assumption broke; never serve that index.
+      verified = !stitch_fault_.exchange(false);
+      if (verified) {
+        const uint64_t lines = stitched->num_lines();
+        const uint64_t probes = std::min<uint64_t>(lines, 16);
+        const BinBounds& bins = stitched->bins();
+        const uint32_t vpl = stitched->values_per_line();
+        for (uint64_t p = 0; p < probes && verified; ++p) {
+          uint64_t line = lines * p / probes;
+          uint64_t first = line * vpl;
+          uint64_t last =
+              std::min<uint64_t>(first + vpl, stitched->num_rows());
+          uint64_t v = 0;
+          for (uint64_t i = first; i < last; ++i) {
+            v |= uint64_t{1} << bins.BinOf(column->GetDouble(i));
+          }
+          verified = stitched->VectorAtLine(line) == v;
+        }
+      }
+      if (verified) {
+        c_incr.Increment();
+        if (!sidecar.empty()) {
+          Status persisted = WriteImprintsFile(*stitched, sidecar,
+                                               ColumnFingerprint(*column));
+          if (!persisted.ok()) {
+            GEOCOL_LOG(Warning)
+                    .With("path", sidecar)
+                    .With("error", persisted.ToString())
+                << "could not persist stitched imprints sidecar";
+          }
+        }
+        return stitched;
+      }
+    }
+    // Stitch failed (or failed verification): quarantine the sidecar so
+    // the rebuild cannot adopt state derived from the bad lineage, then
+    // build from scratch.
+    c_fallback.Increment();
+    GEOCOL_LOG(Warning)
+            .With("column", column->name())
+            .With("error", stitched.ok() ? std::string("probe mismatch")
+                                         : stitched.status().ToString())
+        << "incremental imprint stitch rejected; rebuilding from scratch";
+    if (!sidecar.empty() && PathExists(sidecar)) {
+      Status moved = RenameFile(sidecar, sidecar + ".quarantined");
+      if (!moved.ok()) {
+        GEOCOL_LOG(Warning)
+                .With("path", sidecar)
+                .With("error", moved.ToString())
+            << "could not quarantine sidecar after stitch failure";
+      }
+    }
+  }
+  // Sidecar-backed build reuses a verified on-disk index when fresh and
+  // transparently quarantines + rebuilds when corrupt or stale.
+  return sidecar.empty()
+             ? ImprintsIndex::Build(*column, options_, pool_)
+             : LoadOrBuildImprints(*column, sidecar, options_, pool_);
+}
+
+void ImprintManager::PruneLocked() {
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (!it->second.building && it->second.column.expired()) {
+      it = cache_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  prune_watermark_ = std::max<size_t>(8, cache_.size() * 2);
 }
 
 uint64_t ImprintManager::TotalStorageBytes() const {
   std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (const auto& [col, entry] : cache_) {
-    if (entry->index != nullptr) {
-      total += entry->index->Storage(0).total_bytes;
+    if (entry.index != nullptr) {
+      total += entry.index->Storage(0).total_bytes;
     }
   }
   return total;
@@ -251,14 +362,23 @@ size_t ImprintManager::num_indexes() const {
   std::lock_guard<std::mutex> lock(mu_);
   size_t n = 0;
   for (const auto& [col, entry] : cache_) {
-    n += entry->index != nullptr ? 1 : 0;
+    n += entry.index != nullptr ? 1 : 0;
   }
   return n;
 }
 
 void ImprintManager::Clear() {
   std::lock_guard<std::mutex> lock(mu_);
-  cache_.clear();
+  // In-flight builds keep their entries (the builder will republish into
+  // them); dropping one would strand its waiters' building flag.
+  for (auto it = cache_.begin(); it != cache_.end();) {
+    if (it->second.building) {
+      it->second.index.reset();
+      ++it;
+    } else {
+      it = cache_.erase(it);
+    }
+  }
 }
 
 }  // namespace geocol

@@ -8,6 +8,8 @@
 #ifndef GEOCOL_CORE_IMPRINT_SCAN_H_
 #define GEOCOL_CORE_IMPRINT_SCAN_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <unordered_map>
@@ -73,13 +75,24 @@ void FullScanRangeSelect(const Column& column, double lo, double hi,
 /// "creation is triggered when it encounters a range query for the first
 /// time" (§3.2). Rebuilds when the column's epoch moves (appends).
 ///
-/// Thread-safety: all members may be called concurrently. Builds of the
-/// same column are serialised on a per-column mutex (concurrent first
-/// queries build once and share), while different columns build in
-/// parallel. Returned indexes are shared_ptr so a rebuild triggered by an
-/// epoch change never invalidates an index another thread is scanning.
-/// Callers must still not mutate a column while queries on it are in
-/// flight — the epoch check is advisory, not a memory fence.
+/// Thread-safety: all members may be called concurrently. Concurrent first
+/// queries of one column build once and share: a builder marks the entry
+/// in-flight under the manager mutex, releases it for the whole disk/build
+/// phase, and publishes under the mutex again — waiters park on a condition
+/// variable, so a slow sidecar load or rebuild never stalls readers of
+/// *other* columns (nor lookups that hit the cache). Returned indexes are
+/// shared_ptr so a rebuild triggered by an epoch change never invalidates
+/// an index another thread is scanning. Callers must still not mutate a
+/// column while queries on it are in flight — the COW append path
+/// (Column::CloneAppend) never does; the epoch check is advisory for the
+/// legacy in-place mutation path, not a memory fence.
+///
+/// Incremental maintenance: when a looked-up column carries CloneAppend
+/// lineage and the base column's index is cached and fresh, the manager
+/// extends it over the appended tail (ImprintsIndex::ExtendAppend) instead
+/// of rebuilding, probe-verifies the stitch against freshly binarised
+/// sample lines, and on verification failure quarantines the sidecar and
+/// falls back to a from-scratch build.
 class ImprintManager {
  public:
   explicit ImprintManager(ImprintsOptions options = {})
@@ -88,6 +101,10 @@ class ImprintManager {
   /// Returns the (possibly freshly built) index for `column`.
   Result<std::shared_ptr<const ImprintsIndex>> GetOrBuild(
       const ColumnPtr& column);
+
+  /// Testing hook: the next incremental stitch fails probe verification,
+  /// exercising the quarantine + rebuild fallback (consumed once).
+  void InjectStitchFault() { stitch_fault_.store(true); }
 
   /// Pool used to parallelise index builds (nullptr = serial builds). Set
   /// once at engine construction, before any queries run.
@@ -114,14 +131,29 @@ class ImprintManager {
 
  private:
   struct Entry {
-    std::mutex build_mu;  ///< serialises builds of this column
     std::shared_ptr<const ImprintsIndex> index;  ///< published under mu_
+    bool building = false;  ///< a thread is building off-lock
+    std::weak_ptr<const Column> column;  ///< liveness, for pruning
   };
+
+  /// Builds (or loads) the index for `column` without holding mu_.
+  /// `base_index` is the cached fresh index of the column's lineage base
+  /// (null when unavailable) — triggers the incremental path.
+  Result<ImprintsIndex> BuildIndex(
+      const ColumnPtr& column,
+      const std::shared_ptr<const ImprintsIndex>& base_index);
+
+  /// Drops entries whose column died (COW retirement); caller holds mu_.
+  void PruneLocked();
+
   ImprintsOptions options_;
   ThreadPool* pool_ = nullptr;
   std::string sidecar_dir_;  ///< "" = do not persist indexes
-  mutable std::mutex mu_;  ///< guards cache_ and every Entry::index
-  std::unordered_map<const Column*, std::shared_ptr<Entry>> cache_;
+  std::atomic<bool> stitch_fault_{false};
+  mutable std::mutex mu_;            ///< guards cache_ and entry fields
+  std::condition_variable build_cv_;  ///< signalled when a build publishes
+  std::unordered_map<const Column*, Entry> cache_;
+  size_t prune_watermark_ = 8;
 };
 
 }  // namespace geocol

@@ -21,6 +21,107 @@ struct VectorRun {
   uint64_t count;
 };
 
+/// Binarises lines [line_begin, line_end) of the column into per-chunk
+/// maximal runs of identical imprint vectors. Chunked across `pool` when
+/// the range is large enough; callers concatenate the chunk sequences in
+/// order (RunEmitter below merges runs that touch across chunk seams).
+std::vector<std::vector<VectorRun>> BinarizeLines(
+    const Column& column, const BinBounds& bins, uint32_t values_per_line,
+    uint64_t num_rows, uint64_t line_begin, uint64_t line_end,
+    ThreadPool* pool) {
+  uint64_t total = line_end - line_begin;
+  uint64_t num_chunks = 1;
+  if (pool != nullptr && pool->num_threads() > 0 &&
+      total >= kMinParallelBuildLines) {
+    num_chunks = std::min<uint64_t>(total / (kMinParallelBuildLines / 8),
+                                    (pool->num_threads() + 1) * 8);
+    if (num_chunks < 2) num_chunks = 2;
+  }
+  uint64_t chunk_lines = (total + num_chunks - 1) / num_chunks;
+  num_chunks = chunk_lines > 0 ? (total + chunk_lines - 1) / chunk_lines : 0;
+  std::vector<std::vector<VectorRun>> chunk_runs(num_chunks);
+  auto do_chunk = [&](size_t c) {
+    uint64_t begin = line_begin + c * chunk_lines;
+    uint64_t end = std::min<uint64_t>(line_end, begin + chunk_lines);
+    std::vector<VectorRun>& runs = chunk_runs[c];
+    DispatchDataType(column.type(), [&]<typename T>() {
+      std::span<const T> values = column.Values<T>();
+      for (uint64_t line = begin; line < end; ++line) {
+        uint64_t first = line * values_per_line;
+        uint64_t last = std::min<uint64_t>(first + values_per_line, num_rows);
+        uint64_t v = 0;
+        for (uint64_t i = first; i < last; ++i) {
+          v |= uint64_t{1} << bins.BinOf(static_cast<double>(values[i]));
+        }
+        if (!runs.empty() && runs.back().vec == v) {
+          ++runs.back().count;
+        } else {
+          runs.push_back({v, 1});
+        }
+      }
+    });
+  };
+  if (num_chunks > 1) {
+    pool->ParallelFor(num_chunks, do_chunk);
+  } else if (num_chunks == 1) {
+    do_chunk(0);
+  }
+  return chunk_runs;
+}
+
+/// Canonical greedy dictionary encoding over a stream of vector runs.
+/// Feeding it the maximal-run decomposition of the per-line vectors
+/// reproduces the serial build byte-for-byte (PR 1's stitching invariant:
+/// runs of >= 2 lines become repeat entries, singletons coalesce into
+/// literal entries). Adjacent Add() calls with equal vectors merge, so
+/// chunk/seam boundaries in the input stream never show in the output.
+class RunEmitter {
+ public:
+  RunEmitter(std::vector<uint64_t>* vectors,
+             std::vector<ImprintsIndex::DictEntry>* dict)
+      : vectors_(vectors), dict_(dict) {}
+
+  void Add(uint64_t vec, uint64_t count) {
+    if (count == 0) return;
+    if (pending_count_ > 0 && pending_vec_ == vec) {
+      pending_count_ += count;
+      return;
+    }
+    Flush();
+    pending_vec_ = vec;
+    pending_count_ = count;
+  }
+
+  void Finish() { Flush(); }
+
+ private:
+  void Flush() {
+    uint64_t count = pending_count_;
+    pending_count_ = 0;
+    while (count > 0) {
+      uint64_t piece = std::min<uint64_t>(count, kMaxCount);
+      count -= piece;
+      if (piece >= 2) {
+        vectors_->push_back(pending_vec_);
+        dict_->push_back({static_cast<uint32_t>(piece), true});
+      } else {
+        vectors_->push_back(pending_vec_);
+        if (!dict_->empty() && !dict_->back().repeat &&
+            dict_->back().count < kMaxCount) {
+          ++dict_->back().count;
+        } else {
+          dict_->push_back({1, false});
+        }
+      }
+    }
+  }
+
+  std::vector<uint64_t>* vectors_;
+  std::vector<ImprintsIndex::DictEntry>* dict_;
+  uint64_t pending_vec_ = 0;
+  uint64_t pending_count_ = 0;
+};
+
 }  // namespace
 
 Result<ImprintsIndex> ImprintsIndex::Build(const Column& column,
@@ -37,6 +138,20 @@ Result<ImprintsIndex> ImprintsIndex::Build(const Column& column,
       BinBounds bins,
       BinBounds::Sample(column, options.max_bins, options.sample_size,
                         options.seed));
+  return BuildWithBins(column, std::move(bins), options, pool);
+}
+
+Result<ImprintsIndex> ImprintsIndex::BuildWithBins(const Column& column,
+                                                   BinBounds bins,
+                                                   const ImprintsOptions& options,
+                                                   ThreadPool* pool) {
+  if (column.empty()) {
+    return Status::InvalidArgument("cannot build imprints on empty column");
+  }
+  if (options.cacheline_bytes < column.width() ||
+      options.cacheline_bytes % column.width() != 0) {
+    return Status::InvalidArgument("cacheline size incompatible with type width");
+  }
 
   ImprintsIndex ix;
   ix.bins_ = bins;
@@ -55,67 +170,14 @@ Result<ImprintsIndex> ImprintsIndex::Build(const Column& column,
     // reproduce the serial greedy encoding exactly (runs of >= 2 lines
     // become repeat entries, singleton runs coalesce into literal entries),
     // so parallel and serial builds are byte-identical.
-    uint64_t num_chunks =
-        std::min<uint64_t>(ix.num_lines_ / (kMinParallelBuildLines / 8),
-                           (pool->num_threads() + 1) * 8);
-    if (num_chunks < 2) num_chunks = 2;
-    uint64_t chunk_lines = (ix.num_lines_ + num_chunks - 1) / num_chunks;
-    num_chunks = (ix.num_lines_ + chunk_lines - 1) / chunk_lines;
-    std::vector<std::vector<VectorRun>> chunk_runs(num_chunks);
-    pool->ParallelFor(num_chunks, [&](size_t c) {
-      uint64_t line_begin = c * chunk_lines;
-      uint64_t line_end =
-          std::min<uint64_t>(ix.num_lines_, line_begin + chunk_lines);
-      std::vector<VectorRun>& runs = chunk_runs[c];
-      DispatchDataType(column.type(), [&]<typename T>() {
-        std::span<const T> values = column.Values<T>();
-        for (uint64_t line = line_begin; line < line_end; ++line) {
-          uint64_t first = line * ix.values_per_line_;
-          uint64_t last = std::min<uint64_t>(first + ix.values_per_line_,
-                                             ix.num_rows_);
-          uint64_t v = 0;
-          for (uint64_t i = first; i < last; ++i) {
-            v |= uint64_t{1} << bins.BinOf(static_cast<double>(values[i]));
-          }
-          if (!runs.empty() && runs.back().vec == v) {
-            ++runs.back().count;
-          } else {
-            runs.push_back({v, 1});
-          }
-        }
-      });
-    });
-
-    auto emit = [&ix](uint64_t vec, uint64_t count) {
-      while (count > 0) {
-        uint64_t piece = std::min<uint64_t>(count, kMaxCount);
-        count -= piece;
-        if (piece >= 2) {
-          ix.vectors_.push_back(vec);
-          ix.dict_.push_back({static_cast<uint32_t>(piece), true});
-        } else {
-          ix.vectors_.push_back(vec);
-          if (!ix.dict_.empty() && !ix.dict_.back().repeat &&
-              ix.dict_.back().count < kMaxCount) {
-            ++ix.dict_.back().count;
-          } else {
-            ix.dict_.push_back({1, false});
-          }
-        }
-      }
-    };
-    VectorRun pending{0, 0};
+    auto chunk_runs =
+        BinarizeLines(column, bins, ix.values_per_line_, ix.num_rows_, 0,
+                      ix.num_lines_, pool);
+    RunEmitter emitter(&ix.vectors_, &ix.dict_);
     for (const auto& runs : chunk_runs) {
-      for (const VectorRun& r : runs) {
-        if (pending.count > 0 && pending.vec == r.vec) {
-          pending.count += r.count;
-        } else {
-          if (pending.count > 0) emit(pending.vec, pending.count);
-          pending = r;
-        }
-      }
+      for (const VectorRun& r : runs) emitter.Add(r.vec, r.count);
     }
-    if (pending.count > 0) emit(pending.vec, pending.count);
+    emitter.Finish();
     return ix;
   }
 
@@ -163,6 +225,78 @@ Result<ImprintsIndex> ImprintsIndex::Build(const Column& column,
   return ix;
 }
 
+Result<ImprintsIndex> ImprintsIndex::ExtendAppend(const ImprintsIndex& base,
+                                                  const Column& column,
+                                                  ThreadPool* pool) {
+  if (column.empty()) {
+    return Status::InvalidArgument("cannot extend imprints over empty column");
+  }
+  if (column.size() < base.num_rows_) {
+    return Status::InvalidArgument(
+        "imprints extend: column shrank below the indexed prefix");
+  }
+  if (base.values_per_line_ == 0) {
+    return Status::InvalidArgument("imprints extend: bad base geometry");
+  }
+
+  ImprintsIndex ix;
+  ix.bins_ = base.bins_;
+  ix.values_per_line_ = base.values_per_line_;
+  ix.num_rows_ = column.size();
+  ix.num_lines_ =
+      (ix.num_rows_ + ix.values_per_line_ - 1) / ix.values_per_line_;
+  ix.built_epoch_ = column.epoch();
+  ix.vectors_.reserve(base.vectors_.size() + 16);
+
+  // Only lines whose every value came from the base prefix keep their old
+  // vectors; the seam line (partial when base rows don't divide evenly)
+  // and everything after is binarised fresh from the column.
+  uint64_t seam_line = base.num_rows_ / ix.values_per_line_;
+
+  // Decode the base dictionary back into the maximal-run decomposition of
+  // its per-line vectors, truncated at the seam. Adjacent equal runs are
+  // re-coalesced here so runs the encoder split at the kMaxCount cap come
+  // back as one — the emitter below must see maximal runs to reproduce the
+  // from-scratch encoding byte-for-byte.
+  std::vector<VectorRun> head;
+  head.reserve(base.dict_.size());
+  auto add_head = [&head](uint64_t vec, uint64_t count) {
+    if (count == 0) return;
+    if (!head.empty() && head.back().vec == vec) {
+      head.back().count += count;
+    } else {
+      head.push_back({vec, count});
+    }
+  };
+  uint64_t line = 0;
+  size_t vec_idx = 0;
+  for (const DictEntry& e : base.dict_) {
+    if (line >= seam_line) break;
+    if (e.repeat) {
+      uint64_t v = base.vectors_[vec_idx++];
+      add_head(v, std::min<uint64_t>(e.count, seam_line - line));
+      line += e.count;
+    } else {
+      for (uint32_t j = 0; j < e.count && line < seam_line; ++j, ++line) {
+        add_head(base.vectors_[vec_idx + j], 1);
+      }
+      vec_idx += e.count;
+    }
+  }
+
+  auto tail_chunks =
+      BinarizeLines(column, ix.bins_, ix.values_per_line_, ix.num_rows_,
+                    seam_line, ix.num_lines_, pool);
+
+  RunEmitter emitter(&ix.vectors_, &ix.dict_);
+  for (const VectorRun& r : head) emitter.Add(r.vec, r.count);
+  for (const auto& runs : tail_chunks) {
+    for (const VectorRun& r : runs) emitter.Add(r.vec, r.count);
+  }
+  emitter.Finish();
+  return ix;
+}
+
 Result<ImprintsIndex> ImprintsIndex::Restore(BinBounds bins,
                                              uint32_t values_per_line,
                                              uint64_t num_rows,
@@ -196,6 +330,20 @@ Result<ImprintsIndex> ImprintsIndex::Restore(BinBounds bins,
   ix.vectors_ = std::move(vectors);
   ix.dict_ = std::move(dict);
   return ix;
+}
+
+uint64_t ImprintsIndex::VectorAtLine(uint64_t line) const {
+  assert(line < num_lines_);
+  uint64_t at = 0;
+  size_t vec_idx = 0;
+  for (const DictEntry& e : dict_) {
+    if (line < at + e.count) {
+      return e.repeat ? vectors_[vec_idx] : vectors_[vec_idx + (line - at)];
+    }
+    at += e.count;
+    vec_idx += e.repeat ? 1 : e.count;
+  }
+  return 0;
 }
 
 ImprintMask ImprintsIndex::MaskForRange(double lo, double hi) const {

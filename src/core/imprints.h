@@ -74,6 +74,28 @@ class ImprintsIndex {
                                      const ImprintsOptions& options = {},
                                      ThreadPool* pool = nullptr);
 
+  /// As Build, but with caller-provided bin bounds instead of sampling.
+  /// This is the primitive incremental maintenance rests on: extending an
+  /// index over appended rows must keep the original bins (resampling
+  /// would shift every boundary and invalidate the untouched prefix).
+  static Result<ImprintsIndex> BuildWithBins(const Column& column,
+                                             BinBounds bins,
+                                             const ImprintsOptions& options = {},
+                                             ThreadPool* pool = nullptr);
+
+  /// Incremental maintenance: extends `base` (built over a prefix of
+  /// `column`) to cover all of `column` by binarising only the appended
+  /// tail and stitching it onto the decoded prefix runs with the same
+  /// seam logic as the parallel build. The caller must guarantee that
+  /// `column`'s first `base.num_rows()` values are the values `base` was
+  /// built from (the COW append lineage provides this); out-of-range tail
+  /// values clamp into the unbounded end bins, so the original bounds stay
+  /// valid. The result is byte-identical to
+  /// `BuildWithBins(column, base.bins())`.
+  static Result<ImprintsIndex> ExtendAppend(const ImprintsIndex& base,
+                                            const Column& column,
+                                            ThreadPool* pool = nullptr);
+
   uint32_t num_bins() const { return bins_.num_bins(); }
   uint32_t values_per_line() const { return values_per_line_; }
   uint64_t num_lines() const { return num_lines_; }
@@ -117,6 +139,11 @@ class ImprintsIndex {
   };
   const std::vector<uint64_t>& vectors() const { return vectors_; }
   const std::vector<DictEntry>& dictionary() const { return dict_; }
+
+  /// Imprint vector stored for cache line `line` (walks the compressed
+  /// dictionary, O(dict entries)). Used by the incremental-stitch probe
+  /// verification; not a scan-path primitive.
+  uint64_t VectorAtLine(uint64_t line) const;
 
   /// Reassembles an index from persisted parts (see core/imprints_io.h).
   /// Validates structural invariants (dictionary covers all lines, vector

@@ -1,0 +1,110 @@
+// Live ingestion under queries (DESIGN.md §13, ROADMAP item 4): a
+// LiveTable is an epoch-versioned chain of immutable FlatTable snapshots.
+//
+//   - Readers call Pin() and get an EpochSnapshot: shared_ptr column
+//     versions, the epoch's bbox, and a query engine bound to that exact
+//     version. Everything a query touches is owned by the snapshot, so a
+//     concurrent publish can never mutate, free, or re-index under it.
+//   - Writers stage batches through a TableAppender and publish them with
+//     a single atomic swap of the current-snapshot pointer. Columns are
+//     copy-on-write (Column::CloneAppend): the new version is a NEW column
+//     holding old bytes + tail, the old version stays untouched until its
+//     last snapshot retires.
+//   - All snapshots share one ImprintManager, so imprints of untouched
+//     columns carry over for free and appended columns extend their
+//     lineage base's index incrementally instead of rebuilding.
+//   - The cache invalidates by construction: every published FlatTable has
+//     a fresh process-unique table_id, which every selection key embeds.
+//   - When backed by a directory, a publish is made durable by
+//     WriteTableDir *before* the in-memory swap: the manifest rename is
+//     the commit point, so a crash at any instant reopens as a complete
+//     old-or-new epoch, never mixed data (the PR 2 crash-sweep guarantee).
+#ifndef GEOCOL_CORE_LIVE_TABLE_H_
+#define GEOCOL_CORE_LIVE_TABLE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "columns/flat_table.h"
+#include "core/spatial_engine.h"
+#include "geom/geometry.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace geocol {
+
+/// An immutable view of one published epoch, pinned for the lifetime of
+/// the holder. Copyable; copies share the underlying version.
+struct EpochSnapshot {
+  uint64_t epoch = 0;
+  std::shared_ptr<FlatTable> table;  ///< this epoch's column versions
+  std::shared_ptr<SpatialQueryEngine> engine;  ///< bound to `table`
+  Box bbox;  ///< x/y bounds of the epoch (empty box for an empty table)
+};
+
+struct LiveTableOptions {
+  /// Engine knobs for snapshot engines. `num_threads` sizes the one pool
+  /// all snapshot engines share; `imprints_dir` is applied to the shared
+  /// imprint manager once, at LiveTable construction.
+  EngineOptions engine;
+  /// Durable home of the table ("" = in-memory only: publishes are atomic
+  /// but not crash-persistent).
+  std::string dir;
+  std::string x_column = "x";
+  std::string y_column = "y";
+};
+
+/// The mutable handle: one current snapshot, swapped atomically by
+/// appender commits. All members are safe to call concurrently.
+class LiveTable {
+ public:
+  /// Wraps `initial` as epoch 0. When `options.dir` is set the initial
+  /// version is persisted there first (so a crash right after Create
+  /// reopens to the same state). `initial` must contain the configured
+  /// x/y columns; it must not be mutated by the caller afterwards.
+  static Result<std::shared_ptr<LiveTable>> Create(
+      std::shared_ptr<FlatTable> initial, LiveTableOptions options = {});
+
+  /// Reopens a directory previously written by Create/commits. Reads the
+  /// manifest-current generation — after a crash mid-commit that is the
+  /// last fully published epoch.
+  static Result<std::shared_ptr<LiveTable>> Open(const std::string& dir,
+                                                 LiveTableOptions options = {});
+
+  /// Pins the current epoch. O(1): a mutex-protected shared_ptr copy.
+  EpochSnapshot Pin() const;
+
+  /// Epoch of the current snapshot (starts at 0, +1 per commit).
+  uint64_t epoch() const;
+
+  std::string name() const;
+  const LiveTableOptions& options() const { return options_; }
+  const std::shared_ptr<ImprintManager>& imprint_manager() const {
+    return imprints_;
+  }
+  ThreadPool* pool() const { return pool_.get(); }
+
+ private:
+  friend class TableAppender;
+
+  explicit LiveTable(LiveTableOptions options);
+
+  /// Builds the snapshot wrapper (engine, bbox) for `next` and swaps it in
+  /// as the next epoch. Caller must hold commit_mu_ (or be construction).
+  void Publish(std::shared_ptr<FlatTable> next);
+
+  EpochSnapshot MakeSnapshot(uint64_t epoch,
+                             std::shared_ptr<FlatTable> table) const;
+
+  LiveTableOptions options_;
+  std::unique_ptr<ThreadPool> pool_;  ///< shared by all snapshot engines
+  std::shared_ptr<ImprintManager> imprints_;
+  mutable std::mutex mu_;  ///< guards current_
+  std::shared_ptr<const EpochSnapshot> current_;
+  std::mutex commit_mu_;  ///< serialises appender commits
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_CORE_LIVE_TABLE_H_

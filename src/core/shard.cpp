@@ -22,6 +22,15 @@ LocalShard::LocalShard(const ShardSlice& slice, const EngineOptions& options,
       engine_(slice.table, ShardOptions(options, slice.dir), x_column,
               y_column, pool) {}
 
+LocalShard::LocalShard(const ShardSlice& slice, const EngineOptions& options,
+                       const std::string& x_column,
+                       const std::string& y_column, ThreadPool* pool,
+                       std::shared_ptr<ImprintManager> imprints)
+    : table_(slice.table),
+      bbox_(slice.bbox),
+      engine_(slice.table, ShardOptions(options, slice.dir), x_column,
+              y_column, pool, std::move(imprints)) {}
+
 Result<uint64_t> LocalShard::ColumnEpoch(const std::string& name) const {
   GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(name));
   return col->epoch();

@@ -35,6 +35,12 @@ class Shard {
   /// single-shard append invalidate by construction.
   virtual Result<uint64_t> ColumnEpoch(const std::string& name) const = 0;
 
+  /// Process-unique identity of the shard's current column-version set.
+  /// A live append publishes a NEW table version for the shard, so the
+  /// token changes exactly when the shard's data does; router cache keys
+  /// embed it per shard for precise invalidation.
+  virtual uint64_t VersionToken() const = 0;
+
   /// Exact spatial selection local to this shard: ascending local row ids
   /// plus the shard's filter/refine stats and profile.
   virtual Result<SelectionResult> Select(
@@ -61,9 +67,18 @@ class LocalShard final : public Shard {
              const std::string& x_column, const std::string& y_column,
              ThreadPool* pool);
 
+  /// Replacement-shard constructor for live appends: shares the retired
+  /// shard's (pre-configured) imprint manager, so the appended columns
+  /// extend their lineage base's imprints incrementally instead of
+  /// rebuilding, and untouched columns keep their index for free.
+  LocalShard(const ShardSlice& slice, const EngineOptions& options,
+             const std::string& x_column, const std::string& y_column,
+             ThreadPool* pool, std::shared_ptr<ImprintManager> imprints);
+
   uint64_t num_rows() const override { return table_->num_rows(); }
   const Box& bbox() const override { return bbox_; }
   Result<uint64_t> ColumnEpoch(const std::string& name) const override;
+  uint64_t VersionToken() const override { return table_->table_id(); }
   Result<SelectionResult> Select(
       const Geometry& geometry, double buffer,
       const std::vector<AttributeRange>& thematic) override;
@@ -73,6 +88,11 @@ class LocalShard final : public Shard {
   }
 
   SpatialQueryEngine& engine() { return engine_; }
+
+  /// The shard's imprint manager, for hand-off to a replacement shard.
+  const std::shared_ptr<ImprintManager>& imprint_manager_ptr() const {
+    return engine_.imprint_manager_ptr();
+  }
 
  private:
   static EngineOptions ShardOptions(const EngineOptions& options,

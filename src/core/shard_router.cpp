@@ -1,10 +1,15 @@
 #include "core/shard_router.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <limits>
 #include <thread>
 
+#include "columns/column_file.h"
 #include "columns/types.h"
+#include "sfc/hilbert.h"
 #include "telemetry/metrics.h"
 #include "util/timer.h"
 
@@ -72,15 +77,51 @@ ShardRouter::ShardRouter(std::shared_ptr<ShardedTable> table,
   }
   shards_.reserve(table_->num_shards());
   bases_.reserve(table_->num_shards());
+  start_keys_.reserve(table_->num_shards());
+  // Routing keys for live appends: shard i owns Hilbert keys in
+  // [start_keys_[i], start_keys_[i+1]). The first row of a shard is the
+  // smallest key it holds (shards are contiguous runs of the sorted row
+  // space), and appends never change a shard's first row, so these are
+  // stable for the router's lifetime. A rowless shard inherits its
+  // predecessor's key, which routes nothing away from non-empty shards.
+  uint64_t prev_key = 0;
   for (size_t i = 0; i < table_->num_shards(); ++i) {
     const ShardSlice& slice = table_->shard(i);
     bases_.push_back(slice.base);
-    shards_.push_back(std::make_unique<LocalShard>(
+    shards_.push_back(std::make_shared<LocalShard>(
         slice, options_, table_->x_column(), table_->y_column(),
         pool_.get()));
+    uint64_t key = prev_key;
+    if (i > 0 && slice.table->num_rows() > 0) {
+      ColumnPtr x = slice.table->column(table_->x_column());
+      ColumnPtr y = slice.table->column(table_->y_column());
+      if (x != nullptr && y != nullptr) {
+        key = HilbertEncodeScaled(x->GetDouble(0), y->GetDouble(0),
+                                  table_->extent(),
+                                  table_->options().hilbert_order);
+      }
+    }
+    // Shard 0 owns everything below shard 1's first key, hence key 0.
+    start_keys_.push_back(i == 0 ? 0 : key);
+    prev_key = start_keys_.back();
   }
   cache_owner_ = options_.cache.instance;
   set_cache_budget(options_.cache.budget_bytes);
+}
+
+Schema ShardRouter::schema() const {
+  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  return table_->schema();
+}
+
+ShardsView ShardRouter::View() const {
+  std::shared_lock<std::shared_mutex> lock(shards_mu_);
+  ShardsView view;
+  view.shards = shards_;
+  view.bases = bases_;
+  view.total_rows = table_->num_rows();
+  view.version = view_version_;
+  return view;
 }
 
 void ShardRouter::set_cache_budget(uint64_t budget_bytes) {
@@ -99,25 +140,28 @@ void ShardRouter::set_cache_budget(uint64_t budget_bytes) {
 }
 
 uint64_t ShardRouter::IndexStorageBytes() const {
+  ShardsView view = View();
   uint64_t total = 0;
-  for (const auto& shard : shards_) total += shard->IndexStorageBytes();
+  for (const auto& shard : view.shards) total += shard->IndexStorageBytes();
   return total;
 }
 
 Result<std::string> ShardRouter::SelectionKey(
-    const Geometry& geometry, double buffer,
+    const ShardsView& view, const Geometry& geometry, double buffer,
     const std::vector<AttributeRange>& thematic) const {
   cache::KeyBuilder kb("ssel");
-  // The shard layout: a re-shard produces a new layout id (and, for
-  // persisted layouts, a new generation), an append or in-place update to
-  // any single shard bumps that shard's column epochs — either way the
+  // The pinned shard set: a re-shard produces a new layout id, an append
+  // publishes a new table version for each affected shard (fresh version
+  // token) and shifts the bases of the shards behind it — either way the
   // key changes and stale entries age out by construction.
   kb.AppendU64(table_->layout_id());
-  kb.AppendU64(table_->generation());
-  kb.AppendU32(static_cast<uint32_t>(shards_.size()));
+  kb.AppendU32(static_cast<uint32_t>(view.shards.size()));
   kb.Append(table_->x_column());
   kb.Append(table_->y_column());
-  for (const auto& shard : shards_) {
+  for (size_t i = 0; i < view.shards.size(); ++i) {
+    const auto& shard = view.shards[i];
+    kb.AppendU64(shard->VersionToken());
+    kb.AppendU64(view.bases[i]);
     GEOCOL_ASSIGN_OR_RETURN(uint64_t xe,
                             shard->ColumnEpoch(table_->x_column()));
     GEOCOL_ASSIGN_OR_RETURN(uint64_t ye,
@@ -130,7 +174,7 @@ Result<std::string> ShardRouter::SelectionKey(
   kb.AppendU64(thematic.size());
   for (const AttributeRange& attr : thematic) {
     kb.Append(attr.column);
-    for (const auto& shard : shards_) {
+    for (const auto& shard : view.shards) {
       GEOCOL_ASSIGN_OR_RETURN(uint64_t e, shard->ColumnEpoch(attr.column));
       kb.AppendU64(e);
     }
@@ -151,25 +195,31 @@ Result<std::string> ShardRouter::SelectionKey(
 }
 
 Result<SelectionResult> ShardRouter::SelectInBox(const Box& box) {
-  return Execute(Geometry(box), 0.0, {});
+  return Execute(View(), Geometry(box), 0.0, {});
 }
 
 Result<SelectionResult> ShardRouter::SelectInGeometry(
     const Geometry& geometry) {
-  return Execute(geometry, 0.0, {});
+  return Execute(View(), geometry, 0.0, {});
 }
 
 Result<SelectionResult> ShardRouter::Select(
     const Geometry& geometry, double buffer,
     const std::vector<AttributeRange>& thematic) {
-  return Execute(geometry, buffer, thematic);
+  return Execute(View(), geometry, buffer, thematic);
+}
+
+Result<SelectionResult> ShardRouter::Select(
+    const ShardsView& view, const Geometry& geometry, double buffer,
+    const std::vector<AttributeRange>& thematic) {
+  return Execute(view, geometry, buffer, thematic);
 }
 
 Result<SelectionResult> ShardRouter::Execute(
-    const Geometry& geometry, double buffer,
+    const ShardsView& view, const Geometry& geometry, double buffer,
     const std::vector<AttributeRange>& thematic) {
   SelectionResult result;
-  const uint64_t total_rows = table_->num_rows();
+  const uint64_t total_rows = view.total_rows;
   if (total_rows == 0) return result;
 
   Box env = geometry.Envelope();
@@ -178,12 +228,12 @@ Result<SelectionResult> ShardRouter::Execute(
 
   Timer query_timer;
 
-  // ---- Cache tier (a): an exact repeat against this exact shard layout
+  // ---- Cache tier (a): an exact repeat against this exact shard set
   // replays the merged row ids and stats.
   std::string cache_key;
   if (cache_ != nullptr) {
     GEOCOL_ASSIGN_OR_RETURN(cache_key,
-                            SelectionKey(geometry, buffer, thematic));
+                            SelectionKey(view, geometry, buffer, thematic));
     if (auto hit = cache_->LookupSelection(cache_key)) {
       result.row_ids = hit->row_ids;
       result.filter_x = hit->filter_x;
@@ -235,10 +285,10 @@ Result<SelectionResult> ShardRouter::Execute(
   std::vector<ShardWork> work;
   std::vector<size_t> scanned;
   size_t num_covered = 0;
-  work.reserve(shards_.size());
-  scanned.reserve(shards_.size());
-  for (size_t i = 0; i < shards_.size(); ++i) {
-    const Box& bbox = shards_[i]->bbox();
+  work.reserve(view.shards.size());
+  scanned.reserve(view.shards.size());
+  for (size_t i = 0; i < view.shards.size(); ++i) {
+    const Box& bbox = view.shards[i]->bbox();
     if (!bbox.Intersects(env)) continue;
     if (coverable && geometry.box().Contains(bbox)) {
       work.push_back({i, -1});
@@ -251,7 +301,7 @@ Result<SelectionResult> ShardRouter::Execute(
   // Covered shards count as scanned in the headline counters (they were
   // answered, not skipped), and separately in the covered counter.
   c_scanned.Increment(work.size());
-  c_pruned.Increment(shards_.size() - work.size());
+  c_pruned.Increment(view.shards.size() - work.size());
   c_covered.Increment(num_covered);
 
   int32_t route_span = result.profile.OpenSpan("shard.route");
@@ -270,15 +320,15 @@ Result<SelectionResult> ShardRouter::Execute(
     ShardBranch& b = branches[j];
     int32_t span = b.profile.OpenSpan("shard.scan");
     b.profile.AddAttr(span, "shard", static_cast<uint64_t>(s));
-    auto r = shards_[s]->Select(geometry, buffer, thematic);
+    auto r = view.shards[s]->Select(geometry, buffer, thematic);
     b.status = r.status();
     if (r.ok()) {
       b.sel = std::move(*r);
       b.profile.Append(b.sel.profile);
       char detail[64];
       std::snprintf(detail, sizeof(detail), "shard %zu base=%llu", s,
-                    static_cast<unsigned long long>(bases_[s]));
-      b.profile.CloseSpan(shards_[s]->num_rows(), b.sel.row_ids.size(),
+                    static_cast<unsigned long long>(view.bases[s]));
+      b.profile.CloseSpan(view.shards[s]->num_rows(), b.sel.row_ids.size(),
                           detail);
     } else {
       b.profile.CloseSpan(0, 0);
@@ -303,15 +353,15 @@ Result<SelectionResult> ShardRouter::Execute(
   // covered shards contribute nothing.
   uint64_t merged = 0;
   for (const ShardWork& w : work) {
-    merged += w.branch < 0 ? shards_[w.shard]->num_rows()
+    merged += w.branch < 0 ? view.shards[w.shard]->num_rows()
                            : branches[w.branch].sel.row_ids.size();
   }
   result.row_ids.resize(merged);
   uint64_t* out = result.row_ids.data();
   for (const ShardWork& w : work) {
-    const uint64_t base = bases_[w.shard];
+    const uint64_t base = view.bases[w.shard];
     if (w.branch < 0) {
-      const uint64_t rows = shards_[w.shard]->num_rows();
+      const uint64_t rows = view.shards[w.shard]->num_rows();
       for (uint64_t r = 0; r < rows; ++r) out[r] = base + r;
       out += rows;
       int32_t span = result.profile.Add("shard.covered", 0, rows, rows);
@@ -338,15 +388,16 @@ Result<SelectionResult> ShardRouter::Execute(
   char detail[96];
   std::snprintf(detail, sizeof(detail),
                 "scanned %zu/%zu shards (%zu pruned, %zu covered)",
-                work.size(), shards_.size(), shards_.size() - work.size(),
-                num_covered);
+                work.size(), view.shards.size(),
+                view.shards.size() - work.size(), num_covered);
   result.profile.CloseSpan(total_rows, result.row_ids.size(), detail);
   result.profile.AddAttr(route_span, "shards_total",
-                         static_cast<uint64_t>(shards_.size()));
+                         static_cast<uint64_t>(view.shards.size()));
   result.profile.AddAttr(route_span, "shards_scanned",
                          static_cast<uint64_t>(work.size()));
   result.profile.AddAttr(route_span, "shards_pruned",
-                         static_cast<uint64_t>(shards_.size() - work.size()));
+                         static_cast<uint64_t>(view.shards.size() -
+                                               work.size()));
   result.profile.AddAttr(route_span, "shards_covered",
                          static_cast<uint64_t>(num_covered));
   store_selection();
@@ -354,12 +405,12 @@ Result<SelectionResult> ShardRouter::Execute(
 }
 
 Result<double> ShardRouter::AggregateGlobalRows(
-    const std::vector<uint64_t>& rows, const std::string& column,
-    AggKind kind, ThreadPool* pool) const {
+    const ShardsView& view, const std::vector<uint64_t>& rows,
+    const std::string& column, AggKind kind, ThreadPool* pool) const {
   if (kind == AggKind::kCount) return static_cast<double>(rows.size());
   std::vector<ColumnPtr> columns;
-  columns.reserve(shards_.size());
-  for (const auto& shard : shards_) {
+  columns.reserve(view.shards.size());
+  for (const auto& shard : view.shards) {
     GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, shard->GetColumn(column));
     columns.push_back(std::move(col));
   }
@@ -370,27 +421,37 @@ Result<double> ShardRouter::AggregateGlobalRows(
     spans.reserve(columns.size());
     for (const ColumnPtr& col : columns) spans.push_back(col->Values<T>());
     out = AggregateValues<T>(rows, kind, pool, [&](uint64_t r) {
-      size_t s = ShardIndexFor(bases_, r);
-      return spans[s][r - bases_[s]];
+      size_t s = ShardIndexFor(view.bases, r);
+      return spans[s][r - view.bases[s]];
     });
   });
   return out;
+}
+
+Result<double> ShardRouter::AggregateGlobalRows(
+    const std::vector<uint64_t>& rows, const std::string& column,
+    AggKind kind, ThreadPool* pool) const {
+  return AggregateGlobalRows(View(), rows, column, kind, pool);
 }
 
 Result<double> ShardRouter::Aggregate(
     const Geometry& geometry, double buffer,
     const std::vector<AttributeRange>& thematic, const std::string& column,
     AggKind kind) {
+  // One view pins the whole operation: the key, the selection and the
+  // per-shard value reads all see the same shard set even while appends
+  // publish.
+  ShardsView view = View();
   // Cache tier (c): selection key + the aggregated column's per-shard
   // epochs + the aggregate kind. COUNT falls out of tier (a).
   std::string agg_key;
   if (cache_ != nullptr && kind != AggKind::kCount) {
     GEOCOL_ASSIGN_OR_RETURN(std::string sel_key,
-                            SelectionKey(geometry, buffer, thematic));
+                            SelectionKey(view, geometry, buffer, thematic));
     cache::KeyBuilder kb("agg");
     kb.Append(sel_key);
     kb.Append(column);
-    for (const auto& shard : shards_) {
+    for (const auto& shard : view.shards) {
       GEOCOL_ASSIGN_OR_RETURN(uint64_t e, shard->ColumnEpoch(column));
       kb.AppendU64(e);
     }
@@ -400,30 +461,202 @@ Result<double> ShardRouter::Aggregate(
     if (cache_->LookupAggregate(agg_key, &cached)) return cached;
   }
   GEOCOL_ASSIGN_OR_RETURN(SelectionResult sel,
-                          Execute(geometry, buffer, thematic));
+                          Execute(view, geometry, buffer, thematic));
   if (kind == AggKind::kCount) {
     return static_cast<double>(sel.row_ids.size());
   }
   GEOCOL_ASSIGN_OR_RETURN(
-      double value, AggregateGlobalRows(sel.row_ids, column, kind,
+      double value, AggregateGlobalRows(view, sel.row_ids, column, kind,
                                         pool_.get()));
   if (cache_ != nullptr) cache_->InsertAggregate(agg_key, value);
   return value;
 }
 
+Status ShardRouter::Append(const FlatTable& batch) {
+  GEOCOL_RETURN_NOT_OK(batch.Validate());
+  if (batch.num_rows() == 0) return Status::OK();
+  GEOCOL_METRIC_COUNTER(c_commits, "geocol_shard_append_commits_total");
+  GEOCOL_METRIC_COUNTER(c_rows, "geocol_shard_append_rows_total");
+  GEOCOL_METRIC_COUNTER(c_shards, "geocol_shard_append_shards_total");
+
+  // One appender at a time; routing and the COW column builds below run
+  // outside shards_mu_, so in-flight queries never wait on an append.
+  // table_'s slices are only mutated by this function (under the view
+  // lock), so reading them here — holding append_mu_ — is stable.
+  std::lock_guard<std::mutex> append_lock(append_mu_);
+  if (!(batch.schema() == table_->schema())) {
+    return Status::InvalidArgument("batch schema differs from sharded table");
+  }
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr bx, batch.GetColumn(table_->x_column()));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnPtr by, batch.GetColumn(table_->y_column()));
+
+  // ---- Route: batch row -> owning shard by Hilbert start keys. The
+  // extent and curve order are fixed at layout creation (out-of-extent
+  // points clamp to the boundary cells), so routing is stable across the
+  // table's whole append history.
+  const uint64_t n = batch.num_rows();
+  std::vector<std::vector<uint64_t>> rows_for(start_keys_.size());
+  for (uint64_t r = 0; r < n; ++r) {
+    const uint64_t key =
+        HilbertEncodeScaled(bx->GetDouble(r), by->GetDouble(r),
+                            table_->extent(),
+                            table_->options().hilbert_order);
+    const size_t s = static_cast<size_t>(
+        std::upper_bound(start_keys_.begin(), start_keys_.end(), key) -
+        start_keys_.begin()) - 1;
+    rows_for[s].push_back(r);
+  }
+
+  // ---- Build: extend every affected shard's columns copy-on-write.
+  // Untouched shards are not looked at, let alone copied.
+  struct Replacement {
+    size_t shard = 0;
+    std::shared_ptr<FlatTable> table;
+    Box bbox;
+    std::string dir;  ///< new shard directory; "" while memory-only
+  };
+  std::vector<Replacement> reps;
+  std::vector<uint8_t> gather;
+  for (size_t s = 0; s < rows_for.size(); ++s) {
+    const std::vector<uint64_t>& rows = rows_for[s];
+    if (rows.empty()) continue;
+    const ShardSlice& slice = table_->shard(s);
+    Replacement rep;
+    rep.shard = s;
+    rep.bbox = slice.bbox;
+    for (uint64_t r : rows) {
+      rep.bbox.Extend(bx->GetDouble(r), by->GetDouble(r));
+    }
+    auto next = std::make_shared<FlatTable>(slice.table->name());
+    for (const ColumnPtr& base : slice.table->columns()) {
+      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr add, batch.GetColumn(base->name()));
+      const size_t w = base->width();
+      gather.resize(rows.size() * w);
+      double add_min = std::numeric_limits<double>::infinity();
+      double add_max = -std::numeric_limits<double>::infinity();
+      for (size_t i = 0; i < rows.size(); ++i) {
+        std::memcpy(gather.data() + i * w, add->raw_data() + rows[i] * w, w);
+        const double v = add->GetDouble(rows[i]);
+        add_min = std::min(add_min, v);
+        add_max = std::max(add_max, v);
+      }
+      ColumnPtr appended =
+          Column::CloneAppend(base, gather.data(), rows.size());
+      // Seed the stats cache (base stats ∪ batch extremes) so neither the
+      // bbox maintenance here nor a first query rescans the whole shard.
+      if (base->empty()) {
+        appended->SetCachedStats(add_min, add_max);
+      } else {
+        const ColumnStats& bs = base->Stats();
+        appended->SetCachedStats(std::min(bs.min, add_min),
+                                 std::max(bs.max, add_max));
+      }
+      GEOCOL_RETURN_NOT_OK(next->AddColumn(std::move(appended)));
+    }
+    GEOCOL_RETURN_NOT_OK(next->Validate());
+    rep.table = std::move(next);
+    reps.push_back(std::move(rep));
+  }
+
+  // ---- Durability first (layouts loaded from / persisted to disk carry
+  // per-slice dirs): replacement shard tables go into next-generation
+  // directories — never touching the ones the live manifest references —
+  // and the shards.gsm swap is the one crash-commit point for the whole
+  // batch. Before it, reopen sees the old epoch; after it, the new one.
+  const bool persisted = !table_->shard(0).dir.empty();
+  uint64_t new_gen = 0;
+  std::string root;
+  if (persisted) {
+    const std::string& dir0 = table_->shard(0).dir;
+    const size_t slash = dir0.find_last_of('/');
+    if (slash == std::string::npos) {
+      return Status::Internal("unexpected shard dir layout: " + dir0);
+    }
+    root = dir0.substr(0, slash);
+    GEOCOL_ASSIGN_OR_RETURN(ShardedTableManifest m,
+                            ReadShardedTableManifest(root));
+    if (m.shards.size() != table_->num_shards()) {
+      return Status::Corruption("on-disk shard count drifted from layout: " +
+                                root);
+    }
+    new_gen = m.generation + 1;
+    m.generation = new_gen;
+    for (Replacement& rep : reps) {
+      ShardedTableManifest::ManifestShard& ms = m.shards[rep.shard];
+      ms.dirname = ShardDirName(rep.shard, new_gen);
+      ms.rows = rep.table->num_rows();
+      ms.bbox = rep.bbox;
+      rep.dir = root + "/" + ms.dirname;
+      GEOCOL_RETURN_NOT_OK(WriteTableDir(*rep.table, rep.dir));
+    }
+    // The commit point.
+    GEOCOL_RETURN_NOT_OK(WriteShardedTableManifest(root, m));
+  }
+
+  // ---- Publish: build the replacement shard handles (sharing each
+  // retired shard's imprint manager, so appended columns extend their
+  // lineage base's imprints incrementally), then swap them in under the
+  // view lock. Readers pinned to older views keep their shard set alive
+  // through the shared_ptrs; new views see the whole batch.
+  std::vector<std::shared_ptr<Shard>> replacements;
+  replacements.reserve(reps.size());
+  for (const Replacement& rep : reps) {
+    // The router only ever builds LocalShards (the remote evolution would
+    // route appends very differently), so the downcast is structural.
+    auto old = std::static_pointer_cast<LocalShard>(shards_[rep.shard]);
+    ShardSlice next;
+    next.table = rep.table;
+    next.bbox = rep.bbox;
+    next.dir = rep.dir.empty() ? table_->shard(rep.shard).dir : rep.dir;
+    replacements.push_back(std::make_shared<LocalShard>(
+        next, options_, table_->x_column(), table_->y_column(), pool_.get(),
+        old->imprint_manager_ptr()));
+  }
+  {
+    std::unique_lock<std::shared_mutex> lock(shards_mu_);
+    for (size_t i = 0; i < reps.size(); ++i) {
+      const Replacement& rep = reps[i];
+      ShardSlice& slice = table_->shards()[rep.shard];
+      slice.table = rep.table;
+      slice.bbox = rep.bbox;
+      if (!rep.dir.empty()) slice.dir = rep.dir;
+      shards_[rep.shard] = replacements[i];
+    }
+    // Appending to shard i shifts the global base of every shard after
+    // it; rebase the whole run. Pinned views keep their own bases.
+    uint64_t base = 0;
+    for (size_t s = 0; s < shards_.size(); ++s) {
+      ShardSlice& slice = table_->shards()[s];
+      slice.base = base;
+      bases_[s] = base;
+      base += slice.table->num_rows();
+    }
+    table_->set_num_rows(base);
+    if (persisted) table_->set_generation(new_gen);
+    ++view_version_;
+  }
+
+  c_commits.Increment();
+  c_rows.Increment(n);
+  c_shards.Increment(reps.size());
+  return Status::OK();
+}
+
+Result<ShardedColumnReader> ShardedColumnReader::Make(
+    const ShardsView& view, const std::string& column) {
+  ShardedColumnReader reader;
+  reader.columns_.reserve(view.shards.size());
+  for (const auto& shard : view.shards) {
+    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, shard->GetColumn(column));
+    reader.columns_.push_back(std::move(col));
+  }
+  reader.bases_ = view.bases;
+  return reader;
+}
+
 Result<ShardedColumnReader> ShardedColumnReader::Make(
     const ShardRouter& router, const std::string& column) {
-  ShardedColumnReader reader;
-  const ShardedTable& table = router.table();
-  reader.columns_.reserve(table.num_shards());
-  reader.bases_.reserve(table.num_shards());
-  for (size_t i = 0; i < table.num_shards(); ++i) {
-    GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col,
-                            table.shard(i).table->GetColumn(column));
-    reader.columns_.push_back(std::move(col));
-    reader.bases_.push_back(table.shard(i).base);
-  }
-  return reader;
+  return Make(router.View(), column);
 }
 
 double ShardedColumnReader::GetDouble(uint64_t global_row) const {

@@ -88,7 +88,7 @@ SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
       options_(options),
       x_name_(std::move(x_column)),
       y_name_(std::move(y_column)),
-      imprints_(options.imprints) {
+      imprints_(std::make_shared<ImprintManager>(options.imprints)) {
   uint32_t threads = EffectiveThreads(options_.num_threads);
   if (threads > 1) {
     // The calling thread participates in every parallel loop, so the pool
@@ -108,18 +108,37 @@ SpatialQueryEngine::SpatialQueryEngine(std::shared_ptr<FlatTable> table,
       options_(options),
       x_name_(std::move(x_column)),
       y_name_(std::move(y_column)),
-      imprints_(options.imprints),
+      imprints_(std::make_shared<ImprintManager>(options.imprints)),
       pool_(borrowed_pool != nullptr && borrowed_pool->num_threads() > 0
                 ? borrowed_pool
                 : nullptr) {
   Init();
 }
 
+SpatialQueryEngine::SpatialQueryEngine(
+    std::shared_ptr<FlatTable> table, EngineOptions options,
+    std::string x_column, std::string y_column, ThreadPool* borrowed_pool,
+    std::shared_ptr<ImprintManager> shared_imprints)
+    : table_(std::move(table)),
+      options_(options),
+      x_name_(std::move(x_column)),
+      y_name_(std::move(y_column)),
+      imprints_(std::move(shared_imprints)),
+      owns_imprints_(false),
+      pool_(borrowed_pool != nullptr && borrowed_pool->num_threads() > 0
+                ? borrowed_pool
+                : nullptr) {
+  assert(imprints_ != nullptr);
+  Init();
+}
+
 void SpatialQueryEngine::Init() {
-  if (!options_.imprints_dir.empty()) {
-    imprints_.set_sidecar_dir(options_.imprints_dir);
+  if (owns_imprints_) {
+    if (!options_.imprints_dir.empty()) {
+      imprints_->set_sidecar_dir(options_.imprints_dir);
+    }
+    if (pool_ != nullptr) imprints_->set_thread_pool(pool_);
   }
-  if (pool_ != nullptr) imprints_.set_thread_pool(pool_);
   cache_owner_ = options_.cache.instance;
   set_cache_budget(options_.cache.budget_bytes);
 }
@@ -241,7 +260,7 @@ Status SpatialQueryEngine::FilterColumn(const ColumnPtr& column, double lo,
   Timer t;
   if (options_.use_imprints) {
     GEOCOL_ASSIGN_OR_RETURN(std::shared_ptr<const ImprintsIndex> ix,
-                            imprints_.GetOrBuild(column));
+                            imprints_->GetOrBuild(column));
     double build_ms = t.ElapsedMillis();
     Timer t2;
     GEOCOL_RETURN_NOT_OK(

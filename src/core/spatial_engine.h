@@ -107,6 +107,19 @@ class SpatialQueryEngine {
                      std::string x_column, std::string y_column,
                      ThreadPool* borrowed_pool);
 
+  /// As above, additionally sharing an existing imprint manager instead of
+  /// creating a private one. The live-table path hands every published
+  /// snapshot engine the same manager, so an epoch's imprints are built
+  /// once, survive across epochs for untouched columns, and appended
+  /// columns extend their lineage base's index incrementally. The manager
+  /// must already be configured (pool, sidecar dir) — this constructor
+  /// never mutates it, so hand-off races cannot occur with queries running
+  /// on older snapshots.
+  SpatialQueryEngine(std::shared_ptr<FlatTable> table, EngineOptions options,
+                     std::string x_column, std::string y_column,
+                     ThreadPool* borrowed_pool,
+                     std::shared_ptr<ImprintManager> shared_imprints);
+
   const FlatTable& table() const { return *table_; }
   const EngineOptions& options() const { return options_; }
 
@@ -141,9 +154,15 @@ class SpatialQueryEngine {
 
   /// Imprint storage across the coordinate (and thematically filtered)
   /// columns currently indexed — the 5-12% overhead claim of §3.2.
-  uint64_t IndexStorageBytes() const { return imprints_.TotalStorageBytes(); }
+  uint64_t IndexStorageBytes() const { return imprints_->TotalStorageBytes(); }
 
-  ImprintManager& imprint_manager() { return imprints_; }
+  ImprintManager& imprint_manager() { return *imprints_; }
+
+  /// The (possibly shared) manager itself; snapshot publication passes it
+  /// on to the next epoch's engine.
+  const std::shared_ptr<ImprintManager>& imprint_manager_ptr() const {
+    return imprints_;
+  }
 
   /// Rebinds the engine's cache budget after construction (the SQL
   /// session's per-session knob). 0 detaches the engine from the cache;
@@ -179,7 +198,10 @@ class SpatialQueryEngine {
   std::shared_ptr<FlatTable> table_;
   EngineOptions options_;
   std::string x_name_, y_name_;
-  ImprintManager imprints_;
+  std::shared_ptr<ImprintManager> imprints_;
+  /// False when imprints_ was injected pre-configured (live-table path);
+  /// Init() then leaves its pool/sidecar settings alone.
+  bool owns_imprints_ = true;
   /// Pool this engine created for itself (the plain constructor); null
   /// when serial or when executing on a borrowed pool.
   std::unique_ptr<ThreadPool> owned_pool_;

@@ -27,6 +27,16 @@ Status Catalog::AddShardedPointCloud(const std::string& name,
   return Status::OK();
 }
 
+Status Catalog::AddLivePointCloud(const std::string& name,
+                                  std::shared_ptr<LiveTable> table) {
+  if (table == nullptr) return Status::InvalidArgument("null live table");
+  if (NameTaken(name)) {
+    return Status::AlreadyExists("dataset '" + name + "' exists");
+  }
+  live_tables_[name] = std::move(table);
+  return Status::OK();
+}
+
 Status Catalog::AddLayer(std::shared_ptr<VectorLayer> layer) {
   if (layer == nullptr) return Status::InvalidArgument("null layer");
   const std::string& name = layer->name();
@@ -79,6 +89,15 @@ Result<std::shared_ptr<ShardedTable>> Catalog::GetShardedTable(
   return it->second;
 }
 
+Result<std::shared_ptr<LiveTable>> Catalog::GetLiveTable(
+    const std::string& name) {
+  auto it = live_tables_.find(name);
+  if (it == live_tables_.end()) {
+    return Status::NotFound("no live point cloud '" + name + "'");
+  }
+  return it->second;
+}
+
 std::vector<std::string> Catalog::PointCloudNames() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : engines_) out.push_back(name);
@@ -94,6 +113,12 @@ std::vector<std::string> Catalog::LayerNames() const {
 std::vector<std::string> Catalog::ShardedPointCloudNames() const {
   std::vector<std::string> out;
   for (const auto& [name, _] : routers_) out.push_back(name);
+  return out;
+}
+
+std::vector<std::string> Catalog::LivePointCloudNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, _] : live_tables_) out.push_back(name);
   return out;
 }
 

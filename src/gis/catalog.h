@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "core/live_table.h"
 #include "core/shard_router.h"
 #include "core/spatial_engine.h"
 #include "gis/layer.h"
@@ -34,6 +35,12 @@ class Catalog {
                               std::shared_ptr<ShardedTable> table,
                               EngineOptions options = {});
 
+  /// Registers a live (appendable) point cloud. Statements against it pin
+  /// the table's current epoch snapshot at plan time, so appends landing
+  /// mid-statement never shift rows or free columns under the executor.
+  Status AddLivePointCloud(const std::string& name,
+                           std::shared_ptr<LiveTable> table);
+
   bool HasPointCloud(const std::string& name) const {
     return engines_.count(name) != 0;
   }
@@ -43,6 +50,9 @@ class Catalog {
   bool HasShardedPointCloud(const std::string& name) const {
     return routers_.count(name) != 0;
   }
+  bool HasLivePointCloud(const std::string& name) const {
+    return live_tables_.count(name) != 0;
+  }
 
   Result<SpatialQueryEngine*> GetEngine(const std::string& name);
   Result<std::shared_ptr<FlatTable>> GetTable(const std::string& name);
@@ -50,15 +60,17 @@ class Catalog {
   Result<ShardRouter*> GetRouter(const std::string& name);
   Result<std::shared_ptr<ShardedTable>> GetShardedTable(
       const std::string& name);
+  Result<std::shared_ptr<LiveTable>> GetLiveTable(const std::string& name);
 
   std::vector<std::string> PointCloudNames() const;
   std::vector<std::string> LayerNames() const;
   std::vector<std::string> ShardedPointCloudNames() const;
+  std::vector<std::string> LivePointCloudNames() const;
 
  private:
   bool NameTaken(const std::string& name) const {
     return engines_.count(name) != 0 || layers_.count(name) != 0 ||
-           routers_.count(name) != 0;
+           routers_.count(name) != 0 || live_tables_.count(name) != 0;
   }
 
   std::map<std::string, std::unique_ptr<SpatialQueryEngine>> engines_;
@@ -66,6 +78,7 @@ class Catalog {
   std::map<std::string, std::shared_ptr<VectorLayer>> layers_;
   std::map<std::string, std::unique_ptr<ShardRouter>> routers_;
   std::map<std::string, std::shared_ptr<ShardedTable>> sharded_tables_;
+  std::map<std::string, std::shared_ptr<LiveTable>> live_tables_;
 };
 
 }  // namespace geocol

@@ -211,6 +211,12 @@ Result<ResultSet> ExecuteShardedPointCloud(const PlannedQuery& plan) {
   ResultSet rs;
   ShardRouter* router = plan.router;
 
+  // One view pins the whole statement: selection, aggregation, ORDER BY
+  // and projection all read the same shard epoch, so global row ids never
+  // shift (and values never move) under a statement while live appends
+  // publish concurrently.
+  ShardsView view = router->View();
+
   // ---- Selection (the planner rejects NEAR on sharded tables).
   Geometry query_geom = plan.geometry;
   if (!plan.has_geometry) {
@@ -221,7 +227,7 @@ Result<ResultSet> ExecuteShardedPointCloud(const PlannedQuery& plan) {
   }
   GEOCOL_ASSIGN_OR_RETURN(
       SelectionResult sel,
-      router->Select(query_geom, plan.buffer, plan.thematic));
+      router->Select(view, query_geom, plan.buffer, plan.thematic));
   std::vector<uint64_t> rows = std::move(sel.row_ids);
   rs.profile = std::move(sel.profile);
 
@@ -235,7 +241,7 @@ Result<ResultSet> ExecuteShardedPointCloud(const PlannedQuery& plan) {
         out_row.push_back(Value::Num(static_cast<double>(rows.size())));
       } else {
         GEOCOL_ASSIGN_OR_RETURN(
-            double v, router->AggregateGlobalRows(rows, it.column,
+            double v, router->AggregateGlobalRows(view, rows, it.column,
                                                   AggKindOf(it.agg)));
         out_row.push_back(rows.empty() ? Value::Null() : Value::Num(v));
       }
@@ -257,7 +263,7 @@ Result<ResultSet> ExecuteShardedPointCloud(const PlannedQuery& plan) {
   std::vector<ShardedColumnReader> cols;
   for (const std::string& name : proj) {
     GEOCOL_ASSIGN_OR_RETURN(ShardedColumnReader c,
-                            ShardedColumnReader::Make(*router, name));
+                            ShardedColumnReader::Make(view, name));
     cols.push_back(std::move(c));
     rs.columns.push_back(name);
   }
@@ -265,7 +271,7 @@ Result<ResultSet> ExecuteShardedPointCloud(const PlannedQuery& plan) {
     Timer ts;
     GEOCOL_ASSIGN_OR_RETURN(
         ShardedColumnReader key,
-        ShardedColumnReader::Make(*router, plan.stmt.order_by));
+        ShardedColumnReader::Make(view, plan.stmt.order_by));
     std::stable_sort(rows.begin(), rows.end(), [&](uint64_t a, uint64_t b) {
       double va = key.GetDouble(a), vb = key.GetDouble(b);
       return plan.stmt.order_desc ? va > vb : va < vb;

@@ -67,6 +67,16 @@ Result<PlannedQuery> PlanQuery(Catalog* catalog, SelectStmt stmt) {
     pq.target = PlannedQuery::Target::kPointCloud;
     GEOCOL_ASSIGN_OR_RETURN(pq.router, catalog->GetRouter(stmt.table));
     schema = pq.router->schema();
+  } else if (catalog->HasLivePointCloud(stmt.table)) {
+    pq.target = PlannedQuery::Target::kPointCloud;
+    GEOCOL_ASSIGN_OR_RETURN(std::shared_ptr<LiveTable> live,
+                            catalog->GetLiveTable(stmt.table));
+    // Pin the current epoch for the whole statement: the snapshot engine
+    // is bound to exactly this epoch's column versions.
+    EpochSnapshot snapshot = live->Pin();
+    pq.engine_owner = snapshot.engine;
+    pq.engine = snapshot.engine.get();
+    schema = snapshot.table->schema();
   } else if (catalog->HasLayer(stmt.table)) {
     pq.target = PlannedQuery::Target::kLayer;
     GEOCOL_ASSIGN_OR_RETURN(pq.layer, catalog->GetLayer(stmt.table));

@@ -25,6 +25,13 @@ struct PlannedQuery {
   SpatialQueryEngine* engine = nullptr;  ///< owned by the catalog
   ShardRouter* router = nullptr;         ///< owned by the catalog
 
+  /// Live-table statement pin: when the FROM target is a live point
+  /// cloud, the plan pins its current epoch snapshot here and `engine`
+  /// points into it — the statement reads one epoch end to end even while
+  /// appender commits publish, and the snapshot's columns stay alive
+  /// until the plan is dropped.
+  std::shared_ptr<SpatialQueryEngine> engine_owner;
+
   // Layer target.
   std::shared_ptr<VectorLayer> layer;
 

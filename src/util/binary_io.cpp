@@ -5,6 +5,8 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
+#include <thread>
 
 #include "telemetry/metrics.h"
 #include "util/fault_injection.h"
@@ -22,6 +24,52 @@ Status ErrnoError(const std::string& what, const std::string& path, int err) {
 
 /// Runs the injector failpoint for `op`; returns the errno to fail with.
 int Failpoint(FileOp op) { return FaultInjector::Global().OnOp(op); }
+
+/// Bounded retry over transient failures: total attempts per operation.
+constexpr int kMaxIoAttempts = 3;
+
+/// Errors worth retrying: interrupted / momentarily unavailable. Hard
+/// errors (EIO media failure, ENOSPC, ...) propagate on first sight, so
+/// crash sweeps keep their fail-at-op-k semantics.
+bool RetryableErrno(int err) { return err == EINTR || err == EAGAIN; }
+
+/// Sleeps before retry `attempt` (2-based): exponential base with up to
+/// +50% jitter so racing retries decorrelate. Counted in
+/// geocol_io_retries_total.
+void BackoffBeforeRetry(int attempt) {
+  GEOCOL_METRIC_COUNTER(c_retries, "geocol_io_retries_total");
+  c_retries.Increment();
+  static thread_local uint64_t rng = static_cast<uint64_t>(
+      std::chrono::steady_clock::now().time_since_epoch().count() |
+      1);
+  rng ^= rng << 13;
+  rng ^= rng >> 7;
+  rng ^= rng << 17;
+  const uint64_t base_us = 100ull << (attempt - 1);
+  std::this_thread::sleep_for(
+      std::chrono::microseconds(base_us + rng % (base_us / 2 + 1)));
+}
+
+/// fsync(fd) with bounded jittered retry over transient failures; a hard
+/// failure or an exhausted budget returns the last error.
+Status FsyncRetry(int fd, const std::string& path) {
+  Status last;
+  for (int attempt = 1; attempt <= kMaxIoAttempts; ++attempt) {
+    if (attempt > 1) BackoffBeforeRetry(attempt);
+    if (int err = Failpoint(FileOp::kSync); err != 0) {
+      last = ErrnoError("cannot fsync", path, err);
+      if (RetryableErrno(err)) continue;
+      return last;
+    }
+    if (::fsync(fd) != 0) {
+      last = ErrnoError("cannot fsync", path, errno);
+      if (RetryableErrno(errno)) continue;
+      return last;
+    }
+    return Status::OK();
+  }
+  return last;
+}
 
 // 64-bit-clean seek/tell: `long` is 32 bits on some platforms (Windows),
 // and the column format allows files far beyond 2 GiB.
@@ -47,16 +95,11 @@ Status SyncParentDir(const std::string& path) {
   std::string dir = slash == std::string::npos ? "."
                     : slash == 0               ? "/"
                                                : path.substr(0, slash);
-  if (int err = Failpoint(FileOp::kSync); err != 0) {
-    return ErrnoError("cannot fsync directory", dir, err);
-  }
   int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
   if (fd < 0) return ErrnoError("cannot open directory", dir, errno);
-  int rc = ::fsync(fd);
-  int fsync_errno = errno;
+  Status st = FsyncRetry(fd, dir);
   ::close(fd);
-  if (rc != 0) return ErrnoError("cannot fsync directory", dir, fsync_errno);
-  return Status::OK();
+  return st;
 }
 
 }  // namespace
@@ -100,12 +143,7 @@ Status BinaryWriter::Commit() {
   if (std::fflush(file_) != 0) {
     return ErrnoError("cannot flush", tmp_path_, errno);
   }
-  if (int err = Failpoint(FileOp::kSync); err != 0) {
-    return ErrnoError("cannot fsync", tmp_path_, err);
-  }
-  if (::fsync(::fileno(file_)) != 0) {
-    return ErrnoError("cannot fsync", tmp_path_, errno);
-  }
+  GEOCOL_RETURN_NOT_OK(FsyncRetry(::fileno(file_), tmp_path_));
   GEOCOL_METRIC_COUNTER(c_fsyncs, "geocol_io_fsyncs_total");
   c_fsyncs.Increment();
   int close_err = Failpoint(FileOp::kClose);
@@ -224,20 +262,43 @@ Status BinaryReader::Close() {
 Status BinaryReader::ReadBytes(void* data, size_t n) {
   if (file_ == nullptr) return Status::Internal("reader not open");
   if (n == 0) return Status::OK();
-  size_t io_bytes = n;
-  int err = FaultInjector::Global().OnRead(n, &io_bytes);
-  if (err != 0) return ErrnoError("cannot read from", "file", err);
-  size_t got = std::fread(data, 1, io_bytes, file_);
-  pos_ += got;
   GEOCOL_METRIC_COUNTER(c_read_bytes, "geocol_io_read_bytes_total");
-  c_read_bytes.Increment(got);
-  FaultInjector::Global().OnReadData(data, got);
-  if (got != n) {
+  // Transient failures (EINTR/EAGAIN, injected or real) are retried with
+  // jittered backoff, re-seeking to the operation's start first — a
+  // partial attempt must not shift what the retry reads. Short reads at
+  // EOF are Corruption (truncated file), never retried.
+  const uint64_t start_pos = pos_;
+  Status last;
+  for (int attempt = 1; attempt <= kMaxIoAttempts; ++attempt) {
+    if (attempt > 1) {
+      BackoffBeforeRetry(attempt);
+      std::clearerr(file_);
+      if (Seek64(file_, static_cast<int64_t>(start_pos), SEEK_SET) != 0) {
+        return ErrnoError("cannot seek in", "file", errno);
+      }
+      pos_ = start_pos;
+    }
+    size_t io_bytes = n;
+    int err = FaultInjector::Global().OnRead(n, &io_bytes);
+    if (err != 0) {
+      last = ErrnoError("cannot read from", "file", err);
+      if (RetryableErrno(err)) continue;
+      return last;
+    }
+    size_t got = std::fread(data, 1, io_bytes, file_);
+    pos_ += got;
+    c_read_bytes.Increment(got);
+    FaultInjector::Global().OnReadData(data, got);
+    if (got == n) return Status::OK();
+    if (std::ferror(file_) != 0 && RetryableErrno(errno)) {
+      last = ErrnoError("cannot read from", "file", errno);
+      continue;
+    }
     return Status::Corruption("short read: wanted " + std::to_string(n) +
                               " bytes, got " + std::to_string(got) +
                               " (truncated file?)");
   }
-  return Status::OK();
+  return last;
 }
 
 Status BinaryReader::ReadString(std::string* s, uint32_t max_len) {

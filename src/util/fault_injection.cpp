@@ -66,6 +66,10 @@ void FaultInjector::ArmBitFlip(uint64_t k, size_t byte_offset, uint8_t bit) {
   Arm(Mode::kBitFlip, k, byte_offset, bit);
 }
 
+void FaultInjector::ArmTransientErrors(uint64_t k, uint32_t count) {
+  Arm(Mode::kTransient, k, count, 0);
+}
+
 void FaultInjector::Disarm() { Arm(Mode::kOff, 0, 0, 0); }
 
 uint64_t FaultInjector::NextOp() {
@@ -81,6 +85,10 @@ int FaultInjector::OnOp(FileOp op) {
   if ((mode_ == Mode::kCrash || mode_ == Mode::kTornWrite) && n >= k_) {
     CountTrip();
     return EIO;
+  }
+  if (mode_ == Mode::kTransient && n >= k_ && n < k_ + param_a_) {
+    CountTrip();
+    return EINTR;
   }
   return 0;
 }
@@ -99,6 +107,11 @@ int FaultInjector::OnWrite(size_t n, size_t* io_bytes) {
     CountTrip();
     return EIO;
   }
+  if (mode_ == Mode::kTransient && op >= k_ && op < k_ + param_a_) {
+    *io_bytes = 0;  // a transient failure lands nothing
+    CountTrip();
+    return EINTR;
+  }
   return 0;
 }
 
@@ -109,6 +122,10 @@ int FaultInjector::OnRead(size_t n, size_t* io_bytes) {
   if ((mode_ == Mode::kCrash || mode_ == Mode::kTornWrite) && op >= k_) {
     CountTrip();
     return EIO;
+  }
+  if (mode_ == Mode::kTransient && op >= k_ && op < k_ + param_a_) {
+    CountTrip();
+    return EINTR;
   }
   if (mode_ == Mode::kShortRead && op == k_) {
     *io_bytes = param_a_ < n ? param_a_ : n;

@@ -74,6 +74,13 @@ class FaultInjector {
   /// k behave normally.
   void ArmBitFlip(uint64_t k, size_t byte_offset, uint8_t bit);
 
+  /// Operations k .. k+count-1 (1-based since arming) fail with EINTR — a
+  /// transient device hiccup that succeeds when retried. The bounded
+  /// retry in util/binary_io absorbs up to its attempt budget minus one
+  /// consecutive failures per operation; a larger `count` exhausts the
+  /// budget and the error propagates like a hard failure.
+  void ArmTransientErrors(uint64_t k, uint32_t count);
+
   /// Turns everything off (also stops counting).
   void Disarm();
 
@@ -100,7 +107,15 @@ class FaultInjector {
   void OnReadData(void* data, size_t n);
 
  private:
-  enum class Mode { kOff, kCounting, kCrash, kTornWrite, kShortRead, kBitFlip };
+  enum class Mode {
+    kOff,
+    kCounting,
+    kCrash,
+    kTornWrite,
+    kShortRead,
+    kBitFlip,
+    kTransient,
+  };
 
   FaultInjector() = default;
 

@@ -1,0 +1,409 @@
+// Epoch-snapshot isolation unit suite (DESIGN.md §13): LiveTable /
+// TableAppender semantics — pinned snapshots stay bit-identical under
+// commits, appends to an empty table, bbox growth past the initial
+// extent, durable reopen — plus the sharded live-append edge cases: a
+// shard growing past its creation bbox, two appenders racing disjoint
+// shards, and a reader whose pinned view is superseded by appends or a
+// re-shard. Also proves the incremental imprint stitch is byte-identical
+// to a from-scratch build and that a failed stitch quarantines + rebuilds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "columns/column_file.h"
+#include "columns/sharded_table.h"
+#include "core/imprints_io.h"
+#include "core/live_table.h"
+#include "core/shard_router.h"
+#include "core/table_appender.h"
+#include "util/binary_io.h"
+#include "util/rng.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+/// x/y/z point table with `n` uniform points in `extent`.
+std::shared_ptr<FlatTable> MakePoints(size_t n, uint64_t seed,
+                                      const Box& extent) {
+  Rng rng(seed);
+  std::vector<double> xs(n), ys(n), zs(n);
+  for (size_t i = 0; i < n; ++i) {
+    xs[i] = rng.UniformDouble(extent.min_x, extent.max_x);
+    ys[i] = rng.UniformDouble(extent.min_y, extent.max_y);
+    zs[i] = rng.UniformDouble(-5, 40);
+  }
+  auto t = std::make_shared<FlatTable>("pc");
+  EXPECT_TRUE(t->AddColumn(Column::FromVector("x", xs)).ok());
+  EXPECT_TRUE(t->AddColumn(Column::FromVector("y", ys)).ok());
+  EXPECT_TRUE(t->AddColumn(Column::FromVector("z", zs)).ok());
+  return t;
+}
+
+FlatTable MakeBatch(size_t n, uint64_t seed, const Box& extent) {
+  return *MakePoints(n, seed, extent);
+}
+
+/// Brute-force oracle: global row ids of points inside `box`, reading the
+/// concatenation implied by `view` (or a flat table) row by row.
+std::vector<uint64_t> BruteForceInBox(const FlatTable& t, const Box& box) {
+  std::vector<uint64_t> out;
+  ColumnPtr x = t.column("x"), y = t.column("y");
+  for (uint64_t r = 0; r < t.num_rows(); ++r) {
+    if (box.Contains(Point{x->GetDouble(r), y->GetDouble(r)})) {
+      out.push_back(r);
+    }
+  }
+  return out;
+}
+
+void ExpectTablesEqual(const FlatTable& t, const FlatTable& expect) {
+  ASSERT_EQ(t.num_columns(), expect.num_columns());
+  for (const auto& ec : expect.columns()) {
+    ColumnPtr c = t.column(ec->name());
+    ASSERT_NE(c, nullptr) << ec->name();
+    ASSERT_EQ(c->size(), ec->size()) << ec->name();
+    ASSERT_EQ(std::memcmp(c->raw_data(), ec->raw_data(),
+                          c->size() * DataTypeSize(c->type())),
+              0)
+        << ec->name();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Flat LiveTable: epoch semantics.
+// ---------------------------------------------------------------------------
+
+TEST(LiveTableTest, AppendToEmptyTablePublishesFirstRows) {
+  auto schema_donor = MakePoints(1, 1, Box(0, 0, 1, 1));
+  auto initial = std::make_shared<FlatTable>("pc", schema_donor->schema());
+  auto live = LiveTable::Create(initial);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  EpochSnapshot s0 = (*live)->Pin();
+  EXPECT_EQ(s0.epoch, 0u);
+  EXPECT_EQ(s0.table->num_rows(), 0u);
+  EXPECT_TRUE(s0.bbox.empty());
+  // Queries against the empty epoch are legal and empty.
+  auto sel0 = s0.engine->SelectInBox(Box(0, 0, 100, 100));
+  ASSERT_TRUE(sel0.ok()) << sel0.status().ToString();
+  EXPECT_EQ(sel0->count(), 0u);
+
+  TableAppender app(*live);
+  ASSERT_TRUE(app.StageBatch(MakeBatch(300, 2, Box(0, 0, 50, 50))).ok());
+  ASSERT_TRUE(app.Commit().ok());
+
+  EpochSnapshot s1 = (*live)->Pin();
+  EXPECT_EQ(s1.epoch, 1u);
+  EXPECT_EQ(s1.table->num_rows(), 300u);
+  EXPECT_FALSE(s1.bbox.empty());
+  auto sel1 = s1.engine->SelectInBox(Box(0, 0, 50, 50));
+  ASSERT_TRUE(sel1.ok()) << sel1.status().ToString();
+  EXPECT_EQ(sel1->count(), 300u);
+  // The pinned epoch-0 snapshot is untouched by the publish.
+  EXPECT_EQ(s0.table->num_rows(), 0u);
+}
+
+TEST(LiveTableTest, PinnedSnapshotBitIdenticalUnderCommits) {
+  Box box(10, 10, 80, 80);
+  auto live = LiveTable::Create(MakePoints(4000, 3, Box(0, 0, 100, 100)));
+  ASSERT_TRUE(live.ok());
+
+  EpochSnapshot s0 = (*live)->Pin();
+  const uint64_t rows0 = s0.table->num_rows();
+  const void* x_bytes = s0.table->column("x")->raw_data();
+  auto before = s0.engine->SelectInBox(box);
+  ASSERT_TRUE(before.ok());
+
+  TableAppender app(*live);
+  ASSERT_TRUE(app.StageBatch(MakeBatch(700, 4, box)).ok());
+  ASSERT_TRUE(app.Commit().ok());
+  EXPECT_EQ((*live)->epoch(), 1u);
+
+  // The pinned snapshot's columns are the SAME objects, not copies — the
+  // publish built a new version instead of mutating in place.
+  EXPECT_EQ(s0.table->num_rows(), rows0);
+  EXPECT_EQ(s0.table->column("x")->raw_data(), x_bytes);
+  auto after = s0.engine->SelectInBox(box);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->row_ids, before->row_ids);
+
+  // A fresh pin sees every appended row exactly once.
+  EpochSnapshot s1 = (*live)->Pin();
+  EXPECT_EQ(s1.table->num_rows(), rows0 + 700);
+  auto sel1 = s1.engine->SelectInBox(box);
+  ASSERT_TRUE(sel1.ok());
+  EXPECT_EQ(sel1->row_ids, BruteForceInBox(*s1.table, box));
+}
+
+TEST(LiveTableTest, AppendGrowsBboxPastInitialExtent) {
+  auto live = LiveTable::Create(MakePoints(1000, 5, Box(0, 0, 100, 100)));
+  ASSERT_TRUE(live.ok());
+  const uint64_t rows0 = (*live)->Pin().table->num_rows();
+
+  FlatTable far_batch("pc");
+  ASSERT_TRUE(
+      far_batch.AddColumn(Column::FromVector("x", std::vector<double>{1000}))
+          .ok());
+  ASSERT_TRUE(
+      far_batch.AddColumn(Column::FromVector("y", std::vector<double>{1000}))
+          .ok());
+  ASSERT_TRUE(
+      far_batch.AddColumn(Column::FromVector("z", std::vector<double>{7}))
+          .ok());
+  TableAppender app(*live);
+  ASSERT_TRUE(app.StageBatch(far_batch).ok());
+  ASSERT_TRUE(app.Commit().ok());
+
+  EpochSnapshot s1 = (*live)->Pin();
+  EXPECT_GE(s1.bbox.max_x, 1000.0);
+  EXPECT_GE(s1.bbox.max_y, 1000.0);
+  auto sel = s1.engine->SelectInBox(Box(999, 999, 1001, 1001));
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  ASSERT_EQ(sel->count(), 1u);
+  EXPECT_EQ(sel->row_ids[0], rows0);
+}
+
+TEST(LiveTableTest, DurableCommitsReopenToLatestEpoch) {
+  TempDir tmp;
+  std::string dir = tmp.File("live");
+  LiveTableOptions opts;
+  opts.dir = dir;
+  auto live = LiveTable::Create(MakePoints(500, 6, Box(0, 0, 100, 100)), opts);
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+
+  TableAppender app(*live);
+  ASSERT_TRUE(app.StageBatch(MakeBatch(200, 7, Box(0, 0, 100, 100))).ok());
+  ASSERT_TRUE(app.Commit().ok());
+  ASSERT_TRUE(app.StageBatch(MakeBatch(300, 8, Box(0, 0, 100, 100))).ok());
+  ASSERT_TRUE(app.Commit().ok());
+  EXPECT_EQ((*live)->epoch(), 2u);
+
+  auto reopened = LiveTable::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EpochSnapshot got = (*reopened)->Pin();
+  EXPECT_EQ(got.table->num_rows(), 1000u);
+  ExpectTablesEqual(*got.table, *(*live)->Pin().table);
+}
+
+TEST(LiveTableTest, IncrementalStitchByteIdenticalAndQuarantineFallback) {
+  TempDir tmp;
+  std::string idx_dir = tmp.File("imprints");
+  ASSERT_TRUE(MakeDir(idx_dir).ok());
+  Box extent(0, 0, 100, 100);
+  LiveTableOptions opts;
+  opts.engine.num_threads = 1;
+  opts.engine.imprints_dir = idx_dir;
+  auto live = LiveTable::Create(MakePoints(8192, 9, extent), opts);
+  ASSERT_TRUE(live.ok());
+
+  // First query builds (and persists) the x/y imprints of epoch 0.
+  Box box(20, 20, 70, 70);
+  ASSERT_TRUE((*live)->Pin().engine->SelectInBox(box).ok());
+
+  TableAppender app(*live);
+  ASSERT_TRUE(app.StageBatch(MakeBatch(600, 10, extent)).ok());
+  ASSERT_TRUE(app.Commit().ok());
+  EpochSnapshot s1 = (*live)->Pin();
+  auto sel = s1.engine->SelectInBox(box);
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  EXPECT_EQ(sel->row_ids, BruteForceInBox(*s1.table, box));
+
+  // The incrementally extended index is byte-identical (on disk) to a
+  // from-scratch build over the full appended column.
+  auto inc = (*live)->imprint_manager()->GetOrBuild(s1.table->column("x"));
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  auto scratch = ImprintsIndex::Build(*s1.table->column("x"));
+  ASSERT_TRUE(scratch.ok());
+  std::string p_inc = tmp.File("inc.gim"), p_scratch = tmp.File("scratch.gim");
+  ASSERT_TRUE(WriteImprintsFile(**inc, p_inc).ok());
+  ASSERT_TRUE(WriteImprintsFile(*scratch, p_scratch).ok());
+  std::vector<uint8_t> b_inc, b_scratch;
+  ASSERT_TRUE(ReadFileBytes(p_inc, &b_inc).ok());
+  ASSERT_TRUE(ReadFileBytes(p_scratch, &b_scratch).ok());
+  EXPECT_EQ(b_inc, b_scratch);
+
+  // A stitch that fails probe verification quarantines the sidecar and
+  // rebuilds from scratch — queries stay correct throughout.
+  (*live)->imprint_manager()->InjectStitchFault();
+  ASSERT_TRUE(app.StageBatch(MakeBatch(600, 11, extent)).ok());
+  ASSERT_TRUE(app.Commit().ok());
+  EpochSnapshot s2 = (*live)->Pin();
+  auto sel2 = s2.engine->SelectInBox(box);
+  ASSERT_TRUE(sel2.ok()) << sel2.status().ToString();
+  EXPECT_EQ(sel2->row_ids, BruteForceInBox(*s2.table, box));
+  EXPECT_TRUE(PathExists(idx_dir + "/x.gim.quarantined") ||
+              PathExists(idx_dir + "/y.gim.quarantined"));
+}
+
+// ---------------------------------------------------------------------------
+// Sharded live appends: routing, isolation, races.
+// ---------------------------------------------------------------------------
+
+TEST(ShardedLiveAppendTest, AppendGrowsShardPastCreationBbox) {
+  auto source = MakePoints(4000, 12, Box(0, 0, 100, 100));
+  ShardingOptions so;
+  so.num_shards = 4;
+  auto sharded = ShardedTable::Create(*source, so);
+  ASSERT_TRUE(sharded.ok());
+  EngineOptions eo;
+  eo.num_threads = 1;
+  ShardRouter router(*sharded, eo);
+
+  // The batch lies entirely OUTSIDE the creation extent: routing clamps
+  // its Hilbert keys to the fixed layout extent, but the owning shard's
+  // bbox (and the answers) must cover the true coordinates.
+  FlatTable batch = MakeBatch(50, 13, Box(150, 150, 200, 200));
+  ASSERT_TRUE(router.Append(batch).ok());
+
+  ShardsView view = router.View();
+  EXPECT_EQ(view.total_rows, 4050u);
+  auto sel = router.SelectInBox(Box(140, 140, 210, 210));
+  ASSERT_TRUE(sel.ok()) << sel.status().ToString();
+  EXPECT_EQ(sel->count(), 50u);
+
+  // Oracle over the implied concatenation for a box straddling old and
+  // new territory.
+  Box straddle(50, 50, 160, 160);
+  auto got = router.SelectInBox(straddle);
+  ASSERT_TRUE(got.ok());
+  uint64_t expect = 0;
+  ColumnPtr sx = source->column("x"), sy = source->column("y");
+  for (uint64_t r = 0; r < source->num_rows(); ++r) {
+    expect += straddle.Contains(Point{sx->GetDouble(r), sy->GetDouble(r)});
+  }
+  ColumnPtr bx = batch.column("x"), by = batch.column("y");
+  for (uint64_t r = 0; r < batch.num_rows(); ++r) {
+    expect += straddle.Contains(Point{bx->GetDouble(r), by->GetDouble(r)});
+  }
+  EXPECT_EQ(got->count(), expect);
+}
+
+TEST(ShardedLiveAppendTest, TwoAppendersRacingDisjointShardsLoseNothing) {
+  auto source = MakePoints(4000, 14, Box(0, 0, 100, 100));
+  ShardingOptions so;
+  so.num_shards = 8;
+  auto sharded = ShardedTable::Create(*source, so);
+  ASSERT_TRUE(sharded.ok());
+  EngineOptions eo;
+  eo.num_threads = 1;
+  ShardRouter router(*sharded, eo);
+
+  // Writer A targets the low corner (start of the Hilbert curve), writer
+  // B the opposite end — disjoint shard sets racing through Append.
+  constexpr int kBatches = 12;
+  constexpr size_t kRows = 64;
+  auto writer = [&](uint64_t seed, const Box& region) {
+    for (int b = 0; b < kBatches; ++b) {
+      FlatTable batch = MakeBatch(kRows, seed + b, region);
+      ASSERT_TRUE(router.Append(batch).ok());
+    }
+  };
+  std::thread ta(writer, 100, Box(1, 1, 9, 9));
+  std::thread tb(writer, 200, Box(91, 91, 99, 99));
+  ta.join();
+  tb.join();
+
+  const uint64_t expect_rows = 4000 + 2 * kBatches * kRows;
+  ShardsView view = router.View();
+  EXPECT_EQ(view.total_rows, expect_rows);
+  auto all = router.SelectInBox(Box(0, 0, 100, 100));
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all->count(), expect_rows);
+
+  // Value-level check: the multiset of z values selected in each corner
+  // equals initial points there plus every appended batch.
+  auto CountIn = [&](const Box& box) -> uint64_t {
+    auto sel = router.SelectInBox(box);
+    EXPECT_TRUE(sel.ok());
+    return sel.ok() ? sel->count() : 0;
+  };
+  uint64_t base_a = 0, base_b = 0;
+  ColumnPtr sx = source->column("x"), sy = source->column("y");
+  for (uint64_t r = 0; r < source->num_rows(); ++r) {
+    Point p{sx->GetDouble(r), sy->GetDouble(r)};
+    base_a += Box(1, 1, 9, 9).Contains(p);
+    base_b += Box(91, 91, 99, 99).Contains(p);
+  }
+  EXPECT_EQ(CountIn(Box(1, 1, 9, 9)), base_a + kBatches * kRows);
+  EXPECT_EQ(CountIn(Box(91, 91, 99, 99)), base_b + kBatches * kRows);
+}
+
+TEST(ShardedLiveAppendTest, PinnedViewSupersededByAppendsStaysIdentical) {
+  auto source = MakePoints(3000, 15, Box(0, 0, 100, 100));
+  ShardingOptions so;
+  so.num_shards = 4;
+  auto sharded = ShardedTable::Create(*source, so);
+  ASSERT_TRUE(sharded.ok());
+  EngineOptions eo;
+  eo.num_threads = 1;
+  ShardRouter router(*sharded, eo);
+
+  Box box(10, 10, 90, 90);
+  ShardsView view0 = router.View();
+  auto before = router.Select(view0, Geometry(box), 0.0, {});
+  ASSERT_TRUE(before.ok());
+
+  for (int i = 0; i < 3; ++i) {
+    FlatTable batch = MakeBatch(128, 300 + i, box);
+    ASSERT_TRUE(router.Append(batch).ok());
+  }
+
+  // The superseded view answers bit-identically: same shard handles, same
+  // bases, no appended row visible.
+  auto again = router.Select(view0, Geometry(box), 0.0, {});
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->row_ids, before->row_ids);
+  EXPECT_EQ(view0.total_rows, 3000u);
+
+  ShardsView view1 = router.View();
+  EXPECT_GT(view1.version, view0.version);
+  EXPECT_EQ(view1.total_rows, 3000u + 3 * 128);
+  auto now = router.Select(view1, Geometry(box), 0.0, {});
+  ASSERT_TRUE(now.ok());
+  EXPECT_EQ(now->count(), before->count() + 3 * 128);
+}
+
+TEST(ShardedLiveAppendTest, PinnedViewSurvivesReShardAndRouterTeardown) {
+  auto source = MakePoints(2000, 16, Box(0, 0, 100, 100));
+  ShardingOptions so;
+  so.num_shards = 4;
+  auto sharded = ShardedTable::Create(*source, so);
+  ASSERT_TRUE(sharded.ok());
+
+  ShardsView pinned;
+  std::vector<uint64_t> expect_rows;
+  {
+    EngineOptions eo;
+    eo.num_threads = 1;
+    ShardRouter router(*sharded, eo);
+    pinned = router.View();
+    auto sel = router.SelectInBox(Box(25, 25, 75, 75));
+    ASSERT_TRUE(sel.ok());
+    expect_rows = sel->row_ids;
+    // A concurrent re-shard supersedes the layout entirely...
+    ShardingOptions re;
+    re.num_shards = 16;
+    auto resharded = ShardedTable::Create(*source, re);
+    ASSERT_TRUE(resharded.ok());
+    // ...and the old router goes away with its scope.
+  }
+
+  // The pinned view owns its shard handles: reads through it remain valid
+  // and value-identical after re-shard + router teardown.
+  ASSERT_EQ(pinned.total_rows, 2000u);
+  auto reader = ShardedColumnReader::Make(pinned, "z");
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  for (uint64_t r : expect_rows) {
+    double z = reader->GetDouble(r);
+    EXPECT_GE(z, -5.0);
+    EXPECT_LE(z, 40.0);
+  }
+}
+
+}  // namespace
+}  // namespace geocol

@@ -6,6 +6,7 @@
 //   geocol index    <tiles_dir>                    (lasindex)
 //   geocol load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]
 //   geocol shard    <table_dir> <out_dir> [--shards K] [--order N]
+//   geocol ingest   <table_dir> <batch.las|batch.csv>...
 //   geocol query    <table_dir> "<SQL>" [--layers <dir>] [--profile]
 //   geocol raster   <table_dir> <out.ppm> [--cols N]
 //   geocol verify   <table_dir>
@@ -32,11 +33,14 @@
 #include "cache/query_cache.h"
 #include "columns/column_file.h"
 #include "columns/compression.h"
+#include "columns/csv.h"
 #include "columns/sharded_table.h"
+#include "core/table_appender.h"
 #include "core/imprints_io.h"
 #include "core/raster.h"
 #include "gis/catalog.h"
 #include "gis/layer_io.h"
+#include "las/las_format.h"
 #include "las/las_reader.h"
 #include "loader/binary_loader.h"
 #include "loader/csv_loader.h"
@@ -90,6 +94,7 @@ int Usage() {
                "  index    <tiles_dir>\n"
                "  load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]\n"
                "  shard    <table_dir> <out_dir> [--shards K] [--order N]\n"
+               "  ingest   <table_dir> <batch.las|batch.csv>...\n"
                "  query    <table_dir> \"<SQL>\" [--layers <dir>] [--profile]\n"
                "  raster   <table_dir> <out.ppm> [--cols N]\n"
                "  verify   <table_dir>\n"
@@ -310,6 +315,86 @@ int CmdShard(const Args& args) {
                 i, static_cast<unsigned long long>(s.table->num_rows()),
                 s.bbox.min_x, s.bbox.max_x, s.bbox.min_y, s.bbox.max_y);
   }
+  return 0;
+}
+
+/// Reads one ingest batch file — a LAS/LAZ tile or a CSV with header —
+/// into a FlatTable matching `schema`.
+Result<FlatTable> ReadBatchFile(const std::string& path,
+                                const Schema& schema) {
+  if (EndsWith(path, ".csv")) return ReadCsv(path, schema, "batch");
+  if (!(schema == LasPointSchema())) {
+    return Status::InvalidArgument(
+        "table does not use the LAS point schema; ingest CSV batches "
+        "instead");
+  }
+  GEOCOL_ASSIGN_OR_RETURN(LasTile tile, ReadLasFile(path));
+  FlatTable batch("batch", schema);
+  GEOCOL_RETURN_NOT_OK(AppendTileToTable(tile, &batch));
+  return batch;
+}
+
+/// `geocol ingest <table_dir> <batch>...`: appends LAS/LAZ tiles or CSV
+/// batches to an existing table while it stays queryable.
+///
+/// A flat table dir is reopened as a LiveTable: every batch is staged and
+/// all of them publish as ONE new epoch — the manifest rename is the
+/// commit point, so a crash mid-ingest reopens as the previous epoch and
+/// `geocol verify` stays green. A sharded dir (shards.gsm) routes each
+/// batch's rows to their Hilbert shards and rewrites only the touched
+/// shards under the next generation, committed by the shards.gsm swap.
+int CmdIngest(const Args& args) {
+  if (args.positional.size() < 2) return Usage();
+  const std::string& dir = args.positional[0];
+  Timer t;
+
+  if (IsShardedTableDir(dir)) {
+    auto sharded = ReadShardedTableDir(dir);
+    if (!sharded.ok()) return Fail(sharded.status());
+    ShardRouter router(*sharded, EngineOptions{});
+    const uint64_t before = router.View().total_rows;
+    for (size_t i = 1; i < args.positional.size(); ++i) {
+      auto batch = ReadBatchFile(args.positional[i], router.schema());
+      if (!batch.ok()) return Fail(batch.status());
+      if (Status st = router.Append(*batch); !st.ok()) return Fail(st);
+      std::printf("  %-40s %8llu rows\n", args.positional[i].c_str(),
+                  static_cast<unsigned long long>(batch->num_rows()));
+    }
+    auto m = ReadShardedTableManifest(dir);
+    if (!m.ok()) return Fail(m.status());
+    std::printf(
+        "appended %llu rows across %zu Hilbert shards (now %llu rows, "
+        "generation %llu) in %.2f s\n",
+        static_cast<unsigned long long>(router.View().total_rows - before),
+        router.num_shards(),
+        static_cast<unsigned long long>(router.View().total_rows),
+        static_cast<unsigned long long>(m->generation), t.ElapsedSeconds());
+    return 0;
+  }
+
+  LiveTableOptions opts;
+  opts.dir = dir;
+  auto live = LiveTable::Open(dir, opts);
+  if (!live.ok()) return Fail(live.status());
+  const uint64_t epoch_before = (*live)->epoch();
+  TableAppender appender(*live);
+  for (size_t i = 1; i < args.positional.size(); ++i) {
+    const std::string& path = args.positional[i];
+    Status st = EndsWith(path, ".csv") ? appender.StageCsvFile(path)
+                                       : appender.StageLasFile(path);
+    if (!st.ok()) return Fail(st);
+  }
+  const uint64_t staged = appender.staged_rows();
+  if (Status st = appender.Commit(); !st.ok()) return Fail(st);
+  EpochSnapshot snap = (*live)->Pin();
+  std::printf(
+      "appended %llu rows as epoch %llu -> %llu (now %llu rows) in %.2f s\n",
+      static_cast<unsigned long long>(staged),
+      static_cast<unsigned long long>(epoch_before),
+      static_cast<unsigned long long>(snap.epoch),
+      static_cast<unsigned long long>(snap.table->num_rows()),
+      t.ElapsedSeconds());
+  telemetry::MaybePrintSummary(stderr);
   return 0;
 }
 
@@ -676,6 +761,7 @@ int main(int argc, char** argv) {
   if (cmd == "index") return CmdIndex(args);
   if (cmd == "load") return CmdLoad(args);
   if (cmd == "shard") return CmdShard(args);
+  if (cmd == "ingest") return CmdIngest(args);
   if (cmd == "query") return CmdQuery(args);
   if (cmd == "raster") return CmdRaster(args);
   if (cmd == "verify") return CmdVerify(args);
