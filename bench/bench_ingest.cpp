@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
     }
 
     // Baseline: from-scratch build over base + tail.
-    ColumnPtr appended = Column::CloneAppend(base, tail.data(), tail_n);
+    ColumnPtr appended = *Column::CloneAppend(base, tail.data(), tail_n);
     double rebuild_ms = TimeMs([&] {
       auto ix = ImprintsIndex::Build(*appended);
       if (!ix.ok()) {
@@ -72,7 +72,7 @@ int main(int argc, char** argv) {
     }
     const int reps = BenchReps();
     std::vector<ColumnPtr> fresh(static_cast<size_t>(reps));
-    for (auto& c : fresh) c = Column::CloneAppend(base, tail.data(), tail_n);
+    for (auto& c : fresh) c = *Column::CloneAppend(base, tail.data(), tail_n);
     size_t it = 0;
     double inc_ms = TimeMs(
         [&] {

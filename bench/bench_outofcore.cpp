@@ -1,0 +1,284 @@
+// E16: out-of-core paged execution (DESIGN.md §14).
+//
+// A clustered viewport workload (a map client panning across one corner
+// of the survey) runs over the same persisted table three ways:
+//
+//   resident  — ReadTableDir: the whole payload in RAM (the tier-0 path)
+//   paged-raw — ReadTableDirPaged over GCL2: chunks fault on demand into
+//               a chunk cache budgeted at --budget-pct of the payload
+//   paged-gpc — the same over GPC1, so every fault also decompresses
+//
+// Every mode runs in a forked child so peak RSS (wait4 → ru_maxrss) is
+// per-mode, not cumulative, and so --rlimit-as-mb can clamp the child's
+// address space: under a cap far below the payload the resident open
+// must fail while the paged opens still answer — that is the point of
+// the tier. The parent verifies all surviving modes return the same
+// result count and exits nonzero if a paged mode fails or disagrees.
+//
+// Acceptance (EXPERIMENTS.md E16): with the budget at <= 25% of payload,
+// steady-state clustered viewports within 2x of fully-resident, and the
+// paged child's peak RSS bounded (far below the resident child's).
+#include <sys/resource.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "cache/chunk_cache.h"
+#include "columns/column_file.h"
+#include "columns/paged_column.h"
+#include "core/spatial_engine.h"
+#include "util/tempdir.h"
+
+using namespace geocol;
+using namespace geocol::bench;
+
+namespace {
+
+constexpr int kSweepSteps = 24;
+
+struct ModeSpec {
+  const char* name;
+  const char* sub;  // table dir under the temp root
+  bool paged;
+};
+
+// One viewport of the clustered pan: ~1% of the extent, drifting slowly
+// so consecutive viewports overlap and faulted chunks get reused.
+Box Viewport(const Box& extent, int step) {
+  double side = std::sqrt(extent.area() * 0.01);
+  double cx = extent.min_x +
+              extent.width() * (0.2 + 0.5 * step / (kSweepSteps - 1.0));
+  double cy = extent.min_y +
+              extent.height() * (0.3 + 0.4 * step / (kSweepSteps - 1.0));
+  return Box(cx - side / 2, cy - side / 2, cx + side / 2, cy + side / 2);
+}
+
+// Child side of one mode run. Opens the table, runs one warmup sweep,
+// times BenchReps() steady-state sweeps, and reports one line on `wfd`:
+//   OK <sweep_ms> <results> <payload_bytes> <budget_bytes> <faults> <hit%>
+// Never returns.
+[[noreturn]] void RunChild(const ModeSpec& mode, const std::string& dir,
+                           uint64_t budget_pct, uint64_t rlimit_as_mb,
+                           int wfd) {
+  if (rlimit_as_mb > 0) {
+    struct rlimit rl;
+    rl.rlim_cur = rl.rlim_max = rlimit_as_mb << 20;
+    ::setrlimit(RLIMIT_AS, &rl);
+  }
+  try {
+    auto table = mode.paged ? ReadTableDirPaged(dir) : ReadTableDir(dir);
+    if (!table.ok()) {
+      dprintf(wfd, "ERR open: %s\n", table.status().ToString().c_str());
+      _exit(1);
+    }
+    uint64_t payload = 0;
+    for (const ColumnPtr& col : table->columns()) {
+      payload += col->raw_size_bytes();
+    }
+    const uint64_t budget = payload * budget_pct / 100;
+    if (mode.paged) {
+      cache::ChunkCache::Global().SetBudget(budget);
+      cache::ChunkCache::Global().Clear();
+    }
+    SpatialQueryEngine engine(
+        std::make_shared<FlatTable>(std::move(*table)), EngineOptions{});
+    const Box extent =
+        SurveyOptions(BenchPoints(2000000)).extent;
+
+    auto sweep = [&]() -> Result<uint64_t> {
+      uint64_t total = 0;
+      for (int s = 0; s < kSweepSteps; ++s) {
+        GEOCOL_ASSIGN_OR_RETURN(auto r, engine.SelectInBox(Viewport(extent, s)));
+        total += r.count();
+      }
+      return total;
+    };
+
+    auto warm = sweep();  // faults the working set once
+    if (!warm.ok()) {
+      dprintf(wfd, "ERR sweep: %s\n", warm.status().ToString().c_str());
+      _exit(1);
+    }
+    uint64_t results = *warm;
+    double ms = TimeMs([&] {
+      auto r = sweep();
+      if (!r.ok() || *r != results) _exit(2);
+    });
+
+    cache::ChunkCache::Stats cs = cache::ChunkCache::Global().GetStats();
+    double hit_pct = cs.hits + cs.misses > 0
+                         ? 100.0 * cs.hits / (cs.hits + cs.misses)
+                         : 0.0;
+    dprintf(wfd, "OK %.3f %llu %llu %llu %llu %.1f\n", ms,
+            static_cast<unsigned long long>(results),
+            static_cast<unsigned long long>(payload),
+            static_cast<unsigned long long>(budget),
+            static_cast<unsigned long long>(cs.misses), hit_pct);
+    _exit(0);
+  } catch (const std::exception& e) {
+    dprintf(wfd, "ERR exception: %s\n", e.what());
+    _exit(1);
+  }
+}
+
+struct ModeResult {
+  bool ok = false;
+  std::string error;
+  double sweep_ms = 0;
+  uint64_t results = 0;
+  uint64_t payload = 0;
+  uint64_t budget = 0;
+  uint64_t faults = 0;
+  double hit_pct = 0;
+  uint64_t peak_rss_kb = 0;
+};
+
+ModeResult RunMode(const ModeSpec& mode, const std::string& dir,
+                   uint64_t budget_pct, uint64_t rlimit_as_mb) {
+  ModeResult out;
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    out.error = "pipe failed";
+    return out;
+  }
+  pid_t pid = ::fork();
+  if (pid < 0) {
+    out.error = "fork failed";
+    ::close(fds[0]);
+    ::close(fds[1]);
+    return out;
+  }
+  if (pid == 0) {
+    ::close(fds[0]);
+    RunChild(mode, dir, budget_pct, rlimit_as_mb, fds[1]);
+  }
+  ::close(fds[1]);
+  std::string line;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::read(fds[0], buf, sizeof(buf))) > 0) line.append(buf, n);
+  ::close(fds[0]);
+
+  int status = 0;
+  struct rusage ru;
+  std::memset(&ru, 0, sizeof(ru));
+  ::wait4(pid, &status, 0, &ru);
+  out.peak_rss_kb = static_cast<uint64_t>(ru.ru_maxrss);  // KiB on Linux
+
+  unsigned long long results, payload, budget, faults;
+  if (std::sscanf(line.c_str(), "OK %lf %llu %llu %llu %llu %lf",
+                  &out.sweep_ms, &results, &payload, &budget, &faults,
+                  &out.hit_pct) == 6 &&
+      WIFEXITED(status) && WEXITSTATUS(status) == 0) {
+    out.ok = true;
+    out.results = results;
+    out.payload = payload;
+    out.budget = budget;
+    out.faults = faults;
+  } else if (!line.empty()) {
+    out.error = line.substr(0, line.find('\n'));
+  } else if (WIFSIGNALED(status)) {
+    out.error = std::string("killed by signal ") +
+                std::to_string(WTERMSIG(status));
+  } else {
+    out.error = "child exited " + std::to_string(WEXITSTATUS(status));
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  geocol::bench::InitBench(argc, argv);
+  uint64_t budget_pct = 25;
+  uint64_t rlimit_as_mb = 0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::strcmp(argv[i], "--budget-pct") == 0) {
+      budget_pct = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--rlimit-as-mb") == 0) {
+      rlimit_as_mb = std::strtoull(argv[i + 1], nullptr, 10);
+    }
+  }
+
+  const uint64_t n = BenchPoints(2000000);
+  Banner("E16: out-of-core paged execution (clustered viewport pan)",
+         "paged scan vs fully-resident, chunk cache at a fraction of "
+         "the payload, per-mode peak RSS from forked children");
+  std::printf("points=%llu budget=%llu%% of payload rlimit_as=%llu MiB\n",
+              static_cast<unsigned long long>(n),
+              static_cast<unsigned long long>(budget_pct),
+              static_cast<unsigned long long>(rlimit_as_mb));
+
+  TempDir dir("bench-e16");
+  // Build the table dirs in a throwaway child so the parent (and with it
+  // every forked runner) never carries the generated survey in its RSS.
+  {
+    pid_t pid = ::fork();
+    if (pid == 0) {
+      auto table = GenerateSurvey(n);
+      if (!WriteTableDir(*table, dir.File("raw")).ok() ||
+          !WriteChunkedCompressedTableDir(*table, dir.File("gpc")).ok()) {
+        _exit(1);
+      }
+      _exit(0);
+    }
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    if (!WIFEXITED(status) || WEXITSTATUS(status) != 0) {
+      std::fprintf(stderr, "bench_outofcore: table build failed\n");
+      return 1;
+    }
+  }
+
+  const ModeSpec modes[] = {
+      {"resident", "raw", false},
+      {"paged-raw", "raw", true},
+      {"paged-gpc", "gpc", true},
+  };
+
+  TablePrinter out({"mode", "sweep ms", "vs resident", "results", "payload",
+                    "budget", "faults", "hit rate", "peak rss"},
+                   12);
+  double resident_ms = 0;
+  uint64_t resident_results = 0;
+  bool failed = false;
+  for (const ModeSpec& mode : modes) {
+    ModeResult r = RunMode(mode, dir.File(mode.sub), budget_pct, rlimit_as_mb);
+    if (!r.ok) {
+      // Under --rlimit-as-mb the resident open is EXPECTED to die — that
+      // is the demonstration. A paged failure is a real failure.
+      out.Row({mode.name, "FAIL", "-", "-", "-", "-", "-", "-",
+               TablePrinter::Mb(r.peak_rss_kb * 1024)});
+      std::fprintf(stderr, "bench_outofcore: %s: %s\n", mode.name,
+                   r.error.c_str());
+      if (mode.paged) failed = true;
+      continue;
+    }
+    if (!mode.paged) {
+      resident_ms = r.sweep_ms;
+      resident_results = r.results;
+    } else if (resident_results != 0 && r.results != resident_results) {
+      std::fprintf(stderr,
+                   "bench_outofcore: %s returned %llu results, resident "
+                   "returned %llu\n",
+                   mode.name, static_cast<unsigned long long>(r.results),
+                   static_cast<unsigned long long>(resident_results));
+      failed = true;
+    }
+    out.Row({mode.name, TablePrinter::Num(r.sweep_ms, 2),
+             resident_ms > 0 ? TablePrinter::Num(r.sweep_ms / resident_ms, 2) +
+                                   "x"
+                             : "-",
+             TablePrinter::Int(r.results), TablePrinter::Mb(r.payload),
+             mode.paged ? TablePrinter::Mb(r.budget) : "-",
+             mode.paged ? TablePrinter::Int(r.faults) : "-",
+             mode.paged ? TablePrinter::Num(r.hit_pct, 1) + "%" : "-",
+             TablePrinter::Mb(r.peak_rss_kb * 1024)});
+  }
+  return failed ? 1 : 0;
+}

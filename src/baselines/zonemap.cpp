@@ -19,20 +19,37 @@ Result<ZoneMapIndex> ZoneMapIndex::Build(const Column& column,
   uint64_t zones = (ix.num_rows_ + rows_per_zone - 1) / rows_per_zone;
   ix.mins_.resize(zones);
   ix.maxs_.resize(zones);
+  Status build_status;
   DispatchDataType(column.type(), [&]<typename T>() {
-    std::span<const T> values = column.Values<T>();
-    for (uint64_t z = 0; z < zones; ++z) {
-      uint64_t first = z * rows_per_zone;
-      uint64_t last = std::min<uint64_t>(first + rows_per_zone, values.size());
-      T mn = values[first], mx = values[first];
-      for (uint64_t i = first + 1; i < last; ++i) {
-        mn = std::min(mn, values[i]);
-        mx = std::max(mx, values[i]);
-      }
-      ix.mins_[z] = static_cast<double>(mn);
-      ix.maxs_[z] = static_cast<double>(mx);
-    }
+    // One streaming pass via ForEachValueRun: resident columns see the
+    // whole span in one run; paged columns one faulted chunk at a time. A
+    // zone straddling a run seam merges its segment extremes — the double
+    // cast is monotonic, so the merged min/max equal the single-pass ones.
+    build_status = ForEachValueRun<T>(
+        column, 0, ix.num_rows_, [&](const T* vals, uint64_t first,
+                                     size_t count) {
+          const uint64_t end = first + count;
+          for (uint64_t pos = first; pos < end;) {
+            const uint64_t z = pos / rows_per_zone;
+            const uint64_t zend =
+                std::min<uint64_t>((z + 1) * uint64_t{rows_per_zone}, end);
+            T mn = vals[pos - first], mx = mn;
+            for (uint64_t i = pos + 1; i < zend; ++i) {
+              mn = std::min(mn, vals[i - first]);
+              mx = std::max(mx, vals[i - first]);
+            }
+            if (pos == z * uint64_t{rows_per_zone}) {
+              ix.mins_[z] = static_cast<double>(mn);
+              ix.maxs_[z] = static_cast<double>(mx);
+            } else {
+              ix.mins_[z] = std::min(ix.mins_[z], static_cast<double>(mn));
+              ix.maxs_[z] = std::max(ix.maxs_[z], static_cast<double>(mx));
+            }
+            pos = zend;
+          }
+        });
   });
+  GEOCOL_RETURN_NOT_OK(build_status);
   return ix;
 }
 
@@ -60,29 +77,38 @@ Status ZoneMapIndex::RangeSelect(const Column& column, double lo, double hi,
   out_rows->Resize(column.size());
   ZoneMapScanStats local;
   local.zones_total = mins_.size();
+  Status scan_status;
   DispatchDataType(column.type(), [&]<typename T>() {
-    std::span<const T> values = column.Values<T>();
     for (uint64_t z = 0; z < mins_.size(); ++z) {
       if (!(mins_[z] <= hi && maxs_[z] >= lo)) continue;
       ++local.zones_candidate;
       uint64_t first = z * rows_per_zone_;
-      uint64_t last = std::min<uint64_t>(first + rows_per_zone_, values.size());
+      uint64_t last =
+          std::min<uint64_t>(first + rows_per_zone_, column.size());
       if (mins_[z] >= lo && maxs_[z] <= hi) {
         ++local.zones_full;
         out_rows->SetRange(first, last);
         local.rows_selected += last - first;
         continue;
       }
-      for (uint64_t i = first; i < last; ++i) {
-        double v = static_cast<double>(values[i]);
-        ++local.values_checked;
-        if (v >= lo && v <= hi) {
-          out_rows->Set(i);
-          ++local.rows_selected;
-        }
-      }
+      // Boundary zone: only these fault chunks on the paged tier — zone
+      // pruning translates directly into chunks never read.
+      scan_status = ForEachValueRun<T>(
+          column, first, last, [&](const T* vals, uint64_t run_first,
+                                   size_t count) {
+            for (size_t k = 0; k < count; ++k) {
+              double v = static_cast<double>(vals[k]);
+              ++local.values_checked;
+              if (v >= lo && v <= hi) {
+                out_rows->Set(run_first + k);
+                ++local.rows_selected;
+              }
+            }
+          });
+      if (!scan_status.ok()) return;
     }
   });
+  GEOCOL_RETURN_NOT_OK(scan_status);
   if (stats != nullptr) *stats = local;
   return Status::OK();
 }

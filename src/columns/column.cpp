@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "simd/kernels.h"
+#include "util/crc32c.h"
 
 namespace geocol {
 
@@ -22,6 +23,17 @@ const char* DataTypeName(DataType t) {
   return "unknown";
 }
 
+Result<ColumnChunkPin> Column::PinChunk(size_t chunk_index) const {
+  if (chunk_index >= num_chunks()) {
+    return Status::InvalidArgument("chunk index out of range");
+  }
+  ColumnChunkPin pin;
+  pin.data = data_.data();
+  pin.first_row = 0;
+  pin.row_count = size();
+  return pin;  // keepalive empty: the caller holds the column alive
+}
+
 double Column::GetDouble(size_t row) const {
   assert(row < size());
   return DispatchDataType(type_, [&]<typename T>() -> double {
@@ -31,11 +43,12 @@ double Column::GetDouble(size_t row) const {
   });
 }
 
-void Column::GetDoubleBatch(const uint64_t* rows, size_t n,
-                            double* out) const {
+Status Column::GetDoubleBatch(const uint64_t* rows, size_t n,
+                              double* out) const {
   DispatchDataType(type_, [&]<typename T>() {
     simd::GatherDouble(reinterpret_cast<const T*>(data_.data()), rows, n, out);
   });
+  return Status::OK();
 }
 
 int64_t Column::GetInt64(size_t row) const {
@@ -50,13 +63,13 @@ int64_t Column::GetInt64(size_t row) const {
 const ColumnStats& Column::Stats() const {
   std::lock_guard<std::mutex> lock(stats_mu_);
   if (!stats_.valid) {
-    if (empty()) {
+    if (data_.empty()) {
       stats_.min = 0.0;
       stats_.max = 0.0;
     } else {
       DispatchDataType(type_, [&]<typename T>() {
         std::span<const T> vals{reinterpret_cast<const T*>(data_.data()),
-                                size()};
+                                data_.size() / width_};
         T mn = vals[0], mx = vals[0];
         for (T v : vals) {
           mn = std::min(mn, v);
@@ -78,9 +91,18 @@ void Column::SetCachedStats(double min, double max) {
   stats_.valid = true;
 }
 
-std::shared_ptr<Column> Column::CloneAppend(const std::shared_ptr<Column>& base,
-                                            const void* data, size_t count) {
+uint32_t Column::payload_crc32c() const {
+  return Crc32c(data_.data(), data_.size());
+}
+
+Result<std::shared_ptr<Column>> Column::CloneAppend(
+    const std::shared_ptr<Column>& base, const void* data, size_t count) {
   assert(base != nullptr);
+  if (base->paged()) {
+    return Status::InvalidArgument(
+        "CloneAppend: paged columns are read-only (reopen the table "
+        "resident to append)");
+  }
   auto col = std::make_shared<Column>(base->name(), base->type());
   col->data_.reserve(base->data_.size() + count * base->width_);
   col->data_.insert(col->data_.end(), base->data_.begin(), base->data_.end());

@@ -122,6 +122,11 @@ Status ReadColumnPayload(BinaryReader* r, const ColumnFileHeader& h,
 }  // namespace
 
 Status WriteColumnFile(const Column& column, const std::string& path) {
+  if (column.paged()) {
+    return Status::InvalidArgument(
+        "WriteColumnFile: paged columns are read-only (reopen the table "
+        "resident to rewrite)");
+  }
   const uint8_t* payload = column.raw_data();
   const uint64_t payload_bytes = column.raw_size_bytes();
   const uint32_t chunk_bytes = kColumnChunkBytes;
@@ -172,6 +177,30 @@ Result<ColumnPtr> ReadColumnFile(const std::string& path,
   return col;
 }
 
+Result<ColumnFileLayout> ReadColumnFileLayout(const std::string& path) {
+  BinaryReader r;
+  GEOCOL_RETURN_NOT_OK(r.Open(path));
+  GEOCOL_ASSIGN_OR_RETURN(ColumnFileHeader h, ReadColumnFileHeader(&r, path));
+  if (h.legacy) {
+    return Status::InvalidArgument(
+        "legacy GCL1 file has no chunk checksums and cannot be opened "
+        "paged: " + path);
+  }
+  uint64_t payload = h.count * DataTypeSize(h.type);
+  if (r.Remaining() != payload) {
+    return Status::Corruption("column file size mismatch (payload " +
+                              std::to_string(r.Remaining()) + " bytes, " +
+                              std::to_string(payload) + " expected): " + path);
+  }
+  ColumnFileLayout layout;
+  layout.type = h.type;
+  layout.count = h.count;
+  layout.chunk_bytes = h.chunk_bytes;
+  layout.payload_offset = r.Tell();
+  layout.chunk_crcs = std::move(h.chunk_crcs);
+  return layout;
+}
+
 Status AppendColumnFile(const std::string& path, Column* column) {
   BinaryReader r;
   GEOCOL_RETURN_NOT_OK(r.Open(path));
@@ -187,6 +216,11 @@ Status AppendColumnFile(const std::string& path, Column* column) {
 }
 
 Status WriteRawDump(const Column& column, const std::string& path) {
+  if (column.paged()) {
+    return Status::InvalidArgument(
+        "WriteRawDump: paged columns are read-only (reopen the table "
+        "resident to dump)");
+  }
   return WriteFileAtomic(path, column.raw_data(), column.raw_size_bytes());
 }
 

@@ -44,6 +44,19 @@ Result<ColumnPtr> ReadColumnFile(const std::string& path,
 /// COPY BINARY fast path. Types must match; checksums are verified.
 Status AppendColumnFile(const std::string& path, Column* column);
 
+/// The chunk directory of a "GCL2" file, parsed and header-verified
+/// without touching the payload — everything the paged open needs to
+/// fault chunks on demand. InvalidArgument for legacy "GCL1" files (no
+/// chunk CRCs, so nothing can vouch for a faulted chunk).
+struct ColumnFileLayout {
+  DataType type = DataType::kFloat64;
+  uint64_t count = 0;
+  uint32_t chunk_bytes = 0;
+  uint64_t payload_offset = 0;  ///< file offset of the first payload byte
+  std::vector<uint32_t> chunk_crcs;
+};
+Result<ColumnFileLayout> ReadColumnFileLayout(const std::string& path);
+
 /// Writes a raw C-array dump (no header): exactly what the paper's binary
 /// loader emits per attribute before COPY BINARY. Atomic, so a reader
 /// never observes a torn dump.

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "columns/column_file.h"
+#include "columns/paged_column.h"
 #include "util/binary_io.h"
 #include "util/bitpack.h"
 #include "util/crc32c.h"
@@ -58,11 +59,16 @@ void Append64(std::vector<uint8_t>* out, T v) {
 }
 
 template <typename T>
-bool Take64(const std::vector<uint8_t>& in, size_t* pos, T* v) {
-  if (*pos + sizeof(T) > in.size()) return false;
-  std::memcpy(v, in.data() + *pos, sizeof(T));
+bool Take64(const uint8_t* in, size_t size, size_t* pos, T* v) {
+  if (*pos + sizeof(T) > size) return false;
+  std::memcpy(v, in + *pos, sizeof(T));
   *pos += sizeof(T);
   return true;
+}
+
+template <typename T>
+bool Take64(const std::vector<uint8_t>& in, size_t* pos, T* v) {
+  return Take64(in.data(), in.size(), pos, v);
 }
 
 // ---- size estimators (cheap, no materialisation) -----------------------
@@ -123,20 +129,22 @@ void EncodeRle(std::span<const T> values, std::vector<uint8_t>* out) {
 }
 
 template <typename T>
-Status DecodeRle(const std::vector<uint8_t>& in, size_t pos, uint64_t count,
-                 Column* col) {
+Status DecodeRle(const uint8_t* in, size_t size, uint64_t count, T* out) {
+  size_t pos = 0;
   uint64_t runs = 0;
-  if (!Take64(in, &pos, &runs)) return Status::Corruption("RLE: truncated");
+  if (!Take64(in, size, &pos, &runs)) {
+    return Status::Corruption("RLE: truncated");
+  }
   uint64_t total = 0;
   for (uint64_t r = 0; r < runs; ++r) {
     T value;
     uint32_t len = 0;
-    if (!Take64(in, &pos, &value) || !Take64(in, &pos, &len)) {
+    if (!Take64(in, size, &pos, &value) || !Take64(in, size, &pos, &len)) {
       return Status::Corruption("RLE: truncated run");
     }
+    if (len > count - total) return Status::Corruption("RLE: run overflow");
+    std::fill(out + total, out + total + len, value);
     total += len;
-    if (total > count) return Status::Corruption("RLE: run overflow");
-    for (uint32_t k = 0; k < len; ++k) col->Append<T>(value);
   }
   if (total != count) return Status::Corruption("RLE: wrong total");
   return Status::OK();
@@ -156,19 +164,21 @@ void EncodeFor(std::span<const T> values, std::vector<uint8_t>* out) {
 }
 
 template <typename T>
-Status DecodeFor(const std::vector<uint8_t>& in, size_t pos, uint64_t count,
-                 Column* col) {
+Status DecodeFor(const uint8_t* in, size_t size, uint64_t count, T* out) {
+  size_t pos = 0;
   int64_t mn = 0;
-  if (!Take64(in, &pos, &mn)) return Status::Corruption("FOR: truncated header");
-  if (pos >= in.size()) return Status::Corruption("FOR: truncated header");
+  if (!Take64(in, size, &pos, &mn)) {
+    return Status::Corruption("FOR: truncated header");
+  }
+  if (pos >= size) return Status::Corruption("FOR: truncated header");
   uint8_t bits = in[pos++];
-  BitReader br(in.data() + pos, in.size() - pos);
+  BitReader br(in + pos, size - pos);
   for (uint64_t i = 0; i < count; ++i) {
     uint64_t packed = 0;
     if (bits > 0 && !br.Read(&packed, bits)) {
       return Status::Corruption("FOR: truncated payload");
     }
-    col->Append<T>(FromBits<T>(mn + static_cast<int64_t>(packed)));
+    out[i] = FromBits<T>(mn + static_cast<int64_t>(packed));
   }
   return Status::OK();
 }
@@ -190,19 +200,19 @@ void EncodeDelta(std::span<const T> values, std::vector<uint8_t>* out) {
 }
 
 template <typename T>
-Status DecodeDelta(const std::vector<uint8_t>& in, size_t pos, uint64_t count,
-                   Column* col) {
+Status DecodeDelta(const uint8_t* in, size_t size, uint64_t count, T* out) {
+  size_t pos = 0;
   int64_t first = 0;
-  if (!Take64(in, &pos, &first)) {
+  if (!Take64(in, size, &pos, &first)) {
     return Status::Corruption("DELTA: truncated header");
   }
-  if (pos >= in.size() && count > 1) {
+  if (pos >= size && count > 1) {
     return Status::Corruption("DELTA: truncated header");
   }
-  uint8_t bits = pos < in.size() ? in[pos++] : 0;
+  uint8_t bits = pos < size ? in[pos++] : 0;
   if (count == 0) return Status::OK();
-  col->Append<T>(FromBits<T>(first));
-  BitReader br(in.data() + pos, in.size() - pos);
+  out[0] = FromBits<T>(first);
+  BitReader br(in + pos, size - pos);
   int64_t prev = first;
   for (uint64_t i = 1; i < count; ++i) {
     uint64_t z = 0;
@@ -210,7 +220,7 @@ Status DecodeDelta(const std::vector<uint8_t>& in, size_t pos, uint64_t count,
       return Status::Corruption("DELTA: truncated payload");
     }
     prev += ZigZagDecode(z);
-    col->Append<T>(FromBits<T>(prev));
+    out[i] = FromBits<T>(prev);
   }
   return Status::OK();
 }
@@ -250,9 +260,76 @@ const char* ColumnCodecName(ColumnCodec codec) {
   return "?";
 }
 
+std::vector<uint8_t> CompressChunkPayload(DataType type, const void* values,
+                                          uint64_t count, ColumnCodec codec,
+                                          ColumnCodec* chosen) {
+  std::vector<uint8_t> out;
+  ColumnCodec picked = codec;
+  DispatchDataType(type, [&]<typename T>() {
+    std::span<const T> vals{static_cast<const T*>(values),
+                            static_cast<size_t>(count)};
+    if (codec == ColumnCodec::kAuto) {
+      picked = ColumnCodec::kRaw;
+      uint64_t best = EstimateBytes(vals, ColumnCodec::kRaw);
+      if (!vals.empty()) {
+        for (ColumnCodec c : {ColumnCodec::kRle, ColumnCodec::kFor,
+                              ColumnCodec::kDelta}) {
+          uint64_t est = EstimateBytes(vals, c);
+          if (est < best) {
+            best = est;
+            picked = c;
+          }
+        }
+      }
+    }
+    if (picked == ColumnCodec::kFor && vals.empty()) {
+      picked = ColumnCodec::kRaw;
+    }
+    switch (picked) {
+      case ColumnCodec::kRaw: {
+        const auto* p = static_cast<const uint8_t*>(values);
+        out.insert(out.end(), p, p + count * sizeof(T));
+        break;
+      }
+      case ColumnCodec::kRle: EncodeRle(vals, &out); break;
+      case ColumnCodec::kFor: EncodeFor(vals, &out); break;
+      case ColumnCodec::kDelta: EncodeDelta(vals, &out); break;
+      case ColumnCodec::kAuto: break;  // unreachable
+    }
+  });
+  if (chosen != nullptr) *chosen = picked;
+  return out;
+}
+
+Status DecompressChunkPayload(DataType type, ColumnCodec codec,
+                              const uint8_t* data, size_t size, uint64_t count,
+                              void* out) {
+  return DispatchDataType(type, [&]<typename T>() -> Status {
+    T* typed = static_cast<T*>(out);
+    switch (codec) {
+      case ColumnCodec::kRaw: {
+        uint64_t bytes = count * sizeof(T);
+        if (bytes > size) return Status::Corruption("raw payload truncated");
+        std::memcpy(typed, data, bytes);
+        return Status::OK();
+      }
+      case ColumnCodec::kRle: return DecodeRle<T>(data, size, count, typed);
+      case ColumnCodec::kFor: return DecodeFor<T>(data, size, count, typed);
+      case ColumnCodec::kDelta: return DecodeDelta<T>(data, size, count, typed);
+      case ColumnCodec::kAuto: break;
+    }
+    return Status::Corruption("bad codec");
+  });
+}
+
 Result<std::vector<uint8_t>> CompressColumn(const Column& column,
                                             ColumnCodec codec,
                                             CompressionStats* stats) {
+  if (column.paged()) {
+    return Status::InvalidArgument(
+        "CompressColumn: paged columns are read-only (reopen the table "
+        "resident to recompress)");
+  }
   std::vector<uint8_t> out;
   out.insert(out.end(), kMagicV2, kMagicV2 + 4);
   out.push_back(static_cast<uint8_t>(column.type()));
@@ -262,39 +339,9 @@ Result<std::vector<uint8_t>> CompressColumn(const Column& column,
   Append64(&out, count);
 
   ColumnCodec chosen = codec;
-  DispatchDataType(column.type(), [&]<typename T>() {
-    std::span<const T> values = column.Values<T>();
-    if (codec == ColumnCodec::kAuto) {
-      chosen = ColumnCodec::kRaw;
-      uint64_t best = EstimateBytes(values, ColumnCodec::kRaw);
-      if (!values.empty()) {
-        for (ColumnCodec c : {ColumnCodec::kRle, ColumnCodec::kFor,
-                              ColumnCodec::kDelta}) {
-          uint64_t est = EstimateBytes(values, c);
-          if (est < best) {
-            best = est;
-            chosen = c;
-          }
-        }
-      }
-    }
-    switch (chosen) {
-      case ColumnCodec::kRaw:
-        out.insert(out.end(), column.raw_data(),
-                   column.raw_data() + column.raw_size_bytes());
-        break;
-      case ColumnCodec::kRle: EncodeRle(values, &out); break;
-      case ColumnCodec::kFor:
-        if (values.empty()) {
-          chosen = ColumnCodec::kRaw;
-        } else {
-          EncodeFor(values, &out);
-        }
-        break;
-      case ColumnCodec::kDelta: EncodeDelta(values, &out); break;
-      case ColumnCodec::kAuto: break;  // unreachable
-    }
-  });
+  std::vector<uint8_t> payload = CompressChunkPayload(
+      column.type(), column.raw_data(), count, codec, &chosen);
+  out.insert(out.end(), payload.begin(), payload.end());
   out[codec_at] = static_cast<uint8_t>(chosen);
   if (stats != nullptr) {
     stats->codec = chosen;
@@ -327,29 +374,11 @@ Result<ColumnPtr> DecompressColumn(const std::vector<uint8_t>& data,
   DataType type = static_cast<DataType>(type_byte);
   ColumnCodec codec = static_cast<ColumnCodec>(codec_byte);
   auto col = std::make_shared<Column>(name, type);
-  col->Reserve(count);
-  Status st = DispatchDataType(type, [&]<typename T>() -> Status {
-    switch (codec) {
-      case ColumnCodec::kRaw: {
-        uint64_t bytes = count * sizeof(T);
-        if (pos + bytes > data.size()) {
-          return Status::Corruption("raw payload truncated");
-        }
-        col->AppendRaw(data.data() + pos, count);
-        return Status::OK();
-      }
-      case ColumnCodec::kRle: return DecodeRle<T>(data, pos, count, col.get());
-      case ColumnCodec::kFor: return DecodeFor<T>(data, pos, count, col.get());
-      case ColumnCodec::kDelta:
-        return DecodeDelta<T>(data, pos, count, col.get());
-      default:
-        return Status::Corruption("bad codec");
-    }
-  });
-  GEOCOL_RETURN_NOT_OK(st);
-  if (col->size() != count) {
-    return Status::Corruption("compressed column decoded wrong row count");
-  }
+  std::vector<uint8_t> decoded(count * DataTypeSize(type));
+  GEOCOL_RETURN_NOT_OK(DecompressChunkPayload(
+      type, codec, data.data() + pos, data.size() - pos, count,
+      decoded.data()));
+  col->AppendRaw(decoded.data(), count);
   return col;
 }
 
@@ -372,6 +401,11 @@ Result<ColumnPtr> ReadCompressedColumnFile(const std::string& path,
   GEOCOL_RETURN_NOT_OK(ReadFileBytes(path, &data));
   if (data.size() < 4) {
     return Status::Corruption("compressed column file too small: " + path);
+  }
+  // Chunked-compressed (GPC1) files carry per-chunk CRCs instead of a
+  // whole-file footer; this is their resident open.
+  if (IsChunkedCompressedBuffer(data.data(), data.size())) {
+    return DecompressChunkedColumn(data, name);
   }
   // Legacy GCC1 files were written without a footer and decode as-is.
   if (std::memcmp(data.data(), kMagicV1, 4) != 0) {

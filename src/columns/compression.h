@@ -44,6 +44,23 @@ struct CompressionStats {
   }
 };
 
+/// Encodes `count` values of `type` from a raw little-endian buffer as one
+/// bare codec payload (no magic/type/count header — the caller's framing
+/// holds those). kAuto sizes every applicable codec and picks the
+/// smallest; the codec actually used lands in `*chosen` (kFor of an empty
+/// input falls back to kRaw). This is the chunk-granular encode path of
+/// the paged tier's GPC1 files.
+std::vector<uint8_t> CompressChunkPayload(DataType type, const void* values,
+                                          uint64_t count, ColumnCodec codec,
+                                          ColumnCodec* chosen);
+
+/// Decodes a CompressChunkPayload buffer into `out` (`count` values of
+/// `type`, caller-allocated). Corruption when the payload does not decode
+/// to exactly `count` values.
+Status DecompressChunkPayload(DataType type, ColumnCodec codec,
+                              const uint8_t* data, size_t size,
+                              uint64_t count, void* out);
+
 /// Encodes a column into a self-describing buffer:
 /// magic "GCC2" | type u8 | codec u8 | count u64 | payload.
 Result<std::vector<uint8_t>> CompressColumn(

@@ -87,6 +87,13 @@ Status FlatTable::PermuteRows(const std::vector<uint64_t>& perm) {
     return Status::InvalidArgument("permutation size != row count");
   }
   for (const auto& col : columns_) {
+    if (col->paged()) {
+      return Status::InvalidArgument(
+          "cannot permute paged column '" + col->name() +
+          "': paged columns are immutable on-disk snapshots");
+    }
+  }
+  for (const auto& col : columns_) {
     size_t w = col->width();
     std::vector<uint8_t> old_data(col->raw_data(),
                                   col->raw_data() + col->raw_size_bytes());

@@ -7,6 +7,7 @@
 #include <numeric>
 
 #include "columns/column_file.h"
+#include "columns/paged_column.h"
 #include "sfc/hilbert.h"
 #include "util/binary_io.h"
 #include "util/crc32c.h"
@@ -62,6 +63,13 @@ Schema ShardedTable::schema() const {
 Result<std::shared_ptr<ShardedTable>> ShardedTable::Create(
     const FlatTable& source, const ShardingOptions& options) {
   GEOCOL_RETURN_NOT_OK(source.Validate());
+  for (const ColumnPtr& col : source.columns()) {
+    if (col->paged()) {
+      return Status::InvalidArgument(
+          "cannot shard paged column '" + col->name() +
+          "': load the table resident (or re-import) before sharding");
+    }
+  }
   GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xcol,
                           source.GetColumn(options.x_column));
   GEOCOL_ASSIGN_OR_RETURN(ColumnPtr ycol,
@@ -263,7 +271,7 @@ Status WriteShardedTableDir(const ShardedTable& table,
 }
 
 Result<std::shared_ptr<ShardedTable>> ReadShardedTableDir(
-    const std::string& dir, bool verify_checksums) {
+    const std::string& dir, bool verify_checksums, bool paged) {
   GEOCOL_ASSIGN_OR_RETURN(ShardedTableManifest m,
                           ReadShardedTableManifest(dir));
   auto out = std::make_shared<ShardedTable>();
@@ -281,7 +289,8 @@ Result<std::shared_ptr<ShardedTable>> ReadShardedTableDir(
     const auto& ms = m.shards[i];
     const std::string shard_dir = dir + "/" + ms.dirname;
     GEOCOL_ASSIGN_OR_RETURN(FlatTable t,
-                            ReadTableDir(shard_dir, verify_checksums));
+                            paged ? ReadTableDirPaged(shard_dir)
+                                  : ReadTableDir(shard_dir, verify_checksums));
     if (t.num_rows() != ms.rows) {
       return Status::Corruption("shard row count mismatch in " + shard_dir +
                                 ": manifest says " + std::to_string(ms.rows) +

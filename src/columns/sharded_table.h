@@ -133,9 +133,12 @@ std::string ShardDirName(size_t i, uint64_t gen);
 /// generation fully readable, never mixed shards.
 Status WriteShardedTableDir(const ShardedTable& table, const std::string& dir);
 
-/// Loads a layout persisted by WriteShardedTableDir.
+/// Loads a layout persisted by WriteShardedTableDir. With `paged` every
+/// shard opens through ReadTableDirPaged — chunk directories only, rows
+/// fault on demand — so a sharded table bigger than RAM still routes and
+/// scans; bbox pruning then translates into whole shards never faulted.
 Result<std::shared_ptr<ShardedTable>> ReadShardedTableDir(
-    const std::string& dir, bool verify_checksums = true);
+    const std::string& dir, bool verify_checksums = true, bool paged = false);
 
 /// The parsed `<dir>/shards.gsm` manifest, exposed for `geocol verify`.
 struct ShardedTableManifest {

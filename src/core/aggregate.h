@@ -24,12 +24,16 @@ constexpr size_t kMinParallelAggRows = size_t{1} << 17;
 /// is deterministic for a given row list.
 constexpr size_t kAggChunkRows = size_t{1} << 16;
 
-/// Aggregates `value_at(row)` over `rows`. kCount ignores the accessor;
-/// the empty selection yields NaN (SQL maps it to NULL). A non-null `pool`
-/// aggregates row chunks in parallel and merges the partials in chunk
-/// order, so the result is deterministic for a given row list
-/// (floating-point sums may differ from the serial order in the last
-/// bits; min/max/count are exact).
+/// Aggregates `value_at(i)` — the value of selection position i, i.e. of
+/// row `rows[i]` — over the selection. Accessors take the POSITION, not the
+/// row id: storage layouts that cannot index rows directly (paged columns
+/// gather once, shards decode a global row id) resolve the mapping in the
+/// accessor, while the accumulation order over positions stays fixed here.
+/// kCount ignores the accessor; the empty selection yields NaN (SQL maps
+/// it to NULL). A non-null `pool` aggregates position chunks in parallel
+/// and merges the partials in chunk order, so the result is deterministic
+/// for a given row list (floating-point sums may differ from the serial
+/// order in the last bits; min/max/count are exact).
 template <typename T, typename ValueAt>
 double AggregateValues(const std::vector<uint64_t>& rows, AggKind kind,
                        ThreadPool* pool, ValueAt&& value_at) {
@@ -50,54 +54,56 @@ double AggregateValues(const std::vector<uint64_t>& rows, AggKind kind,
           size_t end = std::min(rows.size(), begin + kAggChunkRows);
           double s = 0.0;
           for (size_t i = begin; i < end; ++i) {
-            s += static_cast<double>(value_at(rows[i]));
+            s += static_cast<double>(value_at(i));
           }
           partial[c] = s;
         });
         for (double p : partial) sum += p;
       } else {
-        for (uint64_t r : rows) sum += static_cast<double>(value_at(r));
+        for (size_t i = 0; i < rows.size(); ++i) {
+          sum += static_cast<double>(value_at(i));
+        }
       }
       out = kind == AggKind::kSum ? sum
                                   : sum / static_cast<double>(rows.size());
       break;
     }
     case AggKind::kMin: {
-      T mn = value_at(rows[0]);
+      T mn = value_at(0);
       if (parallel) {
-        std::vector<T> partial(num_chunks, value_at(rows[0]));
+        std::vector<T> partial(num_chunks, value_at(0));
         pool->ParallelFor(num_chunks, [&](size_t c) {
           size_t begin = c * kAggChunkRows;
           size_t end = std::min(rows.size(), begin + kAggChunkRows);
-          T m = value_at(rows[begin]);
+          T m = value_at(begin);
           for (size_t i = begin + 1; i < end; ++i) {
-            m = std::min(m, value_at(rows[i]));
+            m = std::min(m, value_at(i));
           }
           partial[c] = m;
         });
         for (T p : partial) mn = std::min(mn, p);
       } else {
-        for (uint64_t r : rows) mn = std::min(mn, value_at(r));
+        for (size_t i = 1; i < rows.size(); ++i) mn = std::min(mn, value_at(i));
       }
       out = static_cast<double>(mn);
       break;
     }
     case AggKind::kMax: {
-      T mx = value_at(rows[0]);
+      T mx = value_at(0);
       if (parallel) {
-        std::vector<T> partial(num_chunks, value_at(rows[0]));
+        std::vector<T> partial(num_chunks, value_at(0));
         pool->ParallelFor(num_chunks, [&](size_t c) {
           size_t begin = c * kAggChunkRows;
           size_t end = std::min(rows.size(), begin + kAggChunkRows);
-          T m = value_at(rows[begin]);
+          T m = value_at(begin);
           for (size_t i = begin + 1; i < end; ++i) {
-            m = std::max(m, value_at(rows[i]));
+            m = std::max(m, value_at(i));
           }
           partial[c] = m;
         });
         for (T p : partial) mx = std::max(mx, p);
       } else {
-        for (uint64_t r : rows) mx = std::max(mx, value_at(r));
+        for (size_t i = 1; i < rows.size(); ++i) mx = std::max(mx, value_at(i));
       }
       out = static_cast<double>(mx);
       break;

@@ -76,14 +76,21 @@ Result<BinBounds> BinBounds::Sample(const Column& column, uint32_t max_bins,
   Rng rng(seed);
   size_t n = column.size();
   size_t samples = std::min<size_t>(sample_size, n);
-  std::vector<double> sample;
-  sample.reserve(samples);
+  // Draw the row ids first and gather them in ASCENDING row order: the
+  // sample is sorted by value right below, so the row order cannot change
+  // the bounds, and a paged column then faults every touched chunk once
+  // instead of once per sampled value.
+  std::vector<uint64_t> rows(samples);
   if (samples == n) {
-    for (size_t i = 0; i < n; ++i) sample.push_back(column.GetDouble(i));
+    for (size_t i = 0; i < n; ++i) rows[i] = i;
   } else {
-    for (size_t i = 0; i < samples; ++i) {
-      sample.push_back(column.GetDouble(rng.Uniform(n)));
-    }
+    for (size_t i = 0; i < samples; ++i) rows[i] = rng.Uniform(n);
+    std::sort(rows.begin(), rows.end());
+  }
+  std::vector<double> sample(samples);
+  if (Status st = column.GetDoubleBatch(rows.data(), samples, sample.data());
+      !st.ok()) {
+    return st;
   }
   std::sort(sample.begin(), sample.end());
   sample.erase(std::unique(sample.begin(), sample.end()), sample.end());

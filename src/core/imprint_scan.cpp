@@ -49,8 +49,8 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
   const bool want_parallel = pool != nullptr && pool->num_threads() > 0 &&
                              column.size() >= kMinParallelScanRows;
 
+  Status scan_status;
   DispatchDataType(column.type(), [&]<typename T>() {
-    std::span<const T> values = column.Values<T>();
     // Compare in the column's native type: the bounds are clamped into T
     // once per scan, so large int64 values are never rounded through
     // double. An unsatisfiable clamped range selects nothing.
@@ -61,9 +61,15 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
     const uint64_t vpl = index.values_per_line();
 
     // Scans the lines [first_line, first_line + line_count) of one run,
-    // shared by the serial path and the clipped per-morsel path.
+    // shared by the serial path and the clipped per-morsel path. Values are
+    // reached through ForEachValueRun: resident columns get the contiguous
+    // span (exactly the old direct-pointer path), paged columns fault only
+    // the chunks their boundary runs overlap — full runs never touch a
+    // value, so imprint pruning translates straight into chunks never read.
+    // A chunk split restarts the 4096-value stride mid-run, which changes
+    // kernel call boundaries but not the selected bits or the stat sums.
     auto scan_lines = [&](uint64_t first_line, uint64_t line_count, bool full,
-                          ImprintScanStats& st) {
+                          ImprintScanStats& st) -> Status {
       st.lines_candidate += line_count;
       uint64_t first_row = first_line * vpl;
       uint64_t last_row = std::min((first_line + line_count) * vpl, n);
@@ -72,29 +78,36 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
         out_rows->SetRange(first_row, last_row);
         st.rows_selected += last_row - first_row;
         st.rows_full += last_row - first_row;
-        return;
+        return Status::OK();
       }
       // Boundary run: the SIMD range kernel turns each chunk of values into
       // selection words on the stack, which land in the BitVector with two
       // ORs per word. Workers stay write-disjoint because morsels cover
       // whole 64-bit words and the chunk never crosses last_row.
-      constexpr uint64_t kChunkValues = 4096;
-      uint64_t scratch[kChunkValues / 64];
-      for (uint64_t r = first_row; r < last_row; r += kChunkValues) {
-        const uint64_t cn = std::min(kChunkValues, last_row - r);
-        const uint64_t sel =
-            simd::RangeSelectBits(values.data() + r, cn, nr.lo, nr.hi, scratch);
-        out_rows->OrWordsAt(r, scratch, cn);
-        st.values_checked += cn;
-        st.rows_selected += sel;
-      }
+      return ForEachValueRun<T>(
+          column, first_row, last_row,
+          [&](const T* vals, uint64_t first, size_t count) {
+            constexpr uint64_t kChunkValues = 4096;
+            uint64_t scratch[kChunkValues / 64];
+            for (uint64_t off = 0; off < count; off += kChunkValues) {
+              const uint64_t cn = std::min<uint64_t>(kChunkValues, count - off);
+              const uint64_t sel = simd::RangeSelectBits(vals + off, cn, nr.lo,
+                                                         nr.hi, scratch);
+              out_rows->OrWordsAt(first + off, scratch, cn);
+              st.values_checked += cn;
+              st.rows_selected += sel;
+            }
+          });
     };
 
     if (!want_parallel) {
       index.FilterRangeRuns(lo, hi,
                             [&](uint64_t first_line, uint64_t line_count,
                                 bool full) {
-                              scan_lines(first_line, line_count, full, merged);
+                              if (!scan_status.ok()) return;
+                              scan_status =
+                                  scan_lines(first_line, line_count, full,
+                                             merged);
                             });
       return;
     }
@@ -116,12 +129,14 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
     const uint64_t num_morsels = (n + morsel_rows - 1) / morsel_rows;
     if (num_morsels < 2) {
       for (const CandidateRun& r : runs) {
-        scan_lines(r.first_line, r.line_count, r.full, merged);
+        scan_status = scan_lines(r.first_line, r.line_count, r.full, merged);
+        if (!scan_status.ok()) return;
       }
       return;
     }
 
     std::vector<ImprintScanStats> morsel_stats(num_morsels);
+    std::vector<Status> morsel_status(num_morsels);
     pool->ParallelFor(num_morsels, [&](size_t m) {
       const uint64_t row_begin = m * morsel_rows;
       const uint64_t row_end = std::min(n, row_begin + morsel_rows);
@@ -136,9 +151,16 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
       for (; it != runs.end() && it->first_line < line_end; ++it) {
         uint64_t lb = std::max(it->first_line, line_begin);
         uint64_t le = std::min(it->first_line + it->line_count, line_end);
-        scan_lines(lb, le - lb, it->full, st);
+        morsel_status[m] = scan_lines(lb, le - lb, it->full, st);
+        if (!morsel_status[m].ok()) return;
       }
     });
+    for (Status& st : morsel_status) {
+      if (!st.ok()) {
+        scan_status = std::move(st);
+        return;
+      }
+    }
     for (const ImprintScanStats& st : morsel_stats) {
       merged.lines_candidate += st.lines_candidate;
       merged.lines_full += st.lines_full;
@@ -149,6 +171,7 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
     merged.workers = static_cast<uint32_t>(
         std::min<uint64_t>(num_morsels, pool->num_threads() + 1));
   });
+  GEOCOL_RETURN_NOT_OK(scan_status);
   // Work counters feed `geocol metrics` exposition and must stay equal to
   // the span attributes EXPLAIN ANALYZE reports (asserted in tests).
   GEOCOL_METRIC_COUNTER(c_scans, "geocol_imprint_scans_total");
@@ -173,18 +196,26 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
   return Status::OK();
 }
 
-void FullScanRangeSelect(const Column& column, double lo, double hi,
-                         BitVector* out_rows) {
+Status FullScanRangeSelect(const Column& column, double lo, double hi,
+                           BitVector* out_rows) {
   out_rows->Resize(column.size());
+  Status status;
   DispatchDataType(column.type(), [&]<typename T>() {
-    std::span<const T> values = column.Values<T>();
     NativeRange<T> nr = ClampRangeToType<T>(lo, hi);
     if (nr.empty) return;
-    // The whole column is one run: the kernel writes ceil(n/64) selection
-    // words straight into the BitVector's word array (tail bits zero).
-    simd::RangeSelectBits(values.data(), values.size(), nr.lo, nr.hi,
-                          out_rows->mutable_words());
+    // Each run's kernel writes ceil(count/64) selection words straight into
+    // the BitVector's word array (tail bits zero). Resident columns are one
+    // run; paged runs start on chunk boundaries, which are multiples of 64
+    // rows, so every run except the last writes whole words and the word
+    // offset `first / 64` is exact.
+    status = ForEachValueRun<T>(
+        column, 0, column.size(),
+        [&](const T* vals, uint64_t first, size_t count) {
+          simd::RangeSelectBits(vals, count, nr.lo, nr.hi,
+                                out_rows->mutable_words() + first / 64);
+        });
   });
+  return status;
 }
 
 namespace {

@@ -67,9 +67,10 @@ Status ImprintRangeSelect(const Column& column, const ImprintsIndex& index,
 
 /// Plain full-scan range selection (no index). Used as the correctness
 /// oracle in tests and the baseline in benchmarks. Same native-type
-/// comparison semantics as ImprintRangeSelect.
-void FullScanRangeSelect(const Column& column, double lo, double hi,
-                         BitVector* out_rows);
+/// comparison semantics as ImprintRangeSelect. The only Status source is a
+/// paged-column chunk fault; resident scans cannot fail.
+Status FullScanRangeSelect(const Column& column, double lo, double hi,
+                           BitVector* out_rows);
 
 /// Lazily builds and caches imprints per column, mirroring MonetDB's
 /// "creation is triggered when it encounters a range query for the first

@@ -25,10 +25,14 @@ struct VectorRun {
 /// maximal runs of identical imprint vectors. Chunked across `pool` when
 /// the range is large enough; callers concatenate the chunk sequences in
 /// order (RunEmitter below merges runs that touch across chunk seams).
-std::vector<std::vector<VectorRun>> BinarizeLines(
-    const Column& column, const BinBounds& bins, uint32_t values_per_line,
-    uint64_t num_rows, uint64_t line_begin, uint64_t line_end,
-    ThreadPool* pool) {
+/// Values are reached through ForEachValueRun, so paged columns binarise
+/// one faulted paging chunk at a time — paging-chunk boundaries are
+/// multiples of every values-per-line, so a cache line never straddles two
+/// runs. The only Status source is a paged chunk fault.
+Status BinarizeLines(const Column& column, const BinBounds& bins,
+                     uint32_t values_per_line, uint64_t num_rows,
+                     uint64_t line_begin, uint64_t line_end, ThreadPool* pool,
+                     std::vector<std::vector<VectorRun>>* out) {
   uint64_t total = line_end - line_begin;
   uint64_t num_chunks = 1;
   if (pool != nullptr && pool->num_threads() > 0 &&
@@ -40,25 +44,34 @@ std::vector<std::vector<VectorRun>> BinarizeLines(
   uint64_t chunk_lines = (total + num_chunks - 1) / num_chunks;
   num_chunks = chunk_lines > 0 ? (total + chunk_lines - 1) / chunk_lines : 0;
   std::vector<std::vector<VectorRun>> chunk_runs(num_chunks);
+  std::vector<Status> chunk_status(num_chunks);
   auto do_chunk = [&](size_t c) {
     uint64_t begin = line_begin + c * chunk_lines;
     uint64_t end = std::min<uint64_t>(line_end, begin + chunk_lines);
     std::vector<VectorRun>& runs = chunk_runs[c];
     DispatchDataType(column.type(), [&]<typename T>() {
-      std::span<const T> values = column.Values<T>();
-      for (uint64_t line = begin; line < end; ++line) {
-        uint64_t first = line * values_per_line;
-        uint64_t last = std::min<uint64_t>(first + values_per_line, num_rows);
-        uint64_t v = 0;
-        for (uint64_t i = first; i < last; ++i) {
-          v |= uint64_t{1} << bins.BinOf(static_cast<double>(values[i]));
-        }
-        if (!runs.empty() && runs.back().vec == v) {
-          ++runs.back().count;
-        } else {
-          runs.push_back({v, 1});
-        }
-      }
+      uint64_t row_begin = begin * values_per_line;
+      uint64_t row_end = std::min<uint64_t>(end * values_per_line, num_rows);
+      chunk_status[c] = ForEachValueRun<T>(
+          column, row_begin, row_end,
+          [&](const T* vals, uint64_t first, size_t count) {
+            for (uint64_t line = first / values_per_line;
+                 line * values_per_line < first + count; ++line) {
+              uint64_t lf = line * values_per_line;
+              uint64_t ll = std::min<uint64_t>(lf + values_per_line,
+                                               first + count);
+              uint64_t v = 0;
+              for (uint64_t i = lf; i < ll; ++i) {
+                v |= uint64_t{1}
+                     << bins.BinOf(static_cast<double>(vals[i - first]));
+              }
+              if (!runs.empty() && runs.back().vec == v) {
+                ++runs.back().count;
+              } else {
+                runs.push_back({v, 1});
+              }
+            }
+          });
     });
   };
   if (num_chunks > 1) {
@@ -66,7 +79,9 @@ std::vector<std::vector<VectorRun>> BinarizeLines(
   } else if (num_chunks == 1) {
     do_chunk(0);
   }
-  return chunk_runs;
+  for (Status& st : chunk_status) GEOCOL_RETURN_NOT_OK(std::move(st));
+  *out = std::move(chunk_runs);
+  return Status::OK();
 }
 
 /// Canonical greedy dictionary encoding over a stream of vector runs.
@@ -170,9 +185,10 @@ Result<ImprintsIndex> ImprintsIndex::BuildWithBins(const Column& column,
     // reproduce the serial greedy encoding exactly (runs of >= 2 lines
     // become repeat entries, singleton runs coalesce into literal entries),
     // so parallel and serial builds are byte-identical.
-    auto chunk_runs =
-        BinarizeLines(column, bins, ix.values_per_line_, ix.num_rows_, 0,
-                      ix.num_lines_, pool);
+    std::vector<std::vector<VectorRun>> chunk_runs;
+    GEOCOL_RETURN_NOT_OK(BinarizeLines(column, bins, ix.values_per_line_,
+                                       ix.num_rows_, 0, ix.num_lines_, pool,
+                                       &chunk_runs));
     RunEmitter emitter(&ix.vectors_, &ix.dict_);
     for (const auto& runs : chunk_runs) {
       for (const VectorRun& r : runs) emitter.Add(r.vec, r.count);
@@ -181,47 +197,61 @@ Result<ImprintsIndex> ImprintsIndex::BuildWithBins(const Column& column,
     return ix;
   }
 
+  Status build_status;
   DispatchDataType(column.type(), [&]<typename T>() {
-    std::span<const T> values = column.Values<T>();
     uint64_t prev_vector = 0;
     bool have_prev = false;
-    for (uint64_t line = 0; line < ix.num_lines_; ++line) {
-      uint64_t first = line * ix.values_per_line_;
-      uint64_t last = std::min<uint64_t>(first + ix.values_per_line_,
-                                         ix.num_rows_);
-      uint64_t v = 0;
-      for (uint64_t i = first; i < last; ++i) {
-        v |= uint64_t{1} << bins.BinOf(static_cast<double>(values[i]));
-      }
-      if (have_prev && v == prev_vector && !ix.dict_.empty() &&
-          ix.dict_.back().count < kMaxCount) {
-        DictEntry& back = ix.dict_.back();
-        if (back.repeat) {
-          // Extend the run of identical vectors.
-          ++back.count;
-        } else if (back.count == 1) {
-          // The single vector becomes a repeat group of two lines.
-          back.repeat = true;
-          back.count = 2;
-        } else {
-          // Detach the trailing vector from the literal run; it seeds a new
-          // repeat group (the vector is already the last one stored).
-          --back.count;
-          ix.dict_.push_back({2, true});
-        }
-      } else {
-        ix.vectors_.push_back(v);
-        if (!ix.dict_.empty() && !ix.dict_.back().repeat &&
-            ix.dict_.back().count < kMaxCount) {
-          ++ix.dict_.back().count;
-        } else {
-          ix.dict_.push_back({1, false});
-        }
-        prev_vector = v;
-        have_prev = true;
-      }
-    }
+    // Lines arrive through ForEachValueRun: resident columns see the whole
+    // span in one run (exactly the old direct-indexing loop), paged
+    // columns binarise one faulted chunk at a time. Paging-chunk
+    // boundaries are multiples of values_per_line, so a cache line never
+    // straddles two runs and the greedy encoding state (prev_vector, the
+    // open dictionary entry) simply carries across run seams.
+    build_status = ForEachValueRun<T>(
+        column, 0, ix.num_rows_, [&](const T* vals, uint64_t first,
+                                     size_t count) {
+          for (uint64_t line = first / ix.values_per_line_;
+               line * ix.values_per_line_ < first + count; ++line) {
+            uint64_t lf = line * ix.values_per_line_;
+            uint64_t ll =
+                std::min<uint64_t>(lf + ix.values_per_line_, first + count);
+            uint64_t v = 0;
+            for (uint64_t i = lf; i < ll; ++i) {
+              v |= uint64_t{1}
+                   << bins.BinOf(static_cast<double>(vals[i - first]));
+            }
+            if (have_prev && v == prev_vector && !ix.dict_.empty() &&
+                ix.dict_.back().count < kMaxCount) {
+              DictEntry& back = ix.dict_.back();
+              if (back.repeat) {
+                // Extend the run of identical vectors.
+                ++back.count;
+              } else if (back.count == 1) {
+                // The single vector becomes a repeat group of two lines.
+                back.repeat = true;
+                back.count = 2;
+              } else {
+                // Detach the trailing vector from the literal run; it seeds
+                // a new repeat group (the vector is already the last one
+                // stored).
+                --back.count;
+                ix.dict_.push_back({2, true});
+              }
+            } else {
+              ix.vectors_.push_back(v);
+              if (!ix.dict_.empty() && !ix.dict_.back().repeat &&
+                  ix.dict_.back().count < kMaxCount) {
+                ++ix.dict_.back().count;
+              } else {
+                ix.dict_.push_back({1, false});
+              }
+              prev_vector = v;
+              have_prev = true;
+            }
+          }
+        });
   });
+  GEOCOL_RETURN_NOT_OK(build_status);
   return ix;
 }
 
@@ -284,9 +314,10 @@ Result<ImprintsIndex> ImprintsIndex::ExtendAppend(const ImprintsIndex& base,
     }
   }
 
-  auto tail_chunks =
-      BinarizeLines(column, ix.bins_, ix.values_per_line_, ix.num_rows_,
-                    seam_line, ix.num_lines_, pool);
+  std::vector<std::vector<VectorRun>> tail_chunks;
+  GEOCOL_RETURN_NOT_OK(BinarizeLines(column, ix.bins_, ix.values_per_line_,
+                                     ix.num_rows_, seam_line, ix.num_lines_,
+                                     pool, &tail_chunks));
 
   RunEmitter emitter(&ix.vectors_, &ix.dict_);
   for (const VectorRun& r : head) emitter.Add(r.vec, r.count);

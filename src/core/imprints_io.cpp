@@ -53,7 +53,12 @@ Result<ImprintsIndex> ParseImprintsBody(BufferReader* r,
 uint32_t ColumnFingerprint(const Column& column) {
   uint8_t type_byte = static_cast<uint8_t>(column.type());
   uint32_t crc = Crc32c(&type_byte, 1);
-  return Crc32cExtend(crc, column.raw_data(), column.raw_size_bytes());
+  // Fold in the payload CRC instead of re-scanning the bytes: on the paged
+  // tier payload_crc32c() is answered from the on-disk chunk directory, so
+  // sidecar freshness checks never fault a single chunk. For resident
+  // columns Crc32cCombine(crc, Crc32c(data), n) == Crc32cExtend(crc, data,
+  // n), so fingerprints (and existing sidecars) are unchanged.
+  return Crc32cCombine(crc, column.payload_crc32c(), column.raw_size_bytes());
 }
 
 Status WriteImprintsFile(const ImprintsIndex& index, const std::string& path,

@@ -86,18 +86,20 @@ std::shared_ptr<const std::vector<uint8_t>> FetchSeed(GridCellHook* hook,
 
 // Extent of the gathered candidate coordinates, extended in row order so
 // Box::Extend sees exactly the values (and NaN ordering) of the per-row
-// scalar walk it replaces.
-Box GatherExtent(const Column& x, const Column& y, const uint64_t* rows,
-                 size_t count) {
+// scalar walk it replaces. The only Status source is a paged-column chunk
+// fault inside the batched gather.
+Status GatherExtent(const Column& x, const Column& y, const uint64_t* rows,
+                    size_t count, Box* out) {
   Box ext;
   std::vector<double> xs(kRefineBlockRows), ys(kRefineBlockRows);
   for (size_t base = 0; base < count; base += kRefineBlockRows) {
     const size_t bn = std::min(kRefineBlockRows, count - base);
-    x.GetDoubleBatch(rows + base, bn, xs.data());
-    y.GetDoubleBatch(rows + base, bn, ys.data());
+    GEOCOL_RETURN_NOT_OK(x.GetDoubleBatch(rows + base, bn, xs.data()));
+    GEOCOL_RETURN_NOT_OK(y.GetDoubleBatch(rows + base, bn, ys.data()));
     for (size_t i = 0; i < bn; ++i) ext.Extend(xs[i], ys[i]);
   }
-  return ext;
+  *out = ext;
+  return Status::OK();
 }
 
 enum : uint8_t { kActReject = 0, kActAccept = 1, kActBoundary = 2 };
@@ -108,11 +110,11 @@ enum : uint8_t { kActReject = 0, kActAccept = 1, kActBoundary = 2 };
 // then run one batched exact test over the boundary-cell rows. Accepted
 // rows are emitted in candidate order — identical to the old per-row walk.
 template <typename ClassifyFn>
-void RefineRowsBatched(const Column& x, const Column& y, const uint64_t* rows,
-                       size_t count, const RegularGrid& grid,
-                       const Geometry& geometry, double buffer,
-                       ClassifyFn&& classify_cell, std::vector<uint64_t>* out,
-                       RefinementStats& st) {
+Status RefineRowsBatched(const Column& x, const Column& y,
+                         const uint64_t* rows, size_t count,
+                         const RegularGrid& grid, const Geometry& geometry,
+                         double buffer, ClassifyFn&& classify_cell,
+                         std::vector<uint64_t>* out, RefinementStats& st) {
   std::vector<double> xs(kRefineBlockRows), ys(kRefineBlockRows);
   std::vector<uint64_t> cells(kRefineBlockRows);
   std::vector<uint8_t> action(kRefineBlockRows);
@@ -120,8 +122,8 @@ void RefineRowsBatched(const Column& x, const Column& y, const uint64_t* rows,
   std::vector<uint8_t> verdict(kRefineBlockRows);
   for (size_t base = 0; base < count; base += kRefineBlockRows) {
     const size_t bn = std::min(kRefineBlockRows, count - base);
-    x.GetDoubleBatch(rows + base, bn, xs.data());
-    y.GetDoubleBatch(rows + base, bn, ys.data());
+    GEOCOL_RETURN_NOT_OK(x.GetDoubleBatch(rows + base, bn, xs.data()));
+    GEOCOL_RETURN_NOT_OK(y.GetDoubleBatch(rows + base, bn, ys.data()));
     grid.CellOfBatch(xs.data(), ys.data(), bn, cells.data());
     size_t nb = 0;
     for (size_t i = 0; i < bn; ++i) {
@@ -158,6 +160,7 @@ void RefineRowsBatched(const Column& x, const Column& y, const uint64_t* rows,
       }
     }
   }
+  return Status::OK();
 }
 
 Status ParallelGridRefine(const Column& x, const Column& y,
@@ -177,14 +180,17 @@ Status ParallelGridRefine(const Column& x, const Column& y,
   // reallocates mid-scan.
   std::vector<std::vector<uint64_t>> morsel_rows(num_morsels);
   std::vector<Box> morsel_extent(num_morsels);
+  std::vector<Status> morsel_status(num_morsels);
   pool->ParallelFor(num_morsels, [&](size_t m) {
     size_t begin = m * kRefineMorselRows;
     size_t end = std::min(n, begin + kRefineMorselRows);
     std::vector<uint64_t>& rows = morsel_rows[m];
     rows.reserve(candidates.CountInRange(begin, end));
     candidates.CollectSetBitsInRange(begin, end, &rows);
-    morsel_extent[m] = GatherExtent(x, y, rows.data(), rows.size());
+    morsel_status[m] =
+        GatherExtent(x, y, rows.data(), rows.size(), &morsel_extent[m]);
   });
+  for (Status& st : morsel_status) GEOCOL_RETURN_NOT_OK(std::move(st));
   Box extent;
   for (const Box& b : morsel_extent) extent.Extend(b);
   for (const auto& rows : morsel_rows) local.candidates += rows.size();
@@ -250,10 +256,12 @@ Status ParallelGridRefine(const Column& x, const Column& y,
   std::vector<std::vector<uint64_t>> morsel_out(num_morsels);
   std::vector<RefinementStats> morsel_stats(num_morsels);
   pool->ParallelFor(num_morsels, [&](size_t m) {
-    RefineRowsBatched(x, y, morsel_rows[m].data(), morsel_rows[m].size(), grid,
-                      geometry, buffer, classify, &morsel_out[m],
-                      morsel_stats[m]);
+    morsel_status[m] =
+        RefineRowsBatched(x, y, morsel_rows[m].data(), morsel_rows[m].size(),
+                          grid, geometry, buffer, classify, &morsel_out[m],
+                          morsel_stats[m]);
   });
+  for (Status& st : morsel_status) GEOCOL_RETURN_NOT_OK(std::move(st));
 
   for (size_t m = 0; m < num_morsels; ++m) {
     const RefinementStats& st = morsel_stats[m];
@@ -305,7 +313,9 @@ Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
   std::vector<uint64_t> cand_rows;
   cand_rows.reserve(candidates.Count());
   candidates.CollectSetBits(&cand_rows);
-  Box extent = GatherExtent(x, y, cand_rows.data(), cand_rows.size());
+  Box extent;
+  GEOCOL_RETURN_NOT_OK(
+      GatherExtent(x, y, cand_rows.data(), cand_rows.size(), &extent));
   local.candidates = cand_rows.size();
   if (cand_rows.empty()) {
     RecordRefineMetrics(local);
@@ -346,8 +356,9 @@ Status GridRefine(const Column& x, const Column& y, const BitVector& candidates,
     }
     return static_cast<BoxRelation>(cls);
   };
-  RefineRowsBatched(x, y, cand_rows.data(), cand_rows.size(), grid, geometry,
-                    buffer, classify, out_rows, local);
+  GEOCOL_RETURN_NOT_OK(RefineRowsBatched(x, y, cand_rows.data(),
+                                         cand_rows.size(), grid, geometry,
+                                         buffer, classify, out_rows, local));
   if (cell_hook != nullptr && computed_new) {
     cell_hook->Publish(grid.extent(), grid.cols(), grid.rows(),
                        std::move(cell_class));
@@ -372,8 +383,10 @@ Status ExhaustiveRefine(const Column& x, const Column& y,
   std::vector<uint8_t> verdict(kRefineBlockRows);
   for (size_t base = 0; base < cand_rows.size(); base += kRefineBlockRows) {
     const size_t bn = std::min(kRefineBlockRows, cand_rows.size() - base);
-    x.GetDoubleBatch(cand_rows.data() + base, bn, xs.data());
-    y.GetDoubleBatch(cand_rows.data() + base, bn, ys.data());
+    GEOCOL_RETURN_NOT_OK(
+        x.GetDoubleBatch(cand_rows.data() + base, bn, xs.data()));
+    GEOCOL_RETURN_NOT_OK(
+        y.GetDoubleBatch(cand_rows.data() + base, bn, ys.data()));
     ExactTestBatch(geometry, buffer, xs.data(), ys.data(), bn, verdict.data());
     for (size_t i = 0; i < bn; ++i) {
       if (verdict[i] != 0) {

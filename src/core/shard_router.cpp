@@ -416,15 +416,53 @@ Result<double> ShardRouter::AggregateGlobalRows(
   }
   double out = std::nan("");
   if (rows.empty()) return out;
+  bool any_paged = false;
+  for (const ColumnPtr& col : columns) any_paged |= col->paged();
+  Status gather_status;
   DispatchDataType(columns[0]->type(), [&]<typename T>() {
-    std::vector<std::span<const T>> spans;
-    spans.reserve(columns.size());
-    for (const ColumnPtr& col : columns) spans.push_back(col->Values<T>());
-    out = AggregateValues<T>(rows, kind, pool, [&](uint64_t r) {
-      size_t s = ShardIndexFor(view.bases, r);
-      return spans[s][r - view.bases[s]];
-    });
+    if (!any_paged) {
+      std::vector<std::span<const T>> spans;
+      spans.reserve(columns.size());
+      for (const ColumnPtr& col : columns) spans.push_back(col->Values<T>());
+      out = AggregateValues<T>(rows, kind, pool, [&](size_t i) {
+        const uint64_t r = rows[i];
+        size_t s = ShardIndexFor(view.bases, r);
+        return spans[s][r - view.bases[s]];
+      });
+      return;
+    }
+    // Paged shards: gather the selected values once, re-pinning only when
+    // the walk leaves the current chunk or shard. The accumulator then
+    // runs over positions exactly as in the resident branch, so sharded
+    // paged aggregates stay bit-identical to the resident ones.
+    std::vector<T> gathered(rows.size());
+    ColumnChunkPin pin;
+    size_t pin_shard = SIZE_MAX;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const uint64_t r = rows[i];
+      const size_t s = ShardIndexFor(view.bases, r);
+      const uint64_t local = r - view.bases[s];
+      const Column& col = *columns[s];
+      if (!col.paged()) {
+        gathered[i] = col.Values<T>()[local];
+        continue;
+      }
+      if (s != pin_shard || pin.keepalive == nullptr ||
+          local < pin.first_row || local >= pin.first_row + pin.row_count) {
+        auto pinned = col.PinChunk(local / col.chunk_rows());
+        if (!pinned.ok()) {
+          gather_status = pinned.status();
+          return;
+        }
+        pin = std::move(*pinned);
+        pin_shard = s;
+      }
+      gathered[i] = pin.values<T>()[local - pin.first_row];
+    }
+    out = AggregateValues<T>(rows, kind, pool,
+                             [&](size_t i) { return gathered[i]; });
   });
+  GEOCOL_RETURN_NOT_OK(gather_status);
   return out;
 }
 
@@ -540,8 +578,9 @@ Status ShardRouter::Append(const FlatTable& batch) {
         add_min = std::min(add_min, v);
         add_max = std::max(add_max, v);
       }
-      ColumnPtr appended =
-          Column::CloneAppend(base, gather.data(), rows.size());
+      GEOCOL_ASSIGN_OR_RETURN(
+          ColumnPtr appended,
+          Column::CloneAppend(base, gather.data(), rows.size()));
       // Seed the stats cache (base stats ∪ batch extremes) so neither the
       // bbox maintenance here nor a first query rescans the whole shard.
       if (base->empty()) {

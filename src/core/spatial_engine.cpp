@@ -6,6 +6,7 @@
 #include <span>
 #include <thread>
 
+#include "cache/chunk_cache.h"
 #include "columns/types.h"
 #include "telemetry/metrics.h"
 #include "util/timer.h"
@@ -67,16 +68,45 @@ class CacheCellHook final : public GridCellHook {
 
 }  // namespace
 
-double AggregateRows(const Column& column, const std::vector<uint64_t>& rows,
-                     AggKind kind, ThreadPool* pool) {
+Result<double> AggregateRows(const Column& column,
+                             const std::vector<uint64_t>& rows, AggKind kind,
+                             ThreadPool* pool) {
   if (kind == AggKind::kCount) return static_cast<double>(rows.size());
   double out = std::nan("");
   if (rows.empty()) return out;
+  Status gather_status;
   DispatchDataType(column.type(), [&]<typename T>() {
-    std::span<const T> values = column.Values<T>();
+    if (!column.paged()) {
+      std::span<const T> values = column.Values<T>();
+      out = AggregateValues<T>(rows, kind, pool,
+                               [&](size_t i) { return values[rows[i]]; });
+      return;
+    }
+    // Paged tier: gather the selected values once, re-pinning only when
+    // the row walks off the current chunk (selections are ascending, so
+    // this is one fault per touched chunk). The accumulator then runs
+    // over positions exactly as in the resident branch — same chunking,
+    // same merge order, bit-identical result.
+    std::vector<T> gathered(rows.size());
+    const size_t chunk_rows = column.chunk_rows();
+    ColumnChunkPin pin;
+    for (size_t i = 0; i < rows.size(); ++i) {
+      const uint64_t r = rows[i];
+      if (pin.keepalive == nullptr || r < pin.first_row ||
+          r >= pin.first_row + pin.row_count) {
+        auto pinned = column.PinChunk(r / chunk_rows);
+        if (!pinned.ok()) {
+          gather_status = pinned.status();
+          return;
+        }
+        pin = std::move(*pinned);
+      }
+      gathered[i] = pin.values<T>()[r - pin.first_row];
+    }
     out = AggregateValues<T>(rows, kind, pool,
-                             [&](uint64_t r) { return values[r]; });
+                             [&](size_t i) { return gathered[i]; });
   });
+  GEOCOL_RETURN_NOT_OK(gather_status);
   return out;
 }
 
@@ -141,6 +171,9 @@ void SpatialQueryEngine::Init() {
   }
   cache_owner_ = options_.cache.instance;
   set_cache_budget(options_.cache.budget_bytes);
+  if (options_.chunk_cache_budget_bytes > 0) {
+    cache::ChunkCache::Global().GrowBudget(options_.chunk_cache_budget_bytes);
+  }
 }
 
 void SpatialQueryEngine::set_cache_budget(uint64_t budget_bytes) {
@@ -247,7 +280,8 @@ Result<double> SpatialQueryEngine::Aggregate(
     return static_cast<double>(sel.row_ids.size());
   }
   GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table_->GetColumn(column));
-  double value = AggregateRows(*col, sel.row_ids, kind, pool_);
+  GEOCOL_ASSIGN_OR_RETURN(double value,
+                          AggregateRows(*col, sel.row_ids, kind, pool_));
   if (cache_ != nullptr) cache_->InsertAggregate(agg_key, value);
   return value;
 }
@@ -284,7 +318,7 @@ Status SpatialQueryEngine::FilterColumn(const ColumnPtr& column, double lo,
     profile->AddAttr(span, "false_positive_rate", stats->FalsePositiveRate());
     return Status::OK();
   }
-  FullScanRangeSelect(*column, lo, hi, rows);
+  GEOCOL_RETURN_NOT_OK(FullScanRangeSelect(*column, lo, hi, rows));
   ImprintScanStats local;
   local.lines_total = 0;
   local.values_checked = column->size();

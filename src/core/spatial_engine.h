@@ -62,6 +62,12 @@ struct EngineOptions {
   std::string imprints_dir;
   /// Query result cache binding; budget 0 (the default) is cache-off.
   CacheOptions cache;
+  /// Paged-tier chunk cache budget. > 0 grows (never shrinks) the
+  /// process-wide cache::ChunkCache::Global() budget to this many bytes at
+  /// engine construction; 0 leaves the global default
+  /// (GEOCOL_CHUNK_CACHE_MB, else 64 MiB) untouched. Only meaningful when
+  /// the engine's table holds paged columns.
+  uint64_t chunk_cache_budget_bytes = 0;
 };
 
 /// Result of a spatial selection.
@@ -75,14 +81,18 @@ struct SelectionResult {
   uint64_t count() const { return row_ids.size(); }
 };
 
-/// Aggregates `column` over `rows`. kCount ignores the column. Values are
-/// read as typed spans and only the accumulator `kind` needs is computed.
-/// A non-null `pool` aggregates row chunks in parallel and merges the
-/// partials in chunk order, so the result is deterministic for a given
-/// row list (floating-point sums may differ from the serial order in the
-/// last bits; min/max/count are exact).
-double AggregateRows(const Column& column, const std::vector<uint64_t>& rows,
-                     AggKind kind, ThreadPool* pool = nullptr);
+/// Aggregates `column` over `rows`. kCount ignores the column. Resident
+/// values are read as typed spans; paged columns gather the selected
+/// values once (faulting only the chunks the selection touches) and
+/// accumulate over the gathered sequence, so the result is bit-identical
+/// to the resident open of the same file. A non-null `pool` aggregates row
+/// chunks in parallel and merges the partials in chunk order, so the
+/// result is deterministic for a given row list (floating-point sums may
+/// differ from the serial order in the last bits; min/max/count are
+/// exact). The only Status source is a paged-column chunk fault.
+Result<double> AggregateRows(const Column& column,
+                             const std::vector<uint64_t>& rows, AggKind kind,
+                             ThreadPool* pool = nullptr);
 
 /// The spatially-enabled engine over one flat point-cloud table.
 ///

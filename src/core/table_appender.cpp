@@ -59,8 +59,9 @@ Status TableAppender::Commit() {
     if (add == nullptr || add->type() != base->type()) {
       return Status::Internal("staging schema drifted from live table");
     }
-    ColumnPtr appended =
-        Column::CloneAppend(base, add->raw_data(), add->size());
+    GEOCOL_ASSIGN_OR_RETURN(
+        ColumnPtr appended,
+        Column::CloneAppend(base, add->raw_data(), add->size()));
     // Seed the stats cache from base stats ∪ batch extremes so the new
     // version never pays an O(total rows) rescan on its first query (the
     // publish-time bbox read depends on this being cheap).

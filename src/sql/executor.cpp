@@ -62,8 +62,8 @@ std::string ResultSet::ToString(size_t max_rows) const {
 
 namespace {
 
-double AggKindFromFunc(AggFunc f, const Column& col,
-                       const std::vector<uint64_t>& rows) {
+Result<double> AggKindFromFunc(AggFunc f, const Column& col,
+                               const std::vector<uint64_t>& rows) {
   switch (f) {
     case AggFunc::kCount: return static_cast<double>(rows.size());
     case AggFunc::kSum: return AggregateRows(col, rows, AggKind::kSum);
@@ -74,6 +74,13 @@ double AggKindFromFunc(AggFunc f, const Column& col,
   }
   return std::nan("");
 }
+
+/// Rows per batched value-access block in the post-filter, ORDER BY and
+/// projection paths below. Batching resolves the column's type dispatch
+/// once per block and, on the paged tier, faults each covering chunk once
+/// instead of once per row — and it surfaces chunk-fault errors as Status
+/// where the scalar GetDouble can only return NaN.
+constexpr size_t kExecBlockRows = 1024;
 
 Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
   ResultSet rs;
@@ -97,17 +104,24 @@ Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
         GEOCOL_ASSIGN_OR_RETURN(ColumnPtr c, table.GetColumn(a.column));
         cols.push_back(std::move(c));
       }
-      std::vector<uint64_t> kept;
-      for (uint64_t r : rows) {
-        bool ok = true;
-        for (size_t i = 0; i < cols.size(); ++i) {
-          double v = cols[i]->GetDouble(r);
-          if (v < plan.thematic[i].lo || v > plan.thematic[i].hi) {
-            ok = false;
-            break;
+      std::vector<uint8_t> keep(rows.size(), 1);
+      std::vector<double> vals(kExecBlockRows);
+      for (size_t ci = 0; ci < cols.size(); ++ci) {
+        for (size_t base = 0; base < rows.size(); base += kExecBlockRows) {
+          const size_t bn = std::min(kExecBlockRows, rows.size() - base);
+          GEOCOL_RETURN_NOT_OK(
+              cols[ci]->GetDoubleBatch(rows.data() + base, bn, vals.data()));
+          for (size_t i = 0; i < bn; ++i) {
+            if (vals[i] < plan.thematic[ci].lo ||
+                vals[i] > plan.thematic[ci].hi) {
+              keep[base + i] = 0;
+            }
           }
         }
-        if (ok) kept.push_back(r);
+      }
+      std::vector<uint64_t> kept;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (keep[i] != 0) kept.push_back(rows[i]);
       }
       rs.profile.Add("thematic.postfilter", t.ElapsedNanos(), rows.size(),
                      kept.size());
@@ -141,7 +155,7 @@ Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
         out_row.push_back(Value::Num(static_cast<double>(rows.size())));
       } else {
         GEOCOL_ASSIGN_OR_RETURN(ColumnPtr col, table.GetColumn(it.column));
-        double v = AggKindFromFunc(it.agg, *col, rows);
+        GEOCOL_ASSIGN_OR_RETURN(double v, AggKindFromFunc(it.agg, *col, rows));
         out_row.push_back(rows.empty() ? Value::Null() : Value::Num(v));
       }
     }
@@ -168,24 +182,49 @@ Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
   if (!plan.stmt.order_by.empty()) {
     Timer ts;
     GEOCOL_ASSIGN_OR_RETURN(ColumnPtr key, table.GetColumn(plan.stmt.order_by));
-    std::stable_sort(rows.begin(), rows.end(), [&](uint64_t a, uint64_t b) {
-      double va = key->GetDouble(a), vb = key->GetDouble(b);
-      return plan.stmt.order_desc ? va > vb : va < vb;
+    // Pre-materialise the sort keys with one batched pass, then sort a
+    // permutation: the comparator never touches the column, so a paged key
+    // column faults each chunk once instead of O(n log n) times, and the
+    // (stable) order is exactly the old compare-by-GetDouble order.
+    std::vector<double> keys(rows.size());
+    for (size_t base = 0; base < rows.size(); base += kExecBlockRows) {
+      const size_t bn = std::min(kExecBlockRows, rows.size() - base);
+      GEOCOL_RETURN_NOT_OK(
+          key->GetDoubleBatch(rows.data() + base, bn, keys.data() + base));
+    }
+    std::vector<size_t> order(rows.size());
+    for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+    std::stable_sort(order.begin(), order.end(), [&](size_t a, size_t b) {
+      return plan.stmt.order_desc ? keys[a] > keys[b] : keys[a] < keys[b];
     });
+    std::vector<uint64_t> sorted(rows.size());
+    for (size_t i = 0; i < order.size(); ++i) sorted[i] = rows[order[i]];
+    rows = std::move(sorted);
     rs.profile.Add("sort." + plan.stmt.order_by, ts.ElapsedNanos(),
                    rows.size(), rows.size());
   }
   uint64_t limit = plan.stmt.limit >= 0
                        ? static_cast<uint64_t>(plan.stmt.limit)
                        : rows.size();
+  const uint64_t shown = std::min<uint64_t>(limit, rows.size());
   Timer t;
-  for (uint64_t i = 0; i < rows.size() && i < limit; ++i) {
-    std::vector<Value> out_row;
-    out_row.reserve(cols.size());
-    for (const ColumnPtr& c : cols) {
-      out_row.push_back(Value::Num(c->GetDouble(rows[i])));
+  std::vector<std::vector<double>> block(cols.size(),
+                                         std::vector<double>(kExecBlockRows));
+  for (uint64_t base = 0; base < shown; base += kExecBlockRows) {
+    const size_t bn =
+        static_cast<size_t>(std::min<uint64_t>(kExecBlockRows, shown - base));
+    for (size_t c = 0; c < cols.size(); ++c) {
+      GEOCOL_RETURN_NOT_OK(
+          cols[c]->GetDoubleBatch(rows.data() + base, bn, block[c].data()));
     }
-    rs.rows.push_back(std::move(out_row));
+    for (size_t i = 0; i < bn; ++i) {
+      std::vector<Value> out_row;
+      out_row.reserve(cols.size());
+      for (size_t c = 0; c < cols.size(); ++c) {
+        out_row.push_back(Value::Num(block[c][i]));
+      }
+      rs.rows.push_back(std::move(out_row));
+    }
   }
   rs.profile.Add("project", t.ElapsedNanos(), rows.size(), rs.rows.size());
   return rs;

@@ -301,6 +301,14 @@ Status BinaryReader::ReadBytes(void* data, size_t n) {
   return last;
 }
 
+Status BinaryReader::ReadBytesAt(uint64_t offset, void* data, size_t n) {
+  if (file_ == nullptr) return Status::Internal("reader not open");
+  if (n == 0) return Status::OK();
+  // pread bypasses the stdio buffer; it never moves the fd offset, and
+  // stdio tracks its own position, so mixing the two is safe.
+  return PreadExact(::fileno(file_), offset, data, n, "file");
+}
+
 Status BinaryReader::ReadString(std::string* s, uint32_t max_len) {
   uint32_t len = 0;
   GEOCOL_RETURN_NOT_OK(ReadScalar(&len));
@@ -334,6 +342,51 @@ Status BinaryReader::CheckRemaining(uint64_t count, size_t elem_size) const {
         std::to_string(Remaining()) + " bytes remaining in the file");
   }
   return Status::OK();
+}
+
+Status PreadExact(int fd, uint64_t offset, void* data, size_t n,
+                  const std::string& path) {
+  if (n == 0) return Status::OK();
+  GEOCOL_METRIC_COUNTER(c_read_bytes, "geocol_io_read_bytes_total");
+  // Transient failures (EINTR/EAGAIN, injected or real) retry with
+  // jittered backoff; positioned reads need no re-seek, the offset is an
+  // argument. Short reads at EOF are Corruption (truncated file).
+  Status last;
+  for (int attempt = 1; attempt <= kMaxIoAttempts; ++attempt) {
+    if (attempt > 1) BackoffBeforeRetry(attempt);
+    size_t io_bytes = n;
+    int err = FaultInjector::Global().OnRead(n, &io_bytes);
+    if (err != 0) {
+      last = ErrnoError("cannot read from", path, err);
+      if (RetryableErrno(err)) continue;
+      return last;
+    }
+    size_t got = 0;
+    bool transient = false;
+    while (got < io_bytes) {
+      ssize_t rc = ::pread(fd, static_cast<uint8_t*>(data) + got,
+                           io_bytes - got, static_cast<off_t>(offset + got));
+      if (rc < 0) {
+        last = ErrnoError("cannot read from", path, errno);
+        if (RetryableErrno(errno)) {
+          transient = true;
+          break;
+        }
+        return last;
+      }
+      if (rc == 0) break;  // end of file
+      got += static_cast<size_t>(rc);
+    }
+    c_read_bytes.Increment(got);
+    FaultInjector::Global().OnReadData(data, got);
+    if (got == n) return Status::OK();
+    if (transient) continue;
+    return Status::Corruption("short read: wanted " + std::to_string(n) +
+                              " bytes at offset " + std::to_string(offset) +
+                              " of " + path + ", got " + std::to_string(got) +
+                              " (truncated file?)");
+  }
+  return last;
 }
 
 Result<uint64_t> FileSizeBytes(const std::string& path) {

@@ -94,6 +94,12 @@ class BinaryReader {
   /// Reads exactly `n` bytes; Corruption on short read.
   Status ReadBytes(void* data, size_t n);
 
+  /// Positioned read (`pread`): exactly `n` bytes at absolute `offset`,
+  /// without moving the stream position. Concurrent ReadBytesAt calls on
+  /// one reader never race on a shared file offset. Same transient-retry
+  /// and Corruption-on-truncation semantics as ReadBytes.
+  Status ReadBytesAt(uint64_t offset, void* data, size_t n);
+
   template <typename T>
   Status ReadScalar(T* value) {
     static_assert(std::is_trivially_copyable_v<T>);
@@ -247,6 +253,15 @@ Status WriteFileAtomic(const std::string& path, const void* data, size_t n);
 
 /// Reads the whole file into `out`.
 Status ReadFileBytes(const std::string& path, std::vector<uint8_t>* out);
+
+/// Positioned full read on a raw descriptor: exactly `n` bytes at
+/// `offset` via pread(2), with the same bounded EINTR/EAGAIN retry,
+/// fault-injection hooks and Corruption-on-truncation semantics as
+/// BinaryReader::ReadBytes. The descriptor's file offset is never moved,
+/// so concurrent callers on one fd do not serialize or race. `path` is
+/// used in error messages only.
+Status PreadExact(int fd, uint64_t offset, void* data, size_t n,
+                  const std::string& path);
 
 /// rename(2) with fault injection and errno detail.
 Status RenameFile(const std::string& from, const std::string& to);

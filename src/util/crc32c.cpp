@@ -38,7 +38,100 @@ const Tables& GetTables() {
   return tables;
 }
 
+// ---- CRC combination over GF(2) ----------------------------------------
+//
+// Appending one zero bit to a message multiplies its CRC register by x
+// (mod the polynomial); that map is linear over GF(2), so "append k zero
+// bytes" is a 32x32 bit matrix. Squaring the matrix doubles the zero
+// count, which lets Crc32cCombine apply "append len_b zeros" to crc_a in
+// O(log len_b) products, after which the two CRCs simply xor (the
+// pre/post inversion terms cancel between the shifted crc_a and crc_b).
+
+uint32_t Gf2MatrixTimes(const uint32_t* mat, uint32_t vec) {
+  uint32_t sum = 0;
+  while (vec != 0) {
+    if (vec & 1) sum ^= *mat;
+    vec >>= 1;
+    ++mat;
+  }
+  return sum;
+}
+
+void Gf2MatrixSquare(uint32_t* square, const uint32_t* mat) {
+  for (int n = 0; n < 32; ++n) square[n] = Gf2MatrixTimes(mat, mat[n]);
+}
+
 }  // namespace
+
+Crc32cCombineOp Crc32cCombineOpFor(uint64_t len_b) {
+  Crc32cCombineOp op;
+  for (int n = 0; n < 32; ++n) op.mat[n] = 1u << n;  // identity
+  if (len_b == 0) return op;
+
+  uint32_t even[32];
+  uint32_t odd[32];
+  odd[0] = kPoly;
+  uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  Gf2MatrixSquare(even, odd);
+  Gf2MatrixSquare(odd, even);
+
+  // Same walk as Crc32cCombine, but composing matrices instead of
+  // advancing one vector. All these matrices are powers of the same shift,
+  // so composition order is immaterial.
+  uint64_t len = len_b;
+  do {
+    Gf2MatrixSquare(even, odd);
+    if (len & 1) {
+      for (int n = 0; n < 32; ++n) op.mat[n] = Gf2MatrixTimes(even, op.mat[n]);
+    }
+    len >>= 1;
+    if (len == 0) break;
+    Gf2MatrixSquare(odd, even);
+    if (len & 1) {
+      for (int n = 0; n < 32; ++n) op.mat[n] = Gf2MatrixTimes(odd, op.mat[n]);
+    }
+    len >>= 1;
+  } while (len != 0);
+  return op;
+}
+
+uint32_t Crc32cCombineWithOp(const Crc32cCombineOp& op, uint32_t crc_a,
+                             uint32_t crc_b) {
+  return Gf2MatrixTimes(op.mat, crc_a) ^ crc_b;
+}
+
+uint32_t Crc32cCombine(uint32_t crc_a, uint32_t crc_b, uint64_t len_b) {
+  if (len_b == 0) return crc_a;
+  uint32_t even[32];  // "append 2^k zero bits" operator, even k
+  uint32_t odd[32];   // ... odd k
+
+  // One zero bit: the reflected-polynomial shift.
+  odd[0] = kPoly;
+  uint32_t row = 1;
+  for (int n = 1; n < 32; ++n) {
+    odd[n] = row;
+    row <<= 1;
+  }
+  Gf2MatrixSquare(even, odd);  // two zero bits
+  Gf2MatrixSquare(odd, even);  // four zero bits
+
+  // Walk the bits of len_b (in bytes), squaring up through zero counts.
+  uint64_t len = len_b;
+  do {
+    Gf2MatrixSquare(even, odd);
+    if (len & 1) crc_a = Gf2MatrixTimes(even, crc_a);
+    len >>= 1;
+    if (len == 0) break;
+    Gf2MatrixSquare(odd, even);
+    if (len & 1) crc_a = Gf2MatrixTimes(odd, crc_a);
+    len >>= 1;
+  } while (len != 0);
+  return crc_a ^ crc_b;
+}
 
 namespace internal {
 

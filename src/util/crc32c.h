@@ -21,6 +21,27 @@ inline uint32_t Crc32c(const void* data, size_t n) {
   return Crc32cExtend(0, data, n);
 }
 
+/// Combines the CRCs of two adjacent byte ranges without touching the
+/// data: Crc32cCombine(Crc32c(a, na), Crc32c(b, nb), nb) == Crc32c(a||b).
+/// O(log len_b) GF(2) matrix products, so a whole-file checksum can be
+/// assembled from per-chunk checksums already on disk.
+uint32_t Crc32cCombine(uint32_t crc_a, uint32_t crc_b, uint64_t len_b);
+
+/// Precomputed "advance a CRC register over len_b zero bytes" operator.
+/// Building it costs one Crc32cCombine worth of matrix squarings; applying
+/// it is 32 xors. Folding the per-chunk CRCs of a thousand-chunk column
+/// file into its whole-payload CRC (the paged open path) therefore builds
+/// one operator for the fixed chunk size and pays O(1) per chunk.
+struct Crc32cCombineOp {
+  uint32_t mat[32];
+};
+
+Crc32cCombineOp Crc32cCombineOpFor(uint64_t len_b);
+
+/// Crc32cCombine(crc_a, crc_b, len_b) using the operator built for len_b.
+uint32_t Crc32cCombineWithOp(const Crc32cCombineOp& op, uint32_t crc_a,
+                             uint32_t crc_b);
+
 namespace internal {
 /// Portable slice-by-8 implementation, exposed so tests can pin the
 /// hardware path against it.

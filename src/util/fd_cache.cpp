@@ -1,0 +1,164 @@
+#include "util/fd_cache.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/metrics.h"
+#include "util/binary_io.h"
+#include "util/fault_injection.h"
+
+namespace geocol {
+
+namespace {
+
+size_t DefaultCapacity() {
+  const char* v = std::getenv("GEOCOL_MAX_OPEN_FILES");
+  if (v != nullptr) {
+    char* end = nullptr;
+    unsigned long long parsed = std::strtoull(v, &end, 10);
+    if (end != v && parsed > 0) return static_cast<size_t>(parsed);
+  }
+  return 256;
+}
+
+}  // namespace
+
+FileHandle::~FileHandle() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status FileHandle::ReadAt(uint64_t offset, void* data, size_t n) const {
+  return PreadExact(fd_, offset, data, n, path_);
+}
+
+Result<std::shared_ptr<FileHandle>> FileHandle::Open(const std::string& path) {
+  // open(2) can fail with EINTR just like a read; a chunk fault must not
+  // surface a transient signal as a hard I/O error, so retry the same
+  // bounded number of times as PreadExact.
+  constexpr int kMaxOpenAttempts = 3;
+  int fd = -1;
+  int err = 0;
+  for (int attempt = 1; attempt <= kMaxOpenAttempts; ++attempt) {
+    err = FaultInjector::Global().OnOp(FileOp::kOpen);
+    if (err == 0) {
+      fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+      if (fd >= 0) break;
+      err = errno;
+    }
+    if (err != EINTR && err != EAGAIN) break;
+  }
+  if (fd < 0) {
+    return Status::IOError("cannot open for read " + path + ": " +
+                           std::strerror(err) + " (errno " +
+                           std::to_string(err) + ")");
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    Status bad = Status::IOError("cannot stat " + path + ": " +
+                                 std::strerror(errno));
+    ::close(fd);
+    return bad;
+  }
+  return std::shared_ptr<FileHandle>(
+      new FileHandle(fd, path, static_cast<uint64_t>(st.st_size)));
+}
+
+FdCache& FdCache::Global() {
+  static FdCache* cache = new FdCache(DefaultCapacity());
+  return *cache;
+}
+
+void FdCache::UpdateGauge() const {
+  GEOCOL_METRIC_GAUGE(g_open, "geocol_open_files");
+  g_open.Set(static_cast<int64_t>(entries_.size()));
+}
+
+void FdCache::EvictLockedIfNeeded() {
+  GEOCOL_METRIC_COUNTER(c_evict, "geocol_fd_cache_evictions_total");
+  while (entries_.size() > capacity_ && !lru_.empty()) {
+    const std::string victim = lru_.back();
+    lru_.pop_back();
+    entries_.erase(victim);  // pins elsewhere keep the fd alive
+    ++evictions_;
+    c_evict.Increment();
+  }
+}
+
+Result<std::shared_ptr<FileHandle>> FdCache::Get(const std::string& path) {
+  GEOCOL_METRIC_COUNTER(c_hit, "geocol_fd_cache_hits_total");
+  GEOCOL_METRIC_COUNTER(c_miss, "geocol_fd_cache_misses_total");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(path);
+    if (it != entries_.end()) {
+      lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+      ++hits_;
+      c_hit.Increment();
+      return it->second.handle;
+    }
+  }
+  // Open outside the lock: a slow open (or an injected failure) must not
+  // stall hits on other files.
+  GEOCOL_ASSIGN_OR_RETURN(auto handle, FileHandle::Open(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  ++misses_;
+  c_miss.Increment();
+  auto it = entries_.find(path);
+  if (it != entries_.end()) {
+    // Another thread won the race; keep its handle (ours closes when
+    // `handle` goes out of scope).
+    lru_.splice(lru_.begin(), lru_, it->second.lru_it);
+    return it->second.handle;
+  }
+  lru_.push_front(path);
+  entries_[path] = Entry{handle, lru_.begin()};
+  EvictLockedIfNeeded();
+  UpdateGauge();
+  return handle;
+}
+
+void FdCache::Invalidate(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(path);
+  if (it == entries_.end()) return;
+  lru_.erase(it->second.lru_it);
+  entries_.erase(it);
+  UpdateGauge();
+}
+
+void FdCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  lru_.clear();
+  entries_.clear();
+  UpdateGauge();
+}
+
+void FdCache::set_capacity(size_t capacity) {
+  std::lock_guard<std::mutex> lock(mu_);
+  capacity_ = capacity == 0 ? 1 : capacity;
+  EvictLockedIfNeeded();
+  UpdateGauge();
+}
+
+size_t FdCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return capacity_;
+}
+
+FdCache::Stats FdCache::GetStats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s;
+  s.hits = hits_;
+  s.misses = misses_;
+  s.evictions = evictions_;
+  s.open_files = entries_.size();
+  s.capacity = capacity_;
+  return s;
+}
+
+}  // namespace geocol

@@ -1,0 +1,110 @@
+// LRU cache of open read-only file descriptors for the paged column
+// backend. A paged table keeps no file open between faults; every chunk
+// fault asks the cache for a handle, so K shards x N columns of lazily
+// opened files cost at most `capacity` descriptors instead of K*N.
+//
+// Handles are shared_ptr-pinned: eviction (or Invalidate) only removes the
+// cache's reference, so a pread in flight on an evicted handle completes
+// safely and the descriptor closes when the last pin drops. All reads are
+// positioned (pread), so concurrent faults through one handle never race
+// on a file offset.
+//
+// The `geocol_open_files` gauge tracks descriptors currently owned by the
+// cache; `geocol_fd_cache_{hits,misses,evictions}_total` count traffic.
+#ifndef GEOCOL_UTIL_FD_CACHE_H_
+#define GEOCOL_UTIL_FD_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace geocol {
+
+/// An open read-only file. Immutable after creation; safe to share across
+/// threads (pread only).
+class FileHandle {
+ public:
+  ~FileHandle();
+
+  FileHandle(const FileHandle&) = delete;
+  FileHandle& operator=(const FileHandle&) = delete;
+
+  const std::string& path() const { return path_; }
+  uint64_t size() const { return size_; }
+
+  /// Reads exactly `n` bytes at `offset` (util/binary_io PreadExact:
+  /// bounded transient retry, fault-injection hooks, Corruption on
+  /// truncation).
+  Status ReadAt(uint64_t offset, void* data, size_t n) const;
+
+  /// Opens `path` read-only, outside any cache.
+  static Result<std::shared_ptr<FileHandle>> Open(const std::string& path);
+
+ private:
+  FileHandle(int fd, std::string path, uint64_t size)
+      : fd_(fd), path_(std::move(path)), size_(size) {}
+
+  int fd_;
+  std::string path_;
+  uint64_t size_;
+};
+
+/// Process-wide LRU of FileHandles, capped at `capacity` open descriptors.
+class FdCache {
+ public:
+  /// The default-capacity process instance (GEOCOL_MAX_OPEN_FILES, else
+  /// 256) used by every paged column.
+  static FdCache& Global();
+
+  explicit FdCache(size_t capacity) : capacity_(capacity) {}
+
+  /// Returns a handle for `path`, opening (and caching) it on a miss.
+  /// The LRU entry is refreshed on every hit.
+  Result<std::shared_ptr<FileHandle>> Get(const std::string& path);
+
+  /// Drops the cached handle for `path` (outstanding pins stay valid).
+  /// Callers replacing a file (new generation) use this so the next Get
+  /// observes the new inode.
+  void Invalidate(const std::string& path);
+
+  /// Drops every cached handle.
+  void Clear();
+
+  void set_capacity(size_t capacity);
+  size_t capacity() const;
+
+  struct Stats {
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    uint64_t evictions = 0;
+    size_t open_files = 0;
+    size_t capacity = 0;
+  };
+  Stats GetStats() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<FileHandle> handle;
+    std::list<std::string>::iterator lru_it;
+  };
+
+  void EvictLockedIfNeeded();  // requires mu_ held
+  void UpdateGauge() const;    // requires mu_ held
+
+  mutable std::mutex mu_;
+  size_t capacity_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+  uint64_t evictions_ = 0;
+  std::list<std::string> lru_;  ///< front = most recently used
+  std::unordered_map<std::string, Entry> entries_;
+};
+
+}  // namespace geocol
+
+#endif  // GEOCOL_UTIL_FD_CACHE_H_

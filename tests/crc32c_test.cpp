@@ -2,6 +2,7 @@
 // hardware/software agreement on the platforms that have SSE4.2.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstring>
 #include <string>
 #include <vector>
@@ -46,6 +47,56 @@ TEST(Crc32cTest, DetectsSingleBitFlips) {
           << "flip at byte " << byte << " bit " << bit;
     }
   }
+}
+
+TEST(Crc32cTest, CombineMatchesExtendAtEverySplit) {
+  std::string msg = "combine must equal one straight pass over a||b";
+  uint32_t whole = Crc32c(msg.data(), msg.size());
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    uint32_t a = Crc32c(msg.data(), split);
+    uint32_t b = Crc32c(msg.data() + split, msg.size() - split);
+    EXPECT_EQ(Crc32cCombine(a, b, msg.size() - split), whole)
+        << "split at " << split;
+  }
+}
+
+TEST(Crc32cTest, CombineOpEqualsCombine) {
+  // The precomputed operator is what lets a paged column fold thousands of
+  // equal-length chunk CRCs in O(1) each; it must agree with the generic
+  // combine bit for bit, including the len 0 identity.
+  Rng rng(7);
+  for (uint64_t len : {0ull, 1ull, 63ull, 4096ull, 262144ull}) {
+    Crc32cCombineOp op = Crc32cCombineOpFor(len);
+    for (int i = 0; i < 16; ++i) {
+      uint32_t a = static_cast<uint32_t>(rng.Next());
+      // crc_b must be the CRC of an actual len-byte message — for len 0
+      // that means 0 (random values are not valid inputs there).
+      uint32_t b = len == 0 ? 0u : static_cast<uint32_t>(rng.Next());
+      EXPECT_EQ(Crc32cCombineWithOp(op, a, b), Crc32cCombine(a, b, len))
+          << "len " << len;
+    }
+  }
+  // len 0 appends nothing: combine must return crc_a ^ crc_b-of-empty,
+  // i.e. exactly crc_a when b is the CRC of the empty string.
+  EXPECT_EQ(Crc32cCombine(0xDEADBEEFu, Crc32c("", 0), 0), 0xDEADBEEFu);
+}
+
+TEST(Crc32cTest, CombineFoldsChunkedPayload) {
+  // The exact access pattern of PagedColumn::Open: per-chunk CRCs folded
+  // left to right reproduce the whole-payload CRC.
+  Rng rng(21);
+  std::vector<uint8_t> payload(300000);
+  for (auto& b : payload) b = static_cast<uint8_t>(rng.Next());
+  const size_t chunk = 65536;
+  uint32_t folded = 0;
+  Crc32cCombineOp op = Crc32cCombineOpFor(chunk);
+  for (size_t off = 0; off < payload.size(); off += chunk) {
+    size_t n = std::min(chunk, payload.size() - off);
+    uint32_t c = Crc32c(payload.data() + off, n);
+    folded = n == chunk ? Crc32cCombineWithOp(op, folded, c)
+                        : Crc32cCombine(folded, c, n);
+  }
+  EXPECT_EQ(folded, Crc32c(payload.data(), payload.size()));
 }
 
 TEST(Crc32cTest, HardwareMatchesSoftware) {

@@ -1,0 +1,133 @@
+// FdCache: LRU eviction at capacity, pinned handles surviving eviction
+// and invalidation, and positioned reads with exact-byte semantics.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "util/binary_io.h"
+#include "util/fd_cache.h"
+#include "util/tempdir.h"
+
+namespace geocol {
+namespace {
+
+std::string MakeFile(const TempDir& dir, const std::string& name,
+                     const std::string& content) {
+  std::string path = dir.File(name);
+  Status st = WriteFileAtomic(path, content.data(), content.size());
+  EXPECT_TRUE(st.ok()) << st.ToString();
+  return path;
+}
+
+TEST(FdCacheTest, HitRefreshesAndCountsOnce) {
+  TempDir dir("fdcache");
+  std::string path = MakeFile(dir, "a.bin", "hello");
+  FdCache cache(4);
+  auto h1 = cache.Get(path);
+  ASSERT_TRUE(h1.ok()) << h1.status().ToString();
+  auto h2 = cache.Get(path);
+  ASSERT_TRUE(h2.ok());
+  EXPECT_EQ(h1->get(), h2->get());  // same cached handle
+  FdCache::Stats s = cache.GetStats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.open_files, 1u);
+  EXPECT_EQ((*h1)->size(), 5u);
+}
+
+TEST(FdCacheTest, CapacityBoundsOpenDescriptors) {
+  TempDir dir("fdcache");
+  FdCache cache(2);
+  std::vector<std::string> paths;
+  for (int i = 0; i < 5; ++i) {
+    paths.push_back(
+        MakeFile(dir, "f" + std::to_string(i), std::string(8, 'a' + i)));
+  }
+  for (const auto& p : paths) {
+    ASSERT_TRUE(cache.Get(p).ok());
+    EXPECT_LE(cache.GetStats().open_files, 2u);
+  }
+  FdCache::Stats s = cache.GetStats();
+  EXPECT_EQ(s.misses, 5u);
+  EXPECT_EQ(s.evictions, 3u);
+  EXPECT_EQ(s.open_files, 2u);
+  EXPECT_EQ(s.capacity, 2u);
+}
+
+TEST(FdCacheTest, LruKeepsTheRecentlyTouchedEntry) {
+  TempDir dir("fdcache");
+  FdCache cache(2);
+  std::string a = MakeFile(dir, "a", "aa"), b = MakeFile(dir, "b", "bb"),
+              c = MakeFile(dir, "c", "cc");
+  ASSERT_TRUE(cache.Get(a).ok());
+  ASSERT_TRUE(cache.Get(b).ok());
+  ASSERT_TRUE(cache.Get(a).ok());  // refresh a; b is now LRU
+  ASSERT_TRUE(cache.Get(c).ok());  // evicts b
+  uint64_t hits_before = cache.GetStats().hits;
+  ASSERT_TRUE(cache.Get(a).ok());
+  EXPECT_EQ(cache.GetStats().hits, hits_before + 1);  // a stayed cached
+  ASSERT_TRUE(cache.Get(b).ok());
+  EXPECT_EQ(cache.GetStats().misses, 4u);  // b had to reopen
+}
+
+TEST(FdCacheTest, EvictedHandleStaysReadableThroughItsPin) {
+  TempDir dir("fdcache");
+  FdCache cache(1);
+  std::string a = MakeFile(dir, "a", "first-file-bytes");
+  auto pinned = cache.Get(a);
+  ASSERT_TRUE(pinned.ok());
+  // Evict `a` by opening another file through the capacity-1 cache.
+  std::string b = MakeFile(dir, "b", "second");
+  ASSERT_TRUE(cache.Get(b).ok());
+  EXPECT_EQ(cache.GetStats().open_files, 1u);
+  // The pin still reads: eviction only dropped the cache's reference.
+  char buf[5] = {0};
+  Status st = (*pinned)->ReadAt(6, buf, 4);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  EXPECT_EQ(std::string(buf, 4), "file");
+}
+
+TEST(FdCacheTest, InvalidateObservesTheReplacedFile) {
+  TempDir dir("fdcache");
+  FdCache cache(4);
+  std::string path = MakeFile(dir, "gen.bin", "old-generation");
+  auto old_handle = cache.Get(path);
+  ASSERT_TRUE(old_handle.ok());
+  // Replace the file (atomic rename, new inode), as a new table
+  // generation does, then invalidate.
+  std::string next = "new-generation";
+  ASSERT_TRUE(WriteFileAtomic(path, next.data(), next.size()).ok());
+  cache.Invalidate(path);
+  auto fresh = cache.Get(path);
+  ASSERT_TRUE(fresh.ok());
+  char buf[3] = {0};
+  ASSERT_TRUE((*fresh)->ReadAt(0, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "new");
+  // The pinned pre-invalidation handle still reads the old inode.
+  ASSERT_TRUE((*old_handle)->ReadAt(0, buf, 3).ok());
+  EXPECT_EQ(std::string(buf, 3), "old");
+}
+
+TEST(FdCacheTest, ReadPastEndIsCorruptionNotGarbage) {
+  TempDir dir("fdcache");
+  FdCache cache(4);
+  std::string path = MakeFile(dir, "tiny", "12345678");
+  auto h = cache.Get(path);
+  ASSERT_TRUE(h.ok());
+  char buf[16];
+  Status st = (*h)->ReadAt(4, buf, 16);  // only 4 bytes remain
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(FdCacheTest, MissingFileFailsCleanly) {
+  TempDir dir("fdcache");
+  FdCache cache(4);
+  auto h = cache.Get(dir.File("does-not-exist"));
+  EXPECT_FALSE(h.ok());
+  EXPECT_EQ(cache.GetStats().open_files, 0u);
+}
+
+}  // namespace
+}  // namespace geocol

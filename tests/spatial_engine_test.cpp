@@ -171,11 +171,11 @@ TEST(SpatialEngineTest, AggregateRowsEmptySelectionReturnsNaN) {
   auto table = MakeTable(100, 101, Box(0, 0, 10, 10));
   ColumnPtr z = table->column("z");
   const std::vector<uint64_t> empty;
-  EXPECT_EQ(AggregateRows(*z, empty, AggKind::kCount), 0.0);
-  EXPECT_TRUE(std::isnan(AggregateRows(*z, empty, AggKind::kSum)));
-  EXPECT_TRUE(std::isnan(AggregateRows(*z, empty, AggKind::kAvg)));
-  EXPECT_TRUE(std::isnan(AggregateRows(*z, empty, AggKind::kMin)));
-  EXPECT_TRUE(std::isnan(AggregateRows(*z, empty, AggKind::kMax)));
+  EXPECT_EQ(*AggregateRows(*z, empty, AggKind::kCount), 0.0);
+  EXPECT_TRUE(std::isnan(*AggregateRows(*z, empty, AggKind::kSum)));
+  EXPECT_TRUE(std::isnan(*AggregateRows(*z, empty, AggKind::kAvg)));
+  EXPECT_TRUE(std::isnan(*AggregateRows(*z, empty, AggKind::kMin)));
+  EXPECT_TRUE(std::isnan(*AggregateRows(*z, empty, AggKind::kMax)));
 }
 
 // Contract pin: parallel AggregateRows merges per-chunk partial sums in
@@ -202,8 +202,8 @@ TEST(SpatialEngineTest, ParallelAggregateRowsSumsInDeterministicChunkOrder) {
   double ref_avg = ref_sum / static_cast<double>(kRows);
 
   ThreadPool pool(3);
-  double par_sum = AggregateRows(*z, rows, AggKind::kSum, &pool);
-  double par_avg = AggregateRows(*z, rows, AggKind::kAvg, &pool);
+  double par_sum = *AggregateRows(*z, rows, AggKind::kSum, &pool);
+  double par_avg = *AggregateRows(*z, rows, AggKind::kAvg, &pool);
   uint64_t ref_bits, par_bits;
   std::memcpy(&ref_bits, &ref_sum, sizeof(ref_bits));
   std::memcpy(&par_bits, &par_sum, sizeof(par_bits));
@@ -215,7 +215,7 @@ TEST(SpatialEngineTest, ParallelAggregateRowsSumsInDeterministicChunkOrder) {
   // Repeated parallel runs are deterministic — thread scheduling must not
   // leak into the merge order.
   for (int repeat = 0; repeat < 3; ++repeat) {
-    EXPECT_EQ(AggregateRows(*z, rows, AggKind::kSum, &pool), par_sum);
+    EXPECT_EQ(*AggregateRows(*z, rows, AggKind::kSum, &pool), par_sum);
   }
 }
 

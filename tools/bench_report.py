@@ -20,11 +20,20 @@ counters/gauges/histogram summaries are merged into BENCH_METRICS.json:
 
     build/bench/bench_selection --metrics /tmp/sel-metrics.json
     tools/bench_report.py --out-dir . --metrics /tmp/sel-metrics.json ...
+
+With `--compare <old.json>` the script instead diffs the given inputs
+against a previous run's JSON (either a per-binary --json output or a
+merged BENCH_E*.json) and prints per-benchmark metric deltas:
+
+    tools/bench_report.py --compare BENCH_E16.json /tmp/e16-new.json
+    # E16  mode=paged-raw
+    #   sweep ms      33.21 -> 30.05   -9.5%
 """
 
 import argparse
 import json
 import os
+import re
 import sys
 from collections import defaultdict
 
@@ -81,6 +90,71 @@ def metrics_row(path):
     }
 
 
+# Bench cells are either bare numbers or number-with-unit strings
+# ("37.53 MB", "100.0%", "1.19x"). Both compare numerically; anything
+# else ("paged-raw", "V1 0.1%") identifies the row.
+_NUMERIC_CELL = re.compile(
+    r"^(-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?)\s*(%|x|ms|us|s|KB|MB|GB|pts)?$")
+
+
+def split_cell(value):
+    """Returns (number, unit) for numeric-ish cells, else None."""
+    if isinstance(value, bool):
+        return None
+    if isinstance(value, (int, float)):
+        return (float(value), "")
+    if isinstance(value, str):
+        m = _NUMERIC_CELL.match(value.strip())
+        if m:
+            return (float(m.group(1)), m.group(2) or "")
+    return None
+
+
+def row_key(row):
+    """Identity of a row: its bench id plus every non-numeric metric."""
+    ident = tuple(sorted(
+        (k, v) for k, v in row.get("metrics", {}).items()
+        if split_cell(v) is None))
+    return (str(row.get("bench", "unknown")), ident)
+
+
+def compare_runs(old_rows, new_rows):
+    """Prints per-benchmark deltas of every numeric metric; returns 0/1."""
+    old_by_key = defaultdict(list)
+    for row in old_rows:
+        old_by_key[row_key(row)].append(row)
+    matched = 0
+    for row in new_rows:
+        key = row_key(row)
+        if not old_by_key.get(key):
+            continue
+        old = old_by_key[key].pop(0)
+        matched += 1
+        ident = ", ".join(f"{k}={v}" for k, v in key[1])
+        print(f"{key[0]}  {ident}" if ident else key[0])
+        for name, new_val in row.get("metrics", {}).items():
+            new_nu = split_cell(new_val)
+            old_nu = split_cell(old.get("metrics", {}).get(name))
+            if new_nu is None or old_nu is None:
+                continue
+            (new_n, unit), (old_n, _) = new_nu, old_nu
+            if old_n == 0:
+                delta = "n/a" if new_n != 0 else "+0.0%"
+            else:
+                delta = f"{100.0 * (new_n - old_n) / old_n:+.1f}%"
+            print(f"  {name:<14} {old_n:>10g} -> {new_n:<10g} {unit:<3} "
+                  f"{delta}")
+    unmatched_new = len(new_rows) - matched
+    unmatched_old = sum(len(v) for v in old_by_key.values())
+    if unmatched_new or unmatched_old:
+        print(f"compare: {unmatched_new} new / {unmatched_old} old rows "
+              "had no counterpart", file=sys.stderr)
+    if matched == 0:
+        print("compare: no rows matched between the runs", file=sys.stderr)
+        return 1
+    return 0
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__)
     ap.add_argument("inputs", nargs="*", help="per-binary --json outputs")
@@ -90,9 +164,20 @@ def main():
                          "BENCH_METRICS.json")
     ap.add_argument("--out-dir", default=".",
                     help="directory for BENCH_<id>.json files")
+    ap.add_argument("--compare", metavar="OLD",
+                    help="previous run's bench JSON; print per-benchmark "
+                         "metric deltas of the inputs against it instead "
+                         "of writing artifacts")
     args = ap.parse_args()
     if not args.inputs and not args.metrics:
         ap.error("no inputs given")
+
+    if args.compare:
+        old_rows = rows_from_file(args.compare)
+        new_rows = []
+        for path in args.inputs:
+            new_rows.extend(rows_from_file(path))
+        return compare_runs(old_rows, new_rows)
 
     by_bench = defaultdict(list)
     for path in args.inputs:

@@ -4,15 +4,18 @@
 //   geocol info     <tiles_dir>
 //   geocol sort     <tiles_dir>                    (lassort)
 //   geocol index    <tiles_dir>                    (lasindex)
-//   geocol load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]
+//   geocol load     <tiles_dir> <table_dir> [--csv] [--compressed|--chunked]
+//                   [--threads N]
 //   geocol shard    <table_dir> <out_dir> [--shards K] [--order N]
 //   geocol ingest   <table_dir> <batch.las|batch.csv>...
 //   geocol query    <table_dir> "<SQL>" [--layers <dir>] [--profile]
+//                   [--paged [--chunk-mb N]]
 //   geocol raster   <table_dir> <out.ppm> [--cols N]
 //   geocol verify   <table_dir>
 //   geocol metrics  <table_dir> ["<SQL>"] [--format prom|json] [--layers <dir>]
 //   geocol trace    <table_dir> "<SQL>" [--out <path>] [--jsonl] [--layers <dir>]
-//   geocol cache    <table_dir> "<SQL>" [--budget-mb N] [--repeat N] [--layers <dir>]
+//   geocol cache    <table_dir> "<SQL>" [--budget-mb N] [--repeat N]
+//                   [--paged [--chunk-mb N]] [--layers <dir>]
 //   geocol simd
 //
 // Tables are persisted GeoColumn table directories; layers are .layer text
@@ -30,8 +33,10 @@
 #include <vector>
 
 #include "baselines/file_store.h"
+#include "cache/chunk_cache.h"
 #include "cache/query_cache.h"
 #include "columns/column_file.h"
+#include "columns/paged_column.h"
 #include "columns/compression.h"
 #include "columns/csv.h"
 #include "columns/sharded_table.h"
@@ -51,6 +56,7 @@
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 #include "util/binary_io.h"
+#include "util/fd_cache.h"
 #include "util/tempdir.h"
 #include "util/timer.h"
 
@@ -92,15 +98,15 @@ int Usage() {
                "  info     <tiles_dir>\n"
                "  sort     <tiles_dir>\n"
                "  index    <tiles_dir>\n"
-               "  load     <tiles_dir> <table_dir> [--csv] [--compressed] [--threads N]\n"
+               "  load     <tiles_dir> <table_dir> [--csv] [--compressed|--chunked] [--threads N]\n"
                "  shard    <table_dir> <out_dir> [--shards K] [--order N]\n"
                "  ingest   <table_dir> <batch.las|batch.csv>...\n"
-               "  query    <table_dir> \"<SQL>\" [--layers <dir>] [--profile]\n"
+               "  query    <table_dir> \"<SQL>\" [--layers <dir>] [--profile] [--paged [--chunk-mb N]]\n"
                "  raster   <table_dir> <out.ppm> [--cols N]\n"
                "  verify   <table_dir>\n"
                "  metrics  <table_dir> [\"<SQL>\"] [--format prom|json] [--layers <dir>]\n"
                "  trace    <table_dir> \"<SQL>\" [--out <path>] [--jsonl] [--layers <dir>]\n"
-               "  cache    <table_dir> \"<SQL>\" [--budget-mb N] [--repeat N] [--layers <dir>]\n"
+               "  cache    <table_dir> \"<SQL>\" [--budget-mb N] [--repeat N] [--paged [--chunk-mb N]] [--layers <dir>]\n"
                "  simd     (print CPU features and active kernel dispatch)\n");
   return 2;
 }
@@ -242,7 +248,18 @@ int CmdLoad(const Args& args) {
               static_cast<unsigned long long>(stats.points),
               static_cast<unsigned long long>(stats.files),
               stats.TotalSeconds(), stats.PointsPerSecond() / 1e6);
-  if (args.Has("--compressed")) {
+  if (args.Has("--chunked")) {
+    // Per-chunk compression (GPC1): the only compressed layout the paged
+    // open mode (--paged) can fault chunk by chunk.
+    uint64_t bytes = 0;
+    if (Status st = WriteChunkedCompressedTableDir(**table, table_dir, &bytes);
+        !st.ok()) {
+      return Fail(st);
+    }
+    std::printf("persisted chunk-compressed table to %s (%.1f MB, %.2fx)\n",
+                table_dir.c_str(), bytes / 1048576.0,
+                static_cast<double>((*table)->DataBytes()) / bytes);
+  } else if (args.Has("--compressed")) {
     uint64_t bytes = 0;
     if (Status st = WriteCompressedTableDir(**table, table_dir, &bytes);
         !st.ok()) {
@@ -278,10 +295,11 @@ bool IsCompressedTable(const std::string& dir, const TableManifest& m) {
   return st.ok() && !gcz.empty();
 }
 
-Result<FlatTable> OpenTable(const std::string& dir) {
+Result<FlatTable> OpenTable(const std::string& dir, bool paged = false) {
   if (!PathExists(dir + "/schema.gct")) {
     return Status::NotFound("no table manifest under " + dir);
   }
+  if (paged) return ReadTableDirPaged(dir);
   GEOCOL_ASSIGN_OR_RETURN(TableManifest m, ReadTableManifest(dir));
   return IsCompressedTable(dir, m) ? ReadCompressedTableDir(dir)
                                    : ReadTableDir(dir);
@@ -550,13 +568,24 @@ int CmdVerify(const Args& args) {
 /// query/metrics/trace subcommands.
 Status SetupCatalog(const Args& args, Catalog* catalog) {
   const std::string& table_dir = args.positional[0];
+  const bool paged = args.Has("--paged");
+  if (paged) {
+    // An explicit --chunk-mb is a request for that exact budget (shrinking
+    // the default 64 MiB included); without it the env/default stands.
+    uint64_t chunk_mb = args.U64("--chunk-mb", 0);
+    if (chunk_mb > 0) {
+      cache::ChunkCache::Global().SetBudget(chunk_mb * 1024 * 1024);
+    }
+  }
   if (IsShardedTableDir(table_dir)) {
-    GEOCOL_ASSIGN_OR_RETURN(auto sharded, ReadShardedTableDir(table_dir));
+    GEOCOL_ASSIGN_OR_RETURN(
+        auto sharded,
+        ReadShardedTableDir(table_dir, /*verify_checksums=*/true, paged));
     std::string name = sharded->name().empty() ? "ahn2" : sharded->name();
     GEOCOL_RETURN_NOT_OK(
         catalog->AddShardedPointCloud(name, std::move(sharded)));
   } else {
-    GEOCOL_ASSIGN_OR_RETURN(FlatTable table, OpenTable(table_dir));
+    GEOCOL_ASSIGN_OR_RETURN(FlatTable table, OpenTable(table_dir, paged));
     GEOCOL_RETURN_NOT_OK(catalog->AddPointCloud(
         table.name().empty() ? "ahn2" : table.name(),
         std::make_shared<FlatTable>(std::move(table))));
@@ -686,6 +715,16 @@ int CmdCache(const Args& args) {
                 hit ? "  [cache hit]" : "");
   }
   std::printf("\n%s", cache::QueryResultCache::Global().StatsToString().c_str());
+  // The paged tier's caches. Without --paged both sit at zero traffic —
+  // printed anyway so the two tiers always read side by side.
+  std::printf("\n%s", cache::ChunkCache::Global().StatsToString().c_str());
+  FdCache::Stats fd = FdCache::Global().GetStats();
+  std::printf("fd cache: %zu/%zu open, %llu hits, %llu misses, %llu "
+              "evictions\n",
+              fd.open_files, fd.capacity,
+              static_cast<unsigned long long>(fd.hits),
+              static_cast<unsigned long long>(fd.misses),
+              static_cast<unsigned long long>(fd.evictions));
   telemetry::MaybePrintSummary(stderr);
   return 0;
 }
@@ -746,7 +785,7 @@ int main(int argc, char** argv) {
       if ((a == "--points" || a == "--layers" || a == "--threads" ||
            a == "--cols" || a == "--format" || a == "--out" ||
            a == "--budget-mb" || a == "--repeat" || a == "--shards" ||
-           a == "--order") &&
+           a == "--order" || a == "--chunk-mb") &&
           i + 1 < argc) {
         args.flags.push_back(argv[++i]);
       }
