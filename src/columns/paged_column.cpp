@@ -6,6 +6,7 @@
 
 #include "cache/chunk_cache.h"
 #include "columns/column_file.h"
+#include "telemetry/heat.h"
 #include "telemetry/metrics.h"
 #include "util/binary_io.h"
 #include "util/crc32c.h"
@@ -265,10 +266,13 @@ Result<ColumnChunkPin> PagedColumn::PinChunk(size_t chunk_index) const {
   auto& chunk_cache = cache::ChunkCache::Global();
   cache::ChunkCache::Payload payload =
       chunk_cache.Lookup(file_id_, static_cast<uint32_t>(chunk_index));
-  if (payload == nullptr) {
+  const bool faulted = payload == nullptr;
+  if (faulted) {
     GEOCOL_ASSIGN_OR_RETURN(payload, FaultChunk(chunk_index));
     chunk_cache.Insert(file_id_, static_cast<uint32_t>(chunk_index), payload);
   }
+  telemetry::TouchChunkHeat(path_, static_cast<uint32_t>(chunk_index),
+                            faulted);
   ColumnChunkPin pin;
   pin.data = payload->data();
   pin.first_row = static_cast<uint64_t>(chunk_index) * chunk_rows_;

@@ -10,6 +10,7 @@
 #include "columns/column_file.h"
 #include "columns/types.h"
 #include "sfc/hilbert.h"
+#include "telemetry/heat.h"
 #include "telemetry/metrics.h"
 #include "util/timer.h"
 
@@ -367,6 +368,9 @@ Result<SelectionResult> ShardRouter::Execute(
       int32_t span = result.profile.Add("shard.covered", 0, rows, rows);
       result.profile.AddAttr(span, "shard",
                              static_cast<uint64_t>(w.shard));
+      telemetry::TouchShardHeat(table_->name(),
+                                static_cast<uint32_t>(w.shard),
+                                /*covered=*/true, rows);
       continue;
     }
     const ShardBranch& b = branches[w.branch];
@@ -374,6 +378,9 @@ Result<SelectionResult> ShardRouter::Execute(
     const size_t n = b.sel.row_ids.size();
     for (size_t i = 0; i < n; ++i) out[i] = base + in[i];
     out += n;
+    telemetry::TouchShardHeat(table_->name(),
+                              static_cast<uint32_t>(w.shard),
+                              /*covered=*/false, n);
     result.profile.Append(b.profile);
     if (branches.size() == 1 && num_covered == 0) {
       result.filter_x = b.sel.filter_x;

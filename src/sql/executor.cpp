@@ -3,9 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstring>
 
 #include "geom/wkt.h"
 #include "gis/spatial_join.h"
+#include "util/binary_io.h"
+#include "util/crc32c.h"
 #include "util/timer.h"
 
 namespace geocol {
@@ -520,6 +523,78 @@ Result<ResultSet> ExecuteQuery(const PlannedQuery& plan) {
   }
   rs.profile = std::move(executed->profile);
   return rs;
+}
+
+namespace {
+
+/// Streams the digest byte image through the CRC in stack-buffer chunks.
+/// Produces exactly Crc32c(BufferWriter image) — the digest runs once per
+/// recorded statement, so it must not pay a heap resize per value (the
+/// flight recorder's E17 overhead budget).
+class DigestStream {
+ public:
+  void Bytes(const void* data, size_t n) {
+    const uint8_t* p = static_cast<const uint8_t*>(data);
+    while (n > 0) {
+      if (fill_ == sizeof(buf_)) Flush();
+      const size_t take = std::min(n, sizeof(buf_) - fill_);
+      std::memcpy(buf_ + fill_, p, take);
+      fill_ += take;
+      p += take;
+      n -= take;
+    }
+  }
+  template <typename T>
+  void Scalar(T v) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    Bytes(&v, sizeof(T));
+  }
+  void String(const std::string& s) {
+    Scalar<uint32_t>(static_cast<uint32_t>(s.size()));
+    Bytes(s.data(), s.size());
+  }
+  uint32_t Finish() {
+    Flush();
+    return crc_;
+  }
+
+ private:
+  void Flush() {
+    crc_ = Crc32cExtend(crc_, buf_, fill_);
+    fill_ = 0;
+  }
+
+  uint32_t crc_ = 0;
+  size_t fill_ = 0;
+  uint8_t buf_[512];
+};
+
+}  // namespace
+
+uint32_t ResultSetDigest(const ResultSet& rs) {
+  DigestStream w;
+  w.Scalar<uint32_t>(static_cast<uint32_t>(rs.columns.size()));
+  for (const std::string& c : rs.columns) w.String(c);
+  w.Scalar<uint64_t>(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    w.Scalar<uint32_t>(static_cast<uint32_t>(row.size()));
+    for (const Value& v : row) {
+      w.Scalar<uint8_t>(static_cast<uint8_t>(v.kind));
+      switch (v.kind) {
+        case Value::Kind::kNull:
+          break;
+        case Value::Kind::kNumber:
+          // Exact bit image, not a decimal rendering: the digest must
+          // separate values a printf round-trip would conflate.
+          w.Scalar<double>(v.number);
+          break;
+        case Value::Kind::kText:
+          w.String(v.text);
+          break;
+      }
+    }
+  }
+  return w.Finish();
 }
 
 }  // namespace sql

@@ -53,6 +53,13 @@ struct ResultSet {
 /// Runs a planned query.
 Result<ResultSet> ExecuteQuery(const PlannedQuery& plan);
 
+/// CRC32C of a canonical byte image of `rs` (column names, row count,
+/// every cell's kind plus its exact double bits or text). Bit-identical
+/// executions — the engine's contract across threads/SIMD/sharding —
+/// produce equal digests; the flight recorder stores this per query and
+/// `geocol replay` diffs against it.
+uint32_t ResultSetDigest(const ResultSet& rs);
+
 }  // namespace sql
 }  // namespace geocol
 

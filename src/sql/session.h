@@ -9,6 +9,10 @@
 #include "sql/executor.h"
 
 namespace geocol {
+namespace telemetry {
+struct QueryEvent;
+}  // namespace telemetry
+
 namespace sql {
 
 /// Telemetry knobs for a Session.
@@ -16,6 +20,12 @@ struct SessionOptions {
   /// Record every executed query (text + span tree + wall time) into
   /// telemetry::TraceRing::Global() for later export via `geocol trace`.
   bool record_trace = true;
+
+  /// Append a structured event per statement to the process-wide flight
+  /// recorder when it is open (telemetry/recorder.h). Off only for
+  /// sessions that must not observe themselves — `geocol replay` replays
+  /// a log without appending to it.
+  bool record_flight = true;
 
   /// Queries slower than this (end-to-end: parse + plan + execute) are
   /// logged at Warning with their plan and span tree. <0 disables; the
@@ -55,6 +65,14 @@ class Session {
   const SessionOptions& options() const { return options_; }
 
  private:
+  /// The parse/plan/execute core. When `ev` is non-null it is filled with
+  /// the statement's identity (table, generation, epochs, digest
+  /// validity) and profile-derived breakdown as execution proceeds; the
+  /// public Execute wraps this with counter-delta sampling and the
+  /// flight-recorder append so error paths are recorded too.
+  Result<ResultSet> ExecuteInternal(const std::string& sql_text,
+                                    telemetry::QueryEvent* ev);
+
   Catalog* catalog_;
   SessionOptions options_;
   std::string last_plan_;

@@ -1,0 +1,104 @@
+#include "telemetry/heat.h"
+
+#include <algorithm>
+#include <map>
+#include <mutex>
+#include <utility>
+
+#include "telemetry/metrics.h"
+
+namespace geocol {
+namespace telemetry {
+
+namespace {
+
+struct ShardHeat {
+  uint64_t scans = 0;
+  uint64_t covered = 0;
+  uint64_t rows = 0;
+};
+
+struct ChunkHeat {
+  uint64_t touches = 0;
+  uint64_t faults = 0;
+};
+
+// std::map keeps drains deterministically ordered, which in turn keeps
+// recorded events (and their digests in tests) byte-stable.
+struct HeatState {
+  std::mutex mu;
+  std::map<std::pair<std::string, uint32_t>, ShardHeat> shards;
+  std::map<std::pair<std::string, uint32_t>, ChunkHeat> chunks;
+};
+
+HeatState& State() {
+  static HeatState* state = new HeatState();  // never destroyed
+  return *state;
+}
+
+}  // namespace
+
+void TouchShardHeat(const std::string& table, uint32_t shard, bool covered,
+                    uint64_t rows) {
+  if (!MetricsEnabled()) return;
+  HeatState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ShardHeat& h = s.shards[{table, shard}];
+  h.scans += 1;
+  h.covered += covered ? 1 : 0;
+  h.rows += rows;
+}
+
+void TouchChunkHeat(const std::string& file, uint32_t chunk, bool fault) {
+  if (!MetricsEnabled()) return;
+  HeatState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  ChunkHeat& h = s.chunks[{file, chunk}];
+  h.touches += 1;
+  h.faults += fault ? 1 : 0;
+}
+
+std::vector<ShardHeatDelta> DrainShardHeat() {
+  HeatState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<ShardHeatDelta> out;
+  out.reserve(s.shards.size());
+  for (const auto& kv : s.shards) {
+    ShardHeatDelta d;
+    d.table = kv.first.first;
+    d.shard = kv.first.second;
+    d.scans = kv.second.scans;
+    d.covered = kv.second.covered;
+    d.rows = kv.second.rows;
+    out.push_back(std::move(d));
+  }
+  s.shards.clear();
+  return out;
+}
+
+std::vector<ChunkHeatDelta> DrainChunkHeat() {
+  HeatState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  std::vector<ChunkHeatDelta> out;
+  out.reserve(s.chunks.size());
+  for (const auto& kv : s.chunks) {
+    ChunkHeatDelta d;
+    d.file = kv.first.first;
+    d.chunk = kv.first.second;
+    d.touches = kv.second.touches;
+    d.faults = kv.second.faults;
+    out.push_back(std::move(d));
+  }
+  s.chunks.clear();
+  return out;
+}
+
+void ResetHeat() {
+  HeatState& s = State();
+  std::lock_guard<std::mutex> lock(s.mu);
+  s.shards.clear();
+  s.chunks.clear();
+}
+
+}  // namespace telemetry
+}  // namespace geocol

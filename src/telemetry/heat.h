@@ -1,0 +1,61 @@
+// Shard- and chunk-level access heat: the steering signal for cache
+// admission priorities and shard rebalancing (ROADMAP items 2 and 3).
+//
+// The router's scatter loop touches a shard entry per shard it answers;
+// the paged column's fault path touches a chunk entry per pin. The flight
+// recorder drains the accumulated deltas after every query and embeds
+// them in that query's event, so `geocol heat` can attribute access
+// counts to recorded workload — for the single-session CLI the drained
+// delta is exactly what the query touched; under concurrent sessions it
+// is the union of touches since the previous drain (documented
+// approximation, still exact in aggregate).
+//
+// Cost model: a mutex + hash-map update per shard visit / chunk pin —
+// orders of magnitude rarer than per-row work, and gated on the same
+// kill switch as every other metric write.
+#ifndef GEOCOL_TELEMETRY_HEAT_H_
+#define GEOCOL_TELEMETRY_HEAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace geocol {
+namespace telemetry {
+
+/// Accumulated accesses of one shard since the last drain.
+struct ShardHeatDelta {
+  std::string table;     ///< sharded-table name
+  uint32_t shard = 0;    ///< shard index within the layout
+  uint64_t scans = 0;    ///< times the shard was answered (scan or covered)
+  uint64_t covered = 0;  ///< times answered via the covered shortcut
+  uint64_t rows = 0;     ///< rows the shard contributed to merged results
+};
+
+/// Accumulated accesses of one column chunk since the last drain.
+struct ChunkHeatDelta {
+  std::string file;      ///< column file path
+  uint32_t chunk = 0;    ///< chunk index within the file
+  uint64_t touches = 0;  ///< pins (cache hit or fault)
+  uint64_t faults = 0;   ///< pins that faulted from disk
+};
+
+/// Records one shard answer. No-op when metrics are disabled.
+void TouchShardHeat(const std::string& table, uint32_t shard, bool covered,
+                    uint64_t rows);
+
+/// Records one chunk pin. No-op when metrics are disabled.
+void TouchChunkHeat(const std::string& file, uint32_t chunk, bool fault);
+
+/// Returns everything accumulated since the previous drain and resets the
+/// counters (delta semantics). Deterministic order: sorted by key.
+std::vector<ShardHeatDelta> DrainShardHeat();
+std::vector<ChunkHeatDelta> DrainChunkHeat();
+
+/// Drops all accumulated heat (tests, recorder open).
+void ResetHeat();
+
+}  // namespace telemetry
+}  // namespace geocol
+
+#endif  // GEOCOL_TELEMETRY_HEAT_H_

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cinttypes>
+#include <cmath>
 #include <cstdarg>
 #include <cstdlib>
 #include <limits>
@@ -68,27 +69,51 @@ size_t Counter::ShardIndex() {
   return slot;
 }
 
-int64_t Histogram::BucketUpperBound(size_t i) const {
-  if (i + 1 >= kNumBuckets) return std::numeric_limits<int64_t>::max();
-  // first_bound * 4^i, saturating.
-  int64_t bound = first_bound_;
-  for (size_t k = 0; k < i; ++k) {
-    if (bound > std::numeric_limits<int64_t>::max() / 4) {
-      return std::numeric_limits<int64_t>::max();
-    }
-    bound *= 4;
-  }
-  return bound;
+size_t Histogram::BucketIndexFor(int64_t value) {
+  uint64_t v = value < 0 ? 0 : static_cast<uint64_t>(value);
+  if (v < kSubBuckets) return static_cast<size_t>(v);
+  // msb >= kSubBucketBits here; the top kSubBucketBits+1 bits pick the
+  // octave and its linear sub-bucket.
+  const int msb = 63 - __builtin_clzll(v);
+  const size_t sub =
+      static_cast<size_t>((v >> (msb - kSubBucketBits)) & (kSubBuckets - 1));
+  return static_cast<size_t>(msb - kSubBucketBits + 1) * kSubBuckets + sub;
 }
 
-size_t Histogram::BucketIndex(int64_t value) const {
-  int64_t bound = first_bound_;
-  for (size_t i = 0; i + 1 < kNumBuckets; ++i) {
-    if (value <= bound) return i;
-    if (bound > std::numeric_limits<int64_t>::max() / 4) break;
-    bound *= 4;
+int64_t Histogram::BucketUpperBoundFor(size_t i) {
+  if (i >= kNumBuckets) return std::numeric_limits<int64_t>::max();
+  if (i < kSubBuckets) return static_cast<int64_t>(i);
+  const uint64_t octave = i / kSubBuckets + (kSubBucketBits - 1);
+  const uint64_t sub = i % kSubBuckets;
+  // 2^62-octave max: the +1 sub-bucket end minus one stays <= INT64_MAX.
+  const uint64_t upper = (uint64_t{1} << octave) +
+                         (sub + 1) * (uint64_t{1} << (octave - kSubBucketBits)) -
+                         1;
+  return static_cast<int64_t>(upper);
+}
+
+int64_t Histogram::ValueAtQuantile(double q) const {
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // Snapshot the buckets once and derive the total from the snapshot, so
+  // a concurrent Observe cannot leave rank > walked-total.
+  std::vector<uint64_t> snap(kNumBuckets);
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    snap[i] = buckets_[i].load(std::memory_order_relaxed);
+    total += snap[i];
   }
-  return kNumBuckets - 1;
+  if (total == 0) return 0;
+  uint64_t rank = static_cast<uint64_t>(
+      std::ceil(q * static_cast<double>(total)));
+  if (rank < 1) rank = 1;
+  if (rank > total) rank = total;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    cumulative += snap[i];
+    if (cumulative >= rank) return BucketUpperBoundFor(i);
+  }
+  return BucketUpperBoundFor(kNumBuckets - 1);
 }
 
 MetricsRegistry& MetricsRegistry::Global() {
@@ -118,34 +143,105 @@ Histogram& MetricsRegistry::GetHistogram(const std::string& name,
   return *slot;
 }
 
+namespace {
+
+/// HELP text for the exposition format. Well-known metrics get a curated
+/// line; everything else a generic one (scrapers only require presence +
+/// escaping, but the core series deserve real descriptions).
+const char* MetricHelp(const std::string& name) {
+  static const std::map<std::string, const char*>* kHelp =
+      new std::map<std::string, const char*>{
+          {"geocol_queries_total", "Spatial selection queries executed."},
+          {"geocol_query_nanos",
+           "Engine-level query latency in nanoseconds."},
+          {"geocol_sql_wall_nanos",
+           "End-to-end SQL statement wall time (parse+plan+execute), ns."},
+          {"geocol_io_read_bytes_total",
+           "Bytes read from column storage files."},
+          {"geocol_io_write_bytes_total",
+           "Bytes written to column storage files."},
+          {"geocol_crc_chunk_verifies_total",
+           "CRC32C chunk verifications performed on read."},
+          {"geocol_imprint_scans_total", "Column imprint scans executed."},
+          {"geocol_chunk_faults_total",
+           "Chunk-cache misses that faulted a chunk from disk."},
+          {"geocol_chunk_cache_hits_total", "Chunk-cache hits."},
+          {"geocol_chunk_fault_us",
+           "Latency of a single chunk fault (read+verify+decode), us."},
+          {"geocol_shards_scanned_total",
+           "Shards answered by a routed query (scanned or covered)."},
+          {"geocol_shards_pruned_total",
+           "Shards skipped by bbox pruning before any scan."},
+          {"geocol_shards_covered_total",
+           "Shards answered via the bbox-as-zonemap covered shortcut."},
+          {"geocol_flight_events_total",
+           "Query events appended to the flight recorder."},
+          {"geocol_flight_bytes_total",
+           "Bytes appended to the flight-recorder log."},
+          {"geocol_flight_rotations_total",
+           "Flight-recorder log rotations."},
+          {"geocol_flight_append_errors_total",
+           "Flight-recorder append failures (recording degraded)."},
+      };
+  auto it = kHelp->find(name);
+  return it != kHelp->end() ? it->second
+                            : "GeoColumn engine metric (auto-registered).";
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(const std::string& value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out.push_back(c);
+    }
+  }
+  return out;
+}
+
 std::string MetricsRegistry::RenderPrometheus() const {
   std::lock_guard<std::mutex> lock(mu_);
   std::string out;
   for (const auto& kv : counters_) {
+    AppendFormat(&out, "# HELP %s %s\n", kv.first.c_str(),
+                 MetricHelp(kv.first));
     AppendFormat(&out, "# TYPE %s counter\n", kv.first.c_str());
     AppendFormat(&out, "%s %" PRIu64 "\n", kv.first.c_str(),
                  kv.second->Value());
   }
   for (const auto& kv : gauges_) {
+    AppendFormat(&out, "# HELP %s %s\n", kv.first.c_str(),
+                 MetricHelp(kv.first));
     AppendFormat(&out, "# TYPE %s gauge\n", kv.first.c_str());
     AppendFormat(&out, "%s %" PRId64 "\n", kv.first.c_str(),
                  kv.second->Value());
   }
   for (const auto& kv : histograms_) {
     const Histogram& h = *kv.second;
+    AppendFormat(&out, "# HELP %s %s\n", kv.first.c_str(),
+                 MetricHelp(kv.first));
     AppendFormat(&out, "# TYPE %s histogram\n", kv.first.c_str());
+    // Sparse cumulative series: 1888 log-linear buckets are mostly empty,
+    // so emit a boundary only where the count advances, plus +Inf.
     uint64_t cumulative = 0;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-      cumulative += h.BucketCount(i);
-      int64_t bound = h.BucketUpperBound(i);
-      if (bound == std::numeric_limits<int64_t>::max()) {
-        AppendFormat(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
-                     kv.first.c_str(), cumulative);
-      } else {
-        AppendFormat(&out, "%s_bucket{le=\"%" PRId64 "\"} %" PRIu64 "\n",
-                     kv.first.c_str(), bound, cumulative);
-      }
+      uint64_t c = h.BucketCount(i);
+      if (c == 0) continue;
+      cumulative += c;
+      AppendFormat(&out, "%s_bucket{le=\"%s\"} %" PRIu64 "\n",
+                   kv.first.c_str(),
+                   EscapeLabelValue(
+                       std::to_string(Histogram::BucketUpperBoundFor(i)))
+                       .c_str(),
+                   cumulative);
     }
+    AppendFormat(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n",
+                 kv.first.c_str(), cumulative);
     AppendFormat(&out, "%s_sum %" PRId64 "\n", kv.first.c_str(), h.Sum());
     AppendFormat(&out, "%s_count %" PRIu64 "\n", kv.first.c_str(), h.Count());
   }
@@ -183,18 +279,21 @@ std::string MetricsRegistry::RenderJson() const {
     out += "\n    ";
     AppendJsonString(&out, kv.first);
     out += ": {\"count\": ";
-    AppendFormat(&out, "%" PRIu64 ", \"sum\": %" PRId64 ", \"buckets\": [",
-                 h.Count(), h.Sum());
+    AppendFormat(&out, "%" PRIu64 ", \"sum\": %" PRId64, h.Count(), h.Sum());
+    AppendFormat(&out,
+                 ", \"p50\": %" PRId64 ", \"p90\": %" PRId64
+                 ", \"p99\": %" PRId64 ", \"p999\": %" PRId64,
+                 h.ValueAtQuantile(0.50), h.ValueAtQuantile(0.90),
+                 h.ValueAtQuantile(0.99), h.ValueAtQuantile(0.999));
+    out += ", \"buckets\": [";
+    bool first_bucket = true;
     for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
-      if (i) out += ", ";
-      int64_t bound = h.BucketUpperBound(i);
-      if (bound == std::numeric_limits<int64_t>::max()) {
-        AppendFormat(&out, "{\"le\": \"+Inf\", \"count\": %" PRIu64 "}",
-                     h.BucketCount(i));
-      } else {
-        AppendFormat(&out, "{\"le\": %" PRId64 ", \"count\": %" PRIu64 "}",
-                     bound, h.BucketCount(i));
-      }
+      uint64_t c = h.BucketCount(i);
+      if (c == 0) continue;
+      if (!first_bucket) out += ", ";
+      first_bucket = false;
+      AppendFormat(&out, "{\"le\": %" PRId64 ", \"count\": %" PRIu64 "}",
+                   Histogram::BucketUpperBoundFor(i), c);
     }
     out += "]}";
   }

@@ -83,32 +83,54 @@ class Gauge {
   std::atomic<int64_t> value_{0};
 };
 
-/// Fixed-bucket histogram with geometric (power-of-4) bucket bounds:
-/// bucket i counts observations <= first_bound * 4^i; the last bucket is
-/// unbounded. With first_bound = 1000 (ns) the 16 buckets span 1 µs .. ~4.5
-/// min, which covers every latency this engine produces.
+/// HDR-style log-linear histogram. Values 0..31 land in exact unit-width
+/// buckets; from 32 up, each power-of-two octave [2^m, 2^(m+1)) splits
+/// into 32 linear sub-buckets of width 2^(m-5). A recorded value v lands
+/// in a bucket whose inclusive upper bound R satisfies
+///
+///     v <= R   and   R - v < 2^(m-5) <= v / 32,
+///
+/// so quantiles read back from bucket upper bounds never under-report and
+/// overshoot by at most 3.125% (1/32) relative — exactly 0 for v < 32.
+/// Covering all of int64 takes (62 - 5 + 2) * 32 = 1888 buckets (~15 KiB
+/// of relaxed atomics per histogram, paid once per registered name);
+/// Observe() stays a bit-scan plus three relaxed atomic adds.
 class Histogram {
  public:
-  static constexpr size_t kNumBuckets = 16;
+  static constexpr int kSubBucketBits = 5;
+  static constexpr size_t kSubBuckets = size_t{1} << kSubBucketBits;  // 32
+  /// Octaves m = 5..62 plus the exact 0..31 region (one octave's worth).
+  static constexpr size_t kNumBuckets = (62 - kSubBucketBits + 2) * kSubBuckets;
 
-  explicit Histogram(int64_t first_bound = 1000) : first_bound_(first_bound) {}
+  Histogram() = default;
+  /// `first_bound` is accepted for source compatibility with the old
+  /// power-of-4 layout and ignored: the log-linear layout is fixed.
+  explicit Histogram(int64_t /*first_bound*/) {}
 
-  /// Upper bound of bucket `i` (inclusive); INT64_MAX for the last bucket.
-  int64_t BucketUpperBound(size_t i) const;
+  /// Bucket index for `value` (negative values clamp to 0).
+  static size_t BucketIndexFor(int64_t value);
+
+  /// Inclusive upper bound of bucket `i`; INT64_MAX past the end.
+  static int64_t BucketUpperBoundFor(size_t i);
 
   void Observe(int64_t value) {
     if (!MetricsEnabled()) return;
-    buckets_[BucketIndex(value)].fetch_add(1, std::memory_order_relaxed);
+    buckets_[BucketIndexFor(value)].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(value, std::memory_order_relaxed);
   }
+
+  /// Upper bound of the bucket holding the rank-ceil(q*N) observation —
+  /// the exact quantile of the recorded distribution rounded up to its
+  /// bucket bound (error contract in the class comment). Returns 0 when
+  /// empty; q is clamped to [0, 1].
+  int64_t ValueAtQuantile(double q) const;
 
   uint64_t BucketCount(size_t i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
   uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
-  int64_t first_bound() const { return first_bound_; }
 
   void Reset() {
     for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
@@ -117,9 +139,6 @@ class Histogram {
   }
 
  private:
-  size_t BucketIndex(int64_t value) const;
-
-  int64_t first_bound_;
   std::atomic<uint64_t> buckets_[kNumBuckets] = {};
   std::atomic<uint64_t> count_{0};
   std::atomic<int64_t> sum_{0};
@@ -142,11 +161,14 @@ class MetricsRegistry {
   /// `first_bound` only applies on first registration.
   Histogram& GetHistogram(const std::string& name, int64_t first_bound = 1000);
 
-  /// Prometheus text exposition format (counters, gauges, histograms with
-  /// _bucket/_sum/_count series).
+  /// Prometheus text exposition format: `# HELP` + `# TYPE` per metric,
+  /// histograms as sparse cumulative _bucket series (only non-empty
+  /// boundaries plus +Inf) with _sum/_count.
   std::string RenderPrometheus() const;
 
-  /// {"counters": {...}, "gauges": {...}, "histograms": {...}}.
+  /// {"counters": {...}, "gauges": {...}, "histograms": {...}} where each
+  /// histogram carries count/sum, p50/p90/p99/p999, and its non-empty
+  /// buckets.
   std::string RenderJson() const;
 
   /// Zeroes every registered metric (tests and benchmarks only).
@@ -160,6 +182,10 @@ class MetricsRegistry {
   std::map<std::string, std::unique_ptr<Gauge>> gauges_;
   std::map<std::string, std::unique_ptr<Histogram>> histograms_;
 };
+
+/// Escapes a Prometheus label value: backslash, double quote and newline
+/// become \\, \" and \n per the text exposition format.
+std::string EscapeLabelValue(const std::string& value);
 
 /// One-line operator summary built from the registry: bytes read, CRC
 /// verifies, imprint hit rate. Printed by `geocol verify` and the bench

@@ -1,0 +1,169 @@
+// Workload flight recorder (DESIGN.md §15): every executed SQL statement
+// appends one compact structured event to a crash-safe binary log, so any
+// captured session can later be inspected (`geocol top`, `geocol heat`)
+// or re-executed bit-for-bit (`geocol replay`).
+//
+// On-disk format ("GFR1"):
+//
+//   [magic "GFR1"][u32 format_version]
+//   frame*: [u32 payload_len][u32 crc32c(payload)][payload bytes]
+//
+// Appends are buffered stdio writes (flushed at libc buffer granularity,
+// on Close and at process exit) — crash safety here means *torn-tail
+// detection*, not durability: a reader (and reopen) walks frames until
+// the first short/corrupt frame and treats the valid prefix as the log.
+// Reopening for append truncates the file to that valid prefix first, so
+// a crash mid-append never poisons later records. Rotation renames the log to `<path>.1` (replacing the
+// previous rotation) once it exceeds `max_bytes`, bounding disk use at
+// ~2x max_bytes.
+#ifndef GEOCOL_TELEMETRY_RECORDER_H_
+#define GEOCOL_TELEMETRY_RECORDER_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace geocol {
+namespace telemetry {
+
+/// One recorded query execution. Counter-valued fields are deltas over
+/// the statement (global registry counters sampled before/after), so
+/// events from one session attribute work per query exactly.
+struct QueryEvent {
+  static constexpr uint32_t kVersion = 1;
+
+  // Identity.
+  int64_t start_unix_nanos = 0;  ///< wall clock at statement start
+  int64_t wall_nanos = 0;        ///< end-to-end latency (parse+plan+execute)
+  std::string query;             ///< SQL text as received
+  std::string table;             ///< resolved FROM target ("" on parse error)
+  uint64_t generation = 0;       ///< shard-layout generation / view version
+  bool sharded = false;
+  std::vector<uint64_t> column_epochs;  ///< flat-table column epochs
+
+  // Routing (sharded tables; zero for flat).
+  uint64_t shards_total = 0;
+  uint64_t shards_scanned = 0;
+  uint64_t shards_pruned = 0;
+  uint64_t shards_covered = 0;
+
+  // Result-cache outcomes per tier: selection, grid, aggregate.
+  uint64_t cache_hits[3] = {0, 0, 0};
+  uint64_t cache_misses[3] = {0, 0, 0};
+
+  // Paged-tier activity.
+  uint64_t chunk_faults = 0;
+  uint64_t chunk_cache_hits = 0;
+  uint64_t io_read_bytes = 0;
+
+  // Imprint activity.
+  uint64_t imprint_scans = 0;
+  uint64_t imprint_cachelines_probed = 0;
+  uint64_t imprint_cachelines_full = 0;
+  uint64_t imprint_values_checked = 0;
+
+  // Outcome.
+  uint64_t rows_out = 0;
+  bool ok = true;
+  std::string error;         ///< status message when !ok
+  bool digest_valid = false; ///< digest replayable (not EXPLAIN ANALYZE)
+  uint32_t result_digest = 0;  ///< CRC32C of the canonical result image
+
+  // Latency breakdown: leaf-span nanos aggregated by span name, plus the
+  // profile's honest wall figure.
+  std::vector<std::pair<std::string, int64_t>> span_nanos;
+  int64_t critical_path_nanos = 0;
+
+  // Heat deltas drained after the statement (telemetry/heat.h).
+  struct ShardTouch {
+    uint32_t shard = 0;
+    uint64_t scans = 0;
+    uint64_t covered = 0;
+    uint64_t rows = 0;
+  };
+  struct ChunkTouch {
+    std::string file;
+    uint32_t chunk = 0;
+    uint64_t touches = 0;
+    uint64_t faults = 0;
+  };
+  std::vector<ShardTouch> shard_heat;
+  std::vector<ChunkTouch> chunk_heat;
+};
+
+/// Serializes `ev` to the frame payload byte image (format v1).
+std::vector<uint8_t> SerializeEvent(const QueryEvent& ev);
+
+/// Parses one frame payload. Corruption on malformed input.
+Result<QueryEvent> DeserializeEvent(const std::vector<uint8_t>& payload);
+
+/// One-line JSON rendering of an event (the JSONL export consumed by
+/// tools/check_trace.py --flight).
+std::string EventToJson(const QueryEvent& ev);
+
+/// The process-wide append side of the flight recorder. Thread-safe:
+/// Append serialises on an internal mutex (events are per-statement, so
+/// contention is negligible next to query cost).
+class FlightRecorder {
+ public:
+  struct Options {
+    /// Rotate (rename to <path>.1) once the log exceeds this many bytes.
+    uint64_t max_bytes = 64ull << 20;
+  };
+
+  static FlightRecorder& Global();
+
+  /// Opens (or resumes) the log at `path`, creating parent state as
+  /// needed. An existing log is scanned and truncated to its valid frame
+  /// prefix, then opened for append. Resets accumulated heat so the
+  /// first recorded event starts from a clean delta baseline.
+  Status Open(const std::string& path, Options options);
+  Status Open(const std::string& path) { return Open(path, Options()); }
+
+  /// Stops recording and closes the file (flushes buffered frames).
+  void Close();
+
+  bool enabled() const;
+  std::string path() const;
+
+  /// Appends one event frame; rotates first when over budget. Errors are
+  /// returned AND counted (geocol_flight_append_errors_total) — callers
+  /// on the query path log once and keep serving.
+  Status Append(const QueryEvent& ev);
+
+ private:
+  FlightRecorder() = default;
+
+  Status OpenLocked(const std::string& path);
+  Status RotateLocked();
+
+  mutable std::mutex mu_;
+  std::FILE* file_ = nullptr;
+  std::string path_;
+  uint64_t size_bytes_ = 0;
+  Options options_;
+};
+
+/// Reads every valid frame of `path`, stopping cleanly at the first
+/// torn/corrupt frame (the crash-safety contract). Missing file is an
+/// error; an empty or header-only file yields an empty vector.
+Result<std::vector<QueryEvent>> ReadFlightLog(const std::string& path);
+
+/// Reads `<path>.1` (if present) then `path`: the full retained history
+/// in append order across one rotation.
+Result<std::vector<QueryEvent>> ReadFlightLogWithRotation(
+    const std::string& path);
+
+/// Truncates `path` to its longest valid prefix (header + whole frames);
+/// returns the prefix length. Exposed for tests and used by Open.
+Result<uint64_t> TruncateToValidPrefix(const std::string& path);
+
+}  // namespace telemetry
+}  // namespace geocol
+
+#endif  // GEOCOL_TELEMETRY_RECORDER_H_

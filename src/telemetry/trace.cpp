@@ -2,6 +2,7 @@
 
 #include <cinttypes>
 #include <cstdio>
+#include <ctime>
 
 namespace geocol {
 namespace telemetry {
@@ -70,7 +71,8 @@ void AppendSpanEvent(std::string* out, const OperatorProfile& op,
 }  // namespace
 
 std::string ProfileToChromeTrace(const QueryProfile& profile,
-                                 const std::string& label) {
+                                 const std::string& label,
+                                 int64_t start_unix_nanos) {
   std::string out = "{\"traceEvents\": [";
   bool first = true;
   for (const OperatorProfile& op : profile.operators()) {
@@ -79,7 +81,24 @@ std::string ProfileToChromeTrace(const QueryProfile& profile,
     out += "\n  ";
     AppendSpanEvent(&out, op, label);
   }
-  out += "\n], \"displayTimeUnit\": \"ms\"}\n";
+  out += "\n], \"displayTimeUnit\": \"ms\"";
+  if (start_unix_nanos > 0) {
+    // Span ts stay epoch-rebased; the absolute wall clock rides in
+    // otherData so viewers and check_trace.py can anchor the trace.
+    char buf[160];
+    const time_t secs = static_cast<time_t>(start_unix_nanos / 1000000000);
+    struct tm utc;
+    gmtime_r(&secs, &utc);
+    char iso[40];
+    std::strftime(iso, sizeof(iso), "%Y-%m-%dT%H:%M:%S", &utc);
+    std::snprintf(buf, sizeof(buf),
+                  ", \"otherData\": {\"start_unix_nanos\": %lld, "
+                  "\"start_iso8601\": \"%s.%09lldZ\"}",
+                  static_cast<long long>(start_unix_nanos), iso,
+                  static_cast<long long>(start_unix_nanos % 1000000000));
+    out += buf;
+  }
+  out += "}\n";
   return out;
 }
 

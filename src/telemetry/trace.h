@@ -18,9 +18,14 @@ namespace telemetry {
 
 /// Renders a profile as a Chrome trace_event JSON document: one complete
 /// ("ph":"X") event per span, timestamps/durations in microseconds,
-/// span attributes and cardinalities under "args".
+/// span attributes and cardinalities under "args". Span timestamps are
+/// epoch-rebased (relative to the profile's start); when
+/// `start_unix_nanos` is nonzero the document's "otherData" carries the
+/// query's wall-clock start (unix ns + ISO-8601 UTC) so a trace can be
+/// correlated with logs and flight-recorder events.
 std::string ProfileToChromeTrace(const QueryProfile& profile,
-                                 const std::string& label);
+                                 const std::string& label,
+                                 int64_t start_unix_nanos = 0);
 
 /// One JSON object per line, one line per span (log-pipeline friendly).
 std::string ProfileToJsonl(const QueryProfile& profile,
@@ -31,6 +36,7 @@ struct TraceRecord {
   std::string query;      ///< SQL text or tool-level description
   QueryProfile profile;   ///< span tree
   int64_t wall_nanos = 0; ///< end-to-end wall time incl. parse/plan
+  int64_t start_unix_nanos = 0;  ///< wall clock at statement start (unix ns)
 };
 
 /// Fixed-capacity ring of recent query traces. Thread-safe.

@@ -47,10 +47,10 @@ void ThreadPool::WaitIdle() {
 void ThreadPool::ParallelFor(size_t n, const std::function<void(size_t)>& fn) {
   if (n == 0) return;
   GEOCOL_METRIC_COUNTER(c_pfor, "geocol_pool_parallel_for_total");
-  // Morsel-count histogram: first bucket <=1 item, buckets grow 4x.
+  // Morsel-count histogram (log-linear HDR buckets, exact below 32).
   static telemetry::Histogram& h_items =
       telemetry::MetricsRegistry::Global().GetHistogram(
-          "geocol_pool_parallel_for_items", 1);
+          "geocol_pool_parallel_for_items");
   c_pfor.Increment();
   h_items.Observe(static_cast<int64_t>(n));
   if (n == 1 || workers_.empty()) {

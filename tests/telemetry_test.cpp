@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cmath>
 #include <limits>
 #include <memory>
 #include <string>
@@ -76,38 +77,116 @@ TEST(MetricsTest, GaugeSetAndAdd) {
   g.Set(0);
 }
 
-TEST(MetricsTest, HistogramBucketBoundaries) {
-  // first_bound=10: bounds 10, 40, 160, ... (power of 4), last = +inf.
-  Histogram& h =
-      MetricsRegistry::Global().GetHistogram("test_bounds_nanos", 10);
-  h.Reset();
-  EXPECT_EQ(h.BucketUpperBound(0), 10);
-  EXPECT_EQ(h.BucketUpperBound(1), 40);
-  EXPECT_EQ(h.BucketUpperBound(2), 160);
-  EXPECT_EQ(h.BucketUpperBound(Histogram::kNumBuckets - 1),
+TEST(MetricsTest, HistogramBucketLayout) {
+  // Exact unit buckets below 32.
+  for (int64_t v = 0; v < 32; ++v) {
+    EXPECT_EQ(Histogram::BucketIndexFor(v), static_cast<size_t>(v));
+    EXPECT_EQ(Histogram::BucketUpperBoundFor(static_cast<size_t>(v)), v);
+  }
+  // First log-linear octave: [32, 64) in unit-wide sub-buckets still.
+  EXPECT_EQ(Histogram::BucketIndexFor(32), 32u);
+  EXPECT_EQ(Histogram::BucketUpperBoundFor(32), 32);
+  EXPECT_EQ(Histogram::BucketIndexFor(63), 63u);
+  // Negative values clamp to bucket 0.
+  EXPECT_EQ(Histogram::BucketIndexFor(-5), 0u);
+  // The full int64 range maps inside the table, including the extremes.
+  EXPECT_LT(Histogram::BucketIndexFor(std::numeric_limits<int64_t>::max()),
+            Histogram::kNumBuckets);
+  EXPECT_EQ(Histogram::BucketUpperBoundFor(Histogram::kNumBuckets - 1),
             std::numeric_limits<int64_t>::max());
-
-  h.Observe(10);   // boundary value lands in its bucket (inclusive bound)
-  h.Observe(11);   // one past -> next bucket
-  h.Observe(40);
-  h.Observe(1);
-  EXPECT_EQ(h.BucketCount(0), 2u);  // 1 and 10
-  EXPECT_EQ(h.BucketCount(1), 2u);  // 11 and 40
-  EXPECT_EQ(h.Count(), 4u);
-  EXPECT_EQ(h.Sum(), 62);
 }
 
-TEST(MetricsTest, HistogramHugeValueLandsInLastBucket) {
-  Histogram& h =
-      MetricsRegistry::Global().GetHistogram("test_huge_nanos", 1000);
+TEST(MetricsTest, HistogramBoundContractAcrossMagnitudes) {
+  // For every value: it maps into a bucket whose inclusive upper bound is
+  // >= the value and overshoots by at most value/32 (the documented
+  // relative-error contract, exact below 32).
+  Rng rng(7);
+  for (int i = 0; i < 200000; ++i) {
+    int64_t v = static_cast<int64_t>(rng.Next() >> (rng.Uniform(63) + 1));
+    size_t idx = Histogram::BucketIndexFor(v);
+    ASSERT_LT(idx, Histogram::kNumBuckets);
+    int64_t upper = Histogram::BucketUpperBoundFor(idx);
+    ASSERT_GE(upper, v);
+    ASSERT_LE(upper - v, v / 32) << "v=" << v;
+    // Bucket bounds are monotone: the previous bucket ends below v.
+    if (idx > 0) ASSERT_LT(Histogram::BucketUpperBoundFor(idx - 1), v);
+  }
+}
+
+namespace {
+
+/// Exact quantile of `sorted` (rank = ceil(q*N), 1-based).
+int64_t ExactQuantile(const std::vector<int64_t>& sorted, double q) {
+  size_t rank = static_cast<size_t>(
+      std::ceil(q * static_cast<double>(sorted.size())));
+  if (rank < 1) rank = 1;
+  return sorted[rank - 1];
+}
+
+/// Asserts the documented contract: reported >= exact, overshoot <= 1/32
+/// relative (exact for values below 32).
+void ExpectQuantileWithinBound(Histogram& h, const std::vector<int64_t>& data,
+                               double q) {
+  std::vector<int64_t> sorted = data;
+  std::sort(sorted.begin(), sorted.end());
+  const int64_t exact = ExactQuantile(sorted, q);
+  const int64_t reported = h.ValueAtQuantile(q);
+  EXPECT_GE(reported, exact) << "q=" << q;
+  EXPECT_LE(reported - exact, exact / 32) << "q=" << q << " exact=" << exact;
+}
+
+void FillAndCheckQuantiles(const char* name,
+                           const std::vector<int64_t>& data) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram(name);
   h.Reset();
-  h.Observe(std::numeric_limits<int64_t>::max() / 2);
-  EXPECT_EQ(h.BucketCount(Histogram::kNumBuckets - 1), 1u);
+  for (int64_t v : data) h.Observe(v);
+  for (double q : {0.0, 0.5, 0.9, 0.99, 0.999, 1.0}) {
+    ExpectQuantileWithinBound(h, data, q);
+  }
+}
+
+}  // namespace
+
+TEST(MetricsTest, HistogramQuantilesConstantDistribution) {
+  FillAndCheckQuantiles("test_quant_const_nanos",
+                        std::vector<int64_t>(10000, 123456));
+}
+
+TEST(MetricsTest, HistogramQuantilesBimodalDistribution) {
+  // Fast path at ~100ns, slow path at ~50ms: p50 must report the fast
+  // mode, p99 the slow one, neither smeared by bucketing.
+  std::vector<int64_t> data;
+  for (int i = 0; i < 9000; ++i) data.push_back(100 + (i % 7));
+  for (int i = 0; i < 1000; ++i) data.push_back(50000000 + i * 13);
+  FillAndCheckQuantiles("test_quant_bimodal_nanos", data);
+}
+
+TEST(MetricsTest, HistogramQuantilesHeavyTailDistribution) {
+  // Pareto-ish tail spanning six orders of magnitude.
+  Rng rng(42);
+  std::vector<int64_t> data;
+  for (int i = 0; i < 50000; ++i) {
+    double u = rng.NextDouble();
+    if (u < 1e-6) u = 1e-6;
+    data.push_back(static_cast<int64_t>(1000.0 / std::pow(u, 1.5)));
+  }
+  FillAndCheckQuantiles("test_quant_pareto_nanos", data);
+}
+
+TEST(MetricsTest, HistogramQuantileEmptyAndClamped) {
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test_quant_empty");
+  h.Reset();
+  EXPECT_EQ(h.ValueAtQuantile(0.99), 0);
+  h.Observe(77);
+  EXPECT_EQ(h.ValueAtQuantile(-1.0), 77);  // clamped to q=0
+  EXPECT_EQ(h.ValueAtQuantile(2.0), 77);   // clamped to q=1
 }
 
 TEST(MetricsTest, ConcurrentHistogramCountsExactly) {
-  Histogram& h =
-      MetricsRegistry::Global().GetHistogram("test_conc_nanos", 1000);
+  // TSan-covered: concurrent Observe against one histogram must stay
+  // race-free and lose no samples; quantiles stay inside the recorded
+  // value range.
+  Histogram& h = MetricsRegistry::Global().GetHistogram("test_conc_nanos");
   h.Reset();
   constexpr int kThreads = 4;
   constexpr int kPerThread = 50000;
@@ -119,6 +198,8 @@ TEST(MetricsTest, ConcurrentHistogramCountsExactly) {
   }
   for (auto& w : workers) w.join();
   EXPECT_EQ(h.Count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_GE(h.ValueAtQuantile(0.5), 1);
+  EXPECT_LE(h.ValueAtQuantile(1.0), 3001 + 3001 / 32);
 }
 
 TEST(MetricsTest, PrometheusRendering) {
@@ -126,6 +207,7 @@ TEST(MetricsTest, PrometheusRendering) {
   MetricsRegistry::Global().GetGauge("test_prom_gauge").Set(3);
   MetricsRegistry::Global().GetHistogram("test_prom_nanos").Observe(1500);
   std::string text = MetricsRegistry::Global().RenderPrometheus();
+  EXPECT_NE(text.find("# HELP test_prom_total"), std::string::npos);
   EXPECT_NE(text.find("# TYPE test_prom_total counter"), std::string::npos);
   EXPECT_NE(text.find("test_prom_total"), std::string::npos);
   EXPECT_NE(text.find("# TYPE test_prom_gauge gauge"), std::string::npos);
@@ -135,6 +217,41 @@ TEST(MetricsTest, PrometheusRendering) {
             std::string::npos);
   EXPECT_NE(text.find("test_prom_nanos_sum"), std::string::npos);
   EXPECT_NE(text.find("test_prom_nanos_count"), std::string::npos);
+}
+
+TEST(MetricsTest, PrometheusGoldenOutput) {
+  // Byte-exact golden blocks for one counter and one histogram. The
+  // bucket bounds pin the HDR layout: 5 -> exact bucket, 100 -> bucket
+  // ending at 101, 1000000 -> bucket ending at 1015807.
+  MetricsRegistry::Global().GetCounter("zz_golden_total").Increment(7);
+  Histogram& h = MetricsRegistry::Global().GetHistogram("zz_golden_nanos");
+  h.Reset();
+  h.Observe(5);
+  h.Observe(100);
+  h.Observe(1000000);
+  std::string text = MetricsRegistry::Global().RenderPrometheus();
+  const char* kCounterGolden =
+      "# HELP zz_golden_total GeoColumn engine metric (auto-registered).\n"
+      "# TYPE zz_golden_total counter\n"
+      "zz_golden_total 7\n";
+  const char* kHistogramGolden =
+      "# HELP zz_golden_nanos GeoColumn engine metric (auto-registered).\n"
+      "# TYPE zz_golden_nanos histogram\n"
+      "zz_golden_nanos_bucket{le=\"5\"} 1\n"
+      "zz_golden_nanos_bucket{le=\"101\"} 2\n"
+      "zz_golden_nanos_bucket{le=\"1015807\"} 3\n"
+      "zz_golden_nanos_bucket{le=\"+Inf\"} 3\n"
+      "zz_golden_nanos_sum 1000105\n"
+      "zz_golden_nanos_count 3\n";
+  EXPECT_NE(text.find(kCounterGolden), std::string::npos) << text;
+  EXPECT_NE(text.find(kHistogramGolden), std::string::npos) << text;
+}
+
+TEST(MetricsTest, EscapeLabelValue) {
+  EXPECT_EQ(telemetry::EscapeLabelValue("plain"), "plain");
+  EXPECT_EQ(telemetry::EscapeLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(telemetry::EscapeLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(telemetry::EscapeLabelValue("a\nb"), "a\\nb");
 }
 
 TEST(MetricsTest, JsonRendering) {

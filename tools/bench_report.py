@@ -77,12 +77,15 @@ def metrics_row(path):
                          "(expected an object with a 'counters' key)")
     metrics = dict(doc.get("counters", {}))
     metrics.update(doc.get("gauges", {}))
-    # Histograms contribute their scalar summaries; bucket vectors stay in
-    # the source dump.
+    # Histograms contribute their scalar summaries — count/sum plus the
+    # HDR quantiles; bucket vectors stay in the source dump.
     for name, h in doc.get("histograms", {}).items():
         if isinstance(h, dict):
             metrics[f"{name}_count"] = h.get("count", 0)
             metrics[f"{name}_sum"] = h.get("sum", 0)
+            for q in ("p50", "p90", "p99", "p999"):
+                if q in h:
+                    metrics[f"{name}_{q}"] = h[q]
     return {
         "bench": "METRICS",
         "config": {"source": os.path.basename(path)},

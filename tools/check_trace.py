@@ -1,18 +1,32 @@
 #!/usr/bin/env python3
-"""Validates a Chrome trace_event JSON file produced by `geocol_tool trace`.
+"""Validates trace artifacts produced by the geocol tool.
 
-Checks the schema that chrome://tracing / Perfetto require to load the file
-without error: a top-level object with a `traceEvents` array, every event a
-complete ("ph": "X") event carrying name/cat/ph/ts/dur/pid/tid with numeric
-timestamps, and child spans nested inside their parents' time range on the
-same thread. Exits non-zero with a message on the first violation.
+Default mode checks a Chrome trace_event JSON file from `geocol_tool
+trace` against the schema chrome://tracing / Perfetto require to load the
+file without error: a top-level object with a `traceEvents` array, every
+event a complete ("ph": "X") event carrying name/cat/ph/ts/dur/pid/tid
+with numeric timestamps, and child spans nested inside their parents'
+time range on the same thread. When the file carries `otherData` (query
+wall-clock metadata), start_unix_nanos must be a positive integer.
+
+With --flight the input is instead a flight-recorder JSONL export from
+`geocol top --export`: one query_event object per line, each carrying the
+query text, wall/start times, shard + cache + chunk activity and the
+digest fields `geocol replay` depends on.
+
+Exits non-zero with a message on the first violation.
 
 Usage: check_trace.py <trace.json>
+       check_trace.py --flight <events.jsonl>
 """
 import json
 import sys
 
 REQUIRED_KEYS = ("name", "ph", "ts", "dur", "pid", "tid")
+
+FLIGHT_REQUIRED = ("type", "query", "start_unix_nanos", "wall_nanos",
+                   "shards", "cache", "rows_out", "ok", "digest_valid",
+                   "result_digest", "spans")
 
 
 def fail(msg):
@@ -20,11 +34,56 @@ def fail(msg):
     sys.exit(1)
 
 
+def check_flight(path):
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            lines = [ln for ln in f.read().splitlines() if ln.strip()]
+    except OSError as e:
+        fail("cannot read %s: %s" % (path, e))
+    if not lines:
+        fail("flight export is empty")
+    for i, line in enumerate(lines):
+        try:
+            ev = json.loads(line)
+        except ValueError as e:
+            fail("line %d is not valid JSON: %s" % (i + 1, e))
+        if not isinstance(ev, dict):
+            fail("line %d is not an object" % (i + 1))
+        for key in FLIGHT_REQUIRED:
+            if key not in ev:
+                fail("event %d missing key %r" % (i + 1, key))
+        if ev["type"] != "query_event":
+            fail("event %d has type %r" % (i + 1, ev["type"]))
+        if not isinstance(ev["query"], str) or not ev["query"]:
+            fail("event %d has empty query text" % (i + 1))
+        if not isinstance(ev["start_unix_nanos"], int) or ev["start_unix_nanos"] <= 0:
+            fail("event %d has bad start_unix_nanos: %r"
+                 % (i + 1, ev["start_unix_nanos"]))
+        if not isinstance(ev["wall_nanos"], int) or ev["wall_nanos"] < 0:
+            fail("event %d has bad wall_nanos: %r" % (i + 1, ev["wall_nanos"]))
+        for group, keys in (("shards", ("total", "scanned", "pruned",
+                                        "covered")),
+                            ("cache", ("selection", "grid", "aggregate"))):
+            if not isinstance(ev[group], dict):
+                fail("event %d: %s is not an object" % (i + 1, group))
+            for key in keys:
+                if key not in ev[group]:
+                    fail("event %d: %s missing %r" % (i + 1, group, key))
+        if ev["ok"] and ev["digest_valid"]:
+            if not isinstance(ev["result_digest"], int):
+                fail("event %d: digest_valid without integer digest" % (i + 1))
+    print("check_trace: OK: %d flight event(s)" % len(lines))
+
+
 def main():
-    if len(sys.argv) != 2:
+    argv = sys.argv[1:]
+    if len(argv) == 2 and argv[0] == "--flight":
+        check_flight(argv[1])
+        return
+    if len(argv) != 1:
         print(__doc__.strip(), file=sys.stderr)
         sys.exit(2)
-    path = sys.argv[1]
+    path = argv[0]
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
@@ -52,6 +111,17 @@ def main():
                 fail("event %d has non-numeric/negative %s: %r" % (i, key, ev[key]))
         if not isinstance(ev["name"], str) or not ev["name"]:
             fail("event %d has empty name" % i)
+
+    # Query wall-clock metadata rides in otherData when the exporter knows
+    # the statement's start time.
+    other = doc.get("otherData")
+    if other is not None:
+        if not isinstance(other, dict):
+            fail("otherData is not an object")
+        start = other.get("start_unix_nanos")
+        if not isinstance(start, int) or start <= 0:
+            fail("otherData.start_unix_nanos must be a positive integer, "
+                 "got %r" % (start,))
 
     # Spans on one thread must nest: sorted by start, an event starting inside
     # a predecessor must also end inside it (allowing microsecond rounding).

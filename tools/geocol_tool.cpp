@@ -16,6 +16,10 @@
 //   geocol trace    <table_dir> "<SQL>" [--out <path>] [--jsonl] [--layers <dir>]
 //   geocol cache    <table_dir> "<SQL>" [--budget-mb N] [--repeat N]
 //                   [--paged [--chunk-mb N]] [--layers <dir>]
+//   geocol top      <table_dir> [--once] [--interval-ms N] [--export <jsonl>]
+//   geocol heat     <table_dir> [--top N]
+//   geocol replay   <table_dir> [--json <path>] [--layers <dir>]
+//                   [--paged [--chunk-mb N]]
 //   geocol simd
 //
 // Tables are persisted GeoColumn table directories; layers are .layer text
@@ -24,12 +28,24 @@
 // metrics/trace/cache/verify detect them automatically. With
 // GEOCOL_METRICS=1, query/verify print a one-line telemetry summary on
 // exit.
+//
+// Every query-executing command appends one structured event per statement
+// to the workload flight recorder at <table_dir>/flight/flight.gfr
+// (DESIGN.md §15). Disable with --no-flight or GEOCOL_FLIGHT=0. The log
+// feeds `geocol top` (live workload view), `geocol heat` (shard/chunk
+// access heat) and `geocol replay` (deterministic re-execution diffing
+// result digests bit-for-bit).
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <map>
+#include <memory>
 #include <string>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "baselines/file_store.h"
@@ -53,7 +69,9 @@
 #include "pointcloud/vector_gen.h"
 #include "simd/dispatch.h"
 #include "sql/session.h"
+#include "sql/executor.h"
 #include "telemetry/metrics.h"
+#include "telemetry/recorder.h"
 #include "telemetry/trace.h"
 #include "util/binary_io.h"
 #include "util/fd_cache.h"
@@ -107,7 +125,12 @@ int Usage() {
                "  metrics  <table_dir> [\"<SQL>\"] [--format prom|json] [--layers <dir>]\n"
                "  trace    <table_dir> \"<SQL>\" [--out <path>] [--jsonl] [--layers <dir>]\n"
                "  cache    <table_dir> \"<SQL>\" [--budget-mb N] [--repeat N] [--paged [--chunk-mb N]] [--layers <dir>]\n"
-               "  simd     (print CPU features and active kernel dispatch)\n");
+               "  top      <table_dir> [--once] [--interval-ms N] [--export <jsonl>]\n"
+               "  heat     <table_dir> [--top N]\n"
+               "  replay   <table_dir> [--json <path>] [--layers <dir>] [--paged [--chunk-mb N]]\n"
+               "  simd     (print CPU features and active kernel dispatch)\n"
+               "query-running commands record to <table_dir>/flight/flight.gfr"
+               " (disable: --no-flight or GEOCOL_FLIGHT=0)\n");
   return 2;
 }
 
@@ -564,9 +587,37 @@ int CmdVerify(const Args& args) {
   return 0;
 }
 
+/// Location of a table's workload flight log (own subdirectory so
+/// `geocol verify` never mistakes it for a stale table leftover).
+std::string FlightLogPath(const std::string& table_dir) {
+  return table_dir + "/flight/flight.gfr";
+}
+
+/// Opens the flight recorder for `table_dir` unless opted out via
+/// --no-flight or GEOCOL_FLIGHT=0. Failure to open is a warning, never a
+/// query failure — recording is diagnostics, not a dependency.
+void MaybeOpenFlightRecorder(const Args& args, const std::string& table_dir) {
+  if (args.Has("--no-flight")) return;
+  const char* env = std::getenv("GEOCOL_FLIGHT");
+  if (env != nullptr && std::strcmp(env, "0") == 0) return;
+  if (Status st = MakeDir(table_dir + "/flight"); !st.ok()) {
+    std::fprintf(stderr, "warning: flight recorder off: %s\n",
+                 st.ToString().c_str());
+    return;
+  }
+  Status st = telemetry::FlightRecorder::Global().Open(FlightLogPath(table_dir));
+  if (!st.ok()) {
+    std::fprintf(stderr, "warning: flight recorder off: %s\n",
+                 st.ToString().c_str());
+  }
+}
+
 /// Opens the table (and any --layers) into `catalog`; shared by the
-/// query/metrics/trace subcommands.
-Status SetupCatalog(const Args& args, Catalog* catalog) {
+/// query/metrics/trace subcommands. Unless `open_flight` is false (replay
+/// must not observe itself) the workload flight recorder is opened at
+/// <table_dir>/flight/flight.gfr, so every Session query gets recorded.
+Status SetupCatalog(const Args& args, Catalog* catalog,
+                    bool open_flight = true) {
   const std::string& table_dir = args.positional[0];
   const bool paged = args.Has("--paged");
   if (paged) {
@@ -599,6 +650,7 @@ Status SetupCatalog(const Args& args, Catalog* catalog) {
       GEOCOL_RETURN_NOT_OK(catalog->AddLayer(layer));
     }
   }
+  if (open_flight) MaybeOpenFlightRecorder(args, table_dir);
   return Status::OK();
 }
 
@@ -656,6 +708,10 @@ int CmdTrace(const Args& args) {
   Catalog catalog;
   if (Status st = SetupCatalog(args, &catalog); !st.ok()) return Fail(st);
   sql::Session session(&catalog);
+  const int64_t start_unix_nanos =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count();
   auto rs = session.Execute(args.positional[1]);
   if (!rs.ok()) return Fail(rs.status());
   if (session.last_profile().empty()) {
@@ -667,7 +723,8 @@ int CmdTrace(const Args& args) {
           ? telemetry::ProfileToJsonl(session.last_profile(),
                                       args.positional[1])
           : telemetry::ProfileToChromeTrace(session.last_profile(),
-                                            args.positional[1]);
+                                            args.positional[1],
+                                            start_unix_nanos);
   std::string out_path = args.Value("--out", "");
   if (out_path.empty()) {
     std::fwrite(doc.data(), 1, doc.size(), stdout);
@@ -729,6 +786,269 @@ int CmdCache(const Args& args) {
   return 0;
 }
 
+/// Minimal JSON string escaping for the replay --json export.
+std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+/// `geocol top <table_dir>`: live view of the recorded workload. Each tick
+/// re-reads the flight log and prints totals, rate deltas since the
+/// previous tick, and HDR latency quantiles aggregated from the events.
+/// --once prints a single snapshot; --export <path> dumps the raw events
+/// as JSONL (one query_event object per line) and exits.
+int CmdTop(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  const std::string log_path = FlightLogPath(args.positional[0]);
+
+  const std::string export_path = args.Value("--export", "");
+  if (!export_path.empty()) {
+    auto events = telemetry::ReadFlightLogWithRotation(log_path);
+    if (!events.ok()) return Fail(events.status());
+    std::FILE* f = std::fopen(export_path.c_str(), "w");
+    if (f == nullptr) return Fail(Status::IOError("cannot open " + export_path));
+    for (const auto& ev : *events) {
+      std::string line = telemetry::EventToJson(ev);
+      std::fwrite(line.data(), 1, line.size(), f);
+      std::fputc('\n', f);
+    }
+    std::fclose(f);
+    std::printf("exported %zu event(s) to %s\n", events->size(),
+                export_path.c_str());
+    return 0;
+  }
+
+  const uint64_t interval_ms =
+      std::max<uint64_t>(100, args.U64("--interval-ms", 2000));
+  const bool once = args.Has("--once");
+  uint64_t prev_total = 0;
+  bool first = true;
+  for (;;) {
+    auto events = telemetry::ReadFlightLogWithRotation(log_path);
+    if (!events.ok()) return Fail(events.status());
+
+    // Aggregate the retained history. The histogram gives the same HDR
+    // quantile extraction the in-process registry uses.
+    auto hist = std::make_unique<telemetry::Histogram>();
+    uint64_t errors = 0, rows_out = 0;
+    uint64_t hits = 0, misses = 0, faults = 0, chunk_hits = 0;
+    uint64_t scanned = 0, pruned = 0, covered = 0;
+    std::map<std::string, uint64_t> by_table;
+    for (const auto& ev : *events) {
+      hist->Observe(ev.wall_nanos);
+      errors += ev.ok ? 0 : 1;
+      rows_out += ev.rows_out;
+      for (int t = 0; t < 3; ++t) {
+        hits += ev.cache_hits[t];
+        misses += ev.cache_misses[t];
+      }
+      faults += ev.chunk_faults;
+      chunk_hits += ev.chunk_cache_hits;
+      scanned += ev.shards_scanned;
+      pruned += ev.shards_pruned;
+      covered += ev.shards_covered;
+      if (!ev.table.empty()) by_table[ev.table] += 1;
+    }
+    const uint64_t total = events->size();
+    const uint64_t delta = first ? 0 : total - prev_total;
+    const double rate = first ? 0.0 : delta * 1000.0 / interval_ms;
+
+    std::printf("geocol top — %s\n", log_path.c_str());
+    std::printf("  queries: %llu total, %llu error(s)",
+                static_cast<unsigned long long>(total),
+                static_cast<unsigned long long>(errors));
+    if (!first) {
+      std::printf("  (+%llu, %.1f/s)",
+                  static_cast<unsigned long long>(delta), rate);
+    }
+    std::printf("\n");
+    std::printf("  latency: p50 %.3f ms  p90 %.3f  p99 %.3f  p99.9 %.3f\n",
+                hist->ValueAtQuantile(0.50) / 1e6,
+                hist->ValueAtQuantile(0.90) / 1e6,
+                hist->ValueAtQuantile(0.99) / 1e6,
+                hist->ValueAtQuantile(0.999) / 1e6);
+    std::printf("  rows out: %llu   result cache: %llu hit(s) / %llu "
+                "miss(es)\n",
+                static_cast<unsigned long long>(rows_out),
+                static_cast<unsigned long long>(hits),
+                static_cast<unsigned long long>(misses));
+    std::printf("  shards: %llu scanned, %llu pruned, %llu covered   "
+                "chunks: %llu fault(s), %llu cache hit(s)\n",
+                static_cast<unsigned long long>(scanned),
+                static_cast<unsigned long long>(pruned),
+                static_cast<unsigned long long>(covered),
+                static_cast<unsigned long long>(faults),
+                static_cast<unsigned long long>(chunk_hits));
+    for (const auto& kv : by_table) {
+      std::printf("  table %-20s %llu quer%s\n", kv.first.c_str(),
+                  static_cast<unsigned long long>(kv.second),
+                  kv.second == 1 ? "y" : "ies");
+    }
+    if (once) break;
+    prev_total = total;
+    first = false;
+    std::fflush(stdout);
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+  return 0;
+}
+
+/// `geocol heat <table_dir>`: shard- and chunk-level access heat
+/// aggregated from the recorded workload — which shards answer queries
+/// (and how often the covered shortcut fires) and which column chunks
+/// fault versus ride the chunk cache.
+int CmdHeat(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  auto events =
+      telemetry::ReadFlightLogWithRotation(FlightLogPath(args.positional[0]));
+  if (!events.ok()) return Fail(events.status());
+  const size_t top_n = std::max<uint64_t>(1, args.U64("--top", 20));
+
+  struct ShardAgg { uint64_t scans = 0, covered = 0, rows = 0; };
+  struct ChunkAgg { uint64_t touches = 0, faults = 0; };
+  std::map<std::pair<std::string, uint32_t>, ShardAgg> shards;
+  std::map<std::pair<std::string, uint32_t>, ChunkAgg> chunks;
+  for (const auto& ev : *events) {
+    for (const auto& t : ev.shard_heat) {
+      ShardAgg& a = shards[{ev.table, t.shard}];
+      a.scans += t.scans;
+      a.covered += t.covered;
+      a.rows += t.rows;
+    }
+    for (const auto& t : ev.chunk_heat) {
+      ChunkAgg& a = chunks[{t.file, t.chunk}];
+      a.touches += t.touches;
+      a.faults += t.faults;
+    }
+  }
+
+  std::printf("flight log: %zu event(s)\n", events->size());
+  std::vector<std::pair<std::pair<std::string, uint32_t>, ShardAgg>> sv(
+      shards.begin(), shards.end());
+  std::sort(sv.begin(), sv.end(), [](const auto& a, const auto& b) {
+    return a.second.scans > b.second.scans;
+  });
+  std::printf("shard heat (top %zu of %zu by scans):\n",
+              std::min(top_n, sv.size()), sv.size());
+  for (size_t i = 0; i < sv.size() && i < top_n; ++i) {
+    std::printf("  %-20s shard %4u  %8llu scan(s)  %8llu covered  %10llu "
+                "row(s)\n",
+                sv[i].first.first.c_str(), sv[i].first.second,
+                static_cast<unsigned long long>(sv[i].second.scans),
+                static_cast<unsigned long long>(sv[i].second.covered),
+                static_cast<unsigned long long>(sv[i].second.rows));
+  }
+  std::vector<std::pair<std::pair<std::string, uint32_t>, ChunkAgg>> cv(
+      chunks.begin(), chunks.end());
+  std::sort(cv.begin(), cv.end(), [](const auto& a, const auto& b) {
+    return a.second.touches > b.second.touches;
+  });
+  std::printf("chunk heat (top %zu of %zu by touches):\n",
+              std::min(top_n, cv.size()), cv.size());
+  for (size_t i = 0; i < cv.size() && i < top_n; ++i) {
+    std::printf("  %-40s chunk %4u  %8llu touch(es)  %6llu fault(s)\n",
+                cv[i].first.first.c_str(), cv[i].first.second,
+                static_cast<unsigned long long>(cv[i].second.touches),
+                static_cast<unsigned long long>(cv[i].second.faults));
+  }
+  return 0;
+}
+
+/// `geocol replay <table_dir>`: deterministically re-executes the
+/// recorded workload against the current engine state and diffs each
+/// result bit-for-bit against the recorded CRC32C digest. Events that
+/// failed when recorded or whose digest is not replayable (EXPLAIN
+/// ANALYZE) are skipped. Exit 1 on any digest/row-count mismatch. --json
+/// writes bench_report.py-compatible rows with recorded vs replay
+/// latency, so `bench_report.py --compare` quantifies the drift.
+int CmdReplay(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  Catalog catalog;
+  if (Status st = SetupCatalog(args, &catalog, /*open_flight=*/false);
+      !st.ok()) {
+    return Fail(st);
+  }
+  auto events =
+      telemetry::ReadFlightLogWithRotation(FlightLogPath(args.positional[0]));
+  if (!events.ok()) return Fail(events.status());
+
+  sql::SessionOptions opts = sql::SessionOptions::FromEnv();
+  opts.record_flight = false;  // a replay must not observe itself
+  sql::Session session(&catalog, opts);
+
+  uint64_t replayed = 0, skipped = 0, diffs = 0;
+  std::string json = "[";
+  for (const auto& ev : *events) {
+    if (!ev.ok || !ev.digest_valid) {
+      ++skipped;
+      continue;
+    }
+    Timer t;
+    auto rs = session.Execute(ev.query);
+    const double replay_ms = t.ElapsedMillis();
+    const double recorded_ms = ev.wall_nanos / 1e6;
+    const char* verdict;
+    if (!rs.ok()) {
+      verdict = "FAIL";
+      ++diffs;
+    } else if (sql::ResultSetDigest(*rs) != ev.result_digest ||
+               rs->rows.size() != ev.rows_out) {
+      verdict = "DIFF";
+      ++diffs;
+    } else {
+      verdict = "OK";
+    }
+    ++replayed;
+    std::printf("  %-4s %9.3f ms (recorded %9.3f ms)  %s\n", verdict,
+                replay_ms, recorded_ms, ev.query.c_str());
+    if (json.size() > 1) json += ",";
+    json += "\n  {\"bench\": \"REPLAY\", \"config\": {\"source\": \"geocol "
+            "replay\"}, \"metrics\": {\"query\": " +
+            JsonQuote(ev.query) + ", \"verdict\": \"" + verdict + "\"";
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  ", \"recorded ms\": %.3f, \"replay ms\": %.3f, "
+                  "\"rows\": %llu}}",
+                  recorded_ms, replay_ms,
+                  static_cast<unsigned long long>(ev.rows_out));
+    json += buf;
+  }
+  json += "\n]\n";
+  std::printf("replayed %llu quer%s (%llu skipped), %llu diff(s)\n",
+              static_cast<unsigned long long>(replayed),
+              replayed == 1 ? "y" : "ies",
+              static_cast<unsigned long long>(skipped),
+              static_cast<unsigned long long>(diffs));
+
+  const std::string json_path = args.Value("--json", "");
+  if (!json_path.empty()) {
+    std::FILE* f = std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) return Fail(Status::IOError("cannot open " + json_path));
+    std::fwrite(json.data(), 1, json.size(), f);
+    std::fclose(f);
+    std::printf("latency comparison written to %s\n", json_path.c_str());
+  }
+  return diffs > 0 ? 1 : 0;
+}
+
 int CmdRaster(const Args& args) {
   if (args.positional.size() < 2) return Usage();
   auto table = OpenTable(args.positional[0]);
@@ -785,7 +1105,8 @@ int main(int argc, char** argv) {
       if ((a == "--points" || a == "--layers" || a == "--threads" ||
            a == "--cols" || a == "--format" || a == "--out" ||
            a == "--budget-mb" || a == "--repeat" || a == "--shards" ||
-           a == "--order" || a == "--chunk-mb") &&
+           a == "--order" || a == "--chunk-mb" || a == "--interval-ms" ||
+           a == "--export" || a == "--json" || a == "--top") &&
           i + 1 < argc) {
         args.flags.push_back(argv[++i]);
       }
@@ -807,6 +1128,9 @@ int main(int argc, char** argv) {
   if (cmd == "metrics") return CmdMetrics(args);
   if (cmd == "trace") return CmdTrace(args);
   if (cmd == "cache") return CmdCache(args);
+  if (cmd == "top") return CmdTop(args);
+  if (cmd == "heat") return CmdHeat(args);
+  if (cmd == "replay") return CmdReplay(args);
   if (cmd == "simd") return CmdSimd(args);
   return Usage();
 }
