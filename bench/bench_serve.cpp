@@ -1,0 +1,220 @@
+// E18: multi-tenant query server with shared-scan batching (DESIGN.md
+// §16).
+//
+// 32 concurrent clients replay seeded overlapping-viewport workloads
+// against `geocol serve` twice — shared-scan batching off, then on —
+// over the same in-memory survey. Reported per mode: QPS, p50/p99
+// latency, batch group counts. Because every client is seeded and the
+// fan-out is bit-identical by construction, the digest of every reply
+// must match between the two modes; any difference fails the run, as
+// does batched QPS below the 2x acceptance bar.
+#include <algorithm>
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <random>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "gis/catalog.h"
+#include "server/client.h"
+#include "server/server.h"
+#include "sql/executor.h"
+#include "util/timer.h"
+
+using namespace geocol;
+using namespace geocol::bench;
+
+namespace {
+
+constexpr int kClients = 32;
+
+/// Seeded overlapping viewports: the shared-dashboard scenario — every
+/// client looks at (a slight jitter of) the same hot region, so queued
+/// queries share most of their candidate rows. Boxes cover ~10% of each
+/// extent side around the centre, in the three batchable shapes (count,
+/// aggregate, projection). This is the workload shared-scan batching is
+/// for; disjoint viewports fall back to near-solo superset costs.
+std::vector<std::string> ClientWorkload(const Box& extent, size_t n,
+                                        uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> frac(0.08, 0.12);
+  std::uniform_real_distribution<double> centre(0.48, 0.52);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double w = extent.width() * frac(rng), h = extent.height() * frac(rng);
+    double cx = extent.min_x + extent.width() * centre(rng);
+    double cy = extent.min_y + extent.height() * centre(rng);
+    char where[256];
+    std::snprintf(where, sizeof(where),
+                  "x BETWEEN %.17g AND %.17g AND y BETWEEN %.17g AND %.17g",
+                  cx - w / 2, cx + w / 2, cy - h / 2, cy + h / 2);
+    switch (i % 3) {
+      case 0:
+        out.push_back(std::string("SELECT COUNT(*) FROM ahn2 WHERE ") +
+                      where);
+        break;
+      case 1:
+        out.push_back(std::string("SELECT AVG(z), MAX(z) FROM ahn2 WHERE ") +
+                      where);
+        break;
+      default:
+        out.push_back(std::string("SELECT x, y, z FROM ahn2 WHERE ") +
+                      where + " LIMIT 32");
+        break;
+    }
+  }
+  return out;
+}
+
+struct PassResult {
+  double qps = 0;
+  double p50_ms = 0;
+  double p99_ms = 0;
+  uint64_t batches = 0;
+  uint64_t batch_members = 0;
+  bool ok = true;
+  /// digests[c][q]: reply digest of client c's q-th statement.
+  std::vector<std::vector<uint32_t>> digests;
+};
+
+double Quantile(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  size_t idx = static_cast<size_t>(q * (sorted.size() - 1));
+  return sorted[idx];
+}
+
+PassResult RunPass(Catalog* catalog, const Box& extent, bool batching,
+                   size_t per_client) {
+  server::ServerOptions sopts;
+  sopts.workers = 2;
+  sopts.queue_capacity = 256;
+  sopts.shared_scan_batching = batching;
+  server::Server srv(catalog, sopts);
+  Status st = srv.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "server start failed: %s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  const int port = srv.port();
+
+  PassResult pass;
+  pass.digests.assign(kClients, {});
+  std::vector<std::vector<double>> latencies(kClients);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  Timer wall;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      // Same seed per client slot across both passes, so reply digests
+      // are directly comparable.
+      auto statements = ClientWorkload(extent, per_client, 18000 + c);
+      server::Client::Options copts;
+      copts.port = port;
+      copts.client_id = "bench-" + std::to_string(c);
+      auto client = server::Client::Connect(copts);
+      if (!client.ok()) {
+        failed.store(true);
+        return;
+      }
+      for (const auto& sql : statements) {
+        Timer t;
+        auto outcome = client->Query(sql);
+        latencies[c].push_back(t.ElapsedNanos() / 1e6);
+        if (!outcome.ok() || !outcome->ok) {
+          failed.store(true);
+          return;
+        }
+        pass.digests[c].push_back(sql::ResultSetDigest(outcome->result));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double wall_s = wall.ElapsedNanos() / 1e9;
+  srv.Stop();
+
+  pass.ok = !failed.load();
+  std::vector<double> all;
+  for (const auto& l : latencies) all.insert(all.end(), l.begin(), l.end());
+  std::sort(all.begin(), all.end());
+  pass.qps = all.size() / wall_s;
+  pass.p50_ms = Quantile(all, 0.50);
+  pass.p99_ms = Quantile(all, 0.99);
+  server::ServerStats stats = srv.stats();
+  pass.batches = stats.batches;
+  pass.batch_members = stats.batch_members;
+  return pass;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  InitBench(argc, argv);
+  const uint64_t n = BenchPoints(400000);
+  const size_t per_client = EnvU64("GEOCOL_BENCH_QUERIES", 25);
+  Banner("E18: multi-tenant serving with shared-scan batching",
+         "32 overlapping-viewport clients, batching off vs on");
+
+  auto table = GenerateSurvey(n);
+  const Box extent = SurveyOptions(n).extent;
+  std::printf("survey: %llu points, %d clients x %llu queries\n",
+              static_cast<unsigned long long>(table->num_rows()), kClients,
+              static_cast<unsigned long long>(per_client));
+
+  Catalog catalog;
+  if (Status st = catalog.AddPointCloud("ahn2", table); !st.ok()) {
+    std::fprintf(stderr, "catalog: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  PassResult unbatched = RunPass(&catalog, extent, false, per_client);
+  PassResult batched = RunPass(&catalog, extent, true, per_client);
+  if (!unbatched.ok || !batched.ok) {
+    std::fprintf(stderr, "FAIL: a pass saw a failed query\n");
+    return 1;
+  }
+
+  // Bit-identical across modes, client by client, statement by statement.
+  size_t diffs = 0;
+  for (int c = 0; c < kClients; ++c) {
+    if (unbatched.digests[c] != batched.digests[c]) ++diffs;
+  }
+
+  TablePrinter table_out(
+      {"mode", "qps", "p50_ms", "p99_ms", "batches", "batch_members"});
+  table_out.Row({"unbatched", TablePrinter::Num(unbatched.qps, 1),
+                 TablePrinter::Num(unbatched.p50_ms, 2),
+                 TablePrinter::Num(unbatched.p99_ms, 2),
+                 TablePrinter::Int(unbatched.batches),
+                 TablePrinter::Int(unbatched.batch_members)});
+  table_out.Row({"batched", TablePrinter::Num(batched.qps, 1),
+                 TablePrinter::Num(batched.p50_ms, 2),
+                 TablePrinter::Num(batched.p99_ms, 2),
+                 TablePrinter::Int(batched.batches),
+                 TablePrinter::Int(batched.batch_members)});
+  const double speedup = batched.qps / unbatched.qps;
+  // CI runners with 2 cores can't sustain the 2x bar the full-size run
+  // demonstrates; they relax it via env while keeping the digest check
+  // strict.
+  double min_speedup = 2.0;
+  if (const char* v = std::getenv("GEOCOL_BENCH_MIN_SPEEDUP")) {
+    min_speedup = std::strtod(v, nullptr);
+  }
+  TablePrinter summary({"digest_diffs", "qps_speedup"});
+  summary.Row({TablePrinter::Int(diffs), TablePrinter::Num(speedup, 2)});
+
+  if (diffs > 0) {
+    std::fprintf(stderr, "FAIL: %zu clients saw different results\n", diffs);
+    return 1;
+  }
+  if (speedup < min_speedup) {
+    std::fprintf(stderr, "FAIL: batching speedup %.2fx < %.1fx bar\n",
+                 speedup, min_speedup);
+    return 1;
+  }
+  std::printf("\nbatching: %.2fx QPS, results bit-identical\n", speedup);
+  return 0;
+}

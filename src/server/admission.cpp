@@ -1,0 +1,87 @@
+#include "server/admission.h"
+
+#include <algorithm>
+
+namespace geocol {
+namespace server {
+
+void QueryTask::Complete(Status st, sql::ResultSet rs) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    status = std::move(st);
+    result = std::move(rs);
+    done_ = true;
+  }
+  cv_.notify_all();
+}
+
+void QueryTask::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return done_; });
+}
+
+AdmissionQueue::Admit AdmissionQueue::TryPush(TaskPtr task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) return Admit::kClosed;
+    if (queue_.size() >= capacity_) return Admit::kFull;
+    queue_.push_back(std::move(task));
+    max_depth_ = std::max(max_depth_, queue_.size());
+  }
+  cv_.notify_one();
+  return Admit::kAdmitted;
+}
+
+TaskPtr AdmissionQueue::PopBlocking() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return nullptr;
+  TaskPtr task = std::move(queue_.front());
+  queue_.pop_front();
+  return task;
+}
+
+std::vector<TaskPtr> AdmissionQueue::ExtractBatchGroup(uintptr_t key,
+                                                       size_t max_tasks) {
+  std::vector<TaskPtr> group;
+  if (key == 0 || max_tasks == 0) return group;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = queue_.begin();
+       it != queue_.end() && group.size() < max_tasks;) {
+    if ((*it)->batch_key == key) {
+      group.push_back(std::move(*it));
+      it = queue_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return group;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    closed_ = true;
+  }
+  cv_.notify_all();
+}
+
+void AdmissionQueue::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = false;
+  queue_.clear();
+  max_depth_ = 0;
+}
+
+size_t AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+size_t AdmissionQueue::max_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return max_depth_;
+}
+
+}  // namespace server
+}  // namespace geocol

@@ -1,0 +1,99 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <errno.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+namespace geocol {
+namespace server {
+
+Result<Client> Client::Connect(const Options& options) {
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(options.port));
+  if (::inet_pton(AF_INET, options.host.c_str(), &addr.sin_addr) != 1) {
+    return Status::InvalidArgument("bad server address: " + options.host);
+  }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(options.connect_retry_ms);
+  int fd = -1;
+  for (;;) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) ==
+        0) {
+      break;
+    }
+    const int saved_errno = errno;
+    ::close(fd);
+    fd = -1;
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return Status::IOError("connect " + options.host + ":" +
+                             std::to_string(options.port) + ": " +
+                             std::strerror(saved_errno));
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  SetNoDelay(fd);
+  Client client(fd, options);
+  if (!options.client_id.empty()) {
+    std::vector<uint8_t> payload(options.client_id.begin(),
+                                 options.client_id.end());
+    GEOCOL_RETURN_NOT_OK(WriteFrame(fd, FrameType::kHello, payload));
+    GEOCOL_ASSIGN_OR_RETURN(Frame reply,
+                            ReadFrame(fd, options.max_response_bytes));
+    if (reply.type != FrameType::kHelloOk) {
+      return Status::Corruption("unexpected reply to HELLO");
+    }
+  }
+  return client;
+}
+
+Status Client::Ping() {
+  if (fd_ < 0) return Status::InvalidArgument("client is closed");
+  GEOCOL_RETURN_NOT_OK(WriteFrame(fd_, FrameType::kPing, {}));
+  GEOCOL_ASSIGN_OR_RETURN(Frame reply,
+                          ReadFrame(fd_, options_.max_response_bytes));
+  if (reply.type != FrameType::kPong) {
+    return Status::Corruption("unexpected reply to PING");
+  }
+  return Status::OK();
+}
+
+Result<Client::QueryOutcome> Client::Query(const std::string& sql) {
+  if (fd_ < 0) return Status::InvalidArgument("client is closed");
+  std::vector<uint8_t> payload(sql.begin(), sql.end());
+  GEOCOL_RETURN_NOT_OK(WriteFrame(fd_, FrameType::kQuery, payload));
+  GEOCOL_ASSIGN_OR_RETURN(Frame reply,
+                          ReadFrame(fd_, options_.max_response_bytes));
+  QueryOutcome outcome;
+  if (reply.type == FrameType::kResult) {
+    GEOCOL_ASSIGN_OR_RETURN(outcome.result, DecodeResultSet(reply.payload));
+    outcome.ok = true;
+    return outcome;
+  }
+  if (reply.type == FrameType::kError) {
+    GEOCOL_ASSIGN_OR_RETURN(outcome.error, DecodeError(reply.payload));
+    outcome.ok = false;
+    return outcome;
+  }
+  return Status::Corruption("unexpected reply to QUERY");
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace server
+}  // namespace geocol

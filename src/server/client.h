@@ -1,0 +1,78 @@
+// Client side of the geocol wire protocol: a blocking single-connection
+// client used by `geocol client`, the differential tests and bench_serve.
+// One request is outstanding per connection at a time (the protocol has
+// no stream ids; scripting fan-out opens one Client per logical client).
+#ifndef GEOCOL_SERVER_CLIENT_H_
+#define GEOCOL_SERVER_CLIENT_H_
+
+#include <string>
+#include <utility>
+
+#include "server/protocol.h"
+#include "sql/executor.h"
+#include "util/status.h"
+
+namespace geocol {
+namespace server {
+
+class Client {
+ public:
+  struct Options {
+    std::string host = "127.0.0.1";
+    int port = 0;
+    /// Sent as HELLO after connect when non-empty; the server tags rate
+    /// limiting, counters and flight events with it.
+    std::string client_id;
+    /// Keep retrying the TCP connect for up to this long (the CI smoke
+    /// starts the server concurrently). 0 = single attempt.
+    int connect_retry_ms = 0;
+    uint32_t max_response_bytes = kMaxResponseFrameBytes;
+  };
+
+  /// A server's answer to one query. `ok` distinguishes a result set from
+  /// a typed refusal/failure; transport-level problems (connection died,
+  /// undecodable frame) are the outer Result's error instead.
+  struct QueryOutcome {
+    bool ok = false;
+    sql::ResultSet result;  ///< valid when ok
+    ErrorReply error;       ///< valid when !ok
+
+    /// The Status a local sql::Session would have returned (oracle
+    /// comparison for error queries).
+    Status ToStatus() const { return ok ? Status::OK() : error.ToStatus(); }
+  };
+
+  static Result<Client> Connect(const Options& options);
+
+  Client(Client&& o) noexcept : fd_(o.fd_), options_(std::move(o.options_)) {
+    o.fd_ = -1;
+  }
+  Client& operator=(Client&& o) noexcept {
+    if (this != &o) {
+      Close();
+      fd_ = o.fd_;
+      options_ = std::move(o.options_);
+      o.fd_ = -1;
+    }
+    return *this;
+  }
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  ~Client() { Close(); }
+
+  Status Ping();
+  Result<QueryOutcome> Query(const std::string& sql);
+  void Close();
+  bool connected() const { return fd_ >= 0; }
+
+ private:
+  Client(int fd, Options options) : fd_(fd), options_(std::move(options)) {}
+
+  int fd_ = -1;
+  Options options_;
+};
+
+}  // namespace server
+}  // namespace geocol
+
+#endif  // GEOCOL_SERVER_CLIENT_H_

@@ -1,0 +1,225 @@
+#include "server/protocol.h"
+
+#include <errno.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/binary_io.h"
+
+namespace geocol {
+namespace server {
+
+namespace {
+
+/// recv() exactly `n` bytes. Returns the byte count read before EOF (so a
+/// caller can distinguish clean close from a torn frame) or an IOError.
+Result<size_t> RecvAll(int fd, void* buf, size_t n) {
+  uint8_t* p = static_cast<uint8_t*>(buf);
+  size_t got = 0;
+  while (got < n) {
+    ssize_t r = ::recv(fd, p + got, n - got, 0);
+    if (r == 0) return got;
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    got += static_cast<size_t>(r);
+  }
+  return got;
+}
+
+Status SendAll(int fd, const void* buf, size_t n) {
+  const uint8_t* p = static_cast<const uint8_t*>(buf);
+  size_t sent = 0;
+  while (sent < n) {
+    // MSG_NOSIGNAL: a client that hung up must produce EPIPE here, not
+    // kill the whole server with SIGPIPE.
+    ssize_t r = ::send(fd, p + sent, n - sent, MSG_NOSIGNAL);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    sent += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+const char* ErrorCodeName(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kQueryFailed: return "QUERY_FAILED";
+    case ErrorCode::kBusy: return "BUSY";
+    case ErrorCode::kRateLimited: return "RATE_LIMITED";
+    case ErrorCode::kShuttingDown: return "SHUTTING_DOWN";
+    case ErrorCode::kTooLarge: return "TOO_LARGE";
+    case ErrorCode::kMalformed: return "MALFORMED";
+  }
+  return "UNKNOWN";
+}
+
+Status WriteFrame(int fd, FrameType type,
+                  const std::vector<uint8_t>& payload) {
+  const uint32_t frame_len = static_cast<uint32_t>(1 + payload.size());
+  uint8_t header[5];
+  std::memcpy(header, &frame_len, sizeof(frame_len));
+  header[4] = static_cast<uint8_t>(type);
+  // Small frames go out as one send: with Nagle on the far side a split
+  // header would stall against delayed ACKs, and even with TCP_NODELAY a
+  // single segment beats two for a 5-byte prefix.
+  constexpr size_t kCoalesceBytes = 16 * 1024;
+  if (payload.size() <= kCoalesceBytes) {
+    std::vector<uint8_t> frame(sizeof(header) + payload.size());
+    std::memcpy(frame.data(), header, sizeof(header));
+    if (!payload.empty()) {
+      std::memcpy(frame.data() + sizeof(header), payload.data(),
+                  payload.size());
+    }
+    return SendAll(fd, frame.data(), frame.size());
+  }
+  GEOCOL_RETURN_NOT_OK(SendAll(fd, header, sizeof(header)));
+  return SendAll(fd, payload.data(), payload.size());
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+}
+
+Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes) {
+  uint32_t frame_len = 0;
+  GEOCOL_ASSIGN_OR_RETURN(size_t got,
+                          RecvAll(fd, &frame_len, sizeof(frame_len)));
+  if (got == 0) return Status::NotFound("connection closed");
+  if (got < sizeof(frame_len)) {
+    return Status::Corruption("truncated frame header");
+  }
+  if (frame_len == 0) return Status::Corruption("zero-length frame");
+  if (frame_len > max_frame_bytes) {
+    return Status::OutOfRange("frame of " + std::to_string(frame_len) +
+                              " bytes exceeds cap of " +
+                              std::to_string(max_frame_bytes));
+  }
+  Frame frame;
+  uint8_t type = 0;
+  GEOCOL_ASSIGN_OR_RETURN(got, RecvAll(fd, &type, sizeof(type)));
+  if (got < sizeof(type)) return Status::Corruption("truncated frame");
+  frame.type = static_cast<FrameType>(type);
+  frame.payload.resize(frame_len - 1);
+  if (!frame.payload.empty()) {
+    GEOCOL_ASSIGN_OR_RETURN(
+        got, RecvAll(fd, frame.payload.data(), frame.payload.size()));
+    if (got < frame.payload.size()) {
+      return Status::Corruption("truncated frame payload");
+    }
+  }
+  return frame;
+}
+
+std::vector<uint8_t> EncodeError(const ErrorReply& reply) {
+  BufferWriter w;
+  w.WriteScalar<uint8_t>(static_cast<uint8_t>(reply.code));
+  w.WriteScalar<uint8_t>(static_cast<uint8_t>(reply.status_code));
+  w.WriteString(reply.message);
+  return w.Take();
+}
+
+Result<ErrorReply> DecodeError(const std::vector<uint8_t>& payload) {
+  BufferReader r(payload);
+  ErrorReply reply;
+  uint8_t code = 0, status_code = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&code));
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&status_code));
+  GEOCOL_RETURN_NOT_OK(r.ReadString(&reply.message));
+  if (r.remaining() != 0) {
+    return Status::Corruption("error reply has trailing bytes");
+  }
+  reply.code = static_cast<ErrorCode>(code);
+  reply.status_code = static_cast<StatusCode>(status_code);
+  return reply;
+}
+
+std::vector<uint8_t> EncodeResultSet(const sql::ResultSet& rs) {
+  BufferWriter w;
+  w.WriteScalar<uint32_t>(static_cast<uint32_t>(rs.columns.size()));
+  for (const std::string& c : rs.columns) w.WriteString(c);
+  w.WriteScalar<uint64_t>(rs.rows.size());
+  for (const auto& row : rs.rows) {
+    w.WriteScalar<uint32_t>(static_cast<uint32_t>(row.size()));
+    for (const sql::Value& v : row) {
+      w.WriteScalar<uint8_t>(static_cast<uint8_t>(v.kind));
+      switch (v.kind) {
+        case sql::Value::Kind::kNull:
+          break;
+        case sql::Value::Kind::kNumber:
+          w.WriteScalar<double>(v.number);
+          break;
+        case sql::Value::Kind::kText:
+          w.WriteString(v.text);
+          break;
+      }
+    }
+  }
+  return w.Take();
+}
+
+Result<sql::ResultSet> DecodeResultSet(const std::vector<uint8_t>& payload) {
+  BufferReader r(payload);
+  sql::ResultSet rs;
+  uint32_t ncols = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&ncols));
+  // Reserve bounds come from bytes actually present, never from the
+  // untrusted count alone.
+  rs.columns.reserve(std::min<size_t>(ncols, r.remaining()));
+  for (uint32_t c = 0; c < ncols; ++c) {
+    std::string name;
+    GEOCOL_RETURN_NOT_OK(r.ReadString(&name));
+    rs.columns.push_back(std::move(name));
+  }
+  uint64_t nrows = 0;
+  GEOCOL_RETURN_NOT_OK(r.ReadScalar(&nrows));
+  rs.rows.reserve(std::min<uint64_t>(nrows, r.remaining()));
+  for (uint64_t i = 0; i < nrows; ++i) {
+    uint32_t ncells = 0;
+    GEOCOL_RETURN_NOT_OK(r.ReadScalar(&ncells));
+    std::vector<sql::Value> row;
+    row.reserve(std::min<size_t>(ncells, r.remaining()));
+    for (uint32_t c = 0; c < ncells; ++c) {
+      uint8_t kind = 0;
+      GEOCOL_RETURN_NOT_OK(r.ReadScalar(&kind));
+      switch (static_cast<sql::Value::Kind>(kind)) {
+        case sql::Value::Kind::kNull:
+          row.push_back(sql::Value::Null());
+          break;
+        case sql::Value::Kind::kNumber: {
+          double v = 0;
+          GEOCOL_RETURN_NOT_OK(r.ReadScalar(&v));
+          row.push_back(sql::Value::Num(v));
+          break;
+        }
+        case sql::Value::Kind::kText: {
+          std::string s;
+          GEOCOL_RETURN_NOT_OK(r.ReadString(&s));
+          row.push_back(sql::Value::Text(std::move(s)));
+          break;
+        }
+        default:
+          return Status::Corruption("result cell has unknown kind " +
+                                    std::to_string(kind));
+      }
+    }
+    rs.rows.push_back(std::move(row));
+  }
+  if (r.remaining() != 0) {
+    return Status::Corruption("result set has trailing bytes");
+  }
+  return rs;
+}
+
+}  // namespace server
+}  // namespace geocol

@@ -1,0 +1,102 @@
+// Wire protocol for `geocol serve` (DESIGN.md §16): length-prefixed
+// binary frames over a plain TCP stream.
+//
+//   frame: [u32 frame_len][u8 type][payload]      (frame_len = 1 + payload)
+//
+// Requests: HELLO (client id), QUERY (SQL text), PING. Responses:
+// HELLO_OK, RESULT (canonical result-set image), ERROR (typed code +
+// StatusCode + message, so a client can reconstruct the same Status a
+// local sql::Session would have returned), PONG. All integers are
+// little-endian host scalars, matching the column file formats — the
+// server binds to localhost, not a cross-architecture network.
+#ifndef GEOCOL_SERVER_PROTOCOL_H_
+#define GEOCOL_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "sql/executor.h"
+#include "util/status.h"
+
+namespace geocol {
+namespace server {
+
+enum class FrameType : uint8_t {
+  // Requests.
+  kHello = 1,
+  kQuery = 2,
+  kPing = 3,
+  // Responses.
+  kResult = 16,
+  kError = 17,
+  kPong = 18,
+  kHelloOk = 19,
+};
+
+/// Why a request was refused (ErrorReply::code). kQueryFailed carries the
+/// execution Status; the rest are server-side refusals that never reached
+/// the engine.
+enum class ErrorCode : uint8_t {
+  kQueryFailed = 1,   ///< parse/plan/execute returned an error Status
+  kBusy = 2,          ///< admission queue full — retry later
+  kRateLimited = 3,   ///< per-client token bucket empty
+  kShuttingDown = 4,  ///< server is draining; no new work accepted
+  kTooLarge = 5,      ///< request frame exceeds the configured cap
+  kMalformed = 6,     ///< unparseable frame or unknown frame type
+};
+
+const char* ErrorCodeName(ErrorCode code);
+
+/// Payload of a kError response.
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kQueryFailed;
+  StatusCode status_code = StatusCode::kInternal;
+  std::string message;
+
+  /// The Status a local session would have produced (oracle-comparable
+  /// for kQueryFailed; a typed server-side Status otherwise).
+  Status ToStatus() const { return Status(status_code, message); }
+};
+
+/// One decoded frame.
+struct Frame {
+  FrameType type = FrameType::kPing;
+  std::vector<uint8_t> payload;
+};
+
+/// Default cap on any frame a peer will accept (responses can carry large
+/// result sets; requests are capped much lower by ServerOptions).
+constexpr uint32_t kMaxResponseFrameBytes = 256u << 20;
+
+/// Writes one frame to `fd`, looping over partial sends (MSG_NOSIGNAL, so
+/// a peer hangup surfaces as an IOError, not SIGPIPE).
+Status WriteFrame(int fd, FrameType type, const std::vector<uint8_t>& payload);
+
+/// Disables Nagle on a connected socket. The protocol is strict
+/// request/response with small frames; without this, the header+payload
+/// split interacts with delayed ACKs for a ~40ms stall per direction.
+void SetNoDelay(int fd);
+
+/// Reads one frame. A clean EOF at a frame boundary is NotFound
+/// ("connection closed"); a length prefix over `max_frame_bytes` is
+/// OutOfRange (the stream is unrecoverable past it — answer kTooLarge and
+/// close); a zero-length frame or short read mid-frame is Corruption.
+Result<Frame> ReadFrame(int fd, uint32_t max_frame_bytes);
+
+// ---- Payload codecs. Hello/Query payloads are the raw string bytes.
+
+std::vector<uint8_t> EncodeError(const ErrorReply& reply);
+Result<ErrorReply> DecodeError(const std::vector<uint8_t>& payload);
+
+/// Result-set wire image: exactly the canonical digest byte image
+/// (columns, rows, per-cell kind + exact double bits / text), so
+/// `ResultSetDigest(DecodeResultSet(EncodeResultSet(rs)))` equals
+/// `ResultSetDigest(rs)` bit-for-bit. The profile does not travel.
+std::vector<uint8_t> EncodeResultSet(const sql::ResultSet& rs);
+Result<sql::ResultSet> DecodeResultSet(const std::vector<uint8_t>& payload);
+
+}  // namespace server
+}  // namespace geocol
+
+#endif  // GEOCOL_SERVER_PROTOCOL_H_

@@ -1,0 +1,32 @@
+#include "server/rate_limiter.h"
+
+#include <algorithm>
+
+namespace geocol {
+namespace server {
+
+bool TokenBucketLimiter::Allow(const std::string& client, int64_t now_nanos) {
+  if (qps_ <= 0) return true;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = buckets_.try_emplace(client);
+  Bucket& b = it->second;
+  if (inserted) {
+    b.tokens = burst_;
+    b.last_nanos = now_nanos;
+  } else if (now_nanos > b.last_nanos) {
+    const double elapsed_s = (now_nanos - b.last_nanos) / 1e9;
+    b.tokens = std::min(burst_, b.tokens + elapsed_s * qps_);
+    b.last_nanos = now_nanos;
+  }
+  if (b.tokens < 1.0) return false;
+  b.tokens -= 1.0;
+  return true;
+}
+
+size_t TokenBucketLimiter::num_clients() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return buckets_.size();
+}
+
+}  // namespace server
+}  // namespace geocol

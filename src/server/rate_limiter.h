@@ -1,0 +1,47 @@
+// Per-client token-bucket rate limiting for the query server
+// (DESIGN.md §16). Each client id owns an independent bucket, so one
+// flooding client exhausts only its own tokens and can never starve a
+// polite neighbour — fairness by construction.
+#ifndef GEOCOL_SERVER_RATE_LIMITER_H_
+#define GEOCOL_SERVER_RATE_LIMITER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace geocol {
+namespace server {
+
+/// Thread-safe token-bucket limiter keyed by client id. A bucket starts
+/// full (`burst` tokens), refills at `qps` tokens per second capped at
+/// `burst`, and each allowed request consumes one token. `qps <= 0`
+/// disables limiting entirely. Time is injected (monotonic nanos) so
+/// tests are deterministic.
+class TokenBucketLimiter {
+ public:
+  TokenBucketLimiter(double qps, double burst)
+      : qps_(qps), burst_(burst < 1.0 ? 1.0 : burst) {}
+
+  /// True when `client` may run one query at `now_nanos`.
+  bool Allow(const std::string& client, int64_t now_nanos);
+
+  /// Number of clients with a bucket (observability/tests).
+  size_t num_clients() const;
+
+ private:
+  struct Bucket {
+    double tokens = 0;
+    int64_t last_nanos = 0;
+  };
+
+  const double qps_;
+  const double burst_;
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Bucket> buckets_;
+};
+
+}  // namespace server
+}  // namespace geocol
+
+#endif  // GEOCOL_SERVER_RATE_LIMITER_H_

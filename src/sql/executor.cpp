@@ -85,70 +85,14 @@ Result<double> AggKindFromFunc(AggFunc f, const Column& col,
 /// where the scalar GetDouble can only return NaN.
 constexpr size_t kExecBlockRows = 1024;
 
-Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
-  ResultSet rs;
-  const FlatTable& table = plan.engine->table();
-
-  // ---- Selection.
-  std::vector<uint64_t> rows;
-  if (plan.near) {
-    GEOCOL_ASSIGN_OR_RETURN(
-        NearLayerResult near,
-        PointsNearLayerClass(plan.engine, plan.near_layer.get(),
-                             plan.near_class, plan.near_distance));
-    rows = std::move(near.row_ids);
-    rs.profile = std::move(near.profile);
-    // NEAR + thematic: post-filter the joined rows (the per-feature engine
-    // calls cannot push the thematic ranges into the union).
-    if (!plan.thematic.empty()) {
-      Timer t;
-      std::vector<ColumnPtr> cols;
-      for (const AttributeRange& a : plan.thematic) {
-        GEOCOL_ASSIGN_OR_RETURN(ColumnPtr c, table.GetColumn(a.column));
-        cols.push_back(std::move(c));
-      }
-      std::vector<uint8_t> keep(rows.size(), 1);
-      std::vector<double> vals(kExecBlockRows);
-      for (size_t ci = 0; ci < cols.size(); ++ci) {
-        for (size_t base = 0; base < rows.size(); base += kExecBlockRows) {
-          const size_t bn = std::min(kExecBlockRows, rows.size() - base);
-          GEOCOL_RETURN_NOT_OK(
-              cols[ci]->GetDoubleBatch(rows.data() + base, bn, vals.data()));
-          for (size_t i = 0; i < bn; ++i) {
-            if (vals[i] < plan.thematic[ci].lo ||
-                vals[i] > plan.thematic[ci].hi) {
-              keep[base + i] = 0;
-            }
-          }
-        }
-      }
-      std::vector<uint64_t> kept;
-      for (size_t i = 0; i < rows.size(); ++i) {
-        if (keep[i] != 0) kept.push_back(rows[i]);
-      }
-      rs.profile.Add("thematic.postfilter", t.ElapsedNanos(), rows.size(),
-                     kept.size());
-      rows = std::move(kept);
-    }
-  } else {
-    Geometry query_geom = plan.geometry;
-    if (!plan.has_geometry) {
-      // No spatial predicate: the whole table extent is the query box; the
-      // imprint filter degenerates to full-line acceptance.
-      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table.GetColumn("x"));
-      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table.GetColumn("y"));
-      Box extent(xc->Stats().min, yc->Stats().min, xc->Stats().max,
-                 yc->Stats().max);
-      query_geom = Geometry(extent);
-    }
-    GEOCOL_ASSIGN_OR_RETURN(
-        SelectionResult sel,
-        plan.engine->Select(query_geom, plan.buffer, plan.thematic));
-    rows = std::move(sel.row_ids);
-    rs.profile = std::move(sel.profile);
-  }
-
-  // ---- Projection / aggregation.
+/// The rendering half of flat point-cloud execution: aggregation or
+/// `*`-expansion / ORDER BY / LIMIT / projection over an already-selected
+/// row set. `rs.profile` holds the selection-phase spans on entry. Shared
+/// by ExecutePointCloud and the server's batched fan-out
+/// (ExecutePointCloudWithRows), so both render bit-identically.
+Result<ResultSet> RenderPointCloud(const PlannedQuery& plan,
+                                   const FlatTable& table,
+                                   std::vector<uint64_t> rows, ResultSet rs) {
   if (plan.stmt.IsAggregate()) {
     std::vector<Value> out_row;
     for (const SelectItem& it : plan.stmt.items) {
@@ -231,6 +175,73 @@ Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
   }
   rs.profile.Add("project", t.ElapsedNanos(), rows.size(), rs.rows.size());
   return rs;
+}
+
+Result<ResultSet> ExecutePointCloud(const PlannedQuery& plan) {
+  ResultSet rs;
+  const FlatTable& table = plan.engine->table();
+
+  // ---- Selection.
+  std::vector<uint64_t> rows;
+  if (plan.near) {
+    GEOCOL_ASSIGN_OR_RETURN(
+        NearLayerResult near,
+        PointsNearLayerClass(plan.engine, plan.near_layer.get(),
+                             plan.near_class, plan.near_distance));
+    rows = std::move(near.row_ids);
+    rs.profile = std::move(near.profile);
+    // NEAR + thematic: post-filter the joined rows (the per-feature engine
+    // calls cannot push the thematic ranges into the union).
+    if (!plan.thematic.empty()) {
+      Timer t;
+      std::vector<ColumnPtr> cols;
+      for (const AttributeRange& a : plan.thematic) {
+        GEOCOL_ASSIGN_OR_RETURN(ColumnPtr c, table.GetColumn(a.column));
+        cols.push_back(std::move(c));
+      }
+      std::vector<uint8_t> keep(rows.size(), 1);
+      std::vector<double> vals(kExecBlockRows);
+      for (size_t ci = 0; ci < cols.size(); ++ci) {
+        for (size_t base = 0; base < rows.size(); base += kExecBlockRows) {
+          const size_t bn = std::min(kExecBlockRows, rows.size() - base);
+          GEOCOL_RETURN_NOT_OK(
+              cols[ci]->GetDoubleBatch(rows.data() + base, bn, vals.data()));
+          for (size_t i = 0; i < bn; ++i) {
+            if (vals[i] < plan.thematic[ci].lo ||
+                vals[i] > plan.thematic[ci].hi) {
+              keep[base + i] = 0;
+            }
+          }
+        }
+      }
+      std::vector<uint64_t> kept;
+      for (size_t i = 0; i < rows.size(); ++i) {
+        if (keep[i] != 0) kept.push_back(rows[i]);
+      }
+      rs.profile.Add("thematic.postfilter", t.ElapsedNanos(), rows.size(),
+                     kept.size());
+      rows = std::move(kept);
+    }
+  } else {
+    Geometry query_geom = plan.geometry;
+    if (!plan.has_geometry) {
+      // No spatial predicate: the whole table extent is the query box; the
+      // imprint filter degenerates to full-line acceptance.
+      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr xc, table.GetColumn("x"));
+      GEOCOL_ASSIGN_OR_RETURN(ColumnPtr yc, table.GetColumn("y"));
+      Box extent(xc->Stats().min, yc->Stats().min, xc->Stats().max,
+                 yc->Stats().max);
+      query_geom = Geometry(extent);
+    }
+    GEOCOL_ASSIGN_OR_RETURN(
+        SelectionResult sel,
+        plan.engine->Select(query_geom, plan.buffer, plan.thematic));
+    rows = std::move(sel.row_ids);
+    rs.profile = std::move(sel.profile);
+  }
+
+  // ---- Projection / aggregation.
+  return RenderPointCloud(plan, table, std::move(rows), std::move(rs));
 }
 
 AggKind AggKindOf(AggFunc f) {
@@ -481,6 +492,15 @@ void PushTextLines(ResultSet* rs, const std::string& text) {
 }
 
 }  // namespace
+
+Result<ResultSet> ExecutePointCloudWithRows(const PlannedQuery& plan,
+                                            std::vector<uint64_t> rows,
+                                            QueryProfile profile) {
+  ResultSet rs;
+  rs.profile = std::move(profile);
+  return RenderPointCloud(plan, plan.engine->table(), std::move(rows),
+                          std::move(rs));
+}
 
 Result<ResultSet> ExecuteQuery(const PlannedQuery& plan) {
   if (plan.stmt.explain && !plan.stmt.analyze) {

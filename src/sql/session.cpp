@@ -186,16 +186,49 @@ SessionOptions SessionOptions::FromEnv() {
 }
 
 Result<ResultSet> Session::Execute(const std::string& sql_text) {
+  return ExecuteRecorded(sql_text, [&](telemetry::QueryEvent* ev) {
+    return ExecuteInternal(sql_text, ev);
+  });
+}
+
+Result<ResultSet> Session::ExecutePrepared(const std::string& sql_text,
+                                           PlannedQuery plan) {
+  return ExecuteRecorded(sql_text, [&](telemetry::QueryEvent* ev) {
+    Timer timer;
+    const int64_t start_unix_nanos = NowUnixNanos();
+    if (ev != nullptr) ev->start_unix_nanos = start_unix_nanos;
+    return RunPlanned(sql_text, plan, ev, nullptr, nullptr, timer,
+                      start_unix_nanos);
+  });
+}
+
+Result<ResultSet> Session::ExecutePreparedWithRows(const std::string& sql_text,
+                                                   PlannedQuery plan,
+                                                   std::vector<uint64_t> rows,
+                                                   QueryProfile pre_profile) {
+  return ExecuteRecorded(sql_text, [&](telemetry::QueryEvent* ev) {
+    Timer timer;
+    const int64_t start_unix_nanos = NowUnixNanos();
+    if (ev != nullptr) ev->start_unix_nanos = start_unix_nanos;
+    return RunPlanned(sql_text, plan, ev, &rows, &pre_profile, timer,
+                      start_unix_nanos);
+  });
+}
+
+Result<ResultSet> Session::ExecuteRecorded(
+    const std::string& sql_text,
+    const std::function<Result<ResultSet>(telemetry::QueryEvent*)>& body) {
   telemetry::FlightRecorder& recorder = telemetry::FlightRecorder::Global();
   if (!options_.record_flight || !recorder.enabled()) {
-    return ExecuteInternal(sql_text, nullptr);
+    return body(nullptr);
   }
   Timer recording_timer;  // everything the recorder adds around the query
   telemetry::QueryEvent ev;
   ev.query = sql_text;
+  ev.client = client_tag_;
   const CounterSnapshot before = SnapshotCounters();
   Timer timer;
-  Result<ResultSet> result = ExecuteInternal(sql_text, &ev);
+  Result<ResultSet> result = body(&ev);
   ev.wall_nanos = timer.ElapsedNanos();
   FillCounterDeltas(before, SnapshotCounters(), &ev);
   FillHeat(&ev);
@@ -237,6 +270,17 @@ Result<ResultSet> Session::ExecuteInternal(const std::string& sql_text,
   if (ev != nullptr) ev->start_unix_nanos = start_unix_nanos;
   GEOCOL_ASSIGN_OR_RETURN(SelectStmt stmt, Parse(sql_text));
   GEOCOL_ASSIGN_OR_RETURN(PlannedQuery plan, PlanQuery(catalog_, std::move(stmt)));
+  return RunPlanned(sql_text, plan, ev, nullptr, nullptr, timer,
+                    start_unix_nanos);
+}
+
+Result<ResultSet> Session::RunPlanned(const std::string& sql_text,
+                                      PlannedQuery& plan,
+                                      telemetry::QueryEvent* ev,
+                                      std::vector<uint64_t>* batched_rows,
+                                      QueryProfile* batched_profile,
+                                      const Timer& timer,
+                                      int64_t start_unix_nanos) {
   last_plan_ = plan.Describe();
   if (ev != nullptr) {
     ev->table = plan.stmt.table;
@@ -261,7 +305,12 @@ Result<ResultSet> Session::ExecuteInternal(const std::string& sql_text,
     plan.router->set_cache_budget(
         static_cast<uint64_t>(options_.cache_budget_bytes));
   }
-  GEOCOL_ASSIGN_OR_RETURN(ResultSet rs, ExecuteQuery(plan));
+  GEOCOL_ASSIGN_OR_RETURN(
+      ResultSet rs,
+      batched_rows != nullptr
+          ? ExecutePointCloudWithRows(plan, std::move(*batched_rows),
+                                      std::move(*batched_profile))
+          : ExecuteQuery(plan));
   last_profile_ = rs.profile;
   const int64_t wall_nanos = timer.ElapsedNanos();
   GEOCOL_METRIC_HISTOGRAM(h_wall, "geocol_sql_wall_nanos");

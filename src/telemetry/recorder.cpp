@@ -117,6 +117,7 @@ std::vector<uint8_t> SerializeEvent(const QueryEvent& ev) {
     w.WriteScalar<uint64_t>(t.touches);
     w.WriteScalar<uint64_t>(t.faults);
   }
+  w.WriteString(ev.client);  // v2 tail field
   return w.Take();
 }
 
@@ -125,7 +126,7 @@ Result<QueryEvent> DeserializeEvent(const std::vector<uint8_t>& payload) {
   QueryEvent ev;
   uint32_t version = 0;
   GEOCOL_RETURN_NOT_OK(r.ReadScalar(&version));
-  if (version != QueryEvent::kVersion) {
+  if (version < 1 || version > QueryEvent::kVersion) {
     return Status::Corruption("flight event version " +
                               std::to_string(version) + " unsupported");
   }
@@ -194,6 +195,9 @@ Result<QueryEvent> DeserializeEvent(const std::vector<uint8_t>& payload) {
     GEOCOL_RETURN_NOT_OK(r.ReadScalar(&t.faults));
     ev.chunk_heat.push_back(std::move(t));
   }
+  if (version >= 2) {
+    GEOCOL_RETURN_NOT_OK(r.ReadString(&ev.client));
+  }
   if (r.remaining() != 0) {
     return Status::Corruption("flight event has " +
                               std::to_string(r.remaining()) +
@@ -213,6 +217,10 @@ std::string EventToJson(const QueryEvent& ev) {
   AppendJsonString(&out, ev.query);
   out += ", \"table\": ";
   AppendJsonString(&out, ev.table);
+  if (!ev.client.empty()) {
+    out += ", \"client\": ";
+    AppendJsonString(&out, ev.client);
+  }
   std::snprintf(buf, sizeof(buf),
                 ", \"generation\": %" PRIu64 ", \"sharded\": %s",
                 ev.generation, ev.sharded ? "true" : "false");

@@ -35,13 +35,16 @@ namespace telemetry {
 /// the statement (global registry counters sampled before/after), so
 /// events from one session attribute work per query exactly.
 struct QueryEvent {
-  static constexpr uint32_t kVersion = 1;
+  /// v2 adds `client` (serialized last, so v1 frames still parse; a v1
+  /// event reads back with an empty client tag).
+  static constexpr uint32_t kVersion = 2;
 
   // Identity.
   int64_t start_unix_nanos = 0;  ///< wall clock at statement start
   int64_t wall_nanos = 0;        ///< end-to-end latency (parse+plan+execute)
   std::string query;             ///< SQL text as received
   std::string table;             ///< resolved FROM target ("" on parse error)
+  std::string client;            ///< server connection tag ("" = local CLI)
   uint64_t generation = 0;       ///< shard-layout generation / view version
   bool sharded = false;
   std::vector<uint64_t> column_epochs;  ///< flat-table column epochs

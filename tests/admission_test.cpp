@@ -1,0 +1,257 @@
+// Admission control and overload behaviour (DESIGN.md §16): token-bucket
+// unit semantics with injected time (refill rate, burst cap, per-client
+// independence), queue saturation shedding typed BUSY at a bounded depth,
+// per-client rate-limit fairness end to end, and recovery after a burst.
+// Runs under TSan in CI — the shedding paths are exactly where admission
+// state is shared across connection and worker threads.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gis/catalog.h"
+#include "pointcloud/generator.h"
+#include "server/admission.h"
+#include "server/client.h"
+#include "server/rate_limiter.h"
+#include "server/server.h"
+
+namespace geocol {
+namespace {
+
+TEST(RateLimiterTest, RefillAndBurstWithInjectedTime) {
+  server::TokenBucketLimiter limiter(/*qps=*/10, /*burst=*/2);
+  int64_t now = 1'000'000'000;
+  // The burst drains, then the bucket is empty.
+  EXPECT_TRUE(limiter.Allow("a", now));
+  EXPECT_TRUE(limiter.Allow("a", now));
+  EXPECT_FALSE(limiter.Allow("a", now));
+  // 100 ms at 10 qps refills exactly one token.
+  now += 100'000'000;
+  EXPECT_TRUE(limiter.Allow("a", now));
+  EXPECT_FALSE(limiter.Allow("a", now));
+  // Refill never exceeds the burst cap.
+  now += 10'000'000'000;
+  EXPECT_TRUE(limiter.Allow("a", now));
+  EXPECT_TRUE(limiter.Allow("a", now));
+  EXPECT_FALSE(limiter.Allow("a", now));
+}
+
+TEST(RateLimiterTest, ClientsAreIndependent) {
+  server::TokenBucketLimiter limiter(/*qps=*/1, /*burst=*/1);
+  int64_t now = 0;
+  EXPECT_TRUE(limiter.Allow("a", now));
+  EXPECT_FALSE(limiter.Allow("a", now));
+  // Exhausting "a" must not tax "b" — fairness is per client.
+  EXPECT_TRUE(limiter.Allow("b", now));
+  EXPECT_FALSE(limiter.Allow("b", now));
+  EXPECT_EQ(limiter.num_clients(), 2u);
+}
+
+TEST(RateLimiterTest, DisabledAndClockSkewAreSafe) {
+  server::TokenBucketLimiter off(/*qps=*/0, /*burst=*/1);
+  for (int i = 0; i < 100; ++i) EXPECT_TRUE(off.Allow("a", 0));
+  // A clock going backwards must not mint tokens.
+  server::TokenBucketLimiter limiter(/*qps=*/10, /*burst=*/1);
+  EXPECT_TRUE(limiter.Allow("a", 1'000'000'000));
+  EXPECT_FALSE(limiter.Allow("a", 500'000'000));
+}
+
+class AdmissionServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AhnGeneratorOptions opts;
+    opts.extent = Box(85000, 444000, 85060, 444060);
+    AhnGenerator gen(opts);
+    auto table = gen.GenerateTable(4000);
+    ASSERT_TRUE(table.ok());
+    catalog_ = new Catalog();
+    ASSERT_TRUE(catalog_->AddPointCloud("ahn2", *table).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+};
+
+Catalog* AdmissionServerTest::catalog_ = nullptr;
+
+TEST_F(AdmissionServerTest, SaturatedQueueShedsBusyAtBoundedDepth) {
+  // One worker held in the hook + capacity 2: the first query occupies
+  // the worker, two more fill the queue, and everything beyond that must
+  // shed a typed BUSY immediately instead of stalling.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> held{0};
+  server::ServerOptions opts;
+  opts.workers = 1;
+  opts.queue_capacity = 2;
+  opts.before_execute_hook = [&](const server::QueryTask&) {
+    if (held.fetch_add(1) == 0) {
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  server::Server srv(catalog_, opts);
+  ASSERT_TRUE(srv.Start().ok());
+  const int port = srv.port();
+
+  std::atomic<int> ok_count{0};
+  auto admitted_query = [&] {
+    server::Client::Options copts;
+    copts.port = port;
+    auto client = server::Client::Connect(copts);
+    ASSERT_TRUE(client.ok());
+    auto rs = client->Query("SELECT COUNT(*) FROM ahn2");
+    ASSERT_TRUE(rs.ok());
+    if (rs->ok) ok_count.fetch_add(1);
+  };
+  std::thread plug(admitted_query);
+  while (held.load() == 0) std::this_thread::yield();
+  std::thread q1(admitted_query);
+  std::thread q2(admitted_query);
+  while (srv.stats().queue_depth < 2) std::this_thread::yield();
+
+  // The queue is full; further requests get BUSY, fast, on a live
+  // connection (shedding does not kill the session).
+  server::Client::Options copts;
+  copts.port = port;
+  auto shed_client = server::Client::Connect(copts);
+  ASSERT_TRUE(shed_client.ok());
+  int busy = 0;
+  for (int i = 0; i < 5; ++i) {
+    auto rs = shed_client->Query("SELECT COUNT(*) FROM ahn2");
+    ASSERT_TRUE(rs.ok());
+    ASSERT_FALSE(rs->ok);
+    EXPECT_EQ(rs->error.code, server::ErrorCode::kBusy);
+    ++busy;
+  }
+  EXPECT_EQ(busy, 5);
+
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  plug.join();
+  q1.join();
+  q2.join();
+
+  // Recovery: once the burst drained, the same shed client is served.
+  auto rs = shed_client->Query("SELECT COUNT(*) FROM ahn2");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->ok);
+  srv.Stop();
+
+  server::ServerStats s = srv.stats();
+  EXPECT_EQ(ok_count.load(), 3);
+  EXPECT_EQ(s.shed_busy, 5u);
+  // The admission queue never grew past its configured bound.
+  EXPECT_LE(s.queue_max_depth, 2u);
+  EXPECT_EQ(s.queries_ok, 4u);
+}
+
+TEST_F(AdmissionServerTest, PerClientRateLimitFairness) {
+  // A glacial refill (one token per ~17 minutes) makes the pass
+  // deterministic: exactly `burst` queries per client succeed, the rest
+  // shed RATE_LIMITED, and one client's burn never taxes another's.
+  server::ServerOptions opts;
+  opts.rate_limit_qps = 0.001;
+  opts.rate_limit_burst = 3;
+  server::Server srv(catalog_, opts);
+  ASSERT_TRUE(srv.Start().ok());
+  const int port = srv.port();
+
+  auto run_client = [&](const std::string& id, int queries, int* ok,
+                        int* limited) {
+    server::Client::Options copts;
+    copts.port = port;
+    copts.client_id = id;
+    auto client = server::Client::Connect(copts);
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < queries; ++i) {
+      auto rs = client->Query("SELECT COUNT(*) FROM ahn2");
+      ASSERT_TRUE(rs.ok());
+      if (rs->ok) {
+        ++*ok;
+      } else {
+        ASSERT_EQ(rs->error.code, server::ErrorCode::kRateLimited);
+        ++*limited;
+      }
+    }
+  };
+  int ok_a = 0, limited_a = 0;
+  run_client("tenant-a", 8, &ok_a, &limited_a);
+  EXPECT_EQ(ok_a, 3);
+  EXPECT_EQ(limited_a, 5);
+  // tenant-a's exhausted bucket leaves tenant-b's budget untouched.
+  int ok_b = 0, limited_b = 0;
+  run_client("tenant-b", 3, &ok_b, &limited_b);
+  EXPECT_EQ(ok_b, 3);
+  EXPECT_EQ(limited_b, 0);
+
+  server::ServerStats s = srv.stats();
+  EXPECT_EQ(s.shed_rate_limited, 5u);
+  EXPECT_EQ(s.queries_ok, 6u);
+  srv.Stop();
+}
+
+TEST(AdmissionQueueTest, BatchGroupExtractionPreservesFifoOrder) {
+  server::AdmissionQueue queue(16);
+  auto task = [](uintptr_t key, std::string sql) {
+    auto t = std::make_shared<server::QueryTask>();
+    t->batch_key = key;
+    t->sql = std::move(sql);
+    return t;
+  };
+  ASSERT_EQ(queue.TryPush(task(7, "a")),
+            server::AdmissionQueue::Admit::kAdmitted);
+  ASSERT_EQ(queue.TryPush(task(9, "b")),
+            server::AdmissionQueue::Admit::kAdmitted);
+  ASSERT_EQ(queue.TryPush(task(7, "c")),
+            server::AdmissionQueue::Admit::kAdmitted);
+  ASSERT_EQ(queue.TryPush(task(7, "d")),
+            server::AdmissionQueue::Admit::kAdmitted);
+  auto group = queue.ExtractBatchGroup(7, 8);
+  ASSERT_EQ(group.size(), 3u);
+  EXPECT_EQ(group[0]->sql, "a");
+  EXPECT_EQ(group[1]->sql, "c");
+  EXPECT_EQ(group[2]->sql, "d");
+  // The non-matching task is untouched and still FIFO-next.
+  auto rest = queue.PopBlocking();
+  ASSERT_NE(rest, nullptr);
+  EXPECT_EQ(rest->sql, "b");
+  // max_tasks caps a group; the remainder stays queued.
+  ASSERT_EQ(queue.TryPush(task(5, "e")),
+            server::AdmissionQueue::Admit::kAdmitted);
+  ASSERT_EQ(queue.TryPush(task(5, "f")),
+            server::AdmissionQueue::Admit::kAdmitted);
+  auto capped = queue.ExtractBatchGroup(5, 1);
+  ASSERT_EQ(capped.size(), 1u);
+  EXPECT_EQ(capped[0]->sql, "e");
+  EXPECT_EQ(queue.depth(), 1u);
+}
+
+TEST(AdmissionQueueTest, CloseDrainsAdmittedTasksThenReturnsNull) {
+  server::AdmissionQueue queue(4);
+  auto t1 = std::make_shared<server::QueryTask>();
+  auto t2 = std::make_shared<server::QueryTask>();
+  ASSERT_EQ(queue.TryPush(t1), server::AdmissionQueue::Admit::kAdmitted);
+  ASSERT_EQ(queue.TryPush(t2), server::AdmissionQueue::Admit::kAdmitted);
+  queue.Close();
+  EXPECT_EQ(queue.TryPush(std::make_shared<server::QueryTask>()),
+            server::AdmissionQueue::Admit::kClosed);
+  // A closed queue still hands out every admitted task before null.
+  EXPECT_EQ(queue.PopBlocking(), t1);
+  EXPECT_EQ(queue.PopBlocking(), t2);
+  EXPECT_EQ(queue.PopBlocking(), nullptr);
+}
+
+}  // namespace
+}  // namespace geocol

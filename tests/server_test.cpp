@@ -1,0 +1,269 @@
+// Server lifecycle and protocol robustness (DESIGN.md §16): start/stop
+// idempotence and restart, graceful drain of in-flight queries on
+// shutdown, malformed/truncated frames rejected without crashing (a
+// seeded frame fuzzer plus targeted corruptions), and oversized requests
+// capped with a typed TOO_LARGE error.
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gis/catalog.h"
+#include "pointcloud/generator.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "util/rng.h"
+
+namespace geocol {
+namespace {
+
+class ServerTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    AhnGeneratorOptions opts;
+    opts.extent = Box(85000, 444000, 85060, 444060);
+    AhnGenerator gen(opts);
+    auto table = gen.GenerateTable(5000);
+    ASSERT_TRUE(table.ok());
+    num_rows_ = static_cast<double>((*table)->num_rows());
+    catalog_ = new Catalog();
+    ASSERT_TRUE(catalog_->AddPointCloud("ahn2", *table).ok());
+  }
+  static void TearDownTestSuite() {
+    delete catalog_;
+    catalog_ = nullptr;
+  }
+  static Catalog* catalog_;
+  static double num_rows_;
+};
+
+Catalog* ServerTest::catalog_ = nullptr;
+double ServerTest::num_rows_ = 0;
+
+server::Client MustConnect(int port, const std::string& id = "") {
+  server::Client::Options copts;
+  copts.port = port;
+  copts.client_id = id;
+  auto client = server::Client::Connect(copts);
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(*client);
+}
+
+/// Raw TCP connect for byte-level protocol abuse.
+int RawConnect(int port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+  return fd;
+}
+
+TEST_F(ServerTest, StartStopIdempotentAndRestartable) {
+  server::Server srv(catalog_, {});
+  ASSERT_TRUE(srv.Start().ok());
+  EXPECT_TRUE(srv.running());
+  const int first_port = srv.port();
+  EXPECT_GT(first_port, 0);
+  // Starting a running server is an error, not a second listener.
+  EXPECT_FALSE(srv.Start().ok());
+
+  {
+    auto client = MustConnect(first_port);
+    ASSERT_TRUE(client.Ping().ok());
+    auto rs = client.Query("SELECT COUNT(*) FROM ahn2");
+    ASSERT_TRUE(rs.ok());
+    EXPECT_TRUE(rs->ok);
+  }
+
+  srv.Stop();
+  EXPECT_FALSE(srv.running());
+  EXPECT_EQ(srv.port(), 0);
+  srv.Stop();  // idempotent
+  EXPECT_FALSE(srv.running());
+
+  // A stopped server starts again and serves queries.
+  ASSERT_TRUE(srv.Start().ok());
+  EXPECT_TRUE(srv.running());
+  {
+    auto client = MustConnect(srv.port());
+    auto rs = client.Query("SELECT COUNT(*) FROM ahn2");
+    ASSERT_TRUE(rs.ok());
+    EXPECT_TRUE(rs->ok);
+    EXPECT_EQ(rs->result.rows[0][0].number, num_rows_);
+  }
+  srv.Stop();
+}
+
+TEST_F(ServerTest, StopDrainsInFlightQueries) {
+  // One worker, blocked in the test hook while holding the first task;
+  // a second task sits admitted in the queue. Stop() must complete both
+  // (and deliver both responses) before returning — admitted work is
+  // drained, never dropped.
+  std::mutex mu;
+  std::condition_variable cv;
+  bool release = false;
+  std::atomic<int> held{0};
+  server::ServerOptions opts;
+  opts.workers = 1;
+  opts.before_execute_hook = [&](const server::QueryTask&) {
+    if (held.fetch_add(1) == 0) {  // block only the first pop
+      std::unique_lock<std::mutex> lock(mu);
+      cv.wait(lock, [&] { return release; });
+    }
+  };
+  server::Server srv(catalog_, opts);
+  ASSERT_TRUE(srv.Start().ok());
+  const int port = srv.port();
+
+  std::atomic<int> ok_replies{0};
+  auto run_query = [&] {
+    auto client = MustConnect(port);
+    auto rs = client.Query("SELECT COUNT(*) FROM ahn2");
+    if (rs.ok() && rs->ok && rs->result.rows[0][0].number == num_rows_) {
+      ok_replies.fetch_add(1);
+    }
+  };
+  std::thread q1(run_query);
+  // Wait until the worker holds task 1 in the hook.
+  while (held.load() == 0) std::this_thread::yield();
+  std::thread q2(run_query);
+  // Task 2 must be admitted before the queue closes.
+  while (srv.stats().queue_depth < 1) std::this_thread::yield();
+
+  std::thread stopper([&] { srv.Stop(); });
+  // Stop() is now draining; release the worker so both tasks complete.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  {
+    std::lock_guard<std::mutex> lock(mu);
+    release = true;
+  }
+  cv.notify_all();
+  stopper.join();
+  q1.join();
+  q2.join();
+  EXPECT_FALSE(srv.running());
+  EXPECT_EQ(ok_replies.load(), 2);
+  server::ServerStats s = srv.stats();
+  EXPECT_EQ(s.queries_ok, 2u);
+  EXPECT_EQ(s.queries_error, 0u);
+}
+
+TEST_F(ServerTest, MalformedFramesNeverCrashTheServer) {
+  server::Server srv(catalog_, {});
+  ASSERT_TRUE(srv.Start().ok());
+  const int port = srv.port();
+
+  // Targeted corruptions first. Zero-length frame:
+  {
+    int fd = RawConnect(port);
+    uint32_t len = 0;
+    ASSERT_EQ(::send(fd, &len, sizeof(len), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(len)));
+    auto reply = server::ReadFrame(fd, server::kMaxResponseFrameBytes);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, server::FrameType::kError);
+    auto err = server::DecodeError(reply->payload);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, server::ErrorCode::kMalformed);
+    ::close(fd);
+  }
+  // Truncated frame: the length prefix promises more bytes than arrive.
+  {
+    int fd = RawConnect(port);
+    uint32_t len = 100;
+    ASSERT_EQ(::send(fd, &len, sizeof(len), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(len)));
+    uint8_t partial[10] = {2};  // kQuery, then silence
+    ASSERT_EQ(::send(fd, partial, sizeof(partial), MSG_NOSIGNAL),
+              static_cast<ssize_t>(sizeof(partial)));
+    ::close(fd);  // server sees a short read mid-frame
+  }
+  // Unknown frame type gets a typed MALFORMED and the connection closes.
+  {
+    int fd = RawConnect(port);
+    ASSERT_TRUE(server::WriteFrame(fd, static_cast<server::FrameType>(200),
+                                   {1, 2, 3})
+                    .ok());
+    auto reply = server::ReadFrame(fd, server::kMaxResponseFrameBytes);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, server::FrameType::kError);
+    auto err = server::DecodeError(reply->payload);
+    ASSERT_TRUE(err.ok());
+    EXPECT_EQ(err->code, server::ErrorCode::kMalformed);
+    ::close(fd);
+  }
+
+  // Seeded frame fuzzer: random byte blasts, each on a fresh connection.
+  Rng rng(901);
+  for (int iter = 0; iter < 200; ++iter) {
+    int fd = RawConnect(port);
+    size_t len = rng.Uniform(64);
+    std::vector<uint8_t> bytes(len);
+    for (auto& b : bytes) b = static_cast<uint8_t>(rng.Uniform(256));
+    if (!bytes.empty()) {
+      (void)::send(fd, bytes.data(), bytes.size(), MSG_NOSIGNAL);
+    }
+    if (rng.Uniform(2) == 0) ::shutdown(fd, SHUT_WR);
+    ::close(fd);
+  }
+
+  // The server survived and still answers correctly.
+  auto client = MustConnect(port);
+  auto rs = client.Query("SELECT COUNT(*) FROM ahn2");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->ok);
+  EXPECT_EQ(rs->result.rows[0][0].number, num_rows_);
+  server::ServerStats s = srv.stats();
+  EXPECT_GE(s.malformed, 2u);
+  srv.Stop();
+}
+
+TEST_F(ServerTest, OversizedRequestGetsTypedErrorAndCapsMemory) {
+  server::ServerOptions opts;
+  opts.max_request_bytes = 1024;
+  server::Server srv(catalog_, opts);
+  ASSERT_TRUE(srv.Start().ok());
+
+  int fd = RawConnect(srv.port());
+  std::vector<uint8_t> big(4096, 'x');
+  ASSERT_TRUE(server::WriteFrame(fd, server::FrameType::kQuery, big).ok());
+  auto reply = server::ReadFrame(fd, server::kMaxResponseFrameBytes);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->type, server::FrameType::kError);
+  auto err = server::DecodeError(reply->payload);
+  ASSERT_TRUE(err.ok());
+  EXPECT_EQ(err->code, server::ErrorCode::kTooLarge);
+  EXPECT_EQ(err->status_code, StatusCode::kOutOfRange);
+  // The connection is closed after an oversized prefix (the stream is
+  // unrecoverable); the next read sees EOF.
+  auto eof = server::ReadFrame(fd, server::kMaxResponseFrameBytes);
+  EXPECT_FALSE(eof.ok());
+  ::close(fd);
+
+  // A request just under the cap still works on a new connection.
+  auto client = MustConnect(srv.port());
+  auto rs = client.Query("SELECT COUNT(*) FROM ahn2");
+  ASSERT_TRUE(rs.ok());
+  EXPECT_TRUE(rs->ok);
+  EXPECT_EQ(srv.stats().oversized, 1u);
+  srv.Stop();
+}
+
+}  // namespace
+}  // namespace geocol

@@ -10,10 +10,14 @@
 // would fail here.
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <string>
+#include <thread>
+#include <vector>
 
 #include "pointcloud/generator.h"
+#include "sql/executor.h"
 #include "pointcloud/vector_gen.h"
 #include "sql/parser.h"
 #include "sql/session.h"
@@ -194,6 +198,93 @@ TEST_F(SqlFuzzTest, DeepNestingAndLongInputs) {
   // Deeply parenthesised garbage.
   std::string parens = "SELECT x FROM ahn2 WHERE " + std::string(2000, '(');
   EXPECT_FALSE(ExecuteTwice(session, parens).ok());
+}
+
+// Multi-tenant concurrency: a fuzzed statement stream executed through 4
+// threads whose sessions share one engine and result cache must produce,
+// statement for statement, the same outcome as a serial replay of the
+// identical stream — same ok-ness, same error Status, bit-identical
+// result digest. The cache is bound once before the threads start
+// (rebinding an engine's cache is not safe against in-flight queries,
+// which is also why the query server pins the budget at startup).
+TEST_F(SqlFuzzTest, ConcurrentSessionsMatchSerialReplay) {
+  Rng rng(704);
+  std::vector<std::string> statements;
+  for (int i = 0; i < 240; ++i) {
+    if (i % 2 == 0) {
+      // Structured viewport statement; always parses, often non-empty.
+      double x0 = 85000 + rng.UniformDouble(0, 60);
+      double x1 = x0 + rng.UniformDouble(0, 30);
+      double y0 = 444000 + rng.UniformDouble(0, 60);
+      double y1 = y0 + rng.UniformDouble(0, 30);
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "SELECT COUNT(*), AVG(z) FROM ahn2 WHERE x BETWEEN "
+                    "%.17g AND %.17g AND y BETWEEN %.17g AND %.17g",
+                    x0, x1, y0, y1);
+      statements.push_back(buf);
+    } else {
+      // Token soup with a plausible prefix so some reach the executor.
+      std::string text = "SELECT COUNT ( * ) FROM ahn2 ";
+      int len = 1 + static_cast<int>(rng.Uniform(16));
+      for (int t = 0; t < len; ++t) {
+        text += kTokens[rng.Uniform(std::size(kTokens))];
+        text += ' ';
+      }
+      statements.push_back(std::move(text));
+    }
+  }
+
+  // Bind the shared result cache once, before any concurrency.
+  {
+    sql::Session binder(catalog_, CacheOnOptions());
+    ASSERT_TRUE(binder.Execute("SELECT COUNT(*) FROM ahn2").ok());
+  }
+  sql::SessionOptions shared = sql::SessionOptions::FromEnv();
+  shared.cache_budget_bytes = -1;  // inherit the bound cache, never rebind
+
+  struct Outcome {
+    bool ok = false;
+    uint32_t digest = 0;
+    bool skip_digest = false;  // EXPLAIN ANALYZE rows embed wall clock
+    std::string error;
+  };
+  std::vector<Outcome> concurrent(statements.size());
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      sql::Session session(catalog_, shared);
+      for (size_t i = t; i < statements.size(); i += kThreads) {
+        auto rs = session.Execute(statements[i]);
+        Outcome& o = concurrent[i];
+        o.ok = rs.ok();
+        if (rs.ok()) {
+          o.skip_digest = rs->columns.size() == 1 &&
+                          rs->columns[0] == "explain analyze";
+          if (!o.skip_digest) o.digest = sql::ResultSetDigest(*rs);
+        } else {
+          o.error = rs.status().ToString();
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+
+  sql::Session serial(catalog_, shared);
+  for (size_t i = 0; i < statements.size(); ++i) {
+    auto rs = serial.Execute(statements[i]);
+    ASSERT_EQ(concurrent[i].ok, rs.ok()) << statements[i];
+    if (rs.ok()) {
+      if (!concurrent[i].skip_digest) {
+        EXPECT_EQ(concurrent[i].digest, sql::ResultSetDigest(*rs))
+            << statements[i];
+      }
+    } else {
+      EXPECT_EQ(concurrent[i].error, rs.status().ToString())
+          << statements[i];
+    }
+  }
 }
 
 TEST_F(SqlFuzzTest, ParserAloneOnRandomUnicodeBytes) {

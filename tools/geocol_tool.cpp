@@ -20,6 +20,12 @@
 //   geocol heat     <table_dir> [--top N]
 //   geocol replay   <table_dir> [--json <path>] [--layers <dir>]
 //                   [--paged [--chunk-mb N]]
+//   geocol serve    <table_dir> [--port N] [--workers N] [--queue N]
+//                   [--rate-qps Q] [--rate-burst B] [--cache-mb N]
+//                   [--no-batch] [--layers <dir>] [--paged [--chunk-mb N]]
+//   geocol client   ["<SQL>"...] [--host H] [--port N] [--id NAME]
+//                   [--retry-ms N] [--oracle <table_dir>] [--sweep N]
+//                   [--seed S]
 //   geocol simd
 //
 // Tables are persisted GeoColumn table directories; layers are .layer text
@@ -38,11 +44,13 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
 #include <memory>
+#include <random>
 #include <string>
 #include <thread>
 #include <utility>
@@ -67,6 +75,8 @@
 #include "loader/csv_loader.h"
 #include "pointcloud/generator.h"
 #include "pointcloud/vector_gen.h"
+#include "server/client.h"
+#include "server/server.h"
 #include "simd/dispatch.h"
 #include "sql/session.h"
 #include "sql/executor.h"
@@ -102,6 +112,10 @@ struct Args {
     std::string v = Value(flag, "");
     return v.empty() ? def : std::strtoull(v.c_str(), nullptr, 10);
   }
+  double F64(const char* flag, double def) const {
+    std::string v = Value(flag, "");
+    return v.empty() ? def : std::strtod(v.c_str(), nullptr);
+  }
 };
 
 int Fail(const Status& st) {
@@ -128,6 +142,10 @@ int Usage() {
                "  top      <table_dir> [--once] [--interval-ms N] [--export <jsonl>]\n"
                "  heat     <table_dir> [--top N]\n"
                "  replay   <table_dir> [--json <path>] [--layers <dir>] [--paged [--chunk-mb N]]\n"
+               "  serve    <table_dir> [--port N] [--workers N] [--queue N] [--rate-qps Q]\n"
+               "           [--rate-burst B] [--cache-mb N] [--no-batch] [--layers <dir>] [--paged [--chunk-mb N]]\n"
+               "  client   [\"<SQL>\"...] [--host H] [--port N] [--id NAME] [--retry-ms N]\n"
+               "           [--oracle <table_dir>] [--sweep N] [--seed S]\n"
                "  simd     (print CPU features and active kernel dispatch)\n"
                "query-running commands record to <table_dir>/flight/flight.gfr"
                " (disable: --no-flight or GEOCOL_FLIGHT=0)\n");
@@ -1092,6 +1110,235 @@ int CmdRaster(const Args& args) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_serve_stop = 0;
+void HandleServeSignal(int) { g_serve_stop = 1; }
+
+/// `geocol serve <table_dir>`: the multi-tenant query server (DESIGN.md
+/// §16). Binds, prints the resolved port, then blocks until SIGINT or
+/// SIGTERM triggers a graceful drain (every admitted query completes and
+/// its response is written before exit).
+int CmdServe(const Args& args) {
+  if (args.positional.empty()) return Usage();
+  Catalog catalog;
+  if (Status st = SetupCatalog(args, &catalog); !st.ok()) return Fail(st);
+  // Bind the shared result cache once, before any query runs — worker
+  // sessions never rebind (cache_budget_bytes is forced to -1), so this
+  // is the only budget the serving process uses. All tenants share it:
+  // a viewport one client computed is a hit for every other client.
+  const uint64_t cache_mb = args.U64("--cache-mb", 64);
+  if (cache_mb > 0) {
+    for (const std::string& name : catalog.PointCloudNames()) {
+      if (auto engine = catalog.GetEngine(name); engine.ok()) {
+        (*engine)->set_cache_budget(cache_mb * 1024 * 1024);
+      }
+    }
+  }
+  server::ServerOptions opts;
+  opts.host = args.Value("--host", "127.0.0.1");
+  opts.port = static_cast<int>(args.U64("--port", 0));
+  opts.workers = static_cast<int>(args.U64("--workers", 2));
+  opts.queue_capacity = args.U64("--queue", 128);
+  opts.rate_limit_qps = args.F64("--rate-qps", 0);
+  opts.rate_limit_burst = args.F64("--rate-burst", 8);
+  opts.shared_scan_batching = !args.Has("--no-batch");
+  server::Server srv(&catalog, opts);
+  if (Status st = srv.Start(); !st.ok()) return Fail(st);
+  std::printf("geocol serve: listening on %s:%d (%d workers, queue %llu%s)\n",
+              opts.host.c_str(), srv.port(), opts.workers,
+              static_cast<unsigned long long>(opts.queue_capacity),
+              opts.shared_scan_batching ? ", shared-scan batching" : "");
+  std::fflush(stdout);
+  std::signal(SIGINT, HandleServeSignal);
+  std::signal(SIGTERM, HandleServeSignal);
+  while (g_serve_stop == 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  srv.Stop();
+  server::ServerStats s = srv.stats();
+  std::printf(
+      "geocol serve: stopped (conns %llu, ok %llu, errors %llu, busy %llu, "
+      "rate-limited %llu, batches %llu covering %llu queries)\n",
+      static_cast<unsigned long long>(s.connections_total),
+      static_cast<unsigned long long>(s.queries_ok),
+      static_cast<unsigned long long>(s.queries_error),
+      static_cast<unsigned long long>(s.shed_busy),
+      static_cast<unsigned long long>(s.shed_rate_limited),
+      static_cast<unsigned long long>(s.batches),
+      static_cast<unsigned long long>(s.batch_members));
+  cache::CacheStats cs = cache::QueryResultCache::Global().Stats();
+  std::printf("geocol serve: result cache %llu hit(s) / %llu miss(es), "
+              "%.1f MB used\n",
+              static_cast<unsigned long long>(cs.TotalHits()),
+              static_cast<unsigned long long>(cs.TotalMisses()),
+              cs.bytes_used / 1048576.0);
+  telemetry::MaybePrintSummary(stderr);
+  return 0;
+}
+
+/// Seeded viewport workload for `geocol client --sweep` and the CI smoke:
+/// random sub-boxes of the table extent across aggregate / projection /
+/// thematic shapes, plus a periodic planner error to exercise the typed
+/// error path.
+std::vector<std::string> SweepStatements(const std::string& table,
+                                         const Box& extent, double z_mid,
+                                         size_t n, uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_real_distribution<double> fx(extent.min_x, extent.max_x);
+  std::uniform_real_distribution<double> fy(extent.min_y, extent.max_y);
+  std::vector<std::string> out;
+  out.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x0 = fx(rng), x1 = fx(rng), y0 = fy(rng), y1 = fy(rng);
+    if (x0 > x1) std::swap(x0, x1);
+    if (y0 > y1) std::swap(y0, y1);
+    char where[256];
+    std::snprintf(where, sizeof(where),
+                  "x BETWEEN %.17g AND %.17g AND y BETWEEN %.17g AND %.17g",
+                  x0, x1, y0, y1);
+    std::string stmt;
+    switch (i % 7) {
+      case 0:
+        stmt = "SELECT COUNT(*) FROM " + table + " WHERE " + where;
+        break;
+      case 1:
+        stmt = "SELECT AVG(z) FROM " + table + " WHERE " + where;
+        break;
+      case 2:
+        stmt = "SELECT MIN(z), MAX(z) FROM " + table + " WHERE " + where;
+        break;
+      case 3:
+        stmt = "SELECT x, y, z FROM " + table + " WHERE " + where +
+               " LIMIT 64";
+        break;
+      case 4: {
+        char zbuf[64];
+        std::snprintf(zbuf, sizeof(zbuf), " AND z >= %.17g", z_mid);
+        stmt = "SELECT COUNT(*) FROM " + table + " WHERE " + where + zbuf;
+        break;
+      }
+      case 5:
+        stmt = "SELECT COUNT(*), AVG(z) FROM " + table + " WHERE " + where;
+        break;
+      default:
+        // A planning error: refused identically by server and oracle.
+        stmt = "SELECT no_such_column FROM " + table + " WHERE " + where;
+        break;
+    }
+    out.push_back(std::move(stmt));
+  }
+  return out;
+}
+
+/// `geocol client`: scripting client for a running `geocol serve`.
+/// Without --oracle it runs the positional statements (or a bare PING)
+/// and prints results. With --oracle <table_dir> every statement — the
+/// positionals, or --sweep N seeded viewport queries — also runs on a
+/// local single-threaded sql::Session over the same table, and result
+/// digests / error statuses are diffed bitwise; any difference exits 1.
+int CmdClient(const Args& args) {
+  server::Client::Options copts;
+  copts.host = args.Value("--host", "127.0.0.1");
+  copts.port = static_cast<int>(args.U64("--port", 0));
+  copts.client_id = args.Value("--id", "");
+  copts.connect_retry_ms = static_cast<int>(args.U64("--retry-ms", 0));
+  if (copts.port == 0) {
+    return Fail(Status::InvalidArgument("client: --port is required"));
+  }
+  auto client = server::Client::Connect(copts);
+  if (!client.ok()) return Fail(client.status());
+
+  const std::string oracle_dir = args.Value("--oracle", "");
+  if (oracle_dir.empty()) {
+    if (args.positional.empty()) {
+      if (Status st = client->Ping(); !st.ok()) return Fail(st);
+      std::printf("pong\n");
+      return 0;
+    }
+    int rc = 0;
+    for (const auto& stmt : args.positional) {
+      auto outcome = client->Query(stmt);
+      if (!outcome.ok()) return Fail(outcome.status());
+      if (outcome->ok) {
+        std::printf("%s", outcome->result.ToString(50).c_str());
+      } else {
+        std::fprintf(stderr, "error [%s]: %s\n",
+                     server::ErrorCodeName(outcome->error.code),
+                     outcome->error.ToStatus().ToString().c_str());
+        rc = 1;
+      }
+    }
+    return rc;
+  }
+
+  // Differential mode: a local session over the same table is the oracle.
+  Args oargs;
+  oargs.positional.push_back(oracle_dir);
+  oargs.flags = args.flags;
+  Catalog oracle;
+  if (Status st = SetupCatalog(oargs, &oracle, /*open_flight=*/false);
+      !st.ok()) {
+    return Fail(st);
+  }
+  sql::Session session(&oracle);
+  std::vector<std::string> statements(args.positional.begin(),
+                                      args.positional.end());
+  const size_t sweep = args.U64("--sweep", 0);
+  if (sweep > 0) {
+    std::string table = !oracle.PointCloudNames().empty()
+                            ? oracle.PointCloudNames()[0]
+                            : oracle.ShardedPointCloudNames()[0];
+    auto ext = session.Execute(
+        "SELECT MIN(x), MAX(x), MIN(y), MAX(y), MIN(z), MAX(z) FROM " +
+        table);
+    if (!ext.ok()) return Fail(ext.status());
+    if (ext->rows.empty() ||
+        ext->rows[0][0].kind != sql::Value::Kind::kNumber) {
+      return Fail(Status::InvalidArgument("oracle table is empty"));
+    }
+    Box extent(ext->rows[0][0].number, ext->rows[0][2].number,
+               ext->rows[0][1].number, ext->rows[0][3].number);
+    double z_mid = (ext->rows[0][4].number + ext->rows[0][5].number) / 2;
+    auto generated = SweepStatements(table, extent, z_mid, sweep,
+                                     args.U64("--seed", 1));
+    statements.insert(statements.end(), generated.begin(), generated.end());
+  }
+  size_t diffs = 0;
+  for (const auto& stmt : statements) {
+    auto outcome = client->Query(stmt);
+    if (!outcome.ok()) return Fail(outcome.status());
+    auto local = session.Execute(stmt);
+    std::string mismatch;
+    if (outcome->ok && local.ok()) {
+      uint32_t remote_digest = sql::ResultSetDigest(outcome->result);
+      uint32_t local_digest = sql::ResultSetDigest(*local);
+      if (remote_digest != local_digest) {
+        mismatch = "digest " + std::to_string(remote_digest) + " != " +
+                   std::to_string(local_digest);
+      }
+    } else if (!outcome->ok && !local.ok()) {
+      Status remote = outcome->error.ToStatus();
+      if (remote.ToString() != local.status().ToString()) {
+        mismatch =
+            "error '" + remote.ToString() + "' != '" +
+            local.status().ToString() + "'";
+      }
+    } else {
+      mismatch = outcome->ok ? "server ok, oracle failed: " +
+                                   local.status().ToString()
+                             : "oracle ok, server failed: " +
+                                   outcome->error.ToStatus().ToString();
+    }
+    if (!mismatch.empty()) {
+      ++diffs;
+      std::fprintf(stderr, "DIFF %s\n  %s\n", stmt.c_str(),
+                   mismatch.c_str());
+    }
+  }
+  std::printf("client: %zu statements, %zu diffs vs oracle\n",
+              statements.size(), diffs);
+  return diffs > 0 ? 1 : 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1106,7 +1353,12 @@ int main(int argc, char** argv) {
            a == "--cols" || a == "--format" || a == "--out" ||
            a == "--budget-mb" || a == "--repeat" || a == "--shards" ||
            a == "--order" || a == "--chunk-mb" || a == "--interval-ms" ||
-           a == "--export" || a == "--json" || a == "--top") &&
+           a == "--export" || a == "--json" || a == "--top" ||
+           a == "--port" || a == "--workers" || a == "--queue" ||
+           a == "--rate-qps" || a == "--rate-burst" || a == "--host" ||
+           a == "--cache-mb" ||
+           a == "--oracle" || a == "--sweep" || a == "--seed" ||
+           a == "--id" || a == "--retry-ms") &&
           i + 1 < argc) {
         args.flags.push_back(argv[++i]);
       }
@@ -1131,6 +1383,8 @@ int main(int argc, char** argv) {
   if (cmd == "top") return CmdTop(args);
   if (cmd == "heat") return CmdHeat(args);
   if (cmd == "replay") return CmdReplay(args);
+  if (cmd == "serve") return CmdServe(args);
+  if (cmd == "client") return CmdClient(args);
   if (cmd == "simd") return CmdSimd(args);
   return Usage();
 }
