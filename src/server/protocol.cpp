@@ -65,6 +65,15 @@ const char* ErrorCodeName(ErrorCode code) {
 
 Status WriteFrame(int fd, FrameType type,
                   const std::vector<uint8_t>& payload) {
+  // Refuse before touching the socket: encoding a length that does not
+  // fit the cap (or, past 4 GiB, the u32 prefix itself) would emit a
+  // corrupt frame_len and desynchronize the stream for good.
+  if (payload.size() >= kMaxResponseFrameBytes) {
+    return Status::OutOfRange(
+        "frame payload of " + std::to_string(payload.size()) +
+        " bytes exceeds frame cap of " +
+        std::to_string(kMaxResponseFrameBytes));
+  }
   const uint32_t frame_len = static_cast<uint32_t>(1 + payload.size());
   uint8_t header[5];
   std::memcpy(header, &frame_len, sizeof(frame_len));

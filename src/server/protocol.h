@@ -70,7 +70,10 @@ struct Frame {
 constexpr uint32_t kMaxResponseFrameBytes = 256u << 20;
 
 /// Writes one frame to `fd`, looping over partial sends (MSG_NOSIGNAL, so
-/// a peer hangup surfaces as an IOError, not SIGPIPE).
+/// a peer hangup surfaces as an IOError, not SIGPIPE). A payload that
+/// would not fit a legal frame (>= kMaxResponseFrameBytes) is refused
+/// with OutOfRange before any byte hits the wire — never encoded as a
+/// truncated/oversized length prefix.
 Status WriteFrame(int fd, FrameType type, const std::vector<uint8_t>& payload);
 
 /// Disables Nagle on a connected socket. The protocol is strict

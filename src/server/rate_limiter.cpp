@@ -8,19 +8,46 @@ namespace server {
 bool TokenBucketLimiter::Allow(const std::string& client, int64_t now_nanos) {
   if (qps_ <= 0) return true;
   std::lock_guard<std::mutex> lock(mu_);
-  auto [it, inserted] = buckets_.try_emplace(client);
-  Bucket& b = it->second;
-  if (inserted) {
-    b.tokens = burst_;
-    b.last_nanos = now_nanos;
-  } else if (now_nanos > b.last_nanos) {
+  auto it = buckets_.find(client);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= max_clients_) EvictLocked(now_nanos);
+    it = buckets_.try_emplace(client).first;
+    it->second.tokens = burst_;
+    it->second.last_nanos = now_nanos;
+  } else if (now_nanos > it->second.last_nanos) {
+    Bucket& b = it->second;
     const double elapsed_s = (now_nanos - b.last_nanos) / 1e9;
     b.tokens = std::min(burst_, b.tokens + elapsed_s * qps_);
     b.last_nanos = now_nanos;
   }
+  Bucket& b = it->second;
   if (b.tokens < 1.0) return false;
   b.tokens -= 1.0;
   return true;
+}
+
+void TokenBucketLimiter::EvictLocked(int64_t now_nanos) {
+  // A bucket whose refill has reached the burst cap again holds no state
+  // a fresh bucket would not — evicting it is lossless.
+  for (auto it = buckets_.begin(); it != buckets_.end();) {
+    const Bucket& b = it->second;
+    const double elapsed_s =
+        now_nanos > b.last_nanos ? (now_nanos - b.last_nanos) / 1e9 : 0.0;
+    if (b.tokens + elapsed_s * qps_ >= burst_) {
+      it = buckets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  // Every bucket still mid-refill (a sustained flood of distinct ids):
+  // drop the stalest so the map stays bounded either way.
+  while (buckets_.size() >= max_clients_) {
+    auto oldest = buckets_.begin();
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+      if (it->second.last_nanos < oldest->second.last_nanos) oldest = it;
+    }
+    buckets_.erase(oldest);
+  }
 }
 
 size_t TokenBucketLimiter::num_clients() const {

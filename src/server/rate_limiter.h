@@ -18,10 +18,17 @@ namespace server {
 /// `burst`, and each allowed request consumes one token. `qps <= 0`
 /// disables limiting entirely. Time is injected (monotonic nanos) so
 /// tests are deterministic.
+///
+/// Client ids are untrusted input, so the map is bounded at
+/// `max_clients`: at the cap, buckets refilled back to burst are swept
+/// first (a full bucket is indistinguishable from a fresh one — dropping
+/// it never changes an Allow() answer), then the stalest bucket goes.
 class TokenBucketLimiter {
  public:
-  TokenBucketLimiter(double qps, double burst)
-      : qps_(qps), burst_(burst < 1.0 ? 1.0 : burst) {}
+  TokenBucketLimiter(double qps, double burst, size_t max_clients = 4096)
+      : qps_(qps),
+        burst_(burst < 1.0 ? 1.0 : burst),
+        max_clients_(max_clients < 1 ? 1 : max_clients) {}
 
   /// True when `client` may run one query at `now_nanos`.
   bool Allow(const std::string& client, int64_t now_nanos);
@@ -35,8 +42,13 @@ class TokenBucketLimiter {
     int64_t last_nanos = 0;
   };
 
+  /// Makes room for one more bucket: sweeps refilled-to-full buckets,
+  /// then drops the least-recently-used one if the map is still at cap.
+  void EvictLocked(int64_t now_nanos);
+
   const double qps_;
   const double burst_;
+  const size_t max_clients_;
   mutable std::mutex mu_;
   std::unordered_map<std::string, Bucket> buckets_;
 };

@@ -109,8 +109,9 @@ Status Server::Start() {
   listen_fd_ = fd;
   port_ = ntohs(addr.sin_port);
   queue_ = std::make_unique<AdmissionQueue>(options_.queue_capacity);
-  limiter_ = std::make_unique<TokenBucketLimiter>(options_.rate_limit_qps,
-                                                  options_.rate_limit_burst);
+  limiter_ = std::make_unique<TokenBucketLimiter>(
+      options_.rate_limit_qps, options_.rate_limit_burst,
+      options_.rate_limit_max_clients);
   counters_ = std::make_unique<Counters>();
   // Rebinding an engine's cache budget races in-flight queries; worker
   // sessions must never do it mid-serve.
@@ -158,10 +159,15 @@ void Server::Stop() {
     }
     conns.swap(conn_threads_);
   }
-  for (std::thread& t : conns) t.join();
+  // Slots the accept loop already reaped are moved-out here; skip them.
+  for (std::thread& t : conns) {
+    if (t.joinable()) t.join();
+  }
   {
     std::lock_guard<std::mutex> lock(conn_mu_);
     conn_fds_.clear();
+    finished_conns_.clear();
+    free_conn_slots_.clear();
   }
   port_ = 0;
 }
@@ -184,16 +190,30 @@ ServerStats Server::stats() const {
     s.queue_depth = queue_->depth();
     s.queue_max_depth = queue_->max_depth();
   }
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    s.conn_slots = conn_threads_.size() - free_conn_slots_.size();
+  }
   return s;
 }
 
 void Server::AcceptLoop() {
   GEOCOL_METRIC_COUNTER(c_connections, "geocol_server_connections_total");
   for (;;) {
+    ReapFinishedConns();
     int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) {
       if (errno == EINTR) continue;
-      break;  // listener shut down (or a fatal error while stopping)
+      if (stopping_.load(std::memory_order_acquire)) break;
+      // Transient failures (fd exhaustion, kernel buffer pressure, a
+      // connection that aborted while queued) must not kill the
+      // listener: back off a beat and keep accepting.
+      if (errno == ECONNABORTED || errno == EMFILE || errno == ENFILE ||
+          errno == ENOBUFS || errno == ENOMEM) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        continue;
+      }
+      break;  // listener shut down or unrecoverable
     }
     SetNoDelay(fd);
     if (stopping_.load(std::memory_order_acquire)) {
@@ -203,15 +223,46 @@ void Server::AcceptLoop() {
     counters_->connections_total.fetch_add(1, std::memory_order_relaxed);
     c_connections.Increment();
     std::lock_guard<std::mutex> lock(conn_mu_);
-    const size_t index = conn_fds_.size();
-    conn_fds_.push_back(fd);
-    conn_threads_.emplace_back(
-        [this, fd, index] { ConnectionLoop(fd, index); });
+    uint64_t index;
+    if (!free_conn_slots_.empty()) {
+      index = free_conn_slots_.back();
+      free_conn_slots_.pop_back();
+      conn_fds_[index] = fd;
+      conn_threads_[index] =
+          std::thread([this, fd, index] { ConnectionLoop(fd, index); });
+    } else {
+      index = conn_fds_.size();
+      conn_fds_.push_back(fd);
+      conn_threads_.emplace_back(
+          [this, fd, index] { ConnectionLoop(fd, index); });
+    }
+  }
+}
+
+void Server::ReapFinishedConns() {
+  std::vector<std::thread> done;
+  {
+    std::lock_guard<std::mutex> lock(conn_mu_);
+    if (finished_conns_.empty()) return;
+    for (uint64_t index : finished_conns_) {
+      done.push_back(std::move(conn_threads_[index]));
+      free_conn_slots_.push_back(index);
+    }
+    finished_conns_.clear();
+  }
+  // Joining outside conn_mu_: an exiting thread only touches the lists
+  // under the lock before its last instruction, so this never deadlocks.
+  for (std::thread& t : done) {
+    if (t.joinable()) t.join();
   }
 }
 
 void Server::ConnectionLoop(int fd, uint64_t conn_index) {
   std::string client_id = "conn-" + std::to_string(conn_index);
+  // The rate-limit key binds on the first HELLO only: a client that
+  // could re-HELLO a fresh id before each query would start every query
+  // with a full token bucket.
+  bool client_id_bound = false;
   for (;;) {
     Result<Frame> frame = ReadFrame(fd, options_.max_request_bytes);
     if (!frame.ok()) {
@@ -229,14 +280,15 @@ void Server::ConnectionLoop(int fd, uint64_t conn_index) {
     }
     switch (frame->type) {
       case FrameType::kHello: {
-        if (!frame->payload.empty()) {
+        if (!client_id_bound && !frame->payload.empty()) {
           client_id.assign(frame->payload.begin(), frame->payload.end());
         }
-        if (!WriteFrame(fd, FrameType::kHelloOk, {}).ok()) return;
+        client_id_bound = true;
+        if (!WriteFrame(fd, FrameType::kHelloOk, {}).ok()) goto done;
         break;
       }
       case FrameType::kPing: {
-        if (!WriteFrame(fd, FrameType::kPong, {}).ok()) return;
+        if (!WriteFrame(fd, FrameType::kPong, {}).ok()) goto done;
         break;
       }
       case FrameType::kQuery: {
@@ -275,7 +327,7 @@ void Server::ConnectionLoop(int fd, uint64_t conn_index) {
             reply.status_code = plan.status().code();
             reply.message = plan.status().message();
             if (!WriteFrame(fd, FrameType::kError, EncodeError(reply)).ok()) {
-              return;
+              goto done;
             }
             break;
           }
@@ -305,11 +357,22 @@ void Server::ConnectionLoop(int fd, uint64_t conn_index) {
         }
         task->Wait();
         if (task->status.ok()) {
+          std::vector<uint8_t> result_payload = EncodeResultSet(task->result);
+          if (result_payload.size() >= kMaxResponseFrameBytes) {
+            // The reply cannot fit a legal frame. The request itself was
+            // consumed cleanly, so a typed refusal keeps the stream in
+            // sync and the connection alive.
+            counters_->oversized.fetch_add(1, std::memory_order_relaxed);
+            counters_->queries_error.fetch_add(1, std::memory_order_relaxed);
+            SendError(fd, ErrorCode::kTooLarge,
+                      "result set of " + std::to_string(result_payload.size()) +
+                          " bytes exceeds response frame cap of " +
+                          std::to_string(kMaxResponseFrameBytes));
+            break;
+          }
           counters_->queries_ok.fetch_add(1, std::memory_order_relaxed);
-          if (!WriteFrame(fd, FrameType::kResult,
-                          EncodeResultSet(task->result))
-                   .ok()) {
-            return;
+          if (!WriteFrame(fd, FrameType::kResult, result_payload).ok()) {
+            goto done;
           }
         } else {
           counters_->queries_error.fetch_add(1, std::memory_order_relaxed);
@@ -318,7 +381,7 @@ void Server::ConnectionLoop(int fd, uint64_t conn_index) {
           reply.status_code = task->status.code();
           reply.message = task->status.message();
           if (!WriteFrame(fd, FrameType::kError, EncodeError(reply)).ok()) {
-            return;
+            goto done;
           }
         }
         break;
@@ -338,6 +401,9 @@ done:
   std::lock_guard<std::mutex> lock(conn_mu_);
   ::close(fd);
   conn_fds_[conn_index] = -1;
+  // Hand the slot to the accept loop for joining + reuse; the thread
+  // touches no server state past this point.
+  finished_conns_.push_back(conn_index);
 }
 
 void Server::WorkerLoop() {

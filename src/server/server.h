@@ -39,6 +39,9 @@ struct ServerOptions {
   /// Per-client token bucket; <= 0 disables rate limiting.
   double rate_limit_qps = 0;
   double rate_limit_burst = 8;
+  /// Bound on distinct client buckets (ids are untrusted input); at the
+  /// cap, refilled-to-full buckets are swept, then the stalest goes.
+  size_t rate_limit_max_clients = 4096;
   /// Collapse concurrently queued overlapping viewport queries into one
   /// superset scan (server/batch.h).
   bool shared_scan_batching = true;
@@ -73,6 +76,9 @@ struct ServerStats {
   uint64_t batch_fallbacks = 0;  ///< groups re-executed solo after an error
   uint64_t queue_depth = 0;
   uint64_t queue_max_depth = 0;
+  /// Connection slots currently held (live connections plus finished
+  /// ones not yet reaped by the accept loop). Instantaneous.
+  uint64_t conn_slots = 0;
 };
 
 class Server {
@@ -104,6 +110,10 @@ class Server {
 
   void AcceptLoop();
   void ConnectionLoop(int fd, uint64_t conn_index);
+  /// Joins connection threads that have finished and recycles their
+  /// slots; called from the accept loop so a long-lived server does not
+  /// accumulate exited-but-joinable threads.
+  void ReapFinishedConns();
   void WorkerLoop();
   /// Executes `group` (>= 2 members) via one shared scan; on any batch
   /// error every member re-runs solo so results and errors match
@@ -125,9 +135,13 @@ class Server {
 
   std::thread accept_thread_;
   std::vector<std::thread> worker_threads_;
-  std::mutex conn_mu_;
+  mutable std::mutex conn_mu_;  // stats() reads the slot lists
   std::vector<std::thread> conn_threads_;
   std::vector<int> conn_fds_;  // parallel to conn_threads_; -1 once closed
+  /// Slots whose thread has finished (exiting threads enqueue their own
+  /// index); the accept loop joins these and moves them to the free list.
+  std::vector<uint64_t> finished_conns_;
+  std::vector<uint64_t> free_conn_slots_;  // reaped slots open for reuse
 };
 
 }  // namespace server

@@ -6,8 +6,14 @@
 // state is shared across connection and worker threads.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
 #include <atomic>
 #include <condition_variable>
+#include <cstring>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -17,6 +23,7 @@
 #include "pointcloud/generator.h"
 #include "server/admission.h"
 #include "server/client.h"
+#include "server/protocol.h"
 #include "server/rate_limiter.h"
 #include "server/server.h"
 
@@ -59,6 +66,38 @@ TEST(RateLimiterTest, DisabledAndClockSkewAreSafe) {
   server::TokenBucketLimiter limiter(/*qps=*/10, /*burst=*/1);
   EXPECT_TRUE(limiter.Allow("a", 1'000'000'000));
   EXPECT_FALSE(limiter.Allow("a", 500'000'000));
+}
+
+TEST(RateLimiterTest, BucketMapStaysBoundedUnderIdChurn) {
+  // Client ids are untrusted; a flood of distinct ids must not grow the
+  // bucket map without bound.
+  server::TokenBucketLimiter limiter(/*qps=*/10, /*burst=*/2,
+                                     /*max_clients=*/8);
+  int64_t now = 0;
+  for (int i = 0; i < 1000; ++i) {
+    limiter.Allow("id-" + std::to_string(i), now);
+    now += 1'000'000;  // 1 ms between arrivals
+  }
+  EXPECT_LE(limiter.num_clients(), 8u);
+}
+
+TEST(RateLimiterTest, EvictionPrefersRefilledBucketsAndKeepsDrainedState) {
+  server::TokenBucketLimiter limiter(/*qps=*/10, /*burst=*/1,
+                                     /*max_clients=*/2);
+  int64_t now = 0;
+  EXPECT_TRUE(limiter.Allow("a", now));  // "a" drained at t=0
+  now += 50'000'000;                     // +50 ms: "a" is at 0.5 tokens
+  EXPECT_TRUE(limiter.Allow("b", now));  // map at cap, "b" drained
+  // "c" forces an eviction. No bucket has refilled to full, so the
+  // stalest ("a") goes — and "b" keeps its drained state.
+  EXPECT_TRUE(limiter.Allow("c", now));
+  EXPECT_FALSE(limiter.Allow("b", now));
+  EXPECT_LE(limiter.num_clients(), 2u);
+  // Once "b" has fully refilled it is fair game for a lossless sweep:
+  // a fresh id still gets its full burst.
+  now += 10'000'000'000;
+  EXPECT_TRUE(limiter.Allow("d", now));
+  EXPECT_LE(limiter.num_clients(), 2u);
 }
 
 class AdmissionServerTest : public ::testing::Test {
@@ -199,6 +238,60 @@ TEST_F(AdmissionServerTest, PerClientRateLimitFairness) {
   server::ServerStats s = srv.stats();
   EXPECT_EQ(s.shed_rate_limited, 5u);
   EXPECT_EQ(s.queries_ok, 6u);
+  srv.Stop();
+}
+
+TEST_F(AdmissionServerTest, ReHelloCannotResetRateLimit) {
+  // The rate-limit key binds on the first HELLO: re-sending HELLO with a
+  // fresh id must not mint a fresh token bucket mid-connection.
+  server::ServerOptions opts;
+  opts.rate_limit_qps = 0.001;  // glacial refill: deterministic
+  opts.rate_limit_burst = 2;
+  server::Server srv(catalog_, opts);
+  ASSERT_TRUE(srv.Start().ok());
+
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(srv.port()));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  ASSERT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)),
+            0)
+      << std::strerror(errno);
+
+  auto hello = [&](const std::string& id) {
+    std::vector<uint8_t> payload(id.begin(), id.end());
+    ASSERT_TRUE(
+        server::WriteFrame(fd, server::FrameType::kHello, payload).ok());
+    auto reply = server::ReadFrame(fd, server::kMaxResponseFrameBytes);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->type, server::FrameType::kHelloOk);
+  };
+  // Returns kResult for a served query, the error code otherwise.
+  auto query = [&]() -> int {
+    const std::string sql = "SELECT COUNT(*) FROM ahn2";
+    std::vector<uint8_t> payload(sql.begin(), sql.end());
+    if (!server::WriteFrame(fd, server::FrameType::kQuery, payload).ok()) {
+      return -1;
+    }
+    auto reply = server::ReadFrame(fd, server::kMaxResponseFrameBytes);
+    if (!reply.ok()) return -1;
+    if (reply->type == server::FrameType::kResult) return 0;
+    auto err = server::DecodeError(reply->payload);
+    if (!err.ok()) return -1;
+    return static_cast<int>(err->code);
+  };
+
+  hello("evader-1");
+  EXPECT_EQ(query(), 0);
+  EXPECT_EQ(query(), 0);  // burst of 2 spent
+  EXPECT_EQ(query(), static_cast<int>(server::ErrorCode::kRateLimited));
+  // A second HELLO with a different id is acknowledged but does not
+  // rebind the bucket — the connection stays rate limited.
+  hello("evader-2");
+  EXPECT_EQ(query(), static_cast<int>(server::ErrorCode::kRateLimited));
+  ::close(fd);
   srv.Stop();
 }
 

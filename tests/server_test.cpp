@@ -265,5 +265,46 @@ TEST_F(ServerTest, OversizedRequestGetsTypedErrorAndCapsMemory) {
   srv.Stop();
 }
 
+TEST_F(ServerTest, MidReplyDisconnectsDoNotLeakConnectionSlots) {
+  server::Server srv(catalog_, {});
+  ASSERT_TRUE(srv.Start().ok());
+  const int port = srv.port();
+
+  // Clients that hang up without reading their reply (linger-0 close
+  // sends an RST) drive the server's reply writes into failure; every
+  // such connection must still close its server-side fd and hand back
+  // its slot — a long-lived server would otherwise run out of fds.
+  const std::string sql = "SELECT COUNT(*) FROM ahn2";
+  const std::vector<uint8_t> payload(sql.begin(), sql.end());
+  for (int i = 0; i < 100; ++i) {
+    int fd = RawConnect(port);
+    ASSERT_TRUE(
+        server::WriteFrame(fd, server::FrameType::kQuery, payload).ok());
+    struct linger lg {1, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    ::close(fd);
+  }
+
+  // Reaping rides the accept path: poke the server with fresh
+  // connections until every abandoned slot is reclaimed.
+  bool reclaimed = false;
+  for (int attempt = 0; attempt < 300 && !reclaimed; ++attempt) {
+    auto client = MustConnect(port);
+    ASSERT_TRUE(client.Ping().ok());
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    reclaimed = srv.stats().conn_slots <= 4;
+  }
+  EXPECT_TRUE(reclaimed) << "conn_slots stuck at "
+                         << srv.stats().conn_slots;
+
+  // And the survivor still serves correct results.
+  auto client = MustConnect(port);
+  auto rs = client.Query("SELECT COUNT(*) FROM ahn2");
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(rs->ok);
+  EXPECT_EQ(rs->result.rows[0][0].number, num_rows_);
+  srv.Stop();
+}
+
 }  // namespace
 }  // namespace geocol
